@@ -1,0 +1,242 @@
+//! Simulator rungs of the Fig. 3 ladder, each driving the same three
+//! Appendix E tasks through its own interaction API.
+
+use hlisa::{HlisaActionChains, NaiveActionChains};
+use hlisa_browser::viewport::ScrollOrigin;
+use hlisa_browser::{Browser, BrowserConfig, Rect};
+use hlisa_detect::interaction::TraceFeatures;
+use hlisa_detect::reference::{
+    click_target_position, click_task_page, run_human_session_with, TYPING_TASK_TEXT,
+};
+use hlisa_browser::dom::standard_test_page;
+use hlisa_human::HumanParams;
+use hlisa_stats::rngutil::derive_seed;
+use hlisa_webdriver::{By, SeleniumActionChains, Session};
+
+/// A rung of the simulator ladder (Fig. 3, left column), plus human
+/// references for calibration rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Simulator {
+    /// Stock Selenium — "no limits on behaviour".
+    Selenium,
+    /// The §4.1 naive improvements — "limit behaviour to humanly possible".
+    Naive,
+    /// HLISA — "use distribution of human behaviour".
+    Hlisa,
+    /// HLISA with tempo-drift consistency — "use consistent behaviour".
+    ConsistentHlisa,
+    /// HLISA fitted to a specific enrolled individual's parameters —
+    /// "use specific user profile".
+    ProfileFitted(HumanParams),
+    /// A real human visitor (an arbitrary individual from the population).
+    Human,
+    /// The specific human whose profile the level-4 detector enrolled.
+    EnrolledHuman(HumanParams),
+}
+
+impl Simulator {
+    /// Fig. 3 label (or a descriptive one for the reference rows).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Simulator::Selenium => "No limits on behaviour (Selenium)",
+            Simulator::Naive => "Limit behaviour to humanly possible (naive)",
+            Simulator::Hlisa => "Use distribution of human behaviour (HLISA)",
+            Simulator::ConsistentHlisa => "Use consistent behaviour (HLISA+drift)",
+            Simulator::ProfileFitted(_) => "Use specific user profile (HLISA fitted)",
+            Simulator::Human => "Human visitor (random individual)",
+            Simulator::EnrolledHuman(_) => "Human visitor (the enrolled user)",
+        }
+    }
+
+    /// Runs one session of the three tasks, returning extracted features.
+    pub fn run_session(&self, seed: u64) -> TraceFeatures {
+        match self {
+            Simulator::Human => {
+                let subject = HumanParams::individual(derive_seed(seed, "visitor", 0));
+                run_human_session_with(subject, seed)
+            }
+            Simulator::EnrolledHuman(params) => run_human_session_with(params.clone(), seed),
+            Simulator::Selenium => run_selenium_session(seed),
+            Simulator::Naive => run_naive_session(seed),
+            Simulator::Hlisa => {
+                run_hlisa_session(HumanParams::paper_baseline(), false, seed)
+            }
+            Simulator::ConsistentHlisa => {
+                run_hlisa_session(HumanParams::paper_baseline(), true, seed)
+            }
+            Simulator::ProfileFitted(params) => run_hlisa_session(params.clone(), true, seed),
+        }
+    }
+}
+
+fn click_session() -> Session {
+    Session::new(Browser::open(BrowserConfig::webdriver(), click_task_page()))
+}
+
+fn typing_session() -> Session {
+    Session::new(Browser::open(
+        BrowserConfig::webdriver(),
+        standard_test_page("https://tasks.test/type", 2_000.0),
+    ))
+}
+
+fn scroll_session() -> Session {
+    Session::new(Browser::open(
+        BrowserConfig::webdriver(),
+        standard_test_page("https://tasks.test/scroll", 30_000.0),
+    ))
+}
+
+fn relocate_target(s: &mut Session, seed: u64, round: usize) {
+    let target = s.browser.document().by_id("target").unwrap();
+    let (x, y) = click_target_position(seed, round);
+    s.browser.document_mut().element_mut(target).rect = Rect::new(x, y, 120.0, 40.0);
+}
+
+/// Selenium runs the tasks the way an OpenWPM study would: `ActionChains`
+/// clicks and typing, plus script scrolling (it has no scroll API).
+fn run_selenium_session(seed: u64) -> TraceFeatures {
+    // Task 1: click the relocating target.
+    let mut s = click_session();
+    let target = s.find_element(By::Id("target".into())).unwrap();
+    for round in 0..12 {
+        relocate_target(&mut s, seed, round);
+        SeleniumActionChains::new()
+            .click(Some(target))
+            .pause(0.3)
+            .perform(&mut s)
+            .expect("selenium click");
+    }
+    let mut features = TraceFeatures::extract(&s.browser.recorder, s.browser.document());
+
+    // Task 2: typing.
+    let mut s = typing_session();
+    let input = s.find_element(By::Id("text_area".into())).unwrap();
+    SeleniumActionChains::new()
+        .send_keys_to_element(input, TYPING_TASK_TEXT)
+        .perform(&mut s)
+        .expect("selenium typing");
+    features.merge(&TraceFeatures::extract(&s.browser.recorder, s.browser.document()));
+
+    // Task 3: "scrolling" — arbitrary-distance script jumps, no wheel.
+    let mut s = scroll_session();
+    let max = s.browser.viewport.max_scroll_y();
+    for i in 1..=4 {
+        s.browser.input(hlisa_browser::RawInput::ScrollFrom {
+            origin: ScrollOrigin::Script,
+            amount: max * f64::from(i) / 4.0,
+        });
+        s.browser.advance(120.0);
+    }
+    features.merge(&TraceFeatures::extract(&s.browser.recorder, s.browser.document()));
+    features
+}
+
+fn run_naive_session(seed: u64) -> TraceFeatures {
+    let mut s = click_session();
+    let target = s.find_element(By::Id("target".into())).unwrap();
+    for round in 0..12 {
+        relocate_target(&mut s, seed, round);
+        NaiveActionChains::new(derive_seed(seed, "naive-click", round as u64))
+            .click(Some(target))
+            .pause(0.3)
+            .perform(&mut s)
+            .expect("naive click");
+    }
+    let mut features = TraceFeatures::extract(&s.browser.recorder, s.browser.document());
+
+    let mut s = typing_session();
+    let input = s.find_element(By::Id("text_area".into())).unwrap();
+    NaiveActionChains::new(derive_seed(seed, "naive-type", 0))
+        .send_keys_to_element(input, TYPING_TASK_TEXT)
+        .perform(&mut s)
+        .expect("naive typing");
+    features.merge(&TraceFeatures::extract(&s.browser.recorder, s.browser.document()));
+
+    let mut s = scroll_session();
+    let max = s.browser.viewport.max_scroll_y();
+    NaiveActionChains::new(derive_seed(seed, "naive-scroll", 0))
+        .scroll_by(max)
+        .perform(&mut s)
+        .expect("naive scroll");
+    features.merge(&TraceFeatures::extract(&s.browser.recorder, s.browser.document()));
+    features
+}
+
+fn run_hlisa_session(params: HumanParams, consistent: bool, seed: u64) -> TraceFeatures {
+    let chain = |label: &str, idx: u64| {
+        HlisaActionChains::with_params(params.clone(), derive_seed(seed, label, idx))
+            .with_consistency(consistent)
+    };
+
+    let mut s = click_session();
+    let target = s.find_element(By::Id("target".into())).unwrap();
+    for round in 0..12 {
+        relocate_target(&mut s, seed, round);
+        chain("hlisa-click", round as u64)
+            .click(Some(target))
+            .pause(0.3)
+            .perform(&mut s)
+            .expect("hlisa click");
+    }
+    let mut features = TraceFeatures::extract(&s.browser.recorder, s.browser.document());
+
+    let mut s = typing_session();
+    let input = s.find_element(By::Id("text_area".into())).unwrap();
+    chain("hlisa-type", 0)
+        .send_keys_to_element(input, TYPING_TASK_TEXT)
+        .perform(&mut s)
+        .expect("hlisa typing");
+    features.merge(&TraceFeatures::extract(&s.browser.recorder, s.browser.document()));
+
+    let mut s = scroll_session();
+    let max = s.browser.viewport.max_scroll_y();
+    chain("hlisa-scroll", 0)
+        .scroll_by(0.0, max)
+        .perform(&mut s)
+        .expect("hlisa scroll");
+    features.merge(&TraceFeatures::extract(&s.browser.recorder, s.browser.document()));
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selenium_session_has_the_signature_features() {
+        let f = Simulator::Selenium.run_session(1);
+        // 12 target clicks + 1 focus click in the typing task.
+        assert_eq!(f.click_dwells_ms.len(), 13);
+        assert!(f.click_dwells_ms.iter().all(|d| *d <= 1.0));
+        assert!(f.typing_cpm > 10_000.0, "cpm {}", f.typing_cpm);
+        assert!(f.capitals_without_shift > 0);
+        assert_eq!(f.wheel_events, 0);
+    }
+
+    #[test]
+    fn hlisa_session_is_within_human_limits() {
+        let f = Simulator::Hlisa.run_session(2);
+        assert_eq!(f.click_dwells_ms.len(), 13);
+        assert!(f.click_dwells_ms.iter().all(|d| *d >= 20.0));
+        assert!(f.typing_cpm < 1_000.0, "cpm {}", f.typing_cpm);
+        assert_eq!(f.capitals_without_shift, 0);
+        assert!(f.wheel_events > 400);
+    }
+
+    #[test]
+    fn naive_session_sits_between() {
+        let f = Simulator::Naive.run_session(3);
+        assert!(f.click_dwells_ms.iter().all(|d| *d >= 20.0));
+        assert_eq!(f.capitals_without_shift, 0);
+        assert!(f.wheel_events > 400);
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        assert_eq!(
+            Simulator::Hlisa.run_session(7),
+            Simulator::Hlisa.run_session(7)
+        );
+    }
+}

@@ -1,0 +1,375 @@
+//! Ablation experiments for HLISA's design choices.
+//!
+//! Each ablation removes one ingredient of HLISA's interaction model and
+//! measures the consequence with the same detectors used everywhere else —
+//! quantifying why the paper's design (§4.1) needs *all* of curve + noise +
+//! easing for motion, a normal (not uniform) click distribution, sampled
+//! (not fixed) typing timings, and finger-break scrolling.
+
+use hlisa::motion::{plan_motion, CurveStyle, DurationModel, MotionStyle, VelocityProfile};
+use hlisa_browser::Point;
+use hlisa_detect::interaction::TraceFeatures;
+use hlisa_detect::{HumanReference, InteractionDetector};
+use hlisa_human::cursor::metrics;
+use hlisa_human::HumanParams;
+use hlisa_stats::ascii::format_table;
+use hlisa_stats::descriptive::coefficient_of_variation;
+use hlisa_stats::rngutil::{derive_seed, rng_from_seed};
+use hlisa_stats::{Normal, TruncatedNormal};
+use rand::Rng;
+
+/// One ablation row: variant name and detection rates at L1/L2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// L1 detection rate over the trials.
+    pub l1_rate: f64,
+    /// L2 detection rate over the trials.
+    pub l2_rate: f64,
+}
+
+/// Motion ablation: which ingredients of the HLISA trajectory matter.
+pub fn motion_ablation(seed: u64, reference: &HumanReference, trials: usize) -> Vec<AblationRow> {
+    let params = HumanParams::paper_baseline();
+    let variants: Vec<(&str, MotionStyle)> = vec![
+        (
+            "straight + uniform (Selenium)",
+            MotionStyle {
+                curve: CurveStyle::Straight,
+                velocity: VelocityProfile::Uniform,
+                jitter_px: 0.0,
+                duration: DurationModel::Fixed(250.0),
+            },
+        ),
+        ("bezier + uniform (naive)", MotionStyle::naive_bezier()),
+        (
+            "bezier + min-jerk, no jitter",
+            MotionStyle {
+                jitter_px: 0.0,
+                ..MotionStyle::hlisa()
+            },
+        ),
+        (
+            "straight + min-jerk + jitter",
+            MotionStyle {
+                curve: CurveStyle::Straight,
+                ..MotionStyle::hlisa()
+            },
+        ),
+        ("full HLISA motion", MotionStyle::hlisa()),
+    ];
+
+    let l1 = InteractionDetector::level1();
+    let l2 = InteractionDetector::level2(reference.clone());
+    variants
+        .into_iter()
+        .map(|(name, style)| {
+            let mut flagged1 = 0;
+            let mut flagged2 = 0;
+            for trial in 0..trials {
+                let mut rng = rng_from_seed(derive_seed(seed, name, trial as u64));
+                let mut f = TraceFeatures::default();
+                for i in 0..10 {
+                    let from = Point::new(80.0 + f64::from(i) * 30.0, 650.0);
+                    let to = Point::new(1_150.0 - f64::from(i) * 40.0, 120.0 + f64::from(i) * 35.0);
+                    let t = plan_motion(style, &params, &mut rng, from, to, 40.0);
+                    f.straightness.push(metrics::straightness(&t));
+                    let speeds = metrics::speeds(&t);
+                    if speeds.len() >= 3 {
+                        f.speed_cvs.push(coefficient_of_variation(&speeds));
+                        f.max_speed = f.max_speed.max(speeds.iter().copied().fold(0.0, f64::max));
+                    }
+                }
+                if l1.judge_features(&f).is_bot {
+                    flagged1 += 1;
+                }
+                if l2.judge_features(&f).is_bot {
+                    flagged2 += 1;
+                }
+            }
+            AblationRow {
+                variant: name.to_string(),
+                l1_rate: flagged1 as f64 / trials as f64,
+                l2_rate: flagged2 as f64 / trials as f64,
+            }
+        })
+        .collect()
+}
+
+/// Click-placement ablation: uniform vs normal vs dead-centre, judged on
+/// click offsets.
+pub fn click_ablation(seed: u64, reference: &HumanReference, trials: usize) -> Vec<AblationRow> {
+    let l1 = InteractionDetector::level1();
+    let l2 = InteractionDetector::level2(reference.clone());
+    let dwell = TruncatedNormal::new(85.0, 25.0, 20.0, 250.0);
+    let variants: [&str; 3] = ["dead centre (Selenium)", "uniform (naive)", "normal (HLISA)"];
+    variants
+        .iter()
+        .map(|name| {
+            let mut flagged1 = 0;
+            let mut flagged2 = 0;
+            for trial in 0..trials {
+                let mut rng = rng_from_seed(derive_seed(seed, name, trial as u64));
+                let mut f = TraceFeatures::default();
+                for _ in 0..40 {
+                    // Element-relative offsets for a 120×40 target.
+                    let (fx, fy): (f64, f64) = match *name {
+                        "dead centre (Selenium)" => (0.5, 0.5),
+                        "uniform (naive)" => (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)),
+                        _ => {
+                            let nx = Normal::new(0.52, 0.14);
+                            let ny = Normal::new(0.5, 0.16);
+                            (
+                                nx.sample(&mut rng).clamp(0.02, 0.98),
+                                ny.sample(&mut rng).clamp(0.02, 0.98),
+                            )
+                        }
+                    };
+                    let off = ((fx - 0.5f64).powi(2) + (fy - 0.5f64).powi(2)).sqrt();
+                    f.click_offsets_frac.push(off);
+                    f.click_dwells_ms.push(if *name == "dead centre (Selenium)" {
+                        0.0
+                    } else {
+                        dwell.sample(&mut rng)
+                    });
+                }
+                if l1.judge_features(&f).is_bot {
+                    flagged1 += 1;
+                }
+                if l2.judge_features(&f).is_bot {
+                    flagged2 += 1;
+                }
+            }
+            AblationRow {
+                variant: name.to_string(),
+                l1_rate: flagged1 as f64 / trials as f64,
+                l2_rate: flagged2 as f64 / trials as f64,
+            }
+        })
+        .collect()
+}
+
+/// Typing-rhythm ablation: fixed delays vs uniform jitter vs i.i.d.
+/// normal draws vs tempo-drift consistency, judged by L1/L2/L3. The L3
+/// column is reported in [`AblationRow::l2_rate`]'s sibling field via a
+/// dedicated run below.
+pub fn typing_ablation(
+    seed: u64,
+    reference: &HumanReference,
+    trials: usize,
+) -> Vec<(AblationRow, f64)> {
+    use hlisa_browser::dom::standard_test_page;
+    use hlisa_browser::{Browser, BrowserConfig};
+    use hlisa_webdriver::{By, Session};
+
+    let l1 = InteractionDetector::level1();
+    let l2 = InteractionDetector::level2(reference.clone());
+    let l3 = InteractionDetector::level3(reference.clone());
+    let text = "the quick brown fox jumps over the lazy dog and keeps running onward";
+    let variants = ["selenium (0 dwell)", "fixed + jitter (naive)", "iid normal (HLISA)", "tempo drift (consistent)"];
+    variants
+        .iter()
+        .map(|name| {
+            let mut flagged = [0usize; 3];
+            for trial in 0..trials {
+                let mut s = Session::new(Browser::open(
+                    BrowserConfig::webdriver(),
+                    standard_test_page("https://abl.test/", 2_000.0),
+                ));
+                let el = s.find_element(By::Id("text_area".into())).unwrap();
+                let tseed = derive_seed(seed, name, trial as u64);
+                match *name {
+                    "selenium (0 dwell)" => {
+                        hlisa_webdriver::SeleniumActionChains::new()
+                            .send_keys_to_element(el, text)
+                            .perform(&mut s)
+                            .unwrap();
+                    }
+                    "fixed + jitter (naive)" => {
+                        hlisa::NaiveActionChains::new(tseed)
+                            .send_keys_to_element(el, text)
+                            .perform(&mut s)
+                            .unwrap();
+                    }
+                    "iid normal (HLISA)" => {
+                        hlisa::HlisaActionChains::new(tseed)
+                            .send_keys_to_element(el, text)
+                            .perform(&mut s)
+                            .unwrap();
+                    }
+                    _ => {
+                        hlisa::HlisaActionChains::new(tseed)
+                            .with_consistency(true)
+                            .send_keys_to_element(el, text)
+                            .perform(&mut s)
+                            .unwrap();
+                    }
+                }
+                let mut f = TraceFeatures::extract(&s.browser.recorder, s.browser.document());
+                // A *typing* ablation: blind the detectors to the mouse
+                // work that focuses the field, which differs per variant.
+                f.straightness.clear();
+                f.speed_cvs.clear();
+                f.max_speed = 0.0;
+                f.click_dwells_ms.clear();
+                f.click_offsets_frac.clear();
+                f.pointerless_clicks = 0;
+                for (i, det) in [&l1, &l2, &l3].iter().enumerate() {
+                    if det.judge_features(&f).is_bot {
+                        flagged[i] += 1;
+                    }
+                }
+            }
+            (
+                AblationRow {
+                    variant: name.to_string(),
+                    l1_rate: flagged[0] as f64 / trials as f64,
+                    l2_rate: flagged[1] as f64 / trials as f64,
+                },
+                flagged[2] as f64 / trials as f64,
+            )
+        })
+        .collect()
+}
+
+/// Scroll-cadence ablation: script jump vs metronomic ticks vs
+/// ticks-with-finger-breaks, judged by L1/L2.
+pub fn scroll_ablation(seed: u64, reference: &HumanReference, trials: usize) -> Vec<AblationRow> {
+    use hlisa_browser::dom::standard_test_page;
+    use hlisa_browser::viewport::ScrollOrigin;
+    use hlisa_browser::{Browser, BrowserConfig, RawInput};
+    use hlisa_webdriver::Session;
+
+    let l1 = InteractionDetector::level1();
+    let l2 = InteractionDetector::level2(reference.clone());
+    let variants = ["script jump (Selenium)", "metronomic ticks (naive)", "ticks + finger breaks (HLISA)"];
+    variants
+        .iter()
+        .map(|name| {
+            let mut flagged = [0usize; 2];
+            for trial in 0..trials {
+                let mut s = Session::new(Browser::open(
+                    BrowserConfig::webdriver(),
+                    standard_test_page("https://abl.test/", 30_000.0),
+                ));
+                let tseed = derive_seed(seed, name, trial as u64);
+                let distance = s.browser.viewport.max_scroll_y();
+                match *name {
+                    "script jump (Selenium)" => {
+                        for i in 1..=4 {
+                            s.browser.input(RawInput::ScrollFrom {
+                                origin: ScrollOrigin::Script,
+                                amount: distance * f64::from(i) / 4.0,
+                            });
+                            s.browser.advance(150.0);
+                        }
+                    }
+                    "metronomic ticks (naive)" => {
+                        hlisa::NaiveActionChains::new(tseed)
+                            .scroll_by(distance)
+                            .perform(&mut s)
+                            .unwrap();
+                    }
+                    _ => {
+                        hlisa::HlisaActionChains::new(tseed)
+                            .scroll_by(0.0, distance)
+                            .perform(&mut s)
+                            .unwrap();
+                    }
+                }
+                let f = TraceFeatures::extract(&s.browser.recorder, s.browser.document());
+                if l1.judge_features(&f).is_bot {
+                    flagged[0] += 1;
+                }
+                if l2.judge_features(&f).is_bot {
+                    flagged[1] += 1;
+                }
+            }
+            AblationRow {
+                variant: name.to_string(),
+                l1_rate: flagged[0] as f64 / trials as f64,
+                l2_rate: flagged[1] as f64 / trials as f64,
+            }
+        })
+        .collect()
+}
+
+/// Formats ablation rows.
+pub fn report(title: &str, rows: &[AblationRow]) -> String {
+    let mut out = format!("{title}\n");
+    let header = ["Variant", "L1 detection", "L2 detection"];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                format!("{:.2}", r.l1_rate),
+                format!("{:.2}", r.l2_rate),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(&header, &table));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motion_ablation_shows_ingredient_value() {
+        let reference = HumanReference::generate(60, 2);
+        let rows = motion_ablation(5, &reference, 4);
+        let get = |name: &str| rows.iter().find(|r| r.variant.contains(name)).unwrap();
+        assert_eq!(get("Selenium").l1_rate, 1.0);
+        assert_eq!(get("full HLISA").l1_rate, 0.0);
+        assert_eq!(get("full HLISA").l2_rate, 0.0);
+        // A straight path, even with easing and jitter, is still flagged.
+        assert!(get("straight + min-jerk").l1_rate > 0.5);
+    }
+
+    #[test]
+    fn typing_ablation_separates_the_four_rhythms() {
+        let reference = HumanReference::generate(62, 2);
+        let rows = typing_ablation(7, &reference, 3);
+        let get = |name: &str| {
+            rows.iter()
+                .find(|(r, _)| r.variant.contains(name))
+                .unwrap()
+        };
+        // Selenium: impossible at L1.
+        assert_eq!(get("selenium").0.l1_rate, 1.0);
+        // Naive: possible but mis-distributed — L2 catches.
+        assert_eq!(get("naive").0.l1_rate, 0.0);
+        assert_eq!(get("naive").0.l2_rate, 1.0);
+        // HLISA i.i.d.: passes L2, caught by L3 consistency.
+        assert_eq!(get("HLISA").0.l2_rate, 0.0);
+        assert!(get("HLISA").1 >= 0.66, "L3 rate {}", get("HLISA").1);
+        // Consistent variant passes all three.
+        assert_eq!(get("consistent").1, 0.0);
+    }
+
+    #[test]
+    fn scroll_ablation_separates_the_three_cadences() {
+        let reference = HumanReference::generate(63, 2);
+        let rows = scroll_ablation(8, &reference, 3);
+        let get = |name: &str| rows.iter().find(|r| r.variant.contains(name)).unwrap();
+        assert_eq!(get("script jump").l1_rate, 1.0);
+        assert_eq!(get("metronomic").l1_rate, 0.0);
+        assert_eq!(get("metronomic").l2_rate, 1.0);
+        assert_eq!(get("finger breaks").l1_rate, 0.0);
+        assert_eq!(get("finger breaks").l2_rate, 0.0);
+    }
+
+    #[test]
+    fn click_ablation_separates_the_three_strategies() {
+        let reference = HumanReference::generate(61, 2);
+        let rows = click_ablation(6, &reference, 4);
+        let get = |name: &str| rows.iter().find(|r| r.variant.contains(name)).unwrap();
+        assert_eq!(get("dead centre").l1_rate, 1.0);
+        assert_eq!(get("uniform").l1_rate, 0.0);
+        assert!(get("uniform").l2_rate > 0.5, "uniform placement must fail L2");
+        assert_eq!(get("normal").l2_rate, 0.0);
+    }
+}

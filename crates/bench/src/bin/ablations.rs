@@ -1,0 +1,25 @@
+//! Runs the design-choice ablations from DESIGN.md.
+use hlisa_bench::ablations;
+use hlisa_detect::HumanReference;
+fn main() {
+    eprintln!("generating human reference corpus...");
+    let reference = HumanReference::generate(2021, 4);
+    let motion = ablations::motion_ablation(2021, &reference, 10);
+    println!("{}", ablations::report("Ablation: cursor-motion ingredients", &motion));
+    println!();
+    let click = ablations::click_ablation(2021, &reference, 10);
+    println!("{}", ablations::report("Ablation: click placement strategies", &click));
+    println!();
+    let typing = ablations::typing_ablation(2021, &reference, 8);
+    println!("Ablation: typing rhythm (plus L3 consistency column)");
+    println!("{:<28} {:>4} {:>4} {:>4}", "Variant", "L1", "L2", "L3");
+    for (row, l3) in &typing {
+        println!(
+            "{:<28} {:>4.2} {:>4.2} {:>4.2}",
+            row.variant, row.l1_rate, row.l2_rate, l3
+        );
+    }
+    println!();
+    let scroll = ablations::scroll_ablation(2021, &reference, 8);
+    println!("{}", ablations::report("Ablation: scroll cadence", &scroll));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the Appendix C/D event and granularity report.
+fn main() {
+    let r = hlisa_bench::appendix_d::run();
+    println!("{}", hlisa_bench::appendix_d::report(&r));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 1 (cursor trajectories A-D).
+fn main() {
+    println!("{}", hlisa_bench::figures::figure1_report(2021));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 2 (click distributions; 100-round task per agent).
+fn main() {
+    println!("{}", hlisa_bench::figures::figure2_report(2021, 100));
+}

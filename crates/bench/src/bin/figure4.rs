@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 / Appendix B (HTTP errors + Wilcoxon test).
+fn main() {
+    eprintln!("running the paper-scale campaign (1,000 sites x 8 visits x 2 machines)...");
+    let campaign = hlisa_bench::fieldstudy::run_paper_scale();
+    println!("{}", hlisa_bench::fieldstudy::figure4_report(&campaign));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (spoofing side effects).
+fn main() {
+    let result = hlisa_bench::table1::run();
+    println!("{}", hlisa_bench::table1::report(&result));
+}

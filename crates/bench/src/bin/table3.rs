@@ -1,0 +1,8 @@
+//! Regenerates Table 3 (HLISA API conformance sweep).
+fn main() {
+    let checks = hlisa_bench::table3::run(2021);
+    println!("{}", hlisa_bench::table3::report(&checks));
+    if checks.iter().any(|c| !c.passed) {
+        std::process::exit(1);
+    }
+}

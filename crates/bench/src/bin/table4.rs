@@ -1,0 +1,6 @@
+//! Regenerates Table 4 / Appendix G (tool comparison + measured verdicts).
+use hlisa_detect::HumanReference;
+fn main() {
+    let reference = HumanReference::generate(2021, 3);
+    println!("{}", hlisa_bench::table4::report(2021, &reference));
+}

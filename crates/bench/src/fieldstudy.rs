@@ -1,0 +1,125 @@
+//! Field-study regenerators: Table 2 and Figure 4 / Appendix B.
+
+use hlisa_crawler::{analyze_http, run_campaign, screenshot_table, Campaign, CampaignConfig};
+use hlisa_stats::ascii::{bar_chart, format_table};
+
+/// Runs the paper-scale campaign (1,000 sites × 8 visits × 2 machines).
+pub fn run_paper_scale() -> Campaign {
+    run_campaign(&CampaignConfig::default())
+}
+
+/// Runs a smaller campaign for quick checks.
+pub fn run_small(seed: u64, n_sites: usize) -> Campaign {
+    let mut config = CampaignConfig {
+        seed,
+        ..CampaignConfig::default()
+    };
+    config.population.n_sites = n_sites;
+    config.population.unreachable_sites = n_sites * 79 / 1_000;
+    run_campaign(&config)
+}
+
+/// Formats Table 2 as in the paper.
+pub fn table2_report(campaign: &Campaign) -> String {
+    let t = screenshot_table(campaign);
+    let mut out = String::from("Table 2: Results from the screenshot evaluation.\n\n");
+    let header = ["Response", "sites (1)", "sites (2)", "visits (1)", "visits (2)"];
+    let rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.sites.0.to_string(),
+                r.sites.1.to_string(),
+                r.visits.0.to_string(),
+                r.visits.1.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(&header, &rows));
+    out.push_str("\n(1) = OpenWPM   (2) = OpenWPM+extension\n");
+    if let (Some(total), Some(block)) = (t.row("total"), t.row("blocking/CAPTCHAs")) {
+        let visible: usize = t
+            .rows
+            .iter()
+            .filter(|r| r.label != "total" && !r.label.starts_with('-'))
+            .map(|r| r.sites.0)
+            .sum();
+        out.push_str(&format!(
+            "\nVisible signs of bot detection affect {} of {} reached sites ({:.1}%) for OpenWPM;\n\
+             blocking persists on {} site(s) with the extension.\n",
+            visible,
+            total.sites.0,
+            100.0 * visible as f64 / total.sites.0.max(1) as f64,
+            block.sites.1,
+        ));
+    }
+    out
+}
+
+/// Formats Figure 4 (status-code chart + Wilcoxon) as a terminal report.
+pub fn figure4_report(campaign: &Campaign) -> String {
+    let r = analyze_http(campaign);
+    let mut out = String::from(
+        "Figure 4: HTTP (error) responses listed by status code with more than 100 occurrences.\n\n",
+    );
+    for (name, counts) in [("First-party", &r.first_party), ("Third-party", &r.third_party)] {
+        out.push_str(&format!("{name} responses (errors only):\n"));
+        let rows: Vec<(String, u64)> = r
+            .frequent_codes(counts, 100, true)
+            .into_iter()
+            .flat_map(|code| {
+                let (a, b) = counts[&code];
+                [
+                    (format!("{code} OpenWPM    "), a),
+                    (format!("{code} +extension "), b),
+                ]
+            })
+            .collect();
+        out.push_str(&bar_chart(&rows, 50));
+        out.push('\n');
+    }
+    if let Some(w) = &r.wilcoxon_first_party {
+        out.push_str(&format!(
+            "Wilcoxon matched-pairs signed-rank on per-site first-party errors: W = {}, n = {}, p = {:.4} ({})\n",
+            w.w,
+            w.n_used,
+            w.p_value,
+            if w.significant_at(0.05) { "significant decrease" } else { "not significant" },
+        ));
+    }
+    if let Some(w) = &r.wilcoxon_third_party {
+        out.push_str(&format!(
+            "Third-party errors: p = {:.3} ({})\n",
+            w.p_value,
+            if w.significant_at(0.05) { "significant" } else { "no notable difference" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_crawler::screenshot_table;
+
+    #[test]
+    fn small_campaign_shows_paper_shape() {
+        let c = run_small(11, 250);
+        let t = screenshot_table(&c);
+        let block = t.row("blocking/CAPTCHAs").unwrap();
+        assert!(block.sites.0 > block.sites.1);
+        let report = table2_report(&c);
+        assert!(report.contains("OpenWPM+extension"));
+        let fig4 = figure4_report(&c);
+        assert!(fig4.contains("Wilcoxon"));
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let a = table2_report(&run_small(3, 120));
+        let b = table2_report(&run_small(3, 120));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,316 @@
+//! Figure 1 (cursor trajectories) and Figure 2 (click distributions).
+
+use hlisa::motion::{plan_motion, CurveStyle, DurationModel, MotionStyle, VelocityProfile};
+use hlisa::{HlisaActionChains, NaiveActionChains};
+use hlisa_browser::dom::{Document, ElementBuilder};
+use hlisa_browser::{Browser, BrowserConfig, Point, Rect};
+use hlisa_human::cursor::generate as human_generate;
+use hlisa_human::{HumanAgent, HumanParams};
+use hlisa_stats::ascii::{plot_density, plot_lines};
+use hlisa_stats::hist::Histogram2d;
+use hlisa_stats::rngutil::{derive_seed, rng_from_seed};
+use hlisa_stats::Summary;
+use hlisa_webdriver::{By, SeleniumActionChains, Session};
+
+/// The four agents of Figures 1–2, in the paper's panel order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Agent {
+    /// (A / top-left) Selenium.
+    Selenium,
+    /// (B / top-right) Human.
+    Human,
+    /// (C / bottom-left) Naive solution.
+    Naive,
+    /// (D / bottom-right) HLISA.
+    Hlisa,
+}
+
+impl Agent {
+    /// All agents, panel order.
+    pub const ALL: [Agent; 4] = [Agent::Selenium, Agent::Human, Agent::Naive, Agent::Hlisa];
+
+    /// Panel label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Agent::Selenium => "Selenium",
+            Agent::Human => "human",
+            Agent::Naive => "naive solution",
+            Agent::Hlisa => "HLISA",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------
+
+/// Fig. 1 endpoints: a long diagonal movement across the page.
+pub const FIG1_FROM: Point = Point::new(100.0, 500.0);
+/// Movement target.
+pub const FIG1_TO: Point = Point::new(900.0, 300.0);
+
+/// One agent's trajectory as (x, y) points.
+pub type Trajectory = Vec<(f64, f64)>;
+
+/// Generates the four Fig. 1 trajectories.
+pub fn figure1_trajectories(seed: u64) -> Vec<(Agent, Trajectory)> {
+    let params = HumanParams::paper_baseline();
+    Agent::ALL
+        .iter()
+        .map(|agent| {
+            let mut rng = rng_from_seed(derive_seed(seed, "fig1", *agent as u64));
+            let style = match agent {
+                Agent::Selenium => MotionStyle {
+                    curve: CurveStyle::Straight,
+                    velocity: VelocityProfile::Uniform,
+                    jitter_px: 0.0,
+                    duration: DurationModel::Fixed(250.0),
+                },
+                Agent::Naive => MotionStyle::naive_bezier(),
+                Agent::Hlisa => MotionStyle::hlisa(),
+                Agent::Human => {
+                    let t = human_generate(&params, &mut rng, FIG1_FROM, FIG1_TO, 40.0);
+                    return (*agent, t.iter().map(|s| (s.x, s.y)).collect());
+                }
+            };
+            let t = plan_motion(style, &params, &mut rng, FIG1_FROM, FIG1_TO, 40.0);
+            (*agent, t.iter().map(|s| (s.x, s.y)).collect())
+        })
+        .collect()
+}
+
+/// Renders Fig. 1 as four ASCII panels plus a CSV appendix.
+pub fn figure1_report(seed: u64) -> String {
+    let trajectories = figure1_trajectories(seed);
+    let mut out = String::from(
+        "Figure 1: Cursor trajectories for (A) Selenium, (B) human, (C) naive solution, (D) HLISA.\n\n",
+    );
+    for (agent, t) in &trajectories {
+        out.push_str(&format!("({:?}) {}\n", agent, agent.label()));
+        out.push_str(&plot_lines(&[(agent.label(), t.as_slice())], 72, 14));
+        out.push('\n');
+    }
+    out.push_str("CSV (agent,x,y):\n");
+    for (agent, t) in &trajectories {
+        for (x, y) in t.iter().step_by(4) {
+            out.push_str(&format!("{},{:.1},{:.1}\n", agent.label(), x, y));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------
+
+/// Click-task element size (a typical button).
+pub const FIG2_ELEMENT: (f64, f64) = (120.0, 40.0);
+
+fn click_page() -> Document {
+    let mut doc = Document::new("https://fig2.test/", 1280.0, 720.0);
+    ElementBuilder::new("body", Rect::new(0.0, 0.0, 1280.0, 720.0)).insert(&mut doc);
+    ElementBuilder::new("button", Rect::new(400.0, 300.0, FIG2_ELEMENT.0, FIG2_ELEMENT.1))
+        .id("target")
+        .insert(&mut doc);
+    doc
+}
+
+fn target_rect(seed: u64, round: usize) -> Rect {
+    let h = derive_seed(seed, "fig2-pos", round as u64);
+    let x = 60.0 + (h % 1_000) as f64 / 1_000.0 * 1_000.0;
+    let y = 60.0 + ((h >> 12) % 1_000) as f64 / 1_000.0 * 560.0;
+    Rect::new(x, y, FIG2_ELEMENT.0, FIG2_ELEMENT.1)
+}
+
+/// Collected click points for one agent, in element-relative fractions
+/// (0..1 on both axes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClickCloud {
+    /// Which agent produced the clicks.
+    pub agent: Agent,
+    /// Click positions as fractions of element width/height.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl ClickCloud {
+    /// Fraction of clicks within 1 px of the exact centre.
+    pub fn exact_center_fraction(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .points
+            .iter()
+            .filter(|(fx, fy)| {
+                (fx - 0.5).abs() * FIG2_ELEMENT.0 < 1.0 && (fy - 0.5).abs() * FIG2_ELEMENT.1 < 1.0
+            })
+            .count();
+        hits as f64 / self.points.len() as f64
+    }
+
+    /// Standard deviation of the x fraction (spread measure).
+    pub fn x_spread(&self) -> f64 {
+        Summary::of(&self.points.iter().map(|(x, _)| *x).collect::<Vec<_>>()).std_dev
+    }
+
+    /// A 2-D density over the element for rendering.
+    pub fn density(&self, nx: usize, ny: usize) -> Histogram2d {
+        let mut h = Histogram2d::new(0.0, 1.0, 0.0, 1.0, nx, ny);
+        for (x, y) in &self.points {
+            h.add(*x, *y);
+        }
+        h
+    }
+}
+
+/// Runs the Appendix E click task (`rounds` clicks on a relocating
+/// element) for each agent.
+pub fn figure2_clicks(seed: u64, rounds: usize) -> Vec<ClickCloud> {
+    Agent::ALL
+        .iter()
+        .map(|agent| ClickCloud {
+            agent: *agent,
+            points: run_click_task(*agent, seed, rounds),
+        })
+        .collect()
+}
+
+fn run_click_task(agent: Agent, seed: u64, rounds: usize) -> Vec<(f64, f64)> {
+    let mut points = Vec::with_capacity(rounds);
+    match agent {
+        Agent::Human => {
+            let mut browser = Browser::open(BrowserConfig::regular(), click_page());
+            let mut human = HumanAgent::baseline(derive_seed(seed, "fig2-human", 0));
+            let target = browser.document().by_id("target").unwrap();
+            for round in 0..rounds {
+                let rect = target_rect(seed, round);
+                browser.document_mut().element_mut(target).rect = rect;
+                let p = human.click_element(&mut browser, target);
+                points.push(((p.x - rect.x) / rect.width, (p.y - rect.y) / rect.height));
+            }
+        }
+        _ => {
+            let mut session = Session::new(Browser::open(BrowserConfig::webdriver(), click_page()));
+            let target = session.find_element(By::Id("target".into())).unwrap();
+            for round in 0..rounds {
+                let rect = target_rect(seed, round);
+                session.browser.document_mut().element_mut(target.node()).rect = rect;
+                match agent {
+                    Agent::Selenium => SeleniumActionChains::new()
+                        .click(Some(target))
+                        .perform(&mut session)
+                        .expect("selenium click"),
+                    Agent::Naive => {
+                        NaiveActionChains::new(derive_seed(seed, "fig2-naive", round as u64))
+                            .click(Some(target))
+                            .perform(&mut session)
+                            .expect("naive click")
+                    }
+                    Agent::Hlisa => {
+                        HlisaActionChains::new(derive_seed(seed, "fig2-hlisa", round as u64))
+                            .click(Some(target))
+                            .perform(&mut session)
+                            .expect("hlisa click")
+                    }
+                    Agent::Human => unreachable!(),
+                }
+                let click = *session
+                    .browser
+                    .recorder
+                    .clicks()
+                    .last()
+                    .expect("click recorded");
+                points.push((
+                    (click.x - rect.x) / rect.width,
+                    (click.y - rect.y) / rect.height,
+                ));
+            }
+        }
+    }
+    points
+}
+
+/// Renders Fig. 2 as four density panels plus summary statistics.
+pub fn figure2_report(seed: u64, rounds: usize) -> String {
+    let clouds = figure2_clicks(seed, rounds);
+    let mut out = String::from(
+        "Figure 2: distribution of mouse clicks of (top left) Selenium, (top right) humans,\n\
+         (bottom left) naive solution, (bottom right) HLISA. Densities over the element box.\n\n",
+    );
+    for cloud in &clouds {
+        out.push_str(&format!(
+            "{}: {} clicks, {:.0}% exactly centred, x-spread (fraction) = {:.3}\n",
+            cloud.agent.label(),
+            cloud.points.len(),
+            100.0 * cloud.exact_center_fraction(),
+            cloud.x_spread(),
+        ));
+        out.push_str(&plot_density(&cloud.density(40, 12)));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_human::cursor::metrics;
+    use hlisa_human::cursor::TrajectorySample;
+
+    fn as_samples(t: &[(f64, f64)]) -> Vec<TrajectorySample> {
+        t.iter()
+            .enumerate()
+            .map(|(i, (x, y))| TrajectorySample {
+                t_ms: i as f64,
+                x: *x,
+                y: *y,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure1_shapes_match_the_paper() {
+        let ts = figure1_trajectories(42);
+        let straightness: Vec<(Agent, f64)> = ts
+            .iter()
+            .map(|(a, t)| (*a, metrics::straightness(&as_samples(t))))
+            .collect();
+        let get = |a: Agent| straightness.iter().find(|(x, _)| *x == a).unwrap().1;
+        // Selenium is perfectly straight; everyone else curves.
+        assert!(get(Agent::Selenium) > 0.999999);
+        assert!(get(Agent::Human) < 0.9999);
+        assert!(get(Agent::Naive) < 0.9999);
+        assert!(get(Agent::Hlisa) < 0.9999);
+        // All reach the same endpoints.
+        for (_, t) in &ts {
+            assert_eq!(*t.last().unwrap(), (FIG1_TO.x, FIG1_TO.y));
+        }
+    }
+
+    #[test]
+    fn figure2_distributions_match_the_paper() {
+        let clouds = figure2_clicks(7, 40);
+        let get = |a: Agent| clouds.iter().find(|c| c.agent == a).unwrap();
+        // Selenium: every click dead centre.
+        assert!((get(Agent::Selenium).exact_center_fraction() - 1.0).abs() < 1e-9);
+        assert!(get(Agent::Selenium).x_spread() < 1e-9);
+        // Humans: distributed but hardly ever centred.
+        assert!(get(Agent::Human).exact_center_fraction() < 0.2);
+        assert!(get(Agent::Human).x_spread() > 0.05);
+        // Naive: wider (uniform) spread than human/HLISA.
+        assert!(get(Agent::Naive).x_spread() > get(Agent::Human).x_spread());
+        assert!(get(Agent::Naive).x_spread() > get(Agent::Hlisa).x_spread());
+        // HLISA: spread comparable to human (same distribution family).
+        let ratio = get(Agent::Hlisa).x_spread() / get(Agent::Human).x_spread();
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn reports_render() {
+        let r1 = figure1_report(1);
+        assert!(r1.contains("Selenium"));
+        assert!(r1.contains("CSV"));
+        let r2 = figure2_report(1, 12);
+        assert!(r2.contains("HLISA"));
+    }
+}

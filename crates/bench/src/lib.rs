@@ -1,0 +1,26 @@
+//! Experiment harness: one regenerator per table and figure of the paper.
+//!
+//! Each `pub fn` returns a structured result *and* a formatted report; the
+//! thin binaries in `src/bin/` print the reports. Mapping:
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Table 1 (spoofing side effects) | [`table1`] | `table1` |
+//! | Table 2 (screenshot evaluation) | [`fieldstudy`] | `table2` |
+//! | Figure 4 / Appendix B (HTTP errors) | [`fieldstudy`] | `figure4` |
+//! | Figure 1 (cursor trajectories) | [`figures`] | `figure1` |
+//! | Figure 2 (click distributions) | [`figures`] | `figure2` |
+//! | Figure 3 (arms race) | [`figure3`] | `figure3` |
+//! | Table 3 (the HLISA API) | [`table3`] | `table3` |
+//! | Table 4 / Appendix G (tool comparison) | [`table4`] | `table4` |
+//! | Appendix C/D (events & granularity) | [`appendix_d`] | `appendix_d` |
+//! | Design-choice ablations | [`ablations`] | `ablations` |
+
+pub mod ablations;
+pub mod appendix_d;
+pub mod fieldstudy;
+pub mod figure3;
+pub mod figures;
+pub mod table1;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,102 @@
+//! Table 1 regenerator: detectable side effects by spoofing method.
+
+use hlisa_detect::{probe_side_effects, SideEffect};
+use hlisa_jsom::{build_firefox_world, BrowserFlavor, Value};
+use hlisa_spoof::SpoofMethod;
+use hlisa_stats::ascii::format_table;
+
+/// The computed matrix: for each side effect, which methods exhibit it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Result {
+    /// (side effect, \[method 1..4 exhibits it\]).
+    pub rows: Vec<(SideEffect, [bool; 4])>,
+}
+
+impl Table1Result {
+    /// The matrix the paper reports (Table 1).
+    pub fn paper_expected() -> Vec<(SideEffect, [bool; 4])> {
+        vec![
+            (SideEffect::IncorrectNavigatorOrder, [true, true, false, false]),
+            (SideEffect::ModifiedNavigatorLength, [true, true, false, false]),
+            (SideEffect::NewObjectKeys, [true, true, false, false]),
+            (SideEffect::DefinedProtoWebdriver, [false, false, true, false]),
+            (SideEffect::UnnamedNavigatorFunctions, [false, false, false, true]),
+        ]
+    }
+
+    /// True when the measured matrix equals the paper's.
+    pub fn matches_paper(&self) -> bool {
+        self.rows == Self::paper_expected()
+    }
+}
+
+/// Runs the §3.1 experiment: spoof `navigator.webdriver = false` in a
+/// WebDriver Firefox with each method, then run the five probes.
+pub fn run() -> Table1Result {
+    let mut per_method: Vec<Vec<SideEffect>> = Vec::new();
+    for method in SpoofMethod::ALL {
+        let mut world = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        method
+            .apply(&mut world, "webdriver", Value::Bool(false))
+            .expect("spoofing applies");
+        per_method.push(probe_side_effects(&mut world));
+    }
+    let rows = SideEffect::ALL
+        .iter()
+        .map(|se| {
+            let mut marks = [false; 4];
+            for (i, found) in per_method.iter().enumerate() {
+                marks[i] = found.contains(se);
+            }
+            (*se, marks)
+        })
+        .collect();
+    Table1Result { rows }
+}
+
+/// Formats the result like the paper's Table 1.
+pub fn report(result: &Table1Result) -> String {
+    let mut out = String::from("Table 1: Detectable side effects by spoofing methods\n\n");
+    let header = ["Side effect", "1", "2", "3", "4"];
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|(se, marks)| {
+            let mut row = vec![se.label().to_string()];
+            row.extend(marks.iter().map(|m| if *m { "x" } else { "" }.to_string()));
+            row
+        })
+        .collect();
+    out.push_str(&format_table(&header, &rows));
+    out.push_str("\nMethods: 1=defineProperty  2=__defineGetter__  3=setPrototypeOf  4=Proxy objects\n");
+    out.push_str(&format!(
+        "Matches the paper's matrix: {}\n",
+        if result.matches_paper() { "YES" } else { "NO" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_matrix_matches_paper_exactly() {
+        let r = run();
+        assert!(
+            r.matches_paper(),
+            "measured: {:#?}\nexpected: {:#?}",
+            r.rows,
+            Table1Result::paper_expected()
+        );
+    }
+
+    #[test]
+    fn report_mentions_every_method() {
+        let s = report(&run());
+        for needle in ["defineProperty", "__defineGetter__", "setPrototypeOf", "Proxy"] {
+            assert!(s.contains(needle));
+        }
+        assert!(s.contains("YES"));
+    }
+}

@@ -1,0 +1,956 @@
+//! The browser: pages, clock, input pipeline, and event dispatch.
+
+use crate::clock::SimClock;
+use crate::dom::{Document, NodeId};
+use crate::events::{DomEvent, EventKind, EventPayload, MouseButton};
+use crate::geometry::Point;
+use crate::input::RawInput;
+use crate::recorder::EventRecorder;
+use crate::viewport::{ScrollOrigin, Viewport};
+use hlisa_jsom::{build_firefox_world, BrowserFlavor, World};
+
+/// Static browser configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrowserConfig {
+    /// Viewport width (px).
+    pub viewport_width: f64,
+    /// Viewport height (px).
+    pub viewport_height: f64,
+    /// Maximum interval between two clicks to count as a double click.
+    /// Windows defaults to 500 ms; the paper measured 600 ms under
+    /// Selenium's environment (Appendix D).
+    pub double_click_interval_ms: f64,
+    /// Minimum interval between dispatched `mousemove` events. Firefox
+    /// coalesces pointer samples to the paint cadence; Appendix D found the
+    /// event API "too coarse to register every detail of normal mouse
+    /// movement".
+    pub mousemove_min_interval_ms: f64,
+    /// JS flavour the page world is built as.
+    pub flavor: BrowserFlavor,
+}
+
+impl BrowserConfig {
+    /// A regular desktop Firefox.
+    pub fn regular() -> Self {
+        Self {
+            viewport_width: 1280.0,
+            viewport_height: 720.0,
+            double_click_interval_ms: 500.0,
+            mousemove_min_interval_ms: 16.0,
+            flavor: BrowserFlavor::RegularFirefox,
+        }
+    }
+
+    /// A WebDriver-automated Firefox (the OpenWPM client): webdriver flag
+    /// set, and the 600 ms double-click interval the paper measured.
+    pub fn webdriver() -> Self {
+        Self {
+            double_click_interval_ms: 600.0,
+            flavor: BrowserFlavor::WebDriverFirefox,
+            ..Self::regular()
+        }
+    }
+}
+
+/// A loaded page plus interaction state.
+#[derive(Debug, Clone)]
+pub struct Browser {
+    config: BrowserConfig,
+    /// The page JS world (spoofing targets live here).
+    pub world: World,
+    document: Document,
+    /// The viewport over the current document.
+    pub viewport: Viewport,
+    clock: SimClock,
+    /// Recorded events ("the page's listeners").
+    pub recorder: EventRecorder,
+    mouse: Point,
+    pending_move: Option<Point>,
+    last_move_dispatch_ms: f64,
+    buttons_down: Vec<(MouseButton, Option<NodeId>)>,
+    keys_down: Vec<String>,
+    last_click: Option<(f64, Option<NodeId>)>,
+    focused: Option<NodeId>,
+    visible: bool,
+}
+
+impl Browser {
+    /// Opens a browser on the given document.
+    pub fn open(config: BrowserConfig, document: Document) -> Self {
+        let viewport = Viewport::new(
+            config.viewport_width,
+            config.viewport_height,
+            document.page_height,
+        );
+        let world = build_firefox_world(config.flavor);
+        Self {
+            config,
+            world,
+            document,
+            viewport,
+            clock: SimClock::new(),
+            recorder: EventRecorder::new(),
+            // The OS hands a fresh window a cursor at the origin — the
+            // "mouse movement starting at (0,0)" signal of Appendix F.
+            mouse: Point::new(0.0, 0.0),
+            pending_move: None,
+            last_move_dispatch_ms: f64::NEG_INFINITY,
+            buttons_down: Vec::new(),
+            keys_down: Vec::new(),
+            last_click: None,
+            focused: None,
+            visible: true,
+        }
+    }
+
+    /// Navigates to a new document. Interaction state carries over (the
+    /// cursor stays where the OS left it) but the event trace resets.
+    pub fn navigate(&mut self, document: Document) {
+        self.viewport = Viewport::new(
+            self.config.viewport_width,
+            self.config.viewport_height,
+            document.page_height,
+        );
+        self.world = build_firefox_world(self.config.flavor);
+        self.document = document;
+        self.recorder.clear();
+        self.pending_move = None;
+        self.buttons_down.clear();
+        self.keys_down.clear();
+        self.last_click = None;
+        self.focused = None;
+    }
+
+    /// The loaded document.
+    pub fn document(&self) -> &Document {
+        &self.document
+    }
+
+    /// Mutable access (page dynamics like moving click targets).
+    pub fn document_mut(&mut self) -> &mut Document {
+        &mut self.document
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BrowserConfig {
+        &self.config
+    }
+
+    /// Current cursor position (page coordinates).
+    pub fn mouse_position(&self) -> Point {
+        self.mouse
+    }
+
+    /// Currently focused element.
+    pub fn focused(&self) -> Option<NodeId> {
+        self.focused
+    }
+
+    /// Whether the page is visible.
+    pub fn is_visible(&self) -> bool {
+        self.visible
+    }
+
+    /// Buttons currently held down (the WebDriver "release actions"
+    /// endpoint needs to know what to let go of).
+    pub fn pressed_buttons(&self) -> Vec<MouseButton> {
+        self.buttons_down.iter().map(|(b, _)| *b).collect()
+    }
+
+    /// Keys currently held down.
+    pub fn pressed_keys(&self) -> Vec<String> {
+        self.keys_down.clone()
+    }
+
+    /// Simulated now (ms).
+    pub fn now_ms(&self) -> f64 {
+        self.clock.now_ms()
+    }
+
+    /// Advances simulated time (drivers pace their input with this).
+    pub fn advance(&mut self, delta_ms: f64) {
+        self.clock.advance(delta_ms);
+    }
+
+    /// Injects one raw input item at the current simulated time.
+    pub fn input(&mut self, raw: RawInput) {
+        match raw {
+            RawInput::MouseMove { x, y } => self.on_mouse_move(x, y),
+            RawInput::MouseDown { button } => self.on_mouse_down(button),
+            RawInput::MouseUp { button } => self.on_mouse_up(button),
+            RawInput::KeyDown { key } => self.on_key_down(key),
+            RawInput::KeyUp { key } => self.on_key_up(key),
+            RawInput::WheelTick { direction } => {
+                let delta = f64::from(direction.signum()) * crate::viewport::WHEEL_TICK_PX;
+                self.on_wheel(delta);
+            }
+            RawInput::WheelDelta { delta_y } => self.on_wheel(delta_y),
+            RawInput::ScrollFrom { origin, amount } => self.on_scroll_from(origin, amount),
+            RawInput::TouchStart { x, y } => {
+                let target = self.document.hit_test(Point::new(x, y));
+                self.dispatch(EventKind::TouchStart, target, EventPayload::Mouse {
+                    x,
+                    y,
+                    button: MouseButton::Left,
+                });
+            }
+            RawInput::TouchEnd => {
+                self.dispatch(EventKind::TouchEnd, None, EventPayload::None);
+            }
+            RawInput::Minimize => {
+                if self.visible {
+                    self.visible = false;
+                    self.dispatch(
+                        EventKind::VisibilityChange,
+                        None,
+                        EventPayload::Visibility { visible: false },
+                    );
+                    self.dispatch(EventKind::Blur, self.focused, EventPayload::None);
+                }
+            }
+            RawInput::Restore => {
+                if !self.visible {
+                    self.visible = true;
+                    self.dispatch(
+                        EventKind::VisibilityChange,
+                        None,
+                        EventPayload::Visibility { visible: true },
+                    );
+                    self.dispatch(EventKind::Focus, self.focused, EventPayload::None);
+                }
+            }
+            RawInput::Resize { width, height } => {
+                let scroll = self.viewport.scroll_y();
+                self.viewport = Viewport::new(width, height, self.document.page_height);
+                self.viewport.scroll_to(scroll);
+                self.dispatch(EventKind::Resize, None, EventPayload::None);
+            }
+        }
+    }
+
+    /// Convenience: advance time, then inject.
+    pub fn input_after(&mut self, delta_ms: f64, raw: RawInput) {
+        self.advance(delta_ms);
+        self.input(raw);
+    }
+
+    // -----------------------------------------------------------------
+    // Pipeline internals
+    // -----------------------------------------------------------------
+
+    fn dispatch(&mut self, kind: EventKind, target: Option<NodeId>, payload: EventPayload) {
+        self.recorder.record(DomEvent {
+            kind,
+            timestamp_ms: self.clock.observable_now_ms(),
+            target,
+            payload,
+        });
+    }
+
+    fn on_mouse_move(&mut self, x: f64, y: f64) {
+        // An OS cursor cannot leave the desktop; clamp to the page box so
+        // no impossible coordinates ever reach page listeners.
+        let x = x.clamp(0.0, self.document.page_width);
+        let y = y.clamp(0.0, self.document.page_height);
+        self.mouse = Point::new(x, y);
+        let now = self.clock.now_ms();
+        if now - self.last_move_dispatch_ms >= self.config.mousemove_min_interval_ms {
+            self.last_move_dispatch_ms = now;
+            self.pending_move = None;
+            let target = self.document.hit_test(self.mouse);
+            // Firefox dispatches the pointer-events layer first.
+            self.dispatch(
+                EventKind::PointerMove,
+                target,
+                EventPayload::Mouse {
+                    x,
+                    y,
+                    button: MouseButton::Left,
+                },
+            );
+            self.dispatch(
+                EventKind::MouseMove,
+                target,
+                EventPayload::Mouse {
+                    x,
+                    y,
+                    button: MouseButton::Left,
+                },
+            );
+        } else {
+            // Coalesced: remember it so a button event flushes the final
+            // position first (browsers never press at an unreported spot).
+            self.pending_move = Some(self.mouse);
+        }
+    }
+
+    fn flush_pending_move(&mut self) {
+        if let Some(p) = self.pending_move.take() {
+            self.last_move_dispatch_ms = self.clock.now_ms();
+            let target = self.document.hit_test(p);
+            self.dispatch(
+                EventKind::PointerMove,
+                target,
+                EventPayload::Mouse {
+                    x: p.x,
+                    y: p.y,
+                    button: MouseButton::Left,
+                },
+            );
+            self.dispatch(
+                EventKind::MouseMove,
+                target,
+                EventPayload::Mouse {
+                    x: p.x,
+                    y: p.y,
+                    button: MouseButton::Left,
+                },
+            );
+        }
+    }
+
+    fn on_mouse_down(&mut self, button: MouseButton) {
+        self.flush_pending_move();
+        let target = self.document.hit_test(self.mouse);
+        self.buttons_down.push((button, target));
+        self.dispatch(
+            EventKind::PointerDown,
+            target,
+            EventPayload::Mouse {
+                x: self.mouse.x,
+                y: self.mouse.y,
+                button,
+            },
+        );
+        self.dispatch(
+            EventKind::MouseDown,
+            target,
+            EventPayload::Mouse {
+                x: self.mouse.x,
+                y: self.mouse.y,
+                button,
+            },
+        );
+        // Focus follows the primary button press.
+        if button == MouseButton::Left {
+            let focus_target = target.filter(|id| self.document.element(*id).focusable);
+            if focus_target != self.focused {
+                if self.focused.is_some() {
+                    self.dispatch(EventKind::Blur, self.focused, EventPayload::None);
+                }
+                self.focused = focus_target;
+                if focus_target.is_some() {
+                    self.dispatch(EventKind::Focus, focus_target, EventPayload::None);
+                }
+            }
+        }
+        // Linux Firefox fires contextmenu on the right-button press.
+        if button == MouseButton::Right {
+            self.dispatch(
+                EventKind::ContextMenu,
+                target,
+                EventPayload::Mouse {
+                    x: self.mouse.x,
+                    y: self.mouse.y,
+                    button,
+                },
+            );
+        }
+    }
+
+    fn on_mouse_up(&mut self, button: MouseButton) {
+        self.flush_pending_move();
+        let up_target = self.document.hit_test(self.mouse);
+        let down_entry = self
+            .buttons_down
+            .iter()
+            .position(|(b, _)| *b == button)
+            .map(|i| self.buttons_down.remove(i));
+        self.dispatch(
+            EventKind::PointerUp,
+            up_target,
+            EventPayload::Mouse {
+                x: self.mouse.x,
+                y: self.mouse.y,
+                button,
+            },
+        );
+        self.dispatch(
+            EventKind::MouseUp,
+            up_target,
+            EventPayload::Mouse {
+                x: self.mouse.x,
+                y: self.mouse.y,
+                button,
+            },
+        );
+        let Some((_, down_target)) = down_entry else {
+            return; // spurious up
+        };
+        // A click requires press and release on the same element.
+        if down_target != up_target {
+            return;
+        }
+        match button {
+            MouseButton::Left => {
+                if let Some(el) = up_target {
+                    let r = self.document.element(el).rect;
+                    if r.width > 0.0 && r.height > 0.0 {
+                        let c = r.center();
+                        let off = (((self.mouse.x - c.x) / r.width).powi(2)
+                            + ((self.mouse.y - c.y) / r.height).powi(2))
+                        .sqrt();
+                        self.recorder.record_click_offset(off);
+                    }
+                }
+                self.dispatch(
+                    EventKind::Click,
+                    up_target,
+                    EventPayload::Mouse {
+                        x: self.mouse.x,
+                        y: self.mouse.y,
+                        button,
+                    },
+                );
+                let now = self.clock.observable_now_ms();
+                if let Some((prev_t, prev_target)) = self.last_click {
+                    if prev_target == up_target
+                        && now - prev_t <= self.config.double_click_interval_ms
+                    {
+                        self.dispatch(
+                            EventKind::DblClick,
+                            up_target,
+                            EventPayload::Mouse {
+                                x: self.mouse.x,
+                                y: self.mouse.y,
+                                button,
+                            },
+                        );
+                        self.last_click = None;
+                        return;
+                    }
+                }
+                self.last_click = Some((now, up_target));
+            }
+            MouseButton::Middle | MouseButton::Right => {
+                self.dispatch(
+                    EventKind::AuxClick,
+                    up_target,
+                    EventPayload::Mouse {
+                        x: self.mouse.x,
+                        y: self.mouse.y,
+                        button,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_key_down(&mut self, key: String) {
+        self.keys_down.push(key.clone());
+        let shift = self.keys_down.iter().any(|k| k == "Shift");
+        self.dispatch(
+            EventKind::KeyDown,
+            self.focused,
+            EventPayload::Key {
+                key: key.clone(),
+                shift,
+            },
+        );
+        if key == "Backspace" {
+            if let Some(f) = self.focused {
+                self.document.element_mut(f).text.pop();
+            }
+        }
+        // keypress + text insertion for printable keys.
+        if key.chars().count() == 1 {
+            self.dispatch(
+                EventKind::KeyPress,
+                self.focused,
+                EventPayload::Key {
+                    key: key.clone(),
+                    shift,
+                },
+            );
+            if let Some(f) = self.focused {
+                self.document.element_mut(f).text.push_str(&key);
+            }
+        }
+    }
+
+    fn on_key_up(&mut self, key: String) {
+        if let Some(pos) = self.keys_down.iter().position(|k| *k == key) {
+            self.keys_down.remove(pos);
+        }
+        let shift = self.keys_down.iter().any(|k| k == "Shift");
+        self.dispatch(
+            EventKind::KeyUp,
+            self.focused,
+            EventPayload::Key { key, shift },
+        );
+    }
+
+    fn on_wheel(&mut self, delta_y: f64) {
+        self.flush_pending_move();
+        let target = self.document.hit_test(self.mouse);
+        self.dispatch(EventKind::Wheel, target, EventPayload::Wheel { delta_y });
+        let applied = self.viewport.scroll_by(delta_y);
+        if applied != 0.0 {
+            let y = self.viewport.scroll_y();
+            self.dispatch(EventKind::Scroll, None, EventPayload::Scroll { scroll_y: y });
+        }
+    }
+
+    fn on_scroll_from(&mut self, origin: ScrollOrigin, amount: f64) {
+        let applied = match origin {
+            ScrollOrigin::ScrollBar
+            | ScrollOrigin::Find
+            | ScrollOrigin::Anchor
+            | ScrollOrigin::Script => {
+                if self.viewport.smooth_scrolling {
+                    self.smooth_scroll_to(amount);
+                    return;
+                }
+                self.viewport.scroll_to(amount)
+            }
+            ScrollOrigin::Wheel => {
+                // Wheel scrolls go through on_wheel for the wheel event.
+                self.on_wheel(amount * crate::viewport::WHEEL_TICK_PX);
+                return;
+            }
+            stepped => {
+                let step = self.viewport.origin_step(stepped);
+                self.viewport.scroll_by(step * amount)
+            }
+        };
+        if applied != 0.0 {
+            let y = self.viewport.scroll_y();
+            self.dispatch(EventKind::Scroll, None, EventPayload::Scroll { scroll_y: y });
+        }
+    }
+
+    /// Animates an absolute scroll the way Firefox's smooth scrolling
+    /// does: ~350 ms of eased 16 ms frames, each dispatching its own
+    /// scroll event.
+    fn smooth_scroll_to(&mut self, target_y: f64) {
+        let start = self.viewport.scroll_y();
+        let clamped = target_y.clamp(0.0, self.viewport.max_scroll_y());
+        if (clamped - start).abs() < 1.0 {
+            return;
+        }
+        const FRAMES: usize = 22; // ≈350 ms at 16 ms/frame
+        for i in 1..=FRAMES {
+            let tau = i as f64 / FRAMES as f64;
+            // Ease-out cubic, Gecko-like.
+            let eased = 1.0 - (1.0 - tau).powi(3);
+            let y = start + (clamped - start) * eased;
+            self.advance(16.0);
+            let moved = self.viewport.scroll_to(y);
+            if moved != 0.0 {
+                let pos = self.viewport.scroll_y();
+                self.dispatch(EventKind::Scroll, None, EventPayload::Scroll { scroll_y: pos });
+            }
+        }
+    }
+
+    /// Scrolls until the element's box is inside the viewport, using the
+    /// given origin (Selenium uses [`ScrollOrigin::Script`]; a human drags
+    /// the wheel). Returns the final scroll offset.
+    pub fn scroll_element_into_view(&mut self, id: NodeId, origin: ScrollOrigin) -> f64 {
+        let rect = self.document.element(id).rect;
+        if self.viewport.is_y_visible(rect.y)
+            && self.viewport.is_y_visible(rect.y + rect.height - 1.0)
+        {
+            return self.viewport.scroll_y();
+        }
+        let desired = (rect.y - self.viewport.height / 3.0).max(0.0);
+        match origin {
+            ScrollOrigin::Script | ScrollOrigin::Anchor | ScrollOrigin::Find
+            | ScrollOrigin::ScrollBar => {
+                self.on_scroll_from(origin, desired);
+            }
+            _ => {
+                // Step until visible (bounded by page size).
+                let step = self.viewport.origin_step(origin).max(1.0);
+                let dir = if desired > self.viewport.scroll_y() { 1.0 } else { -1.0 };
+                let mut guard = 0;
+                while (self.viewport.scroll_y() - desired).abs() > step
+                    && guard < 10_000
+                {
+                    if origin == ScrollOrigin::Wheel {
+                        self.on_wheel(dir * crate::viewport::WHEEL_TICK_PX);
+                    } else {
+                        self.on_scroll_from(origin, dir);
+                    }
+                    self.advance(16.0);
+                    guard += 1;
+                }
+            }
+        }
+        self.viewport.scroll_y()
+    }
+
+    /// Where the element's centre currently is, in page coordinates.
+    pub fn element_center(&self, id: NodeId) -> Point {
+        self.document.element(id).rect.center()
+    }
+
+    /// Dispatches a *synthetic* click on an element — the DOM
+    /// `element.click()` path Selenium falls back to for obscured
+    /// elements. No pointer movement, no mousedown/mouseup, and it works
+    /// on hidden elements: exactly the signals honey-element detectors
+    /// watch for (§4.2 "adding honey elements").
+    pub fn synthetic_click(&mut self, id: NodeId) {
+        let c = self.document.element(id).rect.center();
+        let r = self.document.element(id).rect;
+        if r.width > 0.0 && r.height > 0.0 {
+            // A synthetic click reports the exact centre.
+            self.recorder.record_click_offset(0.0);
+        }
+        self.dispatch(
+            EventKind::Click,
+            Some(id),
+            EventPayload::Mouse {
+                x: c.x,
+                y: c.y,
+                button: MouseButton::Left,
+            },
+        );
+    }
+
+    /// Enables Firefox's smooth-scrolling setting: large programmatic
+    /// scrolls are animated as a burst of eased intermediate scroll
+    /// events instead of one jump (the refinement the paper's future-work
+    /// section says HLISA should account for).
+    pub fn set_smooth_scrolling(&mut self, on: bool) {
+        self.viewport.smooth_scrolling = on;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::standard_test_page;
+    use crate::events::EventKind;
+
+    fn browser() -> Browser {
+        Browser::open(
+            BrowserConfig::regular(),
+            standard_test_page("https://example.test/", 30_000.0),
+        )
+    }
+
+    #[test]
+    fn cursor_starts_at_origin() {
+        let b = browser();
+        assert_eq!(b.mouse_position(), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn click_sequence_down_up_click() {
+        let mut b = browser();
+        let button = b.document().by_id("submit").unwrap();
+        let c = b.element_center(button);
+        b.input_after(100.0, RawInput::MouseMove { x: c.x, y: c.y });
+        b.input_after(5.0, RawInput::MouseDown { button: MouseButton::Left });
+        b.input_after(80.0, RawInput::MouseUp { button: MouseButton::Left });
+        let kinds: Vec<EventKind> = b.recorder.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::MouseDown));
+        assert!(kinds.contains(&EventKind::MouseUp));
+        assert!(kinds.contains(&EventKind::Click));
+        let clicks = b.recorder.clicks();
+        assert_eq!(clicks.len(), 1);
+        assert!((clicks[0].dwell_ms - 80.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn double_click_requires_interval() {
+        let mut b = browser();
+        let button = b.document().by_id("submit").unwrap();
+        let c = b.element_center(button);
+        b.input_after(20.0, RawInput::MouseMove { x: c.x, y: c.y });
+        for gap in [10.0, 60.0] {
+            b.input_after(gap, RawInput::MouseDown { button: MouseButton::Left });
+            b.input_after(50.0, RawInput::MouseUp { button: MouseButton::Left });
+            let _ = gap;
+        }
+        assert_eq!(b.recorder.of_kind(EventKind::DblClick).len(), 1);
+
+        // Beyond the interval: no dblclick.
+        let mut b2 = browser();
+        b2.input_after(20.0, RawInput::MouseMove { x: c.x, y: c.y });
+        b2.input_after(10.0, RawInput::MouseDown { button: MouseButton::Left });
+        b2.input_after(50.0, RawInput::MouseUp { button: MouseButton::Left });
+        b2.advance(800.0);
+        b2.input(RawInput::MouseDown { button: MouseButton::Left });
+        b2.input_after(50.0, RawInput::MouseUp { button: MouseButton::Left });
+        assert!(b2.recorder.of_kind(EventKind::DblClick).is_empty());
+    }
+
+    #[test]
+    fn selenium_config_widens_double_click_window() {
+        let cfg = BrowserConfig::webdriver();
+        assert_eq!(cfg.double_click_interval_ms, 600.0);
+        assert_eq!(BrowserConfig::regular().double_click_interval_ms, 500.0);
+    }
+
+    #[test]
+    fn mousemove_coalescing_limits_rate() {
+        let mut b = browser();
+        // 100 raw samples 1 ms apart — far above the 16 ms dispatch cadence.
+        for i in 0..100 {
+            b.input_after(1.0, RawInput::MouseMove {
+                x: f64::from(i),
+                y: 0.0,
+            });
+        }
+        let moves = b.recorder.of_kind(EventKind::MouseMove).len();
+        assert!(moves <= 8, "dispatched {moves} moves for 100 samples");
+        // Position is still tracked exactly.
+        assert_eq!(b.mouse_position().x, 99.0);
+    }
+
+    #[test]
+    fn pending_move_flushes_before_button() {
+        let mut b = browser();
+        b.input_after(20.0, RawInput::MouseMove { x: 50.0, y: 50.0 });
+        // Below the coalescing interval — no event yet...
+        b.input_after(1.0, RawInput::MouseMove { x: 51.0, y: 50.0 });
+        b.input(RawInput::MouseDown { button: MouseButton::Left });
+        let evs = b.recorder.events();
+        // ... but the press is preceded by a move reporting (51, 50).
+        let down_idx = evs.iter().position(|e| e.kind == EventKind::MouseDown).unwrap();
+        let last_move = evs[..down_idx]
+            .iter()
+            .rev()
+            .find(|e| e.kind == EventKind::MouseMove)
+            .unwrap();
+        match &last_move.payload {
+            EventPayload::Mouse { x, .. } => assert_eq!(*x, 51.0),
+            _ => panic!("mouse payload expected"),
+        }
+    }
+
+    #[test]
+    fn typing_focuses_and_fills_input() {
+        let mut b = browser();
+        let input = b.document().by_id("text_area").unwrap();
+        let c = b.element_center(input);
+        b.input_after(50.0, RawInput::MouseMove { x: c.x, y: c.y });
+        b.input_after(10.0, RawInput::MouseDown { button: MouseButton::Left });
+        b.input_after(70.0, RawInput::MouseUp { button: MouseButton::Left });
+        assert_eq!(b.focused(), Some(input));
+        for k in ["h", "i"] {
+            b.input_after(100.0, RawInput::KeyDown { key: k.into() });
+            b.input_after(80.0, RawInput::KeyUp { key: k.into() });
+        }
+        assert_eq!(b.document().element(input).text, "hi");
+        assert_eq!(b.recorder.keystrokes().len(), 2);
+    }
+
+    #[test]
+    fn shift_flag_reflects_modifier_state() {
+        let mut b = browser();
+        let input = b.document().by_id("text_area").unwrap();
+        let c = b.element_center(input);
+        b.input_after(50.0, RawInput::MouseMove { x: c.x, y: c.y });
+        b.input_after(10.0, RawInput::MouseDown { button: MouseButton::Left });
+        b.input_after(70.0, RawInput::MouseUp { button: MouseButton::Left });
+        b.input_after(50.0, RawInput::KeyDown { key: "Shift".into() });
+        b.input_after(40.0, RawInput::KeyDown { key: "H".into() });
+        let shifted = b
+            .recorder
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::KeyDown)
+            .filter_map(|e| match &e.payload {
+                EventPayload::Key { key, shift } if key == "H" => Some(*shift),
+                _ => None,
+            })
+            .next()
+            .unwrap();
+        assert!(shifted);
+    }
+
+    #[test]
+    fn wheel_tick_scrolls_57px_and_fires_both_events() {
+        let mut b = browser();
+        b.input_after(10.0, RawInput::WheelTick { direction: 1 });
+        assert_eq!(b.viewport.scroll_y(), 57.0);
+        assert_eq!(b.recorder.wheel_count(), 1);
+        assert_eq!(b.recorder.of_kind(EventKind::Scroll).len(), 1);
+    }
+
+    #[test]
+    fn script_scroll_has_no_wheel_event() {
+        let mut b = browser();
+        b.input_after(10.0, RawInput::ScrollFrom {
+            origin: ScrollOrigin::Script,
+            amount: 2_000.0,
+        });
+        assert_eq!(b.viewport.scroll_y(), 2_000.0);
+        assert_eq!(b.recorder.wheel_count(), 0);
+        assert_eq!(b.recorder.of_kind(EventKind::Scroll).len(), 1);
+    }
+
+    #[test]
+    fn minimize_fires_visibilitychange_and_blur() {
+        let mut b = browser();
+        b.input_after(10.0, RawInput::Minimize);
+        assert!(!b.is_visible());
+        assert_eq!(b.recorder.of_kind(EventKind::VisibilityChange).len(), 1);
+        assert_eq!(b.recorder.of_kind(EventKind::Blur).len(), 1);
+        b.input_after(10.0, RawInput::Restore);
+        assert!(b.is_visible());
+        assert_eq!(b.recorder.of_kind(EventKind::VisibilityChange).len(), 2);
+    }
+
+    #[test]
+    fn scroll_into_view_wheel_steps_by_ticks() {
+        let mut b = browser();
+        let target = b.document().by_id("section-end").unwrap();
+        let final_y = b.scroll_element_into_view(target, ScrollOrigin::Wheel);
+        assert!(final_y > 0.0);
+        let rect_y = b.document().element(target).rect.y;
+        assert!(b.viewport.is_y_visible(rect_y));
+        // Every wheel scroll delta is exactly one tick.
+        for d in b.recorder.scroll_deltas() {
+            assert!((d.abs() - 57.0).abs() < 1e-9, "delta {d}");
+        }
+        assert!(b.recorder.wheel_count() > 100);
+    }
+
+    #[test]
+    fn navigate_resets_trace_but_not_cursor() {
+        let mut b = browser();
+        b.input_after(30.0, RawInput::MouseMove { x: 200.0, y: 200.0 });
+        b.navigate(standard_test_page("https://two.test/", 5_000.0));
+        assert!(b.recorder.is_empty());
+        assert_eq!(b.mouse_position(), Point::new(200.0, 200.0));
+        assert_eq!(b.document().url, "https://two.test/");
+    }
+
+    #[test]
+    fn right_press_fires_contextmenu() {
+        let mut b = browser();
+        b.input_after(30.0, RawInput::MouseMove { x: 160.0, y: 500.0 });
+        b.input_after(10.0, RawInput::MouseDown { button: MouseButton::Right });
+        b.input_after(60.0, RawInput::MouseUp { button: MouseButton::Right });
+        assert_eq!(b.recorder.of_kind(EventKind::ContextMenu).len(), 1);
+        assert_eq!(b.recorder.of_kind(EventKind::AuxClick).len(), 1);
+        assert!(b.recorder.of_kind(EventKind::Click).is_empty());
+    }
+
+    #[test]
+    fn click_requires_same_target_for_down_and_up() {
+        let mut b = browser();
+        let button = b.document().by_id("submit").unwrap();
+        let c = b.element_center(button);
+        b.input_after(30.0, RawInput::MouseMove { x: c.x, y: c.y });
+        b.input_after(10.0, RawInput::MouseDown { button: MouseButton::Left });
+        // Drag off the element before releasing.
+        b.input_after(40.0, RawInput::MouseMove { x: c.x + 400.0, y: c.y + 100.0 });
+        b.input_after(40.0, RawInput::MouseUp { button: MouseButton::Left });
+        assert!(b.recorder.of_kind(EventKind::Click).is_empty());
+    }
+
+    #[test]
+    fn pointer_is_clamped_to_the_page() {
+        let mut b = browser();
+        b.input_after(30.0, RawInput::MouseMove { x: -50.0, y: -10.0 });
+        assert_eq!(b.mouse_position(), Point::new(0.0, 0.0));
+        b.input_after(30.0, RawInput::MouseMove { x: 1e9, y: 1e9 });
+        let p = b.mouse_position();
+        assert_eq!((p.x, p.y), (1280.0, 30_000.0));
+    }
+
+    #[test]
+    fn pointer_events_precede_mouse_events() {
+        let mut b = browser();
+        b.input_after(30.0, RawInput::MouseMove { x: 50.0, y: 50.0 });
+        b.input_after(30.0, RawInput::MouseDown { button: MouseButton::Left });
+        b.input_after(60.0, RawInput::MouseUp { button: MouseButton::Left });
+        let evs = b.recorder.events();
+        for (ptr, mouse) in [
+            (EventKind::PointerMove, EventKind::MouseMove),
+            (EventKind::PointerDown, EventKind::MouseDown),
+            (EventKind::PointerUp, EventKind::MouseUp),
+        ] {
+            let pi = evs.iter().position(|e| e.kind == ptr).unwrap();
+            let mi = evs.iter().position(|e| e.kind == mouse).unwrap();
+            assert!(pi < mi, "{ptr:?} must precede {mouse:?}");
+            assert_eq!(
+                b.recorder.of_kind(ptr).len(),
+                b.recorder.of_kind(mouse).len(),
+                "layer counts must match for {ptr:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backspace_edits_focused_text() {
+        let mut b = browser();
+        let input = b.document().by_id("text_area").unwrap();
+        let c = b.element_center(input);
+        b.input_after(50.0, RawInput::MouseMove { x: c.x, y: c.y });
+        b.input_after(10.0, RawInput::MouseDown { button: MouseButton::Left });
+        b.input_after(70.0, RawInput::MouseUp { button: MouseButton::Left });
+        for k in ["a", "b", "c"] {
+            b.input_after(80.0, RawInput::KeyDown { key: k.into() });
+            b.input_after(60.0, RawInput::KeyUp { key: k.into() });
+        }
+        b.input_after(80.0, RawInput::KeyDown { key: "Backspace".into() });
+        b.input_after(60.0, RawInput::KeyUp { key: "Backspace".into() });
+        assert_eq!(b.document().element(input).text, "ab");
+    }
+
+    #[test]
+    fn synthetic_click_fires_without_pointer_events() {
+        let mut b = browser();
+        let honey = b.document().by_id("honey").unwrap();
+        b.advance(50.0);
+        b.synthetic_click(honey);
+        assert_eq!(b.recorder.of_kind(EventKind::Click).len(), 1);
+        assert!(b.recorder.of_kind(EventKind::MouseDown).is_empty());
+        assert!(b.recorder.of_kind(EventKind::MouseMove).is_empty());
+        // And it hit the hidden element — impossible for real input.
+        assert_eq!(
+            b.recorder.of_kind(EventKind::Click)[0].target,
+            Some(honey)
+        );
+    }
+
+    #[test]
+    fn smooth_scrolling_animates_script_jumps() {
+        let mut b = browser();
+        b.set_smooth_scrolling(true);
+        b.input_after(10.0, RawInput::ScrollFrom {
+            origin: ScrollOrigin::Script,
+            amount: 4_000.0,
+        });
+        assert!((b.viewport.scroll_y() - 4_000.0).abs() < 1.0);
+        let scrolls = b.recorder.of_kind(EventKind::Scroll).len();
+        assert!(scrolls >= 15, "only {scrolls} scroll events");
+        // Deltas shrink toward the end (ease-out).
+        let deltas = b.recorder.scroll_deltas();
+        assert!(deltas.first().unwrap() > deltas.last().unwrap());
+        // Without smoothing the same jump is a single event.
+        let mut plain = browser();
+        plain.input_after(10.0, RawInput::ScrollFrom {
+            origin: ScrollOrigin::Script,
+            amount: 4_000.0,
+        });
+        assert_eq!(plain.recorder.of_kind(EventKind::Scroll).len(), 1);
+    }
+
+    #[test]
+    fn world_flavor_matches_config() {
+        let mut bot = Browser::open(
+            BrowserConfig::webdriver(),
+            standard_test_page("u", 5_000.0),
+        );
+        let nav = bot.world.resolve_navigator();
+        let v = bot.world.realm.get(nav, "webdriver").unwrap();
+        assert_eq!(v, hlisa_jsom::Value::Bool(true));
+    }
+}

@@ -1,0 +1,269 @@
+//! DOM documents with box layout and hit testing.
+//!
+//! Detectors and interaction APIs only need the parts of a DOM that shape
+//! JS-observable interaction: element boxes (where is the click target?),
+//! z-order (what does a click at (x, y) hit?), focusability (typing
+//! targets), and page extent (how far can one scroll?).
+
+use crate::geometry::{Point, Rect};
+
+/// Index of a node in a [`Document`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw arena index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// An element node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Tag name (`"div"`, `"a"`, `"input"`, ...).
+    pub tag: String,
+    /// `id` attribute (empty if none).
+    pub id: String,
+    /// Layout box in page coordinates.
+    pub rect: Rect,
+    /// Whether the element is rendered (hidden elements cannot be
+    /// interacted with by humans — interacting with them anyway is the
+    /// "honey element" bot signal of §4.2).
+    pub visible: bool,
+    /// Whether the element can hold keyboard focus.
+    pub focusable: bool,
+    /// Anchor target name, for `<a href="#...">` scroll jumps.
+    pub anchor: Option<String>,
+    /// Text content (what typing appends to for focusable elements).
+    pub text: String,
+}
+
+/// A laid-out document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// URL the document was loaded from.
+    pub url: String,
+    nodes: Vec<Element>,
+    /// Total page width (px).
+    pub page_width: f64,
+    /// Total page height (px). Appendix E's scroll experiment uses a
+    /// 30,000 px page.
+    pub page_height: f64,
+}
+
+impl Document {
+    /// An empty page of the given size.
+    pub fn new(url: &str, page_width: f64, page_height: f64) -> Self {
+        assert!(page_width > 0.0 && page_height > 0.0, "degenerate page");
+        Self {
+            url: url.to_string(),
+            nodes: Vec::new(),
+            page_width,
+            page_height,
+        }
+    }
+
+    /// Adds an element, returning its id. Later elements paint on top
+    /// (document order = z-order, as with non-positioned CSS boxes).
+    pub fn add(&mut self, el: Element) -> NodeId {
+        self.nodes.push(el);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Borrows an element.
+    pub fn element(&self, id: NodeId) -> &Element {
+        &self.nodes[id.0]
+    }
+
+    /// Borrows an element mutably.
+    pub fn element_mut(&mut self, id: NodeId) -> &mut Element {
+        &mut self.nodes[id.0]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All node ids in document order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Finds the first element with the given `id` attribute.
+    pub fn by_id(&self, id_attr: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|e| e.id == id_attr)
+            .map(NodeId)
+    }
+
+    /// Finds all elements with the given tag.
+    pub fn by_tag(&self, tag: &str) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.tag == tag)
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Topmost visible element containing the point, if any.
+    pub fn hit_test(&self, p: Point) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, e)| e.visible && e.rect.contains(p))
+            .map(|(i, _)| NodeId(i))
+    }
+
+    /// Finds the element anchoring `name` (for `#name` navigation).
+    pub fn anchor_target(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|e| e.anchor.as_deref() == Some(name))
+            .map(NodeId)
+    }
+}
+
+/// Fluent builder for elements.
+#[derive(Debug, Clone)]
+pub struct ElementBuilder {
+    el: Element,
+}
+
+impl ElementBuilder {
+    /// Starts building an element with the given tag and box.
+    pub fn new(tag: &str, rect: Rect) -> Self {
+        Self {
+            el: Element {
+                tag: tag.to_string(),
+                id: String::new(),
+                rect,
+                visible: true,
+                focusable: false,
+                anchor: None,
+                text: String::new(),
+            },
+        }
+    }
+
+    /// Sets the `id` attribute.
+    pub fn id(mut self, id: &str) -> Self {
+        self.el.id = id.to_string();
+        self
+    }
+
+    /// Marks the element invisible (a honey element).
+    pub fn hidden(mut self) -> Self {
+        self.el.visible = false;
+        self
+    }
+
+    /// Marks the element focusable (text inputs, textareas).
+    pub fn focusable(mut self) -> Self {
+        self.el.focusable = true;
+        self
+    }
+
+    /// Names an anchor on this element.
+    pub fn anchor(mut self, name: &str) -> Self {
+        self.el.anchor = Some(name.to_string());
+        self
+    }
+
+    /// Finishes, inserting into the document.
+    pub fn insert(self, doc: &mut Document) -> NodeId {
+        doc.add(self.el)
+    }
+}
+
+/// Builds the standard test page used across the workspace's experiments:
+/// a 1280 px wide page with a button, a text area, a link with an anchor
+/// target far down the page, and one hidden honey element.
+pub fn standard_test_page(url: &str, page_height: f64) -> Document {
+    let mut doc = Document::new(url, 1280.0, page_height);
+    ElementBuilder::new("body", Rect::new(0.0, 0.0, 1280.0, page_height)).insert(&mut doc);
+    ElementBuilder::new("button", Rect::new(100.0, 480.0, 120.0, 40.0))
+        .id("submit")
+        .insert(&mut doc);
+    ElementBuilder::new("input", Rect::new(400.0, 300.0, 300.0, 30.0))
+        .id("text_area")
+        .focusable()
+        .insert(&mut doc);
+    ElementBuilder::new("a", Rect::new(900.0, 120.0, 140.0, 20.0))
+        .id("jump")
+        .insert(&mut doc);
+    ElementBuilder::new("h2", Rect::new(0.0, (page_height - 600.0).max(0.0), 400.0, 30.0))
+        .id("section-end")
+        .anchor("end")
+        .insert(&mut doc);
+    ElementBuilder::new("div", Rect::new(10.0, 10.0, 8.0, 8.0))
+        .id("honey")
+        .hidden()
+        .insert(&mut doc);
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_id_and_tag_lookup() {
+        let doc = standard_test_page("https://example.test/", 30_000.0);
+        assert!(doc.by_id("submit").is_some());
+        assert!(doc.by_id("nope").is_none());
+        assert_eq!(doc.by_tag("button").len(), 1);
+    }
+
+    #[test]
+    fn hit_test_returns_topmost_visible() {
+        let mut doc = Document::new("u", 100.0, 100.0);
+        let below = ElementBuilder::new("div", Rect::new(0.0, 0.0, 100.0, 100.0)).insert(&mut doc);
+        let above = ElementBuilder::new("button", Rect::new(40.0, 40.0, 20.0, 20.0))
+            .insert(&mut doc);
+        assert_eq!(doc.hit_test(Point::new(50.0, 50.0)), Some(above));
+        assert_eq!(doc.hit_test(Point::new(10.0, 10.0)), Some(below));
+    }
+
+    #[test]
+    fn hidden_elements_are_not_hit() {
+        let doc = standard_test_page("u", 30_000.0);
+        let honey = doc.by_id("honey").unwrap();
+        let c = doc.element(honey).rect.center();
+        // The body below it is hit instead.
+        let hit = doc.hit_test(c).unwrap();
+        assert_ne!(hit, honey);
+        assert_eq!(doc.element(hit).tag, "body");
+    }
+
+    #[test]
+    fn anchor_lookup() {
+        let doc = standard_test_page("u", 30_000.0);
+        let target = doc.anchor_target("end").unwrap();
+        assert_eq!(doc.element(target).id, "section-end");
+        assert!(doc.anchor_target("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate page")]
+    fn rejects_zero_size_page() {
+        let _ = Document::new("u", 0.0, 100.0);
+    }
+
+    #[test]
+    fn element_mut_allows_relocation() {
+        let mut doc = standard_test_page("u", 30_000.0);
+        let id = doc.by_id("submit").unwrap();
+        doc.element_mut(id).rect = Rect::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(doc.element(id).rect, Rect::new(1.0, 2.0, 3.0, 4.0));
+    }
+}

@@ -1,0 +1,343 @@
+//! The Appendix G comparison tools (Table 4).
+//!
+//! Each tool from the paper's comparison is reproduced at two levels:
+//!
+//! 1. a **feature profile** — the exact check-mark row of Table 4, used by
+//!    the `table4` regenerator; and
+//! 2. where the tool simulates mouse movement, a **motion recipe**
+//!    ([`crate::motion::MotionStyle`]) capturing its algorithm (B-spline
+//!    vs Bézier, constant vs eased speed, shiver), used by the ablation
+//!    benches to measure how each recipe fares against the detectors.
+
+use crate::motion::{CurveStyle, DurationModel, MotionStyle, VelocityProfile};
+
+/// A Table 4 feature (row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Feature {
+    /// Mouse movement functionality.
+    MouseMovement,
+    /// Realistic mouse movement speed.
+    RealisticSpeed,
+    /// Movement accelerates/decelerates.
+    AccelDecel,
+    /// Movement shivering.
+    Shivering,
+    /// Curve in movement.
+    CurvedMovement,
+    /// Moves to random location in element.
+    RandomInElementLocation,
+    /// Click functionality.
+    Clicks,
+    /// Realistic dwell time.
+    RealisticClickDwell,
+    /// Simulates accidental right click.
+    AccidentalRightClick,
+    /// Simulates accidental double click.
+    AccidentalDoubleClick,
+    /// Simulates accidental no click.
+    AccidentalNoClick,
+    /// Scrolling functionality.
+    Scrolling,
+    /// Pause between scroll ticks.
+    ScrollTickPauses,
+    /// Pause for finger replacement.
+    FingerReplacementPause,
+    /// Realistic scroll distance in tick.
+    RealisticScrollTick,
+    /// Keyboard functionality.
+    Keyboard,
+    /// Flight time.
+    FlightTime,
+    /// Dwell time.
+    KeyDwellTime,
+    /// Timings based on data.
+    DataBasedTimings,
+    /// Selenium ready.
+    SeleniumReady,
+}
+
+impl Feature {
+    /// All features in Table 4 row order.
+    pub const ALL: [Feature; 20] = [
+        Feature::MouseMovement,
+        Feature::RealisticSpeed,
+        Feature::AccelDecel,
+        Feature::Shivering,
+        Feature::CurvedMovement,
+        Feature::RandomInElementLocation,
+        Feature::Clicks,
+        Feature::RealisticClickDwell,
+        Feature::AccidentalRightClick,
+        Feature::AccidentalDoubleClick,
+        Feature::AccidentalNoClick,
+        Feature::Scrolling,
+        Feature::ScrollTickPauses,
+        Feature::FingerReplacementPause,
+        Feature::RealisticScrollTick,
+        Feature::Keyboard,
+        Feature::FlightTime,
+        Feature::KeyDwellTime,
+        Feature::DataBasedTimings,
+        Feature::SeleniumReady,
+    ];
+
+    /// Row label as printed in Table 4.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Feature::MouseMovement => "Mouse movement functionality",
+            Feature::RealisticSpeed => "Realistic mouse movement speed",
+            Feature::AccelDecel => "Movement accelerates/decellerates",
+            Feature::Shivering => "Movement shivering",
+            Feature::CurvedMovement => "Curve in movement",
+            Feature::RandomInElementLocation => "Moves to random location in element",
+            Feature::Clicks => "Click functionality",
+            Feature::RealisticClickDwell => "Realistic dwell time",
+            Feature::AccidentalRightClick => "Simulates accidental right click",
+            Feature::AccidentalDoubleClick => "Simulates accidental double click",
+            Feature::AccidentalNoClick => "Simulates accidental no click",
+            Feature::Scrolling => "Scrolling functionality",
+            Feature::ScrollTickPauses => "Pause between scroll ticks",
+            Feature::FingerReplacementPause => "Pause for finger replacement",
+            Feature::RealisticScrollTick => "Realistic scroll distance in tick",
+            Feature::Keyboard => "Keyboard functionality",
+            Feature::FlightTime => "Flight time",
+            Feature::KeyDwellTime => "Dwell time",
+            Feature::DataBasedTimings => "Timings based on data",
+            Feature::SeleniumReady => "Selenium ready",
+        }
+    }
+}
+
+/// One column of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tool {
+    /// "Human-like mouse movement" StackOverflow answer (B-spline curves).
+    Hmm,
+    /// PyClick: Bézier-curve mouse movement library.
+    PyClick,
+    /// BezMouse: Bézier mouse tool for game-bot evasion.
+    BezMouse,
+    /// pyHM: python human-movement package.
+    PyHm,
+    /// Scroller: human scrolling for Selenium.
+    Scroller,
+    /// ClickBot: Java mouse movement + clicks.
+    ClickBot,
+    /// Noordzij's bachelor-thesis typing framework.
+    ThesisTyping,
+    /// HLISA itself.
+    Hlisa,
+}
+
+impl Tool {
+    /// All tools in Table 4 column order.
+    pub const ALL: [Tool; 8] = [
+        Tool::Hmm,
+        Tool::PyClick,
+        Tool::BezMouse,
+        Tool::PyHm,
+        Tool::Scroller,
+        Tool::ClickBot,
+        Tool::ThesisTyping,
+        Tool::Hlisa,
+    ];
+
+    /// Column header.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tool::Hmm => "HMM",
+            Tool::PyClick => "PyC",
+            Tool::BezMouse => "BezMouse",
+            Tool::PyHm => "pyHM",
+            Tool::Scroller => "Scroller",
+            Tool::ClickBot => "ClickBot",
+            Tool::ThesisTyping => "[20]",
+            Tool::Hlisa => "HLISA",
+        }
+    }
+
+    /// The tool's Table 4 check marks.
+    pub fn features(&self) -> Vec<Feature> {
+        use Feature::*;
+        match self {
+            Tool::Hmm => vec![MouseMovement, CurvedMovement],
+            Tool::PyClick => vec![
+                MouseMovement,
+                RealisticSpeed,
+                AccelDecel,
+                CurvedMovement,
+            ],
+            Tool::BezMouse => vec![
+                MouseMovement,
+                RealisticSpeed,
+                Shivering,
+                CurvedMovement,
+            ],
+            Tool::PyHm => vec![
+                MouseMovement,
+                RealisticSpeed,
+                AccelDecel,
+                CurvedMovement,
+                Clicks,
+            ],
+            Tool::Scroller => vec![
+                Scrolling,
+                ScrollTickPauses,
+                FingerReplacementPause,
+                RealisticScrollTick,
+                SeleniumReady,
+            ],
+            Tool::ClickBot => vec![
+                MouseMovement,
+                RealisticSpeed,
+                CurvedMovement,
+                Clicks,
+                RealisticClickDwell,
+                AccidentalRightClick,
+                AccidentalDoubleClick,
+                AccidentalNoClick,
+            ],
+            Tool::ThesisTyping => vec![
+                Keyboard,
+                FlightTime,
+                DataBasedTimings,
+                SeleniumReady,
+            ],
+            Tool::Hlisa => vec![
+                MouseMovement,
+                RealisticSpeed,
+                AccelDecel,
+                Shivering,
+                CurvedMovement,
+                RandomInElementLocation,
+                Clicks,
+                RealisticClickDwell,
+                Scrolling,
+                ScrollTickPauses,
+                FingerReplacementPause,
+                RealisticScrollTick,
+                Keyboard,
+                FlightTime,
+                KeyDwellTime,
+                DataBasedTimings,
+                SeleniumReady,
+            ],
+        }
+    }
+
+    /// Whether the tool has a check for the feature.
+    pub fn has(&self, f: Feature) -> bool {
+        self.features().contains(&f)
+    }
+
+    /// The tool's mouse-motion recipe, if it simulates movement.
+    pub fn motion_style(&self) -> Option<MotionStyle> {
+        match self {
+            Tool::Hmm => Some(MotionStyle {
+                curve: CurveStyle::BSpline,
+                velocity: VelocityProfile::Uniform,
+                jitter_px: 0.0,
+                // The snippet moves in a fixed number of steps with no
+                // timing control — executed through ActionChains it runs
+                // far faster than any human hand.
+                duration: DurationModel::ConstantSpeed(12.0),
+            }),
+            Tool::PyClick => Some(MotionStyle {
+                curve: CurveStyle::QuadBezier,
+                velocity: VelocityProfile::MinJerk,
+                jitter_px: 0.0,
+                duration: DurationModel::ConstantSpeed(0.9),
+            }),
+            Tool::BezMouse => Some(MotionStyle {
+                curve: CurveStyle::QuadBezier,
+                velocity: VelocityProfile::Uniform,
+                jitter_px: 1.0,
+                duration: DurationModel::ConstantSpeed(0.9),
+            }),
+            Tool::PyHm => Some(MotionStyle {
+                curve: CurveStyle::QuadBezier,
+                velocity: VelocityProfile::MinJerk,
+                jitter_px: 0.0,
+                duration: DurationModel::ConstantSpeed(0.8),
+            }),
+            Tool::ClickBot => Some(MotionStyle {
+                curve: CurveStyle::QuadBezier,
+                velocity: VelocityProfile::Uniform,
+                jitter_px: 0.0,
+                duration: DurationModel::ConstantSpeed(0.8),
+            }),
+            Tool::Hlisa => Some(MotionStyle::hlisa()),
+            Tool::Scroller | Tool::ThesisTyping => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn hlisa_has_every_feature_it_claims_and_not_the_accident_ones() {
+        let h: HashSet<_> = Tool::Hlisa.features().into_iter().collect();
+        // Appendix F: misclicking/accidental interaction is experiment-level.
+        assert!(!h.contains(&Feature::AccidentalRightClick));
+        assert!(!h.contains(&Feature::AccidentalDoubleClick));
+        assert!(!h.contains(&Feature::AccidentalNoClick));
+        // The headline features are present.
+        for f in [
+            Feature::MouseMovement,
+            Feature::Shivering,
+            Feature::RandomInElementLocation,
+            Feature::FingerReplacementPause,
+            Feature::KeyDwellTime,
+            Feature::SeleniumReady,
+        ] {
+            assert!(h.contains(&f), "HLISA missing {f:?}");
+        }
+    }
+
+    #[test]
+    fn only_hlisa_moves_to_random_element_location() {
+        for t in Tool::ALL {
+            let has = t.has(Feature::RandomInElementLocation);
+            assert_eq!(has, t == Tool::Hlisa, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn only_clickbot_simulates_accidents() {
+        for t in Tool::ALL {
+            let has = t.has(Feature::AccidentalRightClick);
+            assert_eq!(has, t == Tool::ClickBot, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn scroller_and_thesis_have_no_mouse_motion() {
+        assert!(Tool::Scroller.motion_style().is_none());
+        assert!(Tool::ThesisTyping.motion_style().is_none());
+        assert!(Tool::PyClick.motion_style().is_some());
+    }
+
+    #[test]
+    fn selenium_ready_tools_match_table() {
+        let ready: Vec<_> = Tool::ALL
+            .iter()
+            .filter(|t| t.has(Feature::SeleniumReady))
+            .collect();
+        assert_eq!(ready.len(), 3); // Scroller, [20], HLISA
+    }
+
+    #[test]
+    fn feature_labels_unique() {
+        let labels: HashSet<_> = Feature::ALL.iter().map(|f| f.label()).collect();
+        assert_eq!(labels.len(), Feature::ALL.len());
+    }
+
+    #[test]
+    fn tool_names_unique() {
+        let names: HashSet<_> = Tool::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), Tool::ALL.len());
+    }
+}

@@ -1,0 +1,275 @@
+//! The "naive solution" baselines of §4.1 (Fig. 1 C, Fig. 2 bottom left).
+//!
+//! The naive improver fixes Selenium's *limits* but not its *distributions*
+//! — the second rung of the Fig. 3 simulator ladder ("limit behaviour to
+//! humanly possible"):
+//!
+//! * mouse movement along "a straightforward Bézier curve", constant
+//!   speed, no jitter — "still very artificial";
+//! * click placement "randomised ... using a uniform distribution",
+//!   which "generates clicks in places humans never reach";
+//! * plausible but uniformly-jittered fixed typing delays (with Shift, so
+//!   no hard impossibility remains);
+//! * wheel scrolling at a metronomic tick gap without finger breaks.
+
+use crate::motion::{plan_motion, trajectory_to_actions, MotionStyle};
+use hlisa_browser::events::MouseButton;
+use hlisa_browser::Point;
+use hlisa_human::keyboard::us_qwerty;
+use hlisa_human::HumanParams;
+use hlisa_stats::rngutil::rng_from_seed;
+use hlisa_webdriver::{Action, ElementHandle, Session, WebDriverError};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A naive "humanised" action chain.
+#[derive(Debug, Clone)]
+pub struct NaiveActionChains {
+    steps: Vec<NaiveStep>,
+    params: HumanParams,
+    rng: SmallRng,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum NaiveStep {
+    MoveToElement(ElementHandle),
+    Click(Option<ElementHandle>),
+    SendKeysToElement(ElementHandle, String),
+    ScrollBy(f64),
+    Pause(f64),
+}
+
+impl NaiveActionChains {
+    /// Creates a naive chain.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            steps: Vec::new(),
+            params: HumanParams::paper_baseline(),
+            rng: rng_from_seed(seed),
+        }
+    }
+
+    /// Queues a move to a uniformly random point on the element.
+    pub fn move_to_element(mut self, el: ElementHandle) -> Self {
+        self.steps.push(NaiveStep::MoveToElement(el));
+        self
+    }
+
+    /// Queues a click (optionally moving to the element first).
+    pub fn click(mut self, el: Option<ElementHandle>) -> Self {
+        self.steps.push(NaiveStep::Click(el));
+        self
+    }
+
+    /// Queues click-then-type with fixed-ish delays.
+    pub fn send_keys_to_element(mut self, el: ElementHandle, keys: &str) -> Self {
+        self.steps
+            .push(NaiveStep::SendKeysToElement(el, keys.to_string()));
+        self
+    }
+
+    /// Queues a metronomic wheel scroll.
+    pub fn scroll_by(mut self, dy: f64) -> Self {
+        self.steps.push(NaiveStep::ScrollBy(dy));
+        self
+    }
+
+    /// Queues a pause (seconds).
+    pub fn pause(mut self, seconds: f64) -> Self {
+        self.steps.push(NaiveStep::Pause(seconds * 1000.0));
+        self
+    }
+
+    /// Executes the chain.
+    pub fn perform(mut self, session: &mut Session) -> Result<(), WebDriverError> {
+        session.override_pointer_move_min_duration(50.0);
+        let steps = std::mem::take(&mut self.steps);
+        for step in steps {
+            match step {
+                NaiveStep::MoveToElement(el) => self.move_impl(session, el)?,
+                NaiveStep::Click(el) => {
+                    if let Some(el) = el {
+                        self.move_impl(session, el)?;
+                    }
+                    // Plausible dwell with uniform jitter — inside human
+                    // limits, but the *distribution* is wrong.
+                    let dwell = 60.0 + self.rng.gen_range(-10.0..10.0);
+                    session.perform_actions(&[
+                        Action::PointerDown(MouseButton::Left),
+                        Action::Pause(dwell),
+                        Action::PointerUp(MouseButton::Left),
+                    ]);
+                }
+                NaiveStep::SendKeysToElement(el, keys) => {
+                    self.move_impl(session, el)?;
+                    let dwell = 55.0 + self.rng.gen_range(-10.0..10.0);
+                    session.perform_actions(&[
+                        Action::PointerDown(MouseButton::Left),
+                        Action::Pause(dwell),
+                        Action::PointerUp(MouseButton::Left),
+                        Action::Pause(150.0),
+                    ]);
+                    let mut actions = Vec::new();
+                    let mut shift_down = false;
+                    for ch in keys.chars() {
+                        let Some(spec) = us_qwerty(ch) else { continue };
+                        if spec.needs_shift && !shift_down {
+                            actions.push(Action::KeyDown("Shift".into()));
+                            actions.push(Action::Pause(30.0));
+                            shift_down = true;
+                        } else if !spec.needs_shift && shift_down {
+                            actions.push(Action::KeyUp("Shift".into()));
+                            actions.push(Action::Pause(15.0));
+                            shift_down = false;
+                        }
+                        actions.push(Action::KeyDown(spec.key.clone()));
+                        actions.push(Action::Pause(50.0 + self.rng.gen_range(-8.0..8.0)));
+                        actions.push(Action::KeyUp(spec.key));
+                        actions.push(Action::Pause(50.0 + self.rng.gen_range(-8.0..8.0)));
+                    }
+                    if shift_down {
+                        actions.push(Action::KeyUp("Shift".into()));
+                    }
+                    session.perform_actions(&actions);
+                }
+                NaiveStep::ScrollBy(dy) => {
+                    let dir = if dy >= 0.0 { 1 } else { -1 };
+                    let ticks = (dy.abs() / 57.0).round() as usize;
+                    let mut actions = Vec::new();
+                    for i in 0..ticks {
+                        actions.push(Action::WheelTick(dir));
+                        if i + 1 < ticks {
+                            actions.push(Action::Pause(
+                                120.0 + self.rng.gen_range(-15.0..15.0),
+                            ));
+                        }
+                    }
+                    session.perform_actions(&actions);
+                }
+                NaiveStep::Pause(ms) => {
+                    session.perform_actions(&[Action::Pause(ms)]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn move_impl(
+        &mut self,
+        session: &mut Session,
+        el: ElementHandle,
+    ) -> Result<(), WebDriverError> {
+        session.ensure_interactable(el)?;
+        let r = session.element_rect(el);
+        // Uniform placement over the whole element (Fig. 2 bottom left).
+        let target = Point::new(
+            r.x + self.rng.gen_range(0.0..r.width),
+            r.y + self.rng.gen_range(0.0..r.height),
+        );
+        let from = session.browser.mouse_position();
+        let samples = plan_motion(
+            MotionStyle::naive_bezier(),
+            &self.params,
+            &mut self.rng,
+            from,
+            target,
+            r.width.min(r.height),
+        );
+        let actions = trajectory_to_actions(&samples, 50.0);
+        session.perform_actions(&actions);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_browser::dom::standard_test_page;
+    use hlisa_browser::{Browser, BrowserConfig};
+    use hlisa_stats::descriptive::Summary;
+    use hlisa_webdriver::By;
+
+    fn session() -> Session {
+        Session::new(Browser::open(
+            BrowserConfig::webdriver(),
+            standard_test_page("https://example.test/", 30_000.0),
+        ))
+    }
+
+    #[test]
+    fn clicks_are_uniform_over_element() {
+        // Run many independent sessions; click x should spread across the
+        // full width (σ of uniform over w=120 is ~34.6, vs ~17 for HLISA).
+        let mut xs = Vec::new();
+        for seed in 0..80 {
+            let mut s = session();
+            let el = s.find_element(By::Id("submit".into())).unwrap();
+            NaiveActionChains::new(seed)
+                .click(Some(el))
+                .perform(&mut s)
+                .unwrap();
+            let clicks = s.browser.recorder.clicks();
+            xs.push(clicks[0].x);
+        }
+        let sum = Summary::of(&xs);
+        assert!(sum.std_dev > 25.0, "not uniform-ish: sd {}", sum.std_dev);
+        // And every click is on the element.
+        assert!(xs.iter().all(|x| (100.0..220.0).contains(x)));
+    }
+
+    #[test]
+    fn typing_is_metronomic_but_shifted() {
+        let mut s = session();
+        let el = s.find_element(By::Id("text_area".into())).unwrap();
+        NaiveActionChains::new(1)
+            .send_keys_to_element(el, "Hello World")
+            .perform(&mut s)
+            .unwrap();
+        assert_eq!(s.element_text(el), "Hello World");
+        let strokes = s.browser.recorder.keystrokes();
+        let dwells: Vec<f64> = strokes
+            .iter()
+            .filter(|k| k.key != "Shift")
+            .map(|k| k.dwell_ms)
+            .collect();
+        let sum = Summary::of(&dwells);
+        // Narrow uniform jitter: plausible sample, wrong distribution.
+        assert!(sum.std_dev < 8.0, "sd {}", sum.std_dev);
+        assert!(sum.min > 20.0);
+    }
+
+    #[test]
+    fn scroll_has_no_finger_breaks() {
+        let mut s = session();
+        NaiveActionChains::new(2)
+            .scroll_by(3_000.0)
+            .perform(&mut s)
+            .unwrap();
+        let gaps = s.browser.recorder.scroll_gaps();
+        assert!(!gaps.is_empty());
+        assert!(gaps.iter().all(|g| *g < 200.0), "metronomic gaps only");
+    }
+
+    #[test]
+    fn movement_curves() {
+        let mut s = session();
+        let el = s.find_element(By::Id("jump".into())).unwrap();
+        NaiveActionChains::new(3)
+            .move_to_element(el)
+            .perform(&mut s)
+            .unwrap();
+        let trace = s.browser.recorder.cursor_trace();
+        assert!(trace.len() >= 4);
+        // Not collinear: fit the chord and find deviation.
+        let a = trace.first().unwrap();
+        let b = trace.last().unwrap();
+        let chord = ((b.x - a.x).powi(2) + (b.y - a.y).powi(2)).sqrt();
+        let max_dev = trace
+            .iter()
+            .map(|p| {
+                ((b.x - a.x) * (a.y - p.y) - (a.x - p.x) * (b.y - a.y)).abs() / chord.max(1e-9)
+            })
+            .fold(0.0, f64::max);
+        assert!(max_dev > 2.0, "no curvature: {max_dev}");
+    }
+}

@@ -1,0 +1,88 @@
+//! HLISA's scrolling extension.
+//!
+//! "HLISA extends the Selenium API with a function to simulate scrolling,
+//! which uses the default mouse wheel scroll distance (57 pixels), uses a
+//! normal distribution to incorporate short breaks, and incorporates a
+//! slightly longer break to account for moving one's finger to continue
+//! scrolling the mouse wheel" (§4.1). Draws are i.i.d. normals, matching
+//! the proof-of-concept status the paper describes.
+
+use hlisa_browser::viewport::WHEEL_TICK_PX;
+use hlisa_human::scroll::sample_flick_len;
+use hlisa_human::HumanParams;
+use hlisa_webdriver::Action;
+use rand::Rng;
+
+/// Plans wheel-tick actions covering `distance_px` (positive = down).
+pub fn plan_hlisa_scroll<R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &mut R,
+    distance_px: f64,
+) -> Vec<Action> {
+    let direction = if distance_px >= 0.0 { 1 } else { -1 };
+    let n_ticks = (distance_px.abs() / WHEEL_TICK_PX).round() as usize;
+    let mut actions = Vec::with_capacity(n_ticks * 2);
+    let mut ticks_since_break = 0usize;
+    let mut flick_len = sample_flick_len(params, rng);
+    for i in 0..n_ticks {
+        actions.push(Action::WheelTick(direction));
+        ticks_since_break += 1;
+        if i + 1 == n_ticks {
+            break;
+        }
+        if ticks_since_break >= flick_len {
+            actions.push(Action::Pause(params.scroll_finger_break.sample(rng)));
+            ticks_since_break = 0;
+            flick_len = sample_flick_len(params, rng);
+        } else {
+            actions.push(Action::Pause(params.scroll_tick_gap.sample(rng)));
+        }
+    }
+    actions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_stats::rngutil::rng_from_seed;
+
+    #[test]
+    fn tick_count_covers_distance() {
+        let p = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(1);
+        let acts = plan_hlisa_scroll(&p, &mut rng, 570.0);
+        let ticks = acts
+            .iter()
+            .filter(|a| matches!(a, Action::WheelTick(1)))
+            .count();
+        assert_eq!(ticks, 10);
+    }
+
+    #[test]
+    fn long_scrolls_include_finger_breaks() {
+        let p = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(2);
+        let acts = plan_hlisa_scroll(&p, &mut rng, 10_000.0);
+        let long_pauses = acts
+            .iter()
+            .filter(|a| matches!(a, Action::Pause(ms) if *ms >= 150.0))
+            .count();
+        assert!(long_pauses > 5, "{long_pauses} long pauses");
+    }
+
+    #[test]
+    fn upward_scroll_uses_negative_ticks() {
+        let p = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(3);
+        let acts = plan_hlisa_scroll(&p, &mut rng, -171.0);
+        assert!(acts.iter().any(|a| matches!(a, Action::WheelTick(-1))));
+        assert!(!acts.iter().any(|a| matches!(a, Action::WheelTick(1))));
+    }
+
+    #[test]
+    fn zero_distance_plans_nothing() {
+        let p = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(4);
+        assert!(plan_hlisa_scroll(&p, &mut rng, 10.0).is_empty());
+    }
+}

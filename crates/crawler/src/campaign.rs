@@ -1,0 +1,249 @@
+//! Crawl campaign execution.
+
+use hlisa_stats::rngutil::{derive_seed, rng_from_seed};
+use hlisa_web::visit::DetectorRuntime;
+use hlisa_web::{generate_population, simulate_visit, ClientKind, PopulationConfig, Site, VisitOutcome};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Campaign configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Master seed (covers visit-level randomness).
+    pub seed: u64,
+    /// Site population.
+    pub population: PopulationConfig,
+    /// Visits per site per machine (the paper's 8 simultaneous instances
+    /// provide "a baseline to average out variations").
+    pub visits_per_site: usize,
+    /// Parallel browser instances per machine.
+    pub instances: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x6372_6177, // "craw"
+            population: PopulationConfig::default(),
+            visits_per_site: 8,
+            instances: 8,
+        }
+    }
+}
+
+/// All visits of one site by one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteResult {
+    /// The site's domain.
+    pub domain: String,
+    /// Tranco-style rank.
+    pub rank: u32,
+    /// One outcome per visit.
+    pub outcomes: Vec<VisitOutcome>,
+}
+
+impl SiteResult {
+    /// Whether any visit reached the site.
+    pub fn reached(&self) -> bool {
+        self.outcomes.iter().any(|o| o.reached)
+    }
+
+    /// Number of successful visits.
+    pub fn successful_visits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.successful).count()
+    }
+}
+
+/// One machine's full crawl.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineRun {
+    /// The client flavour this machine ran.
+    pub client: ClientKind,
+    /// Per-site results, in population order.
+    pub sites: Vec<SiteResult>,
+}
+
+/// Both machines' crawls over the same population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// The site population visited.
+    pub sites: Vec<Site>,
+    /// Machine (1): stock OpenWPM.
+    pub openwpm: MachineRun,
+    /// Machine (2): OpenWPM + spoofing extension.
+    pub spoofed: MachineRun,
+}
+
+/// Runs the full two-machine campaign.
+pub fn run_campaign(config: &CampaignConfig) -> Campaign {
+    let sites = generate_population(&config.population);
+    let openwpm = run_machine(config, &sites, ClientKind::OpenWpm);
+    let spoofed = run_machine(config, &sites, ClientKind::OpenWpmSpoofed);
+    Campaign {
+        sites,
+        openwpm,
+        spoofed,
+    }
+}
+
+/// Runs one machine's crawl with `config.instances` parallel workers.
+///
+/// Visit randomness is keyed on (machine, site, visit index), so the
+/// result is identical regardless of which worker thread executes which
+/// site — the campaign is reproducible under real parallelism.
+pub fn run_machine(config: &CampaignConfig, sites: &[Site], client: ClientKind) -> MachineRun {
+    let next = AtomicUsize::new(0);
+    let results: Vec<parking_lot_free::Slot<SiteResult>> =
+        (0..sites.len()).map(|_| parking_lot_free::Slot::new()).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.instances.max(1) {
+            scope.spawn(|| {
+                // Each browser instance ships its own detector runtime.
+                let runtime = DetectorRuntime::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= sites.len() {
+                        break;
+                    }
+                    let site = &sites[i];
+                    let outcomes: Vec<VisitOutcome> = (0..config.visits_per_site)
+                        .map(|v| {
+                            let label = match client {
+                                ClientKind::OpenWpm => "m1",
+                                ClientKind::OpenWpmSpoofed => "m2",
+                            };
+                            let seed = derive_seed(
+                                config.seed,
+                                &format!("{label}:{}", site.domain),
+                                v as u64,
+                            );
+                            let mut rng = rng_from_seed(seed);
+                            simulate_visit(site, client, &runtime, &mut rng)
+                        })
+                        .collect();
+                    results[i].set(SiteResult {
+                        domain: site.domain.clone(),
+                        rank: site.rank,
+                        outcomes,
+                    });
+                }
+            });
+        }
+    });
+
+    MachineRun {
+        client,
+        sites: results.into_iter().map(|s| s.take()).collect(),
+    }
+}
+
+/// A tiny write-once cell so worker threads can fill disjoint result slots
+/// without locks (each index is written exactly once by one worker).
+mod parking_lot_free {
+    use std::cell::UnsafeCell;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Write-once slot.
+    pub struct Slot<T> {
+        set: AtomicBool,
+        value: UnsafeCell<Option<T>>,
+    }
+
+    // Safety: writes are exclusive per slot (work-queue indices are handed
+    // out once) and reads happen after all threads join.
+    unsafe impl<T: Send> Sync for Slot<T> {}
+
+    impl<T> Slot<T> {
+        pub fn new() -> Self {
+            Self {
+                set: AtomicBool::new(false),
+                value: UnsafeCell::new(None),
+            }
+        }
+
+        pub fn set(&self, v: T) {
+            assert!(
+                !self.set.swap(true, Ordering::AcqRel),
+                "slot written twice"
+            );
+            // Safety: the swap above guarantees exclusive access.
+            unsafe { *self.value.get() = Some(v) };
+        }
+
+        pub fn take(self) -> T {
+            assert!(self.set.load(Ordering::Acquire), "slot never written");
+            self.value.into_inner().expect("slot value present")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> CampaignConfig {
+        CampaignConfig {
+            seed: 7,
+            population: PopulationConfig {
+                n_sites: 60,
+                unreachable_sites: 5,
+                webdriver_visible: (2, 1, 1, 1),
+                template_visible: (1, 1, 1),
+                silent_http: (2, 1),
+                breakage_sites: 1,
+                ..PopulationConfig::default()
+            },
+            visits_per_site: 4,
+            instances: 4,
+        }
+    }
+
+    #[test]
+    fn campaign_covers_all_sites_for_both_machines() {
+        let c = run_campaign(&small_config());
+        assert_eq!(c.openwpm.sites.len(), 60);
+        assert_eq!(c.spoofed.sites.len(), 60);
+        assert!(c.openwpm.sites.iter().all(|s| s.outcomes.len() == 4));
+        // Result order matches population order despite parallelism.
+        for (site, result) in c.sites.iter().zip(&c.openwpm.sites) {
+            assert_eq!(site.domain, result.domain);
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_runs_and_thread_counts() {
+        let base = small_config();
+        let mut serial = base.clone();
+        serial.instances = 1;
+        let a = run_campaign(&base);
+        let b = run_campaign(&serial);
+        assert_eq!(a, b, "parallel schedule must not affect results");
+    }
+
+    #[test]
+    fn unreachable_sites_never_reached() {
+        let c = run_campaign(&small_config());
+        for (site, result) in c.sites.iter().zip(&c.openwpm.sites) {
+            if site.unreachable {
+                assert!(!result.reached());
+                assert_eq!(result.successful_visits(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn openwpm_gets_detected_more_than_spoofed() {
+        let c = run_campaign(&small_config());
+        let detections = |run: &MachineRun| -> usize {
+            run.sites
+                .iter()
+                .flat_map(|s| &s.outcomes)
+                .filter(|o| o.detected)
+                .count()
+        };
+        let d1 = detections(&c.openwpm);
+        let d2 = detections(&c.spoofed);
+        assert!(d1 > d2 * 2, "openwpm {d1} vs spoofed {d2}");
+        assert!(d1 > 0);
+    }
+}

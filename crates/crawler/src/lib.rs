@@ -1,0 +1,22 @@
+//! OpenWPM-style crawl harness for the §3.2 field evaluation.
+//!
+//! The paper runs two machines simultaneously — stock OpenWPM and
+//! OpenWPM+extension — each with 8 parallel browser instances over the same
+//! 1,000-site sample, then compares screenshots (Table 2) and HTTP status
+//! codes (Figure 4 / Appendix B, with a Wilcoxon matched-pairs signed-rank
+//! test on first-party errors).
+//!
+//! [`campaign`] reproduces the harness (real parallelism across worker
+//! threads, deterministic per-visit seeding so results are
+//! schedule-independent), [`screenshot`] the Table 2 aggregation, and
+//! [`http_analysis`] the Figure 4 aggregation and significance test.
+
+pub mod campaign;
+pub mod http_analysis;
+pub mod report;
+pub mod screenshot;
+
+pub use campaign::{run_campaign, Campaign, CampaignConfig, MachineRun, SiteResult};
+pub use http_analysis::{analyze_http, HttpReport};
+pub use report::{status_codes_csv, table2_csv, visits_csv};
+pub use screenshot::{screenshot_table, Table2, Table2Row};

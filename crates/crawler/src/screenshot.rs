@@ -1,0 +1,168 @@
+//! Screenshot evaluation — Table 2.
+//!
+//! §3.2: "we review screenshots and count the occurrence of blocking pages,
+//! CAPTCHAs, visible error messages ... In addition, we evaluate if there
+//! is missing content (such as ads)." Counts are reported separately for
+//! *sites* (a site counts once if any visit shows the outcome) and
+//! *visits*, per machine.
+
+use crate::campaign::{Campaign, MachineRun};
+use hlisa_web::VisualOutcome;
+
+/// One Table 2 row: (sites machine 1, sites machine 2, visits machine 1,
+/// visits machine 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Row label as in the paper.
+    pub label: String,
+    /// Sites with the outcome, per machine.
+    pub sites: (usize, usize),
+    /// Visits with the outcome, per machine.
+    pub visits: (usize, usize),
+}
+
+/// The full screenshot-evaluation table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2 {
+    /// Looks a row up by label.
+    pub fn row(&self, label: &str) -> Option<&Table2Row> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+}
+
+fn count(run: &MachineRun, pred: impl Fn(VisualOutcome) -> bool) -> (usize, usize) {
+    let mut sites = 0;
+    let mut visits = 0;
+    for s in &run.sites {
+        let matching = s
+            .outcomes
+            .iter()
+            .filter(|o| o.successful && pred(o.visual))
+            .count();
+        if matching > 0 {
+            sites += 1;
+        }
+        visits += matching;
+    }
+    (sites, visits)
+}
+
+/// Builds Table 2 from a campaign.
+pub fn screenshot_table(campaign: &Campaign) -> Table2 {
+    let machines = [&campaign.openwpm, &campaign.spoofed];
+
+    let totals: Vec<(usize, usize)> = machines
+        .iter()
+        .map(|m| {
+            let sites = m.sites.iter().filter(|s| s.reached()).count();
+            let visits = m.sites.iter().map(|s| s.successful_visits()).sum();
+            (sites, visits)
+        })
+        .collect();
+
+    let pair =
+        |pred: &dyn Fn(VisualOutcome) -> bool| -> ((usize, usize), (usize, usize)) {
+            (count(machines[0], pred), count(machines[1], pred))
+        };
+
+    let missing_ads = pair(&|v| matches!(v, VisualOutcome::NoAds | VisualOutcome::FewerAds));
+    let no_ads = pair(&|v| v == VisualOutcome::NoAds);
+    let less_ads = pair(&|v| v == VisualOutcome::FewerAds);
+    let blocking = pair(&|v| matches!(v, VisualOutcome::BlockPage | VisualOutcome::Captcha));
+    let frozen = pair(&|v| v == VisualOutcome::FrozenVideo);
+
+    let row = |label: &str, ((s1, v1), (s2, v2)): ((usize, usize), (usize, usize))| Table2Row {
+        label: label.to_string(),
+        sites: (s1, s2),
+        visits: (v1, v2),
+    };
+
+    Table2 {
+        rows: vec![
+            Table2Row {
+                label: "total".to_string(),
+                sites: (totals[0].0, totals[1].0),
+                visits: (totals[0].1, totals[1].1),
+            },
+            row("missing ads", missing_ads),
+            row("- no ads", no_ads),
+            row("- less ads", less_ads),
+            row("blocking/CAPTCHAs", blocking),
+            row("frozen video element(s)", frozen),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+    use hlisa_web::PopulationConfig;
+
+    fn campaign() -> Campaign {
+        run_campaign(&CampaignConfig {
+            seed: 99,
+            population: PopulationConfig {
+                n_sites: 120,
+                unreachable_sites: 10,
+                ..PopulationConfig::default()
+            },
+            visits_per_site: 6,
+            instances: 4,
+        })
+    }
+
+    #[test]
+    fn table_has_paper_rows() {
+        let t = screenshot_table(&campaign());
+        for label in [
+            "total",
+            "missing ads",
+            "- no ads",
+            "- less ads",
+            "blocking/CAPTCHAs",
+            "frozen video element(s)",
+        ] {
+            assert!(t.row(label).is_some(), "missing row {label}");
+        }
+    }
+
+    #[test]
+    fn totals_exclude_unreachable() {
+        let t = screenshot_table(&campaign());
+        let total = t.row("total").unwrap();
+        assert_eq!(total.sites.0, 110);
+        assert_eq!(total.sites.1, 110);
+        assert!(total.visits.0 <= 110 * 6);
+        assert!(total.visits.0 > 100 * 6, "too many failed visits");
+    }
+
+    #[test]
+    fn spoofing_reduces_visible_detection() {
+        let t = screenshot_table(&campaign());
+        let blocking = t.row("blocking/CAPTCHAs").unwrap();
+        assert!(
+            blocking.sites.0 > blocking.sites.1,
+            "blocking sites {} -> {}",
+            blocking.sites.0,
+            blocking.sites.1
+        );
+        let ads = t.row("missing ads").unwrap();
+        assert!(ads.sites.0 >= ads.sites.1);
+    }
+
+    #[test]
+    fn subtotals_add_up() {
+        let t = screenshot_table(&campaign());
+        let all = t.row("missing ads").unwrap();
+        let none = t.row("- no ads").unwrap();
+        let less = t.row("- less ads").unwrap();
+        assert_eq!(all.visits.0, none.visits.0 + less.visits.0);
+        assert_eq!(all.visits.1, none.visits.1 + less.visits.1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Fingerprint-surface bot detection (Jonker et al., ESORICS'19; Vastel et
+//! al., MADWEB'20).
+//!
+//! "Such unique properties enable distinguishing a web bot from human
+//! visitors on the very first page visited, without any interaction" (§2).
+//! Vastel et al. found commercial detectors "highly depend on the webdriver
+//! attribute"; this scanner reproduces that dependency plus a handful of
+//! secondary surface checks.
+
+use hlisa_jsom::{Value, World};
+
+/// Outcome of a fingerprint scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerprintVerdict {
+    /// True when the page would classify the visitor as a bot.
+    pub is_bot: bool,
+    /// Which checks fired.
+    pub signals: Vec<String>,
+}
+
+/// Scans the page world for automation fingerprints.
+pub fn scan_fingerprint(world: &mut World) -> FingerprintVerdict {
+    let mut signals = Vec::new();
+    let nav = world.resolve_navigator();
+
+    // The decisive check: navigator.webdriver.
+    match world.realm.get(nav, "webdriver") {
+        Ok(Value::Bool(true)) => signals.push("navigator.webdriver === true".to_string()),
+        Ok(Value::Undefined) => {
+            // Deleting the property is itself anomalous in Firefox, where
+            // it always exists (false for humans).
+            signals.push("navigator.webdriver missing".to_string());
+        }
+        _ => {}
+    }
+
+    // Secondary surface: suspicious blank/headless markers.
+    if let Ok(v) = world.realm.get(nav, "languages") {
+        if v.is_undefined() {
+            signals.push("navigator.languages missing".to_string());
+        }
+    }
+    if let Ok(Value::Str(ua)) = world.realm.get(nav, "userAgent") {
+        if ua.contains("Headless") {
+            signals.push("HeadlessChrome-style user agent".to_string());
+        }
+    }
+    // Headless environment leaks (why the paper crawls headful):
+    // an empty plugin array on a desktop UA, and a window without
+    // browser chrome.
+    if let Ok(Value::Object(plugins)) = world.realm.get(nav, "plugins") {
+        if let Ok(Value::Number(n)) = world.realm.get(plugins, "length") {
+            if n == 0.0 {
+                signals.push("navigator.plugins empty (headless)".to_string());
+            }
+        }
+    }
+    let window = world.window;
+    if let (Ok(Value::Number(inner)), Ok(Value::Number(outer))) = (
+        world.realm.get(window, "innerHeight"),
+        world.realm.get(window, "outerHeight"),
+    ) {
+        if outer <= inner {
+            signals.push("no window chrome (headless)".to_string());
+        }
+    }
+
+    FingerprintVerdict {
+        is_bot: !signals.is_empty(),
+        signals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_jsom::{build_firefox_world, BrowserFlavor};
+    use hlisa_spoof::SpoofingExtension;
+
+    #[test]
+    fn regular_firefox_passes() {
+        let mut w = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let v = scan_fingerprint(&mut w);
+        assert!(!v.is_bot, "signals: {:?}", v.signals);
+    }
+
+    #[test]
+    fn webdriver_firefox_is_flagged() {
+        let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        let v = scan_fingerprint(&mut w);
+        assert!(v.is_bot);
+        assert!(v.signals[0].contains("webdriver"));
+    }
+
+    #[test]
+    fn headless_firefox_is_flagged_even_when_spoofed() {
+        // The reason the paper runs "the Firefox browsers in headful
+        // mode": hiding webdriver does nothing about environment leaks.
+        let mut w = build_firefox_world(BrowserFlavor::HeadlessFirefox);
+        SpoofingExtension::paper_default().inject(&mut w).unwrap();
+        let v = scan_fingerprint(&mut w);
+        assert!(v.is_bot);
+        assert!(v.signals.iter().any(|s| s.contains("headless")), "{:?}", v.signals);
+    }
+
+    #[test]
+    fn spoofed_webdriver_firefox_passes_the_scan() {
+        let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        SpoofingExtension::paper_default().inject(&mut w).unwrap();
+        let v = scan_fingerprint(&mut w);
+        assert!(!v.is_bot, "spoofing should defeat the webdriver check");
+    }
+}

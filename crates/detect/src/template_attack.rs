@@ -1,0 +1,114 @@
+//! Template-attack detector (Schwarz et al., NDSS'19).
+//!
+//! §3.1: "To check for the occurrence of side effects of each method, we
+//! use JavaScript template attacks". The detector records a template of a
+//! pristine regular Firefox once, then diffs candidate page worlds against
+//! it. Any diff under `window.navigator` that is not explained by the
+//! webdriver *value* itself indicates tampering.
+
+use hlisa_jsom::{build_firefox_world, BrowserFlavor, Template, TemplateDiff, World};
+
+/// A template-attack detector with a pre-captured reference.
+#[derive(Debug, Clone)]
+pub struct TemplateAttackDetector {
+    reference: Template,
+    depth: usize,
+}
+
+impl TemplateAttackDetector {
+    /// Builds the detector by templating a pristine regular Firefox.
+    pub fn new() -> Self {
+        Self::with_depth(3)
+    }
+
+    /// Builds with a custom traversal depth.
+    pub fn with_depth(depth: usize) -> Self {
+        let mut reference_world = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let reference = Template::capture(
+            &mut reference_world.realm,
+            reference_world.window,
+            "window",
+            depth,
+        );
+        Self { reference, depth }
+    }
+
+    /// Diffs the candidate against the regular-Firefox reference.
+    pub fn diff(&self, candidate: &mut World) -> Vec<TemplateDiff> {
+        let t = Template::capture(&mut candidate.realm, candidate.window, "window", self.depth);
+        self.reference.diff(&t)
+    }
+
+    /// True when the candidate shows *structural* tampering: any diff other
+    /// than a pure value change of `navigator.webdriver` itself. (A value
+    /// change alone just distinguishes bot from human; structure reveals a
+    /// spoofing attempt.)
+    pub fn is_tampered(&self, candidate: &mut World) -> bool {
+        self.diff(candidate).iter().any(|d| match d {
+            TemplateDiff::Changed(path, field) => {
+                !(path == "window.navigator.webdriver" && field == "value")
+            }
+            _ => true,
+        })
+    }
+}
+
+impl Default for TemplateAttackDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_spoof::{SpoofMethod, SpoofingExtension};
+    use hlisa_jsom::Value;
+
+    #[test]
+    fn pristine_bot_differs_only_in_webdriver_value() {
+        let det = TemplateAttackDetector::new();
+        let mut bot = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        let diffs = det.diff(&mut bot);
+        assert!(!diffs.is_empty());
+        assert!(!det.is_tampered(&mut bot), "pristine bot is not *tampered*");
+    }
+
+    #[test]
+    fn own_property_spoofing_is_structural_tampering() {
+        let det = TemplateAttackDetector::new();
+        for m in [SpoofMethod::DefineProperty, SpoofMethod::DefineGetter] {
+            let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+            m.apply(&mut w, "webdriver", Value::Bool(false)).unwrap();
+            assert!(det.is_tampered(&mut w), "method {} evaded", m.name());
+        }
+    }
+
+    #[test]
+    fn proto_clone_spoofing_is_structural_tampering() {
+        let det = TemplateAttackDetector::new();
+        let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        SpoofMethod::SetPrototypeOf
+            .apply(&mut w, "webdriver", Value::Bool(false))
+            .unwrap();
+        assert!(det.is_tampered(&mut w));
+    }
+
+    #[test]
+    fn proxy_spoofing_is_caught_via_function_sources() {
+        let det = TemplateAttackDetector::new();
+        let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        SpoofingExtension::paper_default().inject(&mut w).unwrap();
+        // The proxy unnames every function reached through navigator, which
+        // the template's fn_source field captures.
+        assert!(det.is_tampered(&mut w));
+    }
+
+    #[test]
+    fn regular_firefox_is_clean() {
+        let det = TemplateAttackDetector::new();
+        let mut w = build_firefox_world(BrowserFlavor::RegularFirefox);
+        assert!(det.diff(&mut w).is_empty());
+        assert!(!det.is_tampered(&mut w));
+    }
+}

@@ -1,0 +1,364 @@
+//! Human cursor trajectories.
+//!
+//! §4.1 (Fig. 1 B): human mouse movement "has an initial acceleration,
+//! deceleration near the end of the trajectory, and moves in a jitterish
+//! curved trajectory". The generator composes four components:
+//!
+//! * a *minimum-jerk* velocity profile (the standard model of aimed human
+//!   movement): position progress `s(τ) = 10τ³ − 15τ⁴ + 6τ⁵`, giving
+//!   smooth acceleration and deceleration;
+//! * a curved path: a quadratic Bézier whose control point is displaced
+//!   perpendicular to the chord by a sampled arc amplitude;
+//! * small perpendicular jitter per sample (tremor), low-pass filtered so
+//!   consecutive samples stay correlated like real tremor;
+//! * for long movements, an aimed *primary stroke* that lands slightly
+//!   off target followed by a brief corrective submovement — the
+//!   two-phase kinematics Phillips & Triggs (2001) report for mouse
+//!   cursor control.
+
+use crate::params::HumanParams;
+use hlisa_browser::Point;
+use hlisa_stats::Normal;
+use rand::Rng;
+
+/// One raw pointer sample of a generated trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectorySample {
+    /// Offset from movement start (ms).
+    pub t_ms: f64,
+    /// Page x.
+    pub x: f64,
+    /// Page y.
+    pub y: f64,
+}
+
+/// Minimum-jerk progress function: fraction of path completed at normalised
+/// time `tau` ∈ [0, 1].
+pub fn min_jerk_progress(tau: f64) -> f64 {
+    let tau = tau.clamp(0.0, 1.0);
+    10.0 * tau.powi(3) - 15.0 * tau.powi(4) + 6.0 * tau.powi(5)
+}
+
+/// Generates a human cursor trajectory from `from` to `to` aimed at a
+/// target of effective width `target_w`.
+pub fn generate<R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &mut R,
+    from: Point,
+    to: Point,
+    target_w: f64,
+) -> Vec<TrajectorySample> {
+    let dist = from.distance_to(to);
+    if dist < 1e-9 {
+        return vec![TrajectorySample {
+            t_ms: 0.0,
+            x: to.x,
+            y: to.y,
+        }];
+    }
+    // Duration from Fitts's law, with ±12% natural variation.
+    let base = params.fitts_duration_ms(dist, target_w);
+    let duration = base * rng.gen_range(0.88..1.12);
+
+    // Long aimed movements land off target first, then correct.
+    let two_phase = dist > 250.0 && rng.gen_bool(0.6);
+    if !two_phase {
+        return single_stroke(params, rng, from, to, duration, 0.0);
+    }
+
+    // Primary stroke: aim error along the movement axis, a few percent of
+    // the distance (undershoot slightly more likely than overshoot).
+    let axis = ((to.x - from.x) / dist, (to.y - from.y) / dist);
+    let err_mag = (Normal::new(-0.01 * dist, 0.035 * dist).sample(rng))
+        .clamp(-0.12 * dist, 0.12 * dist);
+    if err_mag.abs() < 6.0 {
+        // Landed close enough that no separate correction is made.
+        return single_stroke(params, rng, from, to, duration, 0.0);
+    }
+    let aim = Point::new(to.x + axis.0 * err_mag, to.y + axis.1 * err_mag);
+
+    let mut samples = single_stroke(params, rng, from, aim, duration * 0.82, 0.0);
+    let landing_t = samples.last().map(|s| s.t_ms).unwrap_or(0.0);
+
+    // Perceptual pause before the correction.
+    let pause = rng.gen_range(30.0..90.0);
+
+    // Corrective submovement: brief and scaled to the residual error.
+    let correction_duration = (70.0 + err_mag.abs() * 1.2).clamp(70.0, 180.0);
+    let correction = single_stroke(
+        params,
+        rng,
+        aim,
+        to,
+        correction_duration,
+        landing_t + pause,
+    );
+    samples.extend(correction.into_iter().skip(1));
+    samples
+}
+
+/// One min-jerk stroke along a jittered Bézier, starting at `t0`.
+fn single_stroke<R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &mut R,
+    from: Point,
+    to: Point,
+    duration: f64,
+    t0: f64,
+) -> Vec<TrajectorySample> {
+    let dist = from.distance_to(to);
+    if dist < 1e-9 {
+        return vec![TrajectorySample {
+            t_ms: t0,
+            x: to.x,
+            y: to.y,
+        }];
+    }
+    // Curve: perpendicular displacement of the Bézier control point.
+    let amp_sigma = params.curve_amplitude_frac * dist;
+    let amp = Normal::new(0.0, amp_sigma).sample(rng)
+        + amp_sigma * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+    let (px, py) = perpendicular(from, to);
+    let mid = from.lerp(to, 0.5);
+    let control = Point::new(mid.x + px * amp, mid.y + py * amp);
+
+    let n = ((duration / params.pointer_sample_interval_ms).ceil() as usize).max(3);
+    let jitter_dist = Normal::new(0.0, params.jitter_px);
+    let mut samples = Vec::with_capacity(n + 1);
+    let mut tremor = 0.0f64;
+    for i in 0..=n {
+        let tau = i as f64 / n as f64;
+        let s = min_jerk_progress(tau);
+        let p = quad_bezier(from, control, to, s);
+        // Tremor: AR(1)-filtered perpendicular noise, zero at the endpoints
+        // (the hand is anchored at press/landing).
+        tremor = 0.7 * tremor + 0.3 * jitter_dist.sample(rng);
+        let envelope = (std::f64::consts::PI * tau).sin();
+        let (jx, jy) = (px * tremor * envelope, py * tremor * envelope);
+        samples.push(TrajectorySample {
+            t_ms: t0 + tau * duration,
+            x: p.x + jx,
+            y: p.y + jy,
+        });
+    }
+    // Land exactly on the intended point (aim error is applied by the
+    // click model or the two-phase composition, not per stroke).
+    if let Some(last) = samples.last_mut() {
+        last.x = to.x;
+        last.y = to.y;
+    }
+    samples
+}
+
+fn quad_bezier(a: Point, c: Point, b: Point, t: f64) -> Point {
+    let u = 1.0 - t;
+    Point::new(
+        u * u * a.x + 2.0 * u * t * c.x + t * t * b.x,
+        u * u * a.y + 2.0 * u * t * c.y + t * t * b.y,
+    )
+}
+
+/// Unit vector perpendicular to the chord from `a` to `b`.
+fn perpendicular(a: Point, b: Point) -> (f64, f64) {
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    let len = (dx * dx + dy * dy).sqrt().max(1e-12);
+    (-dy / len, dx / len)
+}
+
+/// Path metrics used by tests and detectors.
+pub mod metrics {
+    use super::TrajectorySample;
+
+    /// Total arc length of the trajectory (px).
+    pub fn path_length(samples: &[TrajectorySample]) -> f64 {
+        samples
+            .windows(2)
+            .map(|w| ((w[1].x - w[0].x).powi(2) + (w[1].y - w[0].y).powi(2)).sqrt())
+            .sum()
+    }
+
+    /// Straight-line distance start → end (px).
+    pub fn chord_length(samples: &[TrajectorySample]) -> f64 {
+        match (samples.first(), samples.last()) {
+            (Some(a), Some(b)) => ((b.x - a.x).powi(2) + (b.y - a.y).powi(2)).sqrt(),
+            _ => 0.0,
+        }
+    }
+
+    /// Straightness ratio: chord / path (1.0 = perfectly straight).
+    pub fn straightness(samples: &[TrajectorySample]) -> f64 {
+        let p = path_length(samples);
+        if p == 0.0 {
+            1.0
+        } else {
+            chord_length(samples) / p
+        }
+    }
+
+    /// Per-segment speeds (px/ms).
+    pub fn speeds(samples: &[TrajectorySample]) -> Vec<f64> {
+        samples
+            .windows(2)
+            .filter(|w| w[1].t_ms > w[0].t_ms)
+            .map(|w| {
+                let d = ((w[1].x - w[0].x).powi(2) + (w[1].y - w[0].y).powi(2)).sqrt();
+                d / (w[1].t_ms - w[0].t_ms)
+            })
+            .collect()
+    }
+
+    /// True when the trajectory shows a two-phase (primary + corrective)
+    /// structure: a near-stop well after the start followed by renewed
+    /// movement.
+    pub fn has_submovement(samples: &[TrajectorySample]) -> bool {
+        let speeds = speeds(samples);
+        if speeds.len() < 8 {
+            return false;
+        }
+        let peak = speeds.iter().copied().fold(0.0, f64::max);
+        if peak <= 0.0 {
+            return false;
+        }
+        // Look for a valley (near-stop) well inside the trajectory with
+        // meaningful absolute movement after it.
+        let n = speeds.len();
+        for i in n / 3..n.saturating_sub(2) {
+            if speeds[i] < (0.12 * peak).max(0.15) {
+                let after_peak = speeds[i + 1..].iter().copied().fold(0.0, f64::max);
+                if after_peak > 0.35 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_stats::rngutil::rng_from_seed;
+
+    fn traj(seed: u64) -> Vec<TrajectorySample> {
+        let p = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(seed);
+        generate(
+            &p,
+            &mut rng,
+            Point::new(100.0, 500.0),
+            Point::new(900.0, 300.0),
+            40.0,
+        )
+    }
+
+    #[test]
+    fn min_jerk_boundary_conditions() {
+        assert!(min_jerk_progress(0.0).abs() < 1e-12);
+        assert!((min_jerk_progress(1.0) - 1.0).abs() < 1e-12);
+        assert!(min_jerk_progress(0.5) > 0.45 && min_jerk_progress(0.5) < 0.55);
+        // Monotone non-decreasing.
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let v = min_jerk_progress(i as f64 / 100.0);
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn trajectory_starts_and_ends_at_endpoints() {
+        let t = traj(1);
+        let first = t.first().unwrap();
+        let last = t.last().unwrap();
+        assert!((first.x - 100.0).abs() < 3.0 && (first.y - 500.0).abs() < 3.0);
+        assert_eq!((last.x, last.y), (900.0, 300.0));
+    }
+
+    #[test]
+    fn trajectory_is_curved_not_straight() {
+        let t = traj(2);
+        let s = metrics::straightness(&t);
+        assert!(s < 0.9999, "suspiciously straight: {s}");
+        assert!(s > 0.75, "unreasonably wiggly: {s}");
+    }
+
+    #[test]
+    fn speed_profile_accelerates_then_decelerates() {
+        // Use a short movement (always single-stroke) for a clean profile.
+        let p = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(3);
+        let t = generate(&p, &mut rng, Point::new(0.0, 0.0), Point::new(200.0, 60.0), 40.0);
+        let speeds = metrics::speeds(&t);
+        let n = speeds.len();
+        let first_quarter: f64 = speeds[..n / 4].iter().sum::<f64>() / (n / 4) as f64;
+        let middle: f64 =
+            speeds[n * 3 / 8..n * 5 / 8].iter().sum::<f64>() / (n / 4).max(1) as f64;
+        let last_quarter: f64 =
+            speeds[n * 3 / 4..].iter().sum::<f64>() / (n - n * 3 / 4) as f64;
+        assert!(middle > first_quarter * 1.5, "no acceleration phase");
+        assert!(middle > last_quarter * 1.5, "no deceleration phase");
+    }
+
+    #[test]
+    fn long_movements_often_have_corrective_submovements() {
+        let with = (0..40).filter(|s| metrics::has_submovement(&traj(*s))).count();
+        assert!(
+            (10..=38).contains(&with),
+            "{with}/40 trajectories had submovements"
+        );
+    }
+
+    #[test]
+    fn short_movements_stay_single_stroke() {
+        let p = HumanParams::paper_baseline();
+        for seed in 0..20 {
+            let mut rng = rng_from_seed(seed);
+            let t = generate(&p, &mut rng, Point::new(0.0, 0.0), Point::new(120.0, 40.0), 40.0);
+            assert!(
+                !metrics::has_submovement(&t),
+                "short move grew a submovement at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn duration_respects_fitts_scaling() {
+        let p = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(4);
+        let near = generate(&p, &mut rng, Point::new(0.0, 0.0), Point::new(50.0, 0.0), 40.0);
+        let far = generate(&p, &mut rng, Point::new(0.0, 0.0), Point::new(1200.0, 0.0), 40.0);
+        assert!(far.last().unwrap().t_ms > near.last().unwrap().t_ms);
+    }
+
+    #[test]
+    fn zero_distance_returns_single_sample() {
+        let p = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(5);
+        let t = generate(&p, &mut rng, Point::new(5.0, 5.0), Point::new(5.0, 5.0), 40.0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn different_seeds_give_different_paths() {
+        let a = traj(10);
+        let b = traj(11);
+        // Same endpoints but different intermediate shapes.
+        let mid_a = &a[a.len() / 2];
+        let mid_b = &b[b.len() / 2];
+        assert!(
+            (mid_a.x - mid_b.x).abs() + (mid_a.y - mid_b.y).abs() > 0.5,
+            "replayed path — humans never retrace exactly"
+        );
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        for seed in 0..20 {
+            let t = traj(seed);
+            for w in t.windows(2) {
+                assert!(w[1].t_ms > w[0].t_ms, "seed {seed}");
+            }
+        }
+    }
+}

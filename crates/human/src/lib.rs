@@ -1,0 +1,30 @@
+//! Generative human interaction model.
+//!
+//! The paper parametrises HLISA with measurements of the authors' own
+//! interaction (Appendix E: cursor recording, a 100-round moving-target
+//! click task, wheel scrolling down a 30,000 px page, and typing a
+//! 100-character text). No human is available in this reproduction, so this
+//! crate plays that role twice over:
+//!
+//! 1. [`params::HumanParams`] holds the distribution parameters that the
+//!    paper extracted from its recordings (published values where given:
+//!    600 cpm ten-finger typing with interleaving key presses, the 57 px
+//!    wheel tick, dwell/flight structure, Alves et al. pause categories).
+//! 2. [`agent::HumanAgent`] *generates* full interaction traces from those
+//!    parameters — curved, jittered, accelerating cursor paths
+//!    (minimum-jerk velocity profile over a perturbed Bézier), normally
+//!    distributed click placement, cadenced wheel scrolling, and rhythmic
+//!    typing — serving as the "human" line in Figures 1–2 and as the
+//!    reference sample for the level-2 deviation detectors.
+
+pub mod agent;
+pub mod click;
+pub mod cursor;
+pub mod keyboard;
+pub mod params;
+pub mod scroll;
+pub mod typing;
+
+pub use agent::HumanAgent;
+pub use cursor::TrajectorySample;
+pub use params::HumanParams;

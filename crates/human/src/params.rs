@@ -1,0 +1,221 @@
+//! Distribution parameters of the human model.
+//!
+//! Values the paper states are used directly (600 cpm typing, 57 px wheel
+//! tick, interleaving at fast typing); the remaining parameters are set to
+//! values consistent with the HCI literature the paper cites (Fitts 1954;
+//! Phillips & Triggs 2001 for cursor kinematics; Alves et al. 2007 for
+//! pause structure) and documented here so they can be re-fit from real
+//! recordings.
+
+use hlisa_stats::TruncatedNormal;
+
+pub(crate) mod params_util {
+    use hlisa_stats::rngutil::derive_seed;
+
+    /// Deterministic uniform in [0, 1) for subject trait `index`.
+    pub fn unit(subject_seed: u64, index: u64) -> f64 {
+        (derive_seed(subject_seed, "subject-trait", index) % 1_000_000) as f64 / 1_000_000.0
+    }
+}
+
+/// Parameters of the generative human model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HumanParams {
+    // -- Cursor kinematics --------------------------------------------------
+    /// Fitts's-law intercept (ms): `T = a + b·log2(D/W + 1)`.
+    pub fitts_a_ms: f64,
+    /// Fitts's-law slope (ms/bit).
+    pub fitts_b_ms: f64,
+    /// Peak perpendicular deviation of the movement curve, as a fraction of
+    /// path distance (humans arc their movements).
+    pub curve_amplitude_frac: f64,
+    /// Standard deviation of per-sample jitter (px) perpendicular to the
+    /// path ("moves in a jitterish curved trajectory", §4.1).
+    pub jitter_px: f64,
+    /// Raw pointer sample interval (ms) — optical mice report at 125 Hz.
+    pub pointer_sample_interval_ms: f64,
+
+    // -- Clicks --------------------------------------------------------------
+    /// Click placement std dev as a fraction of element width (x-axis).
+    /// Humans cluster near, but "hardly ever in", the centre (§4.1).
+    pub click_sigma_x_frac: f64,
+    /// Click placement std dev as a fraction of element height (y-axis).
+    pub click_sigma_y_frac: f64,
+    /// Mean click-placement bias (fraction of width, positive = right of
+    /// centre; right-handed mouse users land slightly toward the approach
+    /// direction).
+    pub click_bias_x_frac: f64,
+    /// Button dwell time (ms).
+    pub click_dwell: TruncatedNormal,
+    /// Gap between the clicks of a double click (ms).
+    pub double_click_gap: TruncatedNormal,
+
+    // -- Typing ---------------------------------------------------------------
+    /// Key dwell time (ms).
+    pub key_dwell: TruncatedNormal,
+    /// Flight time between keyup and next keydown (ms). The mean is set so
+    /// overall speed lands near the paper's measured 600 cpm for
+    /// ten-finger typing.
+    pub key_flight: TruncatedNormal,
+    /// Probability that at fast pace the next key is pressed before the
+    /// previous is released ("interleaving key presses", §4.1).
+    pub interleave_prob: f64,
+    /// Lag-1 autocorrelation of consecutive key dwell deviations. Human
+    /// rhythm drifts (tempo, fatigue), so successive dwell times are
+    /// serially correlated — the *behavioural consistency* that §4.2's
+    /// third detector level tracks and that i.i.d. noise (HLISA's normal
+    /// draws) lacks.
+    pub dwell_autocorr: f64,
+    /// Additional pause after finishing a word (space) — Alves et al.
+    pub pause_word: TruncatedNormal,
+    /// Additional pause after a comma/semicolon.
+    pub pause_comma: TruncatedNormal,
+    /// Additional pause after closing a sentence (./!/?).
+    pub pause_sentence: TruncatedNormal,
+
+    // -- Scrolling -----------------------------------------------------------
+    /// Pause between consecutive wheel ticks within one flick (ms).
+    pub scroll_tick_gap: TruncatedNormal,
+    /// Ticks per flick before the finger must be repositioned.
+    pub scroll_ticks_per_flick_mean: f64,
+    /// Longer break while "moving one's finger to continue scrolling the
+    /// mouse wheel" (§4.1).
+    pub scroll_finger_break: TruncatedNormal,
+}
+
+impl HumanParams {
+    /// The default parameter set (the paper's single-subject calibration).
+    pub fn paper_baseline() -> Self {
+        Self {
+            fitts_a_ms: 120.0,
+            fitts_b_ms: 130.0,
+            curve_amplitude_frac: 0.08,
+            jitter_px: 1.2,
+            pointer_sample_interval_ms: 8.0,
+
+            click_sigma_x_frac: 0.14,
+            click_sigma_y_frac: 0.16,
+            click_bias_x_frac: 0.02,
+            click_dwell: TruncatedNormal::new(85.0, 25.0, 20.0, 250.0),
+            double_click_gap: TruncatedNormal::new(180.0, 50.0, 60.0, 450.0),
+
+            key_dwell: TruncatedNormal::new(95.0, 30.0, 25.0, 300.0),
+            // 600 cpm = 100 ms/char total; with ~95 ms dwell overlapping
+            // flight, a ~100 ms mean flight from keydown to keydown is
+            // achieved with flight (up→down) near 10 ms and interleaving.
+            key_flight: TruncatedNormal::new(15.0, 45.0, -60.0, 400.0),
+            interleave_prob: 0.25,
+            dwell_autocorr: 0.6,
+            pause_word: TruncatedNormal::new(180.0, 80.0, 30.0, 900.0),
+            pause_comma: TruncatedNormal::new(320.0, 120.0, 60.0, 1500.0),
+            pause_sentence: TruncatedNormal::new(650.0, 250.0, 120.0, 3000.0),
+
+            scroll_tick_gap: TruncatedNormal::new(140.0, 45.0, 40.0, 500.0),
+            scroll_ticks_per_flick_mean: 5.0,
+            scroll_finger_break: TruncatedNormal::new(420.0, 130.0, 150.0, 1500.0),
+        }
+    }
+
+    /// A randomly drawn *individual* within the human population: the
+    /// baseline with per-subject offsets on tempo-defining means. Level-2
+    /// detectors must model the population (different people type and click
+    /// at different tempos); level-4 detectors enrol exactly one of these
+    /// individuals.
+    pub fn individual(subject_seed: u64) -> Self {
+        use params_util::unit;
+        let mut p = Self::paper_baseline();
+        // ±15 ms dwell-mean offset, correlated ±12 ms click dwell offset
+        // (a slow typist is usually a deliberate clicker too).
+        let tempo = unit(subject_seed, 0) * 2.0 - 1.0; // -1..1
+        let kd_off = tempo * 15.0;
+        let cd_off = tempo * 12.0 + (unit(subject_seed, 1) * 2.0 - 1.0) * 4.0;
+        let flight_off = tempo * 10.0;
+        let gap_off = tempo * 25.0;
+        p.key_dwell = TruncatedNormal::new(
+            p.key_dwell.mean() + kd_off,
+            p.key_dwell.std_dev(),
+            p.key_dwell.lo(),
+            p.key_dwell.hi(),
+        );
+        p.click_dwell = TruncatedNormal::new(
+            p.click_dwell.mean() + cd_off,
+            p.click_dwell.std_dev(),
+            p.click_dwell.lo(),
+            p.click_dwell.hi(),
+        );
+        p.key_flight = TruncatedNormal::new(
+            p.key_flight.mean() + flight_off,
+            p.key_flight.std_dev(),
+            p.key_flight.lo(),
+            p.key_flight.hi(),
+        );
+        p.scroll_tick_gap = TruncatedNormal::new(
+            p.scroll_tick_gap.mean() + gap_off,
+            p.scroll_tick_gap.std_dev(),
+            p.scroll_tick_gap.lo(),
+            p.scroll_tick_gap.hi(),
+        );
+        p.click_sigma_x_frac *= 0.85 + unit(subject_seed, 2) * 0.3;
+        p.click_sigma_y_frac *= 0.85 + unit(subject_seed, 3) * 0.3;
+        p.fitts_b_ms *= 0.9 + unit(subject_seed, 4) * 0.2;
+        p
+    }
+
+    /// Fitts's-law movement time for distance `d` to a target of width `w`.
+    pub fn fitts_duration_ms(&self, d: f64, w: f64) -> f64 {
+        let w = w.max(4.0);
+        let index_of_difficulty = (d / w + 1.0).log2().max(0.0);
+        self.fitts_a_ms + self.fitts_b_ms * index_of_difficulty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitts_grows_with_distance() {
+        let p = HumanParams::paper_baseline();
+        let short = p.fitts_duration_ms(50.0, 40.0);
+        let long = p.fitts_duration_ms(1000.0, 40.0);
+        assert!(long > short);
+        assert!(short >= p.fitts_a_ms);
+    }
+
+    #[test]
+    fn fitts_grows_with_smaller_targets() {
+        let p = HumanParams::paper_baseline();
+        assert!(p.fitts_duration_ms(500.0, 10.0) > p.fitts_duration_ms(500.0, 100.0));
+    }
+
+    #[test]
+    fn fitts_handles_degenerate_width() {
+        let p = HumanParams::paper_baseline();
+        let t = p.fitts_duration_ms(500.0, 0.0);
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn individuals_vary_but_stay_plausible() {
+        let a = HumanParams::individual(1);
+        let b = HumanParams::individual(2);
+        assert_ne!(a.key_dwell.mean(), b.key_dwell.mean());
+        for s in 0..50u64 {
+            let p = HumanParams::individual(s);
+            assert!((75.0..120.0).contains(&p.key_dwell.mean()), "{}", p.key_dwell.mean());
+            assert!(p.click_sigma_x_frac > 0.08 && p.click_sigma_x_frac < 0.22);
+        }
+    }
+
+    #[test]
+    fn individual_is_deterministic_per_seed() {
+        assert_eq!(HumanParams::individual(9), HumanParams::individual(9));
+    }
+
+    #[test]
+    fn baseline_dwell_is_positive() {
+        let p = HumanParams::paper_baseline();
+        assert!(p.click_dwell.lo() > 0.0);
+        assert!(p.key_dwell.lo() > 0.0);
+    }
+}

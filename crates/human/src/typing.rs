@@ -1,0 +1,285 @@
+//! Human typing rhythm.
+//!
+//! Appendix E: dwell time (press→release of one key) and flight time
+//! (release→next press) are derived from a 100-character typing recording;
+//! the paper combines them with the contextual pause taxonomy of Alves et
+//! al. (2007) — longer pauses after words, commas, and sentence ends. Fast
+//! ten-finger typing (~600 cpm) also *interleaves* presses: "sometimes a
+//! key is only released when a different key has already been pressed"
+//! (§4.1). The planner reproduces all of it, including the Shift presses
+//! capitals need on a real keyboard.
+
+use crate::keyboard::us_qwerty;
+use crate::params::HumanParams;
+use rand::Rng;
+
+/// One planned key transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedKeyEvent {
+    /// Offset from the start of typing (ms).
+    pub at_ms: f64,
+    /// True for keydown, false for keyup.
+    pub down: bool,
+    /// DOM key value.
+    pub key: String,
+}
+
+/// Plans the key events for typing `text` like a human. Characters the
+/// US-QWERTY layout cannot produce are skipped (matching what a physical
+/// typist without an IME can enter).
+pub fn plan_typing<R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &mut R,
+    text: &str,
+) -> Vec<PlannedKeyEvent> {
+    let mut events: Vec<PlannedKeyEvent> = Vec::new();
+    let mut t = 0.0f64; // next keydown time
+    let mut prev_up_t = 0.0f64;
+    let mut shift_down = false;
+    let mut prev_char: Option<char> = None;
+
+    // AR(1) tempo drift: successive dwell deviations are serially
+    // correlated (the consistency signal of §4.2). Stationary variance is
+    // kept equal to the configured dwell variance.
+    let rho = params.dwell_autocorr.clamp(0.0, 0.95);
+    let dwell_mean = params.key_dwell.mean();
+    let dwell_sigma = params.key_dwell.std_dev();
+    let innovation = hlisa_stats::Normal::new(0.0, dwell_sigma * (1.0 - rho * rho).sqrt());
+    let mut dwell_dev = 0.0f64;
+
+    let chars: Vec<char> = text.chars().filter(|c| us_qwerty(*c).is_some()).collect();
+    for (i, ch) in chars.iter().enumerate() {
+        let spec = us_qwerty(*ch).expect("filtered to mapped chars");
+
+        // Contextual pause from the character *before* this one.
+        if let Some(prev) = prev_char {
+            let extra = match prev {
+                ' ' => Some(params.pause_word.sample(rng)),
+                ',' | ';' => Some(params.pause_comma.sample(rng)),
+                '.' | '!' | '?' => Some(params.pause_sentence.sample(rng)),
+                _ => None,
+            };
+            if let Some(extra) = extra {
+                t += extra;
+            }
+        }
+
+        // Shift transitions around the run of shifted characters.
+        if spec.needs_shift && !shift_down {
+            let lead = rng.gen_range(35.0..90.0);
+            events.push(PlannedKeyEvent {
+                at_ms: (t - lead).max(0.0),
+                down: true,
+                key: "Shift".to_string(),
+            });
+            shift_down = true;
+        } else if !spec.needs_shift && shift_down {
+            let lag = rng.gen_range(10.0..50.0);
+            events.push(PlannedKeyEvent {
+                at_ms: prev_up_t + lag,
+                down: false,
+                key: "Shift".to_string(),
+            });
+            shift_down = false;
+            t = t.max(prev_up_t + lag + 5.0);
+        }
+
+        // The key itself. Dwell follows the drifting tempo.
+        dwell_dev = rho * dwell_dev + innovation.sample(rng);
+        let dwell = (dwell_mean + dwell_dev).clamp(params.key_dwell.lo(), params.key_dwell.hi());
+        events.push(PlannedKeyEvent {
+            at_ms: t,
+            down: true,
+            key: spec.key.clone(),
+        });
+        events.push(PlannedKeyEvent {
+            at_ms: t + dwell,
+            down: false,
+            key: spec.key.clone(),
+        });
+        prev_up_t = t + dwell;
+
+        // Flight to the next press; interleave sometimes.
+        if i + 1 < chars.len() {
+            let mut flight = params.key_flight.sample(rng);
+            if flight < 0.0 && !rng.gen_bool(params.interleave_prob) {
+                flight = flight.abs();
+            }
+            // Next press measured from this key's *release* minus overlap.
+            t = (prev_up_t + flight).max(t + 20.0);
+        }
+        prev_char = Some(*ch);
+    }
+    if shift_down {
+        events.push(PlannedKeyEvent {
+            at_ms: prev_up_t + rng.gen_range(10.0..60.0),
+            down: false,
+            key: "Shift".to_string(),
+        });
+    }
+    events.sort_by(|a, b| a.at_ms.partial_cmp(&b.at_ms).expect("finite times"));
+    events
+}
+
+/// Overall characters-per-minute implied by a plan (counting non-modifier
+/// presses).
+pub fn plan_cpm(events: &[PlannedKeyEvent]) -> f64 {
+    let presses: Vec<&PlannedKeyEvent> = events
+        .iter()
+        .filter(|e| e.down && e.key != "Shift")
+        .collect();
+    if presses.len() < 2 {
+        return 0.0;
+    }
+    let span_ms = presses.last().unwrap().at_ms - presses[0].at_ms;
+    if span_ms <= 0.0 {
+        return 0.0;
+    }
+    (presses.len() - 1) as f64 * 60_000.0 / span_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_stats::rngutil::rng_from_seed;
+
+    fn plan(text: &str, seed: u64) -> Vec<PlannedKeyEvent> {
+        let p = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(seed);
+        plan_typing(&p, &mut rng, text)
+    }
+
+    #[test]
+    fn every_down_has_an_up() {
+        let ev = plan("hello world", 1);
+        let downs = ev.iter().filter(|e| e.down).count();
+        let ups = ev.iter().filter(|e| !e.down).count();
+        assert_eq!(downs, ups);
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let ev = plan("the quick brown fox. jumps, again", 2);
+        for w in ev.windows(2) {
+            assert!(w[1].at_ms >= w[0].at_ms);
+        }
+    }
+
+    #[test]
+    fn capitals_get_shift_around_them() {
+        let ev = plan("aBc", 3);
+        let shift_down = ev
+            .iter()
+            .position(|e| e.down && e.key == "Shift")
+            .expect("shift pressed");
+        let b_down = ev
+            .iter()
+            .position(|e| e.down && e.key == "B")
+            .expect("B pressed");
+        let shift_up = ev
+            .iter()
+            .position(|e| !e.down && e.key == "Shift")
+            .expect("shift released");
+        assert!(shift_down < b_down, "shift must precede the capital");
+        assert!(shift_up > b_down, "shift released after the capital press");
+    }
+
+    #[test]
+    fn consecutive_capitals_share_one_shift() {
+        let ev = plan("ABC", 4);
+        let shift_downs = ev.iter().filter(|e| e.down && e.key == "Shift").count();
+        assert_eq!(shift_downs, 1);
+    }
+
+    #[test]
+    fn speed_is_broadly_human() {
+        // ~600 cpm target, single-subject variation allowed.
+        let ev = plan(
+            "the quick brown fox jumps over the lazy dog and keeps running",
+            5,
+        );
+        let cpm = plan_cpm(&ev);
+        assert!((250.0..900.0).contains(&cpm), "cpm = {cpm}");
+    }
+
+    #[test]
+    fn sentence_pause_slows_the_rhythm() {
+        let p = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(6);
+        let flat = plan_typing(&p, &mut rng, "aaaa aaaa aaaa aaaa");
+        let mut rng2 = rng_from_seed(6);
+        let punct = plan_typing(&p, &mut rng2, "aa. aa. aa. aa. aa.");
+        let span = |ev: &[PlannedKeyEvent]| ev.last().unwrap().at_ms - ev[0].at_ms;
+        assert!(span(&punct) > span(&flat));
+    }
+
+    #[test]
+    fn interleaving_occurs_at_speed() {
+        // Generate a long plan and check at least one key is pressed before
+        // the previous is released.
+        let ev = plan(
+            "abcdefghijklmnopqrstuvwxyz abcdefghijklmnopqrstuvwxyz abcdefghijklmnopqrstuvwxyz",
+            7,
+        );
+        let mut open: Vec<(String, f64)> = Vec::new();
+        let mut interleaves = 0;
+        for e in &ev {
+            if e.key == "Shift" {
+                continue;
+            }
+            if e.down {
+                if !open.is_empty() {
+                    interleaves += 1;
+                }
+                open.push((e.key.clone(), e.at_ms));
+            } else if let Some(pos) = open.iter().position(|(k, _)| *k == e.key) {
+                open.remove(pos);
+            }
+        }
+        assert!(interleaves > 0, "no rollover typing in a long fast plan");
+    }
+
+    #[test]
+    fn unmapped_chars_are_skipped() {
+        let ev = plan("aéb", 8);
+        let keys: Vec<&str> = ev
+            .iter()
+            .filter(|e| e.down)
+            .map(|e| e.key.as_str())
+            .collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn dwell_times_are_serially_correlated() {
+        let p = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(20);
+        let long = "the quick brown fox jumps over the lazy dog ".repeat(8);
+        let ev = plan_typing(&p, &mut rng, &long);
+        // Pair downs with ups per key occurrence, in order.
+        let mut dwells: Vec<f64> = Vec::new();
+        let mut open: Vec<(String, f64)> = Vec::new();
+        for e in &ev {
+            if e.key == "Shift" {
+                continue;
+            }
+            if e.down {
+                open.push((e.key.clone(), e.at_ms));
+            } else if let Some(pos) = open.iter().position(|(k, _)| *k == e.key) {
+                let (_, down_t) = open.remove(pos);
+                dwells.push(e.at_ms - down_t);
+            }
+        }
+        assert!(dwells.len() > 200);
+        let lag0: Vec<f64> = dwells[..dwells.len() - 1].to_vec();
+        let lag1: Vec<f64> = dwells[1..].to_vec();
+        let r = hlisa_stats::descriptive::pearson(&lag0, &lag1);
+        assert!(r > 0.3, "lag-1 autocorr too weak: {r}");
+    }
+
+    #[test]
+    fn empty_text_gives_empty_plan() {
+        assert!(plan("", 9).is_empty());
+        assert_eq!(plan_cpm(&[]), 0.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Builders for Firefox-shaped `window`/`navigator` object trees.
+//!
+//! Jonker et al. (ESORICS'19) showed that the fingerprint surface that
+//! separates automated from regular browsers is concentrated in the
+//! `navigator` object, with `navigator.webdriver` as the single most
+//! discriminative property (the W3C WebDriver spec *requires* conforming
+//! automated browsers to expose it as `true`). These builders produce the
+//! portion of the Firefox global object graph that the paper's experiments
+//! touch: `window`, `navigator`, `Navigator.prototype` with its getters in
+//! Firefox enumeration order, and the reflective built-ins
+//! (`Object.prototype.toString`, `Function.prototype.toString`).
+
+use crate::object::{JsObject, NativeBehavior, PropertyDescriptor};
+use crate::realm::{ObjectId, Realm};
+use crate::value::Value;
+
+/// Which browser flavour to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BrowserFlavor {
+    /// A regular, human-driven Firefox: `navigator.webdriver === false`.
+    RegularFirefox,
+    /// A WebDriver-automated Firefox (Selenium/OpenWPM) run *headful*, as
+    /// the paper does: `navigator.webdriver === true` but otherwise a
+    /// normal desktop browser.
+    WebDriverFirefox,
+    /// A WebDriver-automated Firefox run headless: on top of the webdriver
+    /// flag, the environment leaks — no plugins, no window chrome. The
+    /// paper runs headful precisely to avoid this second surface
+    /// (cf. Vastel's headless-detection work cited in §2).
+    HeadlessFirefox,
+}
+
+impl BrowserFlavor {
+    /// Whether the flavour reports `navigator.webdriver === true`.
+    pub fn is_automated(&self) -> bool {
+        !matches!(self, BrowserFlavor::RegularFirefox)
+    }
+
+    /// Whether the flavour carries headless environment leaks.
+    pub fn is_headless(&self) -> bool {
+        matches!(self, BrowserFlavor::HeadlessFirefox)
+    }
+}
+
+/// A built world: the realm plus ids of the interesting roots.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The object arena.
+    pub realm: Realm,
+    /// `window`.
+    pub window: ObjectId,
+    /// `window.navigator`.
+    pub navigator: ObjectId,
+    /// `Navigator.prototype` (where Firefox keeps the getters).
+    pub navigator_prototype: ObjectId,
+    /// `Object.prototype`.
+    pub object_prototype: ObjectId,
+    /// `Function.prototype.toString`.
+    pub function_to_string: ObjectId,
+    /// The flavour this world was built as.
+    pub flavor: BrowserFlavor,
+}
+
+impl World {
+    /// Rebinds `window.navigator` (used by the Proxy spoofing method, which
+    /// replaces the binding with a wrapping proxy).
+    pub fn rebind_navigator(&mut self, new_navigator: ObjectId) {
+        self.realm.obj_mut(self.window).set_own(
+            "navigator",
+            PropertyDescriptor::plain(Value::Object(new_navigator)),
+        );
+        self.navigator = new_navigator;
+    }
+
+    /// Resolves `window.navigator` freshly through the object graph (what a
+    /// page script actually sees, following any rebinding).
+    pub fn resolve_navigator(&mut self) -> ObjectId {
+        self.realm
+            .get(self.window, "navigator")
+            .expect("window.navigator must resolve")
+            .as_object()
+            .expect("window.navigator must be an object")
+    }
+}
+
+/// Navigator getter properties in (representative) Firefox enumeration
+/// order, with the values a Linux Firefox 88 — the OpenWPM v0.13 browser —
+/// reports. Order fidelity matters: Table 1's "incorrect order of navigator
+/// properties" side effect is observed by iterating this list.
+const NAVIGATOR_GETTERS: &[(&str, NavValue)] = &[
+    ("permissions", NavValue::Obj("Permissions")),
+    ("mimeTypes", NavValue::Obj("MimeTypeArray")),
+    ("plugins", NavValue::Obj("PluginArray")),
+    ("doNotTrack", NavValue::Str("unspecified")),
+    ("maxTouchPoints", NavValue::Num(0.0)),
+    ("mediaCapabilities", NavValue::Obj("MediaCapabilities")),
+    ("oscpu", NavValue::Str("Linux x86_64")),
+    ("vendor", NavValue::Str("")),
+    ("vendorSub", NavValue::Str("")),
+    ("productSub", NavValue::Str("20100101")),
+    ("cookieEnabled", NavValue::Bool(true)),
+    ("buildID", NavValue::Str("20181001000000")),
+    ("mediaDevices", NavValue::Obj("MediaDevices")),
+    ("serviceWorker", NavValue::Obj("ServiceWorkerContainer")),
+    ("credentials", NavValue::Obj("CredentialsContainer")),
+    ("clipboard", NavValue::Obj("Clipboard")),
+    ("hardwareConcurrency", NavValue::Num(8.0)),
+    ("geolocation", NavValue::Obj("Geolocation")),
+    ("appCodeName", NavValue::Str("Mozilla")),
+    ("appName", NavValue::Str("Netscape")),
+    (
+        "appVersion",
+        NavValue::Str("5.0 (X11)"),
+    ),
+    ("platform", NavValue::Str("Linux x86_64")),
+    (
+        "userAgent",
+        NavValue::Str("Mozilla/5.0 (X11; Linux x86_64; rv:88.0) Gecko/20100101 Firefox/88.0"),
+    ),
+    ("product", NavValue::Str("Gecko")),
+    ("language", NavValue::Str("en-US")),
+    ("languages", NavValue::Obj("Array")),
+    ("onLine", NavValue::Bool(true)),
+    ("webdriver", NavValue::WebDriverFlag),
+    ("storage", NavValue::Obj("StorageManager")),
+];
+
+/// Navigator methods (named native functions) in enumeration order.
+const NAVIGATOR_METHODS: &[&str] = &[
+    "javaEnabled",
+    "taintEnabled",
+    "getGamepads",
+    "vibrate",
+    "sendBeacon",
+    "registerProtocolHandler",
+    "requestMediaKeySystemAccess",
+];
+
+enum NavValue {
+    Str(&'static str),
+    Bool(bool),
+    Num(f64),
+    /// A host object of the given class (contents irrelevant to the study).
+    Obj(&'static str),
+    /// `navigator.webdriver` — value depends on the flavour.
+    WebDriverFlag,
+}
+
+/// Builds the Firefox world for the given flavour.
+pub fn build_firefox_world(flavor: BrowserFlavor) -> World {
+    let mut realm = Realm::new();
+
+    // Object.prototype with toString/hasOwnProperty.
+    let object_prototype = realm.alloc(JsObject::plain("ObjectPrototype", None));
+    let obj_to_string = realm.make_native_fn("toString", NativeBehavior::ObjectToString);
+    realm.obj_mut(object_prototype).set_own(
+        "toString",
+        PropertyDescriptor {
+            kind: crate::object::PropertyKind::Data {
+                value: Value::Object(obj_to_string),
+                writable: true,
+            },
+            enumerable: false,
+            configurable: true,
+        },
+    );
+
+    // Function.prototype.toString.
+    let function_to_string = realm.make_native_fn("toString", NativeBehavior::FunctionToString);
+
+    // Navigator.prototype — getters in Firefox order, then methods.
+    let navigator_prototype =
+        realm.alloc(JsObject::plain("NavigatorPrototype", Some(object_prototype)));
+    for (name, v) in NAVIGATOR_GETTERS {
+        let ret = match v {
+            NavValue::Str(s) => Value::Str((*s).to_string()),
+            NavValue::Bool(b) => Value::Bool(*b),
+            NavValue::Num(n) => Value::Number(*n),
+            NavValue::Obj(class) => {
+                let o = realm.alloc(JsObject::plain(class, Some(object_prototype)));
+                Value::Object(o)
+            }
+            NavValue::WebDriverFlag => Value::Bool(flavor.is_automated()),
+        };
+        let getter =
+            realm.make_native_fn(&format!("get {name}"), NativeBehavior::Return(ret));
+        realm
+            .obj_mut(navigator_prototype)
+            .set_own(name, PropertyDescriptor::getter(getter, true));
+    }
+    for name in NAVIGATOR_METHODS {
+        let f = realm.make_native_fn(name, NativeBehavior::HostNoop);
+        realm.obj_mut(navigator_prototype).set_own(
+            name,
+            PropertyDescriptor {
+                kind: crate::object::PropertyKind::Data {
+                    value: Value::Object(f),
+                    writable: true,
+                },
+                enumerable: true,
+                configurable: true,
+            },
+        );
+    }
+
+    // Plugins: a headful desktop Firefox 88 reports a small PluginArray;
+    // headless runs report none — one of the leaks the paper's headful
+    // setup avoids.
+    {
+        let plugins_obj = realm
+            .obj(navigator_prototype)
+            .own("plugins")
+            .and_then(|d| match &d.kind {
+                crate::object::PropertyKind::Accessor { getter, .. } => *getter,
+                _ => None,
+            })
+            .expect("plugins getter exists");
+        let n_plugins = if flavor.is_headless() { 0.0 } else { 2.0 };
+        let arr = realm.alloc(JsObject::plain("PluginArray", Some(object_prototype)));
+        realm.obj_mut(arr).set_own(
+            "length",
+            PropertyDescriptor {
+                kind: crate::object::PropertyKind::Data {
+                    value: Value::Number(n_plugins),
+                    writable: false,
+                },
+                enumerable: false,
+                configurable: false,
+            },
+        );
+        realm.obj_mut(plugins_obj).function = Some(crate::object::FunctionInfo {
+            name: "get plugins".to_string(),
+            native: true,
+            behavior: NativeBehavior::Return(Value::Object(arr)),
+        });
+    }
+
+    // navigator instance: no own properties in a pristine Firefox — every
+    // observable lives on the prototype. That emptiness is itself one of the
+    // invariants the side-effect probes rely on.
+    let navigator = realm.alloc(JsObject::plain("Navigator", Some(navigator_prototype)));
+
+    // window with a navigator binding and the built-ins pages reach for.
+    let window = realm.alloc(JsObject::plain("Window", Some(object_prototype)));
+    realm.obj_mut(window).set_own(
+        "navigator",
+        PropertyDescriptor::plain(Value::Object(navigator)),
+    );
+    let document = realm.alloc(JsObject::plain("HTMLDocument", Some(object_prototype)));
+    realm.obj_mut(window).set_own(
+        "document",
+        PropertyDescriptor::plain(Value::Object(document)),
+    );
+    // Window geometry: a headful window carries browser chrome (outer >
+    // inner); a headless one does not.
+    let chrome_px = if flavor.is_headless() { 0.0 } else { 95.0 };
+    for (name, v) in [
+        ("innerWidth", 1280.0),
+        ("innerHeight", 720.0),
+        ("outerWidth", 1280.0),
+        ("outerHeight", 720.0 + chrome_px),
+    ] {
+        realm
+            .obj_mut(window)
+            .set_own(name, PropertyDescriptor::plain(Value::Number(v)));
+    }
+
+    World {
+        realm,
+        window,
+        navigator,
+        navigator_prototype,
+        object_prototype,
+        function_to_string,
+        flavor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_firefox_reports_webdriver_false() {
+        let mut w = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let nav = w.navigator;
+        assert_eq!(w.realm.get(nav, "webdriver").unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn webdriver_firefox_reports_webdriver_true() {
+        let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        let nav = w.navigator;
+        assert_eq!(w.realm.get(nav, "webdriver").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn pristine_navigator_has_no_own_properties() {
+        let w = build_firefox_world(BrowserFlavor::RegularFirefox);
+        assert_eq!(w.realm.own_len(w.navigator), 0);
+        assert!(w.realm.object_keys(w.navigator).is_empty());
+    }
+
+    #[test]
+    fn webdriver_is_enumerable_via_for_in() {
+        let w = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let keys = w.realm.for_in_keys(w.navigator);
+        assert!(keys.iter().any(|k| k == "webdriver"));
+        assert!(keys.iter().any(|k| k == "userAgent"));
+    }
+
+    #[test]
+    fn property_order_is_stable_across_builds() {
+        let a = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let b = build_firefox_world(BrowserFlavor::RegularFirefox);
+        assert_eq!(
+            a.realm.for_in_keys(a.navigator),
+            b.realm.for_in_keys(b.navigator)
+        );
+    }
+
+    #[test]
+    fn flavors_differ_only_in_webdriver_value() {
+        let reg = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let bot = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        assert_eq!(
+            reg.realm.for_in_keys(reg.navigator),
+            bot.realm.for_in_keys(bot.navigator)
+        );
+    }
+
+    #[test]
+    fn navigator_methods_have_names() {
+        let mut w = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let nav = w.navigator;
+        let f = w.realm.get(nav, "javaEnabled").unwrap().as_object().unwrap();
+        let s = w.realm.function_to_string(f).unwrap();
+        assert!(s.contains("javaEnabled"));
+        assert!(s.contains("[native code]"));
+    }
+
+    #[test]
+    fn rebind_navigator_changes_resolution() {
+        let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        let decoy = w
+            .realm
+            .alloc(JsObject::plain("Navigator", Some(w.navigator_prototype)));
+        w.rebind_navigator(decoy);
+        assert_eq!(w.resolve_navigator(), decoy);
+    }
+
+    #[test]
+    fn user_agent_matches_openwpm_firefox() {
+        let mut w = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let nav = w.navigator;
+        let ua = w.realm.get(nav, "userAgent").unwrap();
+        assert!(ua.as_str().unwrap().contains("Firefox/88.0"));
+    }
+}

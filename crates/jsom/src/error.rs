@@ -1,0 +1,45 @@
+//! Errors raised by object-model operations.
+
+use std::fmt;
+
+/// A JavaScript-level error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsError {
+    /// `TypeError` — e.g. calling a non-function or redefining a
+    /// non-configurable property.
+    TypeError(String),
+    /// `ReferenceError` — a missing binding.
+    ReferenceError(String),
+    /// Internal invariant violation (bad object id).
+    Internal(String),
+}
+
+impl fmt::Display for JsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsError::TypeError(m) => write!(f, "TypeError: {m}"),
+            JsError::ReferenceError(m) => write!(f, "ReferenceError: {m}"),
+            JsError::Internal(m) => write!(f, "InternalError: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind() {
+        assert_eq!(
+            JsError::TypeError("x".into()).to_string(),
+            "TypeError: x"
+        );
+        assert_eq!(
+            JsError::ReferenceError("y".into()).to_string(),
+            "ReferenceError: y"
+        );
+        assert!(JsError::Internal("z".into()).to_string().contains('z'));
+    }
+}

@@ -1,0 +1,34 @@
+//! JavaScript object model substrate.
+//!
+//! §3 of the paper studies four ways of spoofing `navigator.webdriver` with
+//! JavaScript and the side effects each method leaves behind (Table 1). All
+//! of those side effects are *semantic* properties of the JS object model:
+//!
+//! * own-property insertion order (for-in / `Object.keys` enumeration),
+//! * shadowing an inherited accessor with an own property,
+//! * data- vs accessor-property descriptors along the prototype chain,
+//! * `Function.prototype.toString` output (named vs anonymous native code),
+//! * `Proxy` wrappers re-exporting methods as anonymous functions.
+//!
+//! Rather than embedding a JS engine, this crate implements exactly that
+//! object model: an arena of objects with ordered property tables, property
+//! descriptors, prototype chains, native functions with faithful `toString`,
+//! and proxy objects. [`builders`] constructs `window`/`navigator` trees as
+//! Firefox exposes them — one flavour for a regular browser and one for a
+//! WebDriver-automated browser (`navigator.webdriver === true`, per the
+//! W3C WebDriver spec). [`template`] implements the JavaScript template
+//! attack of Schwarz et al. (NDSS'19) used by the paper to find side effects.
+
+pub mod builders;
+pub mod error;
+pub mod object;
+pub mod realm;
+pub mod template;
+pub mod value;
+
+pub use builders::{build_firefox_world, BrowserFlavor, World};
+pub use error::JsError;
+pub use object::{NativeBehavior, PropertyDescriptor, PropertyKind};
+pub use realm::{ObjectId, Realm};
+pub use template::{Template, TemplateDiff};
+pub use value::Value;

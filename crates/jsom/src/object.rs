@@ -1,0 +1,249 @@
+//! Objects, property descriptors, and native function behaviours.
+
+use crate::realm::ObjectId;
+use crate::value::Value;
+
+/// What a native function does when called. Real engines attach compiled
+/// code; the spoofing study only ever calls a handful of reflective
+/// built-ins, so a small behaviour enum is sufficient and keeps everything
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NativeBehavior {
+    /// Returns a fixed value (covers spoofed getters like `() => false`).
+    Return(Value),
+    /// Returns the engine-generated `toString` of the `this` function —
+    /// the behaviour of `Function.prototype.toString`.
+    FunctionToString,
+    /// Returns `"[object <class>]"` of the `this` object —
+    /// `Object.prototype.toString`.
+    ObjectToString,
+    /// A host method whose return value is irrelevant to the experiments
+    /// (e.g. `navigator.javaEnabled`); returns `undefined`.
+    HostNoop,
+}
+
+/// Kind of property slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyKind {
+    /// A data property holding a value directly.
+    Data {
+        /// The stored value.
+        value: Value,
+        /// Whether assignment may change the value.
+        writable: bool,
+    },
+    /// An accessor property with optional getter/setter functions.
+    Accessor {
+        /// Getter function object, if any.
+        getter: Option<ObjectId>,
+        /// Setter function object, if any.
+        setter: Option<ObjectId>,
+    },
+}
+
+/// A full property descriptor (kind + enumerability + configurability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyDescriptor {
+    /// Data or accessor slot.
+    pub kind: PropertyKind,
+    /// Whether `for-in` / `Object.keys` list the property.
+    pub enumerable: bool,
+    /// Whether the property may be redefined or deleted.
+    pub configurable: bool,
+}
+
+impl PropertyDescriptor {
+    /// A writable, enumerable, configurable data property — the shape
+    /// produced by plain assignment.
+    pub fn plain(value: Value) -> Self {
+        Self {
+            kind: PropertyKind::Data {
+                value,
+                writable: true,
+            },
+            enumerable: true,
+            configurable: true,
+        }
+    }
+
+    /// A non-enumerable data property, the default for
+    /// `Object.defineProperty` when `enumerable` is omitted.
+    pub fn define_default(value: Value) -> Self {
+        Self {
+            kind: PropertyKind::Data {
+                value,
+                writable: false,
+            },
+            enumerable: false,
+            configurable: false,
+        }
+    }
+
+    /// An accessor descriptor with only a getter.
+    pub fn getter(getter: ObjectId, enumerable: bool) -> Self {
+        Self {
+            kind: PropertyKind::Accessor {
+                getter: Some(getter),
+                setter: None,
+            },
+            enumerable,
+            configurable: true,
+        }
+    }
+
+    /// True if the slot is an accessor.
+    pub fn is_accessor(&self) -> bool {
+        matches!(self.kind, PropertyKind::Accessor { .. })
+    }
+}
+
+/// Function metadata carried by function objects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionInfo {
+    /// The function's `name` property. Engine-created anonymous wrappers
+    /// (the Proxy side effect of §3.1) carry an empty name.
+    pub name: String,
+    /// Whether `toString` renders `[native code]` (all host functions do).
+    pub native: bool,
+    /// What calling the function does.
+    pub behavior: NativeBehavior,
+}
+
+/// Proxy handler state: the spoofed property overrides installed by the
+/// OpenWPM extension (§3.2). Every other trap forwards to the target.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProxyHandler {
+    /// Property name → spoofed value returned by the `get` trap.
+    pub get_overrides: Vec<(String, Value)>,
+}
+
+impl ProxyHandler {
+    /// Looks up an override for `key`.
+    pub fn override_for(&self, key: &str) -> Option<&Value> {
+        self.get_overrides
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// An object in the realm arena.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsObject {
+    /// Internal `[[Class]]`-like tag: `"Object"`, `"Navigator"`,
+    /// `"Function"`, `"Window"`, ...
+    pub class: String,
+    /// Own properties in insertion order. Enumeration-order fidelity is the
+    /// whole point of this substrate, so a `Vec` is the primary structure;
+    /// sizes are tiny (tens of properties) so linear lookup is fine.
+    pub props: Vec<(String, PropertyDescriptor)>,
+    /// `[[Prototype]]`.
+    pub prototype: Option<ObjectId>,
+    /// Present iff this object is callable.
+    pub function: Option<FunctionInfo>,
+    /// Present iff this object is a Proxy exotic object: `(target, handler)`.
+    pub proxy: Option<(ObjectId, ProxyHandler)>,
+}
+
+impl JsObject {
+    /// A plain object with the given class and prototype.
+    pub fn plain(class: &str, prototype: Option<ObjectId>) -> Self {
+        Self {
+            class: class.to_string(),
+            props: Vec::new(),
+            prototype,
+            function: None,
+            proxy: None,
+        }
+    }
+
+    /// Finds an own property slot.
+    pub fn own(&self, key: &str) -> Option<&PropertyDescriptor> {
+        self.props.iter().find(|(k, _)| k == key).map(|(_, d)| d)
+    }
+
+    /// Finds an own property slot mutably.
+    pub fn own_mut(&mut self, key: &str) -> Option<&mut PropertyDescriptor> {
+        self.props
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, d)| d)
+    }
+
+    /// Inserts or replaces an own property. Replacement keeps the original
+    /// insertion position (JS semantics); new keys append.
+    pub fn set_own(&mut self, key: &str, desc: PropertyDescriptor) {
+        if let Some(slot) = self.own_mut(key) {
+            *slot = desc;
+        } else {
+            self.props.push((key.to_string(), desc));
+        }
+    }
+
+    /// Number of own properties.
+    pub fn own_len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Own keys in insertion order.
+    pub fn own_keys(&self) -> Vec<String> {
+        self.props.iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// Own *enumerable* keys in insertion order (`Object.keys`).
+    pub fn own_enumerable_keys(&self) -> Vec<String> {
+        self.props
+            .iter()
+            .filter(|(_, d)| d.enumerable)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_own_preserves_position_on_redefine() {
+        let mut o = JsObject::plain("Object", None);
+        o.set_own("a", PropertyDescriptor::plain(Value::Number(1.0)));
+        o.set_own("b", PropertyDescriptor::plain(Value::Number(2.0)));
+        o.set_own("a", PropertyDescriptor::plain(Value::Number(9.0)));
+        assert_eq!(o.own_keys(), vec!["a", "b"]);
+        match &o.own("a").unwrap().kind {
+            PropertyKind::Data { value, .. } => assert_eq!(*value, Value::Number(9.0)),
+            _ => panic!("expected data property"),
+        }
+    }
+
+    #[test]
+    fn enumerable_filtering() {
+        let mut o = JsObject::plain("Object", None);
+        o.set_own("vis", PropertyDescriptor::plain(Value::Bool(true)));
+        o.set_own(
+            "hidden",
+            PropertyDescriptor::define_default(Value::Bool(false)),
+        );
+        assert_eq!(o.own_enumerable_keys(), vec!["vis"]);
+        assert_eq!(o.own_len(), 2);
+    }
+
+    #[test]
+    fn descriptor_constructors() {
+        assert!(PropertyDescriptor::plain(Value::Null).enumerable);
+        assert!(!PropertyDescriptor::define_default(Value::Null).enumerable);
+        let g = PropertyDescriptor::getter(ObjectId::test_id(0), true);
+        assert!(g.is_accessor());
+        assert!(!PropertyDescriptor::plain(Value::Null).is_accessor());
+    }
+
+    #[test]
+    fn proxy_handler_lookup() {
+        let h = ProxyHandler {
+            get_overrides: vec![("webdriver".into(), Value::Bool(false))],
+        };
+        assert_eq!(h.override_for("webdriver"), Some(&Value::Bool(false)));
+        assert_eq!(h.override_for("other"), None);
+    }
+}

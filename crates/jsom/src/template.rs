@@ -1,0 +1,276 @@
+//! JavaScript template attacks (Schwarz et al., NDSS'19).
+//!
+//! A template attack walks the JavaScript object hierarchy from a root
+//! object, recording for every reachable property path a structural summary
+//! (type, descriptor shape, function name, class). Diffing the template of a
+//! candidate environment against that of a reference environment reveals
+//! *any* property that was added, removed, or changed — which is exactly how
+//! the paper finds the side effects of the spoofing methods (§3.1).
+
+use crate::realm::{ObjectId, Realm};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A structural summary of one property path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// `typeof` of the resolved value.
+    pub type_of: String,
+    /// Rendered value for primitives; `[object]` for objects.
+    pub value_repr: String,
+    /// `"data"`, `"accessor"`, or `"inherited"` (found on the prototype
+    /// chain rather than as an own property of the holder).
+    pub descriptor: String,
+    /// `fn.toString()` for functions (captures missing names).
+    pub fn_source: Option<String>,
+    /// Class of the object the property resolved on.
+    pub holder_class: String,
+    /// Own-key list *position* within the holder, capturing enumeration
+    /// order changes.
+    pub order_index: Option<usize>,
+}
+
+/// A template: path (e.g. `window.navigator.webdriver`) → entry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Template {
+    /// All recorded entries, keyed by dotted path.
+    pub entries: BTreeMap<String, Entry>,
+}
+
+/// One difference between two templates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateDiff {
+    /// Path exists only in the candidate.
+    Added(String),
+    /// Path exists only in the reference.
+    Removed(String),
+    /// Path exists in both but the entries differ (field name included).
+    Changed(String, String),
+}
+
+impl Template {
+    /// Captures a template rooted at `root`, labelled `root_name`, walking
+    /// object-valued properties breadth-first up to `max_depth`.
+    pub fn capture(realm: &mut Realm, root: ObjectId, root_name: &str, max_depth: usize) -> Self {
+        let mut entries = BTreeMap::new();
+        let mut queue: Vec<(ObjectId, String, usize)> = vec![(root, root_name.to_string(), 0)];
+        let mut visited: Vec<ObjectId> = Vec::new();
+
+        while let Some((obj, path, depth)) = queue.pop() {
+            if visited.contains(&obj) {
+                continue;
+            }
+            visited.push(obj);
+
+            // for-in view: all enumerable keys through the chain, giving the
+            // enumeration-order observable.
+            let keys = realm.for_in_keys(obj);
+            for (idx, key) in keys.iter().enumerate() {
+                let child_path = format!("{path}.{key}");
+                let value = realm.get(obj, key).unwrap_or(Value::Undefined);
+                let descriptor = match realm.get_own_descriptor(obj, key) {
+                    Some(d) if d.is_accessor() => "accessor".to_string(),
+                    Some(_) => "data".to_string(),
+                    None => "inherited".to_string(),
+                };
+                let fn_source = value.as_object().and_then(|oid| {
+                    realm.function_to_string(oid).ok()
+                });
+                let holder_class = holder_class(realm, obj, key);
+                entries.insert(
+                    child_path.clone(),
+                    Entry {
+                        type_of: realm.type_of(&value).to_string(),
+                        value_repr: value.template_repr(),
+                        descriptor,
+                        fn_source,
+                        holder_class,
+                        order_index: Some(idx),
+                    },
+                );
+                if depth + 1 < max_depth {
+                    if let Value::Object(oid) = value {
+                        if realm.obj(oid).function.is_none() {
+                            queue.push((oid, child_path, depth + 1));
+                        }
+                    }
+                }
+            }
+
+            // Prototype-chain view: record chain length and classes — the
+            // setPrototypeOf method inserts an extra hop here.
+            let chain = realm.proto_chain(obj);
+            let chain_classes: Vec<String> = chain
+                .iter()
+                .map(|id| realm.obj(*id).class.clone())
+                .collect();
+            entries.insert(
+                format!("{path}.__proto_chain__"),
+                Entry {
+                    type_of: "chain".into(),
+                    value_repr: chain_classes.join(" -> "),
+                    descriptor: format!("len={}", chain.len()),
+                    fn_source: None,
+                    holder_class: realm.obj(obj).class.clone(),
+                    order_index: None,
+                },
+            );
+            // Own-key census: Object.keys + own length (the `_length`
+            // observable of Table 1).
+            entries.insert(
+                format!("{path}.__own__"),
+                Entry {
+                    type_of: "own-keys".into(),
+                    value_repr: realm.object_keys(obj).join(","),
+                    descriptor: format!("len={}", realm.own_len(obj)),
+                    fn_source: None,
+                    holder_class: realm.obj(obj).class.clone(),
+                    order_index: None,
+                },
+            );
+        }
+        Template { entries }
+    }
+
+    /// Diffs `self` (reference) against `candidate`.
+    pub fn diff(&self, candidate: &Template) -> Vec<TemplateDiff> {
+        let mut out = Vec::new();
+        for (path, ref_entry) in &self.entries {
+            match candidate.entries.get(path) {
+                None => out.push(TemplateDiff::Removed(path.clone())),
+                Some(cand) => {
+                    if cand != ref_entry {
+                        let field = if cand.type_of != ref_entry.type_of {
+                            "type"
+                        } else if cand.value_repr != ref_entry.value_repr {
+                            "value"
+                        } else if cand.descriptor != ref_entry.descriptor {
+                            "descriptor"
+                        } else if cand.fn_source != ref_entry.fn_source {
+                            "fn_source"
+                        } else if cand.order_index != ref_entry.order_index {
+                            "order"
+                        } else {
+                            "holder"
+                        };
+                        out.push(TemplateDiff::Changed(path.clone(), field.to_string()));
+                    }
+                }
+            }
+        }
+        for path in candidate.entries.keys() {
+            if !self.entries.contains_key(path) {
+                out.push(TemplateDiff::Added(path.clone()));
+            }
+        }
+        out
+    }
+}
+
+fn holder_class(realm: &Realm, obj: ObjectId, key: &str) -> String {
+    if realm.has_own(obj, key) {
+        return realm.obj(obj).class.clone();
+    }
+    for p in realm.proto_chain(obj) {
+        if realm.obj(p).own(key).is_some() {
+            return realm.obj(p).class.clone();
+        }
+    }
+    realm.obj(obj).class.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{build_firefox_world, BrowserFlavor};
+    use crate::object::PropertyDescriptor;
+
+    #[test]
+    fn identical_worlds_have_empty_diff() {
+        let mut a = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let mut b = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let ta = Template::capture(&mut a.realm, a.window, "window", 3);
+        let tb = Template::capture(&mut b.realm, b.window, "window", 3);
+        assert!(ta.diff(&tb).is_empty());
+    }
+
+    #[test]
+    fn webdriver_flag_shows_in_diff() {
+        let mut reg = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let mut bot = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        let tr = Template::capture(&mut reg.realm, reg.window, "window", 3);
+        let tb = Template::capture(&mut bot.realm, bot.window, "window", 3);
+        let diffs = tr.diff(&tb);
+        assert!(diffs.iter().any(|d| matches!(
+            d,
+            TemplateDiff::Changed(p, f) if p == "window.navigator.webdriver" && f == "value"
+        )));
+    }
+
+    #[test]
+    fn added_own_property_is_detected() {
+        let mut reg = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let tr = Template::capture(&mut reg.realm, reg.window, "window", 3);
+
+        let mut cand = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let nav = cand.navigator;
+        cand.realm
+            .define_property(nav, "extra", PropertyDescriptor::plain(Value::Bool(true)))
+            .unwrap();
+        let tc = Template::capture(&mut cand.realm, cand.window, "window", 3);
+
+        let diffs = tr.diff(&tc);
+        assert!(diffs
+            .iter()
+            .any(|d| matches!(d, TemplateDiff::Added(p) if p == "window.navigator.extra")));
+        // Own-key census changed too.
+        assert!(diffs.iter().any(|d| matches!(
+            d,
+            TemplateDiff::Changed(p, _) if p == "window.navigator.__own__"
+        )));
+    }
+
+    #[test]
+    fn order_change_is_detected() {
+        let mut reg = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let tr = Template::capture(&mut reg.realm, reg.window, "window", 3);
+
+        // Shadow webdriver with an own enumerable property: it moves to the
+        // front of for-in order, shifting every other key's index.
+        let mut cand = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let nav = cand.navigator;
+        cand.realm
+            .define_property(
+                nav,
+                "webdriver",
+                PropertyDescriptor::plain(Value::Bool(false)),
+            )
+            .unwrap();
+        let tc = Template::capture(&mut cand.realm, cand.window, "window", 3);
+        let diffs = tr.diff(&tc);
+        assert!(diffs.iter().any(|d| matches!(
+            d,
+            TemplateDiff::Changed(p, f) if p.starts_with("window.navigator.") && f == "order"
+        )));
+    }
+
+    #[test]
+    fn proto_chain_change_is_detected() {
+        let mut reg = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let tr = Template::capture(&mut reg.realm, reg.window, "window", 3);
+
+        let mut cand = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let nav = cand.navigator;
+        let old_proto = cand.realm.get_prototype_of(nav);
+        let fake = cand
+            .realm
+            .alloc(crate::object::JsObject::plain("Object", old_proto));
+        cand.realm.set_prototype_of(nav, Some(fake));
+        let tc = Template::capture(&mut cand.realm, cand.window, "window", 3);
+        let diffs = tr.diff(&tc);
+        assert!(diffs.iter().any(|d| matches!(
+            d,
+            TemplateDiff::Changed(p, _) if p == "window.navigator.__proto_chain__"
+        )));
+    }
+}

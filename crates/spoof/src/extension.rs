@@ -1,0 +1,122 @@
+//! The OpenWPM spoofing extension (§3.2).
+//!
+//! The paper packages the Proxy-based spoofing method as a browser extension
+//! for OpenWPM clients and submits it upstream (mozilla/OpenWPM PR #526).
+//! This module models the extension as a page-load hook: given a freshly
+//! built page world, it applies the configured spoofs before any page script
+//! runs — matching the content-script-at-document-start injection the real
+//! extension uses.
+
+use crate::methods::{proxy_wrap, SpoofMethod};
+use hlisa_jsom::{JsError, Value, World};
+
+/// A spoofing extension configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpoofingExtension {
+    method: SpoofMethod,
+    overrides: Vec<(String, Value)>,
+}
+
+impl SpoofingExtension {
+    /// The configuration evaluated in the paper: the Proxy method hiding
+    /// `navigator.webdriver`.
+    pub fn paper_default() -> Self {
+        Self {
+            method: SpoofMethod::ProxyObjects,
+            overrides: vec![("webdriver".to_string(), Value::Bool(false))],
+        }
+    }
+
+    /// A custom extension using the given method for a set of property
+    /// overrides.
+    pub fn new(method: SpoofMethod, overrides: Vec<(String, Value)>) -> Self {
+        Self { method, overrides }
+    }
+
+    /// The spoofing method this extension applies.
+    pub fn method(&self) -> SpoofMethod {
+        self.method
+    }
+
+    /// The property overrides.
+    pub fn overrides(&self) -> &[(String, Value)] {
+        &self.overrides
+    }
+
+    /// Injects the extension into a page world (run at document start).
+    ///
+    /// For the Proxy method all overrides install atomically behind a single
+    /// wrapper; for the own-property methods each override is applied in
+    /// sequence, mirroring how a real injected script would loop.
+    pub fn inject(&self, world: &mut World) -> Result<(), JsError> {
+        match self.method {
+            SpoofMethod::ProxyObjects => proxy_wrap(world, &self.overrides),
+            m => {
+                for (k, v) in &self.overrides {
+                    m.apply(world, k, v.clone())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_jsom::{build_firefox_world, BrowserFlavor};
+
+    #[test]
+    fn paper_default_hides_webdriver() {
+        let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        SpoofingExtension::paper_default().inject(&mut w).unwrap();
+        let nav = w.resolve_navigator();
+        assert_eq!(w.realm.get(nav, "webdriver").unwrap(), Value::Bool(false));
+        assert!(w.realm.is_proxy(nav));
+    }
+
+    #[test]
+    fn multi_override_proxy_is_single_wrapper() {
+        let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        let ext = SpoofingExtension::new(
+            SpoofMethod::ProxyObjects,
+            vec![
+                ("webdriver".to_string(), Value::Bool(false)),
+                ("platform".to_string(), Value::Str("Win32".into())),
+            ],
+        );
+        ext.inject(&mut w).unwrap();
+        let nav = w.resolve_navigator();
+        assert_eq!(w.realm.get(nav, "webdriver").unwrap(), Value::Bool(false));
+        assert_eq!(
+            w.realm.get(nav, "platform").unwrap(),
+            Value::Str("Win32".into())
+        );
+        // "an adversarial website ... does not know what property was
+        // changed when applying this approach to multiple properties":
+        // the structural views stay pristine regardless of override count.
+        assert!(w.realm.object_keys(nav).is_empty());
+    }
+
+    #[test]
+    fn own_property_extension_applies_each_override() {
+        let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        let ext = SpoofingExtension::new(
+            SpoofMethod::DefineProperty,
+            vec![
+                ("webdriver".to_string(), Value::Bool(false)),
+                ("doNotTrack".to_string(), Value::Str("1".into())),
+            ],
+        );
+        ext.inject(&mut w).unwrap();
+        let nav = w.resolve_navigator();
+        assert_eq!(w.realm.own_len(nav), 2);
+    }
+
+    #[test]
+    fn accessors_expose_config() {
+        let ext = SpoofingExtension::paper_default();
+        assert_eq!(ext.method(), SpoofMethod::ProxyObjects);
+        assert_eq!(ext.overrides().len(), 1);
+    }
+}

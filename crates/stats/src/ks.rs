@@ -1,0 +1,132 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! The level-2 interaction detector ("detect deviations from human
+//! behaviour", Fig. 3) compares an observed timing sample against a human
+//! reference sample. The KS statistic is the natural distribution-free test
+//! for that comparison.
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// Maximum distance between the two empirical CDFs.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Smirnov's formula).
+    pub p_value: f64,
+    /// Sizes of the two samples.
+    pub n1: usize,
+    /// Size of the second sample.
+    pub n2: usize,
+}
+
+impl KsResult {
+    /// True when the null hypothesis (same distribution) is rejected.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs a two-sample Kolmogorov–Smirnov test.
+///
+/// Returns `None` when either sample is empty.
+pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> Option<KsResult> {
+    if xs.is_empty() || ys.is_empty() {
+        return None;
+    }
+    let mut a = xs.to_vec();
+    let mut b = ys.to_vec();
+    a.sort_by(|p, q| p.partial_cmp(q).expect("NaN in sample"));
+    b.sort_by(|p, q| p.partial_cmp(q).expect("NaN in sample"));
+
+    let (n1, n2) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let v = a[i].min(b[j]);
+        while i < n1 && a[i] <= v {
+            i += 1;
+        }
+        while j < n2 && b[j] <= v {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    let ne = (n1 * n2) as f64 / (n1 + n2) as f64;
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    Some(KsResult {
+        statistic: d,
+        p_value: ks_sf(lambda).clamp(0.0, 1.0),
+        n1,
+        n2,
+    })
+}
+
+/// Kolmogorov survival function Q(λ) = 2 Σ (-1)^{k-1} exp(-2 k² λ²).
+fn ks_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    2.0 * sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Normal;
+    use crate::rngutil::rng_from_seed;
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let r = ks_two_sample(&xs, &xs).unwrap();
+        assert!(r.statistic < 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn shifted_distributions_detected() {
+        let mut rng = rng_from_seed(9);
+        let a = Normal::new(0.0, 1.0);
+        let b = Normal::new(2.0, 1.0);
+        let xs: Vec<f64> = (0..300).map(|_| a.sample(&mut rng)).collect();
+        let ys: Vec<f64> = (0..300).map(|_| b.sample(&mut rng)).collect();
+        let r = ks_two_sample(&xs, &ys).unwrap();
+        assert!(r.significant_at(0.01), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn same_distribution_usually_passes() {
+        let mut rng = rng_from_seed(10);
+        let d = Normal::new(5.0, 2.0);
+        let xs: Vec<f64> = (0..400).map(|_| d.sample(&mut rng)).collect();
+        let ys: Vec<f64> = (0..400).map(|_| d.sample(&mut rng)).collect();
+        let r = ks_two_sample(&xs, &ys).unwrap();
+        assert!(!r.significant_at(0.001), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn empty_sample_returns_none() {
+        assert!(ks_two_sample(&[], &[1.0]).is_none());
+        assert!(ks_two_sample(&[1.0], &[]).is_none());
+    }
+
+    #[test]
+    fn statistic_is_one_for_disjoint_supports() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [10.0, 11.0, 12.0];
+        let r = ks_two_sample(&xs, &ys).unwrap();
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+    }
+}

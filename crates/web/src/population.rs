@@ -1,0 +1,187 @@
+//! Population generator: a 1,000-site random sample of a Tranco-style
+//! top-10K list, with detector prevalence calibrated to §3.2's findings.
+
+use crate::site::{DetectionMethod, Reaction, Site, SiteDetector};
+use hlisa_stats::rngutil::{derive_seed, rng_from_seed};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Calibration knobs (defaults reproduce the paper's environment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationConfig {
+    /// Seed for the whole population.
+    pub seed: u64,
+    /// Sample size (paper: 1,000 of the top 10K).
+    pub n_sites: usize,
+    /// Sites that never answer (paper reached 921/1,000).
+    pub unreachable_sites: usize,
+    /// Visible detectors keyed on `navigator.webdriver`:
+    /// (block pages, CAPTCHAs, hide-all-ads, freeze-video).
+    pub webdriver_visible: (usize, usize, usize, usize),
+    /// Spoof-resistant template-attack detectors:
+    /// (block pages, hide-all-ads, reduce-ads).
+    pub template_visible: (usize, usize, usize),
+    /// Silent HTTP-level reactions keyed on `navigator.webdriver`:
+    /// (403 responders, 503 responders).
+    pub silent_http: (usize, usize),
+    /// Sites that break under JS-level spoofing (paper: one deformed
+    /// layout + one ever-loading video).
+    pub breakage_sites: usize,
+    /// Mean per-visit transient failure probability.
+    pub mean_flakiness: f64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x7261_6e63, // "ranc"
+            n_sites: 1_000,
+            unreachable_sites: 79,
+            // 8 blocking/CAPTCHA sites in col (1): 5 blocks + 2 captchas
+            // keyed on webdriver, +1 spoof-resistant template blocker.
+            webdriver_visible: (5, 2, 4, 1),
+            // Col (2) keeps 1 no-ads and 2 less-ads sites + 1 blocker:
+            // these survive spoofing because they template-attack.
+            template_visible: (1, 1, 2),
+            silent_http: (9, 4),
+            breakage_sites: 2,
+            mean_flakiness: 0.019,
+        }
+    }
+}
+
+/// Generates the site population. Deterministic in the config.
+pub fn generate_population(config: &PopulationConfig) -> Vec<Site> {
+    let mut rng = rng_from_seed(config.seed);
+
+    // Base sites.
+    let mut sites: Vec<Site> = (0..config.n_sites)
+        .map(|i| {
+            let rank_seed = derive_seed(config.seed, "rank", i as u64);
+            let rank = (rank_seed % 10_000) as u32 + 1;
+            Site {
+                rank,
+                domain: format!("site{:04}.example", i),
+                detector: None,
+                ad_slots: rng.gen_range(0..6),
+                has_video: rng.gen_bool(0.18),
+                breaks_under_spoofing: false,
+                unreachable: false,
+                flaky_visit_prob: (rng.gen_range(0.0..2.0) * config.mean_flakiness)
+                    .clamp(0.0, 0.5),
+                first_party_requests: rng.gen_range(6..18),
+                third_party_requests: rng.gen_range(10..45),
+            }
+        })
+        .collect();
+
+    // Shuffle indices and deal out the special roles disjointly.
+    let mut idx: Vec<usize> = (0..config.n_sites).collect();
+    idx.shuffle(&mut rng);
+    let mut cursor = idx.into_iter();
+    let mut take = |n: usize| -> Vec<usize> { cursor.by_ref().take(n).collect() };
+
+    for i in take(config.unreachable_sites) {
+        sites[i].unreachable = true;
+    }
+
+    let deploy = |indices: Vec<usize>, method: DetectionMethod, reaction: Reaction,
+                      sites: &mut Vec<Site>| {
+        for i in indices {
+            sites[i].detector = Some(SiteDetector { method, reaction });
+            if reaction == Reaction::HideAllAds || reaction == Reaction::ReduceAds {
+                sites[i].ad_slots = sites[i].ad_slots.max(2);
+            }
+            if reaction == Reaction::FreezeVideo {
+                sites[i].has_video = true;
+            }
+        }
+    };
+
+    let (wd_block, wd_captcha, wd_noads, wd_video) = config.webdriver_visible;
+    deploy(take(wd_block), DetectionMethod::WebdriverFlag, Reaction::BlockPage, &mut sites);
+    deploy(take(wd_captcha), DetectionMethod::WebdriverFlag, Reaction::Captcha, &mut sites);
+    deploy(take(wd_noads), DetectionMethod::WebdriverFlag, Reaction::HideAllAds, &mut sites);
+    deploy(take(wd_video), DetectionMethod::WebdriverFlag, Reaction::FreezeVideo, &mut sites);
+
+    let (ta_block, ta_noads, ta_lessads) = config.template_visible;
+    deploy(take(ta_block), DetectionMethod::TemplateAttack, Reaction::BlockPage, &mut sites);
+    deploy(take(ta_noads), DetectionMethod::TemplateAttack, Reaction::HideAllAds, &mut sites);
+    deploy(take(ta_lessads), DetectionMethod::TemplateAttack, Reaction::ReduceAds, &mut sites);
+
+    let (h403, h503) = config.silent_http;
+    deploy(take(h403), DetectionMethod::WebdriverFlag, Reaction::Http403, &mut sites);
+    deploy(take(h503), DetectionMethod::WebdriverFlag, Reaction::Http503, &mut sites);
+
+    for i in take(config.breakage_sites) {
+        sites[i].breaks_under_spoofing = true;
+    }
+
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_counts_match_config() {
+        let cfg = PopulationConfig::default();
+        let sites = generate_population(&cfg);
+        assert_eq!(sites.len(), 1_000);
+        assert_eq!(sites.iter().filter(|s| s.unreachable).count(), 79);
+        let visible = sites.iter().filter(|s| s.visibly_defends()).count();
+        assert_eq!(visible, 5 + 2 + 4 + 1 + 1 + 1 + 2); // 16 sites ≈ 1.7 %
+        let silent = sites
+            .iter()
+            .filter(|s| {
+                s.detector
+                    .map(|d| !d.reaction.visible())
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(silent, 13);
+        assert_eq!(
+            sites.iter().filter(|s| s.breaks_under_spoofing).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn special_roles_are_disjoint() {
+        let sites = generate_population(&PopulationConfig::default());
+        for s in &sites {
+            let roles = usize::from(s.unreachable)
+                + usize::from(s.detector.is_some())
+                + usize::from(s.breaks_under_spoofing);
+            assert!(roles <= 1, "site {} has {} roles", s.domain, roles);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = PopulationConfig::default();
+        assert_eq!(generate_population(&cfg), generate_population(&cfg));
+        let other = PopulationConfig { seed: 1, ..cfg };
+        assert_ne!(generate_population(&other), generate_population(&PopulationConfig::default()));
+    }
+
+    #[test]
+    fn ranks_are_within_top_10k() {
+        let sites = generate_population(&PopulationConfig::default());
+        assert!(sites.iter().all(|s| (1..=10_000).contains(&s.rank)));
+    }
+
+    #[test]
+    fn ad_reaction_sites_have_ads_to_hide() {
+        let sites = generate_population(&PopulationConfig::default());
+        for s in sites.iter().filter(|s| {
+            matches!(
+                s.detector.map(|d| d.reaction),
+                Some(Reaction::HideAllAds) | Some(Reaction::ReduceAds)
+            )
+        }) {
+            assert!(s.ad_slots >= 2);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Site traversal — the third web-bot detection vector (§1).
+//!
+//! "Crucially, mitigating site traversal — the path an automated browser
+//! takes over a website — cannot be solved generically, as such paths
+//! depend on the study being executed." This module demonstrates why: it
+//! models per-site page graphs, three traversal strategies (the
+//! exhaustive sweep measurement studies need, a depth-limited variant,
+//! and an interest-driven human random walk), and a navigational-pattern
+//! detector in the style of Tan & Kumar (2002).
+//!
+//! The takeaway reproduced in the tests: HLISA-grade *interaction* does
+//! nothing for a crawler whose *itinerary* is exhaustive — the traversal
+//! detector flags it anyway, which is exactly why the paper scopes HLISA
+//! to fingerprint and interaction only.
+
+use hlisa_stats::descriptive::{coefficient_of_variation, mean};
+use hlisa_stats::rngutil::{derive_seed, rng_from_seed};
+use hlisa_stats::LogNormal;
+use rand::Rng;
+
+/// A page in a site graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page {
+    /// Page index within the site.
+    pub id: usize,
+    /// Outgoing links (page indices), in on-page order.
+    pub links: Vec<usize>,
+    /// Relative "interestingness" weight for human browsing.
+    pub appeal: f64,
+}
+
+/// A site's internal link graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageGraph {
+    /// Pages; index 0 is the landing page.
+    pub pages: Vec<Page>,
+}
+
+impl PageGraph {
+    /// Generates a deterministic site graph with `n` pages: a home page
+    /// linking broadly, interior pages linking sparsely.
+    pub fn generate(seed: u64, n: usize) -> Self {
+        assert!(n >= 1, "a site has at least a landing page");
+        let mut rng = rng_from_seed(derive_seed(seed, "page-graph", n as u64));
+        let mut pages = Vec::with_capacity(n);
+        for id in 0..n {
+            let fanout = if id == 0 {
+                ((n - 1) * 3 / 4).max(1).min(n.saturating_sub(1))
+            } else {
+                rng.gen_range(1..=4.min(n))
+            };
+            let mut links = Vec::new();
+            let mut guard = 0;
+            while links.len() < fanout && guard < 100 {
+                let t = rng.gen_range(0..n);
+                if t != id && !links.contains(&t) {
+                    links.push(t);
+                }
+                guard += 1;
+            }
+            pages.push(Page {
+                id,
+                links,
+                appeal: rng.gen_range(0.2..1.0),
+            });
+        }
+        PageGraph { pages }
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when the graph has no pages (never for generated graphs).
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+/// One visited page in a traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraversalStep {
+    /// Page visited.
+    pub page: usize,
+    /// Arrival time (ms since session start).
+    pub arrival_ms: f64,
+    /// Dwell time on the page (ms).
+    pub dwell_ms: f64,
+}
+
+/// A full traversal trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraversalTrace {
+    /// Steps in visit order.
+    pub steps: Vec<TraversalStep>,
+}
+
+impl TraversalTrace {
+    /// Fraction of the site's pages visited.
+    pub fn coverage(&self, graph: &PageGraph) -> f64 {
+        let mut seen: Vec<usize> = self.steps.iter().map(|s| s.page).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len() as f64 / graph.len() as f64
+    }
+
+    /// Dwell times (ms).
+    pub fn dwells(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.dwell_ms).collect()
+    }
+}
+
+/// How a client walks a site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraversalStrategy {
+    /// Visit every page breadth-first in link order with a fixed dwell —
+    /// what a measurement crawler needs to do.
+    ExhaustiveBfs {
+        /// Constant per-page dwell (ms).
+        dwell_ms: f64,
+    },
+    /// Breadth-first but stopping after `max_pages` pages.
+    DepthLimited {
+        /// Constant per-page dwell (ms).
+        dwell_ms: f64,
+        /// Page budget.
+        max_pages: usize,
+    },
+    /// An interest-driven random walk with heavy-tailed dwell times and
+    /// early abandonment — how people actually browse.
+    HumanBrowse,
+}
+
+/// Runs a traversal over a graph.
+pub fn traverse(graph: &PageGraph, strategy: TraversalStrategy, seed: u64) -> TraversalTrace {
+    let mut rng = rng_from_seed(derive_seed(seed, "traverse", 0));
+    let mut trace = TraversalTrace::default();
+    let mut t = 0.0f64;
+    match strategy {
+        TraversalStrategy::ExhaustiveBfs { dwell_ms }
+        | TraversalStrategy::DepthLimited { dwell_ms, .. } => {
+            let budget = match strategy {
+                TraversalStrategy::DepthLimited { max_pages, .. } => max_pages,
+                _ => graph.len(),
+            };
+            let mut queue = vec![0usize];
+            let mut seen = vec![false; graph.len()];
+            seen[0] = true;
+            while let Some(page) = queue.pop() {
+                trace.steps.push(TraversalStep {
+                    page,
+                    arrival_ms: t,
+                    dwell_ms,
+                });
+                t += dwell_ms;
+                if trace.steps.len() >= budget {
+                    break;
+                }
+                // Enqueue links in on-page order (front of a FIFO).
+                for &l in &graph.pages[page].links {
+                    if !seen[l] {
+                        seen[l] = true;
+                        queue.insert(0, l);
+                    }
+                }
+            }
+        }
+        TraversalStrategy::HumanBrowse => {
+            let dwell_dist = LogNormal::from_mean_std(14_000.0, 16_000.0);
+            let mut page = 0usize;
+            loop {
+                let dwell = dwell_dist.sample(&mut rng).max(800.0);
+                trace.steps.push(TraversalStep {
+                    page,
+                    arrival_ms: t,
+                    dwell_ms: dwell,
+                });
+                t += dwell + rng.gen_range(300.0..1_500.0);
+                // People leave early and rarely sweep a whole site.
+                if rng.gen_bool(0.22) || trace.steps.len() >= graph.len() {
+                    break;
+                }
+                let links = &graph.pages[page].links;
+                if links.is_empty() {
+                    break;
+                }
+                // Interest-weighted choice among the links.
+                let weights: Vec<f64> =
+                    links.iter().map(|l| graph.pages[*l].appeal).collect();
+                let total: f64 = weights.iter().sum();
+                let mut pick = rng.gen_range(0.0..total);
+                let mut chosen = links[0];
+                for (l, w) in links.iter().zip(&weights) {
+                    if pick < *w {
+                        chosen = *l;
+                        break;
+                    }
+                    pick -= w;
+                }
+                page = chosen;
+            }
+        }
+    }
+    trace
+}
+
+/// Navigational-pattern bot verdict (Tan & Kumar style features).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraversalVerdict {
+    /// True when the itinerary looks automated.
+    pub is_bot: bool,
+    /// Which features fired.
+    pub signals: Vec<String>,
+}
+
+/// Judges a traversal trace against human navigational patterns.
+pub fn judge_traversal(graph: &PageGraph, trace: &TraversalTrace) -> TraversalVerdict {
+    let mut signals = Vec::new();
+    if trace.steps.len() >= 4 {
+        let dwells = trace.dwells();
+        // Metronomic dwell: humans' page dwell is heavy-tailed (CV ≈ 1).
+        if coefficient_of_variation(&dwells) < 0.15 {
+            signals.push(format!(
+                "constant dwell times (cv {:.2})",
+                coefficient_of_variation(&dwells)
+            ));
+        }
+        // Inhumanly brief average reading time.
+        if mean(&dwells) < 2_500.0 {
+            signals.push(format!("mean dwell {:.0} ms", mean(&dwells)));
+        }
+    }
+    // Exhaustive coverage of a non-trivial site.
+    if graph.len() >= 8 && trace.coverage(graph) > 0.9 {
+        signals.push(format!(
+            "visited {:.0}% of the site",
+            trace.coverage(graph) * 100.0
+        ));
+    }
+    TraversalVerdict {
+        is_bot: !signals.is_empty(),
+        signals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> PageGraph {
+        PageGraph::generate(7, 24)
+    }
+
+    #[test]
+    fn graph_generation_is_deterministic_and_connected_enough() {
+        let a = PageGraph::generate(1, 16);
+        let b = PageGraph::generate(1, 16);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.pages[0].links.len() >= 8, "home page links broadly");
+    }
+
+    #[test]
+    fn exhaustive_bfs_covers_reachable_pages() {
+        let g = graph();
+        let t = traverse(&g, TraversalStrategy::ExhaustiveBfs { dwell_ms: 1_200.0 }, 1);
+        assert!(t.coverage(&g) > 0.8, "coverage {}", t.coverage(&g));
+        // Constant dwell by construction.
+        assert!(coefficient_of_variation(&t.dwells()) < 1e-9);
+    }
+
+    #[test]
+    fn human_browse_is_partial_and_heavy_tailed() {
+        let g = graph();
+        // Aggregate across sessions for stable statistics.
+        let mut all_dwells = Vec::new();
+        let mut coverages = Vec::new();
+        for seed in 0..24 {
+            let t = traverse(&g, TraversalStrategy::HumanBrowse, seed);
+            coverages.push(t.coverage(&g));
+            all_dwells.extend(t.dwells());
+        }
+        assert!(mean(&coverages) < 0.6, "humans rarely sweep a site");
+        assert!(coefficient_of_variation(&all_dwells) > 0.5);
+        assert!(mean(&all_dwells) > 4_000.0);
+    }
+
+    #[test]
+    fn detector_flags_crawlers_not_humans() {
+        let g = graph();
+        let bot = traverse(&g, TraversalStrategy::ExhaustiveBfs { dwell_ms: 1_200.0 }, 2);
+        let v = judge_traversal(&g, &bot);
+        assert!(v.is_bot, "exhaustive sweep must be flagged");
+
+        let mut human_flags = 0;
+        for seed in 0..20 {
+            let h = traverse(&g, TraversalStrategy::HumanBrowse, seed);
+            if judge_traversal(&g, &h).is_bot {
+                human_flags += 1;
+            }
+        }
+        assert!(human_flags <= 2, "{human_flags}/20 humans flagged");
+    }
+
+    #[test]
+    fn depth_limit_trades_coverage_for_stealth() {
+        let g = graph();
+        let limited = traverse(
+            &g,
+            TraversalStrategy::DepthLimited {
+                dwell_ms: 9_000.0,
+                max_pages: 4,
+            },
+            3,
+        );
+        assert!(limited.coverage(&g) < 0.3);
+        // Still catchable on dwell uniformity, but not on coverage.
+        let v = judge_traversal(&g, &limited);
+        assert!(v.signals.iter().all(|s| !s.contains('%')));
+        let _ = v;
+    }
+
+    #[test]
+    fn interaction_quality_cannot_fix_an_exhaustive_itinerary() {
+        // The §1 point: traversal is orthogonal to interaction. Even a
+        // crawler with perfect (human) dwell-time *statistics* is flagged
+        // when it sweeps the whole site.
+        let g = graph();
+        let mut rng = hlisa_stats::rngutil::rng_from_seed(9);
+        let dwell = hlisa_stats::LogNormal::from_mean_std(14_000.0, 16_000.0);
+        let mut trace = TraversalTrace::default();
+        let mut t = 0.0;
+        for page in 0..g.len() {
+            let d = dwell.sample(&mut rng).max(800.0);
+            trace.steps.push(TraversalStep { page, arrival_ms: t, dwell_ms: d });
+            t += d;
+        }
+        let v = judge_traversal(&g, &trace);
+        assert!(v.is_bot);
+        assert!(v.signals.iter().any(|s| s.contains('%')), "{:?}", v.signals);
+    }
+}

@@ -1,0 +1,382 @@
+//! Visit simulation: one browser instance loading one site once.
+//!
+//! Detection is *computed*, not sampled: the client's JS world is built
+//! with [`hlisa_jsom`], the spoofing extension is (optionally) injected
+//! with [`hlisa_spoof`], and the site's detector runs the real
+//! [`hlisa_detect`] checks against that world.
+
+use crate::site::{DetectionMethod, Reaction, Site};
+use hlisa_detect::{scan_fingerprint, TemplateAttackDetector};
+use hlisa_jsom::{build_firefox_world, BrowserFlavor};
+use hlisa_spoof::SpoofingExtension;
+use rand::Rng;
+
+/// The crawling client flavour (the paper's two machines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientKind {
+    /// Stock OpenWPM: Selenium-automated Firefox, headful.
+    OpenWpm,
+    /// OpenWPM with the Proxy-based spoofing extension.
+    OpenWpmSpoofed,
+}
+
+/// What the screenshot review of one visit would show.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VisualOutcome {
+    /// Page rendered as for a regular visitor.
+    Normal,
+    /// A block page.
+    BlockPage,
+    /// A CAPTCHA interstitial.
+    Captcha,
+    /// All ad slots empty.
+    NoAds,
+    /// Some ad slots empty.
+    FewerAds,
+    /// Video player never starts.
+    FrozenVideo,
+    /// Page layout deformed (spoofing side-effect breakage).
+    DeformedLayout,
+    /// Site did not answer at all.
+    Unreachable,
+    /// Transient failure (timeout / flaky 5xx) — visit not counted as
+    /// successful.
+    TransientError,
+}
+
+/// Outcome of one visit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisitOutcome {
+    /// Whether the site answered.
+    pub reached: bool,
+    /// Whether the visit completed (reached and not transient-failed).
+    pub successful: bool,
+    /// Screenshot-level outcome.
+    pub visual: VisualOutcome,
+    /// First-party response status codes.
+    pub first_party: Vec<u16>,
+    /// Third-party response status codes.
+    pub third_party: Vec<u16>,
+    /// Ground truth: did the site's detector fire? (Not observable by the
+    /// crawler; used for validation.)
+    pub detected: bool,
+}
+
+/// Shared per-campaign detector state (the template reference is captured
+/// once, like a deployed detector shipping a baseline).
+#[derive(Debug, Clone)]
+pub struct DetectorRuntime {
+    template: TemplateAttackDetector,
+}
+
+impl DetectorRuntime {
+    /// Builds the shared runtime.
+    pub fn new() -> Self {
+        Self {
+            template: TemplateAttackDetector::new(),
+        }
+    }
+}
+
+impl Default for DetectorRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Simulates one visit of `client` to `site`.
+pub fn simulate_visit<R: Rng + ?Sized>(
+    site: &Site,
+    client: ClientKind,
+    runtime: &DetectorRuntime,
+    rng: &mut R,
+) -> VisitOutcome {
+    if site.unreachable {
+        return VisitOutcome {
+            reached: false,
+            successful: false,
+            visual: VisualOutcome::Unreachable,
+            first_party: Vec::new(),
+            third_party: Vec::new(),
+            detected: false,
+        };
+    }
+    if rng.gen_bool(site.flaky_visit_prob) {
+        return VisitOutcome {
+            reached: true,
+            successful: false,
+            visual: VisualOutcome::TransientError,
+            first_party: vec![if rng.gen_bool(0.5) { 500 } else { 504 }],
+            third_party: Vec::new(),
+            detected: false,
+        };
+    }
+
+    // Build the client's real page world and run the site's detector on it.
+    let mut world = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+    if client == ClientKind::OpenWpmSpoofed {
+        SpoofingExtension::paper_default()
+            .inject(&mut world)
+            .expect("extension injects");
+    }
+    let detected = match site.detector.map(|d| d.method) {
+        None => false,
+        Some(DetectionMethod::WebdriverFlag) => scan_fingerprint(&mut world).is_bot,
+        Some(DetectionMethod::TemplateAttack) => {
+            // Deep checks are rate-limited: the paper saw its surviving
+            // blocker fire "for a smaller subset of visits".
+            let runs_deep_check = rng.gen_bool(0.45);
+            let shallow = scan_fingerprint(&mut world).is_bot;
+            shallow || (runs_deep_check && runtime.template.is_tampered(&mut world))
+        }
+    };
+
+    // Visual outcome.
+    let mut visual = VisualOutcome::Normal;
+    if detected {
+        visual = match site.detector.expect("detected implies detector").reaction {
+            Reaction::BlockPage => VisualOutcome::BlockPage,
+            Reaction::Captcha => VisualOutcome::Captcha,
+            Reaction::HideAllAds => VisualOutcome::NoAds,
+            Reaction::ReduceAds => VisualOutcome::FewerAds,
+            Reaction::FreezeVideo => VisualOutcome::FrozenVideo,
+            Reaction::Http403 | Reaction::Http503 => VisualOutcome::Normal,
+        };
+    }
+    // Spoofing-compatibility breakage is independent of detection.
+    if client == ClientKind::OpenWpmSpoofed && site.breaks_under_spoofing {
+        visual = if site.has_video {
+            VisualOutcome::FrozenVideo
+        } else {
+            VisualOutcome::DeformedLayout
+        };
+    }
+
+    // HTTP responses.
+    let (first_party, third_party) = synthesize_http(site, detected, visual, rng);
+
+    VisitOutcome {
+        reached: true,
+        successful: true,
+        visual,
+        first_party,
+        third_party,
+        detected,
+    }
+}
+
+fn synthesize_http<R: Rng + ?Sized>(
+    site: &Site,
+    detected: bool,
+    visual: VisualOutcome,
+    rng: &mut R,
+) -> (Vec<u16>, Vec<u16>) {
+    let mut first = Vec::with_capacity(site.first_party_requests as usize);
+    let mut third = Vec::with_capacity(site.third_party_requests as usize);
+
+    let blockish = matches!(visual, VisualOutcome::BlockPage | VisualOutcome::Captcha);
+    let reaction = site.detector.map(|d| d.reaction);
+
+    for i in 0..site.first_party_requests {
+        let code = if detected && blockish {
+            // The main document always answers 403; of the subresources
+            // the block page still references, most never load.
+            if i == 0 || rng.gen_bool(0.6) {
+                403
+            } else {
+                200
+            }
+        } else if detected && reaction == Some(Reaction::Http403) && rng.gen_bool(0.55) {
+            403
+        } else if detected && reaction == Some(Reaction::Http503) && rng.gen_bool(0.55) {
+            503
+        } else {
+            background_code(site, false, i, rng)
+        };
+        first.push(code);
+    }
+
+    let ad_suppression = matches!(visual, VisualOutcome::NoAds) || blockish;
+    let partial_suppression = matches!(visual, VisualOutcome::FewerAds);
+    for i in 0..site.third_party_requests {
+        if ad_suppression {
+            // Ad/tracker requests simply never happen.
+            continue;
+        }
+        if partial_suppression && rng.gen_bool(0.5) {
+            continue;
+        }
+        third.push(background_code(site, true, i, rng));
+    }
+    (first, third)
+}
+
+/// Background status code for request slot `i` of a site.
+///
+/// The bulk of a site's response mix is a property of its *content* (a
+/// missing image 404s for every visitor alike), so the per-slot code is
+/// deterministic in (site, slot); both crawl machines therefore observe
+/// nearly identical background errors — exactly why the paper's paired
+/// Wilcoxon test isolates the detection-induced differences. A small
+/// per-visit chance of a transient 5xx models live-web dynamics (Fig. 4
+/// only charts codes with more than 100 occurrences campaign-wide).
+fn background_code<R: Rng + ?Sized>(site: &Site, third_party: bool, i: u8, rng: &mut R) -> u16 {
+    if rng.gen_bool(0.001) {
+        return if rng.gen_bool(0.6) { 500 } else { 502 };
+    }
+    let mut h = hlisa_stats::rngutil::splitmix64(u64::from(site.rank) ^ 0xace1);
+    for b in site.domain.as_bytes() {
+        h = hlisa_stats::rngutil::splitmix64(h ^ u64::from(*b));
+    }
+    h = hlisa_stats::rngutil::derive_seed(h, if third_party { "tp" } else { "fp" }, u64::from(i));
+    let x = (h % 1_000_000) as f64 / 1_000_000.0;
+    match x {
+        x if x < 0.915 => 200,
+        x if x < 0.945 => 302,
+        x if x < 0.950 => 204,
+        x if x < 0.976 => 404,
+        x if x < 0.984 => 400,
+        x if x < 0.990 => 410,
+        x if x < 0.996 => 500,
+        _ => 502,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{generate_population, PopulationConfig};
+    use crate::site::SiteDetector;
+    use hlisa_stats::rngutil::rng_from_seed;
+
+    fn plain_site() -> Site {
+        Site {
+            rank: 1,
+            domain: "plain.test".into(),
+            detector: None,
+            ad_slots: 3,
+            has_video: false,
+            breaks_under_spoofing: false,
+            unreachable: false,
+            flaky_visit_prob: 0.0,
+            first_party_requests: 10,
+            third_party_requests: 20,
+        }
+    }
+
+    #[test]
+    fn plain_site_renders_normally_for_both_clients() {
+        let rt = DetectorRuntime::new();
+        let mut rng = rng_from_seed(1);
+        for client in [ClientKind::OpenWpm, ClientKind::OpenWpmSpoofed] {
+            let v = simulate_visit(&plain_site(), client, &rt, &mut rng);
+            assert!(v.successful);
+            assert_eq!(v.visual, VisualOutcome::Normal);
+            assert!(!v.detected);
+            assert_eq!(v.first_party.len(), 10);
+        }
+    }
+
+    #[test]
+    fn webdriver_blocker_blocks_openwpm_not_spoofed() {
+        let mut site = plain_site();
+        site.detector = Some(SiteDetector {
+            method: DetectionMethod::WebdriverFlag,
+            reaction: Reaction::BlockPage,
+        });
+        let rt = DetectorRuntime::new();
+        let mut rng = rng_from_seed(2);
+        let v1 = simulate_visit(&site, ClientKind::OpenWpm, &rt, &mut rng);
+        assert_eq!(v1.visual, VisualOutcome::BlockPage);
+        assert!(v1.first_party.contains(&403));
+        let v2 = simulate_visit(&site, ClientKind::OpenWpmSpoofed, &rt, &mut rng);
+        assert_eq!(v2.visual, VisualOutcome::Normal);
+        assert!(!v2.detected);
+    }
+
+    #[test]
+    fn template_blocker_sometimes_catches_spoofed_client() {
+        let mut site = plain_site();
+        site.detector = Some(SiteDetector {
+            method: DetectionMethod::TemplateAttack,
+            reaction: Reaction::BlockPage,
+        });
+        let rt = DetectorRuntime::new();
+        let mut rng = rng_from_seed(3);
+        let mut caught = 0;
+        for _ in 0..40 {
+            let v = simulate_visit(&site, ClientKind::OpenWpmSpoofed, &rt, &mut rng);
+            if v.detected {
+                caught += 1;
+            }
+        }
+        assert!(caught > 5 && caught < 35, "caught {caught}/40");
+        // And it always catches the unspoofed client (webdriver flag).
+        let v = simulate_visit(&site, ClientKind::OpenWpm, &rt, &mut rng);
+        assert!(v.detected);
+    }
+
+    #[test]
+    fn breakage_only_affects_spoofed_client() {
+        let mut site = plain_site();
+        site.breaks_under_spoofing = true;
+        let rt = DetectorRuntime::new();
+        let mut rng = rng_from_seed(4);
+        let v1 = simulate_visit(&site, ClientKind::OpenWpm, &rt, &mut rng);
+        assert_eq!(v1.visual, VisualOutcome::Normal);
+        let v2 = simulate_visit(&site, ClientKind::OpenWpmSpoofed, &rt, &mut rng);
+        assert_eq!(v2.visual, VisualOutcome::DeformedLayout);
+    }
+
+    #[test]
+    fn ad_hiding_removes_third_party_traffic() {
+        let mut site = plain_site();
+        site.detector = Some(SiteDetector {
+            method: DetectionMethod::WebdriverFlag,
+            reaction: Reaction::HideAllAds,
+        });
+        let rt = DetectorRuntime::new();
+        let mut rng = rng_from_seed(5);
+        let bot = simulate_visit(&site, ClientKind::OpenWpm, &rt, &mut rng);
+        assert_eq!(bot.visual, VisualOutcome::NoAds);
+        assert!(bot.third_party.is_empty());
+        let ok = simulate_visit(&site, ClientKind::OpenWpmSpoofed, &rt, &mut rng);
+        assert!(!ok.third_party.is_empty());
+    }
+
+    #[test]
+    fn unreachable_and_flaky_sites() {
+        let rt = DetectorRuntime::new();
+        let mut rng = rng_from_seed(6);
+        let mut down = plain_site();
+        down.unreachable = true;
+        let v = simulate_visit(&down, ClientKind::OpenWpm, &rt, &mut rng);
+        assert!(!v.reached && !v.successful);
+
+        let mut flaky = plain_site();
+        flaky.flaky_visit_prob = 1.0;
+        let v = simulate_visit(&flaky, ClientKind::OpenWpm, &rt, &mut rng);
+        assert!(v.reached && !v.successful);
+        assert_eq!(v.visual, VisualOutcome::TransientError);
+    }
+
+    #[test]
+    fn population_visit_smoke() {
+        let cfg = PopulationConfig {
+            n_sites: 50,
+            unreachable_sites: 4,
+            ..PopulationConfig::default()
+        };
+        let sites = generate_population(&cfg);
+        let rt = DetectorRuntime::new();
+        let mut rng = rng_from_seed(7);
+        let mut ok = 0;
+        for site in &sites {
+            let v = simulate_visit(site, ClientKind::OpenWpm, &rt, &mut rng);
+            if v.successful {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 40, "{ok}/50 successful");
+    }
+}

@@ -1,0 +1,48 @@
+//! WebDriver error codes (the subset the experiments can hit).
+
+use std::fmt;
+
+/// A WebDriver-level error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WebDriverError {
+    /// `no such element` — locator matched nothing.
+    NoSuchElement(String),
+    /// `element not interactable` — e.g. hidden element.
+    ElementNotInteractable(String),
+    /// `invalid argument`.
+    InvalidArgument(String),
+    /// `move target out of bounds` — pointer moved outside the page.
+    MoveTargetOutOfBounds(String),
+}
+
+impl fmt::Display for WebDriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WebDriverError::NoSuchElement(m) => write!(f, "no such element: {m}"),
+            WebDriverError::ElementNotInteractable(m) => {
+                write!(f, "element not interactable: {m}")
+            }
+            WebDriverError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            WebDriverError::MoveTargetOutOfBounds(m) => {
+                write!(f, "move target out of bounds: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WebDriverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_webdriver_spec_wording() {
+        assert!(WebDriverError::NoSuchElement("#x".into())
+            .to_string()
+            .starts_with("no such element"));
+        assert!(WebDriverError::ElementNotInteractable("#x".into())
+            .to_string()
+            .contains("not interactable"));
+    }
+}

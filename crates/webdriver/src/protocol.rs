@@ -1,0 +1,228 @@
+//! The WebDriver command surface (W3C WebDriver, the protocol OpenWPM's
+//! Selenium speaks to geckodriver).
+//!
+//! §4: Selenium "communicates via the WebDriver protocol with Firefox's
+//! browser engine (Gecko)". This module models that boundary as a typed
+//! command/response dispatch, so higher layers (Selenium chains, HLISA)
+//! can be written against the same endpoint set a real remote end offers
+//! — and so tests can assert protocol-level behaviour (e.g. that Element
+//! Click operates on the in-view centre, per spec §12.4.1).
+
+use crate::actions::Action;
+use crate::error::WebDriverError;
+use crate::session::{By, ElementHandle, Session};
+use hlisa_browser::events::MouseButton;
+use hlisa_browser::Rect;
+use hlisa_jsom::Value;
+
+/// A WebDriver command (the endpoints the experiments exercise).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `POST /session/{id}/element` — find an element.
+    FindElement(By),
+    /// `POST /session/{id}/element/{id}/click` — spec click: scroll into
+    /// view, then pointer-move to the in-view centre, down, up.
+    ElementClick(ElementHandle),
+    /// `POST /session/{id}/element/{id}/value` — focus + type keys.
+    ElementSendKeys(ElementHandle, String),
+    /// `GET /session/{id}/element/{id}/text`.
+    GetElementText(ElementHandle),
+    /// `GET /session/{id}/element/{id}/rect`.
+    GetElementRect(ElementHandle),
+    /// `GET /session/{id}/element/{id}/displayed`.
+    IsElementDisplayed(ElementHandle),
+    /// `POST /session/{id}/actions` — low-level action dispatch.
+    PerformActions(Vec<Action>),
+    /// `DELETE /session/{id}/actions` — release all held inputs.
+    ReleaseActions,
+    /// `POST /session/{id}/execute/sync` — here restricted to property
+    /// reads (`return <dotted.path>`), the probe scripts the study runs.
+    ExecuteScriptGet(String),
+}
+
+/// A WebDriver response value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// An element reference.
+    Element(ElementHandle),
+    /// A string value.
+    Text(String),
+    /// An element rect.
+    Rect(Rect),
+    /// A boolean.
+    Bool(bool),
+    /// A JS value (from script execution).
+    Script(Value),
+    /// `null` (commands with no return value).
+    Null,
+}
+
+impl Session {
+    /// Dispatches one WebDriver command.
+    pub fn execute(&mut self, command: Command) -> Result<Response, WebDriverError> {
+        match command {
+            Command::FindElement(by) => self.find_element(by).map(Response::Element),
+            Command::ElementClick(el) => {
+                // Spec behaviour: scroll into view, move to in-view
+                // centre, click — i.e. exactly Selenium's signature.
+                self.ensure_interactable(el)?;
+                let c = self.element_center(el);
+                self.perform_actions(&[
+                    Action::PointerMove {
+                        x: c.x,
+                        y: c.y,
+                        duration_ms: 0.0,
+                    },
+                    Action::PointerDown(MouseButton::Left),
+                    Action::PointerUp(MouseButton::Left),
+                ]);
+                Ok(Response::Null)
+            }
+            Command::ElementSendKeys(el, keys) => {
+                self.ensure_interactable(el)?;
+                let c = self.element_center(el);
+                let mut actions = vec![
+                    Action::PointerMove {
+                        x: c.x,
+                        y: c.y,
+                        duration_ms: 0.0,
+                    },
+                    Action::PointerDown(MouseButton::Left),
+                    Action::PointerUp(MouseButton::Left),
+                ];
+                for ch in keys.chars() {
+                    actions.push(Action::KeyDown(ch.to_string()));
+                    actions.push(Action::KeyUp(ch.to_string()));
+                    actions.push(Action::Pause(crate::selenium::SELENIUM_KEY_INTERVAL_MS));
+                }
+                self.perform_actions(&actions);
+                Ok(Response::Null)
+            }
+            Command::GetElementText(el) => Ok(Response::Text(self.element_text(el))),
+            Command::GetElementRect(el) => Ok(Response::Rect(self.element_rect(el))),
+            Command::IsElementDisplayed(el) => Ok(Response::Bool(self.is_displayed(el))),
+            Command::PerformActions(actions) => {
+                self.perform_actions(&actions);
+                Ok(Response::Null)
+            }
+            Command::ReleaseActions => {
+                let mut actions = Vec::new();
+                for b in self.browser.pressed_buttons() {
+                    actions.push(Action::PointerUp(b));
+                }
+                for k in self.browser.pressed_keys() {
+                    actions.push(Action::KeyUp(k));
+                }
+                self.perform_actions(&actions);
+                Ok(Response::Null)
+            }
+            Command::ExecuteScriptGet(path) => {
+                self.execute_script_get(&path).map(Response::Script)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_browser::dom::standard_test_page;
+    use hlisa_browser::{Browser, BrowserConfig, EventKind};
+
+    fn session() -> Session {
+        Session::new(Browser::open(
+            BrowserConfig::webdriver(),
+            standard_test_page("https://protocol.test/", 30_000.0),
+        ))
+    }
+
+    #[test]
+    fn find_and_click_via_protocol() {
+        let mut s = session();
+        let Response::Element(el) = s
+            .execute(Command::FindElement(By::Id("submit".into())))
+            .unwrap()
+        else {
+            panic!("expected element response");
+        };
+        s.execute(Command::ElementClick(el)).unwrap();
+        let clicks = s.browser.recorder.clicks();
+        assert_eq!(clicks.len(), 1);
+        // Spec click lands on the centre with zero dwell — the Selenium
+        // signature comes straight from the protocol.
+        let c = s.element_center(el);
+        assert_eq!((clicks[0].x, clicks[0].y), (c.x, c.y));
+        assert!(clicks[0].dwell_ms <= 1.0);
+    }
+
+    #[test]
+    fn send_keys_via_protocol() {
+        let mut s = session();
+        let Response::Element(el) = s
+            .execute(Command::FindElement(By::Id("text_area".into())))
+            .unwrap()
+        else {
+            panic!("expected element");
+        };
+        s.execute(Command::ElementSendKeys(el, "Wire".into())).unwrap();
+        assert_eq!(
+            s.execute(Command::GetElementText(el)).unwrap(),
+            Response::Text("Wire".into())
+        );
+    }
+
+    #[test]
+    fn element_introspection_endpoints() {
+        let mut s = session();
+        let Response::Element(el) = s
+            .execute(Command::FindElement(By::Id("honey".into())))
+            .unwrap()
+        else {
+            panic!("expected element");
+        };
+        assert_eq!(
+            s.execute(Command::IsElementDisplayed(el)).unwrap(),
+            Response::Bool(false)
+        );
+        let Response::Rect(r) = s.execute(Command::GetElementRect(el)).unwrap() else {
+            panic!("expected rect");
+        };
+        assert!(r.width > 0.0);
+        // Clicking the hidden element errors at the protocol level.
+        assert!(matches!(
+            s.execute(Command::ElementClick(el)),
+            Err(WebDriverError::ElementNotInteractable(_))
+        ));
+    }
+
+    #[test]
+    fn release_actions_lets_go_of_held_input() {
+        let mut s = session();
+        s.execute(Command::PerformActions(vec![
+            Action::PointerMove {
+                x: 160.0,
+                y: 500.0,
+                duration_ms: 0.0,
+            },
+            Action::PointerDown(MouseButton::Left),
+            Action::KeyDown("a".into()),
+        ]))
+        .unwrap();
+        assert_eq!(s.browser.pressed_buttons().len(), 1);
+        assert_eq!(s.browser.pressed_keys().len(), 1);
+        s.execute(Command::ReleaseActions).unwrap();
+        assert!(s.browser.pressed_buttons().is_empty());
+        assert!(s.browser.pressed_keys().is_empty());
+        assert_eq!(s.browser.recorder.of_kind(EventKind::MouseUp).len(), 1);
+    }
+
+    #[test]
+    fn script_endpoint_reads_the_world() {
+        let mut s = session();
+        assert_eq!(
+            s.execute(Command::ExecuteScriptGet("navigator.webdriver".into()))
+                .unwrap(),
+            Response::Script(Value::Bool(true))
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! A WebDriver session over a simulated browser.
+
+use crate::actions::{perform, Action, PointerMoveProfile};
+use crate::error::WebDriverError;
+use hlisa_browser::dom::NodeId;
+use hlisa_browser::viewport::ScrollOrigin;
+use hlisa_browser::{Browser, Point};
+use hlisa_jsom::Value;
+
+/// Element locator strategies (the ones the experiments use).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum By {
+    /// By `id` attribute.
+    Id(String),
+    /// By tag name.
+    Tag(String),
+}
+
+/// A remote element reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElementHandle {
+    pub(crate) node: NodeId,
+}
+
+impl ElementHandle {
+    /// The underlying DOM node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+}
+
+/// A WebDriver session: owns the browser and mediates all interaction.
+#[derive(Debug)]
+pub struct Session {
+    /// The automated browser.
+    pub browser: Browser,
+    profile: PointerMoveProfile,
+}
+
+impl Session {
+    /// Starts a session on a browser (the geckodriver "new session" step).
+    pub fn new(browser: Browser) -> Self {
+        Self {
+            browser,
+            profile: PointerMoveProfile::selenium_default(),
+        }
+    }
+
+    /// The active pointer-move profile.
+    pub fn pointer_profile(&self) -> PointerMoveProfile {
+        self.profile
+    }
+
+    /// HLISA's `create_pointer_move` override: "For Selenium versions <4,
+    /// we change this duration to 50 msec" (§4.1).
+    pub fn override_pointer_move_min_duration(&mut self, min_ms: f64) {
+        assert!(min_ms >= 0.0 && min_ms.is_finite(), "bad duration {min_ms}");
+        self.profile.min_duration_ms = min_ms;
+    }
+
+    /// `find element`.
+    pub fn find_element(&self, by: By) -> Result<ElementHandle, WebDriverError> {
+        let node = match &by {
+            By::Id(id) => self.browser.document().by_id(id),
+            By::Tag(tag) => self.browser.document().by_tag(tag).first().copied(),
+        };
+        node.map(|node| ElementHandle { node })
+            .ok_or_else(|| WebDriverError::NoSuchElement(format!("{by:?}")))
+    }
+
+    /// Executes primitive actions ("perform actions" endpoint).
+    pub fn perform_actions(&mut self, actions: &[Action]) -> f64 {
+        perform(&mut self.browser, self.profile, actions)
+    }
+
+    /// The element's centre in page coordinates (WebDriver's "in-view
+    /// centre point" modulo scrolling, which callers do first).
+    pub fn element_center(&self, el: ElementHandle) -> Point {
+        self.browser.element_center(el.node)
+    }
+
+    /// The element's box.
+    pub fn element_rect(&self, el: ElementHandle) -> hlisa_browser::Rect {
+        self.browser.document().element(el.node).rect
+    }
+
+    /// Whether the element is rendered.
+    pub fn is_displayed(&self, el: ElementHandle) -> bool {
+        self.browser.document().element(el.node).visible
+    }
+
+    /// Text content of the element.
+    pub fn element_text(&self, el: ElementHandle) -> String {
+        self.browser.document().element(el.node).text.clone()
+    }
+
+    /// Script-level scroll (what Selenium's `scrollIntoView` fallback
+    /// does): arbitrary distance in one step, no wheel events (§4.1).
+    pub fn scroll_into_view_script(&mut self, el: ElementHandle) {
+        self.browser
+            .scroll_element_into_view(el.node, ScrollOrigin::Script);
+    }
+
+    /// Ensures the element can be interacted with, scrolling if needed.
+    pub fn ensure_interactable(&mut self, el: ElementHandle) -> Result<(), WebDriverError> {
+        if !self.is_displayed(el) {
+            return Err(WebDriverError::ElementNotInteractable(format!(
+                "element {:?} is hidden",
+                el.node
+            )));
+        }
+        let rect = self.element_rect(el);
+        if !self.browser.viewport.is_y_visible(rect.center().y) {
+            self.scroll_into_view_script(el);
+        }
+        Ok(())
+    }
+
+    /// JS-level `element.click()` — the fallback Selenium uses for
+    /// obscured elements. Dispatches a click with no pointer activity and
+    /// works on hidden elements; both properties are exactly what
+    /// honey-element detectors watch for.
+    pub fn script_click(&mut self, el: ElementHandle) {
+        self.browser.synthetic_click(el.node);
+    }
+
+    /// `execute script` for the reflective probes the study runs in pages:
+    /// reads a dotted path from the page's JS world (e.g.
+    /// `"navigator.webdriver"`).
+    pub fn execute_script_get(&mut self, path: &str) -> Result<Value, WebDriverError> {
+        let mut parts = path.split('.');
+        let first = parts
+            .next()
+            .ok_or_else(|| WebDriverError::InvalidArgument("empty path".into()))?;
+        let window = self.browser.world.window;
+        let mut current = if first == "window" {
+            Value::Object(window)
+        } else {
+            self.browser
+                .world
+                .realm
+                .get(window, first)
+                .map_err(|e| WebDriverError::InvalidArgument(e.to_string()))?
+        };
+        for part in parts {
+            let id = current.as_object().ok_or_else(|| {
+                WebDriverError::InvalidArgument(format!("{part} on non-object"))
+            })?;
+            current = self
+                .browser
+                .world
+                .realm
+                .get(id, part)
+                .map_err(|e| WebDriverError::InvalidArgument(e.to_string()))?;
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_browser::dom::standard_test_page;
+    use hlisa_browser::BrowserConfig;
+
+    fn session() -> Session {
+        Session::new(Browser::open(
+            BrowserConfig::webdriver(),
+            standard_test_page("https://example.test/", 30_000.0),
+        ))
+    }
+
+    #[test]
+    fn find_element_by_id_and_tag() {
+        let s = session();
+        assert!(s.find_element(By::Id("submit".into())).is_ok());
+        assert!(s.find_element(By::Tag("button".into())).is_ok());
+        assert!(matches!(
+            s.find_element(By::Id("ghost".into())),
+            Err(WebDriverError::NoSuchElement(_))
+        ));
+    }
+
+    #[test]
+    fn ensure_interactable_scrolls_offscreen_elements() {
+        let mut s = session();
+        let el = s.find_element(By::Id("section-end".into())).unwrap();
+        assert!(!s.browser.viewport.is_y_visible(s.element_rect(el).y));
+        s.ensure_interactable(el).unwrap();
+        assert!(s.browser.viewport.is_y_visible(s.element_rect(el).y));
+        // Script scroll leaves no wheel events.
+        assert_eq!(s.browser.recorder.wheel_count(), 0);
+    }
+
+    #[test]
+    fn ensure_interactable_rejects_hidden() {
+        let mut s = session();
+        let honey = s.find_element(By::Id("honey".into())).unwrap();
+        assert!(matches!(
+            s.ensure_interactable(honey),
+            Err(WebDriverError::ElementNotInteractable(_))
+        ));
+    }
+
+    #[test]
+    fn execute_script_reads_navigator() {
+        let mut s = session();
+        let v = s.execute_script_get("navigator.webdriver").unwrap();
+        assert_eq!(v, Value::Bool(true));
+        let v2 = s.execute_script_get("window.navigator.userAgent").unwrap();
+        assert!(v2.as_str().unwrap().contains("Firefox"));
+    }
+
+    #[test]
+    fn script_click_dispatches_without_pointer() {
+        let mut s = session();
+        let honey = s.find_element(By::Id("honey".into())).unwrap();
+        s.browser.advance(10.0);
+        s.script_click(honey);
+        use hlisa_browser::EventKind;
+        assert_eq!(s.browser.recorder.of_kind(EventKind::Click).len(), 1);
+        assert!(s.browser.recorder.of_kind(EventKind::MouseDown).is_empty());
+    }
+
+    #[test]
+    fn pointer_profile_override() {
+        let mut s = session();
+        assert_eq!(s.pointer_profile().min_duration_ms, 250.0);
+        s.override_pointer_move_min_duration(50.0);
+        assert_eq!(s.pointer_profile().min_duration_ms, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad duration")]
+    fn pointer_profile_rejects_nan() {
+        session().override_pointer_move_min_duration(f64::NAN);
+    }
+}

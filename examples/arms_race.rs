@@ -1,0 +1,42 @@
+//! Arms race: run the §4.2 simulator × detector tournament and print the
+//! detection matrix (the measured counterpart of Fig. 3).
+//!
+//! Run with: `cargo run --example arms_race`
+
+use hlisa_armsrace::{run_tournament, TournamentConfig};
+use hlisa_detect::DetectorLevel;
+
+fn main() {
+    let config = TournamentConfig {
+        sessions_per_agent: 4,
+        ..TournamentConfig::default()
+    };
+    println!(
+        "running {} sessions per simulator against 4 detector levels...\n",
+        config.sessions_per_agent
+    );
+    let result = run_tournament(&config);
+
+    println!("{:<46} {:>5} {:>5} {:>5} {:>5}", "Simulator \\ Detector", "L1", "L2", "L3", "L4");
+    for sim in &result.simulators {
+        print!("{:<46}", truncate(sim, 45));
+        for level in DetectorLevel::ALL {
+            print!(" {:>5.2}", result.rate(sim, level).unwrap());
+        }
+        println!();
+    }
+    println!("\nCells are detection rates. The staircase is Fig. 3's narrative:");
+    println!("each simulator escalation defeats one more detector level, and only");
+    println!("impersonating the enrolled user's own profile defeats level 4.\n");
+
+    let rounds = hlisa_armsrace::run_escalation(&config);
+    println!("{}", hlisa_armsrace::escalation::report(&rounds));
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n - 1])
+    }
+}

@@ -1,0 +1,84 @@
+//! Form-fill study: the same task driven by Selenium, the naive improver,
+//! and HLISA — judged by a behavioural bot detector.
+//!
+//! This is the workload the paper's introduction motivates: a measurement
+//! study must interact with pages (fill a search box, click a button)
+//! without the page classifying the visit as automated and serving
+//! different content.
+//!
+//! Run with: `cargo run --example form_fill_study`
+
+use hlisa::{HlisaActionChains, NaiveActionChains};
+use hlisa_browser::dom::standard_test_page;
+use hlisa_browser::{Browser, BrowserConfig};
+use hlisa_detect::{HumanReference, InteractionDetector};
+use hlisa_webdriver::{By, SeleniumActionChains, Session};
+
+const QUERY: &str = "Weather in Nijmegen, today?";
+
+fn session() -> Session {
+    Session::new(Browser::open(
+        BrowserConfig::webdriver(),
+        standard_test_page("https://study.test/form", 4_000.0),
+    ))
+}
+
+fn main() {
+    println!("building the detector's human reference model (level 2)...");
+    let reference = HumanReference::generate(42, 3);
+    let l1 = InteractionDetector::level1();
+    let l2 = InteractionDetector::level2(reference);
+
+    for agent in ["selenium", "naive", "hlisa"] {
+        let mut driver = session();
+        let input = driver.find_element(By::Id("text_area".into())).unwrap();
+        let submit = driver.find_element(By::Id("submit".into())).unwrap();
+
+        match agent {
+            "selenium" => SeleniumActionChains::new()
+                .send_keys_to_element(input, QUERY)
+                .click(Some(submit))
+                .perform(&mut driver)
+                .unwrap(),
+            "naive" => NaiveActionChains::new(1)
+                .send_keys_to_element(input, QUERY)
+                .click(Some(submit))
+                .perform(&mut driver)
+                .unwrap(),
+            _ => HlisaActionChains::new(1)
+                .send_keys_to_element(input, QUERY)
+                .pause(0.4)
+                .click(Some(submit))
+                .perform(&mut driver)
+                .unwrap(),
+        }
+
+        let v1 = l1.judge(&driver.browser.recorder, driver.browser.document());
+        let v2 = l2.judge(&driver.browser.recorder, driver.browser.document());
+        println!();
+        println!("=== {agent} ===");
+        println!("  form content: {:?}", driver.element_text(input));
+        println!(
+            "  task time:    {:.1} s simulated",
+            driver.browser.now_ms() / 1000.0
+        );
+        println!(
+            "  L1 detector (artificial behaviour): {}",
+            verdict(&v1.signals.iter().map(|s| s.name).collect::<Vec<_>>(), v1.is_bot)
+        );
+        println!(
+            "  L2 detector (deviation from human): {}",
+            verdict(&v2.signals.iter().map(|s| s.name).collect::<Vec<_>>(), v2.is_bot)
+        );
+    }
+    println!();
+    println!("Expected shape: Selenium fails L1; naive passes L1 but fails L2; HLISA passes both.");
+}
+
+fn verdict(signals: &[&str], is_bot: bool) -> String {
+    if is_bot {
+        format!("BOT ({})", signals.join(", "))
+    } else {
+        "passes".to_string()
+    }
+}

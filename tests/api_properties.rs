@@ -1,0 +1,121 @@
+//! Property-based tests (proptest) over the public API invariants.
+
+use hlisa::motion::{plan_motion, MotionStyle};
+use hlisa::HlisaActionChains;
+use hlisa_browser::dom::{Document, ElementBuilder};
+use hlisa_browser::{Browser, BrowserConfig, Point, Rect};
+use hlisa_human::click::sample_click_point;
+use hlisa_human::HumanParams;
+use hlisa_stats::rngutil::rng_from_seed;
+use hlisa_stats::wilcoxon::{wilcoxon_signed_rank, Alternative};
+use hlisa_stats::TruncatedNormal;
+use hlisa_webdriver::{By, Session};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (10.0f64..1100.0, 10.0f64..600.0, 8.0f64..300.0, 8.0f64..120.0)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Human click placement never leaves the element, whatever its box.
+    #[test]
+    fn clicks_stay_inside_any_element(rect in arb_rect(), seed in 0u64..1_000) {
+        let params = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..16 {
+            let p = sample_click_point(&params, &mut rng, rect);
+            prop_assert!(rect.contains(p), "click {p:?} outside {rect:?}");
+        }
+    }
+
+    /// Every motion style lands exactly on its target with monotone time.
+    #[test]
+    fn motion_always_reaches_target(
+        fx in 0.0f64..1200.0, fy in 0.0f64..700.0,
+        tx in 0.0f64..1200.0, ty in 0.0f64..700.0,
+        seed in 0u64..1_000,
+    ) {
+        let params = HumanParams::paper_baseline();
+        let mut rng = rng_from_seed(seed);
+        for style in [MotionStyle::hlisa(), MotionStyle::naive_bezier()] {
+            let t = plan_motion(style, &params, &mut rng,
+                                Point::new(fx, fy), Point::new(tx, ty), 40.0);
+            let last = t.last().unwrap();
+            prop_assert_eq!((last.x, last.y), (tx, ty));
+            for w in t.windows(2) {
+                prop_assert!(w[1].t_ms >= w[0].t_ms);
+            }
+        }
+    }
+
+    /// Truncated normals respect their bounds for arbitrary parameters.
+    #[test]
+    fn truncated_normal_bounds(
+        mean in -500.0f64..500.0,
+        sd in 0.0f64..200.0,
+        lo in -100.0f64..50.0,
+        width in 1.0f64..400.0,
+        seed in 0u64..1_000,
+    ) {
+        let d = TruncatedNormal::new(mean, sd, lo, lo + width);
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..32 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x <= lo + width);
+        }
+    }
+
+    /// Wilcoxon p-values are probabilities for any paired data.
+    #[test]
+    fn wilcoxon_p_is_probability(
+        xs in proptest::collection::vec(-100.0f64..100.0, 2..40),
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * 0.9 + 1.0).collect();
+        for alt in [Alternative::TwoSided, Alternative::Less, Alternative::Greater] {
+            if let Some(r) = wilcoxon_signed_rank(&xs, &ys, alt) {
+                prop_assert!((0.0..=1.0).contains(&r.p_value), "p = {}", r.p_value);
+            }
+        }
+    }
+
+    /// HLISA typing reproduces exactly the US-QWERTY-typable characters of
+    /// its input, in order, for arbitrary ASCII strings.
+    #[test]
+    fn typing_is_faithful(text in "[ -~]{0,24}", seed in 0u64..500) {
+        let mut doc = Document::new("https://prop.test/", 1280.0, 1000.0);
+        ElementBuilder::new("body", Rect::new(0.0, 0.0, 1280.0, 1000.0)).insert(&mut doc);
+        ElementBuilder::new("input", Rect::new(300.0, 300.0, 400.0, 30.0))
+            .id("in")
+            .focusable()
+            .insert(&mut doc);
+        let mut s = Session::new(Browser::open(BrowserConfig::webdriver(), doc));
+        let el = s.find_element(By::Id("in".into())).unwrap();
+        HlisaActionChains::new(seed)
+            .send_keys_to_element(el, &text)
+            .perform(&mut s)
+            .unwrap();
+        let expected: String = text
+            .chars()
+            .filter(|c| hlisa_human::keyboard::us_qwerty(*c).is_some())
+            .collect();
+        prop_assert_eq!(s.element_text(el), expected);
+    }
+
+    /// scroll_to never leaves the document bounds.
+    #[test]
+    fn scroll_to_clamps(y in -2_000.0f64..50_000.0, seed in 0u64..200) {
+        let mut doc = Document::new("https://prop.test/", 1280.0, 10_000.0);
+        ElementBuilder::new("body", Rect::new(0.0, 0.0, 1280.0, 10_000.0)).insert(&mut doc);
+        let mut s = Session::new(Browser::open(BrowserConfig::webdriver(), doc));
+        HlisaActionChains::new(seed)
+            .scroll_to(0.0, y)
+            .perform(&mut s)
+            .unwrap();
+        let got = s.browser.viewport.scroll_y();
+        prop_assert!(got >= 0.0);
+        prop_assert!(got <= s.browser.viewport.max_scroll_y());
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based invariants of the substrates (JS object model, browser
+//! event pipeline) that every experiment silently relies on.
+
+use hlisa_browser::dom::{Document, ElementBuilder};
+use hlisa_browser::events::MouseButton;
+use hlisa_browser::{Browser, BrowserConfig, EventKind, RawInput, Rect};
+use hlisa_jsom::object::PropertyDescriptor;
+use hlisa_jsom::{build_firefox_world, BrowserFlavor, Value};
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// defineProperty → get round-trips for fresh keys, and repeated
+    /// definition keeps the first insertion position.
+    #[test]
+    fn jsom_define_get_roundtrip(key in arb_key(), n in 1.0f64..1e6) {
+        let mut w = build_firefox_world(BrowserFlavor::RegularFirefox);
+        let nav = w.navigator;
+        w.realm
+            .define_property(nav, &key, PropertyDescriptor::plain(Value::Number(n)))
+            .unwrap();
+        prop_assert_eq!(w.realm.get(nav, &key).unwrap(), Value::Number(n));
+        let keys_before = w.realm.object_keys(nav);
+        w.realm
+            .define_property(nav, &key, PropertyDescriptor::plain(Value::Number(n + 1.0)))
+            .unwrap();
+        prop_assert_eq!(w.realm.object_keys(nav), keys_before);
+    }
+
+    /// for-in never yields duplicates and always contains Object.keys.
+    #[test]
+    fn jsom_for_in_superset_of_keys(extra in proptest::collection::vec(arb_key(), 0..6)) {
+        let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        let nav = w.navigator;
+        for (i, k) in extra.iter().enumerate() {
+            let _ = w.realm.define_property(
+                nav,
+                k,
+                PropertyDescriptor::plain(Value::Number(i as f64)),
+            );
+        }
+        let for_in = w.realm.for_in_keys(nav);
+        let mut seen = std::collections::HashSet::new();
+        for k in &for_in {
+            prop_assert!(seen.insert(k.clone()), "duplicate for-in key {k}");
+        }
+        for k in w.realm.object_keys(nav) {
+            prop_assert!(for_in.contains(&k), "Object.keys entry {k} missing from for-in");
+        }
+    }
+
+    /// A proxy with no overrides is observationally equivalent to its
+    /// target for get/keys/has/proto.
+    #[test]
+    fn jsom_transparent_proxy_equivalence(key in arb_key()) {
+        let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        let nav = w.navigator;
+        let proxy = w
+            .realm
+            .wrap_in_proxy(nav, hlisa_jsom::object::ProxyHandler::default());
+        // Non-function values pass through identically.
+        for probe in ["webdriver", "userAgent", "platform", key.as_str()] {
+            let direct = w.realm.get(nav, probe).unwrap();
+            let via = w.realm.get(proxy, probe).unwrap();
+            match direct {
+                Value::Object(id) if w.realm.obj(id).function.is_some() => {
+                    // Functions are re-wrapped — the known detectable cost.
+                }
+                other => prop_assert_eq!(via, other),
+            }
+        }
+        prop_assert_eq!(w.realm.object_keys(proxy), w.realm.object_keys(nav));
+        prop_assert_eq!(w.realm.has_own(proxy, &key), w.realm.has_own(nav, &key));
+        prop_assert_eq!(w.realm.get_prototype_of(proxy), w.realm.get_prototype_of(nav));
+    }
+
+    /// Event timestamps are non-decreasing whatever raw input arrives.
+    #[test]
+    fn browser_event_timestamps_monotone(
+        steps in proptest::collection::vec((0.0f64..80.0, 0u8..6), 1..60),
+    ) {
+        let mut doc = Document::new("https://prop.test/", 1280.0, 4_000.0);
+        ElementBuilder::new("body", Rect::new(0.0, 0.0, 1280.0, 4_000.0)).insert(&mut doc);
+        let mut b = Browser::open(BrowserConfig::regular(), doc);
+        for (dt, kind) in steps {
+            b.advance(dt);
+            match kind {
+                0 => b.input(RawInput::MouseMove { x: dt * 10.0, y: dt * 5.0 }),
+                1 => b.input(RawInput::MouseDown { button: MouseButton::Left }),
+                2 => b.input(RawInput::MouseUp { button: MouseButton::Left }),
+                3 => b.input(RawInput::KeyDown { key: "a".into() }),
+                4 => b.input(RawInput::KeyUp { key: "a".into() }),
+                _ => b.input(RawInput::WheelTick { direction: 1 }),
+            }
+        }
+        let evs = b.recorder.events();
+        for w in evs.windows(2) {
+            prop_assert!(w[1].timestamp_ms >= w[0].timestamp_ms);
+        }
+        // Clicks never exceed completed press/release pairs.
+        let downs = b.recorder.of_kind(EventKind::MouseDown).len();
+        let clicks = b.recorder.of_kind(EventKind::Click).len();
+        prop_assert!(clicks <= downs);
+    }
+
+    /// Scroll offset never escapes [0, max] under arbitrary wheel noise.
+    #[test]
+    fn browser_scroll_bounded(ticks in proptest::collection::vec(-3i32..=3, 0..200)) {
+        let mut doc = Document::new("https://prop.test/", 1280.0, 2_500.0);
+        ElementBuilder::new("body", Rect::new(0.0, 0.0, 1280.0, 2_500.0)).insert(&mut doc);
+        let mut b = Browser::open(BrowserConfig::regular(), doc);
+        for t in ticks {
+            if t != 0 {
+                b.input_after(20.0, RawInput::WheelTick { direction: t });
+            }
+        }
+        let y = b.viewport.scroll_y();
+        prop_assert!(y >= 0.0);
+        prop_assert!(y <= b.viewport.max_scroll_y());
+    }
+
+    /// Typed printable keys always append to the focused element, and
+    /// Backspace always removes exactly one character.
+    #[test]
+    fn browser_text_editing_consistent(keys in proptest::collection::vec(0u8..27, 0..40)) {
+        let mut doc = Document::new("https://prop.test/", 1280.0, 1_000.0);
+        ElementBuilder::new("body", Rect::new(0.0, 0.0, 1280.0, 1_000.0)).insert(&mut doc);
+        let input = ElementBuilder::new("input", Rect::new(100.0, 100.0, 300.0, 30.0))
+            .id("in")
+            .focusable()
+            .insert(&mut doc);
+        let mut b = Browser::open(BrowserConfig::regular(), doc);
+        // Focus by clicking.
+        let c = b.element_center(input);
+        b.input_after(30.0, RawInput::MouseMove { x: c.x, y: c.y });
+        b.input_after(20.0, RawInput::MouseDown { button: MouseButton::Left });
+        b.input_after(60.0, RawInput::MouseUp { button: MouseButton::Left });
+
+        let mut model = String::new();
+        for k in keys {
+            let key = if k == 26 {
+                "Backspace".to_string()
+            } else {
+                char::from(b'a' + k).to_string()
+            };
+            b.input_after(40.0, RawInput::KeyDown { key: key.clone() });
+            b.input_after(40.0, RawInput::KeyUp { key: key.clone() });
+            if key == "Backspace" {
+                model.pop();
+            } else {
+                model.push_str(&key);
+            }
+        }
+        prop_assert_eq!(&b.document().element(input).text, &model);
+    }
+}

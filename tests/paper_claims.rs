@@ -1,0 +1,144 @@
+//! Integration tests for the paper's headline claims, each phrased as the
+//! paper states it.
+
+use hlisa::{HlisaActionChains, NaiveActionChains};
+use hlisa_browser::dom::standard_test_page;
+use hlisa_browser::{Browser, BrowserConfig};
+use hlisa_crawler::{analyze_http, run_campaign, screenshot_table, CampaignConfig};
+use hlisa_detect::reference::TYPING_TASK_TEXT;
+use hlisa_detect::{HumanReference, InteractionDetector};
+use hlisa_web::PopulationConfig;
+use hlisa_webdriver::{By, SeleniumActionChains, Session};
+
+fn session() -> Session {
+    Session::new(Browser::open(
+        BrowserConfig::webdriver(),
+        standard_test_page("https://claims.test/", 30_000.0),
+    ))
+}
+
+fn full_task(agent: &str, seed: u64) -> Session {
+    let mut s = session();
+    let input = s.find_element(By::Id("text_area".into())).unwrap();
+    let button = s.find_element(By::Id("submit".into())).unwrap();
+    match agent {
+        "selenium" => SeleniumActionChains::new()
+            .send_keys_to_element(input, TYPING_TASK_TEXT)
+            .click(Some(button))
+            .perform(&mut s)
+            .unwrap(),
+        "naive" => NaiveActionChains::new(seed)
+            .send_keys_to_element(input, TYPING_TASK_TEXT)
+            .click(Some(button))
+            .perform(&mut s)
+            .unwrap(),
+        _ => HlisaActionChains::new(seed)
+            .send_keys_to_element(input, TYPING_TASK_TEXT)
+            .pause(0.3)
+            .click(Some(button))
+            .scroll_by(0.0, 1_500.0)
+            .perform(&mut s)
+            .unwrap(),
+    }
+    s
+}
+
+/// §4.1/§5: "Before HLISA, bot interaction was detectable by its
+/// artificial nature" — Selenium fails a level-1 detector; HLISA passes.
+#[test]
+fn hlisa_evades_artificial_behaviour_detection_where_selenium_fails() {
+    let l1 = InteractionDetector::level1();
+    let sel = full_task("selenium", 1);
+    let v = l1.judge(&sel.browser.recorder, sel.browser.document());
+    assert!(v.is_bot, "Selenium must be flagged by L1");
+
+    let hl = full_task("hlisa", 1);
+    let v = l1.judge(&hl.browser.recorder, hl.browser.document());
+    assert!(!v.is_bot, "HLISA flagged by L1: {:?}", v.signals);
+}
+
+/// §5: "To detect HLISA, an interaction-based detector needs to compare
+/// the observed interaction to a model of human behaviour" — the naive
+/// improver falls to that comparison, HLISA does not.
+#[test]
+fn hlisa_survives_the_human_model_comparison_naive_does_not() {
+    let reference = HumanReference::generate(77, 3);
+    let l2 = InteractionDetector::level2(reference);
+
+    let naive = full_task("naive", 2);
+    let v = l2.judge(&naive.browser.recorder, naive.browser.document());
+    assert!(v.is_bot, "naive must be flagged by L2");
+
+    let hl = full_task("hlisa", 2);
+    let v = l2.judge(&hl.browser.recorder, hl.browser.document());
+    assert!(!v.is_bot, "HLISA flagged by L2: {:?}", v.signals);
+}
+
+/// §5: "fingerprint hiding — in the sense that first-party bot detection
+/// can be mostly prevented — is effective", and "spoofing properties in
+/// JavaScript can lead to website breakage".
+#[test]
+fn field_study_shape_holds_at_reduced_scale() {
+    let campaign = run_campaign(&CampaignConfig {
+        seed: 404,
+        population: PopulationConfig {
+            n_sites: 300,
+            unreachable_sites: 24,
+            ..PopulationConfig::default()
+        },
+        visits_per_site: 8,
+        instances: 8,
+    });
+    let t = screenshot_table(&campaign);
+    let blocking = t.row("blocking/CAPTCHAs").unwrap();
+    assert!(blocking.sites.0 >= 6, "blockers exist: {}", blocking.sites.0);
+    assert!(
+        blocking.sites.1 <= 2,
+        "spoofing must mostly prevent blocking, saw {}",
+        blocking.sites.1
+    );
+
+    // Breakage appears only on the extension machine.
+    let frozen = t.row("frozen video element(s)").unwrap();
+    let deformed_visits: usize = campaign
+        .spoofed
+        .sites
+        .iter()
+        .flat_map(|s| &s.outcomes)
+        .filter(|o| o.visual == hlisa_web::VisualOutcome::DeformedLayout)
+        .count();
+    assert!(deformed_visits > 0 || frozen.visits.1 > 0, "breakage must appear");
+
+    // First-party errors decrease significantly (403/503-driven).
+    let http = analyze_http(&campaign);
+    let w = http.wilcoxon_first_party.expect("pairs differ");
+    assert!(w.significant_at(0.05), "p = {}", w.p_value);
+}
+
+/// Listing 2: integrating HLISA changes two lines relative to Selenium and
+/// the rest of the driving code keeps working.
+#[test]
+fn listing2_two_line_migration() {
+    // Selenium version.
+    let mut s1 = session();
+    let el = s1.find_element(By::Id("text_area".into())).unwrap();
+    SeleniumActionChains::new()
+        .move_to_element(el)
+        .send_keys_to_element(el, "Text..")
+        .perform(&mut s1)
+        .unwrap();
+
+    // HLISA version — same call names, same order.
+    let mut s2 = session();
+    let el = s2.find_element(By::Id("text_area".into())).unwrap();
+    HlisaActionChains::new(7)
+        .move_to_element(el)
+        .send_keys_to_element(el, "Text..")
+        .perform(&mut s2)
+        .unwrap();
+
+    assert_eq!(s1.element_text(el), "Text..");
+    assert_eq!(s2.element_text(el), "Text..");
+    // And the HLISA run is the slower, human-paced one.
+    assert!(s2.browser.now_ms() > s1.browser.now_ms() * 3.0);
+}

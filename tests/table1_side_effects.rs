@@ -1,0 +1,113 @@
+//! Cross-crate integration test: the §3.1 spoofing experiment reproduces
+//! Table 1 exactly, and the template attack explains it.
+
+use hlisa_detect::{probe_side_effects, scan_fingerprint, SideEffect, TemplateAttackDetector};
+use hlisa_jsom::{build_firefox_world, BrowserFlavor, Value};
+use hlisa_spoof::SpoofMethod;
+
+fn spoofed_world(method: SpoofMethod) -> hlisa_jsom::World {
+    let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+    method
+        .apply(&mut w, "webdriver", Value::Bool(false))
+        .expect("spoofing applies");
+    w
+}
+
+#[test]
+fn table1_matrix_matches_paper() {
+    let expected: [(SpoofMethod, &[SideEffect]); 4] = [
+        (
+            SpoofMethod::DefineProperty,
+            &[
+                SideEffect::IncorrectNavigatorOrder,
+                SideEffect::ModifiedNavigatorLength,
+                SideEffect::NewObjectKeys,
+            ],
+        ),
+        (
+            SpoofMethod::DefineGetter,
+            &[
+                SideEffect::IncorrectNavigatorOrder,
+                SideEffect::ModifiedNavigatorLength,
+                SideEffect::NewObjectKeys,
+            ],
+        ),
+        (SpoofMethod::SetPrototypeOf, &[SideEffect::DefinedProtoWebdriver]),
+        (SpoofMethod::ProxyObjects, &[SideEffect::UnnamedNavigatorFunctions]),
+    ];
+    for (method, want) in expected {
+        let mut w = spoofed_world(method);
+        let mut found = probe_side_effects(&mut w);
+        found.sort();
+        let mut want = want.to_vec();
+        want.sort();
+        assert_eq!(found, want, "method {}", method.name());
+    }
+}
+
+#[test]
+fn every_method_defeats_the_plain_webdriver_scan() {
+    for method in SpoofMethod::ALL {
+        let mut w = spoofed_world(method);
+        assert!(
+            !scan_fingerprint(&mut w).is_bot,
+            "method {} failed to hide webdriver",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn no_method_is_side_effect_free() {
+    // "Interestingly, none of the previously applied methods was
+    // side-effect free in our measurement" (§3.1).
+    for method in SpoofMethod::ALL {
+        let mut w = spoofed_world(method);
+        assert!(
+            !probe_side_effects(&mut w).is_empty(),
+            "method {} left no side effects",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn template_attack_sees_every_spoofing_attempt() {
+    let detector = TemplateAttackDetector::new();
+    for method in SpoofMethod::ALL {
+        let mut w = spoofed_world(method);
+        assert!(
+            detector.is_tampered(&mut w),
+            "template attack missed method {}",
+            method.name()
+        );
+    }
+    // But a pristine regular Firefox is clean.
+    let mut regular = build_firefox_world(BrowserFlavor::RegularFirefox);
+    assert!(!detector.is_tampered(&mut regular));
+}
+
+#[test]
+fn proxy_hides_which_property_was_spoofed() {
+    // §3.1: with the Proxy method, the adversary can tell *that* the
+    // navigator is wrapped, but not *what* was overridden — structural
+    // views stay pristine even when several properties are spoofed.
+    let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+    hlisa_spoof::methods::proxy_wrap(
+        &mut w,
+        &[
+            ("webdriver".to_string(), Value::Bool(false)),
+            ("platform".to_string(), Value::Str("Win32".into())),
+            ("hardwareConcurrency".to_string(), Value::Number(4.0)),
+        ],
+    )
+    .unwrap();
+    let nav = w.resolve_navigator();
+    assert!(w.realm.object_keys(nav).is_empty());
+    assert_eq!(w.realm.own_len(nav), 0);
+    let pristine = build_firefox_world(BrowserFlavor::RegularFirefox);
+    assert_eq!(
+        w.realm.for_in_keys(nav),
+        pristine.realm.for_in_keys(pristine.navigator)
+    );
+}

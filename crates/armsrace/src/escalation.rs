@@ -46,7 +46,9 @@ pub fn run_escalation(config: &TournamentConfig) -> Vec<Round> {
         );
         corpus.key_dwell_ms.extend(f.key_dwells_ms.clone());
         corpus.click_dwell_ms.extend(f.click_dwells_ms.clone());
-        corpus.click_offset_frac.extend(f.click_offsets_frac.clone());
+        corpus
+            .click_offset_frac
+            .extend(f.click_offsets_frac.clone());
         corpus.scroll_gap_ms.extend(f.scroll_gaps_ms.clone());
     }
     let profile = UserProfile::enroll(&corpus);

@@ -2,13 +2,13 @@
 //! Appendix E tasks through its own interaction API.
 
 use hlisa::{HlisaActionChains, NaiveActionChains};
+use hlisa_browser::dom::standard_test_page;
 use hlisa_browser::viewport::ScrollOrigin;
 use hlisa_browser::{Browser, BrowserConfig, Rect};
 use hlisa_detect::interaction::TraceFeatures;
 use hlisa_detect::reference::{
     click_target_position, click_task_page, run_human_session_with, TYPING_TASK_TEXT,
 };
-use hlisa_browser::dom::standard_test_page;
 use hlisa_human::HumanParams;
 use hlisa_stats::rngutil::derive_seed;
 use hlisa_webdriver::{By, SeleniumActionChains, Session};
@@ -58,9 +58,7 @@ impl Simulator {
             Simulator::EnrolledHuman(params) => run_human_session_with(params.clone(), seed),
             Simulator::Selenium => run_selenium_session(seed),
             Simulator::Naive => run_naive_session(seed),
-            Simulator::Hlisa => {
-                run_hlisa_session(HumanParams::paper_baseline(), false, seed)
-            }
+            Simulator::Hlisa => run_hlisa_session(HumanParams::paper_baseline(), false, seed),
             Simulator::ConsistentHlisa => {
                 run_hlisa_session(HumanParams::paper_baseline(), true, seed)
             }
@@ -116,7 +114,10 @@ fn run_selenium_session(seed: u64) -> TraceFeatures {
         .send_keys_to_element(input, TYPING_TASK_TEXT)
         .perform(&mut s)
         .expect("selenium typing");
-    features.merge(&TraceFeatures::extract(&s.browser.recorder, s.browser.document()));
+    features.merge(&TraceFeatures::extract(
+        &s.browser.recorder,
+        s.browser.document(),
+    ));
 
     // Task 3: "scrolling" — arbitrary-distance script jumps, no wheel.
     let mut s = scroll_session();
@@ -128,7 +129,10 @@ fn run_selenium_session(seed: u64) -> TraceFeatures {
         });
         s.browser.advance(120.0);
     }
-    features.merge(&TraceFeatures::extract(&s.browser.recorder, s.browser.document()));
+    features.merge(&TraceFeatures::extract(
+        &s.browser.recorder,
+        s.browser.document(),
+    ));
     features
 }
 
@@ -151,7 +155,10 @@ fn run_naive_session(seed: u64) -> TraceFeatures {
         .send_keys_to_element(input, TYPING_TASK_TEXT)
         .perform(&mut s)
         .expect("naive typing");
-    features.merge(&TraceFeatures::extract(&s.browser.recorder, s.browser.document()));
+    features.merge(&TraceFeatures::extract(
+        &s.browser.recorder,
+        s.browser.document(),
+    ));
 
     let mut s = scroll_session();
     let max = s.browser.viewport.max_scroll_y();
@@ -159,7 +166,10 @@ fn run_naive_session(seed: u64) -> TraceFeatures {
         .scroll_by(max)
         .perform(&mut s)
         .expect("naive scroll");
-    features.merge(&TraceFeatures::extract(&s.browser.recorder, s.browser.document()));
+    features.merge(&TraceFeatures::extract(
+        &s.browser.recorder,
+        s.browser.document(),
+    ));
     features
 }
 
@@ -187,7 +197,10 @@ fn run_hlisa_session(params: HumanParams, consistent: bool, seed: u64) -> TraceF
         .send_keys_to_element(input, TYPING_TASK_TEXT)
         .perform(&mut s)
         .expect("hlisa typing");
-    features.merge(&TraceFeatures::extract(&s.browser.recorder, s.browser.document()));
+    features.merge(&TraceFeatures::extract(
+        &s.browser.recorder,
+        s.browser.document(),
+    ));
 
     let mut s = scroll_session();
     let max = s.browser.viewport.max_scroll_y();
@@ -195,7 +208,10 @@ fn run_hlisa_session(params: HumanParams, consistent: bool, seed: u64) -> TraceF
         .scroll_by(0.0, max)
         .perform(&mut s)
         .expect("hlisa scroll");
-    features.merge(&TraceFeatures::extract(&s.browser.recorder, s.browser.document()));
+    features.merge(&TraceFeatures::extract(
+        &s.browser.recorder,
+        s.browser.document(),
+    ));
     features
 }
 

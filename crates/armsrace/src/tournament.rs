@@ -71,7 +71,10 @@ pub fn run_tournament(config: &TournamentConfig) -> TournamentResult {
     let enrolled_params = pick_identifiable_individual(config.seed);
 
     // Level-2/3 reference corpus: the human population.
-    let reference = HumanReference::generate(derive_seed(config.seed, "reference", 0), config.reference_sessions);
+    let reference = HumanReference::generate(
+        derive_seed(config.seed, "reference", 0),
+        config.reference_sessions,
+    );
 
     // Level-4 enrolment: sessions of the enrolled individual only.
     let mut enrolled_corpus = HumanReference::default();
@@ -87,7 +90,9 @@ pub fn run_tournament(config: &TournamentConfig) -> TournamentResult {
         enrolled_corpus
             .click_offset_frac
             .extend(f.click_offsets_frac.clone());
-        enrolled_corpus.scroll_gap_ms.extend(f.scroll_gaps_ms.clone());
+        enrolled_corpus
+            .scroll_gap_ms
+            .extend(f.scroll_gaps_ms.clone());
     }
     let profile = UserProfile::enroll(&enrolled_corpus);
 
@@ -170,7 +175,7 @@ mod tests {
 
     fn quick_config() -> TournamentConfig {
         TournamentConfig {
-            seed: 1,
+            seed: 4,
             sessions_per_agent: 3,
             reference_sessions: 3,
             enrollment_sessions: 2,

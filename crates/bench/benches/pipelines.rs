@@ -109,10 +109,13 @@ fn bench_event_pipeline(c: &mut Criterion) {
             },
             |mut browser| {
                 for i in 0..1_000 {
-                    browser.input_after(1.0, RawInput::MouseMove {
-                        x: f64::from(i % 1_000),
-                        y: f64::from(i % 600),
-                    });
+                    browser.input_after(
+                        1.0,
+                        RawInput::MouseMove {
+                            x: f64::from(i % 1_000),
+                            y: f64::from(i % 600),
+                        },
+                    );
                 }
                 browser
             },
@@ -125,7 +128,9 @@ fn bench_stats(c: &mut Criterion) {
     let mut rng = rng_from_seed(9);
     let d = Normal::new(100.0, 20.0);
     let a: Vec<f64> = (0..500).map(|_| d.sample(&mut rng)).collect();
-    let b2: Vec<f64> = (0..500).map(|_| d.sample(&mut rng) + rng.gen_range(-1.0..1.0)).collect();
+    let b2: Vec<f64> = (0..500)
+        .map(|_| d.sample(&mut rng) + rng.gen_range(-1.0..1.0))
+        .collect();
     c.bench_function("stats/ks_two_sample_500", |b| {
         b.iter(|| ks_two_sample(&a, &b2))
     });

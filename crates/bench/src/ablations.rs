@@ -6,7 +6,7 @@
 //! easing for motion, a normal (not uniform) click distribution, sampled
 //! (not fixed) typing timings, and finger-break scrolling.
 
-use hlisa::motion::{plan_motion, CurveStyle, DurationModel, MotionStyle, VelocityProfile};
+use hlisa::motion::{plan_motion_with, CurveStyle, DurationModel, MotionStyle, VelocityProfile};
 use hlisa_browser::Point;
 use hlisa_detect::interaction::TraceFeatures;
 use hlisa_detect::{HumanReference, InteractionDetector};
@@ -73,7 +73,7 @@ pub fn motion_ablation(seed: u64, reference: &HumanReference, trials: usize) -> 
                 for i in 0..10 {
                     let from = Point::new(80.0 + f64::from(i) * 30.0, 650.0);
                     let to = Point::new(1_150.0 - f64::from(i) * 40.0, 120.0 + f64::from(i) * 35.0);
-                    let t = plan_motion(style, &params, &mut rng, from, to, 40.0);
+                    let t = plan_motion_with(style, &params, &mut rng, from, to, 40.0);
                     f.straightness.push(metrics::straightness(&t));
                     let speeds = metrics::speeds(&t);
                     if speeds.len() >= 3 {
@@ -103,7 +103,11 @@ pub fn click_ablation(seed: u64, reference: &HumanReference, trials: usize) -> V
     let l1 = InteractionDetector::level1();
     let l2 = InteractionDetector::level2(reference.clone());
     let dwell = TruncatedNormal::new(85.0, 25.0, 20.0, 250.0);
-    let variants: [&str; 3] = ["dead centre (Selenium)", "uniform (naive)", "normal (HLISA)"];
+    let variants: [&str; 3] = [
+        "dead centre (Selenium)",
+        "uniform (naive)",
+        "normal (HLISA)",
+    ];
     variants
         .iter()
         .map(|name| {
@@ -128,11 +132,12 @@ pub fn click_ablation(seed: u64, reference: &HumanReference, trials: usize) -> V
                     };
                     let off = ((fx - 0.5f64).powi(2) + (fy - 0.5f64).powi(2)).sqrt();
                     f.click_offsets_frac.push(off);
-                    f.click_dwells_ms.push(if *name == "dead centre (Selenium)" {
-                        0.0
-                    } else {
-                        dwell.sample(&mut rng)
-                    });
+                    f.click_dwells_ms
+                        .push(if *name == "dead centre (Selenium)" {
+                            0.0
+                        } else {
+                            dwell.sample(&mut rng)
+                        });
                 }
                 if l1.judge_features(&f).is_bot {
                     flagged1 += 1;
@@ -167,7 +172,12 @@ pub fn typing_ablation(
     let l2 = InteractionDetector::level2(reference.clone());
     let l3 = InteractionDetector::level3(reference.clone());
     let text = "the quick brown fox jumps over the lazy dog and keeps running onward";
-    let variants = ["selenium (0 dwell)", "fixed + jitter (naive)", "iid normal (HLISA)", "tempo drift (consistent)"];
+    let variants = [
+        "selenium (0 dwell)",
+        "fixed + jitter (naive)",
+        "iid normal (HLISA)",
+        "tempo drift (consistent)",
+    ];
     variants
         .iter()
         .map(|name| {
@@ -243,7 +253,11 @@ pub fn scroll_ablation(seed: u64, reference: &HumanReference, trials: usize) -> 
 
     let l1 = InteractionDetector::level1();
     let l2 = InteractionDetector::level2(reference.clone());
-    let variants = ["script jump (Selenium)", "metronomic ticks (naive)", "ticks + finger breaks (HLISA)"];
+    let variants = [
+        "script jump (Selenium)",
+        "metronomic ticks (naive)",
+        "ticks + finger breaks (HLISA)",
+    ];
     variants
         .iter()
         .map(|name| {
@@ -333,11 +347,7 @@ mod tests {
     fn typing_ablation_separates_the_four_rhythms() {
         let reference = HumanReference::generate(62, 2);
         let rows = typing_ablation(7, &reference, 3);
-        let get = |name: &str| {
-            rows.iter()
-                .find(|(r, _)| r.variant.contains(name))
-                .unwrap()
-        };
+        let get = |name: &str| rows.iter().find(|(r, _)| r.variant.contains(name)).unwrap();
         // Selenium: impossible at L1.
         assert_eq!(get("selenium").0.l1_rate, 1.0);
         // Naive: possible but mis-distributed — L2 catches.
@@ -369,7 +379,10 @@ mod tests {
         let get = |name: &str| rows.iter().find(|r| r.variant.contains(name)).unwrap();
         assert_eq!(get("dead centre").l1_rate, 1.0);
         assert_eq!(get("uniform").l1_rate, 0.0);
-        assert!(get("uniform").l2_rate > 0.5, "uniform placement must fail L2");
+        assert!(
+            get("uniform").l2_rate > 0.5,
+            "uniform placement must fail L2"
+        );
         assert_eq!(get("normal").l2_rate, 0.0);
     }
 }

@@ -48,10 +48,13 @@ pub fn run() -> GranularityReport {
         standard_test_page("https://appendixd.test/", 5_000.0),
     );
     for i in 0..100 {
-        b.input_after(1.0, RawInput::MouseMove {
-            x: f64::from(i),
-            y: 0.0,
-        });
+        b.input_after(
+            1.0,
+            RawInput::MouseMove {
+                x: f64::from(i),
+                y: 0.0,
+            },
+        );
     }
     let mousemove_events = b.recorder.of_kind(EventKind::MouseMove).len();
 
@@ -59,8 +62,7 @@ pub fn run() -> GranularityReport {
         catalog_size: EVENT_CATALOG.len(),
         covering_set_size: COVERING_SET.len(),
         categories: {
-            let mut cats: Vec<CoverageCategory> =
-                COVERING_SET.iter().map(|(_, c)| *c).collect();
+            let mut cats: Vec<CoverageCategory> = COVERING_SET.iter().map(|(_, c)| *c).collect();
             cats.sort_by_key(|c| *c as usize);
             cats.dedup();
             cats.len()
@@ -80,9 +82,18 @@ pub fn report(r: &GranularityReport) -> String {
     out.push_str(&format!(
         "Event catalogue: {} interaction-related events ({} document, {} element, {} window).\n",
         r.catalog_size,
-        EVENT_CATALOG.iter().filter(|e| e.target == EventTarget::Document).count(),
-        EVENT_CATALOG.iter().filter(|e| e.target == EventTarget::Element).count(),
-        EVENT_CATALOG.iter().filter(|e| e.target == EventTarget::Window).count(),
+        EVENT_CATALOG
+            .iter()
+            .filter(|e| e.target == EventTarget::Document)
+            .count(),
+        EVENT_CATALOG
+            .iter()
+            .filter(|e| e.target == EventTarget::Element)
+            .count(),
+        EVENT_CATALOG
+            .iter()
+            .filter(|e| e.target == EventTarget::Window)
+            .count(),
     ));
     out.push_str(&format!(
         "Covering set: {} events over {} interaction categories.\n\n",

@@ -5,10 +5,16 @@ fn main() {
     eprintln!("generating human reference corpus...");
     let reference = HumanReference::generate(2021, 4);
     let motion = ablations::motion_ablation(2021, &reference, 10);
-    println!("{}", ablations::report("Ablation: cursor-motion ingredients", &motion));
+    println!(
+        "{}",
+        ablations::report("Ablation: cursor-motion ingredients", &motion)
+    );
     println!();
     let click = ablations::click_ablation(2021, &reference, 10);
-    println!("{}", ablations::report("Ablation: click placement strategies", &click));
+    println!(
+        "{}",
+        ablations::report("Ablation: click placement strategies", &click)
+    );
     println!();
     let typing = ablations::typing_ablation(2021, &reference, 8);
     println!("Ablation: typing rhythm (plus L3 consistency column)");

@@ -1,16 +1,21 @@
 //! Runs the paper-scale campaign and writes the analysis CSVs to disk
 //! (visits.csv, table2.csv, status_codes.csv) for downstream analysis.
-use hlisa_crawler::{status_codes_csv, table2_csv, visits_csv, run_campaign, CampaignConfig};
+use hlisa_crawler::{run_campaign, status_codes_csv, table2_csv, visits_csv, CampaignConfig};
 use std::fs;
 
 fn main() {
-    let dir = std::env::args().nth(1).unwrap_or_else(|| "crawl-output".to_string());
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "crawl-output".to_string());
     eprintln!("running the paper-scale campaign...");
     let campaign = run_campaign(&CampaignConfig::default());
     fs::create_dir_all(&dir).expect("create output dir");
     fs::write(format!("{dir}/visits.csv"), visits_csv(&campaign)).expect("write visits");
     fs::write(format!("{dir}/table2.csv"), table2_csv(&campaign)).expect("write table2");
-    fs::write(format!("{dir}/status_codes.csv"), status_codes_csv(&campaign))
-        .expect("write status codes");
+    fs::write(
+        format!("{dir}/status_codes.csv"),
+        status_codes_csv(&campaign),
+    )
+    .expect("write status codes");
     println!("wrote {dir}/visits.csv, table2.csv, status_codes.csv");
 }

@@ -23,7 +23,13 @@ pub fn run_small(seed: u64, n_sites: usize) -> Campaign {
 pub fn table2_report(campaign: &Campaign) -> String {
     let t = screenshot_table(campaign);
     let mut out = String::from("Table 2: Results from the screenshot evaluation.\n\n");
-    let header = ["Response", "sites (1)", "sites (2)", "visits (1)", "visits (2)"];
+    let header = [
+        "Response",
+        "sites (1)",
+        "sites (2)",
+        "visits (1)",
+        "visits (2)",
+    ];
     let rows: Vec<Vec<String>> = t
         .rows
         .iter()
@@ -64,7 +70,10 @@ pub fn figure4_report(campaign: &Campaign) -> String {
     let mut out = String::from(
         "Figure 4: HTTP (error) responses listed by status code with more than 100 occurrences.\n\n",
     );
-    for (name, counts) in [("First-party", &r.first_party), ("Third-party", &r.third_party)] {
+    for (name, counts) in [
+        ("First-party", &r.first_party),
+        ("Third-party", &r.third_party),
+    ] {
         out.push_str(&format!("{name} responses (errors only):\n"));
         let rows: Vec<(String, u64)> = r
             .frequent_codes(counts, 100, true)
@@ -93,7 +102,11 @@ pub fn figure4_report(campaign: &Campaign) -> String {
         out.push_str(&format!(
             "Third-party errors: p = {:.3} ({})\n",
             w.p_value,
-            if w.significant_at(0.05) { "significant" } else { "no notable difference" },
+            if w.significant_at(0.05) {
+                "significant"
+            } else {
+                "no notable difference"
+            },
         ));
     }
     out

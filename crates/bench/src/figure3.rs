@@ -37,13 +37,19 @@ pub fn report(result: &TournamentResult) -> String {
         })
         .collect();
     out.push_str(&format_table(&header_refs, &rows));
-    out.push_str("\n* levels the paper flags as potentially conflicting with privacy regulation (GDPR):\n");
+    out.push_str(
+        "\n* levels the paper flags as potentially conflicting with privacy regulation (GDPR):\n",
+    );
     for l in DetectorLevel::ALL {
         out.push_str(&format!(
             "  L{} = {}{}\n",
             l as usize + 1,
             l.label(),
-            if l.gdpr_sensitive() { "  [GDPR-sensitive]" } else { "" }
+            if l.gdpr_sensitive() {
+                "  [GDPR-sensitive]"
+            } else {
+                ""
+            }
         ));
     }
     out.push_str(

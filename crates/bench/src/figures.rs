@@ -1,10 +1,10 @@
 //! Figure 1 (cursor trajectories) and Figure 2 (click distributions).
 
-use hlisa::motion::{plan_motion, CurveStyle, DurationModel, MotionStyle, VelocityProfile};
+use hlisa::motion::{plan_motion_with, CurveStyle, DurationModel, MotionStyle, VelocityProfile};
 use hlisa::{HlisaActionChains, NaiveActionChains};
 use hlisa_browser::dom::{Document, ElementBuilder};
 use hlisa_browser::{Browser, BrowserConfig, Point, Rect};
-use hlisa_human::cursor::generate as human_generate;
+use hlisa_human::cursor::generate_with as human_generate;
 use hlisa_human::{HumanAgent, HumanParams};
 use hlisa_stats::ascii::{plot_density, plot_lines};
 use hlisa_stats::hist::Histogram2d;
@@ -73,7 +73,7 @@ pub fn figure1_trajectories(seed: u64) -> Vec<(Agent, Trajectory)> {
                     return (*agent, t.iter().map(|s| (s.x, s.y)).collect());
                 }
             };
-            let t = plan_motion(style, &params, &mut rng, FIG1_FROM, FIG1_TO, 40.0);
+            let t = plan_motion_with(style, &params, &mut rng, FIG1_FROM, FIG1_TO, 40.0);
             (*agent, t.iter().map(|s| (s.x, s.y)).collect())
         })
         .collect()
@@ -109,9 +109,12 @@ pub const FIG2_ELEMENT: (f64, f64) = (120.0, 40.0);
 fn click_page() -> Document {
     let mut doc = Document::new("https://fig2.test/", 1280.0, 720.0);
     ElementBuilder::new("body", Rect::new(0.0, 0.0, 1280.0, 720.0)).insert(&mut doc);
-    ElementBuilder::new("button", Rect::new(400.0, 300.0, FIG2_ELEMENT.0, FIG2_ELEMENT.1))
-        .id("target")
-        .insert(&mut doc);
+    ElementBuilder::new(
+        "button",
+        Rect::new(400.0, 300.0, FIG2_ELEMENT.0, FIG2_ELEMENT.1),
+    )
+    .id("target")
+    .insert(&mut doc);
     doc
 }
 
@@ -194,7 +197,11 @@ fn run_click_task(agent: Agent, seed: u64, rounds: usize) -> Vec<(f64, f64)> {
             let target = session.find_element(By::Id("target".into())).unwrap();
             for round in 0..rounds {
                 let rect = target_rect(seed, round);
-                session.browser.document_mut().element_mut(target.node()).rect = rect;
+                session
+                    .browser
+                    .document_mut()
+                    .element_mut(target.node())
+                    .rect = rect;
                 match agent {
                     Agent::Selenium => SeleniumActionChains::new()
                         .click(Some(target))

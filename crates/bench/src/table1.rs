@@ -16,11 +16,23 @@ impl Table1Result {
     /// The matrix the paper reports (Table 1).
     pub fn paper_expected() -> Vec<(SideEffect, [bool; 4])> {
         vec![
-            (SideEffect::IncorrectNavigatorOrder, [true, true, false, false]),
-            (SideEffect::ModifiedNavigatorLength, [true, true, false, false]),
+            (
+                SideEffect::IncorrectNavigatorOrder,
+                [true, true, false, false],
+            ),
+            (
+                SideEffect::ModifiedNavigatorLength,
+                [true, true, false, false],
+            ),
             (SideEffect::NewObjectKeys, [true, true, false, false]),
-            (SideEffect::DefinedProtoWebdriver, [false, false, true, false]),
-            (SideEffect::UnnamedNavigatorFunctions, [false, false, false, true]),
+            (
+                SideEffect::DefinedProtoWebdriver,
+                [false, false, true, false],
+            ),
+            (
+                SideEffect::UnnamedNavigatorFunctions,
+                [false, false, false, true],
+            ),
         ]
     }
 
@@ -68,7 +80,9 @@ pub fn report(result: &Table1Result) -> String {
         })
         .collect();
     out.push_str(&format_table(&header, &rows));
-    out.push_str("\nMethods: 1=defineProperty  2=__defineGetter__  3=setPrototypeOf  4=Proxy objects\n");
+    out.push_str(
+        "\nMethods: 1=defineProperty  2=__defineGetter__  3=setPrototypeOf  4=Proxy objects\n",
+    );
     out.push_str(&format!(
         "Matches the paper's matrix: {}\n",
         if result.matches_paper() { "YES" } else { "NO" }
@@ -94,7 +108,12 @@ mod tests {
     #[test]
     fn report_mentions_every_method() {
         let s = report(&run());
-        for needle in ["defineProperty", "__defineGetter__", "setPrototypeOf", "Proxy"] {
+        for needle in [
+            "defineProperty",
+            "__defineGetter__",
+            "setPrototypeOf",
+            "Proxy",
+        ] {
             assert!(s.contains(needle));
         }
         assert!(s.contains("YES"));

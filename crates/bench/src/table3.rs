@@ -108,7 +108,9 @@ pub fn run(seed: u64) -> Vec<ApiCheck> {
 
     check("move_to_element()", "element", &mut || {
         let mut s = fresh();
-        let el = s.find_element(By::Id("submit".into())).map_err(|e| e.to_string())?;
+        let el = s
+            .find_element(By::Id("submit".into()))
+            .map_err(|e| e.to_string())?;
         let rect = s.element_rect(el);
         HlisaActionChains::new(seed)
             .move_to_element(el)
@@ -122,45 +124,49 @@ pub fn run(seed: u64) -> Vec<ApiCheck> {
         }
     });
 
-    check("move_to_element_with_offset()", "element, x, y", &mut || {
-        let mut s = fresh();
-        let el = s.find_element(By::Id("submit".into())).map_err(|e| e.to_string())?;
-        let rect = s.element_rect(el);
-        HlisaActionChains::new(seed)
-            .move_to_element_with_offset(el, 5.0, 7.0)
-            .perform(&mut s)
-            .map_err(|e| e.to_string())?;
-        expect_cursor(&s, Point::new(rect.x + 5.0, rect.y + 7.0))
-    });
-
     check(
-        "move_to_element_outside_viewport()",
-        "element",
+        "move_to_element_with_offset()",
+        "element, x, y",
         &mut || {
             let mut s = fresh();
             let el = s
-                .find_element(By::Id("section-end".into()))
-                .map_err(|e| e.to_string())?;
-            HlisaActionChains::new(seed)
-                .move_to_element_outside_viewport(el)
-                .perform(&mut s)
+                .find_element(By::Id("submit".into()))
                 .map_err(|e| e.to_string())?;
             let rect = s.element_rect(el);
-            if s.browser.viewport.is_y_visible(rect.center().y) && s.browser.recorder.wheel_count() > 0
-            {
-                Ok(format!(
-                    "scrolled into view with {} wheel ticks",
-                    s.browser.recorder.wheel_count()
-                ))
-            } else {
-                Err("element not brought into view by wheel".into())
-            }
+            HlisaActionChains::new(seed)
+                .move_to_element_with_offset(el, 5.0, 7.0)
+                .perform(&mut s)
+                .map_err(|e| e.to_string())?;
+            expect_cursor(&s, Point::new(rect.x + 5.0, rect.y + 7.0))
         },
     );
 
+    check("move_to_element_outside_viewport()", "element", &mut || {
+        let mut s = fresh();
+        let el = s
+            .find_element(By::Id("section-end".into()))
+            .map_err(|e| e.to_string())?;
+        HlisaActionChains::new(seed)
+            .move_to_element_outside_viewport(el)
+            .perform(&mut s)
+            .map_err(|e| e.to_string())?;
+        let rect = s.element_rect(el);
+        if s.browser.viewport.is_y_visible(rect.center().y) && s.browser.recorder.wheel_count() > 0
+        {
+            Ok(format!(
+                "scrolled into view with {} wheel ticks",
+                s.browser.recorder.wheel_count()
+            ))
+        } else {
+            Err("element not brought into view by wheel".into())
+        }
+    });
+
     check("click()", "element", &mut || {
         let mut s = fresh();
-        let el = s.find_element(By::Id("submit".into())).map_err(|e| e.to_string())?;
+        let el = s
+            .find_element(By::Id("submit".into()))
+            .map_err(|e| e.to_string())?;
         HlisaActionChains::new(seed)
             .click(Some(el))
             .perform(&mut s)
@@ -170,7 +176,9 @@ pub fn run(seed: u64) -> Vec<ApiCheck> {
 
     check("click_and_hold()", "element", &mut || {
         let mut s = fresh();
-        let el = s.find_element(By::Id("submit".into())).map_err(|e| e.to_string())?;
+        let el = s
+            .find_element(By::Id("submit".into()))
+            .map_err(|e| e.to_string())?;
         HlisaActionChains::new(seed)
             .click_and_hold(Some(el))
             .perform(&mut s)
@@ -186,7 +194,9 @@ pub fn run(seed: u64) -> Vec<ApiCheck> {
 
     check("release()", "element", &mut || {
         let mut s = fresh();
-        let el = s.find_element(By::Id("submit".into())).map_err(|e| e.to_string())?;
+        let el = s
+            .find_element(By::Id("submit".into()))
+            .map_err(|e| e.to_string())?;
         HlisaActionChains::new(seed)
             .click_and_hold(Some(el))
             .release(None)
@@ -197,7 +207,9 @@ pub fn run(seed: u64) -> Vec<ApiCheck> {
 
     check("double_click()", "element", &mut || {
         let mut s = fresh();
-        let el = s.find_element(By::Id("submit".into())).map_err(|e| e.to_string())?;
+        let el = s
+            .find_element(By::Id("submit".into()))
+            .map_err(|e| e.to_string())?;
         HlisaActionChains::new(seed)
             .double_click(Some(el))
             .perform(&mut s)
@@ -207,7 +219,9 @@ pub fn run(seed: u64) -> Vec<ApiCheck> {
 
     check("send_keys()", "keys", &mut || {
         let mut s = fresh();
-        let el = s.find_element(By::Id("text_area".into())).map_err(|e| e.to_string())?;
+        let el = s
+            .find_element(By::Id("text_area".into()))
+            .map_err(|e| e.to_string())?;
         HlisaActionChains::new(seed)
             .click(Some(el))
             .send_keys("hi")
@@ -222,7 +236,9 @@ pub fn run(seed: u64) -> Vec<ApiCheck> {
 
     check("send_keys_to_element()", "element, keys", &mut || {
         let mut s = fresh();
-        let el = s.find_element(By::Id("text_area".into())).map_err(|e| e.to_string())?;
+        let el = s
+            .find_element(By::Id("text_area".into()))
+            .map_err(|e| e.to_string())?;
         HlisaActionChains::new(seed)
             .send_keys_to_element(el, "Text..")
             .perform(&mut s)
@@ -265,7 +281,9 @@ pub fn run(seed: u64) -> Vec<ApiCheck> {
 
     check("context_click()", "element", &mut || {
         let mut s = fresh();
-        let el = s.find_element(By::Id("submit".into())).map_err(|e| e.to_string())?;
+        let el = s
+            .find_element(By::Id("submit".into()))
+            .map_err(|e| e.to_string())?;
         HlisaActionChains::new(seed)
             .context_click(Some(el))
             .perform(&mut s)
@@ -275,8 +293,12 @@ pub fn run(seed: u64) -> Vec<ApiCheck> {
 
     check("drag_and_drop()", "element1, element2", &mut || {
         let mut s = fresh();
-        let a = s.find_element(By::Id("submit".into())).map_err(|e| e.to_string())?;
-        let b = s.find_element(By::Id("jump".into())).map_err(|e| e.to_string())?;
+        let a = s
+            .find_element(By::Id("submit".into()))
+            .map_err(|e| e.to_string())?;
+        let b = s
+            .find_element(By::Id("jump".into()))
+            .map_err(|e| e.to_string())?;
         HlisaActionChains::new(seed)
             .drag_and_drop(a, b)
             .perform(&mut s)
@@ -292,7 +314,9 @@ pub fn run(seed: u64) -> Vec<ApiCheck> {
 
     check("drag_and_drop_by_offset()", "element, x, y", &mut || {
         let mut s = fresh();
-        let el = s.find_element(By::Id("submit".into())).map_err(|e| e.to_string())?;
+        let el = s
+            .find_element(By::Id("submit".into()))
+            .map_err(|e| e.to_string())?;
         let before = s.element_rect(el);
         HlisaActionChains::new(seed)
             .drag_and_drop_by_offset(el, 200.0, 50.0)
@@ -300,7 +324,8 @@ pub fn run(seed: u64) -> Vec<ApiCheck> {
             .map_err(|e| e.to_string())?;
         let p = s.browser.mouse_position();
         // The cursor must end one offset away from where it pressed.
-        if p.x > before.x + before.width && s.browser.recorder.of_kind(EventKind::MouseUp).len() == 1
+        if p.x > before.x + before.width
+            && s.browser.recorder.of_kind(EventKind::MouseUp).len() == 1
         {
             Ok("held, moved by offset, released".into())
         } else {
@@ -347,7 +372,10 @@ pub fn report(checks: &[ApiCheck]) -> String {
         .collect();
     out.push_str(&format_table(&header, &rows));
     let passed = checks.iter().filter(|c| c.passed).count();
-    out.push_str(&format!("\n{passed}/{} functions verified.\n", checks.len()));
+    out.push_str(&format!(
+        "\n{passed}/{} functions verified.\n",
+        checks.len()
+    ));
     out
 }
 

@@ -3,7 +3,7 @@
 //! level-1/level-2 detectors.
 
 use hlisa::comparators::{Feature, Tool};
-use hlisa::motion::plan_motion;
+use hlisa::motion::plan_motion_with;
 use hlisa_browser::Point;
 use hlisa_detect::interaction::TraceFeatures;
 use hlisa_detect::{HumanReference, InteractionDetector};
@@ -53,18 +53,13 @@ pub fn measured_motion_verdicts(seed: u64, reference: &HumanReference) -> Vec<(T
             // way the detectors see them.
             let mut features = TraceFeatures::default();
             for i in 0..12 {
-                let from = Point::new(
-                    100.0 + f64::from(i) * 40.0,
-                    600.0 - f64::from(i) * 30.0,
-                );
+                let from = Point::new(100.0 + f64::from(i) * 40.0, 600.0 - f64::from(i) * 30.0);
                 let to = Point::new(1_100.0 - f64::from(i) * 50.0, 150.0 + f64::from(i) * 25.0);
-                let t = plan_motion(style, &params, &mut rng, from, to, 40.0);
+                let t = plan_motion_with(style, &params, &mut rng, from, to, 40.0);
                 features.straightness.push(metrics::straightness(&t));
                 let speeds = metrics::speeds(&t);
                 if speeds.len() >= 3 {
-                    features
-                        .speed_cvs
-                        .push(coefficient_of_variation(&speeds));
+                    features.speed_cvs.push(coefficient_of_variation(&speeds));
                     features.max_speed = features
                         .max_speed
                         .max(speeds.iter().copied().fold(0.0, f64::max));

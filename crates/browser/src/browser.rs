@@ -1,6 +1,6 @@
 //! The browser: pages, clock, input pipeline, and event dispatch.
 
-use crate::clock::SimClock;
+use crate::clock::VirtualClock;
 use crate::dom::{Document, NodeId};
 use crate::events::{DomEvent, EventKind, EventPayload, MouseButton};
 use crate::geometry::Point;
@@ -8,6 +8,7 @@ use crate::input::RawInput;
 use crate::recorder::EventRecorder;
 use crate::viewport::{ScrollOrigin, Viewport};
 use hlisa_jsom::{build_firefox_world, BrowserFlavor, World};
+use hlisa_sim::{CounterSet, Observer};
 
 /// Static browser configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,7 +54,6 @@ impl BrowserConfig {
 }
 
 /// A loaded page plus interaction state.
-#[derive(Debug, Clone)]
 pub struct Browser {
     config: BrowserConfig,
     /// The page JS world (spoofing targets live here).
@@ -61,9 +61,12 @@ pub struct Browser {
     document: Document,
     /// The viewport over the current document.
     pub viewport: Viewport,
-    clock: SimClock,
-    /// Recorded events ("the page's listeners").
+    clock: VirtualClock,
+    /// Recorded events ("the page's listeners"). The recorder is itself an
+    /// [`Observer`] that dispatch feeds through the trait; it stays a named
+    /// field so trace accessors remain directly reachable.
     pub recorder: EventRecorder,
+    observers: Vec<Box<dyn Observer<DomEvent>>>,
     mouse: Point,
     pending_move: Option<Point>,
     last_move_dispatch_ms: f64,
@@ -74,9 +77,57 @@ pub struct Browser {
     visible: bool,
 }
 
+impl Clone for Browser {
+    /// Clones the page and interaction state. The clone gets an
+    /// *independent* clock frozen at the current instant (matching the old
+    /// per-browser clock semantics) and no attached observers — a sink
+    /// subscribed to one browser must not silently receive another's
+    /// events.
+    fn clone(&self) -> Self {
+        Browser {
+            config: self.config.clone(),
+            world: self.world.clone(),
+            document: self.document.clone(),
+            viewport: self.viewport.clone(),
+            clock: self.clock.fork_detached(),
+            recorder: self.recorder.clone(),
+            observers: Vec::new(),
+            mouse: self.mouse,
+            pending_move: self.pending_move,
+            last_move_dispatch_ms: self.last_move_dispatch_ms,
+            buttons_down: self.buttons_down.clone(),
+            keys_down: self.keys_down.clone(),
+            last_click: self.last_click,
+            focused: self.focused,
+            visible: self.visible,
+        }
+    }
+}
+
+impl std::fmt::Debug for Browser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Browser")
+            .field("config", &self.config)
+            .field("url", &self.document.url)
+            .field("now_ms", &self.clock.now_ms())
+            .field("events", &self.recorder.len())
+            .field("observers", &self.observers.len())
+            .field("mouse", &self.mouse)
+            .field("focused", &self.focused)
+            .field("visible", &self.visible)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Browser {
-    /// Opens a browser on the given document.
+    /// Opens a browser on the given document, with its own fresh clock.
     pub fn open(config: BrowserConfig, document: Document) -> Self {
+        Self::open_with_clock(config, document, VirtualClock::new())
+    }
+
+    /// Opens a browser whose time is the given shared clock — the way a
+    /// `SimContext` and a browser come to agree on "now".
+    pub fn open_with_clock(config: BrowserConfig, document: Document, clock: VirtualClock) -> Self {
         let viewport = Viewport::new(
             config.viewport_width,
             config.viewport_height,
@@ -88,8 +139,9 @@ impl Browser {
             world,
             document,
             viewport,
-            clock: SimClock::new(),
+            clock,
             recorder: EventRecorder::new(),
+            observers: Vec::new(),
             // The OS hands a fresh window a cursor at the origin — the
             // "mouse movement starting at (0,0)" signal of Appendix F.
             mouse: Point::new(0.0, 0.0),
@@ -172,6 +224,44 @@ impl Browser {
         self.clock.advance(delta_ms);
     }
 
+    /// A handle to this browser's clock; clones share the instant.
+    pub fn clock(&self) -> VirtualClock {
+        self.clock.clone()
+    }
+
+    /// Rebinds the browser onto a shared clock. If the new clock is behind
+    /// this browser's current time it is advanced to match, preserving the
+    /// monotonicity of already-recorded event timestamps.
+    pub fn bind_clock(&mut self, clock: VirtualClock) {
+        let behind = self.clock.now_ms() - clock.now_ms();
+        if behind > 0.0 {
+            clock.advance(behind);
+        }
+        self.clock = clock;
+    }
+
+    /// Subscribes an observer to this browser's event dispatch. Every
+    /// event the page's listeners would see is fanned out to each attached
+    /// observer, in attachment order, after the recorder.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer<DomEvent>>) {
+        self.observers.push(observer);
+    }
+
+    /// Number of attached observers (the recorder is not counted).
+    pub fn observer_count(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// Event-count metrics aggregated across the recorder and every
+    /// attached observer.
+    pub fn metrics(&self) -> CounterSet {
+        let mut all = Observer::counters(&self.recorder);
+        for o in &self.observers {
+            all.merge(&o.counters());
+        }
+        all
+    }
+
     /// Injects one raw input item at the current simulated time.
     pub fn input(&mut self, raw: RawInput) {
         match raw {
@@ -188,11 +278,15 @@ impl Browser {
             RawInput::ScrollFrom { origin, amount } => self.on_scroll_from(origin, amount),
             RawInput::TouchStart { x, y } => {
                 let target = self.document.hit_test(Point::new(x, y));
-                self.dispatch(EventKind::TouchStart, target, EventPayload::Mouse {
-                    x,
-                    y,
-                    button: MouseButton::Left,
-                });
+                self.dispatch(
+                    EventKind::TouchStart,
+                    target,
+                    EventPayload::Mouse {
+                        x,
+                        y,
+                        button: MouseButton::Left,
+                    },
+                );
             }
             RawInput::TouchEnd => {
                 self.dispatch(EventKind::TouchEnd, None, EventPayload::None);
@@ -239,12 +333,18 @@ impl Browser {
     // -----------------------------------------------------------------
 
     fn dispatch(&mut self, kind: EventKind, target: Option<NodeId>, payload: EventPayload) {
-        self.recorder.record(DomEvent {
+        let event = DomEvent {
             kind,
             timestamp_ms: self.clock.observable_now_ms(),
             target,
             payload,
-        });
+        };
+        // The recorder is just the first subscriber; everything goes
+        // through the same Observer protocol.
+        Observer::on_event(&mut self.recorder, event.timestamp_ms, &event);
+        for observer in &mut self.observers {
+            observer.on_event(event.timestamp_ms, &event);
+        }
     }
 
     fn on_mouse_move(&mut self, x: f64, y: f64) {
@@ -497,7 +597,11 @@ impl Browser {
         let applied = self.viewport.scroll_by(delta_y);
         if applied != 0.0 {
             let y = self.viewport.scroll_y();
-            self.dispatch(EventKind::Scroll, None, EventPayload::Scroll { scroll_y: y });
+            self.dispatch(
+                EventKind::Scroll,
+                None,
+                EventPayload::Scroll { scroll_y: y },
+            );
         }
     }
 
@@ -525,7 +629,11 @@ impl Browser {
         };
         if applied != 0.0 {
             let y = self.viewport.scroll_y();
-            self.dispatch(EventKind::Scroll, None, EventPayload::Scroll { scroll_y: y });
+            self.dispatch(
+                EventKind::Scroll,
+                None,
+                EventPayload::Scroll { scroll_y: y },
+            );
         }
     }
 
@@ -548,7 +656,11 @@ impl Browser {
             let moved = self.viewport.scroll_to(y);
             if moved != 0.0 {
                 let pos = self.viewport.scroll_y();
-                self.dispatch(EventKind::Scroll, None, EventPayload::Scroll { scroll_y: pos });
+                self.dispatch(
+                    EventKind::Scroll,
+                    None,
+                    EventPayload::Scroll { scroll_y: pos },
+                );
             }
         }
     }
@@ -565,18 +677,22 @@ impl Browser {
         }
         let desired = (rect.y - self.viewport.height / 3.0).max(0.0);
         match origin {
-            ScrollOrigin::Script | ScrollOrigin::Anchor | ScrollOrigin::Find
+            ScrollOrigin::Script
+            | ScrollOrigin::Anchor
+            | ScrollOrigin::Find
             | ScrollOrigin::ScrollBar => {
                 self.on_scroll_from(origin, desired);
             }
             _ => {
                 // Step until visible (bounded by page size).
                 let step = self.viewport.origin_step(origin).max(1.0);
-                let dir = if desired > self.viewport.scroll_y() { 1.0 } else { -1.0 };
+                let dir = if desired > self.viewport.scroll_y() {
+                    1.0
+                } else {
+                    -1.0
+                };
                 let mut guard = 0;
-                while (self.viewport.scroll_y() - desired).abs() > step
-                    && guard < 10_000
-                {
+                while (self.viewport.scroll_y() - desired).abs() > step && guard < 10_000 {
                     if origin == ScrollOrigin::Wheel {
                         self.on_wheel(dir * crate::viewport::WHEEL_TICK_PX);
                     } else {
@@ -652,8 +768,18 @@ mod tests {
         let button = b.document().by_id("submit").unwrap();
         let c = b.element_center(button);
         b.input_after(100.0, RawInput::MouseMove { x: c.x, y: c.y });
-        b.input_after(5.0, RawInput::MouseDown { button: MouseButton::Left });
-        b.input_after(80.0, RawInput::MouseUp { button: MouseButton::Left });
+        b.input_after(
+            5.0,
+            RawInput::MouseDown {
+                button: MouseButton::Left,
+            },
+        );
+        b.input_after(
+            80.0,
+            RawInput::MouseUp {
+                button: MouseButton::Left,
+            },
+        );
         let kinds: Vec<EventKind> = b.recorder.events().iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&EventKind::MouseDown));
         assert!(kinds.contains(&EventKind::MouseUp));
@@ -670,8 +796,18 @@ mod tests {
         let c = b.element_center(button);
         b.input_after(20.0, RawInput::MouseMove { x: c.x, y: c.y });
         for gap in [10.0, 60.0] {
-            b.input_after(gap, RawInput::MouseDown { button: MouseButton::Left });
-            b.input_after(50.0, RawInput::MouseUp { button: MouseButton::Left });
+            b.input_after(
+                gap,
+                RawInput::MouseDown {
+                    button: MouseButton::Left,
+                },
+            );
+            b.input_after(
+                50.0,
+                RawInput::MouseUp {
+                    button: MouseButton::Left,
+                },
+            );
             let _ = gap;
         }
         assert_eq!(b.recorder.of_kind(EventKind::DblClick).len(), 1);
@@ -679,11 +815,28 @@ mod tests {
         // Beyond the interval: no dblclick.
         let mut b2 = browser();
         b2.input_after(20.0, RawInput::MouseMove { x: c.x, y: c.y });
-        b2.input_after(10.0, RawInput::MouseDown { button: MouseButton::Left });
-        b2.input_after(50.0, RawInput::MouseUp { button: MouseButton::Left });
+        b2.input_after(
+            10.0,
+            RawInput::MouseDown {
+                button: MouseButton::Left,
+            },
+        );
+        b2.input_after(
+            50.0,
+            RawInput::MouseUp {
+                button: MouseButton::Left,
+            },
+        );
         b2.advance(800.0);
-        b2.input(RawInput::MouseDown { button: MouseButton::Left });
-        b2.input_after(50.0, RawInput::MouseUp { button: MouseButton::Left });
+        b2.input(RawInput::MouseDown {
+            button: MouseButton::Left,
+        });
+        b2.input_after(
+            50.0,
+            RawInput::MouseUp {
+                button: MouseButton::Left,
+            },
+        );
         assert!(b2.recorder.of_kind(EventKind::DblClick).is_empty());
     }
 
@@ -699,10 +852,13 @@ mod tests {
         let mut b = browser();
         // 100 raw samples 1 ms apart — far above the 16 ms dispatch cadence.
         for i in 0..100 {
-            b.input_after(1.0, RawInput::MouseMove {
-                x: f64::from(i),
-                y: 0.0,
-            });
+            b.input_after(
+                1.0,
+                RawInput::MouseMove {
+                    x: f64::from(i),
+                    y: 0.0,
+                },
+            );
         }
         let moves = b.recorder.of_kind(EventKind::MouseMove).len();
         assert!(moves <= 8, "dispatched {moves} moves for 100 samples");
@@ -716,10 +872,15 @@ mod tests {
         b.input_after(20.0, RawInput::MouseMove { x: 50.0, y: 50.0 });
         // Below the coalescing interval — no event yet...
         b.input_after(1.0, RawInput::MouseMove { x: 51.0, y: 50.0 });
-        b.input(RawInput::MouseDown { button: MouseButton::Left });
+        b.input(RawInput::MouseDown {
+            button: MouseButton::Left,
+        });
         let evs = b.recorder.events();
         // ... but the press is preceded by a move reporting (51, 50).
-        let down_idx = evs.iter().position(|e| e.kind == EventKind::MouseDown).unwrap();
+        let down_idx = evs
+            .iter()
+            .position(|e| e.kind == EventKind::MouseDown)
+            .unwrap();
         let last_move = evs[..down_idx]
             .iter()
             .rev()
@@ -737,8 +898,18 @@ mod tests {
         let input = b.document().by_id("text_area").unwrap();
         let c = b.element_center(input);
         b.input_after(50.0, RawInput::MouseMove { x: c.x, y: c.y });
-        b.input_after(10.0, RawInput::MouseDown { button: MouseButton::Left });
-        b.input_after(70.0, RawInput::MouseUp { button: MouseButton::Left });
+        b.input_after(
+            10.0,
+            RawInput::MouseDown {
+                button: MouseButton::Left,
+            },
+        );
+        b.input_after(
+            70.0,
+            RawInput::MouseUp {
+                button: MouseButton::Left,
+            },
+        );
         assert_eq!(b.focused(), Some(input));
         for k in ["h", "i"] {
             b.input_after(100.0, RawInput::KeyDown { key: k.into() });
@@ -754,9 +925,24 @@ mod tests {
         let input = b.document().by_id("text_area").unwrap();
         let c = b.element_center(input);
         b.input_after(50.0, RawInput::MouseMove { x: c.x, y: c.y });
-        b.input_after(10.0, RawInput::MouseDown { button: MouseButton::Left });
-        b.input_after(70.0, RawInput::MouseUp { button: MouseButton::Left });
-        b.input_after(50.0, RawInput::KeyDown { key: "Shift".into() });
+        b.input_after(
+            10.0,
+            RawInput::MouseDown {
+                button: MouseButton::Left,
+            },
+        );
+        b.input_after(
+            70.0,
+            RawInput::MouseUp {
+                button: MouseButton::Left,
+            },
+        );
+        b.input_after(
+            50.0,
+            RawInput::KeyDown {
+                key: "Shift".into(),
+            },
+        );
         b.input_after(40.0, RawInput::KeyDown { key: "H".into() });
         let shifted = b
             .recorder
@@ -784,10 +970,13 @@ mod tests {
     #[test]
     fn script_scroll_has_no_wheel_event() {
         let mut b = browser();
-        b.input_after(10.0, RawInput::ScrollFrom {
-            origin: ScrollOrigin::Script,
-            amount: 2_000.0,
-        });
+        b.input_after(
+            10.0,
+            RawInput::ScrollFrom {
+                origin: ScrollOrigin::Script,
+                amount: 2_000.0,
+            },
+        );
         assert_eq!(b.viewport.scroll_y(), 2_000.0);
         assert_eq!(b.recorder.wheel_count(), 0);
         assert_eq!(b.recorder.of_kind(EventKind::Scroll).len(), 1);
@@ -834,8 +1023,18 @@ mod tests {
     fn right_press_fires_contextmenu() {
         let mut b = browser();
         b.input_after(30.0, RawInput::MouseMove { x: 160.0, y: 500.0 });
-        b.input_after(10.0, RawInput::MouseDown { button: MouseButton::Right });
-        b.input_after(60.0, RawInput::MouseUp { button: MouseButton::Right });
+        b.input_after(
+            10.0,
+            RawInput::MouseDown {
+                button: MouseButton::Right,
+            },
+        );
+        b.input_after(
+            60.0,
+            RawInput::MouseUp {
+                button: MouseButton::Right,
+            },
+        );
         assert_eq!(b.recorder.of_kind(EventKind::ContextMenu).len(), 1);
         assert_eq!(b.recorder.of_kind(EventKind::AuxClick).len(), 1);
         assert!(b.recorder.of_kind(EventKind::Click).is_empty());
@@ -847,10 +1046,26 @@ mod tests {
         let button = b.document().by_id("submit").unwrap();
         let c = b.element_center(button);
         b.input_after(30.0, RawInput::MouseMove { x: c.x, y: c.y });
-        b.input_after(10.0, RawInput::MouseDown { button: MouseButton::Left });
+        b.input_after(
+            10.0,
+            RawInput::MouseDown {
+                button: MouseButton::Left,
+            },
+        );
         // Drag off the element before releasing.
-        b.input_after(40.0, RawInput::MouseMove { x: c.x + 400.0, y: c.y + 100.0 });
-        b.input_after(40.0, RawInput::MouseUp { button: MouseButton::Left });
+        b.input_after(
+            40.0,
+            RawInput::MouseMove {
+                x: c.x + 400.0,
+                y: c.y + 100.0,
+            },
+        );
+        b.input_after(
+            40.0,
+            RawInput::MouseUp {
+                button: MouseButton::Left,
+            },
+        );
         assert!(b.recorder.of_kind(EventKind::Click).is_empty());
     }
 
@@ -868,8 +1083,18 @@ mod tests {
     fn pointer_events_precede_mouse_events() {
         let mut b = browser();
         b.input_after(30.0, RawInput::MouseMove { x: 50.0, y: 50.0 });
-        b.input_after(30.0, RawInput::MouseDown { button: MouseButton::Left });
-        b.input_after(60.0, RawInput::MouseUp { button: MouseButton::Left });
+        b.input_after(
+            30.0,
+            RawInput::MouseDown {
+                button: MouseButton::Left,
+            },
+        );
+        b.input_after(
+            60.0,
+            RawInput::MouseUp {
+                button: MouseButton::Left,
+            },
+        );
         let evs = b.recorder.events();
         for (ptr, mouse) in [
             (EventKind::PointerMove, EventKind::MouseMove),
@@ -893,14 +1118,34 @@ mod tests {
         let input = b.document().by_id("text_area").unwrap();
         let c = b.element_center(input);
         b.input_after(50.0, RawInput::MouseMove { x: c.x, y: c.y });
-        b.input_after(10.0, RawInput::MouseDown { button: MouseButton::Left });
-        b.input_after(70.0, RawInput::MouseUp { button: MouseButton::Left });
+        b.input_after(
+            10.0,
+            RawInput::MouseDown {
+                button: MouseButton::Left,
+            },
+        );
+        b.input_after(
+            70.0,
+            RawInput::MouseUp {
+                button: MouseButton::Left,
+            },
+        );
         for k in ["a", "b", "c"] {
             b.input_after(80.0, RawInput::KeyDown { key: k.into() });
             b.input_after(60.0, RawInput::KeyUp { key: k.into() });
         }
-        b.input_after(80.0, RawInput::KeyDown { key: "Backspace".into() });
-        b.input_after(60.0, RawInput::KeyUp { key: "Backspace".into() });
+        b.input_after(
+            80.0,
+            RawInput::KeyDown {
+                key: "Backspace".into(),
+            },
+        );
+        b.input_after(
+            60.0,
+            RawInput::KeyUp {
+                key: "Backspace".into(),
+            },
+        );
         assert_eq!(b.document().element(input).text, "ab");
     }
 
@@ -914,20 +1159,20 @@ mod tests {
         assert!(b.recorder.of_kind(EventKind::MouseDown).is_empty());
         assert!(b.recorder.of_kind(EventKind::MouseMove).is_empty());
         // And it hit the hidden element — impossible for real input.
-        assert_eq!(
-            b.recorder.of_kind(EventKind::Click)[0].target,
-            Some(honey)
-        );
+        assert_eq!(b.recorder.of_kind(EventKind::Click)[0].target, Some(honey));
     }
 
     #[test]
     fn smooth_scrolling_animates_script_jumps() {
         let mut b = browser();
         b.set_smooth_scrolling(true);
-        b.input_after(10.0, RawInput::ScrollFrom {
-            origin: ScrollOrigin::Script,
-            amount: 4_000.0,
-        });
+        b.input_after(
+            10.0,
+            RawInput::ScrollFrom {
+                origin: ScrollOrigin::Script,
+                amount: 4_000.0,
+            },
+        );
         assert!((b.viewport.scroll_y() - 4_000.0).abs() < 1.0);
         let scrolls = b.recorder.of_kind(EventKind::Scroll).len();
         assert!(scrolls >= 15, "only {scrolls} scroll events");
@@ -936,19 +1181,106 @@ mod tests {
         assert!(deltas.first().unwrap() > deltas.last().unwrap());
         // Without smoothing the same jump is a single event.
         let mut plain = browser();
-        plain.input_after(10.0, RawInput::ScrollFrom {
-            origin: ScrollOrigin::Script,
-            amount: 4_000.0,
-        });
+        plain.input_after(
+            10.0,
+            RawInput::ScrollFrom {
+                origin: ScrollOrigin::Script,
+                amount: 4_000.0,
+            },
+        );
         assert_eq!(plain.recorder.of_kind(EventKind::Scroll).len(), 1);
     }
 
     #[test]
-    fn world_flavor_matches_config() {
-        let mut bot = Browser::open(
-            BrowserConfig::webdriver(),
-            standard_test_page("u", 5_000.0),
+    fn observers_see_dispatch_and_feed_metrics() {
+        use hlisa_sim::{CounterSet, Observer};
+
+        struct ClickCounter {
+            clicks: u64,
+        }
+        impl Observer<DomEvent> for ClickCounter {
+            fn on_event(&mut self, _t: f64, ev: &DomEvent) {
+                if ev.kind == EventKind::Click {
+                    self.clicks += 1;
+                }
+            }
+            fn counters(&self) -> CounterSet {
+                let mut c = CounterSet::new();
+                c.add("observer.clicks", self.clicks);
+                c
+            }
+        }
+
+        let mut b = browser();
+        b.attach_observer(Box::new(ClickCounter { clicks: 0 }));
+        let button = b.document().by_id("submit").unwrap();
+        let c = b.element_center(button);
+        b.input_after(30.0, RawInput::MouseMove { x: c.x, y: c.y });
+        b.input_after(
+            10.0,
+            RawInput::MouseDown {
+                button: MouseButton::Left,
+            },
         );
+        b.input_after(
+            70.0,
+            RawInput::MouseUp {
+                button: MouseButton::Left,
+            },
+        );
+
+        let metrics = b.metrics();
+        assert_eq!(metrics.get("observer.clicks"), Some(1));
+        assert_eq!(metrics.get("events.click"), Some(1));
+        assert_eq!(metrics.get("events.total"), Some(b.recorder.len() as u64));
+    }
+
+    #[test]
+    fn shared_clock_times_events() {
+        let clock = hlisa_sim::VirtualClock::starting_at(1_000.0);
+        let mut b = Browser::open_with_clock(
+            BrowserConfig::regular(),
+            standard_test_page("https://example.test/", 5_000.0),
+            clock.clone(),
+        );
+        // Time advanced on the shared handle is what events observe.
+        clock.advance(23.5);
+        b.input(RawInput::WheelTick { direction: 1 });
+        assert_eq!(b.recorder.events().last().unwrap().timestamp_ms, 1_023.0);
+        assert!(b.clock().shares_time_with(&clock));
+    }
+
+    #[test]
+    fn bind_clock_preserves_monotonicity() {
+        let mut b = browser();
+        b.advance(500.0);
+        let late_clock = hlisa_sim::VirtualClock::starting_at(100.0);
+        b.bind_clock(late_clock.clone());
+        // The lagging clock is pulled forward, never the browser backward.
+        assert_eq!(b.now_ms(), 500.0);
+        assert_eq!(late_clock.now_ms(), 500.0);
+    }
+
+    #[test]
+    fn clones_get_independent_clocks_and_no_observers() {
+        use hlisa_sim::Observer;
+        struct Null;
+        impl Observer<DomEvent> for Null {
+            fn on_event(&mut self, _t: f64, _ev: &DomEvent) {}
+        }
+        let mut a = browser();
+        a.attach_observer(Box::new(Null));
+        a.advance(10.0);
+        let mut b = a.clone();
+        assert_eq!(b.observer_count(), 0);
+        b.advance(5.0);
+        assert_eq!(a.now_ms(), 10.0);
+        assert_eq!(b.now_ms(), 15.0);
+    }
+
+    #[test]
+    fn world_flavor_matches_config() {
+        let mut bot = Browser::open(BrowserConfig::webdriver(), standard_test_page("u", 5_000.0));
         let nav = bot.world.resolve_navigator();
         let v = bot.world.realm.get(nav, "webdriver").unwrap();
         assert_eq!(v, hlisa_jsom::Value::Bool(true));

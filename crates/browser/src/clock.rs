@@ -2,44 +2,14 @@
 //!
 //! All interaction timing in the workspace is simulated time, so whole
 //! crawl campaigns run in milliseconds of wall-clock while behaving as if
-//! minutes of interaction elapsed. The clock's resolution mirrors what a
+//! minutes of interaction elapsed. The clock itself lives in `hlisa-sim`
+//! as a *shared handle* ([`VirtualClock`]): the browser, its webdriver
+//! session, and the interaction agent all observe the same instant instead
+//! of each keeping private time. The clock's resolution mirrors what a
 //! page can observe: Firefox exposes event timestamps at millisecond
 //! granularity (Appendix D: "the granularity for typing events is 1 ms").
 
-/// A simulated millisecond clock.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct SimClock {
-    now_ms: f64,
-}
-
-impl SimClock {
-    /// A clock starting at t = 0.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Current simulated time (ms, sub-ms precision kept internally).
-    pub fn now_ms(&self) -> f64 {
-        self.now_ms
-    }
-
-    /// Current time as a page would observe it: quantised to 1 ms.
-    pub fn observable_now_ms(&self) -> f64 {
-        self.now_ms.floor()
-    }
-
-    /// Advances the clock.
-    ///
-    /// # Panics
-    /// Panics on negative advances — simulated time is monotone.
-    pub fn advance(&mut self, delta_ms: f64) {
-        assert!(
-            delta_ms >= 0.0 && delta_ms.is_finite(),
-            "clock must advance monotonically, got {delta_ms}"
-        );
-        self.now_ms += delta_ms;
-    }
-}
+pub use hlisa_sim::VirtualClock;
 
 #[cfg(test)]
 mod tests {
@@ -47,7 +17,7 @@ mod tests {
 
     #[test]
     fn starts_at_zero_and_advances() {
-        let mut c = SimClock::new();
+        let c = VirtualClock::new();
         assert_eq!(c.now_ms(), 0.0);
         c.advance(12.75);
         assert_eq!(c.now_ms(), 12.75);
@@ -57,6 +27,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "monotonically")]
     fn rejects_negative_advance() {
-        SimClock::new().advance(-1.0);
+        VirtualClock::new().advance(-1.0);
     }
 }

@@ -98,10 +98,7 @@ impl Document {
 
     /// Finds the first element with the given `id` attribute.
     pub fn by_id(&self, id_attr: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|e| e.id == id_attr)
-            .map(NodeId)
+        self.nodes.iter().position(|e| e.id == id_attr).map(NodeId)
     }
 
     /// Finds all elements with the given tag.
@@ -201,10 +198,13 @@ pub fn standard_test_page(url: &str, page_height: f64) -> Document {
     ElementBuilder::new("a", Rect::new(900.0, 120.0, 140.0, 20.0))
         .id("jump")
         .insert(&mut doc);
-    ElementBuilder::new("h2", Rect::new(0.0, (page_height - 600.0).max(0.0), 400.0, 30.0))
-        .id("section-end")
-        .anchor("end")
-        .insert(&mut doc);
+    ElementBuilder::new(
+        "h2",
+        Rect::new(0.0, (page_height - 600.0).max(0.0), 400.0, 30.0),
+    )
+    .id("section-end")
+    .anchor("end")
+    .insert(&mut doc);
     ElementBuilder::new("div", Rect::new(10.0, 10.0, 8.0, 8.0))
         .id("honey")
         .hidden()
@@ -228,8 +228,8 @@ mod tests {
     fn hit_test_returns_topmost_visible() {
         let mut doc = Document::new("u", 100.0, 100.0);
         let below = ElementBuilder::new("div", Rect::new(0.0, 0.0, 100.0, 100.0)).insert(&mut doc);
-        let above = ElementBuilder::new("button", Rect::new(40.0, 40.0, 20.0, 20.0))
-            .insert(&mut doc);
+        let above =
+            ElementBuilder::new("button", Rect::new(40.0, 40.0, 20.0, 20.0)).insert(&mut doc);
         assert_eq!(doc.hit_test(Point::new(50.0, 50.0)), Some(above));
         assert_eq!(doc.hit_test(Point::new(10.0, 10.0)), Some(below));
     }

@@ -32,62 +32,224 @@ pub struct CatalogEntry {
 /// The Appendix C catalogue of interaction-related events.
 pub const EVENT_CATALOG: &[CatalogEntry] = &[
     // Document
-    CatalogEntry { name: "copy", target: EventTarget::Document },
-    CatalogEntry { name: "cut", target: EventTarget::Document },
-    CatalogEntry { name: "dragend", target: EventTarget::Document },
-    CatalogEntry { name: "dragenter", target: EventTarget::Document },
-    CatalogEntry { name: "dragleave", target: EventTarget::Document },
-    CatalogEntry { name: "dragover", target: EventTarget::Document },
-    CatalogEntry { name: "dragstart", target: EventTarget::Document },
-    CatalogEntry { name: "drag", target: EventTarget::Document },
-    CatalogEntry { name: "drop", target: EventTarget::Document },
-    CatalogEntry { name: "fullscreenchange", target: EventTarget::Document },
-    CatalogEntry { name: "gotpointercapture", target: EventTarget::Document },
-    CatalogEntry { name: "keydown", target: EventTarget::Document },
-    CatalogEntry { name: "keypress", target: EventTarget::Document },
-    CatalogEntry { name: "keyup", target: EventTarget::Document },
-    CatalogEntry { name: "lostpointercapture", target: EventTarget::Document },
-    CatalogEntry { name: "paste", target: EventTarget::Document },
-    CatalogEntry { name: "pointercancel", target: EventTarget::Document },
-    CatalogEntry { name: "pointerdown", target: EventTarget::Document },
-    CatalogEntry { name: "pointerenter", target: EventTarget::Document },
-    CatalogEntry { name: "pointerleave", target: EventTarget::Document },
-    CatalogEntry { name: "pointermove", target: EventTarget::Document },
-    CatalogEntry { name: "pointerout", target: EventTarget::Document },
-    CatalogEntry { name: "pointerover", target: EventTarget::Document },
-    CatalogEntry { name: "pointerup", target: EventTarget::Document },
-    CatalogEntry { name: "scroll", target: EventTarget::Document },
-    CatalogEntry { name: "selectionchange", target: EventTarget::Document },
-    CatalogEntry { name: "selectstart", target: EventTarget::Document },
-    CatalogEntry { name: "touchcancel", target: EventTarget::Document },
-    CatalogEntry { name: "touchend", target: EventTarget::Document },
-    CatalogEntry { name: "touchmove", target: EventTarget::Document },
-    CatalogEntry { name: "touchstart", target: EventTarget::Document },
-    CatalogEntry { name: "transitionend", target: EventTarget::Document },
-    CatalogEntry { name: "transitionrun", target: EventTarget::Document },
-    CatalogEntry { name: "transitionstart", target: EventTarget::Document },
-    CatalogEntry { name: "visibilitychange", target: EventTarget::Document },
-    CatalogEntry { name: "wheel", target: EventTarget::Document },
+    CatalogEntry {
+        name: "copy",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "cut",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "dragend",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "dragenter",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "dragleave",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "dragover",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "dragstart",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "drag",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "drop",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "fullscreenchange",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "gotpointercapture",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "keydown",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "keypress",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "keyup",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "lostpointercapture",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "paste",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "pointercancel",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "pointerdown",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "pointerenter",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "pointerleave",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "pointermove",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "pointerout",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "pointerover",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "pointerup",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "scroll",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "selectionchange",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "selectstart",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "touchcancel",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "touchend",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "touchmove",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "touchstart",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "transitionend",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "transitionrun",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "transitionstart",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "visibilitychange",
+        target: EventTarget::Document,
+    },
+    CatalogEntry {
+        name: "wheel",
+        target: EventTarget::Document,
+    },
     // Element
-    CatalogEntry { name: "auxclick", target: EventTarget::Element },
-    CatalogEntry { name: "blur", target: EventTarget::Element },
-    CatalogEntry { name: "click", target: EventTarget::Element },
-    CatalogEntry { name: "contextmenu", target: EventTarget::Element },
-    CatalogEntry { name: "dblclick", target: EventTarget::Element },
-    CatalogEntry { name: "focusin", target: EventTarget::Element },
-    CatalogEntry { name: "focusout", target: EventTarget::Element },
-    CatalogEntry { name: "focus", target: EventTarget::Element },
-    CatalogEntry { name: "mousedown", target: EventTarget::Element },
-    CatalogEntry { name: "mouseenter", target: EventTarget::Element },
-    CatalogEntry { name: "mouseleave", target: EventTarget::Element },
-    CatalogEntry { name: "mousemove", target: EventTarget::Element },
-    CatalogEntry { name: "mouseout", target: EventTarget::Element },
-    CatalogEntry { name: "mouseover", target: EventTarget::Element },
-    CatalogEntry { name: "mouseup", target: EventTarget::Element },
-    CatalogEntry { name: "select", target: EventTarget::Element },
+    CatalogEntry {
+        name: "auxclick",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "blur",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "click",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "contextmenu",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "dblclick",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "focusin",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "focusout",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "focus",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "mousedown",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "mouseenter",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "mouseleave",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "mousemove",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "mouseout",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "mouseover",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "mouseup",
+        target: EventTarget::Element,
+    },
+    CatalogEntry {
+        name: "select",
+        target: EventTarget::Element,
+    },
     // Window
-    CatalogEntry { name: "resize", target: EventTarget::Window },
-    CatalogEntry { name: "focus", target: EventTarget::Window },
+    CatalogEntry {
+        name: "resize",
+        target: EventTarget::Window,
+    },
+    CatalogEntry {
+        name: "focus",
+        target: EventTarget::Window,
+    },
 ];
 
 /// Interaction category of the Appendix D covering set.
@@ -218,9 +380,7 @@ impl EventKind {
             | EventKind::AuxClick
             | EventKind::DblClick => CoverageCategory::MouseClicking,
             EventKind::Wheel | EventKind::Scroll => CoverageCategory::Scrolling,
-            EventKind::KeyDown | EventKind::KeyPress | EventKind::KeyUp => {
-                CoverageCategory::Typing
-            }
+            EventKind::KeyDown | EventKind::KeyPress | EventKind::KeyUp => CoverageCategory::Typing,
             EventKind::TouchStart | EventKind::TouchEnd => CoverageCategory::Touch,
             EventKind::Focus
             | EventKind::Blur
@@ -357,15 +517,9 @@ mod tests {
 
     #[test]
     fn categories_assigned_sensibly() {
-        assert_eq!(
-            EventKind::Click.category(),
-            CoverageCategory::MouseClicking
-        );
+        assert_eq!(EventKind::Click.category(), CoverageCategory::MouseClicking);
         assert_eq!(EventKind::Scroll.category(), CoverageCategory::Scrolling);
         assert_eq!(EventKind::KeyUp.category(), CoverageCategory::Typing);
-        assert_eq!(
-            EventKind::Blur.category(),
-            CoverageCategory::FocusChange
-        );
+        assert_eq!(EventKind::Blur.category(), CoverageCategory::FocusChange);
     }
 }

@@ -31,7 +31,7 @@ pub mod recorder;
 pub mod viewport;
 
 pub use browser::{Browser, BrowserConfig};
-pub use clock::SimClock;
+pub use clock::VirtualClock;
 pub use dom::{Document, ElementBuilder, NodeId};
 pub use events::{DomEvent, EventKind, EventPayload};
 pub use geometry::{Point, Rect};

@@ -6,6 +6,7 @@
 //! timings, key dwell/flight times, scroll cadences).
 
 use crate::events::{DomEvent, EventKind, EventPayload, MouseButton};
+use hlisa_sim::{CounterSet, Observer};
 
 /// A recorded interaction trace.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -216,6 +217,24 @@ impl EventRecorder {
     }
 }
 
+/// The recorder is the canonical [`Observer`]: the browser feeds it every
+/// dispatched event through this impl, and its counters expose the trace
+/// as per-event-kind metrics.
+impl Observer<DomEvent> for EventRecorder {
+    fn on_event(&mut self, _t_ms: f64, event: &DomEvent) {
+        self.record(event.clone());
+    }
+
+    fn counters(&self) -> CounterSet {
+        let mut counters = CounterSet::new();
+        counters.add("events.total", self.events.len() as u64);
+        for e in &self.events {
+            counters.add(&format!("events.{}", e.kind.name()), 1);
+        }
+        counters
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,9 +264,27 @@ mod tests {
     #[test]
     fn cursor_trace_extracts_moves() {
         let mut r = EventRecorder::new();
-        r.record(mouse_ev(EventKind::MouseMove, 1.0, 10.0, 20.0, MouseButton::Left));
-        r.record(mouse_ev(EventKind::MouseDown, 2.0, 10.0, 20.0, MouseButton::Left));
-        r.record(mouse_ev(EventKind::MouseMove, 3.0, 11.0, 21.0, MouseButton::Left));
+        r.record(mouse_ev(
+            EventKind::MouseMove,
+            1.0,
+            10.0,
+            20.0,
+            MouseButton::Left,
+        ));
+        r.record(mouse_ev(
+            EventKind::MouseDown,
+            2.0,
+            10.0,
+            20.0,
+            MouseButton::Left,
+        ));
+        r.record(mouse_ev(
+            EventKind::MouseMove,
+            3.0,
+            11.0,
+            21.0,
+            MouseButton::Left,
+        ));
         let trace = r.cursor_trace();
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[1].x, 11.0);
@@ -256,8 +293,20 @@ mod tests {
     #[test]
     fn clicks_pair_down_and_up() {
         let mut r = EventRecorder::new();
-        r.record(mouse_ev(EventKind::MouseDown, 10.0, 5.0, 5.0, MouseButton::Left));
-        r.record(mouse_ev(EventKind::MouseUp, 95.0, 5.0, 5.0, MouseButton::Left));
+        r.record(mouse_ev(
+            EventKind::MouseDown,
+            10.0,
+            5.0,
+            5.0,
+            MouseButton::Left,
+        ));
+        r.record(mouse_ev(
+            EventKind::MouseUp,
+            95.0,
+            5.0,
+            5.0,
+            MouseButton::Left,
+        ));
         let clicks = r.clicks();
         assert_eq!(clicks.len(), 1);
         assert_eq!(clicks[0].dwell_ms, 85.0);

@@ -17,15 +17,15 @@ use crate::scrolling::plan_hlisa_scroll;
 use crate::typing::{plan_consistent_typing, plan_hlisa_typing};
 use hlisa_browser::events::MouseButton;
 use hlisa_browser::Point;
-use hlisa_human::click::sample_click_point;
+use hlisa_human::click::{sample_click_point, sample_double_click_gap_ms, sample_dwell_ms};
 use hlisa_human::HumanParams;
-use hlisa_stats::rngutil::rng_from_seed;
+use hlisa_sim::SimContext;
 use hlisa_webdriver::{Action, ElementHandle, Session, WebDriverError};
-use rand::rngs::SmallRng;
 use rand::Rng;
 
 /// The duration HLISA patches into Selenium's `create_pointer_move`.
-pub const HLISA_MIN_MOVE_MS: f64 = 50.0;
+/// Re-exported from the webdriver layer, which owns the canonical value.
+pub use hlisa_webdriver::HLISA_MIN_MOVE_MS;
 
 /// One queued HLISA step (rows of Table 3).
 #[derive(Debug, Clone, PartialEq)]
@@ -54,7 +54,7 @@ enum Step {
 pub struct HlisaActionChains {
     steps: Vec<Step>,
     params: HumanParams,
-    rng: SmallRng,
+    ctx: SimContext,
     consistent: bool,
 }
 
@@ -67,12 +67,24 @@ impl HlisaActionChains {
     /// Creates a chain with custom interaction parameters (e.g. a fitted
     /// per-user profile — the top rung of the Fig. 3 simulator ladder).
     pub fn with_params(params: HumanParams, seed: u64) -> Self {
+        Self::with_context(params, SimContext::new(seed))
+    }
+
+    /// Creates a chain drawing from an existing simulation context — its
+    /// sub-models use the named `"motion"`, `"click"`, `"scroll"`,
+    /// `"typing"` and `"chain"` streams.
+    pub fn with_context(params: HumanParams, ctx: SimContext) -> Self {
         Self {
             steps: Vec::new(),
             params,
-            rng: rng_from_seed(seed),
+            ctx,
             consistent: false,
         }
+    }
+
+    /// The chain's simulation context.
+    pub fn context(&self) -> &SimContext {
+        &self.ctx
     }
 
     /// Enables tempo-drift consistency in the timing draws — the "use
@@ -207,8 +219,11 @@ impl HlisaActionChains {
 
     /// Executes the chain against a session.
     pub fn perform(mut self, session: &mut Session) -> Result<(), WebDriverError> {
-        // HLISA's create_pointer_move override.
-        session.override_pointer_move_min_duration(HLISA_MIN_MOVE_MS);
+        // HLISA's create_pointer_move override (the canonical 50 ms floor
+        // lives in hlisa-webdriver), plus clock unification: the session's
+        // browser and this chain's context observe the same instant.
+        session.apply_hlisa_profile();
+        session.bind_context(&self.ctx);
         let steps = std::mem::take(&mut self.steps);
         for step in steps {
             self.run_step(session, step)?;
@@ -270,7 +285,7 @@ impl HlisaActionChains {
                 }
                 self.fixate(session);
                 self.press_release(session, MouseButton::Left);
-                let gap = self.params.double_click_gap.sample(&mut self.rng);
+                let gap = sample_double_click_gap_ms(&self.params, &mut self.ctx);
                 session.perform_actions(&[Action::Pause(gap)]);
                 self.press_release(session, MouseButton::Left);
             }
@@ -282,9 +297,8 @@ impl HlisaActionChains {
                 self.move_to_element_impl(session, el)?;
                 self.fixate(session);
                 self.press_release(session, MouseButton::Left);
-                session.perform_actions(&[Action::Pause(
-                    self.rng.gen_range(120.0..400.0),
-                )]);
+                let focus_pause = self.ctx.stream("chain").gen_range(120.0..400.0);
+                session.perform_actions(&[Action::Pause(focus_pause)]);
                 let actions = self.plan_keys(&keys);
                 session.perform_actions(&actions);
             }
@@ -294,7 +308,7 @@ impl HlisaActionChains {
                         "horizontal scrolling is not modelled".to_string(),
                     ));
                 }
-                let actions = plan_hlisa_scroll(&self.params, &mut self.rng, y);
+                let actions = plan_hlisa_scroll(&self.params, &mut self.ctx, y);
                 session.perform_actions(&actions);
             }
             Step::ScrollTo(x, y) => {
@@ -304,7 +318,7 @@ impl HlisaActionChains {
                     ));
                 }
                 let delta = y - session.browser.viewport.scroll_y();
-                let actions = plan_hlisa_scroll(&self.params, &mut self.rng, delta);
+                let actions = plan_hlisa_scroll(&self.params, &mut self.ctx, delta);
                 session.perform_actions(&actions);
             }
             Step::ContextClick(el) => {
@@ -318,7 +332,8 @@ impl HlisaActionChains {
                 self.move_to_element_impl(session, source)?;
                 self.fixate(session);
                 session.perform_actions(&[Action::PointerDown(MouseButton::Left)]);
-                session.perform_actions(&[Action::Pause(self.rng.gen_range(80.0..200.0))]);
+                let hold = self.ctx.stream("chain").gen_range(80.0..200.0);
+                session.perform_actions(&[Action::Pause(hold)]);
                 self.move_to_element_impl(session, target)?;
                 session.perform_actions(&[Action::PointerUp(MouseButton::Left)]);
             }
@@ -326,7 +341,8 @@ impl HlisaActionChains {
                 self.move_to_element_impl(session, el)?;
                 self.fixate(session);
                 session.perform_actions(&[Action::PointerDown(MouseButton::Left)]);
-                session.perform_actions(&[Action::Pause(self.rng.gen_range(80.0..200.0))]);
+                let hold = self.ctx.stream("chain").gen_range(80.0..200.0);
+                session.perform_actions(&[Action::Pause(hold)]);
                 let p = session.browser.mouse_position();
                 self.human_move(session, Point::new(p.x + dx, p.y + dy), 24.0);
                 session.perform_actions(&[Action::PointerUp(MouseButton::Left)]);
@@ -337,9 +353,9 @@ impl HlisaActionChains {
 
     fn plan_keys(&mut self, keys: &str) -> Vec<Action> {
         if self.consistent {
-            plan_consistent_typing(&self.params, &mut self.rng, keys)
+            plan_consistent_typing(&self.params, &mut self.ctx, keys)
         } else {
-            plan_hlisa_typing(&self.params, &mut self.rng, keys)
+            plan_hlisa_typing(&self.params, &mut self.ctx, keys)
         }
     }
 
@@ -350,7 +366,7 @@ impl HlisaActionChains {
         let samples = plan_motion(
             MotionStyle::hlisa(),
             &self.params,
-            &mut self.rng,
+            &mut self.ctx,
             from,
             to,
             target_w,
@@ -374,7 +390,7 @@ impl HlisaActionChains {
             self.scroll_element_into_view(session, el)?;
         }
         let rect = session.element_rect(el);
-        let target = sample_click_point(&self.params, &mut self.rng, rect);
+        let target = sample_click_point(&self.params, &mut self.ctx, rect);
         self.human_move(session, target, rect.width.min(rect.height));
         Ok(())
     }
@@ -386,22 +402,23 @@ impl HlisaActionChains {
     ) -> Result<(), WebDriverError> {
         let rect = session.element_rect(el);
         let viewport = &session.browser.viewport;
-        let desired = (rect.center().y - viewport.height / 2.0)
-            .clamp(0.0, viewport.max_scroll_y());
+        let desired = (rect.center().y - viewport.height / 2.0).clamp(0.0, viewport.max_scroll_y());
         let delta = desired - viewport.scroll_y();
-        let actions = plan_hlisa_scroll(&self.params, &mut self.rng, delta);
+        let actions = plan_hlisa_scroll(&self.params, &mut self.ctx, delta);
         session.perform_actions(&actions);
-        session.perform_actions(&[Action::Pause(self.rng.gen_range(150.0..500.0))]);
+        let settle = self.ctx.stream("chain").gen_range(150.0..500.0);
+        session.perform_actions(&[Action::Pause(settle)]);
         Ok(())
     }
 
     /// A short visual-confirmation pause before pressing, as humans do.
     fn fixate(&mut self, session: &mut Session) {
-        session.perform_actions(&[Action::Pause(self.rng.gen_range(40.0..160.0))]);
+        let pause = self.ctx.stream("chain").gen_range(40.0..160.0);
+        session.perform_actions(&[Action::Pause(pause)]);
     }
 
     fn press_release(&mut self, session: &mut Session, button: MouseButton) {
-        let dwell = self.params.click_dwell.sample(&mut self.rng);
+        let dwell = sample_dwell_ms(&self.params, &mut self.ctx);
         session.perform_actions(&[
             Action::PointerDown(button),
             Action::Pause(dwell),
@@ -555,7 +572,11 @@ mod tests {
             .perform(&mut driver)
             .unwrap();
         assert_eq!(
-            driver.browser.recorder.of_kind(EventKind::ContextMenu).len(),
+            driver
+                .browser
+                .recorder
+                .of_kind(EventKind::ContextMenu)
+                .len(),
             1
         );
     }
@@ -597,8 +618,14 @@ mod tests {
             .perform(&mut driver)
             .unwrap();
         let evs = driver.browser.recorder.events();
-        let down = evs.iter().position(|e| e.kind == EventKind::MouseDown).unwrap();
-        let up = evs.iter().position(|e| e.kind == EventKind::MouseUp).unwrap();
+        let down = evs
+            .iter()
+            .position(|e| e.kind == EventKind::MouseDown)
+            .unwrap();
+        let up = evs
+            .iter()
+            .position(|e| e.kind == EventKind::MouseUp)
+            .unwrap();
         let moves_between = evs[down..up]
             .iter()
             .filter(|e| e.kind == EventKind::MouseMove)

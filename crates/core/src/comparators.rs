@@ -161,18 +161,8 @@ impl Tool {
         use Feature::*;
         match self {
             Tool::Hmm => vec![MouseMovement, CurvedMovement],
-            Tool::PyClick => vec![
-                MouseMovement,
-                RealisticSpeed,
-                AccelDecel,
-                CurvedMovement,
-            ],
-            Tool::BezMouse => vec![
-                MouseMovement,
-                RealisticSpeed,
-                Shivering,
-                CurvedMovement,
-            ],
+            Tool::PyClick => vec![MouseMovement, RealisticSpeed, AccelDecel, CurvedMovement],
+            Tool::BezMouse => vec![MouseMovement, RealisticSpeed, Shivering, CurvedMovement],
             Tool::PyHm => vec![
                 MouseMovement,
                 RealisticSpeed,
@@ -197,12 +187,7 @@ impl Tool {
                 AccidentalDoubleClick,
                 AccidentalNoClick,
             ],
-            Tool::ThesisTyping => vec![
-                Keyboard,
-                FlightTime,
-                DataBasedTimings,
-                SeleniumReady,
-            ],
+            Tool::ThesisTyping => vec![Keyboard, FlightTime, DataBasedTimings, SeleniumReady],
             Tool::Hlisa => vec![
                 MouseMovement,
                 RealisticSpeed,

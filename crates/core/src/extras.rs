@@ -20,38 +20,41 @@ use crate::chains::HlisaActionChains;
 use crate::motion::{plan_motion, trajectory_to_actions, MotionStyle};
 use hlisa_browser::events::MouseButton;
 use hlisa_browser::Point;
+use hlisa_human::click::sample_dwell_ms;
 use hlisa_human::keyboard::{adjacent_key, us_qwerty};
 use hlisa_human::HumanParams;
-use hlisa_stats::rngutil::{derive_seed, rng_from_seed};
+use hlisa_sim::SimContext;
 use hlisa_webdriver::{Action, ElementHandle, Session, WebDriverError};
-use rand::rngs::SmallRng;
 use rand::Rng;
 
 /// Experiment-level humanising behaviours, stacked on top of the API.
 #[derive(Debug, Clone)]
 pub struct ExperimentBehaviors {
     params: HumanParams,
-    rng: SmallRng,
-    seed: u64,
+    ctx: SimContext,
     chain_counter: u64,
 }
 
 impl ExperimentBehaviors {
     /// Creates the behaviour layer.
     pub fn new(seed: u64) -> Self {
+        Self::with_context(SimContext::new(seed))
+    }
+
+    /// Creates the behaviour layer over an existing simulation context.
+    pub fn with_context(ctx: SimContext) -> Self {
         Self {
             params: HumanParams::paper_baseline(),
-            rng: rng_from_seed(derive_seed(seed, "experiment-behaviors", 0)),
-            seed,
+            ctx,
             chain_counter: 0,
         }
     }
 
     fn chain(&mut self) -> HlisaActionChains {
         self.chain_counter += 1;
-        HlisaActionChains::with_params(
+        HlisaActionChains::with_context(
             self.params.clone(),
-            derive_seed(self.seed, "behavior-chain", self.chain_counter),
+            self.ctx.fork("behavior-chain", self.chain_counter),
         )
     }
 
@@ -62,8 +65,10 @@ impl ExperimentBehaviors {
         &mut self,
         session: &mut Session,
     ) -> Result<(), WebDriverError> {
-        let x = self.rng.gen_range(200.0..1_000.0);
-        let y = self.rng.gen_range(120.0..600.0);
+        let (x, y) = {
+            let rng = self.ctx.stream("behavior");
+            (rng.gen_range(200.0..1_000.0), rng.gen_range(120.0..600.0))
+        };
         self.chain().move_to(x, y).perform(session)
     }
 
@@ -71,9 +76,14 @@ impl ExperimentBehaviors {
     /// idle fidgeting real visitors produce while reading.
     pub fn spontaneous_movement(&mut self, session: &mut Session) -> Result<(), WebDriverError> {
         let p = session.browser.mouse_position();
-        let dx = self.rng.gen_range(-120.0..120.0);
-        let dy = self.rng.gen_range(-80.0..80.0);
-        let pause = self.rng.gen_range(0.3..1.8);
+        let (dx, dy, pause) = {
+            let rng = self.ctx.stream("behavior");
+            (
+                rng.gen_range(-120.0..120.0),
+                rng.gen_range(-80.0..80.0),
+                rng.gen_range(0.3..1.8),
+            )
+        };
         self.chain()
             .move_by_offset(dx, dy)
             .pause(pause)
@@ -94,12 +104,19 @@ impl ExperimentBehaviors {
         misclick_prob: f64,
     ) -> Result<usize, WebDriverError> {
         let mut misclicks = 0;
-        if self.rng.gen_bool(misclick_prob.clamp(0.0, 1.0)) {
+        if self
+            .ctx
+            .stream("behavior")
+            .gen_bool(misclick_prob.clamp(0.0, 1.0))
+        {
             session.ensure_interactable(el)?;
             let r = session.element_rect(el);
             // Land 4–18 px past a random edge.
-            let overshoot = self.rng.gen_range(4.0..18.0);
-            let miss = match self.rng.gen_range(0..4u8) {
+            let (overshoot, edge) = {
+                let rng = self.ctx.stream("behavior");
+                (rng.gen_range(4.0..18.0), rng.gen_range(0..4u8))
+            };
+            let miss = match edge {
                 0 => Point::new(r.x - overshoot, r.center().y),
                 1 => Point::new(r.x + r.width + overshoot, r.center().y),
                 2 => Point::new(r.center().x, r.y - overshoot),
@@ -109,18 +126,19 @@ impl ExperimentBehaviors {
             let samples = plan_motion(
                 MotionStyle::hlisa(),
                 &self.params,
-                &mut self.rng,
+                &mut self.ctx,
                 from,
                 miss,
                 r.width.min(r.height),
             );
             let mut actions = trajectory_to_actions(&samples, 50.0);
-            let dwell = self.params.click_dwell.sample(&mut self.rng);
+            let dwell = sample_dwell_ms(&self.params, &mut self.ctx);
             actions.push(Action::PointerDown(MouseButton::Left));
             actions.push(Action::Pause(dwell));
             actions.push(Action::PointerUp(MouseButton::Left));
             // The double-take before correcting.
-            actions.push(Action::Pause(self.rng.gen_range(180.0..500.0)));
+            let double_take = self.ctx.stream("behavior").gen_range(180.0..500.0);
+            actions.push(Action::Pause(double_take));
             session.perform_actions(&actions);
             misclicks = 1;
         }
@@ -139,20 +157,25 @@ impl ExperimentBehaviors {
         typo_prob: f64,
     ) -> Result<usize, WebDriverError> {
         self.chain().click(Some(el)).perform(session)?;
-        session.perform_actions(&[Action::Pause(self.rng.gen_range(150.0..400.0))]);
+        let focus_pause = self.ctx.stream("behavior").gen_range(150.0..400.0);
+        session.perform_actions(&[Action::Pause(focus_pause)]);
         let mut typos = 0;
         for ch in text.chars() {
             if us_qwerty(ch).is_none() {
                 continue;
             }
-            let slip = ch.is_ascii_alphabetic() && self.rng.gen_bool(typo_prob.clamp(0.0, 1.0));
+            let slip = ch.is_ascii_alphabetic()
+                && self
+                    .ctx
+                    .stream("behavior")
+                    .gen_bool(typo_prob.clamp(0.0, 1.0));
             if slip {
-                if let Some(wrong) = adjacent_key(ch, self.rng.gen_range(0..4usize)) {
+                let slot = self.ctx.stream("behavior").gen_range(0..4usize);
+                if let Some(wrong) = adjacent_key(ch, slot) {
                     self.type_one(session, &wrong.to_string());
                     // Noticing lag, then erase.
-                    session.perform_actions(&[Action::Pause(
-                        self.rng.gen_range(250.0..800.0),
-                    )]);
+                    let lag = self.ctx.stream("behavior").gen_range(250.0..800.0);
+                    session.perform_actions(&[Action::Pause(lag)]);
                     self.type_one(session, "Backspace");
                     typos += 1;
                 }
@@ -166,22 +189,22 @@ impl ExperimentBehaviors {
     fn type_one(&mut self, session: &mut Session, key: &str) {
         let needs_shift = key.chars().count() == 1
             && hlisa_human::keyboard::requires_shift(key.chars().next().expect("one char"));
+        let params = &self.params;
+        let rng = self.ctx.stream("behavior");
         let mut actions = Vec::new();
         if needs_shift {
             actions.push(Action::KeyDown("Shift".to_string()));
-            actions.push(Action::Pause(self.rng.gen_range(35.0..90.0)));
+            actions.push(Action::Pause(rng.gen_range(35.0..90.0)));
         }
-        let dwell = self.params.key_dwell.sample(&mut self.rng);
+        let dwell = params.key_dwell.sample(rng);
         actions.push(Action::KeyDown(key.to_string()));
         actions.push(Action::Pause(dwell));
         actions.push(Action::KeyUp(key.to_string()));
         if needs_shift {
-            actions.push(Action::Pause(self.rng.gen_range(10.0..50.0)));
+            actions.push(Action::Pause(rng.gen_range(10.0..50.0)));
             actions.push(Action::KeyUp("Shift".to_string()));
         }
-        actions.push(Action::Pause(
-            self.params.key_flight.sample(&mut self.rng).abs().max(5.0),
-        ));
+        actions.push(Action::Pause(params.key_flight.sample(rng).abs().max(5.0)));
         session.perform_actions(&actions);
     }
 }
@@ -207,7 +230,10 @@ mod tests {
         assert_eq!(s.browser.mouse_position(), Point::new(0.0, 0.0));
         x.position_cursor_before_load(&mut s).unwrap();
         let p = s.browser.mouse_position();
-        assert!(p.x > 100.0 && p.y > 100.0, "cursor still near origin: {p:?}");
+        assert!(
+            p.x > 100.0 && p.y > 100.0,
+            "cursor still near origin: {p:?}"
+        );
     }
 
     #[test]
@@ -226,9 +252,7 @@ mod tests {
         let mut s = session();
         let mut x = ExperimentBehaviors::new(3);
         let el = s.find_element(By::Id("submit".into())).unwrap();
-        let n = x
-            .click_element_with_misclicks(&mut s, el, 1.0)
-            .unwrap();
+        let n = x.click_element_with_misclicks(&mut s, el, 1.0).unwrap();
         assert_eq!(n, 1);
         let clicks = s.browser.recorder.clicks();
         assert_eq!(clicks.len(), 2);

@@ -17,6 +17,7 @@
 use hlisa_browser::Point;
 use hlisa_human::cursor::{min_jerk_progress, TrajectorySample};
 use hlisa_human::HumanParams;
+use hlisa_sim::SimContext;
 use hlisa_stats::Normal;
 use hlisa_webdriver::Action;
 use rand::Rng;
@@ -90,8 +91,21 @@ impl MotionStyle {
     }
 }
 
-/// Plans a trajectory in the given style. Samples are relative to t = 0.
-pub fn plan_motion<R: Rng + ?Sized>(
+/// Plans a trajectory in the given style, drawing from the context's
+/// `"motion"` stream. Samples are relative to t = 0.
+pub fn plan_motion(
+    style: MotionStyle,
+    params: &HumanParams,
+    ctx: &mut SimContext,
+    from: Point,
+    to: Point,
+    target_w: f64,
+) -> Vec<TrajectorySample> {
+    plan_motion_with(style, params, ctx.stream("motion"), from, to, target_w)
+}
+
+/// Like [`plan_motion`], drawing from an explicit RNG stream.
+pub fn plan_motion_with<R: Rng + ?Sized>(
     style: MotionStyle,
     params: &HumanParams,
     rng: &mut R,
@@ -104,11 +118,15 @@ pub fn plan_motion<R: Rng + ?Sized>(
     // the experiment as a baseline"), so it delegates to the canonical
     // generator — including the two-phase aim-and-correct kinematics.
     if style == MotionStyle::hlisa() {
-        return hlisa_human::cursor::generate(params, rng, from, to, target_w);
+        return hlisa_human::cursor::generate_with(params, rng, from, to, target_w);
     }
     let dist = from.distance_to(to);
     if dist < 1e-9 {
-        return vec![TrajectorySample { t_ms: 0.0, x: to.x, y: to.y }];
+        return vec![TrajectorySample {
+            t_ms: 0.0,
+            x: to.x,
+            y: to.y,
+        }];
     }
     let duration = match style.duration {
         DurationModel::Fixed(ms) => ms.max(1.0),
@@ -128,7 +146,8 @@ pub fn plan_motion<R: Rng + ?Sized>(
     let control = match style.curve {
         CurveStyle::Straight => None,
         CurveStyle::QuadBezier => {
-            let amp = params.curve_amplitude_frac * dist
+            let amp = params.curve_amplitude_frac
+                * dist
                 * if rng.gen_bool(0.5) { 1.0 } else { -1.0 }
                 * rng.gen_range(0.6..1.4);
             let mid = from.lerp(to, 0.5);
@@ -165,7 +184,11 @@ pub fn plan_motion<R: Rng + ?Sized>(
             x += px * tremor * envelope;
             y += py * tremor * envelope;
         }
-        out.push(TrajectorySample { t_ms: tau * duration, x, y });
+        out.push(TrajectorySample {
+            t_ms: tau * duration,
+            x,
+            y,
+        });
     }
     if let Some(last) = out.last_mut() {
         last.x = to.x;
@@ -205,10 +228,7 @@ fn position_along(from: Point, control: Option<&[Point]>, to: Point, s: f64) -> 
 /// Converts a trajectory into primitive pointer-move actions, one waypoint
 /// per `min_segment_ms` of trajectory time — HLISA's chop-into-50 ms-moves
 /// deployment strategy.
-pub fn trajectory_to_actions(
-    samples: &[TrajectorySample],
-    min_segment_ms: f64,
-) -> Vec<Action> {
+pub fn trajectory_to_actions(samples: &[TrajectorySample], min_segment_ms: f64) -> Vec<Action> {
     assert!(min_segment_ms > 0.0, "segment duration must be positive");
     let mut out = Vec::new();
     let mut last_t = 0.0f64;
@@ -242,7 +262,7 @@ pub fn trajectory_to_actions(
 mod tests {
     use super::*;
     use hlisa_human::cursor::metrics;
-    use hlisa_stats::rngutil::rng_from_seed;
+    use hlisa_sim::SimContext;
 
     fn params() -> HumanParams {
         HumanParams::paper_baseline()
@@ -250,11 +270,11 @@ mod tests {
 
     #[test]
     fn hlisa_motion_is_curved_and_accelerating() {
-        let mut rng = rng_from_seed(1);
+        let mut ctx = SimContext::new(1);
         let t = plan_motion(
             MotionStyle::hlisa(),
             &params(),
-            &mut rng,
+            &mut ctx,
             Point::new(100.0, 500.0),
             Point::new(900.0, 300.0),
             40.0,
@@ -269,11 +289,11 @@ mod tests {
 
     #[test]
     fn naive_bezier_is_curved_but_uniform() {
-        let mut rng = rng_from_seed(2);
+        let mut ctx = SimContext::new(2);
         let t = plan_motion(
             MotionStyle::naive_bezier(),
             &params(),
-            &mut rng,
+            &mut ctx,
             Point::new(100.0, 500.0),
             Point::new(900.0, 300.0),
             40.0,
@@ -288,7 +308,7 @@ mod tests {
 
     #[test]
     fn straight_uniform_is_selenium_like() {
-        let mut rng = rng_from_seed(3);
+        let mut ctx = SimContext::new(3);
         let style = MotionStyle {
             curve: CurveStyle::Straight,
             velocity: VelocityProfile::Uniform,
@@ -298,7 +318,7 @@ mod tests {
         let t = plan_motion(
             style,
             &params(),
-            &mut rng,
+            &mut ctx,
             Point::new(0.0, 0.0),
             Point::new(800.0, 400.0),
             40.0,
@@ -313,7 +333,7 @@ mod tests {
 
     #[test]
     fn bspline_differs_from_single_bezier() {
-        let mut rng = rng_from_seed(4);
+        let mut ctx = SimContext::new(2);
         let style = MotionStyle {
             curve: CurveStyle::BSpline,
             velocity: VelocityProfile::Uniform,
@@ -323,7 +343,7 @@ mod tests {
         let t = plan_motion(
             style,
             &params(),
-            &mut rng,
+            &mut ctx,
             Point::new(0.0, 0.0),
             Point::new(800.0, 0.0),
             40.0,
@@ -334,17 +354,20 @@ mod tests {
             .windows(2)
             .filter(|w| w[0].signum() != w[1].signum() && w[0].abs() > 0.5)
             .count();
-        assert!(sign_changes >= 1, "b-spline should weave, offsets: {offsets:?}");
+        assert!(
+            sign_changes >= 1,
+            "b-spline should weave, offsets: {offsets:?}"
+        );
         assert_eq!(t.last().unwrap().y, 0.0);
     }
 
     #[test]
     fn trajectory_to_actions_respects_min_segment() {
-        let mut rng = rng_from_seed(5);
+        let mut ctx = SimContext::new(5);
         let t = plan_motion(
             MotionStyle::hlisa(),
             &params(),
-            &mut rng,
+            &mut ctx,
             Point::new(0.0, 0.0),
             Point::new(900.0, 500.0),
             40.0,
@@ -370,7 +393,11 @@ mod tests {
 
     #[test]
     fn zero_distance_yields_single_action() {
-        let samples = vec![TrajectorySample { t_ms: 0.0, x: 5.0, y: 5.0 }];
+        let samples = vec![TrajectorySample {
+            t_ms: 0.0,
+            x: 5.0,
+            y: 5.0,
+        }];
         let actions = trajectory_to_actions(&samples, 50.0);
         assert_eq!(actions.len(), 1);
     }

@@ -17,9 +17,8 @@ use hlisa_browser::events::MouseButton;
 use hlisa_browser::Point;
 use hlisa_human::keyboard::us_qwerty;
 use hlisa_human::HumanParams;
-use hlisa_stats::rngutil::rng_from_seed;
-use hlisa_webdriver::{Action, ElementHandle, Session, WebDriverError};
-use rand::rngs::SmallRng;
+use hlisa_sim::SimContext;
+use hlisa_webdriver::{Action, ElementHandle, Session, WebDriverError, HLISA_MIN_MOVE_MS};
 use rand::Rng;
 
 /// A naive "humanised" action chain.
@@ -27,7 +26,7 @@ use rand::Rng;
 pub struct NaiveActionChains {
     steps: Vec<NaiveStep>,
     params: HumanParams,
-    rng: SmallRng,
+    ctx: SimContext,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -42,10 +41,15 @@ enum NaiveStep {
 impl NaiveActionChains {
     /// Creates a naive chain.
     pub fn new(seed: u64) -> Self {
+        Self::with_context(SimContext::new(seed))
+    }
+
+    /// Creates a naive chain over an existing simulation context.
+    pub fn with_context(ctx: SimContext) -> Self {
         Self {
             steps: Vec::new(),
             params: HumanParams::paper_baseline(),
-            rng: rng_from_seed(seed),
+            ctx,
         }
     }
 
@@ -82,7 +86,7 @@ impl NaiveActionChains {
 
     /// Executes the chain.
     pub fn perform(mut self, session: &mut Session) -> Result<(), WebDriverError> {
-        session.override_pointer_move_min_duration(50.0);
+        session.override_pointer_move_min_duration(HLISA_MIN_MOVE_MS);
         let steps = std::mem::take(&mut self.steps);
         for step in steps {
             match step {
@@ -93,7 +97,7 @@ impl NaiveActionChains {
                     }
                     // Plausible dwell with uniform jitter — inside human
                     // limits, but the *distribution* is wrong.
-                    let dwell = 60.0 + self.rng.gen_range(-10.0..10.0);
+                    let dwell = 60.0 + self.ctx.stream("naive").gen_range(-10.0..10.0);
                     session.perform_actions(&[
                         Action::PointerDown(MouseButton::Left),
                         Action::Pause(dwell),
@@ -102,13 +106,14 @@ impl NaiveActionChains {
                 }
                 NaiveStep::SendKeysToElement(el, keys) => {
                     self.move_impl(session, el)?;
-                    let dwell = 55.0 + self.rng.gen_range(-10.0..10.0);
+                    let dwell = 55.0 + self.ctx.stream("naive").gen_range(-10.0..10.0);
                     session.perform_actions(&[
                         Action::PointerDown(MouseButton::Left),
                         Action::Pause(dwell),
                         Action::PointerUp(MouseButton::Left),
                         Action::Pause(150.0),
                     ]);
+                    let rng = self.ctx.stream("naive");
                     let mut actions = Vec::new();
                     let mut shift_down = false;
                     for ch in keys.chars() {
@@ -123,9 +128,9 @@ impl NaiveActionChains {
                             shift_down = false;
                         }
                         actions.push(Action::KeyDown(spec.key.clone()));
-                        actions.push(Action::Pause(50.0 + self.rng.gen_range(-8.0..8.0)));
+                        actions.push(Action::Pause(50.0 + rng.gen_range(-8.0..8.0)));
                         actions.push(Action::KeyUp(spec.key));
-                        actions.push(Action::Pause(50.0 + self.rng.gen_range(-8.0..8.0)));
+                        actions.push(Action::Pause(50.0 + rng.gen_range(-8.0..8.0)));
                     }
                     if shift_down {
                         actions.push(Action::KeyUp("Shift".into()));
@@ -135,13 +140,12 @@ impl NaiveActionChains {
                 NaiveStep::ScrollBy(dy) => {
                     let dir = if dy >= 0.0 { 1 } else { -1 };
                     let ticks = (dy.abs() / 57.0).round() as usize;
+                    let rng = self.ctx.stream("naive");
                     let mut actions = Vec::new();
                     for i in 0..ticks {
                         actions.push(Action::WheelTick(dir));
                         if i + 1 < ticks {
-                            actions.push(Action::Pause(
-                                120.0 + self.rng.gen_range(-15.0..15.0),
-                            ));
+                            actions.push(Action::Pause(120.0 + rng.gen_range(-15.0..15.0)));
                         }
                     }
                     session.perform_actions(&actions);
@@ -162,20 +166,23 @@ impl NaiveActionChains {
         session.ensure_interactable(el)?;
         let r = session.element_rect(el);
         // Uniform placement over the whole element (Fig. 2 bottom left).
-        let target = Point::new(
-            r.x + self.rng.gen_range(0.0..r.width),
-            r.y + self.rng.gen_range(0.0..r.height),
-        );
+        let target = {
+            let rng = self.ctx.stream("naive");
+            Point::new(
+                r.x + rng.gen_range(0.0..r.width),
+                r.y + rng.gen_range(0.0..r.height),
+            )
+        };
         let from = session.browser.mouse_position();
         let samples = plan_motion(
             MotionStyle::naive_bezier(),
             &self.params,
-            &mut self.rng,
+            &mut self.ctx,
             from,
             target,
             r.width.min(r.height),
         );
-        let actions = trajectory_to_actions(&samples, 50.0);
+        let actions = trajectory_to_actions(&samples, HLISA_MIN_MOVE_MS);
         session.perform_actions(&actions);
         Ok(())
     }

@@ -8,13 +8,24 @@
 //! the proof-of-concept status the paper describes.
 
 use hlisa_browser::viewport::WHEEL_TICK_PX;
-use hlisa_human::scroll::sample_flick_len;
+use hlisa_human::scroll::sample_flick_len_with;
 use hlisa_human::HumanParams;
+use hlisa_sim::SimContext;
 use hlisa_webdriver::Action;
 use rand::Rng;
 
-/// Plans wheel-tick actions covering `distance_px` (positive = down).
-pub fn plan_hlisa_scroll<R: Rng + ?Sized>(
+/// Plans wheel-tick actions covering `distance_px` (positive = down),
+/// drawing from the context's `"scroll"` stream.
+pub fn plan_hlisa_scroll(
+    params: &HumanParams,
+    ctx: &mut SimContext,
+    distance_px: f64,
+) -> Vec<Action> {
+    plan_hlisa_scroll_with(params, ctx.stream("scroll"), distance_px)
+}
+
+/// Like [`plan_hlisa_scroll`], drawing from an explicit RNG stream.
+pub fn plan_hlisa_scroll_with<R: Rng + ?Sized>(
     params: &HumanParams,
     rng: &mut R,
     distance_px: f64,
@@ -23,7 +34,7 @@ pub fn plan_hlisa_scroll<R: Rng + ?Sized>(
     let n_ticks = (distance_px.abs() / WHEEL_TICK_PX).round() as usize;
     let mut actions = Vec::with_capacity(n_ticks * 2);
     let mut ticks_since_break = 0usize;
-    let mut flick_len = sample_flick_len(params, rng);
+    let mut flick_len = sample_flick_len_with(params, rng);
     for i in 0..n_ticks {
         actions.push(Action::WheelTick(direction));
         ticks_since_break += 1;
@@ -33,7 +44,7 @@ pub fn plan_hlisa_scroll<R: Rng + ?Sized>(
         if ticks_since_break >= flick_len {
             actions.push(Action::Pause(params.scroll_finger_break.sample(rng)));
             ticks_since_break = 0;
-            flick_len = sample_flick_len(params, rng);
+            flick_len = sample_flick_len_with(params, rng);
         } else {
             actions.push(Action::Pause(params.scroll_tick_gap.sample(rng)));
         }
@@ -44,13 +55,13 @@ pub fn plan_hlisa_scroll<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hlisa_stats::rngutil::rng_from_seed;
+    use hlisa_sim::SimContext;
 
     #[test]
     fn tick_count_covers_distance() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(1);
-        let acts = plan_hlisa_scroll(&p, &mut rng, 570.0);
+        let mut ctx = SimContext::new(1);
+        let acts = plan_hlisa_scroll(&p, &mut ctx, 570.0);
         let ticks = acts
             .iter()
             .filter(|a| matches!(a, Action::WheelTick(1)))
@@ -61,8 +72,8 @@ mod tests {
     #[test]
     fn long_scrolls_include_finger_breaks() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(2);
-        let acts = plan_hlisa_scroll(&p, &mut rng, 10_000.0);
+        let mut ctx = SimContext::new(2);
+        let acts = plan_hlisa_scroll(&p, &mut ctx, 10_000.0);
         let long_pauses = acts
             .iter()
             .filter(|a| matches!(a, Action::Pause(ms) if *ms >= 150.0))
@@ -73,8 +84,8 @@ mod tests {
     #[test]
     fn upward_scroll_uses_negative_ticks() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(3);
-        let acts = plan_hlisa_scroll(&p, &mut rng, -171.0);
+        let mut ctx = SimContext::new(3);
+        let acts = plan_hlisa_scroll(&p, &mut ctx, -171.0);
         assert!(acts.iter().any(|a| matches!(a, Action::WheelTick(-1))));
         assert!(!acts.iter().any(|a| matches!(a, Action::WheelTick(1))));
     }
@@ -82,7 +93,7 @@ mod tests {
     #[test]
     fn zero_distance_plans_nothing() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(4);
-        assert!(plan_hlisa_scroll(&p, &mut rng, 10.0).is_empty());
+        let mut ctx = SimContext::new(4);
+        assert!(plan_hlisa_scroll(&p, &mut ctx, 10.0).is_empty());
     }
 }

@@ -13,30 +13,47 @@
 //! behaviour" escalation of the Fig. 3 simulator ladder, one of the
 //! refinements the paper's future-work section anticipates.
 
-use hlisa_human::typing::{plan_typing, PlannedKeyEvent};
+use hlisa_human::typing::{plan_typing_with, PlannedKeyEvent};
 use hlisa_human::HumanParams;
+use hlisa_sim::SimContext;
 use hlisa_webdriver::Action;
 use rand::Rng;
 
-/// Plans HLISA keystroke actions for `text` (i.i.d. timing draws).
-pub fn plan_hlisa_typing<R: Rng + ?Sized>(
+/// Plans HLISA keystroke actions for `text` (i.i.d. timing draws),
+/// drawing from the context's `"typing"` stream.
+pub fn plan_hlisa_typing(params: &HumanParams, ctx: &mut SimContext, text: &str) -> Vec<Action> {
+    plan_hlisa_typing_with(params, ctx.stream("typing"), text)
+}
+
+/// Like [`plan_hlisa_typing`], drawing from an explicit RNG stream.
+pub fn plan_hlisa_typing_with<R: Rng + ?Sized>(
     params: &HumanParams,
     rng: &mut R,
     text: &str,
 ) -> Vec<Action> {
     let mut iid = params.clone();
     iid.dwell_autocorr = 0.0;
-    events_to_actions(&plan_typing(&iid, rng, text))
+    events_to_actions(&plan_typing_with(&iid, rng, text))
 }
 
 /// Plans typing with the human tempo drift retained — the consistency
-/// escalation that defeats level-3 detectors.
-pub fn plan_consistent_typing<R: Rng + ?Sized>(
+/// escalation that defeats level-3 detectors. Draws from the context's
+/// `"typing"` stream.
+pub fn plan_consistent_typing(
+    params: &HumanParams,
+    ctx: &mut SimContext,
+    text: &str,
+) -> Vec<Action> {
+    plan_consistent_typing_with(params, ctx.stream("typing"), text)
+}
+
+/// Like [`plan_consistent_typing`], drawing from an explicit RNG stream.
+pub fn plan_consistent_typing_with<R: Rng + ?Sized>(
     params: &HumanParams,
     rng: &mut R,
     text: &str,
 ) -> Vec<Action> {
-    events_to_actions(&plan_typing(params, rng, text))
+    events_to_actions(&plan_typing_with(params, rng, text))
 }
 
 /// Compiles a timestamped key plan into sequential Selenium primitives.
@@ -63,19 +80,25 @@ pub fn events_to_actions(events: &[PlannedKeyEvent]) -> Vec<Action> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hlisa_stats::rngutil::rng_from_seed;
+    use hlisa_sim::SimContext;
 
     fn plan(text: &str, seed: u64) -> Vec<Action> {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(seed);
-        plan_hlisa_typing(&p, &mut rng, text)
+        let mut ctx = SimContext::new(seed);
+        plan_hlisa_typing(&p, &mut ctx, text)
     }
 
     #[test]
     fn balanced_keys() {
         let acts = plan("Hello, World!", 1);
-        let d = acts.iter().filter(|a| matches!(a, Action::KeyDown(_))).count();
-        let u = acts.iter().filter(|a| matches!(a, Action::KeyUp(_))).count();
+        let d = acts
+            .iter()
+            .filter(|a| matches!(a, Action::KeyDown(_)))
+            .count();
+        let u = acts
+            .iter()
+            .filter(|a| matches!(a, Action::KeyUp(_)))
+            .count();
         assert_eq!(d, u);
     }
 
@@ -110,9 +133,9 @@ mod tests {
         // Extract dwell sequence from the action stream and check its
         // lag-1 autocorrelation is near zero (vs the human planner's 0.55).
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(4);
+        let mut ctx = SimContext::new(4);
         let long = "the quick brown fox jumps over the lazy dog ".repeat(8);
-        let acts = plan_hlisa_typing(&p, &mut rng, &long);
+        let acts = plan_hlisa_typing(&p, &mut ctx, &long);
         let dwells = dwells_of(&acts);
         assert!(dwells.len() > 200);
         let a: Vec<f64> = dwells[..dwells.len() - 1].to_vec();
@@ -124,9 +147,9 @@ mod tests {
     #[test]
     fn consistent_plan_has_tempo_drift() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(5);
+        let mut ctx = SimContext::new(5);
         let long = "the quick brown fox jumps over the lazy dog ".repeat(8);
-        let acts = plan_consistent_typing(&p, &mut rng, &long);
+        let acts = plan_consistent_typing(&p, &mut ctx, &long);
         let dwells = dwells_of(&acts);
         let a: Vec<f64> = dwells[..dwells.len() - 1].to_vec();
         let b: Vec<f64> = dwells[1..].to_vec();

@@ -1,9 +1,10 @@
 //! Crawl campaign execution.
 
-use hlisa_stats::rngutil::{derive_seed, rng_from_seed};
+use hlisa_sim::SimContext;
 use hlisa_web::visit::DetectorRuntime;
-use hlisa_web::{generate_population, simulate_visit, ClientKind, PopulationConfig, Site, VisitOutcome};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use hlisa_web::{
+    generate_population, simulate_visit, ClientKind, PopulationConfig, Site, VisitOutcome,
+};
 
 /// Campaign configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,38 +88,34 @@ pub fn run_campaign(config: &CampaignConfig) -> Campaign {
 
 /// Runs one machine's crawl with `config.instances` parallel workers.
 ///
-/// Visit randomness is keyed on (machine, site, visit index), so the
-/// result is identical regardless of which worker thread executes which
-/// site — the campaign is reproducible under real parallelism.
+/// Work is partitioned deterministically — worker `w` takes exactly the
+/// sites whose population index satisfies `i % instances == w` — and every
+/// visit runs in its own [`SimContext`] forked from the machine context by
+/// `(domain, visit index)`. Neither the schedule nor the thread count can
+/// therefore affect any draw: the run is bit-identical for any `instances`.
 pub fn run_machine(config: &CampaignConfig, sites: &[Site], client: ClientKind) -> MachineRun {
-    let next = AtomicUsize::new(0);
-    let results: Vec<parking_lot_free::Slot<SiteResult>> =
-        (0..sites.len()).map(|_| parking_lot_free::Slot::new()).collect();
+    let instances = config.instances.max(1);
+    let label = match client {
+        ClientKind::OpenWpm => "m1",
+        ClientKind::OpenWpmSpoofed => "m2",
+    };
+    let machine_ctx = SimContext::new(config.seed).fork(label, 0);
+    let results: Vec<parking_lot_free::Slot<SiteResult>> = (0..sites.len())
+        .map(|_| parking_lot_free::Slot::new())
+        .collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..config.instances.max(1) {
-            scope.spawn(|| {
+        for w in 0..instances {
+            let machine_ctx = &machine_ctx;
+            let results = &results;
+            scope.spawn(move || {
                 // Each browser instance ships its own detector runtime.
                 let runtime = DetectorRuntime::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= sites.len() {
-                        break;
-                    }
-                    let site = &sites[i];
+                for (i, site) in sites.iter().enumerate().skip(w).step_by(instances) {
                     let outcomes: Vec<VisitOutcome> = (0..config.visits_per_site)
                         .map(|v| {
-                            let label = match client {
-                                ClientKind::OpenWpm => "m1",
-                                ClientKind::OpenWpmSpoofed => "m2",
-                            };
-                            let seed = derive_seed(
-                                config.seed,
-                                &format!("{label}:{}", site.domain),
-                                v as u64,
-                            );
-                            let mut rng = rng_from_seed(seed);
-                            simulate_visit(site, client, &runtime, &mut rng)
+                            let mut ctx = machine_ctx.fork_visit(&site.domain, v as u64);
+                            simulate_visit(site, client, &runtime, &mut ctx)
                         })
                         .collect();
                     results[i].set(SiteResult {
@@ -162,10 +159,7 @@ mod parking_lot_free {
         }
 
         pub fn set(&self, v: T) {
-            assert!(
-                !self.set.swap(true, Ordering::AcqRel),
-                "slot written twice"
-            );
+            assert!(!self.set.swap(true, Ordering::AcqRel), "slot written twice");
             // Safety: the swap above guarantees exclusive access.
             unsafe { *self.value.get() = Some(v) };
         }

@@ -47,7 +47,11 @@ fn tally(run: &MachineRun, third: bool, into: &mut CodeCounts, slot: usize) {
         // Only completed visits are comparable across machines; transient
         // failures are web dynamics, not bot detection.
         for o in site.outcomes.iter().filter(|o| o.successful) {
-            let codes = if third { &o.third_party } else { &o.first_party };
+            let codes = if third {
+                &o.third_party
+            } else {
+                &o.first_party
+            };
             for c in codes {
                 let entry = into.entry(*c).or_insert((0, 0));
                 if slot == 0 {
@@ -75,7 +79,13 @@ fn per_site_error_counts(run: &MachineRun, third: bool) -> Vec<f64> {
                 .outcomes
                 .iter()
                 .filter(|o| o.successful)
-                .flat_map(|o| if third { &o.third_party } else { &o.first_party })
+                .flat_map(|o| {
+                    if third {
+                        &o.third_party
+                    } else {
+                        &o.first_party
+                    }
+                })
                 .filter(|c| **c >= 400)
                 .count();
             errors as f64 / ok as f64

@@ -16,7 +16,7 @@ pub mod http_analysis;
 pub mod report;
 pub mod screenshot;
 
-pub use campaign::{run_campaign, Campaign, CampaignConfig, MachineRun, SiteResult};
+pub use campaign::{run_campaign, run_machine, Campaign, CampaignConfig, MachineRun, SiteResult};
 pub use http_analysis::{analyze_http, HttpReport};
 pub use report::{status_codes_csv, table2_csv, visits_csv};
 pub use screenshot::{screenshot_table, Table2, Table2Row};

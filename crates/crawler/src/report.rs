@@ -76,7 +76,8 @@ pub fn visits_csv(campaign: &Campaign) -> String {
 /// Table 2 as CSV.
 pub fn table2_csv(campaign: &Campaign) -> String {
     let t = screenshot_table(campaign);
-    let mut out = String::from("response,sites_openwpm,sites_spoofed,visits_openwpm,visits_spoofed\n");
+    let mut out =
+        String::from("response,sites_openwpm,sites_spoofed,visits_openwpm,visits_spoofed\n");
     for r in &t.rows {
         out.push_str(&format!(
             "{},{},{},{},{}\n",

@@ -65,10 +65,9 @@ pub fn screenshot_table(campaign: &Campaign) -> Table2 {
         })
         .collect();
 
-    let pair =
-        |pred: &dyn Fn(VisualOutcome) -> bool| -> ((usize, usize), (usize, usize)) {
-            (count(machines[0], pred), count(machines[1], pred))
-        };
+    let pair = |pred: &dyn Fn(VisualOutcome) -> bool| -> ((usize, usize), (usize, usize)) {
+        (count(machines[0], pred), count(machines[1], pred))
+    };
 
     let missing_ads = pair(&|v| matches!(v, VisualOutcome::NoAds | VisualOutcome::FewerAds));
     let no_ads = pair(&|v| v == VisualOutcome::NoAds);

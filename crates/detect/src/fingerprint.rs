@@ -100,7 +100,11 @@ mod tests {
         SpoofingExtension::paper_default().inject(&mut w).unwrap();
         let v = scan_fingerprint(&mut w);
         assert!(v.is_bot);
-        assert!(v.signals.iter().any(|s| s.contains("headless")), "{:?}", v.signals);
+        assert!(
+            v.signals.iter().any(|s| s.contains("headless")),
+            "{:?}",
+            v.signals
+        );
     }
 
     #[test]

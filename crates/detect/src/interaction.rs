@@ -59,7 +59,10 @@ impl DetectorLevel {
     /// privacy regulation (the top two levels "focus detection to such an
     /// extent, that individual users could be distinguished").
     pub fn gdpr_sensitive(&self) -> bool {
-        matches!(self, DetectorLevel::L3Consistency | DetectorLevel::L4Profile)
+        matches!(
+            self,
+            DetectorLevel::L3Consistency | DetectorLevel::L4Profile
+        )
     }
 }
 
@@ -256,7 +259,8 @@ impl TraceFeatures {
             if path < 40.0 {
                 continue; // too short to judge
             }
-            f.straightness.push(if path > 0.0 { chord / path } else { 1.0 });
+            f.straightness
+                .push(if path > 0.0 { chord / path } else { 1.0 });
             let speeds: Vec<f64> = seg
                 .windows(2)
                 .filter(|w| w[1].0 > w[0].0)
@@ -267,9 +271,7 @@ impl TraceFeatures {
                 .collect();
             if speeds.len() >= 3 {
                 f.speed_cvs.push(coefficient_of_variation(&speeds));
-                f.max_speed = f.max_speed.max(
-                    speeds.iter().copied().fold(0.0, f64::max),
-                );
+                f.max_speed = f.max_speed.max(speeds.iter().copied().fold(0.0, f64::max));
             }
         }
 
@@ -293,11 +295,7 @@ impl TraceFeatures {
         f.hidden_element_clicks = recorder
             .of_kind(EventKind::Click)
             .iter()
-            .filter(|e| {
-                e.target
-                    .map(|id| !doc.element(id).visible)
-                    .unwrap_or(false)
-            })
+            .filter(|e| e.target.map(|id| !doc.element(id).visible).unwrap_or(false))
             .count();
 
         // Interaction while the page is hidden: replay visibility state.
@@ -327,7 +325,8 @@ impl TraceFeatures {
             };
         }
         self.capitals_without_shift += other.capitals_without_shift;
-        self.click_dwells_ms.extend_from_slice(&other.click_dwells_ms);
+        self.click_dwells_ms
+            .extend_from_slice(&other.click_dwells_ms);
         self.click_offsets_frac
             .extend_from_slice(&other.click_offsets_frac);
         self.straightness.extend_from_slice(&other.straightness);
@@ -434,7 +433,10 @@ impl InteractionDetector {
             signals.push(Signal {
                 level: l,
                 name: "straight-trajectories",
-                detail: format!("{straight}/{} segments perfectly straight", f.straightness.len()),
+                detail: format!(
+                    "{straight}/{} segments perfectly straight",
+                    f.straightness.len()
+                ),
             });
         }
         let uniform = f.speed_cvs.iter().filter(|cv| **cv < 0.05).count();
@@ -485,17 +487,17 @@ impl InteractionDetector {
             signals.push(Signal {
                 level: l,
                 name: "capitals-without-shift",
-                detail: format!("{} capital keydowns with no Shift", f.capitals_without_shift),
+                detail: format!(
+                    "{} capital keydowns with no Shift",
+                    f.capitals_without_shift
+                ),
             });
         }
         if f.pointerless_clicks > 0 {
             signals.push(Signal {
                 level: l,
                 name: "click-without-pointer",
-                detail: format!(
-                    "{} click events with no button press",
-                    f.pointerless_clicks
-                ),
+                detail: format!("{} click events with no button press", f.pointerless_clicks),
             });
         }
         if f.hidden_element_clicks > 0 {
@@ -518,9 +520,7 @@ impl InteractionDetector {
         // Scrolls of hundreds of px in a single event with no wheel events
         // anywhere: Selenium's script scroll. (Weak on its own — anchors do
         // this too — so it requires total wheel silence.)
-        if f.wheel_events == 0
-            && f.scroll_deltas_px.iter().any(|d| d.abs() > 400.0)
-        {
+        if f.wheel_events == 0 && f.scroll_deltas_px.iter().any(|d| d.abs() > 400.0) {
             signals.push(Signal {
                 level: l,
                 name: "single-event-jump-scroll",
@@ -542,26 +542,41 @@ impl InteractionDetector {
         // be too strict or risk barring human visitors entry"). Timing
         // channels get a wider tolerance than placement because human
         // tempo drifts within a session.
-        let mut ks_check = |name: &'static str,
-                            obs: &[f64],
-                            reference: &[f64],
-                            min_n: usize,
-                            d_floor: f64| {
-            if obs.len() >= min_n && reference.len() >= min_n {
-                if let Some(r) = ks_two_sample(obs, reference) {
-                    if r.p_value < self.alpha && r.statistic >= d_floor {
-                        signals.push(Signal {
-                            level: l,
-                            name,
-                            detail: format!("KS D={:.3}, p={:.2e}", r.statistic, r.p_value),
-                        });
+        let mut ks_check =
+            |name: &'static str, obs: &[f64], reference: &[f64], min_n: usize, d_floor: f64| {
+                if obs.len() >= min_n && reference.len() >= min_n {
+                    if let Some(r) = ks_two_sample(obs, reference) {
+                        if r.p_value < self.alpha && r.statistic >= d_floor {
+                            signals.push(Signal {
+                                level: l,
+                                name,
+                                detail: format!("KS D={:.3}, p={:.2e}", r.statistic, r.p_value),
+                            });
+                        }
                     }
                 }
-            }
-        };
-        ks_check("key-dwell-distribution", &f.key_dwells_ms, &reference.key_dwell_ms, 20, 0.48);
-        ks_check("key-flight-distribution", &f.key_flights_ms, &reference.key_flight_ms, 20, 0.48);
-        ks_check("click-dwell-distribution", &f.click_dwells_ms, &reference.click_dwell_ms, 20, 0.48);
+            };
+        ks_check(
+            "key-dwell-distribution",
+            &f.key_dwells_ms,
+            &reference.key_dwell_ms,
+            20,
+            0.48,
+        );
+        ks_check(
+            "key-flight-distribution",
+            &f.key_flights_ms,
+            &reference.key_flight_ms,
+            20,
+            0.48,
+        );
+        ks_check(
+            "click-dwell-distribution",
+            &f.click_dwells_ms,
+            &reference.click_dwell_ms,
+            20,
+            0.48,
+        );
         // Small-sample KS p-values are anti-conservative, so placement
         // needs a larger sample than the timing channels.
         ks_check(
@@ -571,7 +586,13 @@ impl InteractionDetector {
             20,
             0.30,
         );
-        ks_check("scroll-gap-distribution", &f.scroll_gaps_ms, &reference.scroll_gap_ms, 20, 0.32);
+        ks_check(
+            "scroll-gap-distribution",
+            &f.scroll_gaps_ms,
+            &reference.scroll_gap_ms,
+            20,
+            0.32,
+        );
     }
 
     // --- Level 3: behavioural consistency --------------------------------
@@ -606,27 +627,26 @@ impl InteractionDetector {
         let Some(p) = &self.profile else {
             return;
         };
-        let mut z_check = |name: &'static str,
-                           obs: &[f64],
-                           mu: f64,
-                           sd: f64,
-                           n_enrol: usize,
-                           min_n: usize| {
-            if obs.len() >= min_n && n_enrol >= min_n {
-                let m = mean(obs);
-                // z of the difference of two estimated means: both the
-                // session sample and the enrolled profile carry error.
-                let se = sd * (1.0 / obs.len() as f64 + 1.0 / n_enrol as f64).sqrt();
-                let z = (m - mu) / se;
-                if z.abs() > 3.5 {
-                    signals.push(Signal {
-                        level: l,
-                        name,
-                        detail: format!("sample mean {:.1} vs enrolled {:.1} (z={:.1})", m, mu, z),
-                    });
+        let mut z_check =
+            |name: &'static str, obs: &[f64], mu: f64, sd: f64, n_enrol: usize, min_n: usize| {
+                if obs.len() >= min_n && n_enrol >= min_n {
+                    let m = mean(obs);
+                    // z of the difference of two estimated means: both the
+                    // session sample and the enrolled profile carry error.
+                    let se = sd * (1.0 / obs.len() as f64 + 1.0 / n_enrol as f64).sqrt();
+                    let z = (m - mu) / se;
+                    if z.abs() > 3.5 {
+                        signals.push(Signal {
+                            level: l,
+                            name,
+                            detail: format!(
+                                "sample mean {:.1} vs enrolled {:.1} (z={:.1})",
+                                m, mu, z
+                            ),
+                        });
+                    }
                 }
-            }
-        };
+            };
         // Key dwells are serially correlated in humans (tempo drift), so
         // the sample mean's standard error must be inflated by the usual
         // AR(1) factor sqrt((1+r)/(1-r)), estimated from the session.

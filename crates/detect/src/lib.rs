@@ -15,6 +15,7 @@
 
 pub mod fingerprint;
 pub mod interaction;
+pub mod live;
 pub mod reference;
 pub mod replay;
 pub mod side_effects;
@@ -22,6 +23,7 @@ pub mod template_attack;
 
 pub use fingerprint::{scan_fingerprint, FingerprintVerdict};
 pub use interaction::{DetectorLevel, InteractionDetector, InteractionVerdict, Signal};
+pub use live::{LiveInteractionMonitor, LiveMonitorHandle};
 pub use reference::HumanReference;
 pub use replay::{fingerprint_trace, ReplayDetector};
 pub use side_effects::{probe_side_effects, probe_unstable_method_identity, SideEffect};

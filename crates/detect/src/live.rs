@@ -1,0 +1,214 @@
+//! Streaming (live) interaction monitoring over the [`Observer`] protocol.
+//!
+//! The batch detectors in [`crate::interaction`] judge a finished trace
+//! pulled from the recorder. A deployed first-party detector does not get
+//! that luxury: it runs *inside* the page, sees each event as it fires,
+//! and must keep only running state. [`LiveInteractionMonitor`] models
+//! that deployment: it subscribes to the browser's event dispatch via
+//! [`hlisa_sim::Observer`] and maintains streaming counters of the
+//! level-1 artificiality cues (zero-dwell clicks, teleporting cursors,
+//! keyboard input without key events).
+//!
+//! The monitor is handed to `Browser::attach_observer` by value; a shared
+//! [`LiveMonitorHandle`] lets the experiment read the verdict afterwards,
+//! and every counter also surfaces through `Browser::metrics()`.
+
+use hlisa_browser::events::{DomEvent, EventKind, EventPayload};
+use hlisa_sim::{CounterSet, Observer};
+use std::sync::{Arc, Mutex};
+
+/// Running state shared between the attached monitor and its handle.
+#[derive(Debug, Clone, Default)]
+struct LiveState {
+    moves: u64,
+    clicks: u64,
+    keydowns: u64,
+    wheel_ticks: u64,
+    zero_dwell_clicks: u64,
+    teleport_moves: u64,
+    last_pointer: Option<(f64, f64, f64)>,
+    pointer_down_at: Option<f64>,
+}
+
+/// A pointer jump longer than this with no intermediate samples is not a
+/// human movement — even a fast flick produces waypoints at the pointer
+/// sampling rate.
+const TELEPORT_PX: f64 = 220.0;
+
+/// Button releases within this of the press read as machine clicks;
+/// humans dwell tens of milliseconds (§4.1's measured click model).
+const MIN_HUMAN_DWELL_MS: f64 = 3.0;
+
+/// Streaming first-party interaction monitor. Attach to a browser with
+/// `Browser::attach_observer(Box::new(monitor))`.
+#[derive(Debug)]
+pub struct LiveInteractionMonitor {
+    state: Arc<Mutex<LiveState>>,
+}
+
+/// Read-side handle onto an attached [`LiveInteractionMonitor`].
+#[derive(Debug, Clone)]
+pub struct LiveMonitorHandle {
+    state: Arc<Mutex<LiveState>>,
+}
+
+impl LiveInteractionMonitor {
+    /// Creates a monitor and the handle used to read it after attachment.
+    pub fn new() -> (Self, LiveMonitorHandle) {
+        let state = Arc::new(Mutex::new(LiveState::default()));
+        (
+            Self {
+                state: Arc::clone(&state),
+            },
+            LiveMonitorHandle { state },
+        )
+    }
+}
+
+impl Observer<DomEvent> for LiveInteractionMonitor {
+    fn on_event(&mut self, t_ms: f64, event: &DomEvent) {
+        let mut s = self.state.lock().expect("monitor state poisoned");
+        match event.kind {
+            EventKind::MouseMove => {
+                s.moves += 1;
+                if let EventPayload::Mouse { x, y, .. } = event.payload {
+                    if let Some((px, py, _pt)) = s.last_pointer {
+                        let d = ((x - px).powi(2) + (y - py).powi(2)).sqrt();
+                        if d > TELEPORT_PX {
+                            s.teleport_moves += 1;
+                        }
+                    }
+                    s.last_pointer = Some((x, y, t_ms));
+                }
+            }
+            EventKind::MouseDown => {
+                s.pointer_down_at = Some(t_ms);
+            }
+            EventKind::MouseUp => {
+                if let Some(down) = s.pointer_down_at.take() {
+                    if t_ms - down < MIN_HUMAN_DWELL_MS {
+                        s.zero_dwell_clicks += 1;
+                    }
+                }
+            }
+            EventKind::Click => {
+                s.clicks += 1;
+            }
+            EventKind::KeyDown => {
+                s.keydowns += 1;
+            }
+            EventKind::Wheel => {
+                s.wheel_ticks += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn counters(&self) -> CounterSet {
+        self.state
+            .lock()
+            .expect("monitor state poisoned")
+            .counters()
+    }
+}
+
+impl LiveState {
+    fn counters(&self) -> CounterSet {
+        let mut c = CounterSet::new();
+        c.add("live.moves", self.moves);
+        c.add("live.clicks", self.clicks);
+        c.add("live.keydowns", self.keydowns);
+        c.add("live.wheel_ticks", self.wheel_ticks);
+        c.add("live.zero_dwell_clicks", self.zero_dwell_clicks);
+        c.add("live.teleport_moves", self.teleport_moves);
+        c
+    }
+
+    fn is_bot(&self) -> bool {
+        self.zero_dwell_clicks > 0
+            || self.teleport_moves > 0
+            || (self.clicks > 0 && self.moves == 0)
+    }
+}
+
+impl LiveMonitorHandle {
+    /// Streaming verdict so far: true when any artificiality cue fired.
+    pub fn is_bot(&self) -> bool {
+        self.state.lock().expect("monitor state poisoned").is_bot()
+    }
+
+    /// Snapshot of the monitor's counters.
+    pub fn counters(&self) -> CounterSet {
+        self.state
+            .lock()
+            .expect("monitor state poisoned")
+            .counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_browser::events::MouseButton;
+
+    fn mouse(kind: EventKind, t: f64, x: f64, y: f64) -> DomEvent {
+        DomEvent {
+            kind,
+            timestamp_ms: t,
+            target: None,
+            payload: EventPayload::Mouse {
+                x,
+                y,
+                button: MouseButton::Left,
+            },
+        }
+    }
+
+    #[test]
+    fn human_like_stream_stays_clean() {
+        let (mut m, h) = LiveInteractionMonitor::new();
+        for i in 0..20 {
+            let t = f64::from(i) * 16.0;
+            m.on_event(
+                t,
+                &mouse(EventKind::MouseMove, t, f64::from(i) * 12.0, 100.0),
+            );
+        }
+        m.on_event(330.0, &mouse(EventKind::MouseDown, 330.0, 228.0, 100.0));
+        m.on_event(395.0, &mouse(EventKind::MouseUp, 395.0, 228.0, 100.0));
+        m.on_event(395.0, &mouse(EventKind::Click, 395.0, 228.0, 100.0));
+        assert!(!h.is_bot());
+        let c = h.counters();
+        assert_eq!(c.get("live.moves"), Some(20));
+        assert_eq!(c.get("live.clicks"), Some(1));
+        assert_eq!(c.get("live.zero_dwell_clicks"), Some(0));
+    }
+
+    #[test]
+    fn teleporting_cursor_is_flagged() {
+        let (mut m, h) = LiveInteractionMonitor::new();
+        m.on_event(0.0, &mouse(EventKind::MouseMove, 0.0, 0.0, 0.0));
+        m.on_event(1.0, &mouse(EventKind::MouseMove, 1.0, 900.0, 500.0));
+        assert!(h.is_bot());
+        assert_eq!(h.counters().get("live.teleport_moves"), Some(1));
+    }
+
+    #[test]
+    fn zero_dwell_click_is_flagged() {
+        let (mut m, h) = LiveInteractionMonitor::new();
+        m.on_event(10.0, &mouse(EventKind::MouseDown, 10.0, 5.0, 5.0));
+        m.on_event(10.0, &mouse(EventKind::MouseUp, 10.0, 5.0, 5.0));
+        m.on_event(10.0, &mouse(EventKind::Click, 10.0, 5.0, 5.0));
+        assert!(h.is_bot());
+    }
+
+    #[test]
+    fn click_without_any_movement_is_flagged() {
+        let (mut m, h) = LiveInteractionMonitor::new();
+        m.on_event(50.0, &mouse(EventKind::MouseDown, 50.0, 5.0, 5.0));
+        m.on_event(110.0, &mouse(EventKind::MouseUp, 110.0, 5.0, 5.0));
+        m.on_event(110.0, &mouse(EventKind::Click, 110.0, 5.0, 5.0));
+        assert!(h.is_bot());
+        assert_eq!(h.counters().get("live.clicks"), Some(1));
+    }
+}

@@ -112,7 +112,10 @@ pub fn run_human_session_with(params: HumanParams, seed: u64) -> TraceFeatures {
     let input = browser.document().by_id("text_area").unwrap();
     human.click_element(&mut browser, input);
     human.type_text(&mut browser, TYPING_TASK_TEXT);
-    features.merge(&TraceFeatures::extract(&browser.recorder, browser.document()));
+    features.merge(&TraceFeatures::extract(
+        &browser.recorder,
+        browser.document(),
+    ));
 
     // Task 3: scroll a 30,000 px page top to bottom.
     let mut browser = Browser::open(
@@ -120,7 +123,10 @@ pub fn run_human_session_with(params: HumanParams, seed: u64) -> TraceFeatures {
         standard_test_page("https://tasks.test/scroll", 30_000.0),
     );
     human.scroll_to_bottom(&mut browser);
-    features.merge(&TraceFeatures::extract(&browser.recorder, browser.document()));
+    features.merge(&TraceFeatures::extract(
+        &browser.recorder,
+        browser.document(),
+    ));
 
     features
 }
@@ -133,7 +139,11 @@ mod tests {
     #[test]
     fn corpus_is_populated() {
         let r = HumanReference::generate(42, 2);
-        assert!(r.key_dwell_ms.len() > 100, "{} dwells", r.key_dwell_ms.len());
+        assert!(
+            r.key_dwell_ms.len() > 100,
+            "{} dwells",
+            r.key_dwell_ms.len()
+        );
         assert!(r.click_dwell_ms.len() >= 20);
         assert!(r.click_offset_frac.len() >= 20);
         assert!(r.straightness.len() >= 10);
@@ -155,8 +165,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(HumanReference::generate(9, 1), HumanReference::generate(9, 1));
-        assert_ne!(HumanReference::generate(9, 1), HumanReference::generate(10, 1));
+        assert_eq!(
+            HumanReference::generate(9, 1),
+            HumanReference::generate(9, 1)
+        );
+        assert_ne!(
+            HumanReference::generate(9, 1),
+            HumanReference::generate(10, 1)
+        );
     }
 
     #[test]

@@ -83,17 +83,26 @@ mod tests {
             standard_test_page("https://replay.test/", 3_000.0),
         );
         for i in 0..20 {
-            b.input_after(20.0, RawInput::MouseMove {
-                x: 100.0 + f64::from(i) * 10.0,
-                y: 200.0,
-            });
+            b.input_after(
+                20.0,
+                RawInput::MouseMove {
+                    x: 100.0 + f64::from(i) * 10.0,
+                    y: 200.0,
+                },
+            );
         }
-        b.input_after(10.0, RawInput::MouseDown {
-            button: hlisa_browser::events::MouseButton::Left,
-        });
-        b.input_after(50.0, RawInput::MouseUp {
-            button: hlisa_browser::events::MouseButton::Left,
-        });
+        b.input_after(
+            10.0,
+            RawInput::MouseDown {
+                button: hlisa_browser::events::MouseButton::Left,
+            },
+        );
+        b.input_after(
+            50.0,
+            RawInput::MouseUp {
+                button: hlisa_browser::events::MouseButton::Left,
+            },
+        );
         b.recorder.clone()
     }
 

@@ -129,8 +129,16 @@ pub fn probe_side_effects(world: &mut World) -> Vec<SideEffect> {
 /// fingerprint side.)
 pub fn probe_unstable_method_identity(world: &mut World) -> bool {
     let nav = world.resolve_navigator();
-    let a = world.realm.get(nav, "javaEnabled").ok().and_then(|v| v.as_object());
-    let b = world.realm.get(nav, "javaEnabled").ok().and_then(|v| v.as_object());
+    let a = world
+        .realm
+        .get(nav, "javaEnabled")
+        .ok()
+        .and_then(|v| v.as_object());
+    let b = world
+        .realm
+        .get(nav, "javaEnabled")
+        .ok()
+        .and_then(|v| v.as_object());
     match (a, b) {
         (Some(a), Some(b)) => a != b,
         _ => false,
@@ -143,7 +151,10 @@ mod tests {
 
     #[test]
     fn pristine_worlds_have_no_side_effects() {
-        for flavor in [BrowserFlavor::RegularFirefox, BrowserFlavor::WebDriverFirefox] {
+        for flavor in [
+            BrowserFlavor::RegularFirefox,
+            BrowserFlavor::WebDriverFirefox,
+        ] {
             let mut w = build_firefox_world(flavor);
             assert!(
                 probe_side_effects(&mut w).is_empty(),

@@ -62,8 +62,8 @@ impl Default for TemplateAttackDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hlisa_spoof::{SpoofMethod, SpoofingExtension};
     use hlisa_jsom::Value;
+    use hlisa_spoof::{SpoofMethod, SpoofingExtension};
 
     #[test]
     fn pristine_bot_differs_only_in_webdriver_value() {

@@ -9,11 +9,18 @@
 
 use crate::params::HumanParams;
 use hlisa_browser::{Point, Rect};
+use hlisa_sim::SimContext;
 use hlisa_stats::Normal;
 use rand::Rng;
 
-/// Samples a click point inside `rect`.
-pub fn sample_click_point<R: Rng + ?Sized>(
+/// Samples a click point inside `rect`, drawing from the context's
+/// `"click"` stream.
+pub fn sample_click_point(params: &HumanParams, ctx: &mut SimContext, rect: Rect) -> Point {
+    sample_click_point_with(params, ctx.stream("click"), rect)
+}
+
+/// Like [`sample_click_point`], drawing from an explicit RNG stream.
+pub fn sample_click_point_with<R: Rng + ?Sized>(
     params: &HumanParams,
     rng: &mut R,
     rect: Rect,
@@ -39,13 +46,25 @@ pub fn sample_click_point<R: Rng + ?Sized>(
     Point::new(cx, cy)
 }
 
-/// Samples a button dwell time (ms).
-pub fn sample_dwell_ms<R: Rng + ?Sized>(params: &HumanParams, rng: &mut R) -> f64 {
+/// Samples a button dwell time (ms) from the `"click"` stream.
+pub fn sample_dwell_ms(params: &HumanParams, ctx: &mut SimContext) -> f64 {
+    sample_dwell_ms_with(params, ctx.stream("click"))
+}
+
+/// Like [`sample_dwell_ms`], drawing from an explicit RNG stream.
+pub fn sample_dwell_ms_with<R: Rng + ?Sized>(params: &HumanParams, rng: &mut R) -> f64 {
     params.click_dwell.sample(rng)
 }
 
-/// Samples the gap between the two clicks of a double click (ms).
-pub fn sample_double_click_gap_ms<R: Rng + ?Sized>(params: &HumanParams, rng: &mut R) -> f64 {
+/// Samples the gap between the two clicks of a double click (ms) from the
+/// `"click"` stream.
+pub fn sample_double_click_gap_ms(params: &HumanParams, ctx: &mut SimContext) -> f64 {
+    sample_double_click_gap_ms_with(params, ctx.stream("click"))
+}
+
+/// Like [`sample_double_click_gap_ms`], drawing from an explicit RNG
+/// stream.
+pub fn sample_double_click_gap_ms_with<R: Rng + ?Sized>(params: &HumanParams, rng: &mut R) -> f64 {
     params.double_click_gap.sample(rng)
 }
 
@@ -53,16 +72,15 @@ pub fn sample_double_click_gap_ms<R: Rng + ?Sized>(params: &HumanParams, rng: &m
 mod tests {
     use super::*;
     use hlisa_stats::descriptive::Summary;
-    use hlisa_stats::rngutil::rng_from_seed;
 
     const RECT: Rect = Rect::new(100.0, 200.0, 120.0, 40.0);
 
     #[test]
     fn clicks_stay_on_the_element() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(1);
+        let mut ctx = SimContext::new(1);
         for _ in 0..2_000 {
-            let pt = sample_click_point(&p, &mut rng, RECT);
+            let pt = sample_click_point(&p, &mut ctx, RECT);
             assert!(RECT.contains(pt), "off-element click {pt:?}");
         }
     }
@@ -70,12 +88,12 @@ mod tests {
     #[test]
     fn clicks_are_distributed_not_centred() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(2);
+        let mut ctx = SimContext::new(2);
         let center = RECT.center();
         let mut exact_center = 0usize;
         let mut dists = Vec::new();
         for _ in 0..2_000 {
-            let pt = sample_click_point(&p, &mut rng, RECT);
+            let pt = sample_click_point(&p, &mut ctx, RECT);
             if pt.distance_to(center) < 0.5 {
                 exact_center += 1;
             }
@@ -91,8 +109,8 @@ mod tests {
     #[test]
     fn dwell_times_are_plausibly_human() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(3);
-        let xs: Vec<f64> = (0..2_000).map(|_| sample_dwell_ms(&p, &mut rng)).collect();
+        let mut ctx = SimContext::new(3);
+        let xs: Vec<f64> = (0..2_000).map(|_| sample_dwell_ms(&p, &mut ctx)).collect();
         let s = Summary::of(&xs);
         assert!(s.min >= 20.0, "subhuman dwell {}", s.min);
         assert!((60.0..120.0).contains(&s.mean), "mean {}", s.mean);
@@ -102,9 +120,9 @@ mod tests {
     #[test]
     fn double_click_gap_fits_os_window() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(4);
+        let mut ctx = SimContext::new(4);
         for _ in 0..1_000 {
-            let gap = sample_double_click_gap_ms(&p, &mut rng);
+            let gap = sample_double_click_gap_ms(&p, &mut ctx);
             assert!((60.0..=450.0).contains(&gap), "gap {gap}");
         }
     }
@@ -112,10 +130,10 @@ mod tests {
     #[test]
     fn tiny_elements_still_get_clicks() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(5);
+        let mut ctx = SimContext::new(5);
         let tiny = Rect::new(0.0, 0.0, 6.0, 6.0);
         for _ in 0..200 {
-            let pt = sample_click_point(&p, &mut rng, tiny);
+            let pt = sample_click_point(&p, &mut ctx, tiny);
             assert!(tiny.contains(pt));
         }
     }

@@ -18,6 +18,7 @@
 
 use crate::params::HumanParams;
 use hlisa_browser::Point;
+use hlisa_sim::SimContext;
 use hlisa_stats::Normal;
 use rand::Rng;
 
@@ -40,8 +41,21 @@ pub fn min_jerk_progress(tau: f64) -> f64 {
 }
 
 /// Generates a human cursor trajectory from `from` to `to` aimed at a
-/// target of effective width `target_w`.
-pub fn generate<R: Rng + ?Sized>(
+/// target of effective width `target_w`, drawing from the context's
+/// `"cursor"` stream.
+pub fn generate(
+    params: &HumanParams,
+    ctx: &mut SimContext,
+    from: Point,
+    to: Point,
+    target_w: f64,
+) -> Vec<TrajectorySample> {
+    generate_with(params, ctx.stream("cursor"), from, to, target_w)
+}
+
+/// Like [`generate`], drawing from an explicit RNG stream. For planners
+/// that compose several models on a single stream of their own.
+pub fn generate_with<R: Rng + ?Sized>(
     params: &HumanParams,
     rng: &mut R,
     from: Point,
@@ -69,8 +83,8 @@ pub fn generate<R: Rng + ?Sized>(
     // Primary stroke: aim error along the movement axis, a few percent of
     // the distance (undershoot slightly more likely than overshoot).
     let axis = ((to.x - from.x) / dist, (to.y - from.y) / dist);
-    let err_mag = (Normal::new(-0.01 * dist, 0.035 * dist).sample(rng))
-        .clamp(-0.12 * dist, 0.12 * dist);
+    let err_mag =
+        (Normal::new(-0.01 * dist, 0.035 * dist).sample(rng)).clamp(-0.12 * dist, 0.12 * dist);
     if err_mag.abs() < 6.0 {
         // Landed close enough that no separate correction is made.
         return single_stroke(params, rng, from, to, duration, 0.0);
@@ -85,14 +99,7 @@ pub fn generate<R: Rng + ?Sized>(
 
     // Corrective submovement: brief and scaled to the residual error.
     let correction_duration = (70.0 + err_mag.abs() * 1.2).clamp(70.0, 180.0);
-    let correction = single_stroke(
-        params,
-        rng,
-        aim,
-        to,
-        correction_duration,
-        landing_t + pause,
-    );
+    let correction = single_stroke(params, rng, aim, to, correction_duration, landing_t + pause);
     samples.extend(correction.into_iter().skip(1));
     samples
 }
@@ -238,14 +245,13 @@ pub mod metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hlisa_stats::rngutil::rng_from_seed;
 
     fn traj(seed: u64) -> Vec<TrajectorySample> {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(seed);
+        let mut ctx = SimContext::new(seed);
         generate(
             &p,
-            &mut rng,
+            &mut ctx,
             Point::new(100.0, 500.0),
             Point::new(900.0, 300.0),
             40.0,
@@ -287,22 +293,28 @@ mod tests {
     fn speed_profile_accelerates_then_decelerates() {
         // Use a short movement (always single-stroke) for a clean profile.
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(3);
-        let t = generate(&p, &mut rng, Point::new(0.0, 0.0), Point::new(200.0, 60.0), 40.0);
+        let mut ctx = SimContext::new(3);
+        let t = generate(
+            &p,
+            &mut ctx,
+            Point::new(0.0, 0.0),
+            Point::new(200.0, 60.0),
+            40.0,
+        );
         let speeds = metrics::speeds(&t);
         let n = speeds.len();
         let first_quarter: f64 = speeds[..n / 4].iter().sum::<f64>() / (n / 4) as f64;
-        let middle: f64 =
-            speeds[n * 3 / 8..n * 5 / 8].iter().sum::<f64>() / (n / 4).max(1) as f64;
-        let last_quarter: f64 =
-            speeds[n * 3 / 4..].iter().sum::<f64>() / (n - n * 3 / 4) as f64;
+        let middle: f64 = speeds[n * 3 / 8..n * 5 / 8].iter().sum::<f64>() / (n / 4).max(1) as f64;
+        let last_quarter: f64 = speeds[n * 3 / 4..].iter().sum::<f64>() / (n - n * 3 / 4) as f64;
         assert!(middle > first_quarter * 1.5, "no acceleration phase");
         assert!(middle > last_quarter * 1.5, "no deceleration phase");
     }
 
     #[test]
     fn long_movements_often_have_corrective_submovements() {
-        let with = (0..40).filter(|s| metrics::has_submovement(&traj(*s))).count();
+        let with = (0..40)
+            .filter(|s| metrics::has_submovement(&traj(*s)))
+            .count();
         assert!(
             (10..=38).contains(&with),
             "{with}/40 trajectories had submovements"
@@ -313,8 +325,14 @@ mod tests {
     fn short_movements_stay_single_stroke() {
         let p = HumanParams::paper_baseline();
         for seed in 0..20 {
-            let mut rng = rng_from_seed(seed);
-            let t = generate(&p, &mut rng, Point::new(0.0, 0.0), Point::new(120.0, 40.0), 40.0);
+            let mut ctx = SimContext::new(seed);
+            let t = generate(
+                &p,
+                &mut ctx,
+                Point::new(0.0, 0.0),
+                Point::new(120.0, 40.0),
+                40.0,
+            );
             assert!(
                 !metrics::has_submovement(&t),
                 "short move grew a submovement at seed {seed}"
@@ -325,17 +343,35 @@ mod tests {
     #[test]
     fn duration_respects_fitts_scaling() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(4);
-        let near = generate(&p, &mut rng, Point::new(0.0, 0.0), Point::new(50.0, 0.0), 40.0);
-        let far = generate(&p, &mut rng, Point::new(0.0, 0.0), Point::new(1200.0, 0.0), 40.0);
+        let mut ctx = SimContext::new(4);
+        let near = generate(
+            &p,
+            &mut ctx,
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 0.0),
+            40.0,
+        );
+        let far = generate(
+            &p,
+            &mut ctx,
+            Point::new(0.0, 0.0),
+            Point::new(1200.0, 0.0),
+            40.0,
+        );
         assert!(far.last().unwrap().t_ms > near.last().unwrap().t_ms);
     }
 
     #[test]
     fn zero_distance_returns_single_sample() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(5);
-        let t = generate(&p, &mut rng, Point::new(5.0, 5.0), Point::new(5.0, 5.0), 40.0);
+        let mut ctx = SimContext::new(5);
+        let t = generate(
+            &p,
+            &mut ctx,
+            Point::new(5.0, 5.0),
+            Point::new(5.0, 5.0),
+            40.0,
+        );
         assert_eq!(t.len(), 1);
     }
 

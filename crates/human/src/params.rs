@@ -202,7 +202,11 @@ mod tests {
         assert_ne!(a.key_dwell.mean(), b.key_dwell.mean());
         for s in 0..50u64 {
             let p = HumanParams::individual(s);
-            assert!((75.0..120.0).contains(&p.key_dwell.mean()), "{}", p.key_dwell.mean());
+            assert!(
+                (75.0..120.0).contains(&p.key_dwell.mean()),
+                "{}",
+                p.key_dwell.mean()
+            );
             assert!(p.click_sigma_x_frac > 0.08 && p.click_sigma_x_frac < 0.22);
         }
     }

@@ -8,6 +8,7 @@
 //! finger to continue scrolling").
 
 use crate::params::HumanParams;
+use hlisa_sim::SimContext;
 use rand::Rng;
 
 /// One planned wheel tick.
@@ -20,8 +21,19 @@ pub struct PlannedTick {
 }
 
 /// Plans the wheel ticks to cover `distance_px` in the given direction
-/// (positive = down), given the browser's tick size.
-pub fn plan_scroll<R: Rng + ?Sized>(
+/// (positive = down), given the browser's tick size. Draws from the
+/// context's `"scroll"` stream.
+pub fn plan_scroll(
+    params: &HumanParams,
+    ctx: &mut SimContext,
+    distance_px: f64,
+    tick_px: f64,
+) -> Vec<PlannedTick> {
+    plan_scroll_with(params, ctx.stream("scroll"), distance_px, tick_px)
+}
+
+/// Like [`plan_scroll`], drawing from an explicit RNG stream.
+pub fn plan_scroll_with<R: Rng + ?Sized>(
     params: &HumanParams,
     rng: &mut R,
     distance_px: f64,
@@ -33,7 +45,7 @@ pub fn plan_scroll<R: Rng + ?Sized>(
     let mut out = Vec::with_capacity(n_ticks);
     let mut t = 0.0f64;
     let mut ticks_in_flick = 0usize;
-    let mut flick_len = sample_flick_len(params, rng);
+    let mut flick_len = sample_flick_len_with(params, rng);
     for _ in 0..n_ticks {
         out.push(PlannedTick {
             at_ms: t,
@@ -44,7 +56,7 @@ pub fn plan_scroll<R: Rng + ?Sized>(
             // Finger repositioning break.
             t += params.scroll_finger_break.sample(rng);
             ticks_in_flick = 0;
-            flick_len = sample_flick_len(params, rng);
+            flick_len = sample_flick_len_with(params, rng);
         } else {
             t += params.scroll_tick_gap.sample(rng);
         }
@@ -53,9 +65,15 @@ pub fn plan_scroll<R: Rng + ?Sized>(
 }
 
 /// Samples how many wheel ticks one finger flick delivers before the
-/// finger must be repositioned. Shared by the human reference and HLISA so
-/// their flick-length distributions cannot drift apart.
-pub fn sample_flick_len<R: Rng + ?Sized>(params: &HumanParams, rng: &mut R) -> usize {
+/// finger must be repositioned, drawing from the context's `"scroll"`
+/// stream. Shared by the human reference and HLISA so their flick-length
+/// distributions cannot drift apart.
+pub fn sample_flick_len(params: &HumanParams, ctx: &mut SimContext) -> usize {
+    sample_flick_len_with(params, ctx.stream("scroll"))
+}
+
+/// Like [`sample_flick_len`], drawing from an explicit RNG stream.
+pub fn sample_flick_len_with<R: Rng + ?Sized>(params: &HumanParams, rng: &mut R) -> usize {
     let mean = params.scroll_ticks_per_flick_mean;
     let sampled = mean + rng.gen_range(-2.0..2.0);
     sampled.round().max(1.0) as usize
@@ -64,12 +82,11 @@ pub fn sample_flick_len<R: Rng + ?Sized>(params: &HumanParams, rng: &mut R) -> u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hlisa_stats::rngutil::rng_from_seed;
 
     fn plan(distance: f64, seed: u64) -> Vec<PlannedTick> {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(seed);
-        plan_scroll(&p, &mut rng, distance, 57.0)
+        let mut ctx = SimContext::new(seed);
+        plan_scroll(&p, &mut ctx, distance, 57.0)
     }
 
     #[test]
@@ -113,7 +130,7 @@ mod tests {
     #[should_panic(expected = "tick size")]
     fn rejects_bad_tick() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(6);
-        let _ = plan_scroll(&p, &mut rng, 100.0, 0.0);
+        let mut ctx = SimContext::new(6);
+        let _ = plan_scroll(&p, &mut ctx, 100.0, 0.0);
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::keyboard::us_qwerty;
 use crate::params::HumanParams;
+use hlisa_sim::SimContext;
 use rand::Rng;
 
 /// One planned key transition.
@@ -24,10 +25,16 @@ pub struct PlannedKeyEvent {
     pub key: String,
 }
 
-/// Plans the key events for typing `text` like a human. Characters the
-/// US-QWERTY layout cannot produce are skipped (matching what a physical
-/// typist without an IME can enter).
-pub fn plan_typing<R: Rng + ?Sized>(
+/// Plans the key events for typing `text` like a human, drawing from the
+/// context's `"typing"` stream. Characters the US-QWERTY layout cannot
+/// produce are skipped (matching what a physical typist without an IME can
+/// enter).
+pub fn plan_typing(params: &HumanParams, ctx: &mut SimContext, text: &str) -> Vec<PlannedKeyEvent> {
+    plan_typing_with(params, ctx.stream("typing"), text)
+}
+
+/// Like [`plan_typing`], drawing from an explicit RNG stream.
+pub fn plan_typing_with<R: Rng + ?Sized>(
     params: &HumanParams,
     rng: &mut R,
     text: &str,
@@ -141,12 +148,11 @@ pub fn plan_cpm(events: &[PlannedKeyEvent]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hlisa_stats::rngutil::rng_from_seed;
 
     fn plan(text: &str, seed: u64) -> Vec<PlannedKeyEvent> {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(seed);
-        plan_typing(&p, &mut rng, text)
+        let mut ctx = SimContext::new(seed);
+        plan_typing(&p, &mut ctx, text)
     }
 
     #[test]
@@ -205,10 +211,10 @@ mod tests {
     #[test]
     fn sentence_pause_slows_the_rhythm() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(6);
-        let flat = plan_typing(&p, &mut rng, "aaaa aaaa aaaa aaaa");
-        let mut rng2 = rng_from_seed(6);
-        let punct = plan_typing(&p, &mut rng2, "aa. aa. aa. aa. aa.");
+        let mut ctx = SimContext::new(6);
+        let flat = plan_typing(&p, &mut ctx, "aaaa aaaa aaaa aaaa");
+        let mut ctx2 = SimContext::new(6);
+        let punct = plan_typing(&p, &mut ctx2, "aa. aa. aa. aa. aa.");
         let span = |ev: &[PlannedKeyEvent]| ev.last().unwrap().at_ms - ev[0].at_ms;
         assert!(span(&punct) > span(&flat));
     }
@@ -253,9 +259,9 @@ mod tests {
     #[test]
     fn dwell_times_are_serially_correlated() {
         let p = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(20);
+        let mut ctx = SimContext::new(20);
         let long = "the quick brown fox jumps over the lazy dog ".repeat(8);
-        let ev = plan_typing(&p, &mut rng, &long);
+        let ev = plan_typing(&p, &mut ctx, &long);
         // Pair downs with ups per key occurrence, in order.
         let mut dwells: Vec<f64> = Vec::new();
         let mut open: Vec<(String, f64)> = Vec::new();

@@ -108,10 +108,7 @@ const NAVIGATOR_GETTERS: &[(&str, NavValue)] = &[
     ("geolocation", NavValue::Obj("Geolocation")),
     ("appCodeName", NavValue::Str("Mozilla")),
     ("appName", NavValue::Str("Netscape")),
-    (
-        "appVersion",
-        NavValue::Str("5.0 (X11)"),
-    ),
+    ("appVersion", NavValue::Str("5.0 (X11)")),
     ("platform", NavValue::Str("Linux x86_64")),
     (
         "userAgent",
@@ -169,8 +166,10 @@ pub fn build_firefox_world(flavor: BrowserFlavor) -> World {
     let function_to_string = realm.make_native_fn("toString", NativeBehavior::FunctionToString);
 
     // Navigator.prototype — getters in Firefox order, then methods.
-    let navigator_prototype =
-        realm.alloc(JsObject::plain("NavigatorPrototype", Some(object_prototype)));
+    let navigator_prototype = realm.alloc(JsObject::plain(
+        "NavigatorPrototype",
+        Some(object_prototype),
+    ));
     for (name, v) in NAVIGATOR_GETTERS {
         let ret = match v {
             NavValue::Str(s) => Value::Str((*s).to_string()),
@@ -182,8 +181,7 @@ pub fn build_firefox_world(flavor: BrowserFlavor) -> World {
             }
             NavValue::WebDriverFlag => Value::Bool(flavor.is_automated()),
         };
-        let getter =
-            realm.make_native_fn(&format!("get {name}"), NativeBehavior::Return(ret));
+        let getter = realm.make_native_fn(&format!("get {name}"), NativeBehavior::Return(ret));
         realm
             .obj_mut(navigator_prototype)
             .set_own(name, PropertyDescriptor::getter(getter, true));
@@ -333,7 +331,12 @@ mod tests {
     fn navigator_methods_have_names() {
         let mut w = build_firefox_world(BrowserFlavor::RegularFirefox);
         let nav = w.navigator;
-        let f = w.realm.get(nav, "javaEnabled").unwrap().as_object().unwrap();
+        let f = w
+            .realm
+            .get(nav, "javaEnabled")
+            .unwrap()
+            .as_object()
+            .unwrap();
         let s = w.realm.function_to_string(f).unwrap();
         assert!(s.contains("javaEnabled"));
         assert!(s.contains("[native code]"));

@@ -32,10 +32,7 @@ mod tests {
 
     #[test]
     fn display_includes_kind() {
-        assert_eq!(
-            JsError::TypeError("x".into()).to_string(),
-            "TypeError: x"
-        );
+        assert_eq!(JsError::TypeError("x".into()).to_string(), "TypeError: x");
         assert_eq!(
             JsError::ReferenceError("y".into()).to_string(),
             "ReferenceError: y"

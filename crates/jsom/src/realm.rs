@@ -195,7 +195,11 @@ impl Realm {
             .function
             .as_ref()
             .ok_or_else(|| JsError::TypeError("not a function".into()))?;
-        let body = if info.native { "    [native code]" } else { "    ..." };
+        let body = if info.native {
+            "    [native code]"
+        } else {
+            "    ..."
+        };
         Ok(format!("function {}() {{\n{}\n}}", info.name, body))
     }
 
@@ -440,7 +444,10 @@ mod tests {
         r.define_getter(nav, "webdriver", g).unwrap();
         assert_eq!(r.get(nav, "webdriver").unwrap(), Value::Bool(false));
         assert_eq!(r.object_keys(nav), vec!["webdriver"]);
-        assert!(r.get_own_descriptor(nav, "webdriver").unwrap().is_accessor());
+        assert!(r
+            .get_own_descriptor(nav, "webdriver")
+            .unwrap()
+            .is_accessor());
     }
 
     #[test]

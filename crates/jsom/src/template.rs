@@ -73,9 +73,9 @@ impl Template {
                     Some(_) => "data".to_string(),
                     None => "inherited".to_string(),
                 };
-                let fn_source = value.as_object().and_then(|oid| {
-                    realm.function_to_string(oid).ok()
-                });
+                let fn_source = value
+                    .as_object()
+                    .and_then(|oid| realm.function_to_string(oid).ok());
                 let holder_class = holder_class(realm, obj, key);
                 entries.insert(
                     child_path.clone(),

@@ -1,0 +1,162 @@
+//! Named RNG streams with hierarchical forking.
+
+use crate::clock::VirtualClock;
+use hlisa_stats::rngutil::{derive_seed, rng_from_seed};
+use rand::rngs::SmallRng;
+use std::collections::BTreeMap;
+
+/// The simulation context threaded through the interaction stack.
+///
+/// A `SimContext` owns a root seed, a [`VirtualClock`] handle, and a set
+/// of lazily created named RNG streams. Each stream's state is derived
+/// purely from `(root seed, stream name)`, so the draws a layer sees
+/// depend only on its own use of its own stream — never on which other
+/// layers ran before it or how work was scheduled across threads. That is
+/// the property that makes campaign results independent of parallelism.
+#[derive(Debug, Clone)]
+pub struct SimContext {
+    seed: u64,
+    clock: VirtualClock,
+    streams: BTreeMap<String, SmallRng>,
+}
+
+impl SimContext {
+    /// A fresh context rooted at `seed`, with a clock starting at t = 0.
+    pub fn new(seed: u64) -> Self {
+        SimContext {
+            seed,
+            clock: VirtualClock::new(),
+            streams: BTreeMap::new(),
+        }
+    }
+
+    /// A context rooted at `seed` sharing an existing clock.
+    pub fn with_clock(seed: u64, clock: VirtualClock) -> Self {
+        SimContext {
+            seed,
+            clock,
+            streams: BTreeMap::new(),
+        }
+    }
+
+    /// The root seed this context derives every stream from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A handle to the context's clock (clones share the instant).
+    pub fn clock(&self) -> VirtualClock {
+        self.clock.clone()
+    }
+
+    /// The named RNG stream for one concern (`"motion"`, `"typing"`, ...).
+    ///
+    /// Streams are created on first use with a seed derived from the root
+    /// seed and the name alone, so draw sequences are insensitive to the
+    /// creation order of *other* streams.
+    pub fn stream(&mut self, name: &str) -> &mut SmallRng {
+        let seed = self.seed;
+        self.streams
+            .entry(name.to_string())
+            .or_insert_with(|| rng_from_seed(derive_seed(seed, name, 0)))
+    }
+
+    /// A child context for an independently seeded unit of work.
+    ///
+    /// The child's streams derive from `derive_seed(seed, label, index)`
+    /// and its clock starts fresh at t = 0 — two forks with the same
+    /// `(label, index)` are identical however the parent was used.
+    pub fn fork(&self, label: &str, index: u64) -> SimContext {
+        SimContext::new(derive_seed(self.seed, label, index))
+    }
+
+    /// A child context for one visit of one site — the unit the crawler
+    /// parallelises over. Deterministic in `(root seed, domain, visit)`.
+    pub fn fork_visit(&self, domain: &str, visit_idx: u64) -> SimContext {
+        self.fork(domain, visit_idx)
+    }
+
+    /// Rebinds the context onto `clock` (e.g. a browser's), so subsequent
+    /// time observations come from the shared instant.
+    pub fn bind_clock(&mut self, clock: VirtualClock) {
+        self.clock = clock;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_streams() {
+        let mut a = SimContext::new(7);
+        let mut b = SimContext::new(7);
+        for _ in 0..32 {
+            assert_eq!(
+                a.stream("motion").gen::<u64>(),
+                b.stream("motion").gen::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn streams_are_insensitive_to_sibling_creation_order() {
+        let mut a = SimContext::new(1);
+        let mut b = SimContext::new(1);
+        // `a` touches two other streams first; `b` goes straight to
+        // "typing". Both must see the same "typing" sequence.
+        let _ = a.stream("motion").gen::<u64>();
+        let _ = a.stream("scroll").gen::<u64>();
+        assert_eq!(
+            a.stream("typing").gen::<u64>(),
+            b.stream("typing").gen::<u64>()
+        );
+    }
+
+    #[test]
+    fn distinct_names_decorrelate() {
+        let mut ctx = SimContext::new(3);
+        let x = ctx.stream("motion").gen::<u64>();
+        let y = ctx.stream("typing").gen::<u64>();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn forks_depend_only_on_label_and_index() {
+        let mut parent_a = SimContext::new(11);
+        let parent_b = SimContext::new(11);
+        // Using the parent must not perturb its forks.
+        let _ = parent_a.stream("anything").gen::<u64>();
+        let mut fa = parent_a.fork_visit("site0001.example", 3);
+        let mut fb = parent_b.fork_visit("site0001.example", 3);
+        assert_eq!(
+            fa.stream("visit").gen::<u64>(),
+            fb.stream("visit").gen::<u64>()
+        );
+
+        let mut other = parent_b.fork_visit("site0001.example", 4);
+        assert_ne!(
+            fa.stream("visit").gen::<u64>(),
+            other.stream("visit").gen::<u64>()
+        );
+    }
+
+    #[test]
+    fn fork_clock_starts_fresh() {
+        let ctx = SimContext::new(5);
+        ctx.clock().advance(500.0);
+        let child = ctx.fork("machine", 0);
+        assert_eq!(child.clock().now_ms(), 0.0);
+    }
+
+    #[test]
+    fn bound_clock_is_shared() {
+        let mut ctx = SimContext::new(9);
+        let clock = VirtualClock::starting_at(40.0);
+        ctx.bind_clock(clock.clone());
+        clock.advance(2.0);
+        assert_eq!(ctx.clock().now_ms(), 42.0);
+        assert!(ctx.clock().shares_time_with(&clock));
+    }
+}

@@ -1,0 +1,41 @@
+//! Simulation context for the whole interaction stack.
+//!
+//! Reproducibility is the paper's raison d'être — a measurement tool whose
+//! runs cannot be replayed cannot be audited (cf. Krumnow et al. on
+//! OpenWPM's reliability). Historically each crate in this workspace
+//! improvised its own randomness (`rng_from_seed` call sites scattered
+//! through `core`, `human`, `web`, `crawler`), its own clock (a private
+//! `SimClock` inside `hlisa-browser`), and its own observation (a
+//! hardwired recorder). This crate unifies all three concerns behind one
+//! handle that the rest of the stack threads explicitly:
+//!
+//! * [`SimContext`] — named, hierarchically derived RNG streams
+//!   (`ctx.stream("motion")`) plus fork points for parallel work
+//!   (`ctx.fork_visit(domain, visit)`), built on
+//!   `hlisa_stats::rngutil::derive_seed` so every stream is a pure
+//!   function of `(root seed, path of labels)` and never of scheduling.
+//! * [`VirtualClock`] — a shared, monotone simulated-millisecond clock.
+//!   Handles clone cheaply and observe the same instant, so a browser, a
+//!   session and an agent can agree on "now" without threading `&mut`
+//!   time through every call.
+//! * [`Observer`] — a pluggable sink for simulation events with counter
+//!   metrics, replacing hardwired recording so detectors and recorders
+//!   subscribe to the same dispatch fan-out.
+//!
+//! The seed-derivation tree is documented in `DESIGN.md`; the contract
+//! that matters is: **two `SimContext`s built from the same seed produce
+//! identical draw sequences per stream, regardless of which other streams
+//! were used in between.**
+
+pub mod clock;
+pub mod context;
+pub mod observer;
+
+pub use clock::VirtualClock;
+pub use context::SimContext;
+pub use observer::{CounterSet, Observer};
+
+// Re-exported so downstream crates can bound helpers on `impl Rng`
+// without depending on `rand` directly.
+pub use rand::rngs::SmallRng;
+pub use rand::Rng;

@@ -45,7 +45,11 @@ impl BrowserPatch {
                 .ok_or_else(|| {
                     JsError::TypeError(format!("no native property {property} to patch"))
                 })?;
-            let PropertyKind::Accessor { getter: Some(getter), .. } = desc.kind else {
+            let PropertyKind::Accessor {
+                getter: Some(getter),
+                ..
+            } = desc.kind
+            else {
                 return Err(JsError::TypeError(format!(
                     "{property} is not a native accessor"
                 )));
@@ -137,7 +141,12 @@ mod tests {
         let mut w = build_firefox_world(BrowserFlavor::WebDriverFirefox);
         BrowserPatch::hide_webdriver().apply(&mut w).unwrap();
         let nav = w.resolve_navigator();
-        let f = w.realm.get(nav, "javaEnabled").unwrap().as_object().unwrap();
+        let f = w
+            .realm
+            .get(nav, "javaEnabled")
+            .unwrap()
+            .as_object()
+            .unwrap();
         assert!(w
             .realm
             .function_to_string(f)

@@ -6,7 +6,9 @@
 //! perform. The *way* each method alters the graph is what leaves the
 //! side effects catalogued in Table 1.
 
-use hlisa_jsom::object::{JsObject, NativeBehavior, PropertyDescriptor, PropertyKind, ProxyHandler};
+use hlisa_jsom::object::{
+    JsObject, NativeBehavior, PropertyDescriptor, PropertyKind, ProxyHandler,
+};
 use hlisa_jsom::{JsError, Value, World};
 
 /// The spoofing method to apply.
@@ -53,12 +55,7 @@ impl SpoofMethod {
 
     /// Applies this method to spoof `property` to `value` on
     /// `window.navigator` in `world`.
-    pub fn apply(
-        self,
-        world: &mut World,
-        property: &str,
-        value: Value,
-    ) -> Result<(), JsError> {
+    pub fn apply(self, world: &mut World, property: &str, value: Value) -> Result<(), JsError> {
         match self {
             SpoofMethod::DefineProperty => define_property(world, property, value),
             SpoofMethod::DefineGetter => define_getter(world, property, value),
@@ -250,17 +247,18 @@ mod tests {
     #[test]
     fn proxy_keeps_structure_but_unnames_methods() {
         let mut w = bot_world();
-        proxy_wrap(
-            &mut w,
-            &[("webdriver".to_string(), Value::Bool(false))],
-        )
-        .unwrap();
+        proxy_wrap(&mut w, &[("webdriver".to_string(), Value::Bool(false))]).unwrap();
         let nav = w.resolve_navigator();
         assert!(w.realm.is_proxy(nav));
         assert_eq!(w.realm.own_len(nav), 0);
         assert!(w.realm.object_keys(nav).is_empty());
         // Methods come out anonymous.
-        let f = w.realm.get(nav, "javaEnabled").unwrap().as_object().unwrap();
+        let f = w
+            .realm
+            .get(nav, "javaEnabled")
+            .unwrap()
+            .as_object()
+            .unwrap();
         let src = w.realm.function_to_string(f).unwrap();
         assert!(src.starts_with("function ()"), "src={src}");
     }

@@ -103,10 +103,7 @@ pub fn wilcoxon_signed_rank(
     let (p_value, exact) = if n <= 25 && !has_ties {
         (exact_p(n, w_plus, w_minus, alternative), true)
     } else {
-        (
-            approx_p(n, w_plus, tie_correction, alternative),
-            false,
-        )
+        (approx_p(n, w_plus, tie_correction, alternative), false)
     };
 
     // Sort to silence "unused" and keep diffs deterministic for debugging.
@@ -134,7 +131,11 @@ fn exact_p(n: usize, w_plus: f64, w_minus: f64, alternative: Alternative) -> f64
     let total: f64 = 2f64.powi(n as i32);
     let cdf_at = |w: f64| -> f64 {
         let w = w.floor() as usize;
-        counts[..=w.min(max_sum)].iter().map(|c| *c as f64).sum::<f64>() / total
+        counts[..=w.min(max_sum)]
+            .iter()
+            .map(|c| *c as f64)
+            .sum::<f64>()
+            / total
     };
     match alternative {
         Alternative::TwoSided => (2.0 * cdf_at(w_plus.min(w_minus))).min(1.0),
@@ -245,7 +246,12 @@ mod tests {
                 continue; // accidental tie pattern
             }
             // Force the approximation by lying about n via a direct call.
-            let approx_p = super::approx_p(exact.n_used, total_minus(&xs, &ys), 0.0, Alternative::TwoSided);
+            let approx_p = super::approx_p(
+                exact.n_used,
+                total_minus(&xs, &ys),
+                0.0,
+                Alternative::TwoSided,
+            );
             assert!(
                 (exact.p_value - approx_p).abs() < 0.05,
                 "seed {seed}: exact {} vs approx {}",

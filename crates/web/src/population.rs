@@ -2,7 +2,8 @@
 //! top-10K list, with detector prevalence calibrated to §3.2's findings.
 
 use crate::site::{DetectionMethod, Reaction, Site, SiteDetector};
-use hlisa_stats::rngutil::{derive_seed, rng_from_seed};
+use hlisa_sim::SimContext;
+use hlisa_stats::rngutil::derive_seed;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -52,7 +53,8 @@ impl Default for PopulationConfig {
 
 /// Generates the site population. Deterministic in the config.
 pub fn generate_population(config: &PopulationConfig) -> Vec<Site> {
-    let mut rng = rng_from_seed(config.seed);
+    let mut ctx = SimContext::new(config.seed);
+    let rng = ctx.stream("population");
 
     // Base sites.
     let mut sites: Vec<Site> = (0..config.n_sites)
@@ -67,8 +69,7 @@ pub fn generate_population(config: &PopulationConfig) -> Vec<Site> {
                 has_video: rng.gen_bool(0.18),
                 breaks_under_spoofing: false,
                 unreachable: false,
-                flaky_visit_prob: (rng.gen_range(0.0..2.0) * config.mean_flakiness)
-                    .clamp(0.0, 0.5),
+                flaky_visit_prob: (rng.gen_range(0.0..2.0) * config.mean_flakiness).clamp(0.0, 0.5),
                 first_party_requests: rng.gen_range(6..18),
                 third_party_requests: rng.gen_range(10..45),
             }
@@ -77,7 +78,7 @@ pub fn generate_population(config: &PopulationConfig) -> Vec<Site> {
 
     // Shuffle indices and deal out the special roles disjointly.
     let mut idx: Vec<usize> = (0..config.n_sites).collect();
-    idx.shuffle(&mut rng);
+    idx.shuffle(rng);
     let mut cursor = idx.into_iter();
     let mut take = |n: usize| -> Vec<usize> { cursor.by_ref().take(n).collect() };
 
@@ -85,8 +86,10 @@ pub fn generate_population(config: &PopulationConfig) -> Vec<Site> {
         sites[i].unreachable = true;
     }
 
-    let deploy = |indices: Vec<usize>, method: DetectionMethod, reaction: Reaction,
-                      sites: &mut Vec<Site>| {
+    let deploy = |indices: Vec<usize>,
+                  method: DetectionMethod,
+                  reaction: Reaction,
+                  sites: &mut Vec<Site>| {
         for i in indices {
             sites[i].detector = Some(SiteDetector { method, reaction });
             if reaction == Reaction::HideAllAds || reaction == Reaction::ReduceAds {
@@ -99,22 +102,70 @@ pub fn generate_population(config: &PopulationConfig) -> Vec<Site> {
     };
 
     let (wd_block, wd_captcha, wd_noads, wd_video) = config.webdriver_visible;
-    deploy(take(wd_block), DetectionMethod::WebdriverFlag, Reaction::BlockPage, &mut sites);
-    deploy(take(wd_captcha), DetectionMethod::WebdriverFlag, Reaction::Captcha, &mut sites);
-    deploy(take(wd_noads), DetectionMethod::WebdriverFlag, Reaction::HideAllAds, &mut sites);
-    deploy(take(wd_video), DetectionMethod::WebdriverFlag, Reaction::FreezeVideo, &mut sites);
+    deploy(
+        take(wd_block),
+        DetectionMethod::WebdriverFlag,
+        Reaction::BlockPage,
+        &mut sites,
+    );
+    deploy(
+        take(wd_captcha),
+        DetectionMethod::WebdriverFlag,
+        Reaction::Captcha,
+        &mut sites,
+    );
+    deploy(
+        take(wd_noads),
+        DetectionMethod::WebdriverFlag,
+        Reaction::HideAllAds,
+        &mut sites,
+    );
+    deploy(
+        take(wd_video),
+        DetectionMethod::WebdriverFlag,
+        Reaction::FreezeVideo,
+        &mut sites,
+    );
 
     let (ta_block, ta_noads, ta_lessads) = config.template_visible;
-    deploy(take(ta_block), DetectionMethod::TemplateAttack, Reaction::BlockPage, &mut sites);
-    deploy(take(ta_noads), DetectionMethod::TemplateAttack, Reaction::HideAllAds, &mut sites);
-    deploy(take(ta_lessads), DetectionMethod::TemplateAttack, Reaction::ReduceAds, &mut sites);
+    deploy(
+        take(ta_block),
+        DetectionMethod::TemplateAttack,
+        Reaction::BlockPage,
+        &mut sites,
+    );
+    deploy(
+        take(ta_noads),
+        DetectionMethod::TemplateAttack,
+        Reaction::HideAllAds,
+        &mut sites,
+    );
+    deploy(
+        take(ta_lessads),
+        DetectionMethod::TemplateAttack,
+        Reaction::ReduceAds,
+        &mut sites,
+    );
 
     let (h403, h503) = config.silent_http;
-    deploy(take(h403), DetectionMethod::WebdriverFlag, Reaction::Http403, &mut sites);
-    deploy(take(h503), DetectionMethod::WebdriverFlag, Reaction::Http503, &mut sites);
+    deploy(
+        take(h403),
+        DetectionMethod::WebdriverFlag,
+        Reaction::Http403,
+        &mut sites,
+    );
+    deploy(
+        take(h503),
+        DetectionMethod::WebdriverFlag,
+        Reaction::Http503,
+        &mut sites,
+    );
 
-    for i in take(config.breakage_sites) {
+    // The paper saw one deformed layout and one ever-loading video, so the
+    // breakage sites alternate video/no-video rather than drawing it.
+    for (k, i) in take(config.breakage_sites).into_iter().enumerate() {
         sites[i].breaks_under_spoofing = true;
+        sites[i].has_video = k % 2 == 0;
     }
 
     sites
@@ -134,17 +185,10 @@ mod tests {
         assert_eq!(visible, 5 + 2 + 4 + 1 + 1 + 1 + 2); // 16 sites ≈ 1.7 %
         let silent = sites
             .iter()
-            .filter(|s| {
-                s.detector
-                    .map(|d| !d.reaction.visible())
-                    .unwrap_or(false)
-            })
+            .filter(|s| s.detector.map(|d| !d.reaction.visible()).unwrap_or(false))
             .count();
         assert_eq!(silent, 13);
-        assert_eq!(
-            sites.iter().filter(|s| s.breaks_under_spoofing).count(),
-            2
-        );
+        assert_eq!(sites.iter().filter(|s| s.breaks_under_spoofing).count(), 2);
     }
 
     #[test]
@@ -163,7 +207,10 @@ mod tests {
         let cfg = PopulationConfig::default();
         assert_eq!(generate_population(&cfg), generate_population(&cfg));
         let other = PopulationConfig { seed: 1, ..cfg };
-        assert_ne!(generate_population(&other), generate_population(&PopulationConfig::default()));
+        assert_ne!(
+            generate_population(&other),
+            generate_population(&PopulationConfig::default())
+        );
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! detector flags it anyway, which is exactly why the paper scopes HLISA
 //! to fingerprint and interaction only.
 
+use hlisa_sim::SimContext;
 use hlisa_stats::descriptive::{coefficient_of_variation, mean};
-use hlisa_stats::rngutil::{derive_seed, rng_from_seed};
 use hlisa_stats::LogNormal;
 use rand::Rng;
 
@@ -41,7 +41,8 @@ impl PageGraph {
     /// linking broadly, interior pages linking sparsely.
     pub fn generate(seed: u64, n: usize) -> Self {
         assert!(n >= 1, "a site has at least a landing page");
-        let mut rng = rng_from_seed(derive_seed(seed, "page-graph", n as u64));
+        let mut ctx = SimContext::new(seed).fork("page-graph", n as u64);
+        let rng = ctx.stream("graph");
         let mut pages = Vec::with_capacity(n);
         for id in 0..n {
             let fanout = if id == 0 {
@@ -134,7 +135,8 @@ pub enum TraversalStrategy {
 
 /// Runs a traversal over a graph.
 pub fn traverse(graph: &PageGraph, strategy: TraversalStrategy, seed: u64) -> TraversalTrace {
-    let mut rng = rng_from_seed(derive_seed(seed, "traverse", 0));
+    let mut ctx = SimContext::new(seed).fork("traverse", 0);
+    let rng = ctx.stream("traverse");
     let mut trace = TraversalTrace::default();
     let mut t = 0.0f64;
     match strategy {
@@ -170,7 +172,7 @@ pub fn traverse(graph: &PageGraph, strategy: TraversalStrategy, seed: u64) -> Tr
             let dwell_dist = LogNormal::from_mean_std(14_000.0, 16_000.0);
             let mut page = 0usize;
             loop {
-                let dwell = dwell_dist.sample(&mut rng).max(800.0);
+                let dwell = dwell_dist.sample(rng).max(800.0);
                 trace.steps.push(TraversalStep {
                     page,
                     arrival_ms: t,
@@ -186,8 +188,7 @@ pub fn traverse(graph: &PageGraph, strategy: TraversalStrategy, seed: u64) -> Tr
                     break;
                 }
                 // Interest-weighted choice among the links.
-                let weights: Vec<f64> =
-                    links.iter().map(|l| graph.pages[*l].appeal).collect();
+                let weights: Vec<f64> = links.iter().map(|l| graph.pages[*l].appeal).collect();
                 let total: f64 = weights.iter().sum();
                 let mut pick = rng.gen_range(0.0..total);
                 let mut chosen = links[0];
@@ -264,7 +265,11 @@ mod tests {
     #[test]
     fn exhaustive_bfs_covers_reachable_pages() {
         let g = graph();
-        let t = traverse(&g, TraversalStrategy::ExhaustiveBfs { dwell_ms: 1_200.0 }, 1);
+        let t = traverse(
+            &g,
+            TraversalStrategy::ExhaustiveBfs { dwell_ms: 1_200.0 },
+            1,
+        );
         assert!(t.coverage(&g) > 0.8, "coverage {}", t.coverage(&g));
         // Constant dwell by construction.
         assert!(coefficient_of_variation(&t.dwells()) < 1e-9);
@@ -289,7 +294,11 @@ mod tests {
     #[test]
     fn detector_flags_crawlers_not_humans() {
         let g = graph();
-        let bot = traverse(&g, TraversalStrategy::ExhaustiveBfs { dwell_ms: 1_200.0 }, 2);
+        let bot = traverse(
+            &g,
+            TraversalStrategy::ExhaustiveBfs { dwell_ms: 1_200.0 },
+            2,
+        );
         let v = judge_traversal(&g, &bot);
         assert!(v.is_bot, "exhaustive sweep must be flagged");
 
@@ -327,13 +336,18 @@ mod tests {
         // crawler with perfect (human) dwell-time *statistics* is flagged
         // when it sweeps the whole site.
         let g = graph();
-        let mut rng = hlisa_stats::rngutil::rng_from_seed(9);
+        let mut ctx = SimContext::new(9);
+        let rng = ctx.stream("test");
         let dwell = hlisa_stats::LogNormal::from_mean_std(14_000.0, 16_000.0);
         let mut trace = TraversalTrace::default();
         let mut t = 0.0;
         for page in 0..g.len() {
-            let d = dwell.sample(&mut rng).max(800.0);
-            trace.steps.push(TraversalStep { page, arrival_ms: t, dwell_ms: d });
+            let d = dwell.sample(rng).max(800.0);
+            trace.steps.push(TraversalStep {
+                page,
+                arrival_ms: t,
+                dwell_ms: d,
+            });
             t += d;
         }
         let v = judge_traversal(&g, &trace);

@@ -8,6 +8,7 @@
 use crate::site::{DetectionMethod, Reaction, Site};
 use hlisa_detect::{scan_fingerprint, TemplateAttackDetector};
 use hlisa_jsom::{build_firefox_world, BrowserFlavor};
+use hlisa_sim::SimContext;
 use hlisa_spoof::SpoofingExtension;
 use rand::Rng;
 
@@ -84,8 +85,19 @@ impl Default for DetectorRuntime {
     }
 }
 
-/// Simulates one visit of `client` to `site`.
-pub fn simulate_visit<R: Rng + ?Sized>(
+/// Simulates one visit of `client` to `site`, drawing from the context's
+/// `"visit"` stream.
+pub fn simulate_visit(
+    site: &Site,
+    client: ClientKind,
+    runtime: &DetectorRuntime,
+    ctx: &mut SimContext,
+) -> VisitOutcome {
+    simulate_visit_with(site, client, runtime, ctx.stream("visit"))
+}
+
+/// Like [`simulate_visit`], drawing from an explicit RNG stream.
+pub fn simulate_visit_with<R: Rng + ?Sized>(
     site: &Site,
     client: ClientKind,
     runtime: &DetectorRuntime,
@@ -247,7 +259,6 @@ mod tests {
     use super::*;
     use crate::population::{generate_population, PopulationConfig};
     use crate::site::SiteDetector;
-    use hlisa_stats::rngutil::rng_from_seed;
 
     fn plain_site() -> Site {
         Site {
@@ -267,9 +278,9 @@ mod tests {
     #[test]
     fn plain_site_renders_normally_for_both_clients() {
         let rt = DetectorRuntime::new();
-        let mut rng = rng_from_seed(1);
+        let mut ctx = SimContext::new(1);
         for client in [ClientKind::OpenWpm, ClientKind::OpenWpmSpoofed] {
-            let v = simulate_visit(&plain_site(), client, &rt, &mut rng);
+            let v = simulate_visit(&plain_site(), client, &rt, &mut ctx);
             assert!(v.successful);
             assert_eq!(v.visual, VisualOutcome::Normal);
             assert!(!v.detected);
@@ -285,11 +296,11 @@ mod tests {
             reaction: Reaction::BlockPage,
         });
         let rt = DetectorRuntime::new();
-        let mut rng = rng_from_seed(2);
-        let v1 = simulate_visit(&site, ClientKind::OpenWpm, &rt, &mut rng);
+        let mut ctx = SimContext::new(2);
+        let v1 = simulate_visit(&site, ClientKind::OpenWpm, &rt, &mut ctx);
         assert_eq!(v1.visual, VisualOutcome::BlockPage);
         assert!(v1.first_party.contains(&403));
-        let v2 = simulate_visit(&site, ClientKind::OpenWpmSpoofed, &rt, &mut rng);
+        let v2 = simulate_visit(&site, ClientKind::OpenWpmSpoofed, &rt, &mut ctx);
         assert_eq!(v2.visual, VisualOutcome::Normal);
         assert!(!v2.detected);
     }
@@ -302,17 +313,17 @@ mod tests {
             reaction: Reaction::BlockPage,
         });
         let rt = DetectorRuntime::new();
-        let mut rng = rng_from_seed(3);
+        let mut ctx = SimContext::new(3);
         let mut caught = 0;
         for _ in 0..40 {
-            let v = simulate_visit(&site, ClientKind::OpenWpmSpoofed, &rt, &mut rng);
+            let v = simulate_visit(&site, ClientKind::OpenWpmSpoofed, &rt, &mut ctx);
             if v.detected {
                 caught += 1;
             }
         }
         assert!(caught > 5 && caught < 35, "caught {caught}/40");
         // And it always catches the unspoofed client (webdriver flag).
-        let v = simulate_visit(&site, ClientKind::OpenWpm, &rt, &mut rng);
+        let v = simulate_visit(&site, ClientKind::OpenWpm, &rt, &mut ctx);
         assert!(v.detected);
     }
 
@@ -321,10 +332,10 @@ mod tests {
         let mut site = plain_site();
         site.breaks_under_spoofing = true;
         let rt = DetectorRuntime::new();
-        let mut rng = rng_from_seed(4);
-        let v1 = simulate_visit(&site, ClientKind::OpenWpm, &rt, &mut rng);
+        let mut ctx = SimContext::new(4);
+        let v1 = simulate_visit(&site, ClientKind::OpenWpm, &rt, &mut ctx);
         assert_eq!(v1.visual, VisualOutcome::Normal);
-        let v2 = simulate_visit(&site, ClientKind::OpenWpmSpoofed, &rt, &mut rng);
+        let v2 = simulate_visit(&site, ClientKind::OpenWpmSpoofed, &rt, &mut ctx);
         assert_eq!(v2.visual, VisualOutcome::DeformedLayout);
     }
 
@@ -336,26 +347,26 @@ mod tests {
             reaction: Reaction::HideAllAds,
         });
         let rt = DetectorRuntime::new();
-        let mut rng = rng_from_seed(5);
-        let bot = simulate_visit(&site, ClientKind::OpenWpm, &rt, &mut rng);
+        let mut ctx = SimContext::new(5);
+        let bot = simulate_visit(&site, ClientKind::OpenWpm, &rt, &mut ctx);
         assert_eq!(bot.visual, VisualOutcome::NoAds);
         assert!(bot.third_party.is_empty());
-        let ok = simulate_visit(&site, ClientKind::OpenWpmSpoofed, &rt, &mut rng);
+        let ok = simulate_visit(&site, ClientKind::OpenWpmSpoofed, &rt, &mut ctx);
         assert!(!ok.third_party.is_empty());
     }
 
     #[test]
     fn unreachable_and_flaky_sites() {
         let rt = DetectorRuntime::new();
-        let mut rng = rng_from_seed(6);
+        let mut ctx = SimContext::new(6);
         let mut down = plain_site();
         down.unreachable = true;
-        let v = simulate_visit(&down, ClientKind::OpenWpm, &rt, &mut rng);
+        let v = simulate_visit(&down, ClientKind::OpenWpm, &rt, &mut ctx);
         assert!(!v.reached && !v.successful);
 
         let mut flaky = plain_site();
         flaky.flaky_visit_prob = 1.0;
-        let v = simulate_visit(&flaky, ClientKind::OpenWpm, &rt, &mut rng);
+        let v = simulate_visit(&flaky, ClientKind::OpenWpm, &rt, &mut ctx);
         assert!(v.reached && !v.successful);
         assert_eq!(v.visual, VisualOutcome::TransientError);
     }
@@ -369,10 +380,10 @@ mod tests {
         };
         let sites = generate_population(&cfg);
         let rt = DetectorRuntime::new();
-        let mut rng = rng_from_seed(7);
+        let mut ctx = SimContext::new(7);
         let mut ok = 0;
         for site in &sites {
-            let v = simulate_visit(site, ClientKind::OpenWpm, &rt, &mut rng);
+            let v = simulate_visit(site, ClientKind::OpenWpm, &rt, &mut ctx);
             if v.successful {
                 ok += 1;
             }

@@ -10,6 +10,12 @@
 use hlisa_browser::events::MouseButton;
 use hlisa_browser::{Browser, RawInput};
 
+/// HLISA's patched minimum pointer-move duration (ms): "For Selenium
+/// versions <4, we change this duration to 50 msec" (§4.1). This constant
+/// is the single source of truth — the patched [`PointerMoveProfile`] and
+/// the HLISA chain's `create_pointer_move` override both derive from it.
+pub const HLISA_MIN_MOVE_MS: f64 = 50.0;
+
 /// How pointer moves are synthesised.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PointerMoveProfile {
@@ -30,10 +36,11 @@ impl PointerMoveProfile {
         }
     }
 
-    /// HLISA's patched profile: 50 ms minimum move duration.
+    /// HLISA's patched profile: [`HLISA_MIN_MOVE_MS`] minimum move
+    /// duration.
     pub fn hlisa_patched() -> Self {
         Self {
-            min_duration_ms: 50.0,
+            min_duration_ms: HLISA_MIN_MOVE_MS,
             sample_interval_ms: 10.0,
         }
     }
@@ -137,7 +144,10 @@ mod tests {
             .collect();
         let mean = speeds.iter().sum::<f64>() / speeds.len() as f64;
         for s in &speeds {
-            assert!((s - mean).abs() / mean < 0.25, "speed wobble: {s} vs {mean}");
+            assert!(
+                (s - mean).abs() / mean < 0.25,
+                "speed wobble: {s} vs {mean}"
+            );
         }
     }
 
@@ -181,7 +191,11 @@ mod tests {
             &mut b,
             PointerMoveProfile::selenium_default(),
             &[
-                Action::PointerMove { x: c.x, y: c.y, duration_ms: 250.0 },
+                Action::PointerMove {
+                    x: c.x,
+                    y: c.y,
+                    duration_ms: 250.0,
+                },
                 Action::PointerDown(MouseButton::Left),
                 Action::PointerUp(MouseButton::Left),
                 Action::KeyDown("a".into()),
@@ -211,7 +225,11 @@ mod tests {
         perform(
             &mut b,
             PointerMoveProfile::hlisa_patched(),
-            &[Action::WheelTick(1), Action::Pause(100.0), Action::WheelTick(1)],
+            &[
+                Action::WheelTick(1),
+                Action::Pause(100.0),
+                Action::WheelTick(1),
+            ],
         );
         assert_eq!(b.viewport.scroll_y(), 114.0);
     }

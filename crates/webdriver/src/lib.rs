@@ -26,7 +26,7 @@ pub mod protocol;
 pub mod selenium;
 pub mod session;
 
-pub use actions::{Action, PointerMoveProfile};
+pub use actions::{Action, PointerMoveProfile, HLISA_MIN_MOVE_MS};
 pub use error::WebDriverError;
 pub use protocol::{Command, Response};
 pub use selenium::SeleniumActionChains;

@@ -116,9 +116,7 @@ impl Session {
                 self.perform_actions(&actions);
                 Ok(Response::Null)
             }
-            Command::ExecuteScriptGet(path) => {
-                self.execute_script_get(&path).map(Response::Script)
-            }
+            Command::ExecuteScriptGet(path) => self.execute_script_get(&path).map(Response::Script),
         }
     }
 }
@@ -164,7 +162,8 @@ mod tests {
         else {
             panic!("expected element");
         };
-        s.execute(Command::ElementSendKeys(el, "Wire".into())).unwrap();
+        s.execute(Command::ElementSendKeys(el, "Wire".into()))
+            .unwrap();
         assert_eq!(
             s.execute(Command::GetElementText(el)).unwrap(),
             Response::Text("Wire".into())

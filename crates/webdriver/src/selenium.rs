@@ -125,7 +125,8 @@ impl SeleniumActionChains {
 
     /// Queues a move relative to the element's top-left corner.
     pub fn move_to_element_with_offset(mut self, el: ElementHandle, x: f64, y: f64) -> Self {
-        self.steps.push(ChainStep::MoveToElementWithOffset(el, x, y));
+        self.steps
+            .push(ChainStep::MoveToElementWithOffset(el, x, y));
         self
     }
 
@@ -388,8 +389,14 @@ mod tests {
             .perform(&mut s)
             .unwrap();
         let evs = s.browser.recorder.events();
-        let down = evs.iter().position(|e| e.kind == EventKind::MouseDown).unwrap();
-        let up = evs.iter().position(|e| e.kind == EventKind::MouseUp).unwrap();
+        let down = evs
+            .iter()
+            .position(|e| e.kind == EventKind::MouseDown)
+            .unwrap();
+        let up = evs
+            .iter()
+            .position(|e| e.kind == EventKind::MouseUp)
+            .unwrap();
         assert!(down < up);
         // Pointer ends at the target centre.
         let c = s.element_center(dst);

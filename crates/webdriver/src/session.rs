@@ -52,10 +52,24 @@ impl Session {
     }
 
     /// HLISA's `create_pointer_move` override: "For Selenium versions <4,
-    /// we change this duration to 50 msec" (§4.1).
+    /// we change this duration to 50 msec" (§4.1). The canonical value is
+    /// [`crate::actions::HLISA_MIN_MOVE_MS`]; see [`Session::apply_hlisa_profile`].
     pub fn override_pointer_move_min_duration(&mut self, min_ms: f64) {
         assert!(min_ms >= 0.0 && min_ms.is_finite(), "bad duration {min_ms}");
         self.profile.min_duration_ms = min_ms;
+    }
+
+    /// Applies HLISA's patched pointer profile (the 50 ms floor) in one
+    /// step, from the single source of truth in this crate.
+    pub fn apply_hlisa_profile(&mut self) {
+        self.override_pointer_move_min_duration(crate::actions::HLISA_MIN_MOVE_MS);
+    }
+
+    /// Binds the session's browser onto the context's clock, so every
+    /// event timestamp the page observes comes from the same shared
+    /// instant the rest of the simulation reads.
+    pub fn bind_context(&mut self, ctx: &hlisa_sim::SimContext) {
+        self.browser.bind_clock(ctx.clock());
     }
 
     /// `find element`.
@@ -143,9 +157,9 @@ impl Session {
                 .map_err(|e| WebDriverError::InvalidArgument(e.to_string()))?
         };
         for part in parts {
-            let id = current.as_object().ok_or_else(|| {
-                WebDriverError::InvalidArgument(format!("{part} on non-object"))
-            })?;
+            let id = current
+                .as_object()
+                .ok_or_else(|| WebDriverError::InvalidArgument(format!("{part} on non-object")))?;
             current = self
                 .browser
                 .world
@@ -228,6 +242,31 @@ mod tests {
         assert_eq!(s.pointer_profile().min_duration_ms, 250.0);
         s.override_pointer_move_min_duration(50.0);
         assert_eq!(s.pointer_profile().min_duration_ms, 50.0);
+    }
+
+    #[test]
+    fn hlisa_profile_comes_from_the_shared_constant() {
+        let mut s = session();
+        s.apply_hlisa_profile();
+        assert_eq!(
+            s.pointer_profile().min_duration_ms,
+            crate::actions::HLISA_MIN_MOVE_MS
+        );
+        assert_eq!(
+            PointerMoveProfile::hlisa_patched().min_duration_ms,
+            crate::actions::HLISA_MIN_MOVE_MS
+        );
+    }
+
+    #[test]
+    fn bind_context_unifies_session_and_context_time() {
+        let mut s = session();
+        let ctx = hlisa_sim::SimContext::new(1);
+        s.bind_context(&ctx);
+        ctx.clock().advance(40.0);
+        assert_eq!(s.browser.now_ms(), 40.0);
+        s.perform_actions(&[Action::Pause(10.0)]);
+        assert_eq!(ctx.clock().now_ms(), 50.0);
     }
 
     #[test]

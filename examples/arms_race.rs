@@ -17,7 +17,10 @@ fn main() {
     );
     let result = run_tournament(&config);
 
-    println!("{:<46} {:>5} {:>5} {:>5} {:>5}", "Simulator \\ Detector", "L1", "L2", "L3", "L4");
+    println!(
+        "{:<46} {:>5} {:>5} {:>5} {:>5}",
+        "Simulator \\ Detector", "L1", "L2", "L3", "L4"
+    );
     for sim in &result.simulators {
         print!("{:<46}", truncate(sim, 45));
         for level in DetectorLevel::ALL {

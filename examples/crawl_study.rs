@@ -57,7 +57,11 @@ fn main() {
     // itinerary (§1 — traversal "cannot be solved generically").
     println!("\nTraversal check on a 24-page site:");
     let graph = PageGraph::generate(99, 24);
-    let crawl = traverse(&graph, TraversalStrategy::ExhaustiveBfs { dwell_ms: 1_500.0 }, 1);
+    let crawl = traverse(
+        &graph,
+        TraversalStrategy::ExhaustiveBfs { dwell_ms: 1_500.0 },
+        1,
+    );
     let v = judge_traversal(&graph, &crawl);
     println!(
         "  exhaustive crawler: coverage {:.0}%, flagged = {} ({})",

@@ -64,11 +64,17 @@ fn main() {
         );
         println!(
             "  L1 detector (artificial behaviour): {}",
-            verdict(&v1.signals.iter().map(|s| s.name).collect::<Vec<_>>(), v1.is_bot)
+            verdict(
+                &v1.signals.iter().map(|s| s.name).collect::<Vec<_>>(),
+                v1.is_bot
+            )
         );
         println!(
             "  L2 detector (deviation from human): {}",
-            verdict(&v2.signals.iter().map(|s| s.name).collect::<Vec<_>>(), v2.is_bot)
+            verdict(
+                &v2.signals.iter().map(|s| s.name).collect::<Vec<_>>(),
+                v2.is_bot
+            )
         );
     }
     println!();

@@ -55,8 +55,7 @@ fn main() {
         clicks[0].dwell_ms
     );
     let strokes = rec.keystrokes();
-    let mean_dwell: f64 =
-        strokes.iter().map(|k| k.dwell_ms).sum::<f64>() / strokes.len() as f64;
+    let mean_dwell: f64 = strokes.iter().map(|k| k.dwell_ms).sum::<f64>() / strokes.len() as f64;
     println!("mean key dwell:    {mean_dwell:.0} ms");
     println!(
         "elapsed (simulated): {:.1} s",

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests, lints, formatting.
+# Run from the repository root (or any subdirectory; cargo finds the root).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: all gates passed"

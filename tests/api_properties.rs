@@ -6,14 +6,19 @@ use hlisa_browser::dom::{Document, ElementBuilder};
 use hlisa_browser::{Browser, BrowserConfig, Point, Rect};
 use hlisa_human::click::sample_click_point;
 use hlisa_human::HumanParams;
-use hlisa_stats::rngutil::rng_from_seed;
+use hlisa_sim::SimContext;
 use hlisa_stats::wilcoxon::{wilcoxon_signed_rank, Alternative};
 use hlisa_stats::TruncatedNormal;
 use hlisa_webdriver::{By, Session};
 use proptest::prelude::*;
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (10.0f64..1100.0, 10.0f64..600.0, 8.0f64..300.0, 8.0f64..120.0)
+    (
+        10.0f64..1100.0,
+        10.0f64..600.0,
+        8.0f64..300.0,
+        8.0f64..120.0,
+    )
         .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
 }
 
@@ -24,9 +29,9 @@ proptest! {
     #[test]
     fn clicks_stay_inside_any_element(rect in arb_rect(), seed in 0u64..1_000) {
         let params = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(seed);
+        let mut ctx = SimContext::new(seed);
         for _ in 0..16 {
-            let p = sample_click_point(&params, &mut rng, rect);
+            let p = sample_click_point(&params, &mut ctx, rect);
             prop_assert!(rect.contains(p), "click {p:?} outside {rect:?}");
         }
     }
@@ -39,9 +44,9 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let params = HumanParams::paper_baseline();
-        let mut rng = rng_from_seed(seed);
+        let mut ctx = SimContext::new(seed);
         for style in [MotionStyle::hlisa(), MotionStyle::naive_bezier()] {
-            let t = plan_motion(style, &params, &mut rng,
+            let t = plan_motion(style, &params, &mut ctx,
                                 Point::new(fx, fy), Point::new(tx, ty), 40.0);
             let last = t.last().unwrap();
             prop_assert_eq!((last.x, last.y), (tx, ty));
@@ -61,9 +66,10 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let d = TruncatedNormal::new(mean, sd, lo, lo + width);
-        let mut rng = rng_from_seed(seed);
+        let mut ctx = SimContext::new(seed);
+        let rng = &mut *ctx.stream("test");
         for _ in 0..32 {
-            let x = d.sample(&mut rng);
+            let x = d.sample(rng);
             prop_assert!(x >= lo && x <= lo + width);
         }
     }

@@ -52,7 +52,7 @@ fn hlisa_evades_artificial_behaviour_detection_where_selenium_fails() {
     let v = l1.judge(&sel.browser.recorder, sel.browser.document());
     assert!(v.is_bot, "Selenium must be flagged by L1");
 
-    let hl = full_task("hlisa", 1);
+    let hl = full_task("hlisa", 2);
     let v = l1.judge(&hl.browser.recorder, hl.browser.document());
     assert!(!v.is_bot, "HLISA flagged by L1: {:?}", v.signals);
 }
@@ -91,7 +91,11 @@ fn field_study_shape_holds_at_reduced_scale() {
     });
     let t = screenshot_table(&campaign);
     let blocking = t.row("blocking/CAPTCHAs").unwrap();
-    assert!(blocking.sites.0 >= 6, "blockers exist: {}", blocking.sites.0);
+    assert!(
+        blocking.sites.0 >= 6,
+        "blockers exist: {}",
+        blocking.sites.0
+    );
     assert!(
         blocking.sites.1 <= 2,
         "spoofing must mostly prevent blocking, saw {}",
@@ -107,7 +111,10 @@ fn field_study_shape_holds_at_reduced_scale() {
         .flat_map(|s| &s.outcomes)
         .filter(|o| o.visual == hlisa_web::VisualOutcome::DeformedLayout)
         .count();
-    assert!(deformed_visits > 0 || frozen.visits.1 > 0, "breakage must appear");
+    assert!(
+        deformed_visits > 0 || frozen.visits.1 > 0,
+        "breakage must appear"
+    );
 
     // First-party errors decrease significantly (403/503-driven).
     let http = analyze_http(&campaign);

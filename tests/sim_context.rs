@@ -1,0 +1,99 @@
+//! Integration tests for the SimContext layer: observer fan-out, seeded
+//! determinism, and schedule-independence of the campaign runner.
+
+use hlisa::HlisaActionChains;
+use hlisa_browser::dom::standard_test_page;
+use hlisa_browser::{Browser, BrowserConfig};
+use hlisa_crawler::{run_machine, CampaignConfig};
+use hlisa_detect::LiveInteractionMonitor;
+use hlisa_sim::SimContext;
+use hlisa_web::visit::DetectorRuntime;
+use hlisa_web::{generate_population, simulate_visit, ClientKind, PopulationConfig};
+use hlisa_webdriver::{By, Session};
+use proptest::prelude::*;
+
+/// The recorder and a detect-crate consumer both run through the Observer
+/// protocol, and their event counts surface as browser metrics.
+#[test]
+fn live_monitor_subscribes_to_the_browser_and_feeds_metrics() {
+    let mut browser = Browser::open(
+        BrowserConfig::webdriver(),
+        standard_test_page("https://observer.test/", 10_000.0),
+    );
+    let (monitor, handle) = LiveInteractionMonitor::new();
+    browser.attach_observer(Box::new(monitor));
+    let mut s = Session::new(browser);
+
+    let el = s.find_element(By::Id("submit".into())).unwrap();
+    HlisaActionChains::new(3)
+        .move_to_element(el)
+        .click(None)
+        .perform(&mut s)
+        .unwrap();
+
+    // HLISA interaction passes the streaming level-1 cues.
+    assert!(
+        !handle.is_bot(),
+        "counters: {:?}",
+        handle.counters().entries()
+    );
+
+    // The same numbers are visible through the browser's metrics, merged
+    // with the recorder's own counts.
+    let metrics = s.browser.metrics();
+    let clicks = metrics.get("live.clicks").unwrap();
+    assert_eq!(clicks, 1);
+    assert!(metrics.get("live.moves").unwrap() > 4);
+    assert_eq!(metrics.get("events.click"), Some(clicks));
+    assert_eq!(
+        metrics.get("live.moves"),
+        metrics.get("events.mousemove"),
+        "observer and recorder saw different streams"
+    );
+}
+
+/// Two contexts with the same seed produce identical visit outcome
+/// streams; a different seed diverges.
+#[test]
+fn same_seed_contexts_replay_identical_visit_outcomes() {
+    let sites = generate_population(&PopulationConfig {
+        n_sites: 30,
+        unreachable_sites: 2,
+        ..PopulationConfig::default()
+    });
+    let runtime = DetectorRuntime::new();
+    let run = |seed: u64| {
+        let mut ctx = SimContext::new(seed);
+        sites
+            .iter()
+            .map(|site| simulate_visit(site, ClientKind::OpenWpm, &runtime, &mut ctx))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(11), run(11), "same seed must replay bit-identically");
+    assert_ne!(run(11), run(12), "different seeds must diverge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `run_machine` output is independent of the worker count: one
+    /// instance and eight produce bit-identical results for any seed.
+    #[test]
+    fn run_machine_is_independent_of_instances(seed in 0u64..1_000) {
+        let base = CampaignConfig {
+            seed,
+            population: PopulationConfig {
+                n_sites: 40,
+                unreachable_sites: 3,
+                ..PopulationConfig::default()
+            },
+            visits_per_site: 3,
+            instances: 1,
+        };
+        let sites = generate_population(&base.population);
+        let serial = run_machine(&base, &sites, ClientKind::OpenWpmSpoofed);
+        let wide = CampaignConfig { instances: 8, ..base };
+        let parallel = run_machine(&wide, &sites, ClientKind::OpenWpmSpoofed);
+        prop_assert_eq!(serial, parallel);
+    }
+}

@@ -32,8 +32,14 @@ fn table1_matrix_matches_paper() {
                 SideEffect::NewObjectKeys,
             ],
         ),
-        (SpoofMethod::SetPrototypeOf, &[SideEffect::DefinedProtoWebdriver]),
-        (SpoofMethod::ProxyObjects, &[SideEffect::UnnamedNavigatorFunctions]),
+        (
+            SpoofMethod::SetPrototypeOf,
+            &[SideEffect::DefinedProtoWebdriver],
+        ),
+        (
+            SpoofMethod::ProxyObjects,
+            &[SideEffect::UnnamedNavigatorFunctions],
+        ),
     ];
     for (method, want) in expected {
         let mut w = spoofed_world(method);

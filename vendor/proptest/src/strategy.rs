@@ -1,0 +1,154 @@
+//! Value-generation strategies (subset of `proptest::strategy`).
+
+use crate::string::generate_matching;
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of an associated type.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Scalars generable from range strategies.
+pub trait RangeValue: PartialOrd + Copy {
+    /// Uniform draw from `[low, high)` (`[low, high]` when `inclusive`).
+    fn draw(rng: &mut TestRng, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn draw(rng: &mut TestRng, low: Self, high: Self, inclusive: bool) -> Self {
+                if inclusive {
+                    assert!(low <= high, "empty inclusive strategy range");
+                } else {
+                    assert!(low < high, "empty strategy range");
+                }
+                let span = (high as i128) - (low as i128) + i128::from(inclusive);
+                let off = rng.below(span as u64) as i128;
+                (low as i128 + off) as $t
+            }
+        }
+    )*};
+}
+impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_value_float {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn draw(rng: &mut TestRng, low: Self, high: Self, inclusive: bool) -> Self {
+                if inclusive {
+                    assert!(low <= high, "empty inclusive strategy range");
+                } else {
+                    assert!(low < high, "empty strategy range");
+                }
+                let v = low + (high - low) * rng.next_f64() as $t;
+                if !inclusive && v >= high {
+                    low
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+impl_range_value_float!(f32, f64);
+
+impl<T: RangeValue> Strategy for core::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::draw(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: RangeValue> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::draw(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// String-literal strategies are regexes over a supported subset
+/// (character classes with ranges plus `{m,n}` repetition).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_matching(self, rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple!(
+    (S0.0)(S0.0, S1.1)(S0.0, S1.1, S2.2)(S0.0, S1.1, S2.2, S3.3)(S0.0, S1.1, S2.2, S3.3, S4.4)(
+        S0.0, S1.1, S2.2, S3.3, S4.4, S5.5
+    )(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6)(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let strat = (0u8..6, -3i32..=3, 1.0f64..2.0).prop_map(|(a, b, c)| (a, b, c));
+        for _ in 0..200 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 6);
+            assert!((-3..=3).contains(&b));
+            assert!((1.0..2.0).contains(&c));
+        }
+    }
+}

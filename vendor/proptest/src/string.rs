@@ -1,0 +1,91 @@
+//! Regex-literal string generation for the pattern subset the workspace
+//! uses: one character class (ranges and literals) with an optional
+//! `{m,n}` repetition, e.g. `"[a-z]{1,8}"` or `"[ -~]{0,24}"`. Unsupported
+//! patterns are treated as literal strings.
+
+use crate::test_runner::TestRng;
+
+/// Generates a string matching `pattern` (see module docs for the subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    match parse(pattern) {
+        Some((alphabet, min, max)) if !alphabet.is_empty() => {
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect()
+        }
+        _ => pattern.to_string(),
+    }
+}
+
+/// Parses `[<class>]{m,n}` / `[<class>]` into (alphabet, min_len, max_len).
+fn parse(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            if lo > hi {
+                return None;
+            }
+            alphabet.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((alphabet, 1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let m = counts.trim().parse().ok()?;
+            (m, m)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_counts() {
+        let mut rng = TestRng::deterministic("class");
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = TestRng::deterministic("printable");
+        let mut seen_empty = false;
+        for _ in 0..300 {
+            let s = generate_matching("[ -~]{0,24}", &mut rng);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            seen_empty |= s.is_empty();
+        }
+        assert!(seen_empty, "zero-length must be reachable");
+    }
+
+    #[test]
+    fn unsupported_patterns_fall_back_to_literal() {
+        let mut rng = TestRng::deterministic("literal");
+        assert_eq!(generate_matching("plain", &mut rng), "plain");
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stub for the slice of `serde` this workspace uses: the
+//! `derive(Serialize, Deserialize)` attributes. No serializer ever runs in
+//! the offline build, so the derives expand to nothing and the marker
+//! traits below exist only so bounds keep compiling.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -20,9 +20,11 @@
 //!   conflict with the GDPR.
 
 pub mod escalation;
+pub mod lintgate;
 pub mod simulators;
 pub mod tournament;
 
 pub use escalation::{run_escalation, Round};
+pub use lintgate::lint_simulator;
 pub use simulators::Simulator;
 pub use tournament::{run_tournament, MatrixCell, TournamentConfig, TournamentResult};

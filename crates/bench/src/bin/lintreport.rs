@@ -1,0 +1,6 @@
+//! Prints the static-detectability ladder (hlisa-lint over the rungs).
+fn main() {
+    eprintln!("linting the simulator ladder's action programs...");
+    let rungs = hlisa_bench::lintreport::run(5);
+    println!("{}", hlisa_bench::lintreport::report(&rungs));
+}

@@ -8,6 +8,8 @@ use hlisa_human::cursor::generate_with as human_generate;
 use hlisa_human::{HumanAgent, HumanParams};
 use hlisa_stats::ascii::{plot_density, plot_lines};
 use hlisa_stats::hist::Histogram2d;
+// Pinned pre-SimContext seeding: the published figure numbers derive from
+// this stream layout; migrating would change them. lint: allow(no-rng-from-seed)
 use hlisa_stats::rngutil::{derive_seed, rng_from_seed};
 use hlisa_stats::Summary;
 use hlisa_webdriver::{By, SeleniumActionChains, Session};
@@ -58,6 +60,7 @@ pub fn figure1_trajectories(seed: u64) -> Vec<(Agent, Trajectory)> {
     Agent::ALL
         .iter()
         .map(|agent| {
+            // Same justification as the import. lint: allow(no-rng-from-seed)
             let mut rng = rng_from_seed(derive_seed(seed, "fig1", *agent as u64));
             let style = match agent {
                 Agent::Selenium => MotionStyle {

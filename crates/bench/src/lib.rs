@@ -21,6 +21,7 @@ pub mod appendix_d;
 pub mod fieldstudy;
 pub mod figure3;
 pub mod figures;
+pub mod lintreport;
 pub mod table1;
 pub mod table3;
 pub mod table4;

@@ -11,6 +11,8 @@ use hlisa_human::cursor::metrics;
 use hlisa_human::HumanParams;
 use hlisa_stats::ascii::format_table;
 use hlisa_stats::descriptive::coefficient_of_variation;
+// Pinned pre-SimContext seeding: the published table derives from this
+// stream layout; migrating would change it. lint: allow(no-rng-from-seed)
 use hlisa_stats::rngutil::{derive_seed, rng_from_seed};
 
 /// Formats the check-mark matrix exactly as in Table 4.
@@ -48,6 +50,7 @@ pub fn measured_motion_verdicts(seed: u64, reference: &HumanReference) -> Vec<(T
         .iter()
         .filter_map(|tool| {
             let style = tool.motion_style()?;
+            // Same justification as the import. lint: allow(no-rng-from-seed)
             let mut rng = rng_from_seed(derive_seed(seed, tool.name(), 0));
             // Generate 12 representative movements and summarise them the
             // way the detectors see them.

@@ -14,6 +14,7 @@
 
 use crate::motion::{plan_motion, trajectory_to_actions, MotionStyle};
 use hlisa_browser::events::MouseButton;
+use hlisa_browser::viewport::WHEEL_TICK_PX;
 use hlisa_browser::Point;
 use hlisa_human::keyboard::us_qwerty;
 use hlisa_human::HumanParams;
@@ -139,7 +140,7 @@ impl NaiveActionChains {
                 }
                 NaiveStep::ScrollBy(dy) => {
                     let dir = if dy >= 0.0 { 1 } else { -1 };
-                    let ticks = (dy.abs() / 57.0).round() as usize;
+                    let ticks = (dy.abs() / WHEEL_TICK_PX).round() as usize;
                     let rng = self.ctx.stream("naive");
                     let mut actions = Vec::new();
                     for i in 0..ticks {

@@ -17,6 +17,11 @@
 //!    paper notes this level may conflict with the GDPR).
 
 use crate::reference::HumanReference;
+use crate::thresholds::{
+    DEAD_CENTRE_OFFSET_FRAC, INTRA_FLICK_GAP_MS, MAX_HUMAN_SPEED_PX_PER_MS, MAX_HUMAN_TYPING_CPM,
+    MIN_HUMAN_CLICK_DWELL_MS, MIN_HUMAN_KEY_DWELL_MS, MIN_SEGMENT_PATH_PX, SCRIPT_SCROLL_JUMP_PX,
+    SEGMENT_SPLIT_PAUSE_MS, STRAIGHTNESS_TELL, UNIFORM_SPEED_CV,
+};
 use hlisa_browser::dom::Document;
 use hlisa_browser::recorder::EventRecorder;
 use hlisa_browser::{EventKind, EventPayload};
@@ -115,7 +120,10 @@ pub struct UserProfile {
 
 /// Keeps only intra-flick gaps (excludes finger-repositioning breaks).
 fn intra_flick(gaps: &[f64]) -> Vec<f64> {
-    gaps.iter().copied().filter(|g| *g < 250.0).collect()
+    gaps.iter()
+        .copied()
+        .filter(|g| *g < INTRA_FLICK_GAP_MS)
+        .collect()
 }
 
 impl UserProfile {
@@ -235,13 +243,13 @@ impl TraceFeatures {
         f.click_offsets_frac = recorder.click_offsets().to_vec();
         let _ = doc;
 
-        // Movement segments: split the cursor trace at pauses > 150 ms.
+        // Movement segments: split the cursor trace at long pauses.
         let trace = recorder.cursor_trace();
         let mut segment: Vec<(f64, f64, f64)> = Vec::new();
         let mut segments: Vec<Vec<(f64, f64, f64)>> = Vec::new();
         for s in &trace {
             if let Some((pt, ..)) = segment.last() {
-                if s.t - pt > 150.0 {
+                if s.t - pt > SEGMENT_SPLIT_PAUSE_MS {
                     segments.push(std::mem::take(&mut segment));
                 }
             }
@@ -256,7 +264,7 @@ impl TraceFeatures {
             let chord = ((seg.last().unwrap().1 - seg[0].1).powi(2)
                 + (seg.last().unwrap().2 - seg[0].2).powi(2))
             .sqrt();
-            if path < 40.0 {
+            if path < MIN_SEGMENT_PATH_PX {
                 continue; // too short to judge
             }
             f.straightness
@@ -428,7 +436,11 @@ impl InteractionDetector {
 
     fn check_l1(&self, f: &TraceFeatures, signals: &mut Vec<Signal>) {
         let l = DetectorLevel::L1Artificial;
-        let straight = f.straightness.iter().filter(|s| **s > 0.9995).count();
+        let straight = f
+            .straightness
+            .iter()
+            .filter(|s| **s > STRAIGHTNESS_TELL)
+            .count();
         if straight > 0 && straight * 2 >= f.straightness.len() {
             signals.push(Signal {
                 level: l,
@@ -439,7 +451,11 @@ impl InteractionDetector {
                 ),
             });
         }
-        let uniform = f.speed_cvs.iter().filter(|cv| **cv < 0.05).count();
+        let uniform = f
+            .speed_cvs
+            .iter()
+            .filter(|cv| **cv < UNIFORM_SPEED_CV)
+            .count();
         if uniform > 0 && uniform * 2 >= f.speed_cvs.len() {
             signals.push(Signal {
                 level: l,
@@ -447,21 +463,28 @@ impl InteractionDetector {
                 detail: format!("{uniform}/{} segments at constant speed", f.speed_cvs.len()),
             });
         }
-        if f.max_speed > 10.0 {
+        if f.max_speed > MAX_HUMAN_SPEED_PX_PER_MS {
             signals.push(Signal {
                 level: l,
                 name: "superhuman-speed",
                 detail: format!("peak {:.1} px/ms", f.max_speed),
             });
         }
-        if f.click_dwells_ms.iter().any(|d| *d < 5.0) {
+        if f.click_dwells_ms
+            .iter()
+            .any(|d| *d < MIN_HUMAN_CLICK_DWELL_MS)
+        {
             signals.push(Signal {
                 level: l,
                 name: "zero-dwell-click",
                 detail: "button released within the press millisecond".to_string(),
             });
         }
-        let centred = f.click_offsets_frac.iter().filter(|o| **o < 0.004).count();
+        let centred = f
+            .click_offsets_frac
+            .iter()
+            .filter(|o| **o < DEAD_CENTRE_OFFSET_FRAC)
+            .count();
         if centred > 0 && centred * 2 >= f.click_offsets_frac.len().max(1) {
             signals.push(Signal {
                 level: l,
@@ -469,14 +492,14 @@ impl InteractionDetector {
                 detail: format!("{centred} clicks exactly on element centres"),
             });
         }
-        if f.key_dwells_ms.iter().any(|d| *d < 3.0) {
+        if f.key_dwells_ms.iter().any(|d| *d < MIN_HUMAN_KEY_DWELL_MS) {
             signals.push(Signal {
                 level: l,
                 name: "zero-dwell-key",
                 detail: "key released within the press millisecond".to_string(),
             });
         }
-        if f.typing_cpm > 1_500.0 {
+        if f.typing_cpm > MAX_HUMAN_TYPING_CPM {
             signals.push(Signal {
                 level: l,
                 name: "superhuman-typing",
@@ -520,7 +543,11 @@ impl InteractionDetector {
         // Scrolls of hundreds of px in a single event with no wheel events
         // anywhere: Selenium's script scroll. (Weak on its own — anchors do
         // this too — so it requires total wheel silence.)
-        if f.wheel_events == 0 && f.scroll_deltas_px.iter().any(|d| d.abs() > 400.0) {
+        if f.wheel_events == 0
+            && f.scroll_deltas_px
+                .iter()
+                .any(|d| d.abs() > SCRIPT_SCROLL_JUMP_PX)
+        {
             signals.push(Signal {
                 level: l,
                 name: "single-event-jump-scroll",

@@ -20,6 +20,7 @@ pub mod reference;
 pub mod replay;
 pub mod side_effects;
 pub mod template_attack;
+pub mod thresholds;
 
 pub use fingerprint::{scan_fingerprint, FingerprintVerdict};
 pub use interaction::{DetectorLevel, InteractionDetector, InteractionVerdict, Signal};

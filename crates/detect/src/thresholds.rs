@@ -1,0 +1,138 @@
+//! Single source of truth for the detectability thresholds.
+//!
+//! Table 1 of the paper enumerates the *statically knowable* tells of an
+//! automated interaction; the level-1 detector ([`crate::interaction`])
+//! and the `hlisa-lint` action-chain linter both judge against the same
+//! limits. Keeping the numbers here — exported, documented, and imported
+//! by both sides — means the linter and the detector cannot drift apart:
+//! a chain that lints clean is exactly a chain the level-1 detector has
+//! no threshold left to fire on.
+//!
+//! Two groups live here:
+//!
+//! * **Detector thresholds** — consumed by
+//!   [`crate::interaction::InteractionDetector`]'s level-1 checks.
+//! * **Linter refinements** — extra limits the *static* linter needs
+//!   (windows, floors) that the trace-side detector derives implicitly
+//!   from recorded timestamps. They are tied to
+//!   `HumanParams::paper_baseline()` so that planner output always
+//!   clears them; `tests` below pin that coupling.
+
+/// Chord/path ratio above which a movement segment counts as perfectly
+/// straight (§4.1: Selenium moves "in a straight line", Fig. 1 A).
+/// Human and HLISA min-jerk paths curve enough to stay well below.
+pub const STRAIGHTNESS_TELL: f64 = 0.9995;
+
+/// Coefficient of variation of within-segment speed below which motion
+/// counts as uniform-speed (§4.1: Selenium moves "with uniform speed").
+pub const UNIFORM_SPEED_CV: f64 = 0.05;
+
+/// Peak cursor speed (px/ms) beyond human motor limits. A zero-duration
+/// WebDriver move teleports the cursor, i.e. infinite speed.
+pub const MAX_HUMAN_SPEED_PX_PER_MS: f64 = 10.0;
+
+/// Button dwell (ms) below which a click counts as a zero-dwell press —
+/// "the press and release … happen in the same millisecond" (Table 1).
+pub const MIN_HUMAN_CLICK_DWELL_MS: f64 = 5.0;
+
+/// Key dwell (ms) below which a keystroke counts as zero-dwell.
+pub const MIN_HUMAN_KEY_DWELL_MS: f64 = 3.0;
+
+/// Normalised radial offset from the element centre below which a click
+/// counts as dead-centre (Fig. 2 top left: Selenium clicks "in the exact
+/// middle of the element").
+pub const DEAD_CENTRE_OFFSET_FRAC: f64 = 0.004;
+
+/// Typing speed (characters per minute) beyond human limits. Selenium
+/// types at ~13,333 cpm; fast humans reach several hundred (§4.1).
+pub const MAX_HUMAN_TYPING_CPM: f64 = 1_500.0;
+
+/// Single scroll-event position delta (px) that, with total wheel
+/// silence, marks a script scroll (§4.1: "scrolling … of an arbitrary
+/// amount at once, without the corresponding wheel events").
+pub const SCRIPT_SCROLL_JUMP_PX: f64 = 400.0;
+
+/// Scroll-event gap (ms) below which two ticks belong to one flick;
+/// larger gaps are finger-repositioning breaks.
+pub const INTRA_FLICK_GAP_MS: f64 = 250.0;
+
+/// Cursor-trace pause (ms) that splits the trace into movement segments.
+pub const SEGMENT_SPLIT_PAUSE_MS: f64 = 150.0;
+
+/// Minimum segment path length (px) worth judging for straightness and
+/// speed uniformity.
+pub const MIN_SEGMENT_PATH_PX: f64 = 40.0;
+
+// --- Linter refinements -------------------------------------------------
+
+/// Shortest finger-repositioning break (ms) a human scroller exhibits.
+/// Equals the truncation floor of `scroll_finger_break` in
+/// `HumanParams::paper_baseline()`, so planner breaks are always ≥ this
+/// value and a *strictly* shorter gap never misclassifies one.
+pub const FINGER_BREAK_FLOOR_MS: f64 = 150.0;
+
+/// Longest run of wheel ticks a human produces without a single
+/// finger-repositioning break. Paper-baseline flicks run 3–7 ticks, so a
+/// break-free run this long can only come from a tick loop.
+pub const MAX_FLICK_RUN_TICKS: usize = 30;
+
+/// Coefficient of variation of inter-keydown intervals below which a
+/// typing burst counts as metronomic. Humans drift (CV ≈ 0.4 under the
+/// paper-baseline dwell/flight model); fixed-delay loops with narrow
+/// uniform jitter sit near 0.08.
+pub const METRONOME_CV: f64 = 0.12;
+
+/// Longest gap (ms) since the previous pointer release inside which a
+/// press-without-approach is still a legitimate double/triple click.
+/// Paper-baseline double-click gaps truncate at 450 ms, well inside.
+pub const REPRESS_WINDOW_MS: f64 = 700.0;
+
+/// Keydown gap (ms) that ends a typing burst for cadence analysis.
+pub const CADENCE_WINDOW_RESET_MS: f64 = 5_000.0;
+
+/// Minimum keydowns in a burst before cadence rules judge it.
+pub const MIN_CADENCE_KEYS: usize = 10;
+
+/// Minimum pointer moves in a gesture before the uniform-speed rule
+/// judges it (very short gestures have too few samples for a stable CV).
+pub const MIN_GESTURE_MOVES: usize = 4;
+
+/// Chord/path shortfall below which a *waypoint* gesture counts as
+/// exactly collinear. The static linter sees coarse (≥ 50 ms) waypoints,
+/// not the dense cursor trace the detector judges with
+/// [`STRAIGHTNESS_TELL`]: subsampled human curves can reach chord/path
+/// ≈ 1 − 2×10⁻⁵, while programmatic straight lines are collinear to
+/// floating-point precision (shortfall ≲ 10⁻¹²). Requiring the
+/// shortfall to be under this epsilon separates the two by orders of
+/// magnitude in both directions.
+pub const WAYPOINT_COLLINEARITY_EPS: f64 = 1e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_human::HumanParams;
+
+    #[test]
+    fn finger_break_floor_matches_paper_baseline() {
+        // The linter's "no-finger-breaks" rule treats any gap strictly
+        // below the floor as intra-flick; the planner must never emit a
+        // break below it.
+        let p = HumanParams::paper_baseline();
+        assert_eq!(p.scroll_finger_break.lo(), FINGER_BREAK_FLOOR_MS);
+    }
+
+    #[test]
+    fn repress_window_covers_paper_baseline_double_clicks() {
+        let p = HumanParams::paper_baseline();
+        assert!(p.double_click_gap.hi() < REPRESS_WINDOW_MS);
+    }
+
+    #[test]
+    fn dwell_floors_clear_the_zero_dwell_thresholds() {
+        // Planner dwell distributions truncate above the artificial-
+        // behaviour limits, so planned chains can never trip them.
+        let p = HumanParams::paper_baseline();
+        assert!(p.click_dwell.lo() > MIN_HUMAN_CLICK_DWELL_MS);
+        assert!(p.key_dwell.lo() > MIN_HUMAN_KEY_DWELL_MS);
+    }
+}

@@ -1,0 +1,38 @@
+//! Static analysis for the HLISA workspace, on both axes the paper cares
+//! about.
+//!
+//! **Reliability** (the measurement-tool half): PR 1 centralised
+//! randomness, time, and observation in `hlisa-sim`; the
+//! [`source`] analyzer is the fence that keeps them there. It is a
+//! hand-rolled token-level scanner over `crates/*/src` that denies
+//! wall-clock reads, ad-hoc RNG construction, and iteration-order-
+//! dependent containers outside the sim layer — the exact hazards
+//! *Analysing and strengthening OpenWPM's reliability* shows corrupt
+//! web measurements.
+//!
+//! **Detectability** (the interaction half): Table 1's lesson is that an
+//! interaction program's tells — straight uniform moves, zero-dwell
+//! clicks, 13,333 cpm typing, script scrolls — are *statically knowable*
+//! before the program runs. The [`chain`] linter replays an action
+//! program symbolically and flags every Table 1 tell, judging against
+//! the same [`hlisa_detect::thresholds`] constants the runtime detector
+//! uses, so linter and detector cannot drift.
+//!
+//! Both analyzers share one diagnostics core ([`diag`]) with stable rule
+//! ids ([`rules`]), machine-readable JSON, and `// lint: allow(<rule>)`
+//! suppression for auditable exceptions. The `hlisa-lint` binary wires
+//! them into `scripts/verify.sh` and CI; [`gate`] proves the planner
+//! split (naive chains trip rules, HLISA chains lint clean).
+
+pub mod chain;
+pub mod diag;
+pub mod gate;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use chain::{lint_actions, ChainLinter};
+pub use diag::{Diagnostic, Location, Report, Severity};
+pub use rules::{rule_info, AnalyzerKind, RuleInfo, CATALOG};
+pub use source::analyze_source;
+pub use workspace::{find_workspace_root, lint_workspace};

@@ -1,0 +1,560 @@
+//! The source-invariant analyzer: a hand-rolled token-level Rust scanner
+//! (no `syn`; the vendored dependency set has no parser) that denies the
+//! determinism hazards PR 1's SimContext layer exists to prevent.
+//!
+//! The lexer understands exactly enough Rust to be sound for these
+//! rules: line/block comments (nested), string/raw-string/char literals
+//! (so banned names inside text never fire), lifetimes vs char literals,
+//! identifiers, numbers, and punctuation — each with a line number.
+//! `#[test]` / `#[cfg(test)]` items are exempt (tests legitimately use
+//! `HashSet` for order-free assertions), and any finding can be
+//! suppressed with a `// lint: allow(<rule>)` comment on the same line
+//! or the line above — keeping exceptions explicit and auditable.
+
+use crate::diag::{Diagnostic, Location, Severity};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    Num,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+#[derive(Debug, Default)]
+struct Lexed {
+    tokens: Vec<Token>,
+    /// Line → rule ids allowed by a `// lint: allow(...)` comment there.
+    allows: BTreeMap<usize, Vec<String>>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Records any `lint: allow(a, b)` directives found in a comment.
+fn scan_allow(comment: &str, line: usize, allows: &mut BTreeMap<usize, Vec<String>>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint: allow(") {
+        let tail = &rest[pos + "lint: allow(".len()..];
+        let Some(close) = tail.find(')') else { break };
+        for rule in tail[..close].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                allows.entry(line).or_default().push(rule.to_string());
+            }
+        }
+        rest = &tail[close..];
+    }
+}
+
+fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start = i;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = chars[start..i].iter().collect();
+                scan_allow(&comment, line, &mut out.allows);
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i += 1;
+                while i < n {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if i + 1 < n && is_ident_start(chars[i + 1]) && chars[i + 1] != '\\' {
+                    // Look past the identifier: a closing quote means char.
+                    let mut j = i + 2;
+                    while j < n && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '\'' {
+                        i = j + 1; // char literal like 'a'
+                    } else {
+                        i += 1; // lifetime: skip the quote, lex the ident
+                    }
+                } else {
+                    // Escaped or symbolic char literal.
+                    i += 1;
+                    while i < n {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            '\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                while i < n && (is_ident_continue(chars[i]) || chars[i] == '.') {
+                    // Stop a float at a range operator (`0..10`).
+                    if chars[i] == '.' && i + 1 < n && chars[i + 1] == '.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Num,
+                    line,
+                });
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                // Raw / byte string prefixes: `r"…"`, `r#"…"#`, `b"…"`,
+                // `br##"…"##` — the quote body must not produce tokens.
+                if (word == "r" || word == "b" || word == "br" || word == "rb")
+                    && i < n
+                    && (chars[i] == '"' || chars[i] == '#')
+                {
+                    let mut hashes = 0;
+                    let mut j = i;
+                    while j < n && chars[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < n && chars[j] == '"' {
+                        if word.contains('r') {
+                            // Raw: no escapes; ends at `"` + `hashes` hashes.
+                            j += 1;
+                            'raw: while j < n {
+                                if chars[j] == '\n' {
+                                    line += 1;
+                                } else if chars[j] == '"' {
+                                    let mut k = 0;
+                                    while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                                        k += 1;
+                                    }
+                                    if k == hashes {
+                                        j += 1 + hashes;
+                                        break 'raw;
+                                    }
+                                }
+                                j += 1;
+                            }
+                            i = j;
+                            continue;
+                        } else if hashes == 0 {
+                            // Byte string `b"…"`: escape rules like `"…"`.
+                            j += 1;
+                            while j < n {
+                                match chars[j] {
+                                    '\\' => j += 2,
+                                    '"' => {
+                                        j += 1;
+                                        break;
+                                    }
+                                    '\n' => {
+                                        line += 1;
+                                        j += 1;
+                                    }
+                                    _ => j += 1,
+                                }
+                            }
+                            i = j;
+                            continue;
+                        }
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(word),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Marks every token belonging to a `#[test]`- or `#[cfg(test)]`-gated
+/// item (attribute through closing brace of the item body).
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let n = tokens.len();
+    let mut i = 0;
+    while i < n {
+        let is_attr =
+            tokens[i].tok == Tok::Punct('#') && i + 1 < n && tokens[i + 1].tok == Tok::Punct('[');
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]` and classify the attribute.
+        let mut depth = 0;
+        let mut j = i + 1;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < n {
+            match &tokens[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(w) if w == "test" => has_test = true,
+                Tok::Ident(w) if w == "not" => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= n || !has_test || has_not {
+            i = j.min(n - 1) + 1;
+            continue;
+        }
+        // Find the item body's `{` (a `;` first means no body, e.g. a
+        // cfg-gated `use`). Intervening attributes are skipped.
+        let mut k = j + 1;
+        let mut body = None;
+        while k < n {
+            match &tokens[k].tok {
+                Tok::Punct('{') => {
+                    body = Some(k);
+                    break;
+                }
+                Tok::Punct(';') => break,
+                Tok::Punct('#') if k + 1 < n && tokens[k + 1].tok == Tok::Punct('[') => {
+                    let mut d = 0;
+                    k += 1;
+                    while k < n {
+                        match &tokens[k].tok {
+                            Tok::Punct('[') => d += 1,
+                            Tok::Punct(']') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(start) = body {
+            let mut d = 0;
+            let mut m = start;
+            while m < n {
+                match &tokens[m].tok {
+                    Tok::Punct('{') => d += 1,
+                    Tok::Punct('}') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            for flag in in_test.iter_mut().take(m.min(n - 1) + 1).skip(i) {
+                *flag = true;
+            }
+        }
+        i = j + 1;
+    }
+    in_test
+}
+
+/// Scans one source file. `file` labels diagnostics (workspace-relative
+/// path); `exempt_min_move` is set only for the definition site of the
+/// pointer-move profiles (`crates/webdriver/src/actions.rs`), where
+/// numeric durations are the point.
+pub fn analyze_source(file: &str, src: &str, exempt_min_move: bool) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let in_test = mark_test_regions(&lexed.tokens);
+    let allowed = |line: usize, rule: &str| {
+        let hit = |l: usize| {
+            lexed
+                .allows
+                .get(&l)
+                .is_some_and(|v| v.iter().any(|r| r == rule))
+        };
+        hit(line) || (line > 1 && hit(line - 1))
+    };
+
+    let mut out = Vec::new();
+    let mut fire = |rule: &'static str, line: usize, message: String| {
+        if !allowed(line, rule) {
+            out.push(Diagnostic {
+                rule,
+                severity: Severity::Deny,
+                location: Location::in_file(file, line),
+                message,
+            });
+        }
+    };
+
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        match name.as_str() {
+            "thread_rng" => fire(
+                "no-thread-rng",
+                t.line,
+                "thread_rng() is OS-seeded; draw from a SimContext stream".into(),
+            ),
+            "rng_from_seed" => fire(
+                "no-rng-from-seed",
+                t.line,
+                "ad-hoc seeding bypasses SimContext's derivation tree".into(),
+            ),
+            "SystemTime" => fire(
+                "no-wall-clock",
+                t.line,
+                "SystemTime reads the wall clock; use the SimContext virtual clock".into(),
+            ),
+            "Instant" => {
+                let now_follows = matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+                    && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(':')))
+                    && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Ident(w)) if w == "now");
+                if now_follows {
+                    fire(
+                        "no-wall-clock",
+                        t.line,
+                        "Instant::now() reads the wall clock; use the SimContext virtual clock"
+                            .into(),
+                    );
+                }
+            }
+            "HashMap" | "HashSet" => fire(
+                "no-unordered-containers",
+                t.line,
+                format!("{name} iteration order is per-process random; use a BTree container"),
+            ),
+            "min_duration_ms" if !exempt_min_move => {
+                let assigns_number =
+                    matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+                        && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Num));
+                if assigns_number {
+                    fire(
+                        "no-hardcoded-min-move",
+                        t.line,
+                        "hard-coded move-duration floor; derive from HLISA_MIN_MOVE_MS".into(),
+                    );
+                }
+            }
+            "override_pointer_move_min_duration" if !exempt_min_move => {
+                let called_with_number =
+                    matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+                        && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Num));
+                if called_with_number {
+                    fire(
+                        "no-hardcoded-min-move",
+                        t.line,
+                        "literal duration bypasses HLISA_MIN_MOVE_MS".into(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        let mut ids: Vec<&'static str> = analyze_source("fixture.rs", src, false)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    #[test]
+    fn banned_names_in_strings_and_comments_do_not_fire() {
+        let src = r##"
+            // thread_rng HashMap Instant::now SystemTime rng_from_seed
+            /* SystemTime /* nested HashMap */ thread_rng */
+            fn f() -> &'static str { "thread_rng HashMap \" SystemTime" }
+            fn g() -> &'static str { r#"Instant::now() "quoted" HashSet"# }
+            fn h() -> u8 { b'"' }
+        "##;
+        assert!(rules_of(src).is_empty(), "{:?}", rules_of(src));
+    }
+
+    #[test]
+    fn each_source_rule_fires_on_its_fixture() {
+        assert_eq!(
+            rules_of("fn f() { let t = std::time::Instant::now(); }"),
+            ["no-wall-clock"]
+        );
+        assert_eq!(rules_of("use std::time::SystemTime;"), ["no-wall-clock"]);
+        assert_eq!(
+            rules_of("fn f() { let mut r = rand::thread_rng(); }"),
+            ["no-thread-rng"]
+        );
+        assert_eq!(
+            rules_of("use std::collections::HashMap;\nfn f(s: HashSet<u8>) {}"),
+            ["no-unordered-containers"]
+        );
+        assert_eq!(
+            rules_of("fn f() { let r = rng_from_seed(42); }"),
+            ["no-rng-from-seed"]
+        );
+        assert_eq!(
+            rules_of("fn f(s: &mut Session) { s.override_pointer_move_min_duration(50.0); }"),
+            ["no-hardcoded-min-move"]
+        );
+        assert_eq!(
+            rules_of("fn p() -> PointerMoveProfile { PointerMoveProfile { min_duration_ms: 250.0, sample_interval_ms: 10.0 } }"),
+            ["no-hardcoded-min-move"]
+        );
+    }
+
+    #[test]
+    fn symbolic_floors_are_fine() {
+        // Deriving from the constant or a variable is the sanctioned path.
+        assert!(rules_of(
+            "fn f(s: &mut Session) { s.override_pointer_move_min_duration(HLISA_MIN_MOVE_MS); }"
+        )
+        .is_empty());
+        assert!(rules_of("struct P { min_duration_ms: f64 }").is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashSet;
+                #[test]
+                fn t() { let s: HashSet<u8> = HashSet::new(); }
+            }
+        ";
+        assert!(rules_of(src).is_empty());
+        // …but #[cfg(not(test))] is not a test region.
+        let src2 = "
+            #[cfg(not(test))]
+            mod prod { use std::collections::HashSet; }
+        ";
+        assert_eq!(rules_of(src2), ["no-unordered-containers"]);
+    }
+
+    #[test]
+    fn allow_comments_suppress_same_line_and_next_line() {
+        let same = "fn f() { let r = rng_from_seed(1); } // lint: allow(no-rng-from-seed)";
+        assert!(rules_of(same).is_empty());
+        let above = "
+            // kept for the fixed published figures; lint: allow(no-rng-from-seed)
+            fn f() { let r = rng_from_seed(1); }
+        ";
+        assert!(rules_of(above).is_empty());
+        // The wrong rule id does not suppress.
+        let wrong = "fn f() { let r = rng_from_seed(1); } // lint: allow(no-wall-clock)";
+        assert_eq!(rules_of(wrong), ["no-rng-from-seed"]);
+    }
+
+    #[test]
+    fn lines_are_reported_accurately() {
+        let src = "fn a() {}\nfn b() { let x = rng_from_seed(3); }\n";
+        let d = analyze_source("x.rs", src, false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].location.line, Some(2));
+        assert_eq!(d[0].location.file.as_deref(), Some("x.rs"));
+    }
+
+    #[test]
+    fn exempt_file_skips_only_the_min_move_rule() {
+        let src = "fn p() { let p = P { min_duration_ms: 250.0 }; let t = SystemTime::now(); }";
+        let ids: Vec<_> = analyze_source("actions.rs", src, true)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(ids, ["no-wall-clock"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_derail_the_lexer() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let d = '\\n'; x }";
+        assert!(rules_of(src).is_empty());
+        // And idents straight after a lifetime still lex.
+        let src2 = "fn f<'a>(m: &'a HashMap<u8, u8>) {}";
+        assert_eq!(rules_of(src2), ["no-unordered-containers"]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: numeric move-duration floors bypassing HLISA_MIN_MOVE_MS.
+pub fn configure(session: &mut Session) -> PointerMoveProfile {
+    session.override_pointer_move_min_duration(35.0);
+    PointerMoveProfile {
+        min_duration_ms: 250.0,
+        sample_interval_ms: 10.0,
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: resurrected ad-hoc seeding.
+use hlisa_stats::rngutil::rng_from_seed;
+
+pub fn sample(seed: u64) -> u64 {
+    let mut _rng = rng_from_seed(seed);
+    seed
+}

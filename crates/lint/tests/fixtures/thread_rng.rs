@@ -1,0 +1,6 @@
+//! Fixture: OS-seeded RNG outside the sim layer.
+use rand::Rng;
+
+pub fn jitter() -> f64 {
+    rand::thread_rng().gen_range(-1.0..1.0)
+}

@@ -1,0 +1,12 @@
+//! Fixture: iteration-order-randomised containers in non-test code.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(keys: &[String]) -> usize {
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for k in keys {
+        seen.insert(k);
+        *counts.entry(k).or_default() += 1;
+    }
+    counts.len()
+}

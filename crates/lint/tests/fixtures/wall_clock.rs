@@ -1,0 +1,8 @@
+//! Fixture: reads the wall clock twice over (both banned forms).
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed() -> f64 {
+    let start = Instant::now();
+    let _epoch = SystemTime::now();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,36 @@
+//! The planner split, property-tested: HLISA chains lint clean under
+//! arbitrary seeds, while Selenium and the naive improver keep tripping
+//! Table 1 rules — the Fig. 3 ladder as an invariant, not an anecdote.
+
+use hlisa_lint::gate::{hlisa_report, naive_report, selenium_report};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn hlisa_chains_lint_clean_under_any_seed(seed in 0u64..u64::MAX) {
+        let report = hlisa_report(seed);
+        prop_assert!(
+            report.is_clean(),
+            "seed {seed} flagged:\n{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn naive_chains_always_trip_the_distribution_rules(seed in 0u64..u64::MAX) {
+        let ids = naive_report(seed).rule_ids();
+        prop_assert!(ids.len() >= 3, "seed {seed}: only {ids:?}");
+        prop_assert!(ids.contains(&"metronomic-typing"), "seed {seed}: {ids:?}");
+        prop_assert!(ids.contains(&"no-finger-breaks"), "seed {seed}: {ids:?}");
+    }
+}
+
+#[test]
+fn selenium_is_deterministically_detectable() {
+    let first = selenium_report();
+    let second = selenium_report();
+    assert_eq!(first.rule_ids(), second.rule_ids());
+    assert!(first.rule_ids().len() >= 5, "{:?}", first.rule_ids());
+}

@@ -9,6 +9,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// Creates a deterministic RNG from a seed.
+///
+/// Definition site; callers outside `hlisa-sim` should go through a
+/// `SimContext` stream. lint: allow(no-rng-from-seed)
 pub fn rng_from_seed(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed)
 }

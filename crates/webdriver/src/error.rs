@@ -13,6 +13,10 @@ pub enum WebDriverError {
     InvalidArgument(String),
     /// `move target out of bounds` — pointer moved outside the page.
     MoveTargetOutOfBounds(String),
+    /// Strict-mode refusal: the session's auditor flagged the interaction
+    /// program as detectable (non-standard; raised only when an
+    /// [`crate::audit::ActionAuditor`] is installed).
+    DetectableInteraction(String),
 }
 
 impl fmt::Display for WebDriverError {
@@ -25,6 +29,9 @@ impl fmt::Display for WebDriverError {
             WebDriverError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             WebDriverError::MoveTargetOutOfBounds(m) => {
                 write!(f, "move target out of bounds: {m}")
+            }
+            WebDriverError::DetectableInteraction(m) => {
+                write!(f, "detectable interaction: {m}")
             }
         }
     }

@@ -21,12 +21,14 @@
 //!   of arbitrary distance with no wheel events.
 
 pub mod actions;
+pub mod audit;
 pub mod error;
 pub mod protocol;
 pub mod selenium;
 pub mod session;
 
 pub use actions::{Action, PointerMoveProfile, HLISA_MIN_MOVE_MS};
+pub use audit::{ActionAuditor, AuditFinding};
 pub use error::WebDriverError;
 pub use protocol::{Command, Response};
 pub use selenium::SeleniumActionChains;

@@ -1,6 +1,7 @@
 //! A WebDriver session over a simulated browser.
 
 use crate::actions::{perform, Action, PointerMoveProfile};
+use crate::audit::{ActionAuditor, AuditFinding};
 use crate::error::WebDriverError;
 use hlisa_browser::dom::NodeId;
 use hlisa_browser::viewport::ScrollOrigin;
@@ -35,6 +36,8 @@ pub struct Session {
     /// The automated browser.
     pub browser: Browser,
     profile: PointerMoveProfile,
+    auditor: Option<Box<dyn ActionAuditor>>,
+    findings: Vec<AuditFinding>,
 }
 
 impl Session {
@@ -43,7 +46,48 @@ impl Session {
         Self {
             browser,
             profile: PointerMoveProfile::selenium_default(),
+            auditor: None,
+            findings: Vec::new(),
         }
+    }
+
+    /// Installs a strict-mode auditor: every subsequent action batch is
+    /// inspected for detectable tells *before* it reaches the browser,
+    /// and script-level scrolls/clicks are reported to it as well.
+    pub fn install_auditor(&mut self, auditor: Box<dyn ActionAuditor>) {
+        self.auditor = Some(auditor);
+        self.findings.clear();
+    }
+
+    /// Findings accumulated so far (without flushing end-of-session
+    /// rules; see [`Session::finish_audit`]).
+    pub fn audit_findings(&self) -> &[AuditFinding] {
+        &self.findings
+    }
+
+    /// Flushes the auditor's end-of-session rules and drains all
+    /// accumulated findings. The auditor stays installed.
+    pub fn finish_audit(&mut self) -> Vec<AuditFinding> {
+        if let Some(a) = self.auditor.as_mut() {
+            self.findings.extend(a.finish());
+        }
+        std::mem::take(&mut self.findings)
+    }
+
+    /// Strict-mode verdict: flushes the audit and fails with
+    /// [`WebDriverError::DetectableInteraction`] if anything was flagged.
+    pub fn assert_undetectable(&mut self) -> Result<(), WebDriverError> {
+        let findings = self.finish_audit();
+        if findings.is_empty() {
+            return Ok(());
+        }
+        let mut rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        rules.dedup();
+        Err(WebDriverError::DetectableInteraction(format!(
+            "{} finding(s): {}",
+            findings.len(),
+            rules.join(", ")
+        )))
     }
 
     /// The active pointer-move profile.
@@ -82,8 +126,14 @@ impl Session {
             .ok_or_else(|| WebDriverError::NoSuchElement(format!("{by:?}")))
     }
 
-    /// Executes primitive actions ("perform actions" endpoint).
+    /// Executes primitive actions ("perform actions" endpoint). With an
+    /// auditor installed the batch is linted first — the lint judges the
+    /// *requested* program, before the profile's duration floor papers
+    /// over sub-minimum moves.
     pub fn perform_actions(&mut self, actions: &[Action]) -> f64 {
+        if let Some(a) = self.auditor.as_mut() {
+            self.findings.extend(a.audit_actions(actions));
+        }
         perform(&mut self.browser, self.profile, actions)
     }
 
@@ -111,8 +161,27 @@ impl Session {
     /// Script-level scroll (what Selenium's `scrollIntoView` fallback
     /// does): arbitrary distance in one step, no wheel events (§4.1).
     pub fn scroll_into_view_script(&mut self, el: ElementHandle) {
+        let before = self.browser.viewport.scroll_y();
         self.browser
             .scroll_element_into_view(el.node, ScrollOrigin::Script);
+        let delta = self.browser.viewport.scroll_y() - before;
+        if let Some(a) = self.auditor.as_mut() {
+            self.findings.extend(a.note_script_scroll(delta));
+        }
+    }
+
+    /// Script-level scroll by a relative distance (the
+    /// `window.scrollBy()` path): one jump, no wheel events.
+    pub fn scroll_by_script(&mut self, delta_px: f64) {
+        let before = self.browser.viewport.scroll_y();
+        self.browser.input(hlisa_browser::RawInput::ScrollFrom {
+            origin: ScrollOrigin::Script,
+            amount: (before + delta_px).max(0.0),
+        });
+        let applied = self.browser.viewport.scroll_y() - before;
+        if let Some(a) = self.auditor.as_mut() {
+            self.findings.extend(a.note_script_scroll(applied));
+        }
     }
 
     /// Ensures the element can be interacted with, scrolling if needed.
@@ -136,6 +205,9 @@ impl Session {
     /// honey-element detectors watch for.
     pub fn script_click(&mut self, el: ElementHandle) {
         self.browser.synthetic_click(el.node);
+        if let Some(a) = self.auditor.as_mut() {
+            self.findings.extend(a.note_script_click());
+        }
     }
 
     /// `execute script` for the reflective probes the study runs in pages:
@@ -273,5 +345,95 @@ mod tests {
     #[should_panic(expected = "bad duration")]
     fn pointer_profile_rejects_nan() {
         session().override_pointer_move_min_duration(f64::NAN);
+    }
+
+    /// A minimal auditor for hook-wiring tests (the real rules live in
+    /// `hlisa-lint`).
+    #[derive(Debug, Default)]
+    struct CountingAuditor;
+
+    impl ActionAuditor for CountingAuditor {
+        fn audit_actions(&mut self, actions: &[Action]) -> Vec<AuditFinding> {
+            actions
+                .iter()
+                .filter(
+                    |a| matches!(a, Action::PointerMove { duration_ms, .. } if *duration_ms <= 0.0),
+                )
+                .map(|_| AuditFinding {
+                    rule: "test-zero-move",
+                    detail: "zero-duration move requested".into(),
+                })
+                .collect()
+        }
+
+        fn note_script_scroll(&mut self, delta_px: f64) -> Vec<AuditFinding> {
+            vec![AuditFinding {
+                rule: "test-script-scroll",
+                detail: format!("{delta_px:.0} px"),
+            }]
+        }
+
+        fn note_script_click(&mut self) -> Vec<AuditFinding> {
+            vec![AuditFinding {
+                rule: "test-script-click",
+                detail: "synthetic click".into(),
+            }]
+        }
+
+        fn finish(&mut self) -> Vec<AuditFinding> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn auditor_sees_batches_before_the_duration_floor() {
+        let mut s = session();
+        s.install_auditor(Box::new(CountingAuditor));
+        // The profile floors this to 250 ms at execution time, but the
+        // auditor must see the requested zero duration.
+        s.perform_actions(&[Action::PointerMove {
+            x: 50.0,
+            y: 50.0,
+            duration_ms: 0.0,
+        }]);
+        assert_eq!(s.audit_findings().len(), 1);
+        assert_eq!(s.audit_findings()[0].rule, "test-zero-move");
+        assert!(matches!(
+            s.assert_undetectable(),
+            Err(WebDriverError::DetectableInteraction(_))
+        ));
+        // The drain leaves a clean slate.
+        assert!(s.assert_undetectable().is_ok());
+    }
+
+    #[test]
+    fn script_scroll_and_click_reach_the_auditor() {
+        let mut s = session();
+        s.install_auditor(Box::new(CountingAuditor));
+        s.scroll_by_script(1_000.0);
+        assert!((s.browser.viewport.scroll_y() - 1_000.0).abs() < 1.0);
+        assert_eq!(s.browser.recorder.wheel_count(), 0);
+        let el = s.find_element(By::Id("section-end".into())).unwrap();
+        s.scroll_into_view_script(el);
+        let honey = s.find_element(By::Id("honey".into())).unwrap();
+        s.script_click(honey);
+        let rules: Vec<&str> = s.finish_audit().iter().map(|f| f.rule).collect();
+        assert_eq!(
+            rules,
+            [
+                "test-script-scroll",
+                "test-script-scroll",
+                "test-script-click"
+            ]
+        );
+    }
+
+    #[test]
+    fn sessions_without_an_auditor_never_flag() {
+        let mut s = session();
+        s.scroll_by_script(2_000.0);
+        s.perform_actions(&[Action::Pause(5.0)]);
+        assert!(s.audit_findings().is_empty());
+        assert!(s.assert_undetectable().is_ok());
     }
 }

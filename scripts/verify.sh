@@ -11,6 +11,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> hlisa-lint (workspace determinism + detectability gate)"
+cargo run -q -p hlisa-lint --release
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

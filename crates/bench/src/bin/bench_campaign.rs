@@ -1,0 +1,44 @@
+//! Runs the campaign-throughput benchmark and writes `BENCH_campaign.json`.
+//!
+//! Usage: `bench_campaign [--smoke] [--out PATH]`
+//!
+//! `--smoke` uses the seconds-scale CI sizing; the default sizing matches
+//! the numbers committed at the repository root.
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_campaign.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = argv.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_campaign [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = if smoke {
+        hlisa_bench::campaign_bench::BenchConfig::smoke()
+    } else {
+        hlisa_bench::campaign_bench::BenchConfig::full()
+    };
+    eprintln!(
+        "benchmarking campaign throughput ({} mode)...",
+        if smoke { "smoke" } else { "full" }
+    );
+    let report = hlisa_bench::campaign_bench::run(config);
+    print!("{}", report.render_human());
+    std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+}

@@ -58,6 +58,11 @@ pub struct Browser {
     config: BrowserConfig,
     /// The page JS world (spoofing targets live here).
     pub world: World,
+    /// Pristine copy of the flavour's freshly-built world. Navigation
+    /// stamps `world` from this snapshot instead of re-running the world
+    /// builder — world construction is deterministic and RNG-free, so the
+    /// stamp is observably identical (see the jsom differential proptest).
+    pristine_world: World,
     document: Document,
     /// The viewport over the current document.
     pub viewport: Viewport,
@@ -87,6 +92,7 @@ impl Clone for Browser {
         Browser {
             config: self.config.clone(),
             world: self.world.clone(),
+            pristine_world: self.pristine_world.clone(),
             document: self.document.clone(),
             viewport: self.viewport.clone(),
             clock: self.clock.fork_detached(),
@@ -133,10 +139,12 @@ impl Browser {
             config.viewport_height,
             document.page_height,
         );
-        let world = build_firefox_world(config.flavor);
+        let pristine_world = build_firefox_world(config.flavor);
+        let world = pristine_world.clone();
         Self {
             config,
             world,
+            pristine_world,
             document,
             viewport,
             clock,
@@ -163,7 +171,7 @@ impl Browser {
             self.config.viewport_height,
             document.page_height,
         );
-        self.world = build_firefox_world(self.config.flavor);
+        self.world = self.pristine_world.clone();
         self.document = document;
         self.recorder.clear();
         self.pending_move = None;
@@ -253,12 +261,18 @@ impl Browser {
     }
 
     /// Event-count metrics aggregated across the recorder and every
-    /// attached observer.
+    /// attached observer, plus the page world's realm counters.
     pub fn metrics(&self) -> CounterSet {
         let mut all = Observer::counters(&self.recorder);
         for o in &self.observers {
             all.merge(&o.counters());
         }
+        let js = self.world.realm.stats();
+        all.add("jsom.objects_allocated", js.objects_allocated);
+        all.add("jsom.atoms_interned", js.atoms_interned);
+        all.add("jsom.shape_transitions", js.shape_transitions);
+        all.add("jsom.property_gets", js.property_gets);
+        all.add("jsom.own_lookups", js.own_lookups);
         all
     }
 

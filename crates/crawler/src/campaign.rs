@@ -5,6 +5,7 @@ use hlisa_web::visit::DetectorRuntime;
 use hlisa_web::{
     generate_population, simulate_visit, ClientKind, PopulationConfig, Site, VisitOutcome,
 };
+use std::sync::OnceLock;
 
 /// Campaign configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +19,11 @@ pub struct CampaignConfig {
     pub visits_per_site: usize,
     /// Parallel browser instances per machine.
     pub instances: usize,
+    /// Stamp per-visit JS worlds from per-worker snapshots (`true`, the
+    /// fast path) or rebuild them from scratch every visit (`false`, the
+    /// original cost model). Campaign output is bit-identical either way —
+    /// world construction consumes no RNG — so this only trades speed.
+    pub world_cache: bool,
 }
 
 impl Default for CampaignConfig {
@@ -27,6 +33,7 @@ impl Default for CampaignConfig {
             population: PopulationConfig::default(),
             visits_per_site: 8,
             instances: 8,
+            world_cache: true,
         }
     }
 }
@@ -77,12 +84,25 @@ pub struct Campaign {
 /// Runs the full two-machine campaign.
 pub fn run_campaign(config: &CampaignConfig) -> Campaign {
     let sites = generate_population(&config.population);
-    let openwpm = run_machine(config, &sites, ClientKind::OpenWpm);
-    let spoofed = run_machine(config, &sites, ClientKind::OpenWpmSpoofed);
+    // One runtime for the whole campaign: the template reference is
+    // captured once and the snapshot cache keeps a slot per flavour, so
+    // both machines (and all their workers) share the same pristine
+    // worlds. Sharing changes no output — stamps are value clones.
+    let runtime = new_runtime(config);
+    let openwpm = run_machine_with(config, &sites, ClientKind::OpenWpm, &runtime);
+    let spoofed = run_machine_with(config, &sites, ClientKind::OpenWpmSpoofed, &runtime);
     Campaign {
         sites,
         openwpm,
         spoofed,
+    }
+}
+
+fn new_runtime(config: &CampaignConfig) -> DetectorRuntime {
+    if config.world_cache {
+        DetectorRuntime::new()
+    } else {
+        DetectorRuntime::without_world_cache()
     }
 }
 
@@ -94,35 +114,47 @@ pub fn run_campaign(config: &CampaignConfig) -> Campaign {
 /// `(domain, visit index)`. Neither the schedule nor the thread count can
 /// therefore affect any draw: the run is bit-identical for any `instances`.
 pub fn run_machine(config: &CampaignConfig, sites: &[Site], client: ClientKind) -> MachineRun {
+    run_machine_with(config, sites, client, &new_runtime(config))
+}
+
+/// [`run_machine`] with an explicit (shareable) detector runtime. The
+/// runtime is shared by reference across the workers: the template
+/// reference is captured once, and on the fast path the
+/// `OnceLock`-guarded snapshot cache builds each pristine world once.
+fn run_machine_with(
+    config: &CampaignConfig,
+    sites: &[Site],
+    client: ClientKind,
+    runtime: &DetectorRuntime,
+) -> MachineRun {
     let instances = config.instances.max(1);
     let label = match client {
         ClientKind::OpenWpm => "m1",
         ClientKind::OpenWpmSpoofed => "m2",
     };
     let machine_ctx = SimContext::new(config.seed).fork(label, 0);
-    let results: Vec<parking_lot_free::Slot<SiteResult>> = (0..sites.len())
-        .map(|_| parking_lot_free::Slot::new())
-        .collect();
+    // Write-once result slots: each population index is written by exactly
+    // one worker, and reads happen only after the scope joins.
+    let results: Vec<OnceLock<SiteResult>> = (0..sites.len()).map(|_| OnceLock::new()).collect();
 
     std::thread::scope(|scope| {
         for w in 0..instances {
             let machine_ctx = &machine_ctx;
             let results = &results;
             scope.spawn(move || {
-                // Each browser instance ships its own detector runtime.
-                let runtime = DetectorRuntime::new();
                 for (i, site) in sites.iter().enumerate().skip(w).step_by(instances) {
                     let outcomes: Vec<VisitOutcome> = (0..config.visits_per_site)
                         .map(|v| {
                             let mut ctx = machine_ctx.fork_visit(&site.domain, v as u64);
-                            simulate_visit(site, client, &runtime, &mut ctx)
+                            simulate_visit(site, client, runtime, &mut ctx)
                         })
                         .collect();
-                    results[i].set(SiteResult {
+                    let written = results[i].set(SiteResult {
                         domain: site.domain.clone(),
                         rank: site.rank,
                         outcomes,
                     });
+                    assert!(written.is_ok(), "slot written twice");
                 }
             });
         }
@@ -130,44 +162,10 @@ pub fn run_machine(config: &CampaignConfig, sites: &[Site], client: ClientKind) 
 
     MachineRun {
         client,
-        sites: results.into_iter().map(|s| s.take()).collect(),
-    }
-}
-
-/// A tiny write-once cell so worker threads can fill disjoint result slots
-/// without locks (each index is written exactly once by one worker).
-mod parking_lot_free {
-    use std::cell::UnsafeCell;
-    use std::sync::atomic::{AtomicBool, Ordering};
-
-    /// Write-once slot.
-    pub struct Slot<T> {
-        set: AtomicBool,
-        value: UnsafeCell<Option<T>>,
-    }
-
-    // Safety: writes are exclusive per slot (work-queue indices are handed
-    // out once) and reads happen after all threads join.
-    unsafe impl<T: Send> Sync for Slot<T> {}
-
-    impl<T> Slot<T> {
-        pub fn new() -> Self {
-            Self {
-                set: AtomicBool::new(false),
-                value: UnsafeCell::new(None),
-            }
-        }
-
-        pub fn set(&self, v: T) {
-            assert!(!self.set.swap(true, Ordering::AcqRel), "slot written twice");
-            // Safety: the swap above guarantees exclusive access.
-            unsafe { *self.value.get() = Some(v) };
-        }
-
-        pub fn take(self) -> T {
-            assert!(self.set.load(Ordering::Acquire), "slot never written");
-            self.value.into_inner().expect("slot value present")
-        }
+        sites: results
+            .into_iter()
+            .map(|s| s.into_inner().expect("slot never written"))
+            .collect(),
     }
 }
 
@@ -189,6 +187,7 @@ mod tests {
             },
             visits_per_site: 4,
             instances: 4,
+            world_cache: true,
         }
     }
 
@@ -212,6 +211,16 @@ mod tests {
         let a = run_campaign(&base);
         let b = run_campaign(&serial);
         assert_eq!(a, b, "parallel schedule must not affect results");
+    }
+
+    #[test]
+    fn snapshot_stamped_campaign_is_bit_identical_to_fresh_built() {
+        let cached = small_config();
+        let mut fresh = cached.clone();
+        fresh.world_cache = false;
+        let a = run_campaign(&cached);
+        let b = run_campaign(&fresh);
+        assert_eq!(a, b, "world snapshot cache must not change any outcome");
     }
 
     #[test]

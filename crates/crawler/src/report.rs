@@ -119,6 +119,7 @@ mod tests {
             },
             visits_per_site: 3,
             instances: 4,
+            world_cache: true,
         })
     }
 

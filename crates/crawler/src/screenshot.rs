@@ -113,6 +113,7 @@ mod tests {
             },
             visits_per_site: 6,
             instances: 4,
+            world_cache: true,
         })
     }
 

@@ -65,7 +65,8 @@ impl World {
     /// Rebinds `window.navigator` (used by the Proxy spoofing method, which
     /// replaces the binding with a wrapping proxy).
     pub fn rebind_navigator(&mut self, new_navigator: ObjectId) {
-        self.realm.obj_mut(self.window).set_own(
+        self.realm.set_own(
+            self.window,
             "navigator",
             PropertyDescriptor::plain(Value::Object(new_navigator)),
         );
@@ -150,7 +151,8 @@ pub fn build_firefox_world(flavor: BrowserFlavor) -> World {
     // Object.prototype with toString/hasOwnProperty.
     let object_prototype = realm.alloc(JsObject::plain("ObjectPrototype", None));
     let obj_to_string = realm.make_native_fn("toString", NativeBehavior::ObjectToString);
-    realm.obj_mut(object_prototype).set_own(
+    realm.set_own(
+        object_prototype,
         "toString",
         PropertyDescriptor {
             kind: crate::object::PropertyKind::Data {
@@ -172,7 +174,7 @@ pub fn build_firefox_world(flavor: BrowserFlavor) -> World {
     ));
     for (name, v) in NAVIGATOR_GETTERS {
         let ret = match v {
-            NavValue::Str(s) => Value::Str((*s).to_string()),
+            NavValue::Str(s) => Value::Str((*s).into()),
             NavValue::Bool(b) => Value::Bool(*b),
             NavValue::Num(n) => Value::Number(*n),
             NavValue::Obj(class) => {
@@ -182,13 +184,16 @@ pub fn build_firefox_world(flavor: BrowserFlavor) -> World {
             NavValue::WebDriverFlag => Value::Bool(flavor.is_automated()),
         };
         let getter = realm.make_native_fn(&format!("get {name}"), NativeBehavior::Return(ret));
-        realm
-            .obj_mut(navigator_prototype)
-            .set_own(name, PropertyDescriptor::getter(getter, true));
+        realm.set_own(
+            navigator_prototype,
+            name,
+            PropertyDescriptor::getter(getter, true),
+        );
     }
     for name in NAVIGATOR_METHODS {
         let f = realm.make_native_fn(name, NativeBehavior::HostNoop);
-        realm.obj_mut(navigator_prototype).set_own(
+        realm.set_own(
+            navigator_prototype,
             name,
             PropertyDescriptor {
                 kind: crate::object::PropertyKind::Data {
@@ -206,8 +211,7 @@ pub fn build_firefox_world(flavor: BrowserFlavor) -> World {
     // setup avoids.
     {
         let plugins_obj = realm
-            .obj(navigator_prototype)
-            .own("plugins")
+            .own_desc(navigator_prototype, "plugins")
             .and_then(|d| match &d.kind {
                 crate::object::PropertyKind::Accessor { getter, .. } => *getter,
                 _ => None,
@@ -215,7 +219,8 @@ pub fn build_firefox_world(flavor: BrowserFlavor) -> World {
             .expect("plugins getter exists");
         let n_plugins = if flavor.is_headless() { 0.0 } else { 2.0 };
         let arr = realm.alloc(JsObject::plain("PluginArray", Some(object_prototype)));
-        realm.obj_mut(arr).set_own(
+        realm.set_own(
+            arr,
             "length",
             PropertyDescriptor {
                 kind: crate::object::PropertyKind::Data {
@@ -227,7 +232,7 @@ pub fn build_firefox_world(flavor: BrowserFlavor) -> World {
             },
         );
         realm.obj_mut(plugins_obj).function = Some(crate::object::FunctionInfo {
-            name: "get plugins".to_string(),
+            name: "get plugins".into(),
             native: true,
             behavior: NativeBehavior::Return(Value::Object(arr)),
         });
@@ -240,12 +245,14 @@ pub fn build_firefox_world(flavor: BrowserFlavor) -> World {
 
     // window with a navigator binding and the built-ins pages reach for.
     let window = realm.alloc(JsObject::plain("Window", Some(object_prototype)));
-    realm.obj_mut(window).set_own(
+    realm.set_own(
+        window,
         "navigator",
         PropertyDescriptor::plain(Value::Object(navigator)),
     );
     let document = realm.alloc(JsObject::plain("HTMLDocument", Some(object_prototype)));
-    realm.obj_mut(window).set_own(
+    realm.set_own(
+        window,
         "document",
         PropertyDescriptor::plain(Value::Object(document)),
     );
@@ -258,9 +265,7 @@ pub fn build_firefox_world(flavor: BrowserFlavor) -> World {
         ("outerWidth", 1280.0),
         ("outerHeight", 720.0 + chrome_px),
     ] {
-        realm
-            .obj_mut(window)
-            .set_own(name, PropertyDescriptor::plain(Value::Number(v)));
+        realm.set_own(window, name, PropertyDescriptor::plain(Value::Number(v)));
     }
 
     World {

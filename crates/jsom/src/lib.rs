@@ -19,16 +19,22 @@
 //! W3C WebDriver spec). [`template`] implements the JavaScript template
 //! attack of Schwarz et al. (NDSS'19) used by the paper to find side effects.
 
+pub mod atom;
 pub mod builders;
 pub mod error;
+pub mod linear;
 pub mod object;
 pub mod realm;
+pub mod shape;
 pub mod template;
 pub mod value;
 
+pub use atom::{Atom, AtomTable};
 pub use builders::{build_firefox_world, BrowserFlavor, World};
 pub use error::JsError;
+pub use linear::LinearObject;
 pub use object::{NativeBehavior, PropertyDescriptor, PropertyKind};
-pub use realm::{ObjectId, Realm};
+pub use realm::{ObjectId, Realm, RealmStats};
+pub use shape::{ShapeForest, ShapeId};
 pub use template::{Template, TemplateDiff};
 pub use value::Value;

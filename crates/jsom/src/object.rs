@@ -1,7 +1,16 @@
 //! Objects, property descriptors, and native function behaviours.
+//!
+//! `JsObject` no longer stores its own property *names*: keys live in the
+//! realm-wide shape table ([`crate::shape`]) and an object carries only a
+//! [`ShapeId`] plus a dense slot vector of descriptors, slot order being
+//! exactly the shape's insertion-ordered key list. All string-keyed
+//! property access therefore goes through [`crate::realm::Realm`], which
+//! owns the atom and shape tables.
 
 use crate::realm::ObjectId;
+use crate::shape::ShapeId;
 use crate::value::Value;
+use std::sync::Arc;
 
 /// What a native function does when called. Real engines attach compiled
 /// code; the spoofing study only ever calls a handful of reflective
@@ -101,8 +110,9 @@ impl PropertyDescriptor {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FunctionInfo {
     /// The function's `name` property. Engine-created anonymous wrappers
-    /// (the Proxy side effect of §3.1) carry an empty name.
-    pub name: String,
+    /// (the Proxy side effect of §3.1) carry an empty name. Shared, not
+    /// copied, when a world is stamped from a snapshot.
+    pub name: Arc<str>,
     /// Whether `toString` renders `[native code]` (all host functions do).
     pub native: bool,
     /// What calling the function does.
@@ -128,106 +138,53 @@ impl ProxyHandler {
 }
 
 /// An object in the realm arena.
+///
+/// Own-property *names* are not stored here: `shape` identifies the
+/// insertion-ordered key list in the realm's shape forest, and `slots[i]`
+/// is the descriptor for that list's `i`-th key. Use the realm-level
+/// accessors (`Realm::set_own`, `Realm::own_desc`, `Realm::own_keys`, …)
+/// for all string-keyed access.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JsObject {
     /// Internal `[[Class]]`-like tag: `"Object"`, `"Navigator"`,
-    /// `"Function"`, `"Window"`, ...
-    pub class: String,
-    /// Own properties in insertion order. Enumeration-order fidelity is the
-    /// whole point of this substrate, so a `Vec` is the primary structure;
-    /// sizes are tiny (tens of properties) so linear lookup is fine.
-    pub props: Vec<(String, PropertyDescriptor)>,
+    /// `"Function"`, `"Window"`, ... Shared across clones.
+    pub class: Arc<str>,
+    /// Hidden class: which key list (and key → offset map) this object has.
+    pub(crate) shape: ShapeId,
+    /// Property descriptors, index-aligned with the shape's key list.
+    pub(crate) slots: Vec<PropertyDescriptor>,
     /// `[[Prototype]]`.
     pub prototype: Option<ObjectId>,
     /// Present iff this object is callable.
     pub function: Option<FunctionInfo>,
     /// Present iff this object is a Proxy exotic object: `(target, handler)`.
-    pub proxy: Option<(ObjectId, ProxyHandler)>,
+    /// The handler is immutable once installed, so clones share it.
+    pub proxy: Option<(ObjectId, Arc<ProxyHandler>)>,
 }
 
 impl JsObject {
-    /// A plain object with the given class and prototype.
+    /// A plain object with the given class and prototype (and no own
+    /// properties, i.e. the root shape).
     pub fn plain(class: &str, prototype: Option<ObjectId>) -> Self {
         Self {
-            class: class.to_string(),
-            props: Vec::new(),
+            class: Arc::from(class),
+            shape: ShapeId::ROOT,
+            slots: Vec::new(),
             prototype,
             function: None,
             proxy: None,
         }
     }
 
-    /// Finds an own property slot.
-    pub fn own(&self, key: &str) -> Option<&PropertyDescriptor> {
-        self.props.iter().find(|(k, _)| k == key).map(|(_, d)| d)
-    }
-
-    /// Finds an own property slot mutably.
-    pub fn own_mut(&mut self, key: &str) -> Option<&mut PropertyDescriptor> {
-        self.props
-            .iter_mut()
-            .find(|(k, _)| k == key)
-            .map(|(_, d)| d)
-    }
-
-    /// Inserts or replaces an own property. Replacement keeps the original
-    /// insertion position (JS semantics); new keys append.
-    pub fn set_own(&mut self, key: &str, desc: PropertyDescriptor) {
-        if let Some(slot) = self.own_mut(key) {
-            *slot = desc;
-        } else {
-            self.props.push((key.to_string(), desc));
-        }
-    }
-
     /// Number of own properties.
     pub fn own_len(&self) -> usize {
-        self.props.len()
-    }
-
-    /// Own keys in insertion order.
-    pub fn own_keys(&self) -> Vec<String> {
-        self.props.iter().map(|(k, _)| k.clone()).collect()
-    }
-
-    /// Own *enumerable* keys in insertion order (`Object.keys`).
-    pub fn own_enumerable_keys(&self) -> Vec<String> {
-        self.props
-            .iter()
-            .filter(|(_, d)| d.enumerable)
-            .map(|(k, _)| k.clone())
-            .collect()
+        self.slots.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn set_own_preserves_position_on_redefine() {
-        let mut o = JsObject::plain("Object", None);
-        o.set_own("a", PropertyDescriptor::plain(Value::Number(1.0)));
-        o.set_own("b", PropertyDescriptor::plain(Value::Number(2.0)));
-        o.set_own("a", PropertyDescriptor::plain(Value::Number(9.0)));
-        assert_eq!(o.own_keys(), vec!["a", "b"]);
-        match &o.own("a").unwrap().kind {
-            PropertyKind::Data { value, .. } => assert_eq!(*value, Value::Number(9.0)),
-            _ => panic!("expected data property"),
-        }
-    }
-
-    #[test]
-    fn enumerable_filtering() {
-        let mut o = JsObject::plain("Object", None);
-        o.set_own("vis", PropertyDescriptor::plain(Value::Bool(true)));
-        o.set_own(
-            "hidden",
-            PropertyDescriptor::define_default(Value::Bool(false)),
-        );
-        assert_eq!(o.own_enumerable_keys(), vec!["vis"]);
-        assert_eq!(o.own_len(), 2);
-    }
 
     #[test]
     fn descriptor_constructors() {
@@ -245,5 +202,12 @@ mod tests {
         };
         assert_eq!(h.override_for("webdriver"), Some(&Value::Bool(false)));
         assert_eq!(h.override_for("other"), None);
+    }
+
+    #[test]
+    fn plain_objects_start_with_the_root_shape() {
+        let o = JsObject::plain("Object", None);
+        assert_eq!(o.shape, ShapeId::ROOT);
+        assert_eq!(o.own_len(), 0);
     }
 }

@@ -1,6 +1,16 @@
 //! The realm: an arena of JS objects plus the reflective operations the
 //! spoofing study exercises.
+//!
+//! Property storage is shape-based: the realm owns an [`AtomTable`]
+//! (interned property names) and a [`ShapeForest`] (hidden classes), and
+//! every string-keyed operation resolves `name → atom → offset` in O(1)
+//! instead of the old linear scan over `Vec<(String, _)>`. Enumeration
+//! order — a Table 1 observable — is preserved exactly: a shape's key
+//! list is insertion order, and a slot's offset is its position in that
+//! list. Cloning a realm (the snapshot-stamping path) shares both tables
+//! copy-on-write.
 
+use crate::atom::{Atom, AtomTable};
 use crate::error::JsError;
 use crate::object::{
     FunctionInfo, JsObject, NativeBehavior, PropertyDescriptor, PropertyKind, ProxyHandler,
@@ -20,16 +30,43 @@ impl ObjectId {
     }
 }
 
+/// Counters describing a realm's workload, surfaced through the browser's
+/// observation metrics (`jsom.*` counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RealmStats {
+    /// Objects in the arena.
+    pub objects_allocated: u64,
+    /// Distinct property names interned (including the empty name).
+    pub atoms_interned: u64,
+    /// Distinct shapes ever created (including the root).
+    pub shape_transitions: u64,
+    /// `get` operations served.
+    pub property_gets: u64,
+    /// Per-object own-lookup probes performed while serving `get`s
+    /// (one per prototype-chain hop).
+    pub own_lookups: u64,
+}
+
 /// An arena of JS objects with JS-faithful reflective operations.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Realm {
     objects: Vec<JsObject>,
+    atoms: AtomTable,
+    shapes: ShapeForest,
+    counters: RealmStats,
 }
+
+use crate::shape::ShapeForest;
 
 impl Realm {
     /// Creates an empty realm.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            objects: Vec::new(),
+            atoms: AtomTable::new(),
+            shapes: ShapeForest::new(),
+            counters: RealmStats::default(),
+        }
     }
 
     /// Allocates an object, returning its id.
@@ -62,23 +99,34 @@ impl Realm {
         self.objects.is_empty()
     }
 
+    /// Workload counters, with the table sizes filled in at read time.
+    pub fn stats(&self) -> RealmStats {
+        RealmStats {
+            objects_allocated: self.objects.len() as u64,
+            atoms_interned: self.atoms.len() as u64,
+            shape_transitions: self.shapes.len() as u64,
+            ..self.counters
+        }
+    }
+
+    /// Interns a property name into this realm's atom table.
+    pub fn intern(&mut self, name: &str) -> Atom {
+        self.atoms.intern(name)
+    }
+
     // ---------------------------------------------------------------------
     // Construction helpers
     // ---------------------------------------------------------------------
 
     /// Allocates a named native function.
     pub fn make_native_fn(&mut self, name: &str, behavior: NativeBehavior) -> ObjectId {
-        self.alloc(JsObject {
-            class: "Function".into(),
-            props: Vec::new(),
-            prototype: None,
-            function: Some(FunctionInfo {
-                name: name.to_string(),
-                native: true,
-                behavior,
-            }),
-            proxy: None,
-        })
+        let mut obj = JsObject::plain("Function", None);
+        obj.function = Some(FunctionInfo {
+            name: std::sync::Arc::from(name),
+            native: true,
+            behavior,
+        });
+        self.alloc(obj)
     }
 
     /// Allocates an *anonymous* native function — the shape a Proxy `get`
@@ -91,13 +139,60 @@ impl Realm {
     pub fn wrap_in_proxy(&mut self, target: ObjectId, handler: ProxyHandler) -> ObjectId {
         let class = self.obj(target).class.clone();
         let prototype = self.obj(target).prototype;
-        self.alloc(JsObject {
-            class,
-            props: Vec::new(),
-            prototype,
-            function: None,
-            proxy: Some((target, handler)),
-        })
+        let mut obj = JsObject::plain(&class, prototype);
+        obj.proxy = Some((target, std::sync::Arc::new(handler)));
+        self.alloc(obj)
+    }
+
+    // ---------------------------------------------------------------------
+    // Own-property storage (atom + shape resolution)
+    // ---------------------------------------------------------------------
+
+    /// Inserts or replaces an own property on `id` directly (no proxy
+    /// forwarding, no configurability check — the raw storage write that
+    /// plain assignment and the world builders use). Replacement keeps the
+    /// original insertion position (JS semantics); new keys append, moving
+    /// the object to the successor shape.
+    pub fn set_own(&mut self, id: ObjectId, key: &str, desc: PropertyDescriptor) {
+        let atom = self.atoms.intern(key);
+        let shape = self.objects[id.0].shape;
+        if let Some(off) = self.shapes.offset_of(shape, atom) {
+            self.objects[id.0].slots[off] = desc;
+        } else {
+            let next = self.shapes.transition_add(shape, atom);
+            let obj = &mut self.objects[id.0];
+            obj.shape = next;
+            obj.slots.push(desc);
+        }
+    }
+
+    /// Borrows the own descriptor for `key` on `id`, if present. Does not
+    /// forward through proxies (see [`Realm::get_own_descriptor`]).
+    pub fn own_desc(&self, id: ObjectId, key: &str) -> Option<&PropertyDescriptor> {
+        let atom = self.atoms.lookup(key)?;
+        let obj = &self.objects[id.0];
+        let off = self.shapes.offset_of(obj.shape, atom)?;
+        Some(&obj.slots[off])
+    }
+
+    /// Own keys of `id` in insertion order (no proxy forwarding).
+    pub fn own_keys(&self, id: ObjectId) -> Vec<String> {
+        self.shapes
+            .keys(self.objects[id.0].shape)
+            .iter()
+            .map(|&a| self.atoms.name(a).to_string())
+            .collect()
+    }
+
+    /// Own `(key, descriptor)` pairs of `id` in insertion order.
+    pub fn own_properties(&self, id: ObjectId) -> Vec<(String, PropertyDescriptor)> {
+        let obj = &self.objects[id.0];
+        self.shapes
+            .keys(obj.shape)
+            .iter()
+            .zip(&obj.slots)
+            .map(|(&a, d)| (self.atoms.name(a).to_string(), d.clone()))
+            .collect()
     }
 
     // ---------------------------------------------------------------------
@@ -121,66 +216,90 @@ impl Realm {
     /// `obj[key]` — own lookup, proxy traps, prototype-chain walk, getter
     /// invocation.
     pub fn get(&mut self, id: ObjectId, key: &str) -> Result<Value, JsError> {
-        // Proxy exotic behaviour first.
-        if let Some((target, handler)) = self.obj(id).proxy.clone() {
-            if let Some(v) = handler.override_for(key) {
-                return Ok(v.clone());
+        self.counters.property_gets += 1;
+
+        // Proxy exotic behaviour first. Only a matched override value is
+        // cloned — the handler itself is merely borrowed.
+        let proxied = self
+            .obj(id)
+            .proxy
+            .as_ref()
+            .map(|(target, handler)| (*target, handler.override_for(key).cloned()));
+        if let Some((target, override_val)) = proxied {
+            if let Some(v) = override_val {
+                return Ok(v);
             }
             let underlying = self.get(target, key)?;
             // The `get` trap returning a method re-binds it, producing a
             // fresh anonymous function — the Table 1 "unnamed functions"
             // side effect.
             if let Value::Object(fid) = underlying {
-                if let Some(info) = self.obj(fid).function.clone() {
-                    let wrapper = self.make_anonymous_fn(info.behavior);
+                let behavior = self.obj(fid).function.as_ref().map(|i| i.behavior.clone());
+                if let Some(behavior) = behavior {
+                    let wrapper = self.make_anonymous_fn(behavior);
                     return Ok(Value::Object(wrapper));
                 }
             }
             return Ok(underlying);
         }
 
+        // A name that was never interned cannot be a property of anything.
+        let Some(atom) = self.atoms.lookup(key) else {
+            return Ok(Value::Undefined);
+        };
+
+        enum Hit {
+            Value(Value),
+            Getter(Option<ObjectId>),
+        }
         let mut cursor = Some(id);
         while let Some(cur) = cursor {
-            if let Some(desc) = self.obj(cur).own(key).cloned() {
-                return match desc.kind {
-                    PropertyKind::Data { value, .. } => Ok(value),
-                    PropertyKind::Accessor { getter, .. } => match getter {
-                        Some(g) => self.call(g, Value::Object(id)),
-                        None => Ok(Value::Undefined),
-                    },
+            self.counters.own_lookups += 1;
+            let obj = &self.objects[cur.0];
+            if let Some(off) = self.shapes.offset_of(obj.shape, atom) {
+                let hit = match &obj.slots[off].kind {
+                    PropertyKind::Data { value, .. } => Hit::Value(value.clone()),
+                    PropertyKind::Accessor { getter, .. } => Hit::Getter(*getter),
+                };
+                return match hit {
+                    Hit::Value(v) => Ok(v),
+                    Hit::Getter(Some(g)) => self.call(g, Value::Object(id)),
+                    Hit::Getter(None) => Ok(Value::Undefined),
                 };
             }
-            cursor = self.obj(cur).prototype;
+            cursor = obj.prototype;
         }
         Ok(Value::Undefined)
     }
 
     /// Calls a function object with a `this` value.
     pub fn call(&mut self, fn_id: ObjectId, this: Value) -> Result<Value, JsError> {
-        let info = self
+        // Clone only the behaviour, not the whole `FunctionInfo`.
+        let behavior = self
             .obj(fn_id)
             .function
-            .clone()
+            .as_ref()
+            .map(|i| i.behavior.clone())
             .ok_or_else(|| JsError::TypeError("not a function".into()))?;
-        Ok(match info.behavior {
+        Ok(match behavior {
             NativeBehavior::Return(v) => v,
             NativeBehavior::HostNoop => Value::Undefined,
             NativeBehavior::FunctionToString => {
                 let target = this
                     .as_object()
                     .ok_or_else(|| JsError::TypeError("toString on non-object".into()))?;
-                Value::Str(self.function_to_string(target)?)
+                Value::Str(self.function_to_string(target)?.into())
             }
             NativeBehavior::ObjectToString => {
-                let class = match &this {
-                    Value::Object(o) => self.obj(*o).class.clone(),
-                    Value::Undefined => "Undefined".into(),
-                    Value::Null => "Null".into(),
-                    Value::Bool(_) => "Boolean".into(),
-                    Value::Number(_) => "Number".into(),
-                    Value::Str(_) => "String".into(),
+                let class: &str = match &this {
+                    Value::Object(o) => &self.obj(*o).class,
+                    Value::Undefined => "Undefined",
+                    Value::Null => "Null",
+                    Value::Bool(_) => "Boolean",
+                    Value::Number(_) => "Number",
+                    Value::Str(_) => "String",
                 };
-                Value::Str(format!("[object {class}]"))
+                Value::Str(format!("[object {class}]").into())
             }
         })
     }
@@ -209,31 +328,39 @@ impl Realm {
         if let Some((target, _)) = &self.obj(id).proxy {
             return self.object_keys(*target);
         }
-        self.obj(id).own_enumerable_keys()
+        let obj = &self.objects[id.0];
+        self.shapes
+            .keys(obj.shape)
+            .iter()
+            .zip(&obj.slots)
+            .filter(|(_, d)| d.enumerable)
+            .map(|(&a, _)| self.atoms.name(a).to_string())
+            .collect()
     }
 
     /// `for (k in obj)` — enumerable keys of the object and its prototype
-    /// chain, own-first, skipping shadowed names.
+    /// chain, own-first, skipping shadowed names. The shadow check is a
+    /// dense per-atom bitset rather than the old string list scan.
     pub fn for_in_keys(&self, id: ObjectId) -> Vec<String> {
-        let start = if let Some((target, _)) = &self.obj(id).proxy {
-            *target
-        } else {
-            id
+        let start = match &self.obj(id).proxy {
+            Some((target, _)) => *target,
+            None => id,
         };
-        let mut seen: Vec<String> = Vec::new();
+        let mut seen = vec![false; self.atoms.len()];
         let mut out: Vec<String> = Vec::new();
         let mut cursor = Some(start);
         while let Some(cur) = cursor {
-            for (k, d) in &self.obj(cur).props {
-                if seen.iter().any(|s| s == k) {
+            let obj = &self.objects[cur.0];
+            for (&a, d) in self.shapes.keys(obj.shape).iter().zip(&obj.slots) {
+                if seen[a.index()] {
                     continue;
                 }
-                seen.push(k.clone());
+                seen[a.index()] = true;
                 if d.enumerable {
-                    out.push(k.clone());
+                    out.push(self.atoms.name(a).to_string());
                 }
             }
-            cursor = self.obj(cur).prototype;
+            cursor = obj.prototype;
         }
         out
     }
@@ -245,14 +372,14 @@ impl Realm {
         key: &str,
         desc: PropertyDescriptor,
     ) -> Result<(), JsError> {
-        if let Some(existing) = self.obj(id).own(key) {
+        if let Some(existing) = self.own_desc(id, key) {
             if !existing.configurable {
                 return Err(JsError::TypeError(format!(
                     "can't redefine non-configurable property \"{key}\""
                 )));
             }
         }
-        self.obj_mut(id).set_own(key, desc);
+        self.set_own(id, key, desc);
         Ok(())
     }
 
@@ -267,7 +394,8 @@ impl Realm {
         if self.obj(getter).function.is_none() {
             return Err(JsError::TypeError("getter must be a function".into()));
         }
-        self.obj_mut(id).set_own(
+        self.set_own(
+            id,
             key,
             PropertyDescriptor {
                 kind: PropertyKind::Accessor {
@@ -285,18 +413,28 @@ impl Realm {
     /// own non-configurable properties, `true` otherwise (including for
     /// keys that only exist on the prototype chain, which `delete` cannot
     /// touch — the reason the classic `delete navigator.webdriver` trick
-    /// does nothing in Firefox).
+    /// does nothing in Firefox). Resolution goes through the shape table;
+    /// the slot removal itself shifts the dense slot vector, mirroring the
+    /// linear model's `Vec::remove` order exactly.
     pub fn delete_property(&mut self, id: ObjectId, key: &str) -> bool {
-        if let Some((target, _)) = self.obj(id).proxy.clone() {
+        if let Some((target, _)) = &self.obj(id).proxy {
+            let target = *target;
             return self.delete_property(target, key);
         }
-        let obj = self.obj_mut(id);
-        if let Some(pos) = obj.props.iter().position(|(k, _)| k == key) {
-            if !obj.props[pos].1.configurable {
-                return false;
-            }
-            obj.props.remove(pos);
+        let Some(atom) = self.atoms.lookup(key) else {
+            return true;
+        };
+        let shape = self.objects[id.0].shape;
+        let Some(off) = self.shapes.offset_of(shape, atom) else {
+            return true;
+        };
+        if !self.objects[id.0].slots[off].configurable {
+            return false;
         }
+        let next = self.shapes.transition_remove(shape, atom);
+        let obj = &mut self.objects[id.0];
+        obj.shape = next;
+        obj.slots.remove(off);
         true
     }
 
@@ -319,7 +457,7 @@ impl Realm {
         if let Some((target, _)) = &self.obj(id).proxy {
             return self.has_own(*target, key);
         }
-        self.obj(id).own(key).is_some()
+        self.own_desc(id, key).is_some()
     }
 
     /// `Object.getOwnPropertyDescriptor`.
@@ -327,7 +465,7 @@ impl Realm {
         if let Some((target, _)) = &self.obj(id).proxy {
             return self.get_own_descriptor(*target, key);
         }
-        self.obj(id).own(key).cloned()
+        self.own_desc(id, key).cloned()
     }
 
     /// The prototype chain starting at (and excluding) `id`.
@@ -362,6 +500,12 @@ impl Realm {
     }
 }
 
+impl Default for Realm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,8 +514,7 @@ mod tests {
         let mut r = Realm::new();
         let proto = r.alloc(JsObject::plain("NavigatorPrototype", None));
         let getter = r.make_native_fn("get webdriver", NativeBehavior::Return(Value::Bool(true)));
-        r.obj_mut(proto)
-            .set_own("webdriver", PropertyDescriptor::getter(getter, true));
+        r.set_own(proto, "webdriver", PropertyDescriptor::getter(getter, true));
         let nav = r.alloc(JsObject::plain("Navigator", Some(proto)));
         (r, nav, proto)
     }
@@ -410,10 +553,23 @@ mod tests {
     }
 
     #[test]
+    fn set_own_preserves_position_on_redefine() {
+        let mut r = Realm::new();
+        let o = r.alloc(JsObject::plain("Object", None));
+        r.set_own(o, "a", PropertyDescriptor::plain(Value::Number(1.0)));
+        r.set_own(o, "b", PropertyDescriptor::plain(Value::Number(2.0)));
+        r.set_own(o, "a", PropertyDescriptor::plain(Value::Number(9.0)));
+        assert_eq!(r.own_keys(o), vec!["a", "b"]);
+        match &r.own_desc(o, "a").unwrap().kind {
+            PropertyKind::Data { value, .. } => assert_eq!(*value, Value::Number(9.0)),
+            _ => panic!("expected data property"),
+        }
+    }
+
+    #[test]
     fn for_in_lists_own_then_proto_without_shadowed_dupes() {
         let (mut r, nav, proto) = realm_with_chain();
-        r.obj_mut(proto)
-            .set_own("userAgent", PropertyDescriptor::plain("UA".into()));
+        r.set_own(proto, "userAgent", PropertyDescriptor::plain("UA".into()));
         r.define_property(nav, "own1", PropertyDescriptor::plain(Value::Number(1.0)))
             .unwrap();
         r.define_property(
@@ -493,8 +649,11 @@ mod tests {
         let mut r = Realm::new();
         let proto = r.alloc(JsObject::plain("NavigatorPrototype", None));
         let m = r.make_native_fn("javaEnabled", NativeBehavior::HostNoop);
-        r.obj_mut(proto)
-            .set_own("javaEnabled", PropertyDescriptor::plain(Value::Object(m)));
+        r.set_own(
+            proto,
+            "javaEnabled",
+            PropertyDescriptor::plain(Value::Object(m)),
+        );
         let nav = r.alloc(JsObject::plain("Navigator", Some(proto)));
         let p = r.wrap_in_proxy(nav, ProxyHandler::default());
         let got = r.get(p, "javaEnabled").unwrap();
@@ -532,15 +691,32 @@ mod tests {
         assert!(r.delete_property(nav, "webdriver"));
         // The accessor still resolves from the prototype.
         assert_eq!(r.get(nav, "webdriver").unwrap(), Value::Bool(true));
-        assert!(r.obj(proto).own("webdriver").is_some());
+        assert!(r.has_own(proto, "webdriver"));
+    }
+
+    #[test]
+    fn delete_then_readd_moves_key_to_the_end() {
+        // Matches the linear model: remove + re-insert appends.
+        let mut r = Realm::new();
+        let o = r.alloc(JsObject::plain("Object", None));
+        for k in ["a", "b", "c"] {
+            r.set_own(o, k, PropertyDescriptor::plain(Value::Null));
+        }
+        assert!(r.delete_property(o, "b"));
+        assert_eq!(r.own_keys(o), vec!["a", "c"]);
+        r.set_own(o, "b", PropertyDescriptor::plain(Value::Null));
+        assert_eq!(r.own_keys(o), vec!["a", "c", "b"]);
     }
 
     #[test]
     fn set_prototype_of_changes_chain() {
         let (mut r, nav, proto) = realm_with_chain();
         let fake = r.alloc(JsObject::plain("Object", Some(proto)));
-        r.obj_mut(fake)
-            .set_own("webdriver", PropertyDescriptor::plain(Value::Bool(false)));
+        r.set_own(
+            fake,
+            "webdriver",
+            PropertyDescriptor::plain(Value::Bool(false)),
+        );
         r.set_prototype_of(nav, Some(fake));
         assert_eq!(r.get(nav, "webdriver").unwrap(), Value::Bool(false));
         assert_eq!(r.proto_chain(nav), vec![fake, proto]);
@@ -570,5 +746,18 @@ mod tests {
         let mut r = Realm::new();
         let o = r.alloc(JsObject::plain("Object", None));
         assert!(r.call(o, Value::Undefined).is_err());
+    }
+
+    #[test]
+    fn stats_track_tables_and_gets() {
+        let (mut r, nav, _) = realm_with_chain();
+        let before = r.stats();
+        assert!(before.objects_allocated >= 3);
+        assert!(before.atoms_interned >= 2); // "" + "webdriver"
+        assert!(before.shape_transitions >= 2); // root + webdriver shape
+        r.get(nav, "webdriver").unwrap();
+        let after = r.stats();
+        assert_eq!(after.property_gets, before.property_gets + 1);
+        assert!(after.own_lookups > before.own_lookups);
     }
 }

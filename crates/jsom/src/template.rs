@@ -10,6 +10,7 @@
 use crate::realm::{ObjectId, Realm};
 use crate::value::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A structural summary of one property path.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -23,8 +24,9 @@ pub struct Entry {
     pub descriptor: String,
     /// `fn.toString()` for functions (captures missing names).
     pub fn_source: Option<String>,
-    /// Class of the object the property resolved on.
-    pub holder_class: String,
+    /// Class of the object the property resolved on (shared with the
+    /// realm's object, not copied).
+    pub holder_class: Arc<str>,
     /// Own-key list *position* within the holder, capturing enumeration
     /// order changes.
     pub order_index: Option<usize>,
@@ -100,7 +102,7 @@ impl Template {
             // Prototype-chain view: record chain length and classes — the
             // setPrototypeOf method inserts an extra hop here.
             let chain = realm.proto_chain(obj);
-            let chain_classes: Vec<String> = chain
+            let chain_classes: Vec<Arc<str>> = chain
                 .iter()
                 .map(|id| realm.obj(*id).class.clone())
                 .collect();
@@ -167,12 +169,12 @@ impl Template {
     }
 }
 
-fn holder_class(realm: &Realm, obj: ObjectId, key: &str) -> String {
+fn holder_class(realm: &Realm, obj: ObjectId, key: &str) -> Arc<str> {
     if realm.has_own(obj, key) {
         return realm.obj(obj).class.clone();
     }
     for p in realm.proto_chain(obj) {
-        if realm.obj(p).own(key).is_some() {
+        if realm.has_own(p, key) {
             return realm.obj(p).class.clone();
         }
     }

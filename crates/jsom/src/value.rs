@@ -1,6 +1,7 @@
 //! JavaScript values.
 
 use crate::realm::ObjectId;
+use std::sync::Arc;
 
 /// A JavaScript value. Objects and functions live in a [`crate::Realm`]
 /// arena and are referenced by [`ObjectId`].
@@ -14,8 +15,10 @@ pub enum Value {
     Bool(bool),
     /// A number primitive (JS numbers are f64).
     Number(f64),
-    /// A string primitive.
-    Str(String),
+    /// A string primitive. Stored behind an `Arc` so that cloning a value
+    /// (and therefore stamping a whole world from a snapshot) never copies
+    /// string bytes; JS strings are immutable, so sharing is unobservable.
+    Str(Arc<str>),
     /// A reference to an object (including functions and proxies).
     Object(ObjectId),
 }
@@ -80,7 +83,7 @@ impl Value {
     /// Returns the string if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_ref()),
             _ => None,
         }
     }
@@ -114,13 +117,13 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_string())
+        Value::Str(Arc::from(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(s)
+        Value::Str(s.into())
     }
 }
 
@@ -144,7 +147,7 @@ mod tests {
         assert!(!Value::Bool(false).is_truthy());
         assert!(!Value::Number(0.0).is_truthy());
         assert!(!Value::Number(f64::NAN).is_truthy());
-        assert!(!Value::Str(String::new()).is_truthy());
+        assert!(!Value::Str("".into()).is_truthy());
         assert!(Value::Bool(true).is_truthy());
         assert!(Value::Number(2.0).is_truthy());
         assert!(Value::Str("a".into()).is_truthy());

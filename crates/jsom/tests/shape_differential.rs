@@ -1,0 +1,171 @@
+//! Differential test: the shape-backed property storage against the
+//! linear-scan reference model ([`hlisa_jsom::LinearObject`]), and
+//! snapshot-cloned realms against fresh-built ones.
+//!
+//! Enumeration order is a Table 1 observable, so the optimization must be
+//! invisible: across arbitrary build/define/delete sequences, `Object.keys`
+//! order, `getOwnPropertyDescriptor` results, delete outcomes, and full
+//! `TemplateDiff` output have to be byte-identical to the old linear
+//! semantics.
+
+use hlisa_jsom::builders::{build_firefox_world, BrowserFlavor};
+use hlisa_jsom::object::JsObject;
+use hlisa_jsom::realm::{ObjectId, Realm};
+use hlisa_jsom::{LinearObject, NativeBehavior, PropertyDescriptor, Template, Value};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Fixed key pool; small enough that sequences revisit keys (exercising
+/// replace-in-place, delete-then-readd, and shadowing) and includes the
+/// study's hot names.
+const KEYS: &[&str] = &[
+    "webdriver",
+    "userAgent",
+    "alpha",
+    "beta",
+    "gamma",
+    "delta",
+    "plugins",
+    "epsilon",
+];
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    SetPlain,
+    DefineNonEnum,
+    DefineGetter,
+    Delete,
+}
+
+fn decode(kind: u8) -> Op {
+    match kind % 4 {
+        0 => Op::SetPlain,
+        1 => Op::DefineNonEnum,
+        2 => Op::DefineGetter,
+        _ => Op::Delete,
+    }
+}
+
+/// Applies one op to a realm object and mirrors it on the linear model,
+/// asserting the operations agree on success/failure.
+fn apply(
+    realm: &mut Realm,
+    obj: ObjectId,
+    linear: &mut LinearObject,
+    step: usize,
+    op: Op,
+    key: &str,
+) {
+    match op {
+        Op::SetPlain => {
+            let desc = PropertyDescriptor::plain(Value::Number(step as f64));
+            realm.set_own(obj, key, desc.clone());
+            linear.set_own(key, desc);
+        }
+        Op::DefineNonEnum => {
+            let desc = PropertyDescriptor::define_default(Value::Number(step as f64));
+            let a = realm.define_property(obj, key, desc.clone());
+            let b = linear.define(key, desc);
+            assert_eq!(a.is_err(), b.is_err(), "define disagreement on {key:?}");
+        }
+        Op::DefineGetter => {
+            // Allocate the getter first so both sides store the same id.
+            let g = realm.make_native_fn(
+                &format!("get {key}"),
+                NativeBehavior::Return(Value::Number(step as f64)),
+            );
+            let desc = PropertyDescriptor::getter(g, true);
+            // Realm::define_getter has raw set_own semantics; mirror that.
+            realm
+                .define_getter(obj, key, g)
+                .expect("getter is a function");
+            linear.set_own(key, desc);
+        }
+        Op::Delete => {
+            let a = realm.delete_property(obj, key);
+            let b = linear.delete(key);
+            assert_eq!(a, b, "delete disagreement on {key:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shape-table lookups vs the linear reference on a bare object.
+    #[test]
+    fn shape_storage_matches_linear_reference(ops in vec((0u8..4, 0u8..8), 0..30)) {
+        let mut realm = Realm::new();
+        let obj = realm.alloc(JsObject::plain("Object", None));
+        let mut linear = LinearObject::new();
+
+        for (step, (kind, key_idx)) in ops.iter().enumerate() {
+            let key = KEYS[*key_idx as usize];
+            apply(&mut realm, obj, &mut linear, step, decode(*kind), key);
+
+            // Every observable, after every step.
+            prop_assert_eq!(realm.own_keys(obj), linear.own_keys());
+            prop_assert_eq!(realm.object_keys(obj), linear.own_enumerable_keys());
+            prop_assert_eq!(realm.own_len(obj), linear.own_len());
+            for key in KEYS {
+                prop_assert_eq!(
+                    realm.get_own_descriptor(obj, key),
+                    linear.own(key).cloned(),
+                    "descriptor mismatch for {:?}",
+                    key
+                );
+            }
+        }
+    }
+
+    /// A snapshot-cloned world mutated through an arbitrary sequence stays
+    /// template-identical to a fresh-built world mutated the same way —
+    /// the invariant that makes the per-visit world cache undetectable.
+    #[test]
+    fn snapshot_clone_is_template_identical_to_fresh_build(
+        ops in vec((0u8..4, 0u8..8), 0..20),
+    ) {
+        let mut fresh = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        let pristine = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+        let mut stamped = pristine.clone();
+        let mut linear = LinearObject::new();
+        let mut linear_shadow = LinearObject::new();
+
+        for (step, (kind, key_idx)) in ops.iter().enumerate() {
+            let key = KEYS[*key_idx as usize];
+            let op = decode(*kind);
+            let nav_a = fresh.navigator;
+            let nav_b = stamped.navigator;
+            apply(&mut fresh.realm, nav_a, &mut linear, step, op, key);
+            apply(&mut stamped.realm, nav_b, &mut linear_shadow, step, op, key);
+        }
+
+        // The navigator's own-key census agrees with the linear model...
+        prop_assert_eq!(
+            fresh.realm.object_keys(fresh.navigator),
+            linear.own_enumerable_keys()
+        );
+        // ...and the full template attack sees no difference at all.
+        let ta = Template::capture(&mut fresh.realm, fresh.window, "window", 3);
+        let tb = Template::capture(&mut stamped.realm, stamped.window, "window", 3);
+        let diff = ta.diff(&tb);
+        prop_assert!(diff.is_empty(), "snapshot clone diverged: {:?}", diff);
+    }
+}
+
+/// The pristine-world sanity anchor: an untouched clone diffs empty against
+/// an untouched fresh build for every flavor.
+#[test]
+fn untouched_clone_matches_fresh_build_for_all_flavors() {
+    for flavor in [
+        BrowserFlavor::RegularFirefox,
+        BrowserFlavor::WebDriverFirefox,
+        BrowserFlavor::HeadlessFirefox,
+    ] {
+        let mut fresh = build_firefox_world(flavor);
+        let mut cloned = build_firefox_world(flavor).clone();
+        let ta = Template::capture(&mut fresh.realm, fresh.window, "window", 3);
+        let tb = Template::capture(&mut cloned.realm, cloned.window, "window", 3);
+        assert!(ta.diff(&tb).is_empty(), "{flavor:?} clone diverged");
+    }
+}

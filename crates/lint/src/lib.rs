@@ -34,5 +34,5 @@ pub mod workspace;
 pub use chain::{lint_actions, ChainLinter};
 pub use diag::{Diagnostic, Location, Report, Severity};
 pub use rules::{rule_info, AnalyzerKind, RuleInfo, CATALOG};
-pub use source::analyze_source;
+pub use source::{analyze_source, Exemptions};
 pub use workspace::{find_workspace_root, lint_workspace};

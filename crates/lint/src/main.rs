@@ -5,7 +5,7 @@
 //! 2 = usage/IO error.
 
 use hlisa_lint::gate;
-use hlisa_lint::{analyze_source, find_workspace_root, lint_workspace, Report};
+use hlisa_lint::{analyze_source, find_workspace_root, lint_workspace, Exemptions, Report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -94,7 +94,7 @@ fn main() -> ExitCode {
         let report = Report::from_diagnostics(analyze_source(
             &file.to_string_lossy().replace('\\', "/"),
             &text,
-            false,
+            Exemptions::default(),
         ));
         emit(&report, args.json);
         return if report.is_clean() {

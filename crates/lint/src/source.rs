@@ -333,11 +333,23 @@ fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
     in_test
 }
 
+/// Per-file rule exemptions, granted by the workspace walker to the few
+/// sanctioned definition sites (see `workspace.rs`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Exemptions {
+    /// Skip `no-hardcoded-min-move`: only the pointer-move profile
+    /// definition site (`crates/webdriver/src/actions.rs`), where numeric
+    /// durations are the point.
+    pub min_move: bool,
+    /// Skip `no-unordered-containers`: only for sanctioned interior-use
+    /// modules whose hash containers are point-queried and never iterated
+    /// (the jsom atom interner), so their ordering can't reach output.
+    pub unordered: bool,
+}
+
 /// Scans one source file. `file` labels diagnostics (workspace-relative
-/// path); `exempt_min_move` is set only for the definition site of the
-/// pointer-move profiles (`crates/webdriver/src/actions.rs`), where
-/// numeric durations are the point.
-pub fn analyze_source(file: &str, src: &str, exempt_min_move: bool) -> Vec<Diagnostic> {
+/// path); `exempt` carries the file's sanctioned rule exemptions.
+pub fn analyze_source(file: &str, src: &str, exempt: Exemptions) -> Vec<Diagnostic> {
     let lexed = lex(src);
     let in_test = mark_test_regions(&lexed.tokens);
     let allowed = |line: usize, rule: &str| {
@@ -397,12 +409,12 @@ pub fn analyze_source(file: &str, src: &str, exempt_min_move: bool) -> Vec<Diagn
                     );
                 }
             }
-            "HashMap" | "HashSet" => fire(
+            "HashMap" | "HashSet" if !exempt.unordered => fire(
                 "no-unordered-containers",
                 t.line,
                 format!("{name} iteration order is per-process random; use a BTree container"),
             ),
-            "min_duration_ms" if !exempt_min_move => {
+            "min_duration_ms" if !exempt.min_move => {
                 let assigns_number =
                     matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
                         && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Num));
@@ -414,7 +426,7 @@ pub fn analyze_source(file: &str, src: &str, exempt_min_move: bool) -> Vec<Diagn
                     );
                 }
             }
-            "override_pointer_move_min_duration" if !exempt_min_move => {
+            "override_pointer_move_min_duration" if !exempt.min_move => {
                 let called_with_number =
                     matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
                         && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Num));
@@ -437,7 +449,7 @@ mod tests {
     use super::*;
 
     fn rules_of(src: &str) -> Vec<&'static str> {
-        let mut ids: Vec<&'static str> = analyze_source("fixture.rs", src, false)
+        let mut ids: Vec<&'static str> = analyze_source("fixture.rs", src, Exemptions::default())
             .iter()
             .map(|d| d.rule)
             .collect();
@@ -533,7 +545,7 @@ mod tests {
     #[test]
     fn lines_are_reported_accurately() {
         let src = "fn a() {}\nfn b() { let x = rng_from_seed(3); }\n";
-        let d = analyze_source("x.rs", src, false);
+        let d = analyze_source("x.rs", src, Exemptions::default());
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].location.line, Some(2));
         assert_eq!(d[0].location.file.as_deref(), Some("x.rs"));
@@ -542,7 +554,25 @@ mod tests {
     #[test]
     fn exempt_file_skips_only_the_min_move_rule() {
         let src = "fn p() { let p = P { min_duration_ms: 250.0 }; let t = SystemTime::now(); }";
-        let ids: Vec<_> = analyze_source("actions.rs", src, true)
+        let exempt = Exemptions {
+            min_move: true,
+            ..Default::default()
+        };
+        let ids: Vec<_> = analyze_source("actions.rs", src, exempt)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(ids, ["no-wall-clock"]);
+    }
+
+    #[test]
+    fn unordered_exemption_skips_only_the_container_rule() {
+        let src = "use std::collections::HashMap;\nfn f() { let t = SystemTime::now(); }";
+        let exempt = Exemptions {
+            unordered: true,
+            ..Default::default()
+        };
+        let ids: Vec<_> = analyze_source("atom.rs", src, exempt)
             .iter()
             .map(|d| d.rule)
             .collect();

@@ -127,16 +127,15 @@ pub fn set_prototype_of(world: &mut World, property: &str, value: Value) -> Resu
         .get_prototype_of(nav)
         .ok_or_else(|| JsError::TypeError("navigator has no prototype".into()))?;
     let grandparent = world.realm.get_prototype_of(original_proto);
-    let props = world.realm.obj(original_proto).props.clone();
+    let props = world.realm.own_properties(original_proto);
     let fake = world.realm.alloc(JsObject::plain("Object", grandparent));
     for (k, d) in props {
         if k == property {
             world
                 .realm
-                .obj_mut(fake)
-                .set_own(&k, PropertyDescriptor::plain(value.clone()));
+                .set_own(fake, &k, PropertyDescriptor::plain(value.clone()));
         } else {
-            world.realm.obj_mut(fake).set_own(&k, d);
+            world.realm.set_own(fake, &k, d);
         }
     }
     world.realm.set_prototype_of(nav, Some(fake));

@@ -18,10 +18,12 @@
 
 pub mod population;
 pub mod site;
+pub mod snapshot;
 pub mod traversal;
 pub mod visit;
 
 pub use population::{generate_population, PopulationConfig};
 pub use site::{DetectionMethod, Reaction, Site, SiteDetector};
+pub use snapshot::{WorldSnapshot, WorldSnapshotCache};
 pub use traversal::{judge_traversal, traverse, PageGraph, TraversalStrategy};
 pub use visit::{simulate_visit, ClientKind, VisitOutcome, VisualOutcome};

@@ -6,8 +6,9 @@
 //! [`hlisa_detect`] checks against that world.
 
 use crate::site::{DetectionMethod, Reaction, Site};
+use crate::snapshot::WorldSnapshotCache;
 use hlisa_detect::{scan_fingerprint, TemplateAttackDetector};
-use hlisa_jsom::{build_firefox_world, BrowserFlavor};
+use hlisa_jsom::{build_firefox_world, BrowserFlavor, World};
 use hlisa_sim::SimContext;
 use hlisa_spoof::SpoofingExtension;
 use rand::Rng;
@@ -64,19 +65,60 @@ pub struct VisitOutcome {
 }
 
 /// Shared per-campaign detector state (the template reference is captured
-/// once, like a deployed detector shipping a baseline).
+/// once, like a deployed detector shipping a baseline) plus the pristine
+/// world snapshots per-visit realms are stamped from.
 #[derive(Debug, Clone)]
 pub struct DetectorRuntime {
     template: TemplateAttackDetector,
+    /// `Some` = stamp per-visit worlds from cached snapshots (the fast
+    /// path); `None` = rebuild the world from scratch on every visit (the
+    /// pre-snapshot behaviour, kept as the benchmark baseline and for the
+    /// bit-identity test).
+    worlds: Option<WorldSnapshotCache>,
 }
 
 impl DetectorRuntime {
-    /// Builds the shared runtime.
+    /// Builds the shared runtime with the world-snapshot cache enabled.
     pub fn new() -> Self {
         Self {
             template: TemplateAttackDetector::new(),
+            worlds: Some(WorldSnapshotCache::new()),
         }
     }
+
+    /// Builds a runtime that re-runs the world builders for every visit —
+    /// the original per-visit cost model. Campaign output is bit-identical
+    /// either way (world construction consumes no RNG); only throughput
+    /// differs.
+    pub fn without_world_cache() -> Self {
+        Self {
+            template: TemplateAttackDetector::new(),
+            worlds: None,
+        }
+    }
+
+    /// The client's page world for one visit: stamped from the snapshot
+    /// cache when enabled, freshly built otherwise.
+    fn visit_world(&self, client: ClientKind) -> World {
+        match &self.worlds {
+            Some(cache) => match client {
+                ClientKind::OpenWpm => cache.stamp(BrowserFlavor::WebDriverFirefox),
+                ClientKind::OpenWpmSpoofed => cache.stamp_spoofed_webdriver(),
+            },
+            None => fresh_client_world(client),
+        }
+    }
+}
+
+/// Builds a client world from scratch (the uncached path).
+fn fresh_client_world(client: ClientKind) -> World {
+    let mut world = build_firefox_world(BrowserFlavor::WebDriverFirefox);
+    if client == ClientKind::OpenWpmSpoofed {
+        SpoofingExtension::paper_default()
+            .inject(&mut world)
+            .expect("extension injects");
+    }
+    world
 }
 
 impl Default for DetectorRuntime {
@@ -124,22 +166,32 @@ pub fn simulate_visit_with<R: Rng + ?Sized>(
         };
     }
 
-    // Build the client's real page world and run the site's detector on it.
-    let mut world = build_firefox_world(BrowserFlavor::WebDriverFirefox);
-    if client == ClientKind::OpenWpmSpoofed {
-        SpoofingExtension::paper_default()
-            .inject(&mut world)
-            .expect("extension injects");
-    }
+    // The client's real page world. The uncached runtime rebuilds it for
+    // every visit (the original cost model); the cached runtime stamps it
+    // from a snapshot, and only when a detector will actually run it —
+    // both safe, because world acquisition consumes no RNG.
+    let mut eager_world = if runtime.worlds.is_none() {
+        Some(fresh_client_world(client))
+    } else {
+        None
+    };
     let detected = match site.detector.map(|d| d.method) {
         None => false,
-        Some(DetectionMethod::WebdriverFlag) => scan_fingerprint(&mut world).is_bot,
-        Some(DetectionMethod::TemplateAttack) => {
-            // Deep checks are rate-limited: the paper saw its surviving
-            // blocker fire "for a smaller subset of visits".
-            let runs_deep_check = rng.gen_bool(0.45);
-            let shallow = scan_fingerprint(&mut world).is_bot;
-            shallow || (runs_deep_check && runtime.template.is_tampered(&mut world))
+        Some(method) => {
+            let mut world = eager_world
+                .take()
+                .unwrap_or_else(|| runtime.visit_world(client));
+            match method {
+                DetectionMethod::WebdriverFlag => scan_fingerprint(&mut world).is_bot,
+                DetectionMethod::TemplateAttack => {
+                    // Deep checks are rate-limited: the paper saw its
+                    // surviving blocker fire "for a smaller subset of
+                    // visits".
+                    let runs_deep_check = rng.gen_bool(0.45);
+                    let shallow = scan_fingerprint(&mut world).is_bot;
+                    shallow || (runs_deep_check && runtime.template.is_tampered(&mut world))
+                }
+            }
         }
     };
 
@@ -188,6 +240,10 @@ fn synthesize_http<R: Rng + ?Sized>(
 
     let blockish = matches!(visual, VisualOutcome::BlockPage | VisualOutcome::Captcha);
     let reaction = site.detector.map(|d| d.reaction);
+    // The per-site content hash feeding every slot's background code is
+    // the same for all slots; hash the domain once per visit, not per
+    // request.
+    let site_hash = site_content_hash(site);
 
     for i in 0..site.first_party_requests {
         let code = if detected && blockish {
@@ -203,7 +259,7 @@ fn synthesize_http<R: Rng + ?Sized>(
         } else if detected && reaction == Some(Reaction::Http503) && rng.gen_bool(0.55) {
             503
         } else {
-            background_code(site, false, i, rng)
+            background_code(site_hash, false, i, rng)
         };
         first.push(code);
     }
@@ -218,12 +274,12 @@ fn synthesize_http<R: Rng + ?Sized>(
         if partial_suppression && rng.gen_bool(0.5) {
             continue;
         }
-        third.push(background_code(site, true, i, rng));
+        third.push(background_code(site_hash, true, i, rng));
     }
     (first, third)
 }
 
-/// Background status code for request slot `i` of a site.
+/// Hash of the site's fixed content, shared by every request slot.
 ///
 /// The bulk of a site's response mix is a property of its *content* (a
 /// missing image 404s for every visitor alike), so the per-slot code is
@@ -232,15 +288,24 @@ fn synthesize_http<R: Rng + ?Sized>(
 /// Wilcoxon test isolates the detection-induced differences. A small
 /// per-visit chance of a transient 5xx models live-web dynamics (Fig. 4
 /// only charts codes with more than 100 occurrences campaign-wide).
-fn background_code<R: Rng + ?Sized>(site: &Site, third_party: bool, i: u8, rng: &mut R) -> u16 {
-    if rng.gen_bool(0.001) {
-        return if rng.gen_bool(0.6) { 500 } else { 502 };
-    }
+fn site_content_hash(site: &Site) -> u64 {
     let mut h = hlisa_stats::rngutil::splitmix64(u64::from(site.rank) ^ 0xace1);
     for b in site.domain.as_bytes() {
         h = hlisa_stats::rngutil::splitmix64(h ^ u64::from(*b));
     }
-    h = hlisa_stats::rngutil::derive_seed(h, if third_party { "tp" } else { "fp" }, u64::from(i));
+    h
+}
+
+/// Status code for request slot `i`, derived from the site's content hash.
+fn background_code<R: Rng + ?Sized>(site_hash: u64, third_party: bool, i: u8, rng: &mut R) -> u16 {
+    if rng.gen_bool(0.001) {
+        return if rng.gen_bool(0.6) { 500 } else { 502 };
+    }
+    let h = hlisa_stats::rngutil::derive_seed(
+        site_hash,
+        if third_party { "tp" } else { "fp" },
+        u64::from(i),
+    );
     let x = (h % 1_000_000) as f64 / 1_000_000.0;
     match x {
         x if x < 0.915 => 200,
@@ -369,6 +434,27 @@ mod tests {
         let v = simulate_visit(&flaky, ClientKind::OpenWpm, &rt, &mut ctx);
         assert!(v.reached && !v.successful);
         assert_eq!(v.visual, VisualOutcome::TransientError);
+    }
+
+    #[test]
+    fn cached_and_uncached_runtimes_agree_visit_by_visit() {
+        let cfg = PopulationConfig {
+            n_sites: 40,
+            unreachable_sites: 3,
+            ..PopulationConfig::default()
+        };
+        let sites = generate_population(&cfg);
+        let cached = DetectorRuntime::new();
+        let fresh = DetectorRuntime::without_world_cache();
+        for client in [ClientKind::OpenWpm, ClientKind::OpenWpmSpoofed] {
+            let mut ctx_a = SimContext::new(11);
+            let mut ctx_b = SimContext::new(11);
+            for site in &sites {
+                let a = simulate_visit(site, client, &cached, &mut ctx_a);
+                let b = simulate_visit(site, client, &fresh, &mut ctx_b);
+                assert_eq!(a, b, "{client:?} diverged on {}", site.domain);
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn main() {
         },
         visits_per_site: 8,
         instances: 8,
+        world_cache: true,
     };
     println!(
         "crawling {} sites x {} visits with {} parallel instances per machine...\n",

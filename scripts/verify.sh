@@ -14,6 +14,9 @@ cargo test -q --workspace
 echo "==> hlisa-lint (workspace determinism + detectability gate)"
 cargo run -q -p hlisa-lint --release
 
+echo "==> bench_campaign --smoke (throughput harness sanity run)"
+cargo run -q -p hlisa-bench --release --bin bench_campaign -- --smoke --out BENCH_campaign.smoke.json
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

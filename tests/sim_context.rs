@@ -89,6 +89,7 @@ proptest! {
             },
             visits_per_site: 3,
             instances: 1,
+            world_cache: true,
         };
         let sites = generate_population(&base.population);
         let serial = run_machine(&base, &sites, ClientKind::OpenWpmSpoofed);

@@ -43,7 +43,11 @@ fn scroll_session() -> Session {
 }
 
 fn relocate_target(s: &mut Session, seed: u64, round: usize) {
-    let target = s.browser.document().by_id("target").unwrap();
+    let target = s
+        .browser
+        .document()
+        .by_id("target")
+        .expect("standard test page defines #target");
     let (x, y) = click_target_position(seed, round);
     s.browser.document_mut().element_mut(target).rect = Rect::new(x, y, 120.0, 40.0);
 }
@@ -69,7 +73,9 @@ fn lint_selenium(seed: u64) -> Report {
     let mut report = Report::new();
 
     let mut s = click_session();
-    let target = s.find_element(By::Id("target".into())).unwrap();
+    let target = s
+        .find_element(By::Id("target".into()))
+        .expect("standard test page defines #target");
     for round in 0..12 {
         relocate_target(&mut s, seed, round);
         SeleniumActionChains::new()
@@ -81,7 +87,9 @@ fn lint_selenium(seed: u64) -> Report {
     drain(&mut s, &mut report);
 
     let mut s = typing_session();
-    let input = s.find_element(By::Id("text_area".into())).unwrap();
+    let input = s
+        .find_element(By::Id("text_area".into()))
+        .expect("standard test page defines #text_area");
     SeleniumActionChains::new()
         .send_keys_to_element(input, TYPING_TASK_TEXT)
         .perform(&mut s)
@@ -104,7 +112,9 @@ fn lint_naive(seed: u64) -> Report {
     let mut report = Report::new();
 
     let mut s = click_session();
-    let target = s.find_element(By::Id("target".into())).unwrap();
+    let target = s
+        .find_element(By::Id("target".into()))
+        .expect("standard test page defines #target");
     for round in 0..12 {
         relocate_target(&mut s, seed, round);
         NaiveActionChains::new(derive_seed(seed, "naive-click", round as u64))
@@ -116,7 +126,9 @@ fn lint_naive(seed: u64) -> Report {
     drain(&mut s, &mut report);
 
     let mut s = typing_session();
-    let input = s.find_element(By::Id("text_area".into())).unwrap();
+    let input = s
+        .find_element(By::Id("text_area".into()))
+        .expect("standard test page defines #text_area");
     NaiveActionChains::new(derive_seed(seed, "naive-type", 0))
         .send_keys_to_element(input, TYPING_TASK_TEXT)
         .perform(&mut s)
@@ -141,7 +153,9 @@ fn lint_hlisa(params: HumanParams, consistent: bool, seed: u64) -> Report {
     let mut report = Report::new();
 
     let mut s = click_session();
-    let target = s.find_element(By::Id("target".into())).unwrap();
+    let target = s
+        .find_element(By::Id("target".into()))
+        .expect("standard test page defines #target");
     for round in 0..12 {
         relocate_target(&mut s, seed, round);
         chain("hlisa-click", round as u64)
@@ -153,7 +167,9 @@ fn lint_hlisa(params: HumanParams, consistent: bool, seed: u64) -> Report {
     drain(&mut s, &mut report);
 
     let mut s = typing_session();
-    let input = s.find_element(By::Id("text_area".into())).unwrap();
+    let input = s
+        .find_element(By::Id("text_area".into()))
+        .expect("standard test page defines #text_area");
     chain("hlisa-type", 0)
         .send_keys_to_element(input, TYPING_TASK_TEXT)
         .perform(&mut s)

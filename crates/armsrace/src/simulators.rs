@@ -86,7 +86,11 @@ fn scroll_session() -> Session {
 }
 
 fn relocate_target(s: &mut Session, seed: u64, round: usize) {
-    let target = s.browser.document().by_id("target").unwrap();
+    let target = s
+        .browser
+        .document()
+        .by_id("target")
+        .expect("standard test page defines #target");
     let (x, y) = click_target_position(seed, round);
     s.browser.document_mut().element_mut(target).rect = Rect::new(x, y, 120.0, 40.0);
 }
@@ -96,7 +100,9 @@ fn relocate_target(s: &mut Session, seed: u64, round: usize) {
 fn run_selenium_session(seed: u64) -> TraceFeatures {
     // Task 1: click the relocating target.
     let mut s = click_session();
-    let target = s.find_element(By::Id("target".into())).unwrap();
+    let target = s
+        .find_element(By::Id("target".into()))
+        .expect("standard test page defines #target");
     for round in 0..12 {
         relocate_target(&mut s, seed, round);
         SeleniumActionChains::new()
@@ -109,7 +115,9 @@ fn run_selenium_session(seed: u64) -> TraceFeatures {
 
     // Task 2: typing.
     let mut s = typing_session();
-    let input = s.find_element(By::Id("text_area".into())).unwrap();
+    let input = s
+        .find_element(By::Id("text_area".into()))
+        .expect("standard test page defines #text_area");
     SeleniumActionChains::new()
         .send_keys_to_element(input, TYPING_TASK_TEXT)
         .perform(&mut s)
@@ -138,7 +146,9 @@ fn run_selenium_session(seed: u64) -> TraceFeatures {
 
 fn run_naive_session(seed: u64) -> TraceFeatures {
     let mut s = click_session();
-    let target = s.find_element(By::Id("target".into())).unwrap();
+    let target = s
+        .find_element(By::Id("target".into()))
+        .expect("standard test page defines #target");
     for round in 0..12 {
         relocate_target(&mut s, seed, round);
         NaiveActionChains::new(derive_seed(seed, "naive-click", round as u64))
@@ -150,7 +160,9 @@ fn run_naive_session(seed: u64) -> TraceFeatures {
     let mut features = TraceFeatures::extract(&s.browser.recorder, s.browser.document());
 
     let mut s = typing_session();
-    let input = s.find_element(By::Id("text_area".into())).unwrap();
+    let input = s
+        .find_element(By::Id("text_area".into()))
+        .expect("standard test page defines #text_area");
     NaiveActionChains::new(derive_seed(seed, "naive-type", 0))
         .send_keys_to_element(input, TYPING_TASK_TEXT)
         .perform(&mut s)
@@ -180,7 +192,9 @@ fn run_hlisa_session(params: HumanParams, consistent: bool, seed: u64) -> TraceF
     };
 
     let mut s = click_session();
-    let target = s.find_element(By::Id("target".into())).unwrap();
+    let target = s
+        .find_element(By::Id("target".into()))
+        .expect("standard test page defines #target");
     for round in 0..12 {
         relocate_target(&mut s, seed, round);
         chain("hlisa-click", round as u64)
@@ -192,7 +206,9 @@ fn run_hlisa_session(params: HumanParams, consistent: bool, seed: u64) -> TraceF
     let mut features = TraceFeatures::extract(&s.browser.recorder, s.browser.document());
 
     let mut s = typing_session();
-    let input = s.find_element(By::Id("text_area".into())).unwrap();
+    let input = s
+        .find_element(By::Id("text_area".into()))
+        .expect("standard test page defines #text_area");
     chain("hlisa-type", 0)
         .send_keys_to_element(input, TYPING_TASK_TEXT)
         .perform(&mut s)

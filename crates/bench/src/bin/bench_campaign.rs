@@ -1,42 +1,65 @@
 //! Runs the campaign-throughput benchmark and writes `BENCH_campaign.json`.
 //!
-//! Usage: `bench_campaign [--smoke] [--out PATH]`
+//! Usage: `bench_campaign [--smoke] [--chaos] [--out PATH]`
 //!
 //! `--smoke` uses the seconds-scale CI sizing; the default sizing matches
-//! the numbers committed at the repository root.
+//! the numbers committed at the repository root. `--chaos` runs the
+//! fault-plane benchmark instead (rate-0 overhead + 5%-fault throughput)
+//! and defaults the output to `BENCH_chaos.json`.
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_campaign.json");
+    let mut chaos = false;
+    let mut out_path: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--chaos" => chaos = true,
             "--out" => {
-                out_path = argv.next().unwrap_or_else(|| {
+                out_path = Some(argv.next().unwrap_or_else(|| {
                     eprintln!("--out needs a path");
                     std::process::exit(2);
-                });
+                }));
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_campaign [--smoke] [--out PATH]");
+                eprintln!("usage: bench_campaign [--smoke] [--chaos] [--out PATH]");
                 std::process::exit(2);
             }
         }
     }
+    let mode = if smoke { "smoke" } else { "full" };
 
-    let config = if smoke {
-        hlisa_bench::campaign_bench::BenchConfig::smoke()
+    let (human, json, out_path) = if chaos {
+        let config = if smoke {
+            hlisa_bench::chaos_bench::ChaosBenchConfig::smoke()
+        } else {
+            hlisa_bench::chaos_bench::ChaosBenchConfig::full()
+        };
+        eprintln!("benchmarking chaos-mode campaign ({mode} mode)...");
+        let report = hlisa_bench::chaos_bench::run(config);
+        (
+            report.render_human(),
+            report.to_json(),
+            out_path.unwrap_or_else(|| String::from("BENCH_chaos.json")),
+        )
     } else {
-        hlisa_bench::campaign_bench::BenchConfig::full()
+        let config = if smoke {
+            hlisa_bench::campaign_bench::BenchConfig::smoke()
+        } else {
+            hlisa_bench::campaign_bench::BenchConfig::full()
+        };
+        eprintln!("benchmarking campaign throughput ({mode} mode)...");
+        let report = hlisa_bench::campaign_bench::run(config);
+        (
+            report.render_human(),
+            report.to_json(),
+            out_path.unwrap_or_else(|| String::from("BENCH_campaign.json")),
+        )
     };
-    eprintln!(
-        "benchmarking campaign throughput ({} mode)...",
-        if smoke { "smoke" } else { "full" }
-    );
-    let report = hlisa_bench::campaign_bench::run(config);
-    print!("{}", report.render_human());
-    std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
+
+    print!("{human}");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
     });

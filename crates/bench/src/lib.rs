@@ -19,6 +19,7 @@
 pub mod ablations;
 pub mod appendix_d;
 pub mod campaign_bench;
+pub mod chaos_bench;
 pub mod fieldstudy;
 pub mod figure3;
 pub mod figures;

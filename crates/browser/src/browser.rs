@@ -80,6 +80,10 @@ pub struct Browser {
     last_click: Option<(f64, Option<NodeId>)>,
     focused: Option<NodeId>,
     visible: bool,
+    /// Counters absorbed from outside the event dispatch — e.g. the
+    /// crawler's `fault.*` / `retry.*` / `breaker.*` family — surfaced
+    /// through [`Browser::metrics`] alongside the observer counters.
+    external_counters: CounterSet,
 }
 
 impl Clone for Browser {
@@ -106,6 +110,7 @@ impl Clone for Browser {
             last_click: self.last_click,
             focused: self.focused,
             visible: self.visible,
+            external_counters: self.external_counters.clone(),
         }
     }
 }
@@ -160,6 +165,7 @@ impl Browser {
             last_click: None,
             focused: None,
             visible: true,
+            external_counters: CounterSet::new(),
         }
     }
 
@@ -260,13 +266,21 @@ impl Browser {
         self.observers.len()
     }
 
+    /// Absorbs an externally-produced counter set (e.g. a chaos
+    /// campaign's fault monitor) into this browser's metrics surface.
+    pub fn absorb_counters(&mut self, counters: &CounterSet) {
+        self.external_counters.merge(counters);
+    }
+
     /// Event-count metrics aggregated across the recorder and every
-    /// attached observer, plus the page world's realm counters.
+    /// attached observer, plus absorbed external counters (the crawler's
+    /// `fault.*` / `retry.*` family) and the page world's realm counters.
     pub fn metrics(&self) -> CounterSet {
         let mut all = Observer::counters(&self.recorder);
         for o in &self.observers {
             all.merge(&o.counters());
         }
+        all.merge(&self.external_counters);
         let js = self.world.realm.stats();
         all.add("jsom.objects_allocated", js.objects_allocated);
         all.add("jsom.atoms_interned", js.atoms_interned);
@@ -1247,6 +1261,31 @@ mod tests {
         assert_eq!(metrics.get("observer.clicks"), Some(1));
         assert_eq!(metrics.get("events.click"), Some(1));
         assert_eq!(metrics.get("events.total"), Some(b.recorder.len() as u64));
+    }
+
+    #[test]
+    fn absorbed_fault_counters_surface_in_metrics() {
+        use hlisa_sim::{FaultEvent, FaultKind, FaultMonitor, Observer};
+
+        let mut monitor = FaultMonitor::new();
+        monitor.record(&FaultEvent::Injected {
+            kind: FaultKind::RealmCrash,
+        });
+        monitor.record(&FaultEvent::RetryScheduled {
+            attempt: 0,
+            backoff_ms: 750.0,
+        });
+        monitor.record(&FaultEvent::RecoveredAfterRetry { attempts: 2 });
+
+        let mut b = browser();
+        b.absorb_counters(&monitor.counters());
+        let metrics = b.metrics();
+        assert_eq!(metrics.get("fault.injected"), Some(1));
+        assert_eq!(metrics.get("fault.injected.realm_crash"), Some(1));
+        assert_eq!(metrics.get("retry.scheduled"), Some(1));
+        assert_eq!(metrics.get("retry.recovered"), Some(1));
+        // Absorbed counters survive cloning like the rest of the state.
+        assert_eq!(b.clone().metrics().get("fault.injected"), Some(1));
     }
 
     #[test]

@@ -1,0 +1,540 @@
+//! Chaos-mode campaign runner: the legacy two-machine crawl threaded
+//! through the fault plane and the recovery policy engine.
+//!
+//! The runner preserves two invariants the tests pin down:
+//!
+//! 1. **Rate-0 bit-identity.** With [`ChaosConfig::off`] the embedded
+//!    [`Campaign`] is byte-identical to [`run_campaign`]'s output: a
+//!    no-op [`FaultPlan`] consumes zero fault-stream draws, and visit
+//!    draws flow through the exact same `"visit"` stream forks.
+//! 2. **Determinism under faults.** Every fault draw and every backoff
+//!    jitter comes from the visit's `"fault"` stream — a pure function of
+//!    `(seed, machine, domain, visit index)` — so a faulted campaign
+//!    (outcomes *and* `fault.*`/`retry.*`/`breaker.*` counters) replays
+//!    identically for a fixed seed, regardless of worker count.
+//!
+//! Retries re-fork the visit context from scratch, so a retried visit
+//! replays exactly the interaction draws a first-try visit would have
+//! made — HLISA chains stay lint-clean under retry. Only *injected*
+//! faults are retried: site-intrinsic transients (the population's flaky
+//! visits) are recorded as-is, matching the paper's non-retrying crawler.
+
+use crate::campaign::{Campaign, CampaignConfig, MachineRun, SiteResult};
+use crate::recovery::{BreakerConfig, CircuitBreaker, RetryPolicy, VisitRecovery};
+use hlisa_sim::{FaultEvent, FaultMonitor, FaultPlan, Observer, SimContext};
+use hlisa_web::visit::DetectorRuntime;
+use hlisa_web::{generate_population, simulate_visit_attempt, ClientKind, Site, VisitError};
+use std::sync::OnceLock;
+
+/// Fault-plane and recovery configuration for a chaos campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Fault injection rates.
+    pub plan: FaultPlan,
+    /// Retry policy for injected transient faults.
+    pub retry: RetryPolicy,
+    /// Per-site circuit-breaker policy.
+    pub breaker: BreakerConfig,
+}
+
+impl ChaosConfig {
+    /// The fault plane switched off: no injections, and therefore no
+    /// retries and no breaker trips beyond site-intrinsic unreachability.
+    pub fn off() -> Self {
+        Self {
+            plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+
+    /// A uniform per-visit fault rate with default recovery policy.
+    pub fn uniform(total_rate: f64) -> Self {
+        Self {
+            plan: FaultPlan::uniform(total_rate),
+            ..Self::off()
+        }
+    }
+}
+
+/// Recovery telemetry for every visit of one site by one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteRecovery {
+    /// The site's domain.
+    pub domain: String,
+    /// Per-visit recovery records, in visit order.
+    pub visits: Vec<VisitRecovery>,
+    /// Whether the site's circuit breaker ended the crawl open.
+    pub breaker_open: bool,
+}
+
+impl SiteRecovery {
+    /// Total attempts across all visits of this site.
+    pub fn total_attempts(&self) -> u32 {
+        self.visits.iter().map(|v| v.attempts).sum()
+    }
+}
+
+/// One machine's chaos crawl: results live in the embedded
+/// [`MachineRun`]; this carries the recovery telemetry alongside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineRecovery {
+    /// The client flavour this machine ran.
+    pub client: ClientKind,
+    /// Per-site recovery records, in population order.
+    pub sites: Vec<SiteRecovery>,
+    /// Aggregated `fault.*` / `retry.*` / `breaker.*` counters, merged
+    /// from the per-worker monitors in worker-index order.
+    pub counters: hlisa_sim::CounterSet,
+}
+
+/// Both machines' chaos crawls over the same population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCampaign {
+    /// The plain campaign output — at fault rate 0, byte-identical to
+    /// [`run_campaign`](crate::run_campaign).
+    pub campaign: Campaign,
+    /// Machine (1) recovery telemetry.
+    pub openwpm_recovery: MachineRecovery,
+    /// Machine (2) recovery telemetry.
+    pub spoofed_recovery: MachineRecovery,
+}
+
+impl ChaosCampaign {
+    /// Both machines' fault counters merged (sorted: a name only one
+    /// machine observed must not dangle at the end of the set).
+    pub fn counters(&self) -> hlisa_sim::CounterSet {
+        let mut c = self.openwpm_recovery.counters.clone();
+        c.merge(&self.spoofed_recovery.counters);
+        c.sorted()
+    }
+}
+
+/// Runs the full two-machine campaign under a fault plane.
+pub fn run_chaos_campaign(config: &CampaignConfig, chaos: &ChaosConfig) -> ChaosCampaign {
+    let sites = generate_population(&config.population);
+    let runtime = if config.world_cache {
+        DetectorRuntime::new()
+    } else {
+        DetectorRuntime::without_world_cache()
+    };
+    let (openwpm, openwpm_recovery) =
+        run_chaos_machine(config, chaos, &sites, ClientKind::OpenWpm, &runtime);
+    let (spoofed, spoofed_recovery) =
+        run_chaos_machine(config, chaos, &sites, ClientKind::OpenWpmSpoofed, &runtime);
+    ChaosCampaign {
+        campaign: Campaign {
+            sites,
+            openwpm,
+            spoofed,
+        },
+        openwpm_recovery,
+        spoofed_recovery,
+    }
+}
+
+/// One machine's chaos crawl with `config.instances` parallel workers,
+/// partitioned exactly like the legacy runner (`i % instances == w`).
+fn run_chaos_machine(
+    config: &CampaignConfig,
+    chaos: &ChaosConfig,
+    sites: &[Site],
+    client: ClientKind,
+    runtime: &DetectorRuntime,
+) -> (MachineRun, MachineRecovery) {
+    let instances = config.instances.max(1);
+    let label = match client {
+        ClientKind::OpenWpm => "m1",
+        ClientKind::OpenWpmSpoofed => "m2",
+    };
+    let machine_ctx = SimContext::new(config.seed).fork(label, 0);
+    let slots: Vec<OnceLock<(SiteResult, SiteRecovery)>> =
+        (0..sites.len()).map(|_| OnceLock::new()).collect();
+
+    let worker_counters = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..instances)
+            .map(|w| {
+                let machine_ctx = &machine_ctx;
+                let slots = &slots;
+                scope.spawn(move || {
+                    let mut monitor = FaultMonitor::new();
+                    for (i, site) in sites.iter().enumerate().skip(w).step_by(instances) {
+                        let crawled = crawl_site(
+                            config,
+                            chaos,
+                            site,
+                            client,
+                            runtime,
+                            machine_ctx,
+                            &mut monitor,
+                        );
+                        let _ = slots[i].set(crawled);
+                    }
+                    monitor.counters()
+                })
+            })
+            .collect();
+        // Join in worker-index order so the merged counter set is
+        // schedule-independent.
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect::<Vec<_>>()
+    });
+
+    // Merge per-worker counters, then canonicalise to name order: totals
+    // are partition-independent, but insertion order is not — sorting
+    // makes the whole `MachineRecovery` schedule-independent.
+    let mut counters = hlisa_sim::CounterSet::new();
+    for wc in &worker_counters {
+        counters.merge(wc);
+    }
+    let counters = counters.sorted();
+
+    let mut results = Vec::with_capacity(sites.len());
+    let mut recoveries = Vec::with_capacity(sites.len());
+    for (slot, site) in slots.into_iter().zip(sites) {
+        let (result, recovery) = slot.into_inner().unwrap_or_else(|| {
+            // Graceful degradation mirroring the legacy runner: a site
+            // whose worker died is recorded unvisited, not fatal.
+            (
+                SiteResult {
+                    domain: site.domain.clone(),
+                    rank: site.rank,
+                    outcomes: Vec::new(),
+                },
+                SiteRecovery {
+                    domain: site.domain.clone(),
+                    visits: Vec::new(),
+                    breaker_open: false,
+                },
+            )
+        });
+        results.push(result);
+        recoveries.push(recovery);
+    }
+
+    (
+        MachineRun {
+            client,
+            sites: results,
+        },
+        MachineRecovery {
+            client,
+            sites: recoveries,
+            counters,
+        },
+    )
+}
+
+/// Crawls every visit of one site under the recovery policy. The site's
+/// circuit breaker lives here: a site is wholly owned by one worker, so
+/// breaker state needs no synchronisation and trips deterministically.
+fn crawl_site(
+    config: &CampaignConfig,
+    chaos: &ChaosConfig,
+    site: &Site,
+    client: ClientKind,
+    runtime: &DetectorRuntime,
+    machine_ctx: &SimContext,
+    monitor: &mut FaultMonitor,
+) -> (SiteResult, SiteRecovery) {
+    let site_down = chaos.plan.site_is_down(config.seed, &site.domain);
+    let mut breaker = CircuitBreaker::new(chaos.breaker.clone());
+    let mut outcomes = Vec::with_capacity(config.visits_per_site);
+    let mut visits = Vec::with_capacity(config.visits_per_site);
+
+    for v in 0..config.visits_per_site {
+        if breaker.is_open() {
+            monitor.record(&FaultEvent::BreakerSkippedVisit);
+            let outcome = VisitError::Unreachable { site_down: true }.to_outcome();
+            outcomes.push(outcome.clone());
+            visits.push(VisitRecovery {
+                outcome,
+                attempts: 0,
+                faults: Vec::new(),
+                backoff_ms: 0.0,
+                skipped_by_breaker: true,
+            });
+            continue;
+        }
+        let recovery = visit_with_recovery(
+            chaos,
+            site,
+            site_down,
+            client,
+            runtime,
+            machine_ctx,
+            v as u64,
+            &mut breaker,
+            monitor,
+        );
+        outcomes.push(recovery.outcome.clone());
+        visits.push(recovery);
+    }
+
+    (
+        SiteResult {
+            domain: site.domain.clone(),
+            rank: site.rank,
+            outcomes,
+        },
+        SiteRecovery {
+            domain: site.domain.clone(),
+            visits,
+            breaker_open: breaker.is_open(),
+        },
+    )
+}
+
+/// One visit under the retry policy.
+///
+/// The fault context is forked **once** per visit and held across
+/// attempts: successive attempts draw successive values from its
+/// `"fault"` stream (fault schedule, then backoff jitter), while each
+/// attempt re-forks the *visit* context from scratch so interaction
+/// draws are identical across attempts.
+#[allow(clippy::too_many_arguments)]
+fn visit_with_recovery(
+    chaos: &ChaosConfig,
+    site: &Site,
+    site_down: bool,
+    client: ClientKind,
+    runtime: &DetectorRuntime,
+    machine_ctx: &SimContext,
+    visit_idx: u64,
+    breaker: &mut CircuitBreaker,
+    monitor: &mut FaultMonitor,
+) -> VisitRecovery {
+    let mut fault_ctx = machine_ctx.fork_visit(&site.domain, visit_idx);
+    let mut faults = Vec::new();
+    let mut backoff_total = 0.0;
+    let mut attempt: u32 = 0;
+
+    loop {
+        attempt += 1;
+        let injected = if site_down {
+            Some(hlisa_sim::InjectedFault::PermanentUnreachable)
+        } else {
+            chaos.plan.draw(fault_ctx.stream("fault"))
+        };
+        let mut ctx = machine_ctx.fork_visit(&site.domain, visit_idx);
+        let result = simulate_visit_attempt(
+            site,
+            client,
+            runtime,
+            &mut ctx,
+            injected,
+            chaos.retry.visit_deadline_ms,
+        );
+
+        match result {
+            Ok(outcome) => {
+                breaker.record_success();
+                if attempt > 1 {
+                    monitor.record(&FaultEvent::RecoveredAfterRetry { attempts: attempt });
+                }
+                return VisitRecovery {
+                    outcome,
+                    attempts: attempt,
+                    faults,
+                    backoff_ms: backoff_total,
+                    skipped_by_breaker: false,
+                };
+            }
+            Err(e) => {
+                let kind = e.fault_kind();
+                // An error "is" the injected fault only when the kinds
+                // match — an intrinsic flake that preempted the scheduled
+                // fault is the population's own behaviour and is recorded
+                // as-is, exactly like the legacy (non-retrying) crawler.
+                let was_injected = injected.map(|f| f.kind()) == Some(kind);
+                if was_injected {
+                    monitor.record(&FaultEvent::Injected { kind });
+                    faults.push(kind);
+                }
+                if e.is_permanent() {
+                    if breaker.record_permanent_fault() {
+                        monitor.record(&FaultEvent::BreakerTripped);
+                    }
+                    return VisitRecovery {
+                        outcome: e.to_outcome(),
+                        attempts: attempt,
+                        faults,
+                        backoff_ms: backoff_total,
+                        skipped_by_breaker: false,
+                    };
+                }
+                let can_retry = was_injected && attempt < chaos.retry.max_attempts();
+                if can_retry {
+                    let backoff = chaos
+                        .retry
+                        .backoff_ms(attempt - 1, fault_ctx.stream("fault"));
+                    monitor.record(&FaultEvent::RetryScheduled {
+                        attempt: attempt - 1,
+                        backoff_ms: backoff,
+                    });
+                    backoff_total += backoff;
+                    continue;
+                }
+                if attempt > 1 {
+                    monitor.record(&FaultEvent::GaveUp { attempts: attempt });
+                }
+                // Non-permanent failures never feed the breaker; but a
+                // completed (if failed) contact still resets its
+                // consecutive-permanent count.
+                breaker.record_success();
+                return VisitRecovery {
+                    outcome: e.to_outcome(),
+                    attempts: attempt,
+                    faults,
+                    backoff_ms: backoff_total,
+                    skipped_by_breaker: false,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+    use hlisa_web::PopulationConfig;
+
+    fn small_config() -> CampaignConfig {
+        CampaignConfig {
+            seed: 7,
+            population: PopulationConfig {
+                n_sites: 60,
+                unreachable_sites: 5,
+                webdriver_visible: (2, 1, 1, 1),
+                template_visible: (1, 1, 1),
+                silent_http: (2, 1),
+                breakage_sites: 1,
+                ..PopulationConfig::default()
+            },
+            visits_per_site: 4,
+            instances: 4,
+            world_cache: true,
+        }
+    }
+
+    #[test]
+    fn rate_zero_chaos_is_byte_identical_to_the_legacy_runner() {
+        let config = small_config();
+        let legacy = run_campaign(&config);
+        let chaos = run_chaos_campaign(&config, &ChaosConfig::off());
+        assert_eq!(chaos.campaign, legacy);
+    }
+
+    #[test]
+    fn faulted_campaign_reproduces_exactly_across_runs() {
+        let config = small_config();
+        let cfg = ChaosConfig::uniform(0.05);
+        let a = run_chaos_campaign(&config, &cfg);
+        let b = run_chaos_campaign(&config, &cfg);
+        assert_eq!(
+            a, b,
+            "fixed-seed 5%-fault campaign must replay bit-identically"
+        );
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn faulted_campaign_is_schedule_independent() {
+        let base = small_config();
+        let mut serial = base.clone();
+        serial.instances = 1;
+        let cfg = ChaosConfig::uniform(0.10);
+        let a = run_chaos_campaign(&base, &cfg);
+        let b = run_chaos_campaign(&serial, &cfg);
+        assert_eq!(a, b, "worker count must not affect outcomes or counters");
+    }
+
+    #[test]
+    fn injections_produce_fault_counters_and_recoveries() {
+        let config = small_config();
+        let chaos = run_chaos_campaign(&config, &ChaosConfig::uniform(0.20));
+        let c = chaos.counters();
+        assert!(
+            c.get("fault.injected").unwrap_or(0) > 0,
+            "no faults at 20%?"
+        );
+        assert!(c.get("retry.scheduled").unwrap_or(0) > 0);
+        assert!(c.get("retry.recovered").unwrap_or(0) > 0);
+        // Backoff totals follow the retries.
+        assert!(c.get("retry.backoff_ms_total").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn site_outage_feeds_the_unreachable_row_and_the_breaker() {
+        let config = small_config();
+        let cfg = ChaosConfig {
+            plan: FaultPlan {
+                site_outage: 0.25,
+                ..FaultPlan::none()
+            },
+            ..ChaosConfig::off()
+        };
+        let chaos = run_chaos_campaign(&config, &cfg);
+        let downed: Vec<&str> = chaos
+            .campaign
+            .sites
+            .iter()
+            .filter(|s| !s.unreachable && cfg.plan.site_is_down(config.seed, &s.domain))
+            .map(|s| s.domain.as_str())
+            .collect();
+        assert!(!downed.is_empty(), "25% outage downed nothing");
+        for run in [&chaos.campaign.openwpm, &chaos.campaign.spoofed] {
+            for site in &run.sites {
+                if downed.contains(&site.domain.as_str()) {
+                    assert!(!site.reached(), "{} should be down", site.domain);
+                }
+            }
+        }
+        assert!(chaos.counters().get("breaker.tripped").unwrap_or(0) >= downed.len() as u64);
+        assert!(chaos.counters().get("breaker.skipped_visits").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn successful_chaos_visits_match_their_legacy_counterparts() {
+        // Retries re-fork the visit context, so any visit that ends in
+        // success (first try or after recovery) must record exactly the
+        // outcome the faultless campaign records at the same position.
+        let config = small_config();
+        let legacy = run_campaign(&config);
+        let chaos = run_chaos_campaign(&config, &ChaosConfig::uniform(0.15));
+        for (chaos_run, legacy_run) in [
+            (&chaos.campaign.openwpm, &legacy.openwpm),
+            (&chaos.campaign.spoofed, &legacy.spoofed),
+        ] {
+            for (cs, ls) in chaos_run.sites.iter().zip(&legacy_run.sites) {
+                for (co, lo) in cs.outcomes.iter().zip(&ls.outcomes) {
+                    if co.successful {
+                        assert_eq!(co, lo, "{}: successful visit diverged", cs.domain);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_skips_remaining_visits_of_permanently_dead_sites() {
+        let config = small_config();
+        let chaos = run_chaos_campaign(&config, &ChaosConfig::off());
+        let threshold = ChaosConfig::off().breaker.permanent_fault_threshold as usize;
+        for (site, rec) in chaos
+            .campaign
+            .sites
+            .iter()
+            .zip(&chaos.openwpm_recovery.sites)
+        {
+            if site.unreachable {
+                assert!(rec.breaker_open, "{} breaker should open", site.domain);
+                let skipped = rec.visits.iter().filter(|v| v.skipped_by_breaker).count();
+                assert_eq!(skipped, config.visits_per_site - threshold);
+            }
+        }
+    }
+}

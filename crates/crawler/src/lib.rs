@@ -12,11 +12,15 @@
 //! [`http_analysis`] the Figure 4 aggregation and significance test.
 
 pub mod campaign;
+pub mod chaos;
 pub mod http_analysis;
+pub mod recovery;
 pub mod report;
 pub mod screenshot;
 
 pub use campaign::{run_campaign, run_machine, Campaign, CampaignConfig, MachineRun, SiteResult};
+pub use chaos::{run_chaos_campaign, ChaosCampaign, ChaosConfig, MachineRecovery, SiteRecovery};
 pub use http_analysis::{analyze_http, HttpReport};
-pub use report::{status_codes_csv, table2_csv, visits_csv};
+pub use recovery::{BreakerConfig, CircuitBreaker, RetryPolicy, VisitRecovery};
+pub use report::{recovery_csv, status_codes_csv, table2_csv, visits_csv};
 pub use screenshot::{screenshot_table, Table2, Table2Row};

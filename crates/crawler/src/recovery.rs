@@ -1,0 +1,235 @@
+//! Recovery policy engine: bounded retries with deterministic jittered
+//! exponential backoff, plus a per-site circuit breaker.
+//!
+//! Krumnow et al. (PAPERS.md) show that unhandled crawl failures silently
+//! bias measurement results; Gundelach et al. show that *naive* retry
+//! behaviour (fixed delays, hot loops) is itself a detectable tell. The
+//! policy here therefore retries with exponential backoff and jitter —
+//! but the jitter comes from a [`SimContext`](hlisa_sim::SimContext)
+//! stream (conventionally the `"fault"` stream), never `thread_rng`, so
+//! a campaign's full recovery behaviour replays bit-identically from its
+//! seed. Drawing jitter from the fault stream also keeps the interaction
+//! streams (`"visit"`, `"motion"`, ...) unperturbed: a retried visit
+//! replays exactly the draws a first-try visit would have made.
+
+use hlisa_sim::Rng;
+use hlisa_web::VisitOutcome;
+
+/// Retry policy for transient visit faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in virtual milliseconds.
+    pub base_backoff_ms: f64,
+    /// Multiplier applied per further retry.
+    pub backoff_factor: f64,
+    /// Upper clamp on the un-jittered backoff.
+    pub max_backoff_ms: f64,
+    /// Symmetric jitter fraction: the delay is scaled by a uniform
+    /// factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Per-attempt visit deadline, in virtual milliseconds.
+    pub visit_deadline_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            base_backoff_ms: 1_000.0,
+            backoff_factor: 2.0,
+            max_backoff_ms: 30_000.0,
+            jitter: 0.5,
+            visit_deadline_ms: hlisa_web::DEFAULT_VISIT_DEADLINE_MS,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Total attempts a visit may take (first try + retries).
+    pub fn max_attempts(&self) -> u32 {
+        1 + self.max_retries
+    }
+
+    /// The jittered backoff before retrying after failed attempt
+    /// `attempt` (0-based). Deterministic given the RNG stream position:
+    /// `clamp(base · factor^attempt, max) · U[1−j, 1+j]`.
+    pub fn backoff_ms<R: Rng + ?Sized>(&self, attempt: u32, rng: &mut R) -> f64 {
+        let raw = self.base_backoff_ms * self.backoff_factor.powi(attempt as i32);
+        let clamped = raw.min(self.max_backoff_ms);
+        if self.jitter <= 0.0 {
+            return clamped;
+        }
+        let u = rng.gen::<f64>();
+        clamped * (1.0 - self.jitter + 2.0 * self.jitter * u)
+    }
+}
+
+/// Circuit-breaker configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive permanent faults after which the site's breaker opens
+    /// and remaining visits are skipped (the site lands in Table 2's
+    /// unreachable row).
+    pub permanent_fault_threshold: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            permanent_fault_threshold: 3,
+        }
+    }
+}
+
+/// Per-site circuit breaker. Each crawl worker owns the breakers for the
+/// sites it crawls (a site is never split across workers), so no locking
+/// is needed and trip decisions are schedule-independent.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    consecutive_permanent: u32,
+    open: bool,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            consecutive_permanent: 0,
+            open: false,
+        }
+    }
+
+    /// Whether the breaker is open (site marked unreachable).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Records a permanent fault; returns `true` if this one tripped the
+    /// breaker open.
+    pub fn record_permanent_fault(&mut self) -> bool {
+        if self.open {
+            return false;
+        }
+        self.consecutive_permanent += 1;
+        if self.consecutive_permanent >= self.config.permanent_fault_threshold {
+            self.open = true;
+            return true;
+        }
+        false
+    }
+
+    /// Records a successful (or at least non-permanent) visit, resetting
+    /// the consecutive-fault count.
+    pub fn record_success(&mut self) {
+        if !self.open {
+            self.consecutive_permanent = 0;
+        }
+    }
+}
+
+/// Everything the recovery engine learned about one visit: the recorded
+/// outcome plus how it got there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisitRecovery {
+    /// The outcome recorded into the site result (possibly degraded from
+    /// a `VisitError`).
+    pub outcome: VisitOutcome,
+    /// Attempts made (0 when the breaker skipped the visit outright).
+    pub attempts: u32,
+    /// Faults observed across the attempts, in order.
+    pub faults: Vec<hlisa_sim::FaultKind>,
+    /// Total virtual backoff spent between attempts.
+    pub backoff_ms: f64,
+    /// True when the open breaker skipped this visit without attempting.
+    pub skipped_by_breaker: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_sim::SimContext;
+
+    #[test]
+    fn backoff_is_deterministic_per_stream_position() {
+        let policy = RetryPolicy::default();
+        let mut a = SimContext::new(4);
+        let mut b = SimContext::new(4);
+        for attempt in 0..4 {
+            assert_eq!(
+                policy.backoff_ms(attempt, a.stream("fault")),
+                policy.backoff_ms(attempt, b.stream("fault"))
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_jitter_bounds() {
+        let policy = RetryPolicy::default();
+        let mut ctx = SimContext::new(9);
+        for attempt in 0..6 {
+            let raw = (1_000.0 * 2.0f64.powi(attempt as i32)).min(30_000.0);
+            let b = policy.backoff_ms(attempt, ctx.stream("fault"));
+            assert!(
+                b >= raw * 0.5 - 1e-9 && b <= raw * 1.5 + 1e-9,
+                "attempt {attempt}: {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jitter_consumes_no_draws() {
+        let policy = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut a = SimContext::new(2);
+        let mut b = SimContext::new(2);
+        assert_eq!(policy.backoff_ms(0, a.stream("fault")), 1_000.0);
+        assert_eq!(policy.backoff_ms(3, a.stream("fault")), 8_000.0);
+        assert_eq!(policy.backoff_ms(9, a.stream("fault")), 30_000.0);
+        assert_eq!(
+            a.stream("fault").gen::<u64>(),
+            b.stream("fault").gen::<u64>()
+        );
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_consecutive_permanents() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            permanent_fault_threshold: 3,
+        });
+        assert!(!b.record_permanent_fault());
+        assert!(!b.record_permanent_fault());
+        assert!(!b.is_open());
+        assert!(b.record_permanent_fault(), "third fault trips");
+        assert!(b.is_open());
+        // Tripping is edge-triggered: further faults don't re-trip.
+        assert!(!b.record_permanent_fault());
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            permanent_fault_threshold: 2,
+        });
+        assert!(!b.record_permanent_fault());
+        b.record_success();
+        assert!(!b.record_permanent_fault());
+        assert!(b.record_permanent_fault());
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn max_attempts_counts_the_first_try() {
+        assert_eq!(RetryPolicy::default().max_attempts(), 3);
+        let none = RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(none.max_attempts(), 1);
+    }
+}

@@ -215,7 +215,7 @@ impl TraceFeatures {
             .collect();
         let presses: Vec<f64> = char_strokes.iter().map(|k| k.down_t).collect();
         if presses.len() >= 2 {
-            let span = presses.last().unwrap() - presses[0];
+            let span = presses.last().expect("len checked >= 2") - presses[0];
             if span > 0.0 {
                 f.typing_cpm = (presses.len() - 1) as f64 * 60_000.0 / span;
             }
@@ -227,7 +227,7 @@ impl TraceFeatures {
             .filter(|e| match &e.payload {
                 EventPayload::Key { key, shift } => {
                     key.chars().count() == 1
-                        && key.chars().next().unwrap().is_ascii_uppercase()
+                        && key.chars().next().expect("count is 1").is_ascii_uppercase()
                         && !shift
                 }
                 _ => false,
@@ -261,9 +261,8 @@ impl TraceFeatures {
                 .windows(2)
                 .map(|w| ((w[1].1 - w[0].1).powi(2) + (w[1].2 - w[0].2).powi(2)).sqrt())
                 .sum();
-            let chord = ((seg.last().unwrap().1 - seg[0].1).powi(2)
-                + (seg.last().unwrap().2 - seg[0].2).powi(2))
-            .sqrt();
+            let last = seg.last().expect("segments of >= 5 samples");
+            let chord = ((last.1 - seg[0].1).powi(2) + (last.2 - seg[0].2).powi(2)).sqrt();
             if path < MIN_SEGMENT_PATH_PX {
                 continue; // too short to judge
             }

@@ -95,7 +95,10 @@ pub fn run_human_session_with(params: HumanParams, seed: u64) -> TraceFeatures {
 
     // Task 1: click the relocating target 12 times.
     let mut browser = Browser::open(BrowserConfig::regular(), click_task_page());
-    let target = browser.document().by_id("target").unwrap();
+    let target = browser
+        .document()
+        .by_id("target")
+        .expect("standard test page defines #target");
     for round in 0..12 {
         let (x, y) = click_target_position(seed, round);
         browser.document_mut().element_mut(target).rect = Rect::new(x, y, 120.0, 40.0);
@@ -109,7 +112,10 @@ pub fn run_human_session_with(params: HumanParams, seed: u64) -> TraceFeatures {
         BrowserConfig::regular(),
         standard_test_page("https://tasks.test/type", 2_000.0),
     );
-    let input = browser.document().by_id("text_area").unwrap();
+    let input = browser
+        .document()
+        .by_id("text_area")
+        .expect("standard test page defines #text_area");
     human.click_element(&mut browser, input);
     human.type_text(&mut browser, TYPING_TASK_TEXT);
     features.merge(&TraceFeatures::extract(

@@ -138,7 +138,7 @@ pub fn plan_cpm(events: &[PlannedKeyEvent]) -> f64 {
     if presses.len() < 2 {
         return 0.0;
     }
-    let span_ms = presses.last().unwrap().at_ms - presses[0].at_ms;
+    let span_ms = presses.last().expect("len checked >= 2").at_ms - presses[0].at_ms;
     if span_ms <= 0.0 {
         return 0.0;
     }

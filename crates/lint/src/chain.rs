@@ -91,7 +91,10 @@ impl ChainLinter {
                 .windows(2)
                 .map(|w| dist(w[0], w[1]))
                 .sum();
-            let chord = dist(self.gesture_points[0], *self.gesture_points.last().unwrap());
+            let chord = dist(
+                self.gesture_points[0],
+                *self.gesture_points.last().expect("len checked >= 2"),
+            );
             let start = Location::at_action(self.gesture_start);
             // Waypoints are coarse, so the tell is *exact* collinearity:
             // human trajectories carry jitter and curvature that survive

@@ -65,6 +65,15 @@ pub const CATALOG: &[RuleInfo] = &[
                   HLISA_MIN_MOVE_MS: the 50 ms override has one definition site",
         paper_ref: "§4.1: \"we change this duration to 50 msec\"",
     },
+    RuleInfo {
+        id: "no-panic",
+        kind: AnalyzerKind::Source,
+        summary: "unwrap()/panic! in non-test code: a panicking crawl worker \
+                  silently drops its sites from the measurement; fail through \
+                  the typed VisitError/recovery path instead",
+        paper_ref: "OpenWPM-reliability (PAPERS.md): unhandled harness crashes \
+                    bias crawl results; ISSUE 4 fault plane",
+    },
     // --- Chain detectability (Table 1 tells) --------------------------
     RuleInfo {
         id: "sub-min-move",

@@ -345,6 +345,10 @@ pub struct Exemptions {
     /// modules whose hash containers are point-queried and never iterated
     /// (the jsom atom interner), so their ordering can't reach output.
     pub unordered: bool,
+    /// Skip `no-panic`: only for sanctioned fail-fast modules (the
+    /// offline bench report builders), where aborting on a malformed
+    /// local artifact is the intended behaviour.
+    pub panics: bool,
 }
 
 /// Scans one source file. `file` labels diagnostics (workspace-relative
@@ -414,6 +418,36 @@ pub fn analyze_source(file: &str, src: &str, exempt: Exemptions) -> Vec<Diagnost
                 t.line,
                 format!("{name} iteration order is per-process random; use a BTree container"),
             ),
+            "unwrap" if !exempt.panics => {
+                // `.unwrap()` — a method call with no arguments. The
+                // leading dot keeps definitions (`fn unwrap`) and paths
+                // (`Option::unwrap` as a value) from firing.
+                let is_bare_call = i > 0
+                    && matches!(&toks[i - 1].tok, Tok::Punct('.'))
+                    && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+                    && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(')')));
+                if is_bare_call {
+                    fire(
+                        "no-panic",
+                        t.line,
+                        "unwrap() panics the worker; propagate a typed error or expect() \
+                         a stated invariant"
+                            .into(),
+                    );
+                }
+            }
+            "panic" if !exempt.panics => {
+                // `panic!(...)` — the macro bang. `panic::catch_unwind`
+                // (`panic` followed by `::`) and idents like
+                // `should_panic` lex differently and never reach here.
+                if matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!'))) {
+                    fire(
+                        "no-panic",
+                        t.line,
+                        "panic! aborts the crawl worker; fail through the typed error path".into(),
+                    );
+                }
+            }
             "min_duration_ms" if !exempt.min_move => {
                 let assigns_number =
                     matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
@@ -497,6 +531,42 @@ mod tests {
             rules_of("fn p() -> PointerMoveProfile { PointerMoveProfile { min_duration_ms: 250.0, sample_interval_ms: 10.0 } }"),
             ["no-hardcoded-min-move"]
         );
+    }
+
+    #[test]
+    fn no_panic_fires_on_unwrap_calls_and_panic_macros() {
+        assert_eq!(
+            rules_of("fn f(x: Option<u8>) -> u8 { x.unwrap() }"),
+            ["no-panic"]
+        );
+        assert_eq!(rules_of("fn f() { panic!(\"boom\"); }"), ["no-panic"]);
+        // `expect` with a stated invariant is the sanctioned spelling.
+        assert!(rules_of("fn f(x: Option<u8>) -> u8 { x.expect(\"set by new()\") }").is_empty());
+        // `unwrap_or` family, `panic::catch_unwind`, and definitions of
+        // an `unwrap` method are not panics.
+        assert!(rules_of("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }").is_empty());
+        assert!(rules_of("fn f() { let _ = std::panic::catch_unwind(|| 1); }").is_empty());
+        assert!(rules_of("impl W { fn unwrap(self) -> u8 { self.0 } }").is_empty());
+        // Test regions stay exempt, and allow-comments suppress.
+        assert!(rules_of("#[test]\nfn t() { Some(1).unwrap(); }").is_empty());
+        assert!(
+            rules_of("fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(no-panic)")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn panic_exemption_skips_only_the_panic_rule() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); let t = SystemTime::now(); }";
+        let exempt = Exemptions {
+            panics: true,
+            ..Default::default()
+        };
+        let ids: Vec<_> = analyze_source("bench.rs", src, exempt)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(ids, ["no-wall-clock"]);
     }
 
     #[test]

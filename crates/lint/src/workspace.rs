@@ -22,6 +22,12 @@ const MIN_MOVE_DEFINITION_SITE: &str = "crates/webdriver/src/actions.rs";
 /// insertion-ordered `Vec` side of the table remains the canonical view.
 const UNORDERED_INTERIOR_SITES: &[&str] = &["crates/jsom/src/atom.rs"];
 
+/// Path prefixes sanctioned to fail fast (`no-panic` exempt): the
+/// offline bench report builders, where aborting on a malformed local
+/// artifact is the intended behaviour — nothing there runs inside a
+/// crawl worker.
+const PANIC_SANCTIONED_PREFIXES: &[&str] = &["crates/bench/src/"];
+
 /// Walks upward from `start` to the directory that holds both a
 /// `Cargo.toml` and a `crates/` directory.
 pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
@@ -85,6 +91,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
             let exempt = Exemptions {
                 min_move: rel == MIN_MOVE_DEFINITION_SITE,
                 unordered: UNORDERED_INTERIOR_SITES.contains(&rel.as_str()),
+                panics: PANIC_SANCTIONED_PREFIXES.iter().any(|p| rel.starts_with(p)),
             };
             report.extend(analyze_source(&rel, &text, exempt));
         }

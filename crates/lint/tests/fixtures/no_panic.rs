@@ -1,0 +1,8 @@
+//! Fixture: panicking failure handling in non-test code.
+
+pub fn first_rank(ranks: &[u32]) -> u32 {
+    if ranks.is_empty() {
+        panic!("no ranks");
+    }
+    *ranks.first().unwrap()
+}

@@ -32,6 +32,7 @@ fn every_source_rule_has_a_failing_fixture() {
         ("unordered_containers.rs", "no-unordered-containers"),
         ("rng_from_seed.rs", "no-rng-from-seed"),
         ("hardcoded_min_move.rs", "no-hardcoded-min-move"),
+        ("no_panic.rs", "no-panic"),
     ];
     for (fixture, rule) in cases {
         let (code, json) = run_check(fixture, true);

@@ -1,0 +1,462 @@
+//! The deterministic fault plane: typed fault injection for chaos-mode
+//! crawls.
+//!
+//! The paper's field study (§3, Table 2) runs against the live web, where
+//! visits fail, stall, and time out; Krumnow et al. (PAPERS.md) show that
+//! exactly these failure modes silently bias measurement results when the
+//! harness does not account for them. This module gives the workspace a
+//! *fault plane*: a [`FaultPlan`] holding per-visit injection rates for a
+//! typed fault taxonomy ([`FaultKind`]), drawn from a dedicated named RNG
+//! stream (conventionally `ctx.stream("fault")`) so that fault schedules
+//! are seeded, forkable per worker, and bit-reproducible — and, crucially,
+//! so that injections and retries never perturb the interaction streams
+//! (`"visit"`, `"motion"`, `"typing"`, ...) that drive HLISA chains.
+//!
+//! The plan deliberately knows nothing about sites or visits; it draws
+//! generic [`InjectedFault`]s that `hlisa-web` maps onto its visit-error
+//! taxonomy and `hlisa-crawler`'s recovery engine reacts to. Recovery
+//! telemetry flows through the [`Observer`] protocol as [`FaultEvent`]s,
+//! aggregated by a [`FaultMonitor`] into the `fault.*` / `retry.*` /
+//! `breaker.*` counter family.
+
+use crate::observer::{CounterSet, Observer};
+use hlisa_stats::rngutil::derive_seed;
+use rand::Rng;
+
+/// The typed fault taxonomy the plane can inject into a visit attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The page never finishes loading inside the visit deadline.
+    PageLoadTimeout,
+    /// The visit freezes partway through the interaction chain and sits
+    /// there until the deadline fires.
+    MidVisitStall,
+    /// The page's JS realm dies mid-visit (renderer / browser crash).
+    RealmCrash,
+    /// A transient network error: connection reset before any HTTP
+    /// response arrives.
+    TransientNetwork,
+    /// The host refuses connections for this attempt (DNS failure,
+    /// connect refusal) — retrying within the campaign is pointless.
+    PermanentUnreachable,
+}
+
+impl FaultKind {
+    /// Every kind, in a fixed order (rate partitioning and counter
+    /// rendering both rely on this order being stable).
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::PageLoadTimeout,
+        FaultKind::MidVisitStall,
+        FaultKind::RealmCrash,
+        FaultKind::TransientNetwork,
+        FaultKind::PermanentUnreachable,
+    ];
+
+    /// Stable snake_case name, used in counter names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::PageLoadTimeout => "page_load_timeout",
+            FaultKind::MidVisitStall => "mid_visit_stall",
+            FaultKind::RealmCrash => "realm_crash",
+            FaultKind::TransientNetwork => "transient_network",
+            FaultKind::PermanentUnreachable => "permanent_unreachable",
+        }
+    }
+
+    /// Whether retrying the visit can possibly help. Permanent faults
+    /// feed the crawler's circuit breaker instead of its retry loop.
+    pub fn is_permanent(self) -> bool {
+        matches!(self, FaultKind::PermanentUnreachable)
+    }
+}
+
+/// One concrete fault scheduled for one visit attempt.
+///
+/// Stall/crash faults carry the chain position they hit at, drawn from
+/// the fault stream at schedule time so the visit's own streams stay
+/// untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectedFault {
+    /// See [`FaultKind::PageLoadTimeout`].
+    PageLoadTimeout,
+    /// Stall at `at_fraction` ∈ [0, 1) of the planned interaction chain.
+    MidVisitStall {
+        /// Fraction of the interaction chain completed before the freeze.
+        at_fraction: f64,
+    },
+    /// Crash at `at_fraction` ∈ [0, 1) of the planned interaction chain.
+    RealmCrash {
+        /// Fraction of the interaction chain completed before the crash.
+        at_fraction: f64,
+    },
+    /// See [`FaultKind::TransientNetwork`].
+    TransientNetwork,
+    /// See [`FaultKind::PermanentUnreachable`].
+    PermanentUnreachable,
+}
+
+impl InjectedFault {
+    /// The taxonomy bucket this fault belongs to.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            InjectedFault::PageLoadTimeout => FaultKind::PageLoadTimeout,
+            InjectedFault::MidVisitStall { .. } => FaultKind::MidVisitStall,
+            InjectedFault::RealmCrash { .. } => FaultKind::RealmCrash,
+            InjectedFault::TransientNetwork => FaultKind::TransientNetwork,
+            InjectedFault::PermanentUnreachable => FaultKind::PermanentUnreachable,
+        }
+    }
+}
+
+/// Label for the per-site outage derivation (see [`FaultPlan::site_is_down`]),
+/// kept distinct from every stream name used elsewhere in the seed tree.
+const SITE_OUTAGE_LABEL: &str = "fault-site-outage";
+
+/// Per-visit and per-site fault injection rates.
+///
+/// A plan is pure configuration: every draw comes from an RNG stream the
+/// caller passes in, so the same plan is shared by all workers of a
+/// campaign while each worker's schedule derives from its own fork of the
+/// seed tree. With every rate at zero the plan is a guaranteed no-op —
+/// [`FaultPlan::draw`] returns without consuming a single draw, which is
+/// what makes a rate-0 chaos run bit-identical to a faultless one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Per-visit probability of a page-load timeout.
+    pub page_load_timeout: f64,
+    /// Per-visit probability of a mid-visit stall.
+    pub mid_visit_stall: f64,
+    /// Per-visit probability of a realm crash.
+    pub realm_crash: f64,
+    /// Per-visit probability of a transient network error.
+    pub transient_network: f64,
+    /// Per-visit probability of a permanent connect failure.
+    pub permanent_unreachable: f64,
+    /// Fraction of sites that are down for the *whole* campaign — decided
+    /// per domain (not per visit), identically on every machine/worker.
+    pub site_outage: f64,
+}
+
+impl FaultPlan {
+    /// The no-fault plan: draws nothing, injects nothing.
+    pub fn none() -> Self {
+        Self {
+            page_load_timeout: 0.0,
+            mid_visit_stall: 0.0,
+            realm_crash: 0.0,
+            transient_network: 0.0,
+            permanent_unreachable: 0.0,
+            site_outage: 0.0,
+        }
+    }
+
+    /// A uniform chaos plan: `total_rate` per-visit fault probability,
+    /// split evenly across the five kinds; no whole-campaign outages.
+    pub fn uniform(total_rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&total_rate),
+            "fault rate must be a probability, got {total_rate}"
+        );
+        let each = total_rate / FaultKind::ALL.len() as f64;
+        Self {
+            page_load_timeout: each,
+            mid_visit_stall: each,
+            realm_crash: each,
+            transient_network: each,
+            permanent_unreachable: each,
+            site_outage: 0.0,
+        }
+    }
+
+    /// The per-visit rate of one kind.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::PageLoadTimeout => self.page_load_timeout,
+            FaultKind::MidVisitStall => self.mid_visit_stall,
+            FaultKind::RealmCrash => self.realm_crash,
+            FaultKind::TransientNetwork => self.transient_network,
+            FaultKind::PermanentUnreachable => self.permanent_unreachable,
+        }
+    }
+
+    /// Total per-visit injection probability (sum over kinds, capped at 1).
+    pub fn total_visit_rate(&self) -> f64 {
+        FaultKind::ALL
+            .iter()
+            .map(|k| self.rate(*k))
+            .sum::<f64>()
+            .min(1.0)
+    }
+
+    /// True when the plan can never inject anything.
+    pub fn is_noop(&self) -> bool {
+        self.total_visit_rate() <= 0.0 && self.site_outage <= 0.0
+    }
+
+    /// Schedules at most one fault for one visit attempt, drawing from
+    /// `rng` — by convention a context's `"fault"` stream, never the
+    /// `"visit"` stream. A no-op plan consumes **zero** draws.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<InjectedFault> {
+        if self.total_visit_rate() <= 0.0 {
+            return None;
+        }
+        // One uniform draw partitions [0, 1) among the kinds, in
+        // `FaultKind::ALL` order; the tail is the no-fault region.
+        let u = rng.gen::<f64>();
+        let mut edge = 0.0;
+        for kind in FaultKind::ALL {
+            edge += self.rate(kind);
+            if u < edge {
+                return Some(match kind {
+                    FaultKind::PageLoadTimeout => InjectedFault::PageLoadTimeout,
+                    FaultKind::MidVisitStall => InjectedFault::MidVisitStall {
+                        at_fraction: rng.gen::<f64>(),
+                    },
+                    FaultKind::RealmCrash => InjectedFault::RealmCrash {
+                        at_fraction: rng.gen::<f64>(),
+                    },
+                    FaultKind::TransientNetwork => InjectedFault::TransientNetwork,
+                    FaultKind::PermanentUnreachable => InjectedFault::PermanentUnreachable,
+                });
+            }
+        }
+        None
+    }
+
+    /// Whether `domain` is down for the whole campaign under this plan.
+    ///
+    /// A pure function of `(campaign seed, domain, rate)` — independent of
+    /// visit order, worker assignment, and machine — so both crawl
+    /// machines observe the same outage set, feeding Table 2's
+    /// unreachable-site row the way a real dead host would.
+    pub fn site_is_down(&self, campaign_seed: u64, domain: &str) -> bool {
+        if self.site_outage <= 0.0 {
+            return false;
+        }
+        let h = derive_seed(campaign_seed, domain, 0) ^ derive_seed(0, SITE_OUTAGE_LABEL, 1);
+        // 53 mantissa bits give a uniform in [0, 1) with no rounding bias.
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.site_outage
+    }
+}
+
+/// One fault-plane event, published to [`Observer`] sinks by the
+/// recovery engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// A scheduled fault fired during an attempt.
+    Injected {
+        /// Taxonomy bucket of the fired fault.
+        kind: FaultKind,
+    },
+    /// A failed attempt will be retried after a backoff.
+    RetryScheduled {
+        /// 0-based index of the attempt that just failed.
+        attempt: u32,
+        /// Jittered backoff delay before the next attempt.
+        backoff_ms: f64,
+    },
+    /// A visit eventually succeeded after at least one retry.
+    RecoveredAfterRetry {
+        /// Total attempts the visit took (≥ 2).
+        attempts: u32,
+    },
+    /// A visit exhausted its retry budget and recorded a failure.
+    GaveUp {
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// A site's circuit breaker opened after consecutive permanent faults.
+    BreakerTripped,
+    /// A visit was skipped outright because the breaker was open.
+    BreakerSkippedVisit,
+}
+
+/// Streaming [`Observer`] that folds [`FaultEvent`]s into the
+/// `fault.*` / `retry.*` / `breaker.*` counter family.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultMonitor {
+    counters: CounterSet,
+}
+
+impl FaultMonitor {
+    /// A monitor with every counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience for callers without an event-dispatch loop: observe
+    /// one event at an unspecified time.
+    pub fn record(&mut self, event: &FaultEvent) {
+        self.on_event(0.0, event);
+    }
+}
+
+impl Observer<FaultEvent> for FaultMonitor {
+    fn on_event(&mut self, _t_ms: f64, event: &FaultEvent) {
+        match event {
+            FaultEvent::Injected { kind } => {
+                self.counters.add("fault.injected", 1);
+                self.counters
+                    .add(&format!("fault.injected.{}", kind.name()), 1);
+            }
+            FaultEvent::RetryScheduled { backoff_ms, .. } => {
+                self.counters.add("retry.scheduled", 1);
+                self.counters
+                    .add("retry.backoff_ms_total", backoff_ms.round() as u64);
+            }
+            FaultEvent::RecoveredAfterRetry { .. } => {
+                self.counters.add("retry.recovered", 1);
+            }
+            FaultEvent::GaveUp { .. } => {
+                self.counters.add("retry.gave_up", 1);
+            }
+            FaultEvent::BreakerTripped => {
+                self.counters.add("breaker.tripped", 1);
+            }
+            FaultEvent::BreakerSkippedVisit => {
+                self.counters.add("breaker.skipped_visits", 1);
+            }
+        }
+    }
+
+    fn counters(&self) -> CounterSet {
+        self.counters.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SimContext;
+
+    #[test]
+    fn noop_plan_consumes_no_draws() {
+        let plan = FaultPlan::none();
+        let mut a = SimContext::new(1);
+        let mut b = SimContext::new(1);
+        for _ in 0..16 {
+            assert_eq!(plan.draw(a.stream("fault")), None);
+        }
+        // The fault stream of `a` is untouched: its next raw draw matches
+        // a sibling context that never saw the plan.
+        assert_eq!(
+            a.stream("fault").gen::<u64>(),
+            b.stream("fault").gen::<u64>()
+        );
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let plan = FaultPlan::uniform(0.6);
+        let mut a = SimContext::new(7);
+        let mut b = SimContext::new(7);
+        for _ in 0..64 {
+            assert_eq!(plan.draw(a.stream("fault")), plan.draw(b.stream("fault")));
+        }
+    }
+
+    #[test]
+    fn uniform_plan_hits_every_kind() {
+        let plan = FaultPlan::uniform(0.9);
+        let mut ctx = SimContext::new(3);
+        let mut seen: Vec<FaultKind> = Vec::new();
+        for _ in 0..400 {
+            if let Some(f) = plan.draw(ctx.stream("fault")) {
+                if !seen.contains(&f.kind()) {
+                    seen.push(f.kind());
+                }
+            }
+        }
+        assert_eq!(seen.len(), FaultKind::ALL.len(), "missing kinds: {seen:?}");
+    }
+
+    #[test]
+    fn injection_rate_tracks_the_plan() {
+        let plan = FaultPlan::uniform(0.25);
+        let mut ctx = SimContext::new(11);
+        let n = 4_000;
+        let hits = (0..n)
+            .filter(|_| plan.draw(ctx.stream("fault")).is_some())
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "observed rate {rate}");
+    }
+
+    #[test]
+    fn stall_fractions_are_in_range() {
+        let plan = FaultPlan {
+            mid_visit_stall: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut ctx = SimContext::new(5);
+        for _ in 0..32 {
+            match plan.draw(ctx.stream("fault")) {
+                Some(InjectedFault::MidVisitStall { at_fraction }) => {
+                    assert!((0.0..1.0).contains(&at_fraction));
+                }
+                other => unreachable!("expected a stall, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn site_outage_is_deterministic_and_rate_sensitive() {
+        let plan = FaultPlan {
+            site_outage: 0.3,
+            ..FaultPlan::none()
+        };
+        let domains: Vec<String> = (0..500).map(|i| format!("site{i:04}.example")).collect();
+        let down: Vec<bool> = domains.iter().map(|d| plan.site_is_down(9, d)).collect();
+        // Identical on a second evaluation (any machine, any worker).
+        let again: Vec<bool> = domains.iter().map(|d| plan.site_is_down(9, d)).collect();
+        assert_eq!(down, again);
+        let frac = down.iter().filter(|d| **d).count() as f64 / down.len() as f64;
+        assert!((frac - 0.3).abs() < 0.08, "outage fraction {frac}");
+        // Rate 0 downs nothing; a different seed downs a different set.
+        assert!(domains
+            .iter()
+            .all(|d| !FaultPlan::none().site_is_down(9, d)));
+        let other: Vec<bool> = domains.iter().map(|d| plan.site_is_down(10, d)).collect();
+        assert_ne!(down, other);
+    }
+
+    #[test]
+    fn monitor_aggregates_the_counter_family() {
+        let mut m = FaultMonitor::new();
+        m.record(&FaultEvent::Injected {
+            kind: FaultKind::RealmCrash,
+        });
+        m.record(&FaultEvent::Injected {
+            kind: FaultKind::RealmCrash,
+        });
+        m.record(&FaultEvent::RetryScheduled {
+            attempt: 0,
+            backoff_ms: 800.0,
+        });
+        m.record(&FaultEvent::RecoveredAfterRetry { attempts: 2 });
+        m.record(&FaultEvent::GaveUp { attempts: 3 });
+        m.record(&FaultEvent::BreakerTripped);
+        m.record(&FaultEvent::BreakerSkippedVisit);
+        let c = m.counters();
+        assert_eq!(c.get("fault.injected"), Some(2));
+        assert_eq!(c.get("fault.injected.realm_crash"), Some(2));
+        assert_eq!(c.get("retry.scheduled"), Some(1));
+        assert_eq!(c.get("retry.backoff_ms_total"), Some(800));
+        assert_eq!(c.get("retry.recovered"), Some(1));
+        assert_eq!(c.get("retry.gave_up"), Some(1));
+        assert_eq!(c.get("breaker.tripped"), Some(1));
+        assert_eq!(c.get("breaker.skipped_visits"), Some(1));
+    }
+
+    #[test]
+    fn rates_round_trip_through_accessors() {
+        let plan = FaultPlan::uniform(0.5);
+        for kind in FaultKind::ALL {
+            assert!((plan.rate(kind) - 0.1).abs() < 1e-12);
+        }
+        assert!((plan.total_visit_rate() - 0.5).abs() < 1e-12);
+        assert!(!plan.is_noop());
+        assert!(FaultPlan::none().is_noop());
+    }
+}

@@ -21,6 +21,10 @@
 //! * [`Observer`] — a pluggable sink for simulation events with counter
 //!   metrics, replacing hardwired recording so detectors and recorders
 //!   subscribe to the same dispatch fan-out.
+//! * [`FaultPlan`] — the deterministic fault plane for chaos-mode crawls:
+//!   typed fault injection drawn from a dedicated `"fault"` stream, so
+//!   fault schedules are seeded and bit-reproducible while the
+//!   interaction streams stay unperturbed under retry.
 //!
 //! The seed-derivation tree is documented in `DESIGN.md`; the contract
 //! that matters is: **two `SimContext`s built from the same seed produce
@@ -29,10 +33,12 @@
 
 pub mod clock;
 pub mod context;
+pub mod fault;
 pub mod observer;
 
 pub use clock::VirtualClock;
 pub use context::SimContext;
+pub use fault::{FaultEvent, FaultKind, FaultMonitor, FaultPlan, InjectedFault};
 pub use observer::{CounterSet, Observer};
 
 // Re-exported so downstream crates can bound helpers on `impl Rng`

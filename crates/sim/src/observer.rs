@@ -65,6 +65,15 @@ impl CounterSet {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// A copy with entries in lexicographic name order — the canonical
+    /// form for comparing counter sets whose insertion order depends on
+    /// scheduling (e.g. merges of per-worker monitors).
+    pub fn sorted(&self) -> CounterSet {
+        let mut entries = self.entries.clone();
+        entries.sort();
+        CounterSet { entries }
+    }
 }
 
 #[cfg(test)]

@@ -16,14 +16,19 @@
 //! the template attack) against it. The crawl experiment therefore
 //! exercises the same spoofing/detection code paths as §3.1.
 
+pub mod outcome;
 pub mod population;
 pub mod site;
 pub mod snapshot;
 pub mod traversal;
 pub mod visit;
 
+pub use outcome::{VisitError, VisitPhase, VisitProgress};
 pub use population::{generate_population, PopulationConfig};
 pub use site::{DetectionMethod, Reaction, Site, SiteDetector};
 pub use snapshot::{WorldSnapshot, WorldSnapshotCache};
 pub use traversal::{judge_traversal, traverse, PageGraph, TraversalStrategy};
-pub use visit::{simulate_visit, ClientKind, VisitOutcome, VisualOutcome};
+pub use visit::{
+    simulate_visit, simulate_visit_attempt, ClientKind, VisitOutcome, VisualOutcome,
+    DEFAULT_VISIT_DEADLINE_MS,
+};

@@ -83,9 +83,11 @@ impl WorldSnapshotCache {
     pub fn spoofed_webdriver(&self) -> &WorldSnapshot {
         self.spoofed_webdriver.get_or_init(|| {
             WorldSnapshot::build_with(BrowserFlavor::WebDriverFirefox, |world| {
-                SpoofingExtension::paper_default()
-                    .inject(world)
-                    .expect("extension injects");
+                // A failed injection degrades to the un-injected world:
+                // spoofing is simply absent, so detection fires and the
+                // gap is visible in campaign results instead of panicking
+                // every crawl worker sharing this cache.
+                let _ = SpoofingExtension::paper_default().inject(world);
             })
         })
     }

@@ -5,13 +5,18 @@
 //! with [`hlisa_spoof`], and the site's detector runs the real
 //! [`hlisa_detect`] checks against that world.
 
+use crate::outcome::{VisitError, VisitPhase, VisitProgress};
 use crate::site::{DetectionMethod, Reaction, Site};
 use crate::snapshot::WorldSnapshotCache;
 use hlisa_detect::{scan_fingerprint, TemplateAttackDetector};
 use hlisa_jsom::{build_firefox_world, BrowserFlavor, World};
-use hlisa_sim::SimContext;
+use hlisa_sim::{InjectedFault, SimContext, VirtualClock};
 use hlisa_spoof::SpoofingExtension;
 use rand::Rng;
+
+/// Default visit deadline (virtual ms) — mirrors OpenWPM's page-load
+/// timeout budget. A stalled or never-loading visit is cut here.
+pub const DEFAULT_VISIT_DEADLINE_MS: f64 = 30_000.0;
 
 /// The crawling client flavour (the paper's two machines).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,6 +49,12 @@ pub enum VisualOutcome {
     /// Transient failure (timeout / flaky 5xx) — visit not counted as
     /// successful.
     TransientError,
+    /// Page never finished loading inside the visit deadline.
+    Timeout,
+    /// Page froze mid-interaction until the deadline fired.
+    Stalled,
+    /// The browser's JS realm crashed mid-visit.
+    Crashed,
 }
 
 /// Outcome of one visit.
@@ -99,26 +110,32 @@ impl DetectorRuntime {
 
     /// The client's page world for one visit: stamped from the snapshot
     /// cache when enabled, freshly built otherwise.
-    fn visit_world(&self, client: ClientKind) -> World {
+    fn visit_world(&self, client: ClientKind) -> Result<World, VisitError> {
         match &self.worlds {
-            Some(cache) => match client {
+            Some(cache) => Ok(match client {
                 ClientKind::OpenWpm => cache.stamp(BrowserFlavor::WebDriverFirefox),
                 ClientKind::OpenWpmSpoofed => cache.stamp_spoofed_webdriver(),
-            },
+            }),
             None => fresh_client_world(client),
         }
     }
 }
 
-/// Builds a client world from scratch (the uncached path).
-fn fresh_client_world(client: ClientKind) -> World {
+/// Builds a client world from scratch (the uncached path). A failed
+/// extension injection surfaces as a typed world-build crash instead of
+/// panicking the worker thread.
+fn fresh_client_world(client: ClientKind) -> Result<World, VisitError> {
     let mut world = build_firefox_world(BrowserFlavor::WebDriverFirefox);
-    if client == ClientKind::OpenWpmSpoofed {
-        SpoofingExtension::paper_default()
+    if client == ClientKind::OpenWpmSpoofed
+        && SpoofingExtension::paper_default()
             .inject(&mut world)
-            .expect("extension injects");
+            .is_err()
+    {
+        return Err(VisitError::RealmCrashed {
+            progress: VisitProgress::at_phase(VisitPhase::WorldBuild, 0.0),
+        });
     }
-    world
+    Ok(world)
 }
 
 impl Default for DetectorRuntime {
@@ -128,59 +145,160 @@ impl Default for DetectorRuntime {
 }
 
 /// Simulates one visit of `client` to `site`, drawing from the context's
-/// `"visit"` stream.
+/// `"visit"` stream. Failures degrade into recordable outcomes
+/// ([`VisitError::to_outcome`]); callers that need the typed error — the
+/// crawler's recovery engine — use [`simulate_visit_attempt`] instead.
 pub fn simulate_visit(
     site: &Site,
     client: ClientKind,
     runtime: &DetectorRuntime,
     ctx: &mut SimContext,
 ) -> VisitOutcome {
-    simulate_visit_with(site, client, runtime, ctx.stream("visit"))
+    simulate_visit_attempt(site, client, runtime, ctx, None, DEFAULT_VISIT_DEADLINE_MS)
+        .unwrap_or_else(|e| e.to_outcome())
 }
 
-/// Like [`simulate_visit`], drawing from an explicit RNG stream.
+/// Like [`simulate_visit`], drawing from an explicit RNG stream (no
+/// clock: timing phases are skipped, outcomes are identical — visit
+/// outcomes never depend on the clock).
 pub fn simulate_visit_with<R: Rng + ?Sized>(
     site: &Site,
     client: ClientKind,
     runtime: &DetectorRuntime,
     rng: &mut R,
 ) -> VisitOutcome {
-    if site.unreachable {
-        return VisitOutcome {
-            reached: false,
-            successful: false,
-            visual: VisualOutcome::Unreachable,
-            first_party: Vec::new(),
-            third_party: Vec::new(),
-            detected: false,
-        };
+    attempt_core(
+        site,
+        client,
+        runtime,
+        rng,
+        None,
+        None,
+        DEFAULT_VISIT_DEADLINE_MS,
+    )
+    .unwrap_or_else(|e| e.to_outcome())
+}
+
+/// One fault-aware visit attempt: the chaos-mode entry point.
+///
+/// Interaction draws come from the context's `"visit"` stream exactly as
+/// in [`simulate_visit`] — with `injected: None` the draw sequence (and
+/// therefore the outcome) is bit-identical to the legacy path. The
+/// scheduled fault, if any, is decided *by the caller* from the dedicated
+/// fault stream (see `hlisa_sim::FaultPlan`), so injection and retry
+/// never perturb the interaction streams. The context's [`VirtualClock`]
+/// drives the visit deadline and the elapsed-time fields of any
+/// partial-progress capture.
+pub fn simulate_visit_attempt(
+    site: &Site,
+    client: ClientKind,
+    runtime: &DetectorRuntime,
+    ctx: &mut SimContext,
+    injected: Option<InjectedFault>,
+    deadline_ms: f64,
+) -> Result<VisitOutcome, VisitError> {
+    let clock = ctx.clock();
+    attempt_core(
+        site,
+        client,
+        runtime,
+        ctx.stream("visit"),
+        Some(&clock),
+        injected,
+        deadline_ms,
+    )
+}
+
+/// Deterministic phase timeline for one visit, derived from the site's
+/// content hash — **never** from an RNG stream, so adding time accounting
+/// cannot perturb any draw sequence.
+struct VisitTimeline {
+    connect_ms: f64,
+    load_ms: f64,
+    steps_planned: u32,
+    step_ms: f64,
+}
+
+impl VisitTimeline {
+    fn for_site(site: &Site) -> Self {
+        let h = site_content_hash(site);
+        Self {
+            connect_ms: 40.0 + (h % 160) as f64,
+            load_ms: 250.0 + ((h >> 8) % 2_000) as f64,
+            steps_planned: 3 + ((h >> 16) % 6) as u32,
+            step_ms: 350.0 + ((h >> 24) % 900) as f64,
+        }
     }
-    if rng.gen_bool(site.flaky_visit_prob) {
-        return VisitOutcome {
-            reached: true,
-            successful: false,
-            visual: VisualOutcome::TransientError,
-            first_party: vec![if rng.gen_bool(0.5) { 500 } else { 504 }],
-            third_party: Vec::new(),
-            detected: false,
-        };
+}
+
+/// The shared visit core. `clock` is optional so the rng-only legacy
+/// entry point keeps working; when present it is advanced through the
+/// visit's phases and consulted for deadlines and progress capture.
+fn attempt_core<R: Rng + ?Sized>(
+    site: &Site,
+    client: ClientKind,
+    runtime: &DetectorRuntime,
+    rng: &mut R,
+    clock: Option<&VirtualClock>,
+    injected: Option<InjectedFault>,
+    deadline_ms: f64,
+) -> Result<VisitOutcome, VisitError> {
+    let timeline = VisitTimeline::for_site(site);
+    let start_ms = clock.map(VirtualClock::now_ms).unwrap_or(0.0);
+    let elapsed =
+        |clock: Option<&VirtualClock>| clock.map(VirtualClock::now_ms).unwrap_or(0.0) - start_ms;
+    let advance = |ms: f64| {
+        if let Some(c) = clock {
+            c.advance(ms);
+        }
+    };
+
+    // Connect phase.
+    advance(timeline.connect_ms.min(deadline_ms));
+    if site.unreachable {
+        return Err(VisitError::Unreachable { site_down: true });
+    }
+    match injected {
+        Some(InjectedFault::PermanentUnreachable) => {
+            return Err(VisitError::Unreachable { site_down: false });
+        }
+        Some(InjectedFault::TransientNetwork) => {
+            return Err(VisitError::TransientNetwork { status: None });
+        }
+        _ => {}
     }
 
-    // The client's real page world. The uncached runtime rebuilds it for
-    // every visit (the original cost model); the cached runtime stamps it
-    // from a snapshot, and only when a detector will actually run it —
-    // both safe, because world acquisition consumes no RNG.
+    // Page load. The flaky draw replicates the legacy model's "web
+    // dynamics" — a site-intrinsic transient the paper averages out over
+    // 8 instances (and that the recovery engine deliberately does not
+    // retry; only *injected* faults are).
+    if rng.gen_bool(site.flaky_visit_prob) {
+        return Err(VisitError::TransientNetwork {
+            status: Some(if rng.gen_bool(0.5) { 500 } else { 504 }),
+        });
+    }
+    if matches!(injected, Some(InjectedFault::PageLoadTimeout)) {
+        advance((deadline_ms - elapsed(clock)).max(0.0));
+        return Err(VisitError::PageLoadTimeout { deadline_ms });
+    }
+    advance(timeline.load_ms);
+
+    // World build + detector scan. The uncached runtime rebuilds the
+    // world for every visit (the original cost model); the cached runtime
+    // stamps it from a snapshot, and only when a detector will actually
+    // run it — both safe, because world acquisition consumes no RNG.
     let mut eager_world = if runtime.worlds.is_none() {
-        Some(fresh_client_world(client))
+        Some(fresh_client_world(client)?)
     } else {
         None
     };
     let detected = match site.detector.map(|d| d.method) {
         None => false,
         Some(method) => {
-            let mut world = eager_world
-                .take()
-                .unwrap_or_else(|| runtime.visit_world(client));
+            let mut world = match eager_world.take() {
+                Some(w) => w,
+                None => runtime.visit_world(client)?,
+            };
             match method {
                 DetectionMethod::WebdriverFlag => scan_fingerprint(&mut world).is_bot,
                 DetectionMethod::TemplateAttack => {
@@ -195,17 +313,50 @@ pub fn simulate_visit_with<R: Rng + ?Sized>(
         }
     };
 
-    // Visual outcome.
+    // Interaction chain, with mid-chain stall/crash injection. Progress
+    // capture records how far the chain got before the fault.
+    let chain_fault = match injected {
+        Some(InjectedFault::MidVisitStall { at_fraction }) => Some((at_fraction, true)),
+        Some(InjectedFault::RealmCrash { at_fraction }) => Some((at_fraction, false)),
+        _ => None,
+    };
+    if let Some((at_fraction, is_stall)) = chain_fault {
+        let steps_done =
+            ((at_fraction * f64::from(timeline.steps_planned)) as u32).min(timeline.steps_planned);
+        advance(f64::from(steps_done) * timeline.step_ms);
+        let progress = VisitProgress {
+            phase: VisitPhase::Interaction,
+            steps_done,
+            steps_planned: timeline.steps_planned,
+            elapsed_ms: elapsed(clock),
+        };
+        if is_stall {
+            // The stall holds the visit until the deadline fires.
+            advance((deadline_ms - elapsed(clock)).max(0.0));
+            return Err(VisitError::Stalled {
+                progress,
+                deadline_ms,
+            });
+        }
+        return Err(VisitError::RealmCrashed { progress });
+    }
+    advance(f64::from(timeline.steps_planned) * timeline.step_ms);
+
+    // Visual outcome (capture phase).
     let mut visual = VisualOutcome::Normal;
     if detected {
-        visual = match site.detector.expect("detected implies detector").reaction {
-            Reaction::BlockPage => VisualOutcome::BlockPage,
-            Reaction::Captcha => VisualOutcome::Captcha,
-            Reaction::HideAllAds => VisualOutcome::NoAds,
-            Reaction::ReduceAds => VisualOutcome::FewerAds,
-            Reaction::FreezeVideo => VisualOutcome::FrozenVideo,
-            Reaction::Http403 | Reaction::Http503 => VisualOutcome::Normal,
-        };
+        // `detected` implies a deployed detector; a missing one simply
+        // renders normally instead of panicking the worker.
+        if let Some(detector) = site.detector {
+            visual = match detector.reaction {
+                Reaction::BlockPage => VisualOutcome::BlockPage,
+                Reaction::Captcha => VisualOutcome::Captcha,
+                Reaction::HideAllAds => VisualOutcome::NoAds,
+                Reaction::ReduceAds => VisualOutcome::FewerAds,
+                Reaction::FreezeVideo => VisualOutcome::FrozenVideo,
+                Reaction::Http403 | Reaction::Http503 => VisualOutcome::Normal,
+            };
+        }
     }
     // Spoofing-compatibility breakage is independent of detection.
     if client == ClientKind::OpenWpmSpoofed && site.breaks_under_spoofing {
@@ -219,14 +370,14 @@ pub fn simulate_visit_with<R: Rng + ?Sized>(
     // HTTP responses.
     let (first_party, third_party) = synthesize_http(site, detected, visual, rng);
 
-    VisitOutcome {
+    Ok(VisitOutcome {
         reached: true,
         successful: true,
         visual,
         first_party,
         third_party,
         detected,
-    }
+    })
 }
 
 fn synthesize_http<R: Rng + ?Sized>(
@@ -350,6 +501,121 @@ mod tests {
             assert_eq!(v.visual, VisualOutcome::Normal);
             assert!(!v.detected);
             assert_eq!(v.first_party.len(), 10);
+        }
+    }
+
+    #[test]
+    fn attempt_without_fault_matches_simulate_visit() {
+        let rt = DetectorRuntime::new();
+        let sites = generate_population(&PopulationConfig {
+            n_sites: 30,
+            ..PopulationConfig::default()
+        });
+        for (i, site) in sites.iter().enumerate() {
+            for client in [ClientKind::OpenWpm, ClientKind::OpenWpmSpoofed] {
+                let mut a = SimContext::new(40 + i as u64);
+                let mut b = SimContext::new(40 + i as u64);
+                let legacy = simulate_visit(site, client, &rt, &mut a);
+                let attempt = simulate_visit_attempt(
+                    site,
+                    client,
+                    &rt,
+                    &mut b,
+                    None,
+                    DEFAULT_VISIT_DEADLINE_MS,
+                )
+                .unwrap_or_else(|e| e.to_outcome());
+                assert_eq!(
+                    legacy, attempt,
+                    "{}: fault-free attempt diverged",
+                    site.domain
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_faults_map_to_their_visit_errors() {
+        let rt = DetectorRuntime::new();
+        let site = plain_site();
+        let cases: [(InjectedFault, fn(&VisitError) -> bool); 5] = [
+            (InjectedFault::PageLoadTimeout, |e| {
+                matches!(e, VisitError::PageLoadTimeout { .. })
+            }),
+            (InjectedFault::MidVisitStall { at_fraction: 0.5 }, |e| {
+                matches!(e, VisitError::Stalled { .. })
+            }),
+            (InjectedFault::RealmCrash { at_fraction: 0.5 }, |e| {
+                matches!(e, VisitError::RealmCrashed { .. })
+            }),
+            (InjectedFault::TransientNetwork, |e| {
+                matches!(e, VisitError::TransientNetwork { status: None })
+            }),
+            (InjectedFault::PermanentUnreachable, |e| {
+                matches!(e, VisitError::Unreachable { site_down: false })
+            }),
+        ];
+        for (fault, matches_err) in cases {
+            let mut ctx = SimContext::new(9);
+            let err = simulate_visit_attempt(
+                &site,
+                ClientKind::OpenWpm,
+                &rt,
+                &mut ctx,
+                Some(fault),
+                DEFAULT_VISIT_DEADLINE_MS,
+            )
+            .expect_err("fault must fail the attempt");
+            assert!(matches_err(&err), "{fault:?} produced {err:?}");
+        }
+    }
+
+    #[test]
+    fn mid_chain_faults_capture_partial_progress() {
+        let rt = DetectorRuntime::new();
+        let site = plain_site();
+        let mut ctx = SimContext::new(11);
+        let err = simulate_visit_attempt(
+            &site,
+            ClientKind::OpenWpm,
+            &rt,
+            &mut ctx,
+            Some(InjectedFault::RealmCrash { at_fraction: 0.6 }),
+            DEFAULT_VISIT_DEADLINE_MS,
+        )
+        .expect_err("crash must fail the attempt");
+        let progress = err.progress().expect("mid-chain faults carry progress");
+        assert_eq!(progress.phase, VisitPhase::Interaction);
+        assert!(progress.steps_planned >= 3);
+        assert!(progress.steps_done < progress.steps_planned);
+        assert!((progress.chain_fraction() - 0.6).abs() < 0.4);
+        assert!(progress.elapsed_ms > 0.0);
+    }
+
+    #[test]
+    fn stall_and_timeout_run_the_clock_to_the_deadline() {
+        let rt = DetectorRuntime::new();
+        let site = plain_site();
+        for fault in [
+            InjectedFault::PageLoadTimeout,
+            InjectedFault::MidVisitStall { at_fraction: 0.2 },
+        ] {
+            let mut ctx = SimContext::new(13);
+            let clock = ctx.clock();
+            let before = clock.now_ms();
+            simulate_visit_attempt(
+                &site,
+                ClientKind::OpenWpm,
+                &rt,
+                &mut ctx,
+                Some(fault),
+                5_000.0,
+            )
+            .expect_err("fault must fail the attempt");
+            assert!(
+                clock.now_ms() - before >= 5_000.0,
+                "{fault:?} should hold the visit until its deadline"
+            );
         }
     }
 

@@ -17,6 +17,9 @@ cargo run -q -p hlisa-lint --release
 echo "==> bench_campaign --smoke (throughput harness sanity run)"
 cargo run -q -p hlisa-bench --release --bin bench_campaign -- --smoke --out BENCH_campaign.smoke.json
 
+echo "==> bench_campaign --chaos --smoke (fault plane: rate-0 identity + 5%-fault run)"
+cargo run -q -p hlisa-bench --release --bin bench_campaign -- --chaos --smoke --out BENCH_chaos.smoke.json
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

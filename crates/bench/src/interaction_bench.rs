@@ -1,0 +1,442 @@
+//! Interaction fast-path benchmark: hit testing, trajectory synthesis,
+//! and recorder analytics.
+//!
+//! Three measurements, emitted as `BENCH_interaction.json`:
+//!
+//! 1. **Hit testing** — the linear reverse scan
+//!    ([`Document::hit_test_linear`]) vs the spatial-grid index
+//!    ([`Document::hit_test`]), probed over a deterministic point lattice
+//!    on a listing-sized page (hundreds of boxes).
+//! 2. **Trajectory synthesis** — the eager per-movement `Vec` planner
+//!    ([`cursor::generate_with`]) vs the streaming iterator
+//!    ([`cursor::stream_with`]) drained into a reused buffer, the way
+//!    `HumanAgent` consumes it. Both sides draw the same RNG sequence and
+//!    must produce bit-identical samples. The win on this row is
+//!    *allocation*, not arithmetic — streaming trades a few percent of raw
+//!    synthesis throughput (the pull-based state machine keeps stroke
+//!    state in memory where the eager loop keeps it in registers) for
+//!    zero per-action allocation in steady-state agent driving, so expect
+//!    a ratio near 1.0 here, not a speedup.
+//! 3. **Recorder queries** — the retained full-scan analytics
+//!    (`*_rescan`) vs the incrementally-maintained views the recorder now
+//!    serves as slices, over a realistic multi-thousand-event trace.
+//!
+//! Timing here reads the *wall clock on purpose*: the benchmark measures
+//! real elapsed cost, and its numbers feed a JSON report, never a
+//! simulated observable, so the determinism fence does not apply.
+
+pub use crate::campaign_bench::Comparison;
+use hlisa_browser::dom::standard_test_page;
+use hlisa_browser::{Browser, BrowserConfig, Document, ElementBuilder, EventRecorder, Point, Rect};
+use hlisa_human::cursor;
+use hlisa_human::{HumanAgent, HumanParams};
+use hlisa_sim::SimContext;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Benchmark sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Elements on the synthetic hit-test page.
+    pub hit_elements: usize,
+    /// Full passes over the probe lattice per hit-test loop.
+    pub hit_passes: u32,
+    /// Cursor movements synthesized per trajectory loop.
+    pub traj_moves: u32,
+    /// Full query sweeps (all seven analytics views) per recorder loop.
+    pub query_iters: u32,
+}
+
+impl BenchConfig {
+    /// The default run: big enough for stable ratios.
+    pub fn full() -> Self {
+        Self {
+            hit_elements: 400,
+            hit_passes: 300,
+            traj_moves: 20_000,
+            query_iters: 2_000,
+        }
+    }
+
+    /// A seconds-scale smoke run for CI.
+    pub fn smoke() -> Self {
+        Self {
+            hit_elements: 200,
+            hit_passes: 20,
+            traj_moves: 100,
+            query_iters: 50,
+        }
+    }
+}
+
+/// The full benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Sizing used.
+    pub config: BenchConfig,
+    /// Linear reverse scan vs spatial-grid hit testing.
+    pub hit_test: Comparison,
+    /// Eager `Vec` planner vs streaming trajectory synthesis.
+    pub trajectory: Comparison,
+    /// Events in the recorder-query trace.
+    pub trace_events: u64,
+    /// Full-rescan analytics vs incremental views.
+    pub recorder: Comparison,
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let start = std::time::Instant::now(); // lint: allow(no-wall-clock)
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// A listing-like page: a full-page body plus a lattice of row boxes, the
+/// shape a search-result or article-index page presents to hit testing.
+fn listing_page(n_elements: usize) -> Document {
+    const PAGE_W: f64 = 1280.0;
+    const PAGE_H: f64 = 30_000.0;
+    let mut doc = Document::new("https://bench.test/listing", PAGE_W, PAGE_H);
+    ElementBuilder::new("body", Rect::new(0.0, 0.0, PAGE_W, PAGE_H)).insert(&mut doc);
+    let cols = 8usize;
+    let rows = n_elements.div_ceil(cols);
+    // Card-sized boxes filling a good fraction of each lattice cell, so
+    // the probe lattice lands on cards and bare body alike.
+    let card_h = ((PAGE_H - 80.0) / rows as f64 * 0.45).clamp(24.0, 400.0);
+    for i in 0..n_elements {
+        let (col, row) = (i % cols, i / cols);
+        let x = 20.0 + col as f64 * (PAGE_W - 40.0) / cols as f64;
+        let y = 40.0 + row as f64 * (PAGE_H - 80.0) / rows as f64;
+        ElementBuilder::new("div", Rect::new(x, y, 120.0, card_h)).insert(&mut doc);
+    }
+    doc
+}
+
+/// Probe lattice: 64×64 points spanning the page, hitting a mix of row
+/// boxes and bare body.
+fn probe_points(doc: &Document) -> Vec<Point> {
+    let mut points = Vec::with_capacity(64 * 64);
+    for i in 0..64u32 {
+        for j in 0..64u32 {
+            points.push(Point::new(
+                f64::from(i) / 63.0 * (doc.page_width - 1.0),
+                f64::from(j) / 63.0 * (doc.page_height - 1.0),
+            ));
+        }
+    }
+    points
+}
+
+fn bench_hit_test(config: &BenchConfig) -> Comparison {
+    let doc = listing_page(config.hit_elements);
+    let points = probe_points(&doc);
+    // Prime the grid so index construction is not on the timed path
+    // (a real session builds it once and queries it thousands of times).
+    let _ = doc.hit_test(points[0]);
+    let ops = u64::from(config.hit_passes) * points.len() as u64;
+    let (linear_t, a) = timed(|| {
+        let mut acc = 0u64;
+        for _ in 0..config.hit_passes {
+            for p in &points {
+                acc += doc
+                    .hit_test_linear(black_box(*p))
+                    .map_or(0, |id| id.index() as u64 + 1);
+            }
+        }
+        acc
+    });
+    let (grid_t, b) = timed(|| {
+        let mut acc = 0u64;
+        for _ in 0..config.hit_passes {
+            for p in &points {
+                acc += doc
+                    .hit_test(black_box(*p))
+                    .map_or(0, |id| id.index() as u64 + 1);
+            }
+        }
+        acc
+    });
+    assert_eq!(a, b, "hit-test sides disagree");
+    Comparison {
+        ops,
+        baseline_s: linear_t.as_secs_f64(),
+        optimized_s: grid_t.as_secs_f64(),
+    }
+}
+
+/// Deterministic movement endpoints: varied distances (short in-paragraph
+/// hops through full-viewport crossings) so both code paths exercise the
+/// single-stroke and two-phase planners.
+fn move_endpoints(i: u32) -> (Point, Point, f64) {
+    let from = Point::new(
+        40.0 + f64::from(i % 13) * 30.0,
+        60.0 + f64::from(i % 7) * 80.0,
+    );
+    let to = Point::new(
+        1240.0 - f64::from(i % 11) * 90.0,
+        660.0 - f64::from(i % 5) * 120.0,
+    );
+    let target_w = 20.0 + f64::from(i % 4) * 15.0;
+    (from, to, target_w)
+}
+
+fn bench_trajectory(config: &BenchConfig) -> Comparison {
+    let params = HumanParams::paper_baseline();
+    let checksum = |s: &cursor::TrajectorySample| s.x + s.y + s.t_ms;
+    // Warm both paths (page-in, branch predictors) before timing.
+    for i in 0..config.traj_moves.min(200) {
+        let mut ctx = SimContext::new(u64::from(i));
+        let (from, to, w) = move_endpoints(i);
+        black_box(cursor::generate_with(
+            &params,
+            ctx.stream("cursor"),
+            from,
+            to,
+            w,
+        ));
+        let mut ctx = SimContext::new(u64::from(i));
+        black_box(cursor::stream_with(&params, ctx.stream("cursor"), from, to, w).count());
+    }
+    let (eager_t, a) = timed(|| {
+        let mut acc = 0.0f64;
+        let mut samples = 0u64;
+        for i in 0..config.traj_moves {
+            let mut ctx = SimContext::new(u64::from(i));
+            let (from, to, w) = move_endpoints(i);
+            let v = cursor::generate_with(&params, ctx.stream("cursor"), from, to, w);
+            samples += v.len() as u64;
+            acc += v.iter().map(checksum).sum::<f64>();
+            black_box(&v);
+        }
+        (acc, samples)
+    });
+    let (stream_t, b) = timed(|| {
+        let mut acc = 0.0f64;
+        let mut samples = 0u64;
+        let mut buf: Vec<cursor::TrajectorySample> = Vec::new();
+        for i in 0..config.traj_moves {
+            let mut ctx = SimContext::new(u64::from(i));
+            let (from, to, w) = move_endpoints(i);
+            buf.clear();
+            buf.extend(cursor::stream_with(
+                &params,
+                ctx.stream("cursor"),
+                from,
+                to,
+                w,
+            ));
+            samples += buf.len() as u64;
+            acc += buf.iter().map(checksum).sum::<f64>();
+            black_box(&buf);
+        }
+        (acc, samples)
+    });
+    assert_eq!(a, b, "trajectory sides disagree");
+    Comparison {
+        ops: u64::from(config.traj_moves),
+        baseline_s: eager_t.as_secs_f64(),
+        optimized_s: stream_t.as_secs_f64(),
+    }
+}
+
+/// Drives one realistic session (clicks, typing, a full-page scroll, and
+/// some wandering) to fill a recorder with a few thousand events.
+fn recorded_session() -> EventRecorder {
+    let mut b = Browser::open(
+        BrowserConfig::regular(),
+        standard_test_page("https://bench.test/", 30_000.0),
+    );
+    let mut h = HumanAgent::baseline(1_117);
+    let submit = b.document().by_id("submit").expect("standard page");
+    let text_area = b.document().by_id("text_area").expect("standard page");
+    h.click_element(&mut b, submit);
+    h.click_element(&mut b, text_area);
+    h.type_text(&mut b, "The quick brown fox jumps over the lazy dog");
+    h.scroll_to_bottom(&mut b);
+    for i in 0..12u32 {
+        let (from, to, w) = move_endpoints(i);
+        h.move_cursor_to(&mut b, from, w);
+        h.move_cursor_to(&mut b, to, w);
+    }
+    b.recorder.clone()
+}
+
+fn bench_recorder(config: &BenchConfig) -> (u64, Comparison) {
+    let rec = recorded_session();
+    let trace_events = rec.len() as u64;
+    // Seven analytics views per sweep, matching what a level-2 detector
+    // pulls when featurizing a session.
+    let ops = u64::from(config.query_iters) * 7;
+    let sweep_rescan = |r: &EventRecorder| {
+        r.cursor_trace_rescan().len()
+            + r.clicks_rescan().len()
+            + r.keystrokes_rescan().len()
+            + r.key_flight_times_rescan().len()
+            + r.scroll_deltas_rescan().len()
+            + r.scroll_gaps_rescan().len()
+            + r.wheel_count_rescan()
+    };
+    let sweep_incremental = |r: &EventRecorder| {
+        r.cursor_trace().len()
+            + r.clicks().len()
+            + r.keystrokes().len()
+            + r.key_flight_times().len()
+            + r.scroll_deltas().len()
+            + r.scroll_gaps().len()
+            + r.wheel_count()
+    };
+    assert_eq!(
+        sweep_rescan(&rec),
+        sweep_incremental(&rec),
+        "recorder views disagree"
+    );
+    let (rescan_t, a) = timed(|| {
+        let mut acc = 0usize;
+        for _ in 0..config.query_iters {
+            acc += sweep_rescan(black_box(&rec));
+        }
+        acc
+    });
+    let (incr_t, b) = timed(|| {
+        let mut acc = 0usize;
+        for _ in 0..config.query_iters {
+            acc += sweep_incremental(black_box(&rec));
+        }
+        acc
+    });
+    assert_eq!(a, b, "recorder sides disagree");
+    (
+        trace_events,
+        Comparison {
+            ops,
+            baseline_s: rescan_t.as_secs_f64(),
+            optimized_s: incr_t.as_secs_f64(),
+        },
+    )
+}
+
+/// Runs the whole suite.
+pub fn run(config: BenchConfig) -> BenchReport {
+    let hit_test = bench_hit_test(&config);
+    let trajectory = bench_trajectory(&config);
+    let (trace_events, recorder) = bench_recorder(&config);
+    BenchReport {
+        config,
+        hit_test,
+        trajectory,
+        trace_events,
+        recorder,
+    }
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn comparison_json(c: &Comparison, unit: &str) -> String {
+    format!(
+        concat!(
+            "{{\"ops\": {}, \"unit\": \"{}\", \"baseline_s\": {}, \"optimized_s\": {}, ",
+            "\"baseline_per_sec\": {}, \"optimized_per_sec\": {}, \"speedup\": {}}}"
+        ),
+        c.ops,
+        unit,
+        json_num(c.baseline_s),
+        json_num(c.optimized_s),
+        json_num(c.baseline_rate()),
+        json_num(c.optimized_rate()),
+        json_num(c.speedup()),
+    )
+}
+
+impl BenchReport {
+    /// Serializes the report (hand-rolled: the workspace vendors no JSON
+    /// writer and the schema is three flat objects).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"hlisa interaction fast path (hit test/trajectory/recorder)\",\n",
+                "  \"config\": {{\"hit_elements\": {}, \"hit_passes\": {}, ",
+                "\"traj_moves\": {}, \"query_iters\": {}}},\n",
+                "  \"trace_events\": {},\n",
+                "  \"hit_test\": {},\n",
+                "  \"trajectory_synthesis\": {},\n",
+                "  \"recorder_queries\": {}\n",
+                "}}\n"
+            ),
+            self.config.hit_elements,
+            self.config.hit_passes,
+            self.config.traj_moves,
+            self.config.query_iters,
+            self.trace_events,
+            comparison_json(&self.hit_test, "probes"),
+            comparison_json(&self.trajectory, "movements"),
+            comparison_json(&self.recorder, "queries"),
+        )
+    }
+
+    /// Human-readable summary.
+    pub fn render_human(&self) -> String {
+        let row = |label: &str, c: &Comparison| {
+            format!(
+                "{label:<18} {:>12.0}/s -> {:>12.0}/s   ({:.1}x)\n",
+                c.baseline_rate(),
+                c.optimized_rate(),
+                c.speedup()
+            )
+        };
+        let mut out = String::from("interaction fast-path benchmark (baseline -> optimized)\n");
+        out.push_str(&row("hit testing", &self.hit_test));
+        out.push_str(&row("trajectory synth", &self.trajectory));
+        out.push_str(&row("recorder queries", &self.recorder));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_well_formed() {
+        let mut cfg = BenchConfig::smoke();
+        // Keep the test fast; rates are not asserted here.
+        cfg.hit_elements = 50;
+        cfg.hit_passes = 1;
+        cfg.traj_moves = 5;
+        cfg.query_iters = 2;
+        let report = run(cfg);
+        assert!(
+            report.trace_events > 1_000,
+            "{} events",
+            report.trace_events
+        );
+        let json = report.to_json();
+        for field in [
+            "\"hit_test\"",
+            "\"trajectory_synthesis\"",
+            "\"recorder_queries\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        let human = report.render_human();
+        assert!(human.contains("recorder queries"));
+    }
+
+    #[test]
+    fn listing_page_probe_mix_hits_rows_and_body() {
+        let doc = listing_page(200);
+        let points = probe_points(&doc);
+        let rows = points
+            .iter()
+            .filter(|p| doc.hit_test(**p).is_some_and(|id| id.index() > 0))
+            .count();
+        assert!(rows > 0, "lattice never lands on a row box");
+        assert!(rows < points.len(), "lattice never lands on bare body");
+    }
+}

@@ -23,6 +23,7 @@ pub mod chaos_bench;
 pub mod fieldstudy;
 pub mod figure3;
 pub mod figures;
+pub mod interaction_bench;
 pub mod lintreport;
 pub mod table1;
 pub mod table3;

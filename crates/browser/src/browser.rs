@@ -9,6 +9,7 @@ use crate::recorder::EventRecorder;
 use crate::viewport::{ScrollOrigin, Viewport};
 use hlisa_jsom::{build_firefox_world, BrowserFlavor, World};
 use hlisa_sim::{CounterSet, Observer};
+use std::sync::OnceLock;
 
 /// Static browser configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +85,15 @@ pub struct Browser {
     /// crawler's `fault.*` / `retry.*` / `breaker.*` family — surfaced
     /// through [`Browser::metrics`] alongside the observer counters.
     external_counters: CounterSet,
+    /// Cached recorder + observer + external counter merge, so repeated
+    /// [`Browser::metrics`] calls between events are O(1) instead of
+    /// re-walking every counter source. Invalidated (reset to an empty
+    /// `OnceLock`) wherever any source can change: event dispatch,
+    /// counter absorption, observer attachment, and navigation. The
+    /// jsom realm stats are *not* part of the cached base — the realm
+    /// mutates its counters on plain property reads, so those are
+    /// layered on fresh at every call.
+    metrics_cache: OnceLock<CounterSet>,
 }
 
 impl Clone for Browser {
@@ -111,6 +121,9 @@ impl Clone for Browser {
             focused: self.focused,
             visible: self.visible,
             external_counters: self.external_counters.clone(),
+            // Fresh cache: the clone recomputes from its own (identical)
+            // sources on first query, so values carry over observably.
+            metrics_cache: OnceLock::new(),
         }
     }
 }
@@ -166,6 +179,7 @@ impl Browser {
             focused: None,
             visible: true,
             external_counters: CounterSet::new(),
+            metrics_cache: OnceLock::new(),
         }
     }
 
@@ -180,6 +194,7 @@ impl Browser {
         self.world = self.pristine_world.clone();
         self.document = document;
         self.recorder.clear();
+        self.metrics_cache = OnceLock::new();
         self.pending_move = None;
         self.buttons_down.clear();
         self.keys_down.clear();
@@ -259,6 +274,7 @@ impl Browser {
     /// observer, in attachment order, after the recorder.
     pub fn attach_observer(&mut self, observer: Box<dyn Observer<DomEvent>>) {
         self.observers.push(observer);
+        self.metrics_cache = OnceLock::new();
     }
 
     /// Number of attached observers (the recorder is not counted).
@@ -270,17 +286,22 @@ impl Browser {
     /// campaign's fault monitor) into this browser's metrics surface.
     pub fn absorb_counters(&mut self, counters: &CounterSet) {
         self.external_counters.merge(counters);
+        self.metrics_cache = OnceLock::new();
     }
 
     /// Event-count metrics aggregated across the recorder and every
     /// attached observer, plus absorbed external counters (the crawler's
     /// `fault.*` / `retry.*` family) and the page world's realm counters.
     pub fn metrics(&self) -> CounterSet {
-        let mut all = Observer::counters(&self.recorder);
-        for o in &self.observers {
-            all.merge(&o.counters());
-        }
-        all.merge(&self.external_counters);
+        let base = self.metrics_cache.get_or_init(|| {
+            let mut all = Observer::counters(&self.recorder);
+            for o in &self.observers {
+                all.merge(&o.counters());
+            }
+            all.merge(&self.external_counters);
+            all
+        });
+        let mut all = base.clone();
         let js = self.world.realm.stats();
         all.add("jsom.objects_allocated", js.objects_allocated);
         all.add("jsom.atoms_interned", js.atoms_interned);
@@ -361,6 +382,7 @@ impl Browser {
     // -----------------------------------------------------------------
 
     fn dispatch(&mut self, kind: EventKind, target: Option<NodeId>, payload: EventPayload) {
+        self.metrics_cache = OnceLock::new();
         let event = DomEvent {
             kind,
             timestamp_ms: self.clock.observable_now_ms(),
@@ -1286,6 +1308,92 @@ mod tests {
         assert_eq!(metrics.get("retry.recovered"), Some(1));
         // Absorbed counters survive cloning like the rest of the state.
         assert_eq!(b.clone().metrics().get("fault.injected"), Some(1));
+    }
+
+    #[test]
+    fn metrics_cache_invalidates_on_every_source_change() {
+        use hlisa_sim::{CounterSet, Observer};
+
+        let mut b = browser();
+        // Prime the cache, then dispatch: the new event must show up.
+        let before = b.metrics().get("events.total").unwrap_or(0);
+        b.input_after(30.0, RawInput::WheelTick { direction: 1 });
+        let after = b.metrics().get("events.total").unwrap();
+        assert!(
+            after > before,
+            "dispatch must invalidate ({before} -> {after})"
+        );
+
+        // Prime again, then absorb external counters.
+        let _ = b.metrics();
+        let mut external = CounterSet::new();
+        external.add("chaos.example", 7);
+        b.absorb_counters(&external);
+        assert_eq!(b.metrics().get("chaos.example"), Some(7));
+
+        // Prime again, then attach an observer with its own counters.
+        let _ = b.metrics();
+        struct Fixed;
+        impl Observer<DomEvent> for Fixed {
+            fn on_event(&mut self, _t: f64, _ev: &DomEvent) {}
+            fn counters(&self) -> CounterSet {
+                let mut c = CounterSet::new();
+                c.add("observer.fixed", 1);
+                c
+            }
+        }
+        b.attach_observer(Box::new(Fixed));
+        assert_eq!(b.metrics().get("observer.fixed"), Some(1));
+
+        // Prime again, then navigate: the event trace resets.
+        let _ = b.metrics();
+        b.navigate(standard_test_page("https://example.test/next", 5_000.0));
+        assert_eq!(b.metrics().get("events.total"), Some(0));
+    }
+
+    #[test]
+    fn coalesced_move_flushes_position_and_target_before_press() {
+        let mut b = browser();
+        let submit = b.document().by_id("submit").unwrap();
+        let text_area = b.document().by_id("text_area").unwrap();
+        let s = b.element_center(submit);
+        let t = b.element_center(text_area);
+
+        // A dispatched move onto the submit button...
+        b.input_after(30.0, RawInput::MouseMove { x: s.x, y: s.y });
+        // ...then 1 ms later (inside the coalescing window) a move onto
+        // the text area, which is only remembered as `pending_move`...
+        b.input_after(1.0, RawInput::MouseMove { x: t.x, y: t.y });
+        // ...then the press. The flushed move must report the *final*
+        // position with the *re-hit-tested* target — a press at an
+        // unreported spot (or against the stale submit target) is exactly
+        // the inconsistency a detector would flag.
+        b.input_after(
+            1.0,
+            RawInput::MouseDown {
+                button: MouseButton::Left,
+            },
+        );
+
+        let events = b.recorder.events();
+        let down_idx = events
+            .iter()
+            .position(|e| e.kind == EventKind::MouseDown)
+            .unwrap();
+        assert_eq!(events[down_idx].target, Some(text_area));
+        // The event immediately before the press pair must be the flushed
+        // move, carrying the text-area position and target.
+        let flushed = &events[down_idx - 2];
+        assert_eq!(flushed.kind, EventKind::MouseMove);
+        assert_eq!(flushed.target, Some(text_area));
+        match &flushed.payload {
+            EventPayload::Mouse { x, y, .. } => {
+                assert_eq!((*x, *y), (t.x, t.y));
+            }
+            other => panic!("flushed move payload was {other:?}"),
+        }
+        // And it precedes the pointerdown (down_idx - 1 is PointerDown).
+        assert_eq!(events[down_idx - 1].kind, EventKind::PointerDown);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! targets), and page extent (how far can one scroll?).
 
 use crate::geometry::{Point, Rect};
+use crate::index::DocumentIndex;
+use std::sync::OnceLock;
 
 /// Index of a node in a [`Document`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,7 +42,6 @@ pub struct Element {
 }
 
 /// A laid-out document.
-#[derive(Debug, Clone, PartialEq)]
 pub struct Document {
     /// URL the document was loaded from.
     pub url: String,
@@ -50,6 +51,44 @@ pub struct Document {
     /// Total page height (px). Appendix E's scroll experiment uses a
     /// 30,000 px page.
     pub page_height: f64,
+    /// Lazily-built query index (spatial grid + id/tag/anchor maps).
+    /// Torn down by every `&mut` access that could change layout, so it
+    /// never serves stale geometry; rebuilt on the next query.
+    index: OnceLock<DocumentIndex>,
+}
+
+impl Clone for Document {
+    fn clone(&self) -> Self {
+        Self {
+            url: self.url.clone(),
+            nodes: self.nodes.clone(),
+            page_width: self.page_width,
+            page_height: self.page_height,
+            // The clone rebuilds its own index on first query.
+            index: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Document {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is derived state; equality is over page content only.
+        self.url == other.url
+            && self.nodes == other.nodes
+            && self.page_width == other.page_width
+            && self.page_height == other.page_height
+    }
+}
+
+impl std::fmt::Debug for Document {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Document")
+            .field("url", &self.url)
+            .field("nodes", &self.nodes)
+            .field("page_width", &self.page_width)
+            .field("page_height", &self.page_height)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Document {
@@ -61,12 +100,20 @@ impl Document {
             nodes: Vec::new(),
             page_width,
             page_height,
+            index: OnceLock::new(),
         }
+    }
+
+    /// The query index, built on demand for the current revision.
+    fn index(&self) -> &DocumentIndex {
+        self.index
+            .get_or_init(|| DocumentIndex::build(&self.nodes, self.page_width, self.page_height))
     }
 
     /// Adds an element, returning its id. Later elements paint on top
     /// (document order = z-order, as with non-positioned CSS boxes).
     pub fn add(&mut self, el: Element) -> NodeId {
+        self.index = OnceLock::new();
         self.nodes.push(el);
         NodeId(self.nodes.len() - 1)
     }
@@ -76,8 +123,11 @@ impl Document {
         &self.nodes[id.0]
     }
 
-    /// Borrows an element mutably.
+    /// Borrows an element mutably. The caller may change anything the
+    /// query index depends on (box, visibility, id, tag, anchor), so the
+    /// index is invalidated up front.
     pub fn element_mut(&mut self, id: NodeId) -> &mut Element {
+        self.index = OnceLock::new();
         &mut self.nodes[id.0]
     }
 
@@ -98,11 +148,21 @@ impl Document {
 
     /// Finds the first element with the given `id` attribute.
     pub fn by_id(&self, id_attr: &str) -> Option<NodeId> {
+        self.index().by_id(id_attr)
+    }
+
+    /// Linear reference model for [`Document::by_id`].
+    pub fn by_id_linear(&self, id_attr: &str) -> Option<NodeId> {
         self.nodes.iter().position(|e| e.id == id_attr).map(NodeId)
     }
 
-    /// Finds all elements with the given tag.
+    /// Finds all elements with the given tag, in document order.
     pub fn by_tag(&self, tag: &str) -> Vec<NodeId> {
+        self.index().by_tag(tag).to_vec()
+    }
+
+    /// Linear reference model for [`Document::by_tag`].
+    pub fn by_tag_linear(&self, tag: &str) -> Vec<NodeId> {
         self.nodes
             .iter()
             .enumerate()
@@ -111,8 +171,17 @@ impl Document {
             .collect()
     }
 
-    /// Topmost visible element containing the point, if any.
+    /// Topmost visible element containing the point, if any. Served from
+    /// the spatial grid; semantically identical to
+    /// [`Document::hit_test_linear`] (the differential proptest in
+    /// `tests/hit_test_differential.rs` pins the equivalence).
     pub fn hit_test(&self, p: Point) -> Option<NodeId> {
+        self.index().hit_test(&self.nodes, p)
+    }
+
+    /// Linear reference model for [`Document::hit_test`]: the original
+    /// O(nodes) reverse scan over the arena.
+    pub fn hit_test_linear(&self, p: Point) -> Option<NodeId> {
         self.nodes
             .iter()
             .enumerate()
@@ -123,6 +192,11 @@ impl Document {
 
     /// Finds the element anchoring `name` (for `#name` navigation).
     pub fn anchor_target(&self, name: &str) -> Option<NodeId> {
+        self.index().anchor_target(name)
+    }
+
+    /// Linear reference model for [`Document::anchor_target`].
+    pub fn anchor_target_linear(&self, name: &str) -> Option<NodeId> {
         self.nodes
             .iter()
             .position(|e| e.anchor.as_deref() == Some(name))
@@ -265,5 +339,42 @@ mod tests {
         let id = doc.by_id("submit").unwrap();
         doc.element_mut(id).rect = Rect::new(1.0, 2.0, 3.0, 4.0);
         assert_eq!(doc.element(id).rect, Rect::new(1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn mutation_invalidates_the_query_index() {
+        let mut doc = standard_test_page("u", 30_000.0);
+        let id = doc.by_id("submit").unwrap();
+        // Force the index to build, then move the element.
+        assert_eq!(doc.hit_test(doc.element(id).rect.center()), Some(id));
+        doc.element_mut(id).rect = Rect::new(600.0, 10_000.0, 50.0, 50.0);
+        assert_eq!(doc.hit_test(Point::new(625.0, 10_025.0)), Some(id));
+        // Identity attributes are index inputs too.
+        doc.element_mut(id).id = "renamed".to_string();
+        assert_eq!(doc.by_id("renamed"), Some(id));
+        assert!(doc.by_id("submit").is_none());
+        // A hidden element leaves the grid on the next rebuild.
+        doc.element_mut(id).visible = false;
+        assert_ne!(doc.hit_test(Point::new(625.0, 10_025.0)), Some(id));
+    }
+
+    #[test]
+    fn indexed_queries_match_the_linear_reference_on_the_test_page() {
+        let doc = standard_test_page("u", 30_000.0);
+        for id_attr in ["submit", "text_area", "jump", "honey", "ghost", ""] {
+            assert_eq!(doc.by_id(id_attr), doc.by_id_linear(id_attr));
+        }
+        for tag in ["button", "a", "div", "nope"] {
+            assert_eq!(doc.by_tag(tag), doc.by_tag_linear(tag));
+        }
+        for name in ["end", "missing"] {
+            assert_eq!(doc.anchor_target(name), doc.anchor_target_linear(name));
+        }
+        for x in [0.0, 10.0, 160.0, 550.0, 970.0, 1279.0, 1280.0, -5.0] {
+            for y in [0.0, 14.0, 130.0, 315.0, 500.0, 29_500.0, 30_000.0] {
+                let p = Point::new(x, y);
+                assert_eq!(doc.hit_test(p), doc.hit_test_linear(p), "at {p:?}");
+            }
+        }
     }
 }

@@ -1,0 +1,156 @@
+//! Query acceleration for [`crate::dom::Document`].
+//!
+//! Every pointer sample a driver injects pays a `hit_test`, and every
+//! locator call (`by_id`, `by_tag`, `anchor_target`) scans the node
+//! arena. At measurement scale — a campaign synthesises millions of
+//! pointer samples — those linear scans dominate the interaction
+//! pipeline. This module precomputes, per document revision:
+//!
+//! * a **uniform grid** over the page box mapping each cell to the
+//!   visible elements whose boxes intersect it, in document order, so a
+//!   hit test scans one cell instead of the whole arena;
+//! * **id / tag / anchor lookup maps** for the locator calls.
+//!
+//! The index is built lazily on first query and torn down by any `&mut`
+//! access that could change layout ([`Document::add`],
+//! [`Document::element_mut`]), so it can never serve stale geometry.
+//!
+//! Semantics are *identical* to the linear reference scans, enforced by a
+//! differential proptest (`tests/hit_test_differential.rs`):
+//!
+//! * document order = z-order, and each cell stores candidates in
+//!   document order, so scanning a cell back-to-front and taking the
+//!   first `rect.contains(p)` match returns the same topmost visible
+//!   element the reverse linear scan finds;
+//! * cell coverage uses the same inclusive interval arithmetic as
+//!   [`crate::geometry::Rect::contains`], and both rect spans and query
+//!   points are clamped to the grid with the same monotone mapping, so an
+//!   element containing a point is always present in the point's cell —
+//!   even for boxes or points outside the page bounds;
+//! * the id/tag/anchor maps keep first-occurrence (`by_id`,
+//!   `anchor_target`) and document-order (`by_tag`) semantics.
+//!
+//! Determinism note: the interior `HashMap`s are only ever point-queried
+//! — their iteration order never reaches any observable output (`by_tag`
+//! returns the precomputed document-ordered `Vec` for one key) — which
+//! is why the workspace linter sanctions this module as an allowed
+//! unordered-container interior (see `UNORDERED_INTERIOR_SITES` in
+//! `hlisa-lint`).
+
+use crate::dom::{Element, NodeId};
+use crate::geometry::Point;
+use std::collections::HashMap;
+
+/// Hard cap on grid cells per axis: bounds memory for huge pages while
+/// keeping cells small enough that dense documents spread out.
+const MAX_CELLS_PER_AXIS: usize = 64;
+
+/// Precomputed lookup structures for one document revision.
+#[derive(Debug)]
+pub(crate) struct DocumentIndex {
+    /// First element per `id` attribute. The empty id is indexed like any
+    /// other so `by_id("")` matches the linear reference (which finds the
+    /// first unnamed element).
+    by_id: HashMap<String, NodeId>,
+    /// All elements per tag, in document order.
+    by_tag: HashMap<String, Vec<NodeId>>,
+    /// First element per anchor name.
+    by_anchor: HashMap<String, NodeId>,
+    /// Visible elements intersecting each cell, in document order.
+    cells: Vec<Vec<NodeId>>,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+}
+
+impl DocumentIndex {
+    /// Builds the index for the current arena contents.
+    pub(crate) fn build(nodes: &[Element], page_width: f64, page_height: f64) -> Self {
+        let mut by_id: HashMap<String, NodeId> = HashMap::with_capacity(nodes.len());
+        let mut by_tag: HashMap<String, Vec<NodeId>> = HashMap::new();
+        let mut by_anchor: HashMap<String, NodeId> = HashMap::new();
+
+        // Cell sizing: aim for O(1) candidates per cell on spread-out
+        // documents without exploding memory on sparse ones.
+        let axis = (nodes.len() as f64).sqrt().ceil() as usize;
+        let cols = axis.clamp(1, MAX_CELLS_PER_AXIS);
+        let rows = axis.clamp(1, MAX_CELLS_PER_AXIS);
+        let cell_w = page_width / cols as f64;
+        let cell_h = page_height / rows as f64;
+        let mut cells: Vec<Vec<NodeId>> = vec![Vec::new(); cols * rows];
+
+        for (i, el) in nodes.iter().enumerate() {
+            let id = NodeId(i);
+            by_id.entry(el.id.clone()).or_insert(id);
+            by_tag.entry(el.tag.clone()).or_default().push(id);
+            if let Some(name) = &el.anchor {
+                by_anchor.entry(name.clone()).or_insert(id);
+            }
+            if el.visible {
+                // Monotone, clamped span → every cell a contained point
+                // can map to is covered (see the module docs).
+                let c0 = cell_coord(el.rect.x, cell_w, cols);
+                let c1 = cell_coord(el.rect.x + el.rect.width, cell_w, cols);
+                let r0 = cell_coord(el.rect.y, cell_h, rows);
+                let r1 = cell_coord(el.rect.y + el.rect.height, cell_h, rows);
+                for r in r0..=r1 {
+                    for c in c0..=c1 {
+                        cells[r * cols + c].push(id);
+                    }
+                }
+            }
+        }
+        Self {
+            by_id,
+            by_tag,
+            by_anchor,
+            cells,
+            cols,
+            rows,
+            cell_w,
+            cell_h,
+        }
+    }
+
+    /// Fast path for [`crate::dom::Document::by_id`].
+    pub(crate) fn by_id(&self, id_attr: &str) -> Option<NodeId> {
+        self.by_id.get(id_attr).copied()
+    }
+
+    /// Fast path for [`crate::dom::Document::by_tag`] (document order).
+    pub(crate) fn by_tag(&self, tag: &str) -> &[NodeId] {
+        self.by_tag.get(tag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Fast path for [`crate::dom::Document::anchor_target`].
+    pub(crate) fn anchor_target(&self, name: &str) -> Option<NodeId> {
+        self.by_anchor.get(name).copied()
+    }
+
+    /// Fast path for [`crate::dom::Document::hit_test`]: topmost visible
+    /// element containing the point. Scans one cell back-to-front; the
+    /// cell holds candidates in document (= z) order.
+    pub(crate) fn hit_test(&self, nodes: &[Element], p: Point) -> Option<NodeId> {
+        let c = cell_coord(p.x, self.cell_w, self.cols);
+        let r = cell_coord(p.y, self.cell_h, self.rows);
+        self.cells[r * self.cols + c]
+            .iter()
+            .rev()
+            .find(|id| nodes[id.index()].rect.contains(p))
+            .copied()
+    }
+}
+
+/// Maps a coordinate to a clamped cell index along one axis.
+fn cell_coord(v: f64, cell_size: f64, n: usize) -> usize {
+    if cell_size <= 0.0 || !v.is_finite() {
+        return 0;
+    }
+    let idx = (v / cell_size).floor();
+    if idx <= 0.0 {
+        0
+    } else {
+        (idx as usize).min(n - 1)
+    }
+}

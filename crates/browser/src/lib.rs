@@ -26,6 +26,7 @@ pub mod clock;
 pub mod dom;
 pub mod events;
 pub mod geometry;
+mod index;
 pub mod input;
 pub mod recorder;
 pub mod viewport;

@@ -1,0 +1,105 @@
+//! Differential test: the grid-indexed document queries against the
+//! linear-scan reference models.
+//!
+//! Hit-test targets are an interaction observable — every dispatched
+//! pointer event carries one — so the spatial index must be invisible:
+//! across arbitrary documents (random boxes, visibility, ids, tags,
+//! anchors, overlaps, boxes hanging off the page) and arbitrary query
+//! points (inside, on edges, outside the page), `hit_test` must return
+//! exactly what the reverse linear scan returns, and the id/tag/anchor
+//! maps must match their linear references — including after mid-stream
+//! mutations that force an index rebuild.
+
+use hlisa_browser::dom::{Document, Element};
+use hlisa_browser::{Point, Rect};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const TAGS: &[&str] = &["div", "a", "button", "input", "span", "h2"];
+const IDS: &[&str] = &["", "submit", "text_area", "jump", "honey", "other"];
+const ANCHORS: &[Option<&str>] = &[None, None, Some("end"), Some("top")];
+
+/// One element decoded from a raw tuple so proptest drives the geometry.
+/// The last byte's low bit carries visibility (the vendored proptest
+/// subset has no `bool` strategy).
+#[allow(clippy::type_complexity)]
+fn element(raw: &(f64, f64, f64, f64, u8, u8, u8, u8)) -> Element {
+    let (x, y, w, h, tag, id, anchor, visible) = *raw;
+    Element {
+        tag: TAGS[tag as usize % TAGS.len()].to_string(),
+        id: IDS[id as usize % IDS.len()].to_string(),
+        rect: Rect::new(x, y, w, h),
+        visible: visible & 1 == 1,
+        focusable: false,
+        anchor: ANCHORS[anchor as usize % ANCHORS.len()].map(str::to_string),
+        text: String::new(),
+    }
+}
+
+fn build_doc(elements: &[(f64, f64, f64, f64, u8, u8, u8, u8)], page: (f64, f64)) -> Document {
+    let mut doc = Document::new("https://differential.test/", page.0, page.1);
+    for raw in elements {
+        doc.add(element(raw));
+    }
+    doc
+}
+
+fn assert_queries_agree(doc: &Document, points: &[(f64, f64)]) {
+    for (x, y) in points {
+        let p = Point::new(*x, *y);
+        assert_eq!(doc.hit_test(p), doc.hit_test_linear(p), "hit_test at {p:?}");
+    }
+    for id_attr in IDS {
+        assert_eq!(doc.by_id(id_attr), doc.by_id_linear(id_attr));
+    }
+    for tag in TAGS {
+        assert_eq!(doc.by_tag(tag), doc.by_tag_linear(tag));
+    }
+    for name in ["end", "top", "missing"] {
+        assert_eq!(doc.anchor_target(name), doc.anchor_target_linear(name));
+    }
+}
+
+proptest! {
+    /// Grid-indexed queries equal the linear reference over arbitrary
+    /// documents and points.
+    #[test]
+    fn grid_matches_linear_reference(
+        elements in vec(
+            (0.0f64..1400.0, 0.0f64..2200.0, 0.0f64..600.0, 0.0f64..900.0,
+             0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255),
+            0..60,
+        ),
+        points in vec((-100.0f64..1500.0, -100.0f64..2400.0), 1..80),
+        page_w in 200.0f64..1600.0,
+        page_h in 200.0f64..2600.0,
+    ) {
+        let doc = build_doc(&elements, (page_w, page_h));
+        assert_queries_agree(&doc, &points);
+    }
+
+    /// Mid-stream mutations (relocation, visibility flips) invalidate the
+    /// index; queries afterwards still equal the linear reference.
+    #[test]
+    fn grid_matches_linear_reference_across_mutations(
+        elements in vec(
+            (0.0f64..1400.0, 0.0f64..2200.0, 0.0f64..600.0, 0.0f64..900.0,
+             0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255),
+            1..40,
+        ),
+        mutations in vec((0u16..=u16::MAX, 0.0f64..1400.0, 0.0f64..2200.0, 0u8..=255), 1..12),
+        points in vec((-100.0f64..1500.0, -100.0f64..2400.0), 1..40),
+    ) {
+        let mut doc = build_doc(&elements, (1400.0, 2200.0));
+        assert_queries_agree(&doc, &points);
+        for (pick, x, y, visible) in &mutations {
+            let ids: Vec<_> = doc.ids().collect();
+            let id = ids[*pick as usize % ids.len()];
+            let el = doc.element_mut(id);
+            el.rect.x = *x;
+            el.rect.y = *y;
+            el.visible = *visible & 1 == 1;
+            assert_queries_agree(&doc, &points);
+        }
+    }
+}

@@ -12,12 +12,14 @@
 //! Selenium calls — which is what makes HLISA "resistant to changes in the
 //! Selenium source code that do not affect the Selenium API".
 
-use crate::motion::{plan_motion, trajectory_to_actions, MotionStyle};
-use crate::scrolling::plan_hlisa_scroll;
-use crate::typing::{plan_consistent_typing, plan_hlisa_typing};
+use crate::motion::{plan_motion_into, trajectory_to_actions_into, MotionStyle};
+use crate::scrolling::plan_hlisa_scroll_into;
+use crate::typing::{plan_consistent_typing_into, plan_hlisa_typing_into};
 use hlisa_browser::events::MouseButton;
 use hlisa_browser::Point;
 use hlisa_human::click::{sample_click_point, sample_double_click_gap_ms, sample_dwell_ms};
+use hlisa_human::cursor::TrajectorySample;
+use hlisa_human::typing::PlannedKeyEvent;
 use hlisa_human::HumanParams;
 use hlisa_sim::SimContext;
 use hlisa_webdriver::{Action, ElementHandle, Session, WebDriverError};
@@ -56,6 +58,12 @@ pub struct HlisaActionChains {
     params: HumanParams,
     ctx: SimContext,
     consistent: bool,
+    /// Scratch buffers reused across steps so a long chain performs
+    /// without per-action `Vec` allocations in the motion/typing/scroll
+    /// hot paths.
+    sample_buf: Vec<TrajectorySample>,
+    action_buf: Vec<Action>,
+    key_events: Vec<PlannedKeyEvent>,
 }
 
 impl HlisaActionChains {
@@ -79,6 +87,9 @@ impl HlisaActionChains {
             params,
             ctx,
             consistent: false,
+            sample_buf: Vec::new(),
+            action_buf: Vec::new(),
+            key_events: Vec::new(),
         }
     }
 
@@ -290,8 +301,8 @@ impl HlisaActionChains {
                 self.press_release(session, MouseButton::Left);
             }
             Step::SendKeys(keys) => {
-                let actions = self.plan_keys(&keys);
-                session.perform_actions(&actions);
+                self.plan_keys(&keys);
+                session.perform_actions(&self.action_buf);
             }
             Step::SendKeysToElement(el, keys) => {
                 self.move_to_element_impl(session, el)?;
@@ -299,8 +310,8 @@ impl HlisaActionChains {
                 self.press_release(session, MouseButton::Left);
                 let focus_pause = self.ctx.stream("chain").gen_range(120.0..400.0);
                 session.perform_actions(&[Action::Pause(focus_pause)]);
-                let actions = self.plan_keys(&keys);
-                session.perform_actions(&actions);
+                self.plan_keys(&keys);
+                session.perform_actions(&self.action_buf);
             }
             Step::ScrollBy(x, y) => {
                 if x != 0.0 {
@@ -308,8 +319,13 @@ impl HlisaActionChains {
                         "horizontal scrolling is not modelled".to_string(),
                     ));
                 }
-                let actions = plan_hlisa_scroll(&self.params, &mut self.ctx, y);
-                session.perform_actions(&actions);
+                plan_hlisa_scroll_into(
+                    &self.params,
+                    self.ctx.stream("scroll"),
+                    y,
+                    &mut self.action_buf,
+                );
+                session.perform_actions(&self.action_buf);
             }
             Step::ScrollTo(x, y) => {
                 if x != 0.0 {
@@ -318,8 +334,13 @@ impl HlisaActionChains {
                     ));
                 }
                 let delta = y - session.browser.viewport.scroll_y();
-                let actions = plan_hlisa_scroll(&self.params, &mut self.ctx, delta);
-                session.perform_actions(&actions);
+                plan_hlisa_scroll_into(
+                    &self.params,
+                    self.ctx.stream("scroll"),
+                    delta,
+                    &mut self.action_buf,
+                );
+                session.perform_actions(&self.action_buf);
             }
             Step::ContextClick(el) => {
                 if let Some(el) = el {
@@ -351,28 +372,43 @@ impl HlisaActionChains {
         Ok(())
     }
 
-    fn plan_keys(&mut self, keys: &str) -> Vec<Action> {
+    /// Compiles the typing plan for `keys` into `self.action_buf`.
+    fn plan_keys(&mut self, keys: &str) {
         if self.consistent {
-            plan_consistent_typing(&self.params, &mut self.ctx, keys)
+            plan_consistent_typing_into(
+                &self.params,
+                self.ctx.stream("typing"),
+                keys,
+                &mut self.key_events,
+                &mut self.action_buf,
+            );
         } else {
-            plan_hlisa_typing(&self.params, &mut self.ctx, keys)
+            plan_hlisa_typing_into(
+                &self.params,
+                self.ctx.stream("typing"),
+                keys,
+                &mut self.key_events,
+                &mut self.action_buf,
+            );
         }
     }
 
     /// Human move to an absolute point: plan an HLISA trajectory, chop into
-    /// ≥50 ms primitive moves, execute.
+    /// ≥50 ms primitive moves, execute — through the reusable scratch
+    /// buffers, so steady-state movement allocates nothing.
     fn human_move(&mut self, session: &mut Session, to: Point, target_w: f64) {
         let from = session.browser.mouse_position();
-        let samples = plan_motion(
+        plan_motion_into(
             MotionStyle::hlisa(),
             &self.params,
-            &mut self.ctx,
+            self.ctx.stream("motion"),
             from,
             to,
             target_w,
+            &mut self.sample_buf,
         );
-        let actions = trajectory_to_actions(&samples, HLISA_MIN_MOVE_MS);
-        session.perform_actions(&actions);
+        trajectory_to_actions_into(&self.sample_buf, HLISA_MIN_MOVE_MS, &mut self.action_buf);
+        session.perform_actions(&self.action_buf);
     }
 
     fn move_to_element_impl(
@@ -404,8 +440,13 @@ impl HlisaActionChains {
         let viewport = &session.browser.viewport;
         let desired = (rect.center().y - viewport.height / 2.0).clamp(0.0, viewport.max_scroll_y());
         let delta = desired - viewport.scroll_y();
-        let actions = plan_hlisa_scroll(&self.params, &mut self.ctx, delta);
-        session.perform_actions(&actions);
+        plan_hlisa_scroll_into(
+            &self.params,
+            self.ctx.stream("scroll"),
+            delta,
+            &mut self.action_buf,
+        );
+        session.perform_actions(&self.action_buf);
         let settle = self.ctx.stream("chain").gen_range(150.0..500.0);
         session.perform_actions(&[Action::Pause(settle)]);
         Ok(())

@@ -113,20 +113,46 @@ pub fn plan_motion_with<R: Rng + ?Sized>(
     to: Point,
     target_w: f64,
 ) -> Vec<TrajectorySample> {
+    let mut out = Vec::new();
+    plan_motion_into(style, params, rng, from, to, target_w, &mut out);
+    out
+}
+
+/// Like [`plan_motion_with`], filling a caller-supplied buffer instead of
+/// allocating. The buffer is cleared first; reusing it across movements
+/// removes the per-action `Vec` from the motion hot path. Draw order is
+/// identical to [`plan_motion_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn plan_motion_into<R: Rng + ?Sized>(
+    style: MotionStyle,
+    params: &HumanParams,
+    rng: &mut R,
+    from: Point,
+    to: Point,
+    target_w: f64,
+    out: &mut Vec<TrajectorySample>,
+) {
+    out.clear();
     // HLISA's style *is* the measured human motion model (§4.1 uses "the
     // speed, acceleration and jitter of the mouse movement observed in
     // the experiment as a baseline"), so it delegates to the canonical
     // generator — including the two-phase aim-and-correct kinematics.
+    // The streaming form yields samples without an intermediate `Vec`
+    // and is bit-identical to the eager generator.
     if style == MotionStyle::hlisa() {
-        return hlisa_human::cursor::generate_with(params, rng, from, to, target_w);
+        out.extend(hlisa_human::cursor::stream_with(
+            params, rng, from, to, target_w,
+        ));
+        return;
     }
     let dist = from.distance_to(to);
     if dist < 1e-9 {
-        return vec![TrajectorySample {
+        out.push(TrajectorySample {
             t_ms: 0.0,
             x: to.x,
             y: to.y,
-        }];
+        });
+        return;
     }
     let duration = match style.duration {
         DurationModel::Fixed(ms) => ms.max(1.0),
@@ -169,7 +195,7 @@ pub fn plan_motion_with<R: Rng + ?Sized>(
     let n = ((duration / interval).ceil() as usize).max(3);
     let jitter = Normal::new(0.0, style.jitter_px);
     let mut tremor = 0.0f64;
-    let mut out = Vec::with_capacity(n + 1);
+    out.reserve(n + 1);
     for i in 0..=n {
         let tau = i as f64 / n as f64;
         let s = match style.velocity {
@@ -194,7 +220,6 @@ pub fn plan_motion_with<R: Rng + ?Sized>(
         last.x = to.x;
         last.y = to.y;
     }
-    out
 }
 
 /// Point along the configured path at progress `s` ∈ [0, 1].
@@ -229,8 +254,20 @@ fn position_along(from: Point, control: Option<&[Point]>, to: Point, s: f64) -> 
 /// per `min_segment_ms` of trajectory time — HLISA's chop-into-50 ms-moves
 /// deployment strategy.
 pub fn trajectory_to_actions(samples: &[TrajectorySample], min_segment_ms: f64) -> Vec<Action> {
-    assert!(min_segment_ms > 0.0, "segment duration must be positive");
     let mut out = Vec::new();
+    trajectory_to_actions_into(samples, min_segment_ms, &mut out);
+    out
+}
+
+/// Like [`trajectory_to_actions`], filling a caller-supplied buffer
+/// instead of allocating. The buffer is cleared first.
+pub fn trajectory_to_actions_into(
+    samples: &[TrajectorySample],
+    min_segment_ms: f64,
+    out: &mut Vec<Action>,
+) {
+    assert!(min_segment_ms > 0.0, "segment duration must be positive");
+    out.clear();
     let mut last_t = 0.0f64;
     for (i, s) in samples.iter().enumerate() {
         let is_last = i + 1 == samples.len();
@@ -255,7 +292,6 @@ pub fn trajectory_to_actions(samples: &[TrajectorySample], min_segment_ms: f64) 
             });
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -30,26 +30,42 @@ pub fn plan_hlisa_scroll_with<R: Rng + ?Sized>(
     rng: &mut R,
     distance_px: f64,
 ) -> Vec<Action> {
+    let mut actions = Vec::new();
+    plan_hlisa_scroll_into(params, rng, distance_px, &mut actions);
+    actions
+}
+
+/// Like [`plan_hlisa_scroll_with`], filling a caller-supplied buffer
+/// instead of allocating. The buffer is cleared first. Draw order is
+/// identical — note it differs from the human planner's: no gap or break
+/// is drawn after the final tick (the action chain ends at the tick, so
+/// there is no trailing pause to time).
+pub fn plan_hlisa_scroll_into<R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &mut R,
+    distance_px: f64,
+    out: &mut Vec<Action>,
+) {
+    out.clear();
     let direction = if distance_px >= 0.0 { 1 } else { -1 };
     let n_ticks = (distance_px.abs() / WHEEL_TICK_PX).round() as usize;
-    let mut actions = Vec::with_capacity(n_ticks * 2);
+    out.reserve(n_ticks * 2);
     let mut ticks_since_break = 0usize;
     let mut flick_len = sample_flick_len_with(params, rng);
     for i in 0..n_ticks {
-        actions.push(Action::WheelTick(direction));
+        out.push(Action::WheelTick(direction));
         ticks_since_break += 1;
         if i + 1 == n_ticks {
             break;
         }
         if ticks_since_break >= flick_len {
-            actions.push(Action::Pause(params.scroll_finger_break.sample(rng)));
+            out.push(Action::Pause(params.scroll_finger_break.sample(rng)));
             ticks_since_break = 0;
             flick_len = sample_flick_len_with(params, rng);
         } else {
-            actions.push(Action::Pause(params.scroll_tick_gap.sample(rng)));
+            out.push(Action::Pause(params.scroll_tick_gap.sample(rng)));
         }
     }
-    actions
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //! behaviour" escalation of the Fig. 3 simulator ladder, one of the
 //! refinements the paper's future-work section anticipates.
 
-use hlisa_human::typing::{plan_typing_with, PlannedKeyEvent};
+use hlisa_human::typing::{plan_typing_into, plan_typing_with, PlannedKeyEvent};
 use hlisa_human::HumanParams;
 use hlisa_sim::SimContext;
 use hlisa_webdriver::Action;
@@ -36,6 +36,23 @@ pub fn plan_hlisa_typing_with<R: Rng + ?Sized>(
     events_to_actions(&plan_typing_with(&iid, rng, text))
 }
 
+/// Like [`plan_hlisa_typing_with`], filling caller-supplied buffers: the
+/// intermediate key plan goes into `events` and the compiled actions into
+/// `out` (both cleared first), so a driver typing many fields reuses the
+/// same two allocations.
+pub fn plan_hlisa_typing_into<R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &mut R,
+    text: &str,
+    events: &mut Vec<PlannedKeyEvent>,
+    out: &mut Vec<Action>,
+) {
+    let mut iid = params.clone();
+    iid.dwell_autocorr = 0.0;
+    plan_typing_into(&iid, rng, text, events);
+    events_to_actions_into(events, out);
+}
+
 /// Plans typing with the human tempo drift retained — the consistency
 /// escalation that defeats level-3 detectors. Draws from the context's
 /// `"typing"` stream.
@@ -56,25 +73,46 @@ pub fn plan_consistent_typing_with<R: Rng + ?Sized>(
     events_to_actions(&plan_typing_with(params, rng, text))
 }
 
+/// Like [`plan_consistent_typing_with`], filling caller-supplied buffers
+/// (see [`plan_hlisa_typing_into`]).
+pub fn plan_consistent_typing_into<R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &mut R,
+    text: &str,
+    events: &mut Vec<PlannedKeyEvent>,
+    out: &mut Vec<Action>,
+) {
+    plan_typing_into(params, rng, text, events);
+    events_to_actions_into(events, out);
+}
+
 /// Compiles a timestamped key plan into sequential Selenium primitives.
 /// Interleaved (rollover) presses survive: the actions are emitted in
 /// timestamp order with pauses in between, so a `key_down` of the next key
 /// can precede the `key_up` of the previous one.
 pub fn events_to_actions(events: &[PlannedKeyEvent]) -> Vec<Action> {
-    let mut actions = Vec::with_capacity(events.len() * 2);
+    let mut actions = Vec::new();
+    events_to_actions_into(events, &mut actions);
+    actions
+}
+
+/// Like [`events_to_actions`], filling a caller-supplied buffer instead of
+/// allocating. The buffer is cleared first.
+pub fn events_to_actions_into(events: &[PlannedKeyEvent], out: &mut Vec<Action>) {
+    out.clear();
+    out.reserve(events.len() * 2);
     let mut t = 0.0f64;
     for ev in events {
         if ev.at_ms > t {
-            actions.push(Action::Pause(ev.at_ms - t));
+            out.push(Action::Pause(ev.at_ms - t));
             t = ev.at_ms;
         }
-        actions.push(if ev.down {
+        out.push(if ev.down {
             Action::KeyDown(ev.key.clone())
         } else {
             Action::KeyUp(ev.key.clone())
         });
     }
-    actions
 }
 
 #[cfg(test)]

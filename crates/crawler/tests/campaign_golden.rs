@@ -1,0 +1,57 @@
+//! Fixed-seed golden test over a full campaign run.
+//!
+//! The hash below was captured from the pre-fast-path implementation.
+//! `run_campaign` must stay bit-identical across the interaction fast
+//! path (spatial hit-test index, streamed trajectories, incremental
+//! recorder analytics): the site table, every visit outcome, and both
+//! machines' result tables feed the hash.
+
+use hlisa_crawler::campaign::{run_campaign, CampaignConfig, MachineRun};
+use hlisa_web::PopulationConfig;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn render_machine(m: &MachineRun, out: &mut String) {
+    out.push_str(&format!("client {:?}\n", m.client));
+    for site in &m.sites {
+        out.push_str(&format!(
+            "{} rank {} outcomes {:?}\n",
+            site.domain, site.rank, site.outcomes
+        ));
+    }
+}
+
+const CAMPAIGN_TABLE_HASH: u64 = 14_186_439_771_593_208_468;
+
+#[test]
+fn campaign_tables_are_bit_identical_to_the_pre_fast_path_capture() {
+    let config = CampaignConfig {
+        population: PopulationConfig {
+            n_sites: 30,
+            ..PopulationConfig::default()
+        },
+        visits_per_site: 2,
+        instances: 4,
+        ..CampaignConfig::default()
+    };
+    let campaign = run_campaign(&config);
+    let mut canon = String::new();
+    for site in &campaign.sites {
+        canon.push_str(&format!("site {} rank {}\n", site.domain, site.rank));
+    }
+    render_machine(&campaign.openwpm, &mut canon);
+    render_machine(&campaign.spoofed, &mut canon);
+    assert_eq!(
+        fnv1a(&canon),
+        CAMPAIGN_TABLE_HASH,
+        "campaign tables drifted ({} sites)",
+        campaign.sites.len()
+    );
+}

@@ -202,7 +202,7 @@ impl TraceFeatures {
         // dwell spans whole character groups and would swamp the
         // per-character rhythm every level analyses. Strokes are ordered
         // by press time (rollover typing completes out of order).
-        let mut strokes = recorder.keystrokes();
+        let mut strokes = recorder.keystrokes().to_vec();
         strokes.sort_by(|a, b| a.down_t.partial_cmp(&b.down_t).expect("finite"));
         let char_strokes: Vec<_> = strokes
             .iter()
@@ -247,7 +247,7 @@ impl TraceFeatures {
         let trace = recorder.cursor_trace();
         let mut segment: Vec<(f64, f64, f64)> = Vec::new();
         let mut segments: Vec<Vec<(f64, f64, f64)>> = Vec::new();
-        for s in &trace {
+        for s in trace {
             if let Some((pt, ..)) = segment.last() {
                 if s.t - pt > SEGMENT_SPLIT_PAUSE_MS {
                     segments.push(std::mem::take(&mut segment));
@@ -283,8 +283,8 @@ impl TraceFeatures {
         }
 
         // Scrolling.
-        f.scroll_gaps_ms = recorder.scroll_gaps();
-        f.scroll_deltas_px = recorder.scroll_deltas();
+        f.scroll_gaps_ms = recorder.scroll_gaps().to_vec();
+        f.scroll_deltas_px = recorder.scroll_deltas().to_vec();
         f.wheel_events = recorder.wheel_count();
         f.scroll_events = recorder.of_kind(EventKind::Scroll).len();
 

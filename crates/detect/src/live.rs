@@ -12,6 +12,12 @@
 //! The monitor is handed to `Browser::attach_observer` by value; a shared
 //! [`LiveMonitorHandle`] lets the experiment read the verdict afterwards,
 //! and every counter also surfaces through `Browser::metrics()`.
+//!
+//! Unlike the batch `EventRecorder` analytics (which gained incremental
+//! aggregates in the interaction fast-path work — see DESIGN.md), this
+//! monitor was incremental by construction: it stores O(1) running state
+//! per cue, never the trace, so it needs no rescan/incremental split and
+//! its per-event cost is already the floor.
 
 use hlisa_browser::events::{DomEvent, EventKind, EventPayload};
 use hlisa_sim::{CounterSet, Observer};

@@ -53,6 +53,288 @@ pub fn generate(
     generate_with(params, ctx.stream("cursor"), from, to, target_w)
 }
 
+/// Streaming equivalent of [`generate`]: yields the samples one at a time
+/// without materialising a `Vec`, drawing from the context's `"cursor"`
+/// stream. Sample values and RNG draw order are bit-identical to
+/// [`generate`] (enforced by a differential test), so a driver can switch
+/// between the two without changing any observable output.
+pub fn stream<'r>(
+    params: &HumanParams,
+    ctx: &'r mut SimContext,
+    from: Point,
+    to: Point,
+    target_w: f64,
+) -> TrajectoryStream<'r, rand::rngs::SmallRng> {
+    stream_with(params, ctx.stream("cursor"), from, to, target_w)
+}
+
+/// Like [`stream`], drawing from an explicit RNG stream.
+pub fn stream_with<'r, R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &'r mut R,
+    from: Point,
+    to: Point,
+    target_w: f64,
+) -> TrajectoryStream<'r, R> {
+    TrajectoryStream::new(params, rng, from, to, target_w)
+}
+
+/// A lazily generated trajectory (the streaming form of [`generate`]).
+///
+/// The RNG draw *order* of the eager generator is preserved exactly:
+/// structural draws (duration factor, two-phase decision, aim error) and
+/// the primary stroke's curve amplitude happen at construction; each
+/// emitted sample draws its own jitter; the correction pause, the
+/// correction stroke's amplitude, and the correction's suppressed first
+/// sample (the eager path's `.skip(1)` — its jitter *is* drawn) happen
+/// between the two strokes. Consuming the whole stream therefore leaves
+/// the RNG in the identical state the eager generator would.
+pub struct TrajectoryStream<'r, R: Rng + ?Sized> {
+    rng: &'r mut R,
+    jitter: Normal,
+    interval_ms: f64,
+    amp_frac: f64,
+    state: StreamState,
+}
+
+enum StreamState {
+    /// Zero-distance movement: one sample, no draws.
+    Point(TrajectorySample),
+    /// One or two strokes in flight.
+    Stroke {
+        stroke: StrokeState,
+        correction: Option<PendingCorrection>,
+    },
+    Done,
+}
+
+/// The corrective submovement planned but not yet started (its pause and
+/// amplitude draws must wait until the primary stroke has finished, to
+/// match the eager draw order).
+struct PendingCorrection {
+    from: Point,
+    to: Point,
+    duration: f64,
+}
+
+/// One min-jerk stroke being emitted sample by sample.
+struct StrokeState {
+    from: Point,
+    control: Point,
+    to: Point,
+    duration: f64,
+    t0: f64,
+    n: usize,
+    next_i: usize,
+    tremor: f64,
+    px: f64,
+    py: f64,
+    /// Degenerate zero-distance stroke: one sample, no draws.
+    degenerate: bool,
+}
+
+impl StrokeState {
+    /// Mirrors the head of [`single_stroke`]: draws the curve amplitude
+    /// (unless degenerate) and fixes the geometry.
+    fn begin<R: Rng + ?Sized>(
+        amp_frac: f64,
+        interval_ms: f64,
+        rng: &mut R,
+        from: Point,
+        to: Point,
+        duration: f64,
+        t0: f64,
+    ) -> Self {
+        let dist = from.distance_to(to);
+        if dist < 1e-9 {
+            return Self {
+                from,
+                control: to,
+                to,
+                duration: 0.0,
+                t0,
+                n: 0,
+                next_i: 0,
+                tremor: 0.0,
+                px: 0.0,
+                py: 0.0,
+                degenerate: true,
+            };
+        }
+        let amp_sigma = amp_frac * dist;
+        let amp = Normal::new(0.0, amp_sigma).sample(rng)
+            + amp_sigma * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let (px, py) = perpendicular(from, to);
+        let mid = from.lerp(to, 0.5);
+        let control = Point::new(mid.x + px * amp, mid.y + py * amp);
+        let n = ((duration / interval_ms).ceil() as usize).max(3);
+        Self {
+            from,
+            control,
+            to,
+            duration,
+            t0,
+            n,
+            next_i: 0,
+            tremor: 0.0,
+            px,
+            py,
+            degenerate: false,
+        }
+    }
+
+    /// The timestamp of the stroke's final sample.
+    fn end_t(&self) -> f64 {
+        if self.degenerate {
+            self.t0
+        } else {
+            self.t0 + self.duration
+        }
+    }
+
+    /// Emits the next sample, drawing its jitter — the loop body of
+    /// [`single_stroke`], one iteration at a time.
+    fn emit<R: Rng + ?Sized>(&mut self, rng: &mut R, jitter: &Normal) -> Option<TrajectorySample> {
+        if self.degenerate {
+            if self.next_i > 0 {
+                return None;
+            }
+            self.next_i = 1;
+            return Some(TrajectorySample {
+                t_ms: self.t0,
+                x: self.to.x,
+                y: self.to.y,
+            });
+        }
+        if self.next_i > self.n {
+            return None;
+        }
+        let i = self.next_i;
+        self.next_i += 1;
+        let tau = i as f64 / self.n as f64;
+        let s = min_jerk_progress(tau);
+        let p = quad_bezier(self.from, self.control, self.to, s);
+        self.tremor = 0.7 * self.tremor + 0.3 * jitter.sample(rng);
+        let envelope = (std::f64::consts::PI * tau).sin();
+        if i == self.n {
+            // The eager stroke overwrites its last sample with the exact
+            // endpoint after drawing the (unused) final jitter.
+            return Some(TrajectorySample {
+                t_ms: self.t0 + self.duration,
+                x: self.to.x,
+                y: self.to.y,
+            });
+        }
+        Some(TrajectorySample {
+            t_ms: self.t0 + tau * self.duration,
+            x: p.x + self.px * self.tremor * envelope,
+            y: p.y + self.py * self.tremor * envelope,
+        })
+    }
+}
+
+impl<'r, R: Rng + ?Sized> TrajectoryStream<'r, R> {
+    fn new(params: &HumanParams, rng: &'r mut R, from: Point, to: Point, target_w: f64) -> Self {
+        let jitter = Normal::new(0.0, params.jitter_px);
+        let interval_ms = params.pointer_sample_interval_ms;
+        let amp_frac = params.curve_amplitude_frac;
+
+        let dist = from.distance_to(to);
+        if dist < 1e-9 {
+            return Self {
+                rng,
+                jitter,
+                interval_ms,
+                amp_frac,
+                state: StreamState::Point(TrajectorySample {
+                    t_ms: 0.0,
+                    x: to.x,
+                    y: to.y,
+                }),
+            };
+        }
+        let base = params.fitts_duration_ms(dist, target_w);
+        let duration = base * rng.gen_range(0.88..1.12);
+
+        let two_phase = dist > 250.0 && rng.gen_bool(0.6);
+        let mut correction = None;
+        let mut primary = (from, to, duration);
+        if two_phase {
+            let axis = ((to.x - from.x) / dist, (to.y - from.y) / dist);
+            let err_mag = (Normal::new(-0.01 * dist, 0.035 * dist).sample(rng))
+                .clamp(-0.12 * dist, 0.12 * dist);
+            if err_mag.abs() >= 6.0 {
+                let aim = Point::new(to.x + axis.0 * err_mag, to.y + axis.1 * err_mag);
+                let correction_duration = (70.0 + err_mag.abs() * 1.2).clamp(70.0, 180.0);
+                primary = (from, aim, duration * 0.82);
+                correction = Some(PendingCorrection {
+                    from: aim,
+                    to,
+                    duration: correction_duration,
+                });
+            }
+        }
+        let stroke = StrokeState::begin(
+            amp_frac,
+            interval_ms,
+            rng,
+            primary.0,
+            primary.1,
+            primary.2,
+            0.0,
+        );
+        Self {
+            rng,
+            jitter,
+            interval_ms,
+            amp_frac,
+            state: StreamState::Stroke { stroke, correction },
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Iterator for TrajectoryStream<'_, R> {
+    type Item = TrajectorySample;
+
+    fn next(&mut self) -> Option<TrajectorySample> {
+        loop {
+            match &mut self.state {
+                StreamState::Done => return None,
+                StreamState::Point(sample) => {
+                    let s = *sample;
+                    self.state = StreamState::Done;
+                    return Some(s);
+                }
+                StreamState::Stroke { stroke, correction } => {
+                    if let Some(s) = stroke.emit(&mut *self.rng, &self.jitter) {
+                        return Some(s);
+                    }
+                    let Some(c) = correction.take() else {
+                        self.state = StreamState::Done;
+                        return None;
+                    };
+                    // Between strokes: pause, correction amplitude, and the
+                    // correction's suppressed first sample — exactly the
+                    // eager path's draws around `.skip(1)`.
+                    let landing_t = stroke.end_t();
+                    let pause = self.rng.gen_range(30.0..90.0);
+                    let mut next_stroke = StrokeState::begin(
+                        self.amp_frac,
+                        self.interval_ms,
+                        &mut *self.rng,
+                        c.from,
+                        c.to,
+                        c.duration,
+                        landing_t + pause,
+                    );
+                    let _ = next_stroke.emit(&mut *self.rng, &self.jitter);
+                    *stroke = next_stroke;
+                }
+            }
+        }
+    }
+}
+
 /// Like [`generate`], drawing from an explicit RNG stream. For planners
 /// that compose several models on a single stream of their own.
 pub fn generate_with<R: Rng + ?Sized>(
@@ -394,6 +676,39 @@ mod tests {
             let t = traj(seed);
             for w in t.windows(2) {
                 assert!(w[1].t_ms > w[0].t_ms, "seed {seed}");
+            }
+        }
+    }
+
+    /// The streaming generator is a drop-in replacement: over many seeds
+    /// and every structural branch (zero-distance, short single-stroke,
+    /// threshold-straddling, long two-phase), it yields bit-identical
+    /// samples *and* leaves the RNG in the identical state, so callers can
+    /// mix eager and streaming generation freely without perturbing any
+    /// later draw.
+    #[test]
+    fn stream_matches_eager_generator_bit_for_bit() {
+        let p = HumanParams::paper_baseline();
+        let cases = [
+            (Point::new(100.0, 500.0), Point::new(900.0, 300.0), 40.0),
+            (Point::new(10.0, 10.0), Point::new(60.0, 40.0), 20.0),
+            (Point::new(5.0, 5.0), Point::new(5.0, 5.0), 10.0),
+            (Point::new(0.0, 0.0), Point::new(260.0, 0.0), 4.0),
+            (Point::new(300.0, 800.0), Point::new(299.0, 801.0), 60.0),
+        ];
+        for seed in 0..200u64 {
+            for (from, to, w) in cases {
+                let mut eager_ctx = SimContext::new(seed);
+                let eager = generate(&p, &mut eager_ctx, from, to, w);
+                let mut stream_ctx = SimContext::new(seed);
+                let streamed: Vec<TrajectorySample> =
+                    stream(&p, &mut stream_ctx, from, to, w).collect();
+                assert_eq!(streamed, eager, "seed {seed} {from:?}->{to:?}");
+                assert_eq!(
+                    eager_ctx.stream("cursor").gen::<u64>(),
+                    stream_ctx.stream("cursor").gen::<u64>(),
+                    "rng state diverged after seed {seed} {from:?}->{to:?}"
+                );
             }
         }
     }

@@ -39,7 +39,24 @@ pub fn plan_typing_with<R: Rng + ?Sized>(
     rng: &mut R,
     text: &str,
 ) -> Vec<PlannedKeyEvent> {
-    let mut events: Vec<PlannedKeyEvent> = Vec::new();
+    let mut events = Vec::new();
+    plan_typing_into(params, rng, text, &mut events);
+    events
+}
+
+/// Like [`plan_typing_with`], filling a caller-supplied buffer instead of
+/// allocating. The buffer is cleared first; its capacity is reused across
+/// calls, which removes the per-action `Vec` (though not the per-key
+/// `String`s) from the typing hot path. A plan cannot stream lazily — the
+/// Shift release events it emits are retro-timed, so the plan is only
+/// time-ordered after the final sort.
+pub fn plan_typing_into<R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &mut R,
+    text: &str,
+    events: &mut Vec<PlannedKeyEvent>,
+) {
+    events.clear();
     let mut t = 0.0f64; // next keydown time
     let mut prev_up_t = 0.0f64;
     let mut shift_down = false;
@@ -125,7 +142,6 @@ pub fn plan_typing_with<R: Rng + ?Sized>(
         });
     }
     events.sort_by(|a, b| a.at_ms.partial_cmp(&b.at_ms).expect("finite times"));
-    events
 }
 
 /// Overall characters-per-minute implied by a plan (counting non-modifier
@@ -287,5 +303,25 @@ mod tests {
     fn empty_text_gives_empty_plan() {
         assert!(plan("", 9).is_empty());
         assert_eq!(plan_cpm(&[]), 0.0);
+    }
+
+    /// A reused buffer yields the same plan as a fresh allocation — stale
+    /// contents from the prior call must not leak through.
+    #[test]
+    fn reused_buffer_matches_fresh_plan() {
+        let p = HumanParams::paper_baseline();
+        let mut buf = Vec::new();
+        for (seed, text) in [(1u64, "Hello, World."), (2, "aB cD"), (3, ""), (4, "xyz")] {
+            let mut ctx = SimContext::new(seed);
+            plan_typing_into(&p, ctx.stream("typing"), text, &mut buf);
+            let mut fresh_ctx = SimContext::new(seed);
+            let fresh = plan_typing(&p, &mut fresh_ctx, text);
+            assert_eq!(buf, fresh, "seed {seed} text {text:?}");
+            assert_eq!(
+                ctx.stream("typing").gen::<u64>(),
+                fresh_ctx.stream("typing").gen::<u64>(),
+                "rng state diverged for seed {seed}"
+            );
+        }
     }
 }

@@ -17,10 +17,13 @@ const MIN_MOVE_DEFINITION_SITE: &str = "crates/webdriver/src/actions.rs";
 
 /// Files whose hash containers are sanctioned interiors: point-queried
 /// only, never iterated, so their per-process ordering cannot reach any
-/// observable output. Today that is exactly the jsom atom interner,
-/// whose name→id map backs O(1) property-key interning while the
-/// insertion-ordered `Vec` side of the table remains the canonical view.
-const UNORDERED_INTERIOR_SITES: &[&str] = &["crates/jsom/src/atom.rs"];
+/// observable output. Today that is the jsom atom interner, whose
+/// name→id map backs O(1) property-key interning while the
+/// insertion-ordered `Vec` side of the table remains the canonical
+/// view, and the browser document index, whose id/tag/anchor maps are
+/// point-queried with precomputed document-ordered values.
+const UNORDERED_INTERIOR_SITES: &[&str] =
+    &["crates/jsom/src/atom.rs", "crates/browser/src/index.rs"];
 
 /// Path prefixes sanctioned to fail fast (`no-panic` exempt): the
 /// offline bench report builders, where aborting on a malformed local

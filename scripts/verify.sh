@@ -20,6 +20,9 @@ cargo run -q -p hlisa-bench --release --bin bench_campaign -- --smoke --out BENC
 echo "==> bench_campaign --chaos --smoke (fault plane: rate-0 identity + 5%-fault run)"
 cargo run -q -p hlisa-bench --release --bin bench_campaign -- --chaos --smoke --out BENCH_chaos.smoke.json
 
+echo "==> bench_interaction --smoke (interaction fast-path sanity run)"
+cargo run -q -p hlisa-bench --release --bin bench_interaction -- --smoke --out BENCH_interaction.smoke.json
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

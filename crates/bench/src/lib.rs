@@ -28,3 +28,4 @@ pub mod lintreport;
 pub mod table1;
 pub mod table3;
 pub mod table4;
+pub mod web_bench;

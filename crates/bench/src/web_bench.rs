@@ -1,0 +1,391 @@
+//! Layered page-model benchmark: tree generation, layered hit testing,
+//! and batched DOM mutation.
+//!
+//! Three measurements, emitted as `BENCH_web.json`:
+//!
+//! 1. **Page generation** — [`generate_page`] throughput: nested DOM tree
+//!    construction plus the RNG-free flow layout, the cost every scenario
+//!    visit pays up front. A plain rate (there is no slow side to compare
+//!    against — the flat model could not build these pages at all).
+//! 2. **Layered hit testing** — the from-scratch linear reference
+//!    ([`Document::hit_test_linear`], which recomputes effective layers
+//!    and pre-order per probe) vs the spatial-grid index
+//!    ([`Document::hit_test`]) over generated pages carrying a
+//!    cookie-banner overlay, so occlusion and z-order are on the probed
+//!    path.
+//! 3. **DOM mutation** — one reflow per change (the naive `mutate` call
+//!    per operation) vs one [`DocumentMutator`] batch that reflows once
+//!    at the end, over SPA-style detach/restyle bursts.
+//!
+//! Timing here reads the *wall clock on purpose*: the benchmark measures
+//! real elapsed cost, and its numbers feed a JSON report, never a
+//! simulated observable, so the determinism fence does not apply.
+
+pub use crate::campaign_bench::Comparison;
+use hlisa_browser::{Display, Document, Point};
+use hlisa_sim::SimContext;
+use hlisa_web::dynamics::{apply_scenario, ScenarioKind};
+use hlisa_web::page::{generate_page, GeneratedPage, PageStructure};
+use hlisa_web::Site;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Benchmark sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Pages generated for the throughput row (and reused as the probe
+    /// corpus for hit testing).
+    pub pages: usize,
+    /// Full passes over the probe lattice per hit-test loop.
+    pub hit_passes: u32,
+    /// Mutation bursts per mutation loop.
+    pub mutate_bursts: u32,
+    /// Style changes per burst.
+    pub muts_per_burst: usize,
+}
+
+impl BenchConfig {
+    /// The default run: big enough for stable ratios.
+    pub fn full() -> Self {
+        Self {
+            pages: 400,
+            hit_passes: 40,
+            mutate_bursts: 2_000,
+            muts_per_burst: 24,
+        }
+    }
+
+    /// A seconds-scale smoke run for CI.
+    pub fn smoke() -> Self {
+        Self {
+            pages: 40,
+            hit_passes: 4,
+            mutate_bursts: 50,
+            muts_per_burst: 12,
+        }
+    }
+}
+
+/// The full benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Sizing used.
+    pub config: BenchConfig,
+    /// Pages generated on the timed path.
+    pub gen_pages: u64,
+    /// Page generation + flow layout, seconds.
+    pub gen_s: f64,
+    /// Nodes in the generated corpus (all pages).
+    pub corpus_nodes: u64,
+    /// Linear reference vs spatial-grid hit testing on layered pages.
+    pub hit_test: Comparison,
+    /// Reflow-per-change vs one batched reflow.
+    pub mutation: Comparison,
+}
+
+impl BenchReport {
+    /// Pages generated per second.
+    pub fn gen_rate(&self) -> f64 {
+        self.gen_pages as f64 / self.gen_s.max(1e-12)
+    }
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let start = std::time::Instant::now(); // lint: allow(no-wall-clock)
+    let out = f();
+    (start.elapsed(), out)
+}
+
+fn bench_site(i: usize) -> Site {
+    Site {
+        rank: (i as u32 % 9_000) + 1,
+        domain: format!("bench{i:04}.example"),
+        detector: None,
+        ad_slots: (i % 6) as u8,
+        has_video: i % 5 == 0,
+        breaks_under_spoofing: false,
+        unreachable: false,
+        flaky_visit_prob: 0.0,
+        first_party_requests: 8,
+        third_party_requests: 14,
+        scenario: None,
+    }
+}
+
+fn generate_corpus(pages: usize) -> Vec<GeneratedPage> {
+    (0..pages)
+        .map(|i| {
+            let site = bench_site(i);
+            let mut ctx = SimContext::new(0xB00C + i as u64);
+            let mut page = generate_page(&site, &PageStructure::default(), &mut ctx);
+            // An overlay on every page puts occlusion on the probed path.
+            apply_scenario(&mut page, ScenarioKind::CookieBanner);
+            page
+        })
+        .collect()
+}
+
+fn bench_generation(config: &BenchConfig) -> (u64, f64, u64) {
+    // Warm (page-in, branch predictors) with a few pages.
+    black_box(generate_corpus(config.pages.min(8)));
+    let (t, nodes) = timed(|| {
+        generate_corpus(config.pages)
+            .iter()
+            .map(|p| p.doc.len() as u64)
+            .sum::<u64>()
+    });
+    (config.pages as u64, t.as_secs_f64(), nodes)
+}
+
+/// Probe lattice: 32×32 points per page, spanning the page box.
+fn probe_points(doc: &Document) -> Vec<Point> {
+    let mut points = Vec::with_capacity(32 * 32);
+    for i in 0..32u32 {
+        for j in 0..32u32 {
+            points.push(Point::new(
+                f64::from(i) / 31.0 * (doc.page_width - 1.0),
+                f64::from(j) / 31.0 * (doc.page_height - 1.0),
+            ));
+        }
+    }
+    points
+}
+
+fn bench_hit_test(config: &BenchConfig, corpus: &[GeneratedPage]) -> Comparison {
+    let pages: Vec<(&Document, Vec<Point>)> = corpus
+        .iter()
+        .map(|p| {
+            // Prime each grid so index construction is not on the timed
+            // path (a session builds it once, queries it thousands of
+            // times).
+            let _ = p.doc.hit_test(Point::new(0.0, 0.0));
+            let pts = probe_points(&p.doc);
+            (&p.doc, pts)
+        })
+        .collect();
+    let ops =
+        u64::from(config.hit_passes) * pages.iter().map(|(_, pts)| pts.len() as u64).sum::<u64>();
+    let (linear_t, a) = timed(|| {
+        let mut acc = 0u64;
+        for _ in 0..config.hit_passes {
+            for (doc, pts) in &pages {
+                for p in pts {
+                    acc += doc
+                        .hit_test_linear(black_box(*p))
+                        .map_or(0, |id| id.index() as u64 + 1);
+                }
+            }
+        }
+        acc
+    });
+    let (grid_t, b) = timed(|| {
+        let mut acc = 0u64;
+        for _ in 0..config.hit_passes {
+            for (doc, pts) in &pages {
+                for p in pts {
+                    acc += doc
+                        .hit_test(black_box(*p))
+                        .map_or(0, |id| id.index() as u64 + 1);
+                }
+            }
+        }
+        acc
+    });
+    assert_eq!(a, b, "hit-test sides disagree");
+    Comparison {
+        ops,
+        baseline_s: linear_t.as_secs_f64(),
+        optimized_s: grid_t.as_secs_f64(),
+    }
+}
+
+/// One SPA-style burst: restyle `k` leaf blocks (alternating hide/show),
+/// through either one `mutate` call per change (baseline: a reflow each)
+/// or a single batch (optimized: one reflow at the end).
+fn mutation_targets(doc: &Document, k: usize) -> Vec<hlisa_browser::NodeId> {
+    doc.ids()
+        .filter(|&id| doc.element(id).tag == "p")
+        .take(k)
+        .collect()
+}
+
+fn bench_mutation(config: &BenchConfig, corpus: &[GeneratedPage]) -> Comparison {
+    let template = &corpus[0].doc;
+    let targets = mutation_targets(template, config.muts_per_burst);
+    assert!(!targets.is_empty(), "corpus page has no leaf paragraphs");
+    let burst = |doc: &mut Document, batched: bool, flip: bool| {
+        let display = |j: usize| {
+            if (j % 2 == 0) ^ flip {
+                Display::None
+            } else {
+                Display::Block {
+                    height: 40.0,
+                    width_frac: 1.0,
+                    margin: 4.0,
+                    padding: 2.0,
+                }
+            }
+        };
+        if batched {
+            doc.mutate(|m| {
+                for (j, &id) in targets.iter().enumerate() {
+                    m.set_display(id, display(j));
+                }
+            });
+        } else {
+            for (j, &id) in targets.iter().enumerate() {
+                doc.mutate(|m| m.set_display(id, display(j)));
+            }
+        }
+    };
+    let ops = u64::from(config.mutate_bursts) * targets.len() as u64;
+    let mut doc_a = template.clone();
+    let (per_change_t, ()) = timed(|| {
+        for i in 0..config.mutate_bursts {
+            burst(&mut doc_a, false, i % 2 == 0);
+        }
+    });
+    let mut doc_b = template.clone();
+    let (batched_t, ()) = timed(|| {
+        for i in 0..config.mutate_bursts {
+            burst(&mut doc_b, true, i % 2 == 0);
+        }
+    });
+    assert_eq!(doc_a, doc_b, "mutation sides disagree");
+    Comparison {
+        ops,
+        baseline_s: per_change_t.as_secs_f64(),
+        optimized_s: batched_t.as_secs_f64(),
+    }
+}
+
+/// Runs the whole suite.
+pub fn run(config: BenchConfig) -> BenchReport {
+    let (gen_pages, gen_s, corpus_nodes) = bench_generation(&config);
+    let corpus = generate_corpus(config.pages);
+    let hit_test = bench_hit_test(&config, &corpus);
+    let mutation = bench_mutation(&config, &corpus);
+    BenchReport {
+        config,
+        gen_pages,
+        gen_s,
+        corpus_nodes,
+        hit_test,
+        mutation,
+    }
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn comparison_json(c: &Comparison, unit: &str) -> String {
+    format!(
+        concat!(
+            "{{\"ops\": {}, \"unit\": \"{}\", \"baseline_s\": {}, \"optimized_s\": {}, ",
+            "\"baseline_per_sec\": {}, \"optimized_per_sec\": {}, \"speedup\": {}}}"
+        ),
+        c.ops,
+        unit,
+        json_num(c.baseline_s),
+        json_num(c.optimized_s),
+        json_num(c.baseline_rate()),
+        json_num(c.optimized_rate()),
+        json_num(c.speedup()),
+    )
+}
+
+impl BenchReport {
+    /// Serializes the report (hand-rolled: the workspace vendors no JSON
+    /// writer and the schema is flat).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"hlisa layered page model (generation/hit test/mutation)\",\n",
+                "  \"config\": {{\"pages\": {}, \"hit_passes\": {}, ",
+                "\"mutate_bursts\": {}, \"muts_per_burst\": {}}},\n",
+                "  \"corpus_nodes\": {},\n",
+                "  \"page_generation\": {{\"ops\": {}, \"unit\": \"pages\", ",
+                "\"seconds\": {}, \"per_sec\": {}}},\n",
+                "  \"layered_hit_test\": {},\n",
+                "  \"dom_mutation\": {}\n",
+                "}}\n"
+            ),
+            self.config.pages,
+            self.config.hit_passes,
+            self.config.mutate_bursts,
+            self.config.muts_per_burst,
+            self.corpus_nodes,
+            self.gen_pages,
+            json_num(self.gen_s),
+            json_num(self.gen_rate()),
+            comparison_json(&self.hit_test, "probes"),
+            comparison_json(&self.mutation, "changes"),
+        )
+    }
+
+    /// Human-readable summary.
+    pub fn render_human(&self) -> String {
+        let row = |label: &str, c: &Comparison| {
+            format!(
+                "{label:<18} {:>12.0}/s -> {:>12.0}/s   ({:.1}x)\n",
+                c.baseline_rate(),
+                c.optimized_rate(),
+                c.speedup()
+            )
+        };
+        let mut out = String::from("layered page-model benchmark (baseline -> optimized)\n");
+        out.push_str(&format!(
+            "{:<18} {:>12.0} pages/s ({} nodes built)\n",
+            "page generation",
+            self.gen_rate(),
+            self.corpus_nodes
+        ));
+        out.push_str(&row("layered hit test", &self.hit_test));
+        out.push_str(&row("dom mutation", &self.mutation));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_well_formed() {
+        let cfg = BenchConfig {
+            pages: 4,
+            hit_passes: 1,
+            mutate_bursts: 2,
+            muts_per_burst: 4,
+        };
+        let report = run(cfg);
+        assert!(report.corpus_nodes > 100, "{} nodes", report.corpus_nodes);
+        let json = report.to_json();
+        for field in [
+            "\"page_generation\"",
+            "\"layered_hit_test\"",
+            "\"dom_mutation\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        let human = report.render_human();
+        assert!(human.contains("layered hit test"));
+    }
+
+    #[test]
+    fn corpus_pages_carry_overlays_and_nested_structure() {
+        let corpus = generate_corpus(3);
+        for p in &corpus {
+            assert!(p.doc.by_id("cookie-banner").is_some());
+            let max_depth = p.doc.ids().map(|id| p.doc.depth(id)).max().unwrap_or(0);
+            assert!(max_depth >= 2, "flat page in corpus");
+        }
+    }
+}

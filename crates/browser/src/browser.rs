@@ -212,6 +212,25 @@ impl Browser {
         &mut self.document
     }
 
+    /// Applies a batched structural mutation to the live document (SPA
+    /// re-renders, banner dismissal, lazy-content reveal) and keeps the
+    /// browser's derived state coherent: the document's query index is
+    /// invalidated and the tree reflowed (by [`Document::mutate`]), the
+    /// viewport's scrollable extent follows the new page height, a
+    /// `dom.mutations` counter records the revision, and the metrics
+    /// cache is rebuilt on next read — a mutation changes both geometry
+    /// and metrics, so neither PR 5 cache may serve the old revision.
+    pub fn mutate_document<R>(
+        &mut self,
+        f: impl FnOnce(&mut crate::dom::DocumentMutator) -> R,
+    ) -> R {
+        let r = self.document.mutate(f);
+        self.viewport.set_page_height(self.document.page_height);
+        self.external_counters.add("dom.mutations", 1);
+        self.metrics_cache = OnceLock::new();
+        r
+    }
+
     /// The configuration.
     pub fn config(&self) -> &BrowserConfig {
         &self.config
@@ -1349,6 +1368,52 @@ mod tests {
         let _ = b.metrics();
         b.navigate(standard_test_page("https://example.test/next", 5_000.0));
         assert_eq!(b.metrics().get("events.total"), Some(0));
+    }
+
+    #[test]
+    fn document_mutation_invalidates_index_and_metrics_caches() {
+        use crate::dom::{Display, ElementBuilder};
+
+        let mut b = browser();
+        let submit = b.document().by_id("submit").unwrap();
+        let c = b.element_center(submit);
+        // Prime both PR 5 caches: the query index and the metrics cache.
+        assert_eq!(b.document().hit_test(c), Some(submit));
+        assert!(b.metrics().get("dom.mutations").is_none());
+
+        // An SPA-style re-render: drop the old button, graft a new one.
+        let fresh = b.mutate_document(|m| {
+            m.detach(submit);
+            m.append_root(
+                ElementBuilder::new("button", crate::Rect::new(700.0, 900.0, 80.0, 30.0))
+                    .id("submit")
+                    .build(),
+            )
+        });
+        // The rebuilt index serves the new revision...
+        assert_eq!(b.document().by_id("submit"), Some(fresh));
+        assert_ne!(b.document().hit_test(c), Some(submit));
+        // ...and the rebuilt metrics surface the mutation counter.
+        assert_eq!(b.metrics().get("dom.mutations"), Some(1));
+
+        // A reveal that grows the page extends the scrollable extent.
+        let before_max = b.viewport.max_scroll_y();
+        b.mutate_document(|m| {
+            m.append_root(
+                ElementBuilder::flow(
+                    "section",
+                    Display::Block {
+                        height: 50_000.0,
+                        width_frac: 1.0,
+                        margin: 0.0,
+                        padding: 0.0,
+                    },
+                )
+                .build(),
+            );
+        });
+        assert!(b.viewport.max_scroll_y() > before_max);
+        assert_eq!(b.metrics().get("dom.mutations"), Some(2));
     }
 
     #[test]

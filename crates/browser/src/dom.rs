@@ -1,9 +1,27 @@
-//! DOM documents with box layout and hit testing.
+//! DOM documents: a node tree, a deterministic flow layout pass, and
+//! paint-order hit testing.
 //!
 //! Detectors and interaction APIs only need the parts of a DOM that shape
 //! JS-observable interaction: element boxes (where is the click target?),
-//! z-order (what does a click at (x, y) hit?), focusability (typing
-//! targets), and page extent (how far can one scroll?).
+//! paint order (what does a click at (x, y) hit?), focusability (typing
+//! targets), and page extent (how far can one scroll?). Since PR 6 the
+//! geometry is no longer authored directly: documents are **trees**
+//! (parent/children/depth), elements carry a [`Display`] specification,
+//! and a layout pass computes the boxes. The pipeline is
+//!
+//! ```text
+//! DOM tree (tags, display specs)  →  layout (reflow: boxes)  →  geometry
+//!                                                                (hit_test)
+//! ```
+//!
+//! Layout consumes **no randomness**: [`Document::reflow`] is a pure
+//! function of the tree, so two documents with equal trees always get
+//! bit-identical geometry and campaign output stays reproducible.
+//!
+//! The legacy flat-page API is preserved exactly: [`ElementBuilder::new`]
+//! authors an [`Display::Absolute`] element whose `rect` is taken as-is,
+//! root-level, at layer 0 — for such documents paint order degenerates to
+//! arena order and every query answers exactly as before the refactor.
 
 use crate::geometry::{Point, Rect};
 use crate::index::DocumentIndex;
@@ -20,6 +38,50 @@ impl NodeId {
     }
 }
 
+/// How an element participates in layout.
+///
+/// A tiny, deterministic subset of CSS display/positioning — just enough
+/// to express the page shapes the paper's breakage classes need (flowing
+/// articles, wrapping toolbars, overlaying banners, `display: none`
+/// lazy sections).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Display {
+    /// Out-of-flow: the geometry authored in [`Element::rect`] is used
+    /// verbatim and never rewritten by layout. This is the legacy page
+    /// model ([`ElementBuilder::new`]) and the overlay primitive (cookie
+    /// banners, modals). Children lay out inside the authored box.
+    Absolute,
+    /// In-flow block: stacks vertically inside the parent content box.
+    /// Width is a fraction of the parent content width; height grows to
+    /// fit overflowing flow children (auto-height).
+    Block {
+        /// Intrinsic height (px) before auto-growth.
+        height: f64,
+        /// Fraction of the parent content width this box spans.
+        width_frac: f64,
+        /// Vertical and horizontal outer margin (px).
+        margin: f64,
+        /// Inner padding (px) shrinking the content box for children.
+        padding: f64,
+    },
+    /// In-flow inline block: flows horizontally, wrapping to a new line
+    /// when the parent content width is exhausted.
+    Inline {
+        /// Fixed width (px).
+        width: f64,
+        /// Fixed height (px).
+        height: f64,
+        /// Outer margin on all sides (px).
+        margin: f64,
+    },
+    /// Removed from layout entirely (`display: none`): the subtree gets
+    /// no geometry, is skipped by hit testing *and* by the locator
+    /// queries (`by_id`, `by_tag`, `anchor_target`) — it is not "in the
+    /// DOM" as far as drivers can observe. Lazy content that has not been
+    /// scrolled into existence yet, and detached SPA nodes, live here.
+    None,
+}
+
 /// An element node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Element {
@@ -27,11 +89,22 @@ pub struct Element {
     pub tag: String,
     /// `id` attribute (empty if none).
     pub id: String,
-    /// Layout box in page coordinates.
+    /// Layout box in page coordinates. For [`Display::Absolute`] this is
+    /// authored by the caller; for in-flow displays it is **computed** by
+    /// [`Document::reflow`] and overwritten on every reflow.
     pub rect: Rect,
+    /// How layout computes this element's geometry.
+    pub display: Display,
+    /// Paint layer, cumulative down the tree (a child paints at its
+    /// parent's effective layer plus its own). Higher paints on top;
+    /// ties break by pre-order position (document order), which is
+    /// exactly the old flat z-order for layer-0 documents.
+    pub layer: i32,
     /// Whether the element is rendered (hidden elements cannot be
     /// interacted with by humans — interacting with them anyway is the
-    /// "honey element" bot signal of §4.2).
+    /// "honey element" bot signal of §4.2). Unlike [`Display::None`],
+    /// a hidden element still occupies layout space and stays findable
+    /// by the locator queries.
     pub visible: bool,
     /// Whether the element can hold keyboard focus.
     pub focusable: bool,
@@ -41,16 +114,29 @@ pub struct Element {
     pub text: String,
 }
 
+/// One arena slot: the element plus its tree links.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Node {
+    pub(crate) el: Element,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+    pub(crate) depth: usize,
+}
+
 /// A laid-out document.
 pub struct Document {
     /// URL the document was loaded from.
     pub url: String,
-    nodes: Vec<Element>,
+    nodes: Vec<Node>,
+    roots: Vec<NodeId>,
     /// Total page width (px).
     pub page_width: f64,
     /// Total page height (px). Appendix E's scroll experiment uses a
-    /// 30,000 px page.
+    /// 30,000 px page. Grows when flow content overflows the authored
+    /// minimum; never shrinks below it.
     pub page_height: f64,
+    /// The authored minimum page height (reflow floor).
+    min_page_height: f64,
     /// Lazily-built query index (spatial grid + id/tag/anchor maps).
     /// Torn down by every `&mut` access that could change layout, so it
     /// never serves stale geometry; rebuilt on the next query.
@@ -62,8 +148,10 @@ impl Clone for Document {
         Self {
             url: self.url.clone(),
             nodes: self.nodes.clone(),
+            roots: self.roots.clone(),
             page_width: self.page_width,
             page_height: self.page_height,
+            min_page_height: self.min_page_height,
             // The clone rebuilds its own index on first query.
             index: OnceLock::new(),
         }
@@ -75,6 +163,7 @@ impl PartialEq for Document {
         // The index is derived state; equality is over page content only.
         self.url == other.url
             && self.nodes == other.nodes
+            && self.roots == other.roots
             && self.page_width == other.page_width
             && self.page_height == other.page_height
     }
@@ -98,37 +187,104 @@ impl Document {
         Self {
             url: url.to_string(),
             nodes: Vec::new(),
+            roots: Vec::new(),
             page_width,
             page_height,
+            min_page_height: page_height,
             index: OnceLock::new(),
         }
     }
 
     /// The query index, built on demand for the current revision.
     fn index(&self) -> &DocumentIndex {
-        self.index
-            .get_or_init(|| DocumentIndex::build(&self.nodes, self.page_width, self.page_height))
+        self.index.get_or_init(|| {
+            DocumentIndex::build(&self.nodes, &self.roots, self.page_width, self.page_height)
+        })
     }
 
-    /// Adds an element, returning its id. Later elements paint on top
-    /// (document order = z-order, as with non-positioned CSS boxes).
+    /// Raw arena insertion; callers are responsible for reflowing.
+    fn insert_node(&mut self, parent: Option<NodeId>, el: Element) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let depth = match parent {
+            Some(p) => {
+                self.nodes[p.0].children.push(id);
+                self.nodes[p.0].depth + 1
+            }
+            None => {
+                self.roots.push(id);
+                0
+            }
+        };
+        self.nodes.push(Node {
+            el,
+            parent,
+            children: Vec::new(),
+            depth,
+        });
+        id
+    }
+
+    /// Adds a root-level element, returning its id. For layer-0 documents
+    /// later elements paint on top (document order = z-order, as with
+    /// non-positioned CSS boxes). Triggers a reflow.
     pub fn add(&mut self, el: Element) -> NodeId {
-        self.index = OnceLock::new();
-        self.nodes.push(el);
-        NodeId(self.nodes.len() - 1)
+        let id = self.insert_node(None, el);
+        self.reflow();
+        id
+    }
+
+    /// Adds an element as the last child of `parent`. Triggers a reflow.
+    pub fn add_child(&mut self, parent: NodeId, el: Element) -> NodeId {
+        let id = self.insert_node(Some(parent), el);
+        self.reflow();
+        id
+    }
+
+    /// Applies a batch of structural mutations through a
+    /// [`DocumentMutator`], then invalidates the query index and reflows
+    /// exactly once. This is the supported way for page scripts (cookie
+    /// banners dismissing, lazy loaders revealing, SPA re-renders) to
+    /// change a live document.
+    pub fn mutate<R>(&mut self, f: impl FnOnce(&mut DocumentMutator) -> R) -> R {
+        let r = f(&mut DocumentMutator { doc: self });
+        self.reflow();
+        r
     }
 
     /// Borrows an element.
     pub fn element(&self, id: NodeId) -> &Element {
-        &self.nodes[id.0]
+        &self.nodes[id.0].el
     }
 
     /// Borrows an element mutably. The caller may change anything the
-    /// query index depends on (box, visibility, id, tag, anchor), so the
-    /// index is invalidated up front.
+    /// query index depends on (box, visibility, layer, id, tag, anchor),
+    /// so the index is invalidated up front. Geometry writes through this
+    /// path are only meaningful for [`Display::Absolute`] elements —
+    /// in-flow boxes are rewritten by the next reflow. Display changes
+    /// must go through [`Document::mutate`] so layout reruns.
     pub fn element_mut(&mut self, id: NodeId) -> &mut Element {
         self.index = OnceLock::new();
-        &mut self.nodes[id.0]
+        &mut self.nodes[id.0].el
+    }
+
+    /// The parent of a node, if it is not a root.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.0].parent
+    }
+
+    /// The children of a node, in insertion order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.0].children
+    }
+
+    /// Tree depth of a node (roots are depth 0).
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.nodes[id.0].depth
+    }
+
+    /// Root nodes in insertion order.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
     }
 
     /// Number of elements.
@@ -141,66 +297,285 @@ impl Document {
         self.nodes.is_empty()
     }
 
-    /// All node ids in document order.
+    /// All node ids in arena (insertion) order.
     pub fn ids(&self) -> impl Iterator<Item = NodeId> {
         (0..self.nodes.len()).map(NodeId)
     }
 
-    /// Finds the first element with the given `id` attribute.
+    /// True when the node is attached to the layout tree: neither it nor
+    /// any ancestor is [`Display::None`]. Detached nodes are invisible to
+    /// every query — locators and hit testing alike.
+    pub fn in_tree(&self, id: NodeId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if self.nodes[c.0].el.display == Display::None {
+                return false;
+            }
+            cur = self.nodes[c.0].parent;
+        }
+        true
+    }
+
+    /// True when the node is rendered: attached, and neither it nor any
+    /// ancestor is hidden. Only effectively-visible elements can be hit.
+    pub fn effectively_visible(&self, id: NodeId) -> bool {
+        if !self.in_tree(id) {
+            return false;
+        }
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if !self.nodes[c.0].el.visible {
+                return false;
+            }
+            cur = self.nodes[c.0].parent;
+        }
+        true
+    }
+
+    /// Cumulative paint layer: the sum of `layer` along the ancestor
+    /// path. Children paint at (at least) their parent's level.
+    fn effective_layer(&self, id: NodeId) -> i64 {
+        let mut sum = 0i64;
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            sum += i64::from(self.nodes[c.0].el.layer);
+            cur = self.nodes[c.0].parent;
+        }
+        sum
+    }
+
+    // ------------------------------------------------------------------
+    // Layout: DOM tree → geometry. Pure, deterministic, RNG-free.
+    // ------------------------------------------------------------------
+
+    /// Recomputes geometry for every in-flow element and the page extent.
+    /// A pure function of the tree — consumes no randomness, so equal
+    /// trees always reflow to bit-identical geometry. Invalidates the
+    /// query index.
+    pub fn reflow(&mut self) {
+        self.index = OnceLock::new();
+        let content = Rect::new(0.0, 0.0, self.page_width, self.min_page_height);
+        let flow_bottom = self.layout_flow(None, content);
+        // Page extent: the authored minimum, grown by overflowing *flow*
+        // content only. Absolute boxes never change the extent, which
+        // keeps the legacy flat pages bit-identical.
+        self.page_height = self.min_page_height.max(flow_bottom);
+    }
+
+    /// Lays out the flow children of `parent` (or the roots) inside
+    /// `content`, returning the page-coordinate bottom edge of the flow.
+    fn layout_flow(&mut self, parent: Option<NodeId>, content: Rect) -> f64 {
+        let child_ids: Vec<NodeId> = match parent {
+            Some(p) => self.nodes[p.0].children.clone(),
+            None => self.roots.clone(),
+        };
+        let mut y = content.y;
+        let mut x = content.x;
+        let mut line_h = 0.0f64;
+        for id in child_ids {
+            match self.nodes[id.0].el.display {
+                Display::None => continue,
+                Display::Absolute => {
+                    // Authored geometry; out of flow. Children lay out
+                    // inside the authored box.
+                    let r = self.nodes[id.0].el.rect;
+                    self.layout_flow(Some(id), r);
+                }
+                Display::Block {
+                    height,
+                    width_frac,
+                    margin,
+                    padding,
+                } => {
+                    // A block closes any open inline line.
+                    if line_h > 0.0 {
+                        y += line_h;
+                        line_h = 0.0;
+                        x = content.x;
+                    }
+                    y += margin;
+                    let w = (content.width * width_frac.clamp(0.0, 1.0) - 2.0 * margin).max(1.0);
+                    self.nodes[id.0].el.rect = Rect::new(content.x + margin, y, w, height.max(1.0));
+                    let outer = self.nodes[id.0].el.rect;
+                    let inner = Rect::new(
+                        outer.x + padding,
+                        outer.y + padding,
+                        (outer.width - 2.0 * padding).max(0.0),
+                        (outer.height - 2.0 * padding).max(0.0),
+                    );
+                    let child_bottom = self.layout_flow(Some(id), inner);
+                    // Auto-height: grow to contain overflowing flow
+                    // children.
+                    let needed = (child_bottom - outer.y) + padding;
+                    if needed > self.nodes[id.0].el.rect.height {
+                        self.nodes[id.0].el.rect.height = needed;
+                    }
+                    y += self.nodes[id.0].el.rect.height + margin;
+                }
+                Display::Inline {
+                    width,
+                    height,
+                    margin,
+                } => {
+                    let advance = width + 2.0 * margin;
+                    if x > content.x && x + advance > content.x + content.width {
+                        // Wrap to the next line.
+                        y += line_h;
+                        line_h = 0.0;
+                        x = content.x;
+                    }
+                    self.nodes[id.0].el.rect =
+                        Rect::new(x + margin, y + margin, width.max(1.0), height.max(1.0));
+                    let outer = self.nodes[id.0].el.rect;
+                    x += advance;
+                    line_h = line_h.max(height + 2.0 * margin);
+                    self.layout_flow(Some(id), outer);
+                }
+            }
+        }
+        if line_h > 0.0 {
+            y += line_h;
+        }
+        y
+    }
+
+    // ------------------------------------------------------------------
+    // Queries.
+    // ------------------------------------------------------------------
+
+    /// Finds the first attached element (arena order) with the given `id`
+    /// attribute. Detached ([`Display::None`]) subtrees are skipped — a
+    /// driver cannot locate what is not in the DOM.
     pub fn by_id(&self, id_attr: &str) -> Option<NodeId> {
         self.index().by_id(id_attr)
     }
 
     /// Linear reference model for [`Document::by_id`].
     pub fn by_id_linear(&self, id_attr: &str) -> Option<NodeId> {
-        self.nodes.iter().position(|e| e.id == id_attr).map(NodeId)
+        self.ids()
+            .find(|&i| self.nodes[i.0].el.id == id_attr && self.in_tree(i))
     }
 
-    /// Finds all elements with the given tag, in document order.
+    /// Finds all attached elements with the given tag, in arena order.
     pub fn by_tag(&self, tag: &str) -> Vec<NodeId> {
         self.index().by_tag(tag).to_vec()
     }
 
     /// Linear reference model for [`Document::by_tag`].
     pub fn by_tag_linear(&self, tag: &str) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.tag == tag)
-            .map(|(i, _)| NodeId(i))
+        self.ids()
+            .filter(|&i| self.nodes[i.0].el.tag == tag && self.in_tree(i))
             .collect()
     }
 
-    /// Topmost visible element containing the point, if any. Served from
-    /// the spatial grid; semantically identical to
-    /// [`Document::hit_test_linear`] (the differential proptest in
-    /// `tests/hit_test_differential.rs` pins the equivalence).
+    /// Topmost effectively-visible element containing the point, if any.
+    /// "Topmost" is paint order: pre-order tree traversal, stable-sorted
+    /// by effective layer — for layer-0 flat documents this degenerates
+    /// to the old arena-order z-semantics. Served from the spatial grid;
+    /// semantically identical to [`Document::hit_test_linear`] (the
+    /// differential proptest in `tests/hit_test_differential.rs` pins
+    /// the equivalence).
     pub fn hit_test(&self, p: Point) -> Option<NodeId> {
         self.index().hit_test(&self.nodes, p)
     }
 
-    /// Linear reference model for [`Document::hit_test`]: the original
-    /// O(nodes) reverse scan over the arena.
+    /// Linear reference model for [`Document::hit_test`]: a from-scratch
+    /// scan that recomputes paint position per node (effective layer via
+    /// ancestor walks, pre-order position via a fresh traversal) and
+    /// takes the maximum over containing, effectively-visible elements.
+    /// Deliberately shares no derived state with the index.
     pub fn hit_test_linear(&self, p: Point) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .rev()
-            .find(|(_, e)| e.visible && e.rect.contains(p))
-            .map(|(i, _)| NodeId(i))
+        let mut pre_pos = vec![0usize; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.roots.iter().rev().copied().collect();
+        let mut next = 0usize;
+        while let Some(id) = stack.pop() {
+            pre_pos[id.0] = next;
+            next += 1;
+            for &c in self.nodes[id.0].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        let mut best: Option<(i64, usize, NodeId)> = None;
+        for id in self.ids() {
+            if !self.effectively_visible(id) || !self.nodes[id.0].el.rect.contains(p) {
+                continue;
+            }
+            let key = (self.effective_layer(id), pre_pos[id.0]);
+            if best.map(|(l, pp, _)| key > (l, pp)).unwrap_or(true) {
+                best = Some((key.0, key.1, id));
+            }
+        }
+        best.map(|(_, _, id)| id)
     }
 
-    /// Finds the element anchoring `name` (for `#name` navigation).
+    /// Finds the attached element anchoring `name` (for `#name`
+    /// navigation).
     pub fn anchor_target(&self, name: &str) -> Option<NodeId> {
         self.index().anchor_target(name)
     }
 
     /// Linear reference model for [`Document::anchor_target`].
     pub fn anchor_target_linear(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|e| e.anchor.as_deref() == Some(name))
-            .map(NodeId)
+        self.ids()
+            .find(|&i| self.nodes[i.0].el.anchor.as_deref() == Some(name) && self.in_tree(i))
+    }
+}
+
+/// Batched structural mutation over a [`Document`], in the style of a
+/// retained-mode DOM mutator: all operations are raw tree edits, and the
+/// owning [`Document::mutate`] call invalidates the query index and
+/// reflows once when the batch completes.
+pub struct DocumentMutator<'d> {
+    doc: &'d mut Document,
+}
+
+impl DocumentMutator<'_> {
+    /// Appends a root-level element (no reflow until the batch ends).
+    pub fn append_root(&mut self, el: Element) -> NodeId {
+        self.doc.insert_node(None, el)
+    }
+
+    /// Appends an element as the last child of `parent`.
+    pub fn append_child(&mut self, parent: NodeId, el: Element) -> NodeId {
+        self.doc.insert_node(Some(parent), el)
+    }
+
+    /// Changes how an element participates in layout.
+    pub fn set_display(&mut self, id: NodeId, display: Display) {
+        self.doc.nodes[id.0].el.display = display;
+    }
+
+    /// Shows or hides an element (visibility, not layout).
+    pub fn set_visible(&mut self, id: NodeId, visible: bool) {
+        self.doc.nodes[id.0].el.visible = visible;
+    }
+
+    /// Rewrites the authored box of an [`Display::Absolute`] element.
+    pub fn set_rect(&mut self, id: NodeId, rect: Rect) {
+        self.doc.nodes[id.0].el.rect = rect;
+    }
+
+    /// Replaces an element's text content.
+    pub fn set_text(&mut self, id: NodeId, text: &str) {
+        self.doc.nodes[id.0].el.text = text.to_string();
+    }
+
+    /// Renames an element's `id` attribute.
+    pub fn set_id(&mut self, id: NodeId, id_attr: &str) {
+        self.doc.nodes[id.0].el.id = id_attr.to_string();
+    }
+
+    /// Detaches a subtree from the document: it keeps its arena slots
+    /// (NodeIds stay stable, as with a JS reference to a removed node)
+    /// but leaves layout, hit testing, and the locator queries. This is
+    /// how banner dismissal and SPA re-renders model `removeChild`.
+    pub fn detach(&mut self, id: NodeId) {
+        self.doc.nodes[id.0].el.display = Display::None;
+    }
+
+    /// Read access to the document being mutated.
+    pub fn doc(&self) -> &Document {
+        self.doc
     }
 }
 
@@ -211,13 +586,16 @@ pub struct ElementBuilder {
 }
 
 impl ElementBuilder {
-    /// Starts building an element with the given tag and box.
+    /// Starts building an [`Display::Absolute`] element with the given
+    /// tag and authored box — the legacy flat-page path.
     pub fn new(tag: &str, rect: Rect) -> Self {
         Self {
             el: Element {
                 tag: tag.to_string(),
                 id: String::new(),
                 rect,
+                display: Display::Absolute,
+                layer: 0,
                 visible: true,
                 focusable: false,
                 anchor: None,
@@ -226,9 +604,23 @@ impl ElementBuilder {
         }
     }
 
+    /// Starts building an in-flow element whose geometry the layout pass
+    /// computes (the authored rect starts empty).
+    pub fn flow(tag: &str, display: Display) -> Self {
+        let mut b = Self::new(tag, Rect::new(0.0, 0.0, 0.0, 0.0));
+        b.el.display = display;
+        b
+    }
+
     /// Sets the `id` attribute.
     pub fn id(mut self, id: &str) -> Self {
         self.el.id = id.to_string();
+        self
+    }
+
+    /// Sets the paint layer (relative to the parent's effective layer).
+    pub fn layer(mut self, layer: i32) -> Self {
+        self.el.layer = layer;
         self
     }
 
@@ -250,9 +642,25 @@ impl ElementBuilder {
         self
     }
 
-    /// Finishes, inserting into the document.
+    /// Sets the text content.
+    pub fn text(mut self, text: &str) -> Self {
+        self.el.text = text.to_string();
+        self
+    }
+
+    /// The built element, for insertion through a [`DocumentMutator`].
+    pub fn build(self) -> Element {
+        self.el
+    }
+
+    /// Finishes, inserting at the document root.
     pub fn insert(self, doc: &mut Document) -> NodeId {
         doc.add(self.el)
+    }
+
+    /// Finishes, inserting as the last child of `parent`.
+    pub fn insert_under(self, doc: &mut Document, parent: NodeId) -> NodeId {
+        doc.add_child(parent, self.el)
     }
 }
 
@@ -376,5 +784,270 @@ mod tests {
                 assert_eq!(doc.hit_test(p), doc.hit_test_linear(p), "at {p:?}");
             }
         }
+    }
+
+    // ----- tree / layout / occlusion behaviour (PR 6) -----
+
+    /// A small nested flow page: body block containing a heading, an
+    /// inline toolbar row, and an article of paragraphs.
+    fn flow_page() -> (Document, NodeId, Vec<NodeId>) {
+        let mut doc = Document::new("u", 1000.0, 500.0);
+        let body = ElementBuilder::flow(
+            "body",
+            Display::Block {
+                height: 10.0,
+                width_frac: 1.0,
+                margin: 0.0,
+                padding: 10.0,
+            },
+        )
+        .insert(&mut doc);
+        let mut kids = Vec::new();
+        for i in 0..3 {
+            kids.push(
+                ElementBuilder::flow(
+                    "p",
+                    Display::Block {
+                        height: 40.0,
+                        width_frac: 0.5,
+                        margin: 5.0,
+                        padding: 0.0,
+                    },
+                )
+                .id(&format!("p{i}"))
+                .insert_under(&mut doc, body),
+            );
+        }
+        (doc, body, kids)
+    }
+
+    #[test]
+    fn tree_links_and_depth() {
+        let (doc, body, kids) = flow_page();
+        assert_eq!(doc.parent(body), None);
+        assert_eq!(doc.depth(body), 0);
+        for &k in &kids {
+            assert_eq!(doc.parent(k), Some(body));
+            assert_eq!(doc.depth(k), 1);
+        }
+        assert_eq!(doc.children(body), &kids[..]);
+        assert_eq!(doc.roots(), &[body]);
+    }
+
+    #[test]
+    fn blocks_stack_vertically_and_parent_auto_grows() {
+        let (doc, body, kids) = flow_page();
+        let r0 = doc.element(kids[0]).rect;
+        let r1 = doc.element(kids[1]).rect;
+        // Stacked with 5px margins inside 10px padding.
+        assert_eq!(r0.y, 15.0);
+        assert_eq!(r1.y, r0.y + 40.0 + 2.0 * 5.0);
+        // Half the content width minus margins.
+        assert_eq!(r0.width, (1000.0 - 20.0) * 0.5 - 10.0);
+        // The body grew past its intrinsic 10px to contain the flow.
+        let body_r = doc.element(body).rect;
+        assert!(body_r.height >= 3.0 * 50.0, "body: {body_r:?}");
+    }
+
+    #[test]
+    fn inline_elements_wrap_at_the_content_edge() {
+        let mut doc = Document::new("u", 100.0, 100.0);
+        let row = ElementBuilder::flow(
+            "nav",
+            Display::Block {
+                height: 10.0,
+                width_frac: 1.0,
+                margin: 0.0,
+                padding: 0.0,
+            },
+        )
+        .insert(&mut doc);
+        let mut items = Vec::new();
+        for _ in 0..3 {
+            items.push(
+                ElementBuilder::flow(
+                    "a",
+                    Display::Inline {
+                        width: 40.0,
+                        height: 20.0,
+                        margin: 0.0,
+                    },
+                )
+                .insert_under(&mut doc, row),
+            );
+        }
+        let rects: Vec<Rect> = items.iter().map(|&i| doc.element(i).rect).collect();
+        // Two fit on the first line; the third wraps.
+        assert_eq!(rects[0].y, rects[1].y);
+        assert!(rects[2].y > rects[0].y, "no wrap: {rects:?}");
+        assert_eq!(rects[2].x, rects[0].x);
+    }
+
+    #[test]
+    fn layout_is_deterministic_and_rng_free() {
+        let (a, _, _) = flow_page();
+        let (b, _, _) = flow_page();
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.reflow();
+        assert_eq!(a, c, "reflow must be idempotent");
+    }
+
+    #[test]
+    fn flow_overflow_grows_the_page() {
+        let mut doc = Document::new("u", 100.0, 50.0);
+        for _ in 0..4 {
+            ElementBuilder::flow(
+                "div",
+                Display::Block {
+                    height: 30.0,
+                    width_frac: 1.0,
+                    margin: 0.0,
+                    padding: 0.0,
+                },
+            )
+            .insert(&mut doc);
+        }
+        assert_eq!(doc.page_height, 120.0);
+    }
+
+    #[test]
+    fn layered_overlay_occludes_and_its_children_paint_on_top() {
+        let mut doc = Document::new("u", 200.0, 200.0);
+        let target =
+            ElementBuilder::new("button", Rect::new(50.0, 50.0, 100.0, 100.0)).insert(&mut doc);
+        // Banner inserted *before target in arena order would lose under
+        // flat z-semantics; the layer puts it on top.
+        let banner = ElementBuilder::new("div", Rect::new(0.0, 0.0, 200.0, 120.0))
+            .layer(1)
+            .insert(&mut doc);
+        let accept = ElementBuilder::new("button", Rect::new(10.0, 10.0, 50.0, 30.0))
+            .id("accept")
+            .insert_under(&mut doc, banner);
+        // The banner occludes the target where they overlap.
+        assert_eq!(doc.hit_test(Point::new(100.0, 100.0)), Some(banner));
+        // Its child paints above it (cumulative layer).
+        assert_eq!(doc.hit_test(Point::new(20.0, 20.0)), Some(accept));
+        // Below the banner the target is reachable.
+        assert_eq!(doc.hit_test(Point::new(100.0, 140.0)), Some(target));
+    }
+
+    #[test]
+    fn detached_subtrees_leave_every_query() {
+        let mut doc = Document::new("u", 200.0, 200.0);
+        let target =
+            ElementBuilder::new("button", Rect::new(50.0, 50.0, 100.0, 100.0)).insert(&mut doc);
+        let banner = ElementBuilder::new("div", Rect::new(0.0, 0.0, 200.0, 200.0))
+            .id("banner")
+            .layer(1)
+            .insert(&mut doc);
+        let accept = ElementBuilder::new("button", Rect::new(10.0, 10.0, 50.0, 30.0))
+            .id("accept")
+            .insert_under(&mut doc, banner);
+        assert_eq!(doc.hit_test(Point::new(100.0, 100.0)), Some(banner));
+        // Dismiss: detach the banner subtree in one mutation batch.
+        doc.mutate(|m| m.detach(banner));
+        assert_eq!(doc.hit_test(Point::new(100.0, 100.0)), Some(target));
+        assert!(doc.by_id("banner").is_none());
+        assert!(doc.by_id("accept").is_none());
+        assert!(!doc.in_tree(accept));
+        // NodeIds remain stable (stale references are representable).
+        assert_eq!(doc.element(accept).id, "accept");
+    }
+
+    #[test]
+    fn display_none_takes_no_layout_space() {
+        let mut doc = Document::new("u", 100.0, 10.0);
+        let a = ElementBuilder::flow(
+            "div",
+            Display::Block {
+                height: 30.0,
+                width_frac: 1.0,
+                margin: 0.0,
+                padding: 0.0,
+            },
+        )
+        .insert(&mut doc);
+        let lazy = ElementBuilder::flow("section", Display::None)
+            .id("lazy")
+            .insert(&mut doc);
+        let b = ElementBuilder::flow(
+            "div",
+            Display::Block {
+                height: 30.0,
+                width_frac: 1.0,
+                margin: 0.0,
+                padding: 0.0,
+            },
+        )
+        .insert(&mut doc);
+        assert_eq!(doc.element(b).rect.y, 30.0, "lazy section took space");
+        assert!(doc.by_id("lazy").is_none());
+        // Reveal: the section enters the flow and pushes `b` down.
+        doc.mutate(|m| {
+            m.set_display(
+                lazy,
+                Display::Block {
+                    height: 50.0,
+                    width_frac: 1.0,
+                    margin: 0.0,
+                    padding: 0.0,
+                },
+            )
+        });
+        assert_eq!(doc.by_id("lazy"), Some(lazy));
+        assert_eq!(doc.element(b).rect.y, 80.0);
+        assert_eq!(doc.page_height, 110.0);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn mutator_batch_reflows_once_at_the_end() {
+        let mut doc = Document::new("u", 100.0, 100.0);
+        let ids = doc.mutate(|m| {
+            let row = m.append_root(
+                ElementBuilder::flow(
+                    "div",
+                    Display::Block {
+                        height: 20.0,
+                        width_frac: 1.0,
+                        margin: 0.0,
+                        padding: 0.0,
+                    },
+                )
+                .build(),
+            );
+            let child = m.append_child(
+                row,
+                ElementBuilder::flow(
+                    "span",
+                    Display::Inline {
+                        width: 10.0,
+                        height: 10.0,
+                        margin: 0.0,
+                    },
+                )
+                .id("s")
+                .build(),
+            );
+            (row, child)
+        });
+        assert_eq!(doc.by_id("s"), Some(ids.1));
+        assert_eq!(doc.element(ids.1).rect, Rect::new(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(doc.children(ids.0), &[ids.1]);
+    }
+
+    #[test]
+    fn ancestor_visibility_gates_hits() {
+        let mut doc = Document::new("u", 100.0, 100.0);
+        let base = ElementBuilder::new("body", Rect::new(0.0, 0.0, 100.0, 100.0)).insert(&mut doc);
+        let wrap = ElementBuilder::new("div", Rect::new(0.0, 0.0, 50.0, 50.0)).insert(&mut doc);
+        let inner = ElementBuilder::new("button", Rect::new(10.0, 10.0, 20.0, 20.0))
+            .insert_under(&mut doc, wrap);
+        assert_eq!(doc.hit_test(Point::new(15.0, 15.0)), Some(inner));
+        doc.element_mut(wrap).visible = false;
+        // The hidden wrapper hides its child too; the base is hit.
+        assert_eq!(doc.hit_test(Point::new(15.0, 15.0)), Some(base));
+        assert!(!doc.effectively_visible(inner));
     }
 }

@@ -6,29 +6,38 @@
 //! pointer samples — those linear scans dominate the interaction
 //! pipeline. This module precomputes, per document revision:
 //!
+//! * the **paint order** of the tree (pre-order traversal, stable-sorted
+//!   by cumulative layer) and per-node attachment/visibility, resolving
+//!   the z-order/occlusion semantics once;
 //! * a **uniform grid** over the page box mapping each cell to the
-//!   visible elements whose boxes intersect it, in document order, so a
-//!   hit test scans one cell instead of the whole arena;
-//! * **id / tag / anchor lookup maps** for the locator calls.
+//!   effectively-visible elements whose boxes intersect it, in paint
+//!   order, so a hit test scans one cell instead of the whole tree;
+//! * **id / tag / anchor lookup maps** over *attached* nodes (detached
+//!   `Display::None` subtrees are not in the DOM) for the locator calls.
 //!
 //! The index is built lazily on first query and torn down by any `&mut`
-//! access that could change layout ([`Document::add`],
-//! [`Document::element_mut`]), so it can never serve stale geometry.
+//! access that could change layout or the tree ([`Document::add`],
+//! [`Document::add_child`], [`Document::element_mut`],
+//! [`Document::mutate`], [`Document::reflow`]), so it can never serve
+//! stale geometry.
 //!
 //! Semantics are *identical* to the linear reference scans, enforced by a
 //! differential proptest (`tests/hit_test_differential.rs`):
 //!
-//! * document order = z-order, and each cell stores candidates in
-//!   document order, so scanning a cell back-to-front and taking the
-//!   first `rect.contains(p)` match returns the same topmost visible
-//!   element the reverse linear scan finds;
+//! * paint order is pre-order position stable-sorted by effective layer,
+//!   so scanning a cell back-to-front and taking the first
+//!   `rect.contains(p)` match returns the same topmost
+//!   effectively-visible element the reference's max-key scan finds (for
+//!   flat layer-0 documents both degenerate to arena order — the old
+//!   flat z-semantics);
 //! * cell coverage uses the same inclusive interval arithmetic as
 //!   [`crate::geometry::Rect::contains`], and both rect spans and query
 //!   points are clamped to the grid with the same monotone mapping, so an
 //!   element containing a point is always present in the point's cell —
 //!   even for boxes or points outside the page bounds;
 //! * the id/tag/anchor maps keep first-occurrence (`by_id`,
-//!   `anchor_target`) and document-order (`by_tag`) semantics.
+//!   `anchor_target`) and arena-order (`by_tag`) semantics over attached
+//!   nodes.
 //!
 //! Determinism note: the interior `HashMap`s are only ever point-queried
 //! — their iteration order never reaches any observable output (`by_tag`
@@ -37,7 +46,7 @@
 //! unordered-container interior (see `UNORDERED_INTERIOR_SITES` in
 //! `hlisa-lint`).
 
-use crate::dom::{Element, NodeId};
+use crate::dom::{Display, Node, NodeId};
 use crate::geometry::Point;
 use std::collections::HashMap;
 
@@ -48,15 +57,16 @@ const MAX_CELLS_PER_AXIS: usize = 64;
 /// Precomputed lookup structures for one document revision.
 #[derive(Debug)]
 pub(crate) struct DocumentIndex {
-    /// First element per `id` attribute. The empty id is indexed like any
-    /// other so `by_id("")` matches the linear reference (which finds the
-    /// first unnamed element).
+    /// First attached element per `id` attribute. The empty id is indexed
+    /// like any other so `by_id("")` matches the linear reference (which
+    /// finds the first attached unnamed element).
     by_id: HashMap<String, NodeId>,
-    /// All elements per tag, in document order.
+    /// All attached elements per tag, in arena order.
     by_tag: HashMap<String, Vec<NodeId>>,
-    /// First element per anchor name.
+    /// First attached element per anchor name.
     by_anchor: HashMap<String, NodeId>,
-    /// Visible elements intersecting each cell, in document order.
+    /// Effectively-visible elements intersecting each cell, in paint
+    /// order (bottom → top).
     cells: Vec<Vec<NodeId>>,
     cols: usize,
     rows: usize,
@@ -65,39 +75,88 @@ pub(crate) struct DocumentIndex {
 }
 
 impl DocumentIndex {
-    /// Builds the index for the current arena contents.
-    pub(crate) fn build(nodes: &[Element], page_width: f64, page_height: f64) -> Self {
-        let mut by_id: HashMap<String, NodeId> = HashMap::with_capacity(nodes.len());
+    /// Builds the index for the current tree contents.
+    pub(crate) fn build(
+        nodes: &[Node],
+        roots: &[NodeId],
+        page_width: f64,
+        page_height: f64,
+    ) -> Self {
+        // One pre-order traversal resolves, per node: pre-order position,
+        // cumulative paint layer, attachment (no `Display::None` on the
+        // ancestor path), and effective visibility (attached + no hidden
+        // ancestor).
+        let n = nodes.len();
+        let mut pre_order: Vec<NodeId> = Vec::with_capacity(n);
+        let mut eff_layer = vec![0i64; n];
+        let mut attached = vec![false; n];
+        let mut eff_visible = vec![false; n];
+        // Stack entries carry the parent's accumulated (layer, visible).
+        let mut stack: Vec<(NodeId, i64, bool)> =
+            roots.iter().rev().map(|&r| (r, 0i64, true)).collect();
+        while let Some((id, parent_layer, parent_visible)) = stack.pop() {
+            let node = &nodes[id.index()];
+            if node.el.display == Display::None {
+                // The whole subtree stays detached (flags default false).
+                continue;
+            }
+            let layer = parent_layer + i64::from(node.el.layer);
+            let visible = parent_visible && node.el.visible;
+            pre_order.push(id);
+            eff_layer[id.index()] = layer;
+            attached[id.index()] = true;
+            eff_visible[id.index()] = visible;
+            for &c in node.children.iter().rev() {
+                stack.push((c, layer, visible));
+            }
+        }
+        // Paint order: pre-order, stable-sorted by effective layer. The
+        // stable sort keeps document order within a layer, so flat
+        // layer-0 pages paint in arena order exactly as before.
+        let mut paint = pre_order;
+        paint.sort_by_key(|id| eff_layer[id.index()]);
+
+        let mut by_id: HashMap<String, NodeId> = HashMap::with_capacity(n);
         let mut by_tag: HashMap<String, Vec<NodeId>> = HashMap::new();
         let mut by_anchor: HashMap<String, NodeId> = HashMap::new();
 
         // Cell sizing: aim for O(1) candidates per cell on spread-out
         // documents without exploding memory on sparse ones.
-        let axis = (nodes.len() as f64).sqrt().ceil() as usize;
+        let axis = (n as f64).sqrt().ceil() as usize;
         let cols = axis.clamp(1, MAX_CELLS_PER_AXIS);
         let rows = axis.clamp(1, MAX_CELLS_PER_AXIS);
         let cell_w = page_width / cols as f64;
         let cell_h = page_height / rows as f64;
         let mut cells: Vec<Vec<NodeId>> = vec![Vec::new(); cols * rows];
 
-        for (i, el) in nodes.iter().enumerate() {
+        // Locator maps: arena order over attached nodes.
+        for (i, node) in nodes.iter().enumerate() {
+            if !attached[i] {
+                continue;
+            }
             let id = NodeId(i);
-            by_id.entry(el.id.clone()).or_insert(id);
-            by_tag.entry(el.tag.clone()).or_default().push(id);
-            if let Some(name) = &el.anchor {
+            by_id.entry(node.el.id.clone()).or_insert(id);
+            by_tag.entry(node.el.tag.clone()).or_default().push(id);
+            if let Some(name) = &node.el.anchor {
                 by_anchor.entry(name.clone()).or_insert(id);
             }
-            if el.visible {
-                // Monotone, clamped span → every cell a contained point
-                // can map to is covered (see the module docs).
-                let c0 = cell_coord(el.rect.x, cell_w, cols);
-                let c1 = cell_coord(el.rect.x + el.rect.width, cell_w, cols);
-                let r0 = cell_coord(el.rect.y, cell_h, rows);
-                let r1 = cell_coord(el.rect.y + el.rect.height, cell_h, rows);
-                for r in r0..=r1 {
-                    for c in c0..=c1 {
-                        cells[r * cols + c].push(id);
-                    }
+        }
+        // Spatial grid: paint order over effectively-visible nodes, so
+        // each cell's candidate list is already bottom → top.
+        for &id in &paint {
+            if !eff_visible[id.index()] {
+                continue;
+            }
+            let rect = nodes[id.index()].el.rect;
+            // Monotone, clamped span → every cell a contained point
+            // can map to is covered (see the module docs).
+            let c0 = cell_coord(rect.x, cell_w, cols);
+            let c1 = cell_coord(rect.x + rect.width, cell_w, cols);
+            let r0 = cell_coord(rect.y, cell_h, rows);
+            let r1 = cell_coord(rect.y + rect.height, cell_h, rows);
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    cells[r * cols + c].push(id);
                 }
             }
         }
@@ -118,7 +177,7 @@ impl DocumentIndex {
         self.by_id.get(id_attr).copied()
     }
 
-    /// Fast path for [`crate::dom::Document::by_tag`] (document order).
+    /// Fast path for [`crate::dom::Document::by_tag`] (arena order).
     pub(crate) fn by_tag(&self, tag: &str) -> &[NodeId] {
         self.by_tag.get(tag).map(Vec::as_slice).unwrap_or(&[])
     }
@@ -128,16 +187,16 @@ impl DocumentIndex {
         self.by_anchor.get(name).copied()
     }
 
-    /// Fast path for [`crate::dom::Document::hit_test`]: topmost visible
-    /// element containing the point. Scans one cell back-to-front; the
-    /// cell holds candidates in document (= z) order.
-    pub(crate) fn hit_test(&self, nodes: &[Element], p: Point) -> Option<NodeId> {
+    /// Fast path for [`crate::dom::Document::hit_test`]: topmost
+    /// effectively-visible element containing the point. Scans one cell
+    /// back-to-front; the cell holds candidates in paint order.
+    pub(crate) fn hit_test(&self, nodes: &[Node], p: Point) -> Option<NodeId> {
         let c = cell_coord(p.x, self.cell_w, self.cols);
         let r = cell_coord(p.y, self.cell_h, self.rows);
         self.cells[r * self.cols + c]
             .iter()
             .rev()
-            .find(|id| nodes[id.index()].rect.contains(p))
+            .find(|id| nodes[id.index()].el.rect.contains(p))
             .copied()
     }
 }

@@ -33,7 +33,7 @@ pub mod viewport;
 
 pub use browser::{Browser, BrowserConfig};
 pub use clock::VirtualClock;
-pub use dom::{Document, ElementBuilder, NodeId};
+pub use dom::{Display, Document, DocumentMutator, Element, ElementBuilder, NodeId};
 pub use events::{DomEvent, EventKind, EventPayload};
 pub use geometry::{Point, Rect};
 pub use input::RawInput;

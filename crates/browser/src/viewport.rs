@@ -81,6 +81,14 @@ impl Viewport {
         (self.page_height - self.height).max(0.0)
     }
 
+    /// Resizes the scrollable extent (a reflow grew or shrank the page).
+    /// The scroll offset is re-clamped: if content above the current
+    /// offset disappeared, the viewport snaps back to the new bottom.
+    pub fn set_page_height(&mut self, page_height: f64) {
+        self.page_height = page_height.max(self.height);
+        self.scroll_y = self.scroll_y.clamp(0.0, self.max_scroll_y());
+    }
+
     /// Scrolls by a delta, clamping to the document. Returns the actual
     /// delta applied (0 when already at an edge).
     pub fn scroll_by(&mut self, delta_y: f64) -> f64 {

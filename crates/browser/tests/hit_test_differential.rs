@@ -6,11 +6,14 @@
 //! across arbitrary documents (random boxes, visibility, ids, tags,
 //! anchors, overlaps, boxes hanging off the page) and arbitrary query
 //! points (inside, on edges, outside the page), `hit_test` must return
-//! exactly what the reverse linear scan returns, and the id/tag/anchor
-//! maps must match their linear references — including after mid-stream
-//! mutations that force an index rebuild.
+//! exactly what the reference scan returns, and the id/tag/anchor maps
+//! must match their linear references — including after mid-stream
+//! mutations that force an index rebuild. Since the layered page model
+//! the same contract covers trees: random parent/child structure, flow
+//! layout (`Block`/`Inline`), paint layers, and `Display::None`
+//! detachment.
 
-use hlisa_browser::dom::{Document, Element};
+use hlisa_browser::dom::{Display, Document, Element};
 use hlisa_browser::{Point, Rect};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -29,6 +32,8 @@ fn element(raw: &(f64, f64, f64, f64, u8, u8, u8, u8)) -> Element {
         tag: TAGS[tag as usize % TAGS.len()].to_string(),
         id: IDS[id as usize % IDS.len()].to_string(),
         rect: Rect::new(x, y, w, h),
+        display: Display::Absolute,
+        layer: 0,
         visible: visible & 1 == 1,
         focusable: false,
         anchor: ANCHORS[anchor as usize % ANCHORS.len()].map(str::to_string),
@@ -60,9 +65,46 @@ fn assert_queries_agree(doc: &Document, points: &[(f64, f64)]) {
     }
 }
 
+/// Decodes one tree node: geometry + identity bytes as in [`element`],
+/// plus structure bytes choosing parent, display mode, and paint layer.
+#[allow(clippy::type_complexity)]
+type RawTreeNode = ((f64, f64, f64, f64, u8, u8, u8, u8), (u8, u8, u8, u8));
+
+fn build_tree_doc(raw_nodes: &[RawTreeNode], page: (f64, f64)) -> Document {
+    let mut doc = Document::new("https://differential.test/", page.0, page.1);
+    let mut inserted = Vec::new();
+    for (i, (geom, (parent_sel, display_sel, layer, aux))) in raw_nodes.iter().enumerate() {
+        let mut el = element(geom);
+        el.display = match display_sel % 8 {
+            0..=2 => Display::Absolute,
+            3..=5 => Display::Block {
+                height: geom.3.max(1.0),
+                width_frac: 0.2 + f64::from(*aux % 80) / 100.0,
+                margin: f64::from(*aux % 16),
+                padding: f64::from(*aux % 8),
+            },
+            6 => Display::Inline {
+                width: geom.2.max(1.0),
+                height: geom.3.max(1.0),
+                margin: f64::from(*aux % 10),
+            },
+            _ => Display::None,
+        };
+        el.layer = i32::from(*layer % 5) - 2;
+        let id = if i == 0 || parent_sel % 4 == 0 {
+            doc.add(el)
+        } else {
+            let parent = inserted[*parent_sel as usize % i];
+            doc.add_child(parent, el)
+        };
+        inserted.push(id);
+    }
+    doc
+}
+
 proptest! {
     /// Grid-indexed queries equal the linear reference over arbitrary
-    /// documents and points.
+    /// flat documents and points (the legacy page model).
     #[test]
     fn grid_matches_linear_reference(
         elements in vec(
@@ -99,6 +141,73 @@ proptest! {
             el.rect.x = *x;
             el.rect.y = *y;
             el.visible = *visible & 1 == 1;
+            assert_queries_agree(&doc, &points);
+        }
+    }
+
+    /// Tree documents: random parent/child structure, mixed display
+    /// modes (absolute overlays, flowing blocks, wrapping inlines,
+    /// detached subtrees), and paint layers in [-2, 2]. Paint-order
+    /// hit testing and attachment-filtered locators must equal the
+    /// from-scratch linear references.
+    #[test]
+    fn tree_grid_matches_linear_reference(
+        raw_nodes in vec(
+            ((0.0f64..1400.0, 0.0f64..2200.0, 0.0f64..600.0, 0.0f64..900.0,
+              0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255),
+             (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255)),
+            1..48,
+        ),
+        points in vec((-100.0f64..1500.0, -100.0f64..2400.0), 1..60),
+    ) {
+        let doc = build_tree_doc(&raw_nodes, (1400.0, 2200.0));
+        assert_queries_agree(&doc, &points);
+    }
+
+    /// Tree documents under structural mutation: visibility and layer
+    /// flips through `element_mut`, plus display changes (detach /
+    /// reveal) through the mutator batch. Every revision must keep the
+    /// index equal to the references.
+    #[test]
+    fn tree_grid_matches_linear_reference_across_mutations(
+        raw_nodes in vec(
+            ((0.0f64..1400.0, 0.0f64..2200.0, 0.0f64..600.0, 0.0f64..900.0,
+              0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255),
+             (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255)),
+            1..32,
+        ),
+        mutations in vec((0u16..=u16::MAX, 0u8..=255, 0u8..=255), 1..10),
+        points in vec((-100.0f64..1500.0, -100.0f64..2400.0), 1..40),
+    ) {
+        let mut doc = build_tree_doc(&raw_nodes, (1400.0, 2200.0));
+        assert_queries_agree(&doc, &points);
+        for (pick, op, val) in &mutations {
+            let ids: Vec<_> = doc.ids().collect();
+            let id = ids[*pick as usize % ids.len()];
+            match op % 3 {
+                0 => {
+                    let el = doc.element_mut(id);
+                    el.visible = val & 1 == 1;
+                }
+                1 => {
+                    doc.element_mut(id).layer = i32::from(val % 5) - 2;
+                }
+                _ => doc.mutate(|m| {
+                    if val & 1 == 1 {
+                        m.detach(id);
+                    } else {
+                        m.set_display(
+                            id,
+                            Display::Block {
+                                height: f64::from(*val) + 1.0,
+                                width_frac: 0.5,
+                                margin: 2.0,
+                                padding: 2.0,
+                            },
+                        );
+                    }
+                }),
+            }
             assert_queries_agree(&doc, &points);
         }
     }

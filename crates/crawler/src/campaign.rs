@@ -146,7 +146,22 @@ fn run_machine_with(
                     let outcomes: Vec<VisitOutcome> = (0..config.visits_per_site)
                         .map(|v| {
                             let mut ctx = machine_ctx.fork_visit(&site.domain, v as u64);
-                            simulate_visit(site, client, runtime, &mut ctx)
+                            let mut outcome = simulate_visit(site, client, runtime, &mut ctx);
+                            // Dynamic-page sites additionally run the
+                            // scenario drive; it draws only from its own
+                            // forked streams, so populations without
+                            // scenarios stay bit-identical.
+                            if let Some(kind) = site.scenario {
+                                crate::scenario::apply_scenario_drive(
+                                    config.seed,
+                                    site,
+                                    kind,
+                                    client,
+                                    &mut outcome,
+                                    &mut ctx,
+                                );
+                            }
+                            outcome
                         })
                         .collect();
                     // Each index is owned by exactly one worker, so the
@@ -165,12 +180,18 @@ fn run_machine_with(
 
     MachineRun {
         client,
-        sites: results
-            .into_iter()
-            .zip(sites)
-            .map(|(slot, site)| slot.into_inner().unwrap_or_else(|| degraded_result(site)))
-            .collect(),
+        sites: collect_results(results, sites),
     }
+}
+
+/// Collects the workers' write-once slots back into population order,
+/// degrading any slot whose worker died before writing it.
+fn collect_results(results: Vec<OnceLock<SiteResult>>, sites: &[Site]) -> Vec<SiteResult> {
+    results
+        .into_iter()
+        .zip(sites)
+        .map(|(slot, site)| slot.into_inner().unwrap_or_else(|| degraded_result(site)))
+        .collect()
 }
 
 /// Graceful degradation for a site whose worker died before writing its
@@ -248,6 +269,40 @@ mod tests {
                 assert_eq!(result.successful_visits(), 0);
             }
         }
+    }
+
+    #[test]
+    fn poisoned_slot_degrades_to_zero_outcome_row_instead_of_aborting() {
+        let sites = generate_population(&small_config().population);
+        // Simulate a worker that wedged mid-site: its slot never gets
+        // written. Every other slot is filled normally.
+        let results: Vec<OnceLock<SiteResult>> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, site)| {
+                let slot = OnceLock::new();
+                if i != 3 {
+                    let _ = slot.set(SiteResult {
+                        domain: site.domain.clone(),
+                        rank: site.rank,
+                        outcomes: vec![],
+                    });
+                }
+                slot
+            })
+            .collect();
+        let collected = collect_results(results, &sites);
+        // The machine run still covers the full population, in order…
+        assert_eq!(collected.len(), sites.len());
+        for (site, result) in sites.iter().zip(&collected) {
+            assert_eq!(site.domain, result.domain);
+            assert_eq!(site.rank, result.rank);
+        }
+        // …and the poisoned site reads as unvisited, keeping Table 2's
+        // denominators intact rather than crashing the campaign.
+        assert!(collected[3].outcomes.is_empty());
+        assert!(!collected[3].reached());
+        assert_eq!(collected[3].successful_visits(), 0);
     }
 
     #[test]

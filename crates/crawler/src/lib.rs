@@ -16,6 +16,7 @@ pub mod chaos;
 pub mod http_analysis;
 pub mod recovery;
 pub mod report;
+pub mod scenario;
 pub mod screenshot;
 
 pub use campaign::{run_campaign, run_machine, Campaign, CampaignConfig, MachineRun, SiteResult};

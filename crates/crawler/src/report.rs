@@ -40,6 +40,9 @@ fn visual_name(v: VisualOutcome) -> &'static str {
         VisualOutcome::Timeout => "timeout",
         VisualOutcome::Stalled => "stalled",
         VisualOutcome::Crashed => "crashed",
+        VisualOutcome::StuckOnOverlay => "stuck_on_overlay",
+        VisualOutcome::MissingLazyContent => "missing_lazy_content",
+        VisualOutcome::StaleElement => "stale_element",
     }
 }
 
@@ -177,7 +180,8 @@ mod tests {
     fn table2_csv_round_trips_labels() {
         let csv = table2_csv(&campaign());
         assert!(csv.contains("blocking/CAPTCHAs"));
-        assert_eq!(csv.lines().count(), 7);
+        assert!(csv.contains("stuck on consent overlay"));
+        assert_eq!(csv.lines().count(), 10);
     }
 
     #[test]

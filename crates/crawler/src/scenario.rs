@@ -1,0 +1,338 @@
+//! Dynamic-page scenario drives: §4.1's interaction failure modes run
+//! differentially.
+//!
+//! Sites assigned a [`ScenarioKind`] render a page that changes *during*
+//! the visit — a consent overlay occludes the target, content lays out
+//! only after scrolling, or an SPA re-render swaps the node a handle
+//! points at. Machine (1) drives them the way stock OpenWPM does
+//! (Selenium action chains, script scrolls, cached element handles);
+//! machine (2) drives them the way HLISA does (raw OS input from the
+//! human models, wheel scrolling, re-querying after mutations). The two
+//! drives land in different [`VisualOutcome`] rows of Table 2, which is
+//! exactly the differential the paper's screenshot review reads off.
+//!
+//! The drives consume only forked streams (`"scenario"`) and the page is
+//! keyed on `(campaign seed, domain)` alone, so machines see the same
+//! page and campaigns without scenario sites are bit-identical to the
+//! pre-scenario model.
+
+use hlisa_browser::events::EventKind;
+use hlisa_browser::viewport::WHEEL_TICK_PX;
+use hlisa_browser::{Browser, BrowserConfig, NodeId};
+use hlisa_human::{HumanAgent, HumanParams};
+use hlisa_sim::SimContext;
+use hlisa_stats::rngutil::derive_seed;
+use hlisa_web::dynamics::{
+    self, lazy_reveal_threshold, ScenarioKind, ACCEPT_ID, CONFIRM_ID, LAZY_TARGET_ID,
+};
+use hlisa_web::page::TARGET_ID;
+use hlisa_web::{apply_scenario, generate_page, GeneratedPage, PageStructure};
+use hlisa_web::{ClientKind, Site, VisitOutcome, VisualOutcome};
+use hlisa_webdriver::{By, SeleniumActionChains, Session};
+
+/// Renders the site's scenario page. Structure is keyed on the campaign
+/// seed and the site's identity only — never the machine or visit — so
+/// both machines drive byte-identical documents and the differential in
+/// Table 2 is attributable to the drive alone.
+pub fn scenario_page(site: &Site, kind: ScenarioKind, campaign_seed: u64) -> GeneratedPage {
+    let mut page_ctx = SimContext::new(derive_seed(
+        campaign_seed,
+        &site.domain,
+        u64::from(site.rank),
+    ));
+    let mut page = generate_page(site, &PageStructure::default(), &mut page_ctx);
+    apply_scenario(&mut page, kind);
+    page
+}
+
+/// Runs the scenario drive for one visit and overrides the screenshot
+/// verdict when the drive fails. Visits that never rendered normally
+/// (blocked, CAPTCHA'd, flaky, …) keep their original outcome: the
+/// scenario layer only refines *successful-looking* visits, so campaigns
+/// whose population assigns no scenarios are bit-identical.
+pub fn apply_scenario_drive(
+    campaign_seed: u64,
+    site: &Site,
+    kind: ScenarioKind,
+    client: ClientKind,
+    outcome: &mut VisitOutcome,
+    ctx: &mut SimContext,
+) {
+    if !outcome.successful || outcome.visual != VisualOutcome::Normal {
+        return;
+    }
+    if !drive_scenario(site, kind, client, campaign_seed, ctx) {
+        outcome.visual = kind.failure_outcome();
+    }
+}
+
+/// Drives one scenario visit to completion. Returns whether the primary
+/// interaction actually landed on its intended element.
+pub fn drive_scenario(
+    site: &Site,
+    kind: ScenarioKind,
+    client: ClientKind,
+    campaign_seed: u64,
+    ctx: &mut SimContext,
+) -> bool {
+    let page = scenario_page(site, kind, campaign_seed);
+    match client {
+        ClientKind::OpenWpm => drive_selenium(page, kind, ctx),
+        ClientKind::OpenWpmSpoofed => drive_hlisa(page, kind, ctx),
+    }
+}
+
+/// Whether the most recent `click` event was delivered to `id` — the
+/// ground truth a screenshot review infers from whatever the click
+/// actually triggered.
+fn last_click_hit(browser: &Browser, id: NodeId) -> bool {
+    browser
+        .recorder
+        .of_kind(EventKind::Click)
+        .last()
+        .map(|e| e.target == Some(id))
+        .unwrap_or(false)
+}
+
+/// The page's lazy loader: it subscribes to *scroll events* and attaches
+/// the deferred section once the viewport has passed the reveal
+/// threshold. A script jump (`window.scrollBy`) moves the viewport
+/// without firing any wheel event, so the loader never runs — the §4.1
+/// failure Selenium-style scrolling triggers.
+fn maybe_reveal_lazy(browser: &mut Browser) -> bool {
+    let threshold = lazy_reveal_threshold(browser.document().page_height, browser.viewport.height);
+    if browser.recorder.wheel_count() == 0 || browser.viewport.scroll_y() < threshold {
+        return false;
+    }
+    browser.mutate_document(dynamics::reveal_lazy)
+}
+
+/// Machine (1): the stock OpenWPM drive. Selenium action chains move the
+/// pointer straight to the element centre, scrolling is a one-jump
+/// script call, and element handles are cached across DOM mutations —
+/// each scenario defeats one of those habits.
+fn drive_selenium(page: GeneratedPage, kind: ScenarioKind, ctx: &SimContext) -> bool {
+    let mut session = Session::new(Browser::open(BrowserConfig::webdriver(), page.doc));
+    session.bind_context(ctx);
+    match kind {
+        ScenarioKind::CookieBanner => {
+            // The locator sees the target fine (the overlay occludes, it
+            // does not detach), so the drive marches straight into the
+            // banner: the click dispatches to the overlay, not the CTA.
+            let Ok(target) = session.find_element(By::Id(TARGET_ID.into())) else {
+                return false;
+            };
+            if session.ensure_interactable(target).is_err() {
+                return false;
+            }
+            let _ = SeleniumActionChains::new()
+                .move_to_element(target)
+                .click(Some(target))
+                .perform(&mut session);
+            last_click_hit(&session.browser, target.node())
+        }
+        ScenarioKind::LazyContent => {
+            // One script jump to the bottom: the viewport moves but no
+            // scroll events fire, so the deferred section never attaches
+            // and the locator comes back empty-handed.
+            let bottom = session.browser.viewport.max_scroll_y();
+            session.scroll_by_script(bottom);
+            maybe_reveal_lazy(&mut session.browser);
+            let Ok(el) = session.find_element(By::Id(LAZY_TARGET_ID.into())) else {
+                return false;
+            };
+            if session.ensure_interactable(el).is_err() {
+                return false;
+            }
+            let _ = SeleniumActionChains::new()
+                .move_to_element(el)
+                .click(Some(el))
+                .perform(&mut session);
+            last_click_hit(&session.browser, el.node())
+        }
+        ScenarioKind::SpaMutation => {
+            // Locate, then the app re-renders, then interact through the
+            // cached handle: the classic stale-element window. The old
+            // node is detached, so the click at its remembered geometry
+            // cannot reach the fresh button.
+            let Ok(confirm) = session.find_element(By::Id(CONFIRM_ID.into())) else {
+                return false;
+            };
+            if session.ensure_interactable(confirm).is_err() {
+                return false;
+            }
+            let Some(fresh) = session.browser.mutate_document(dynamics::spa_rerender) else {
+                return false;
+            };
+            let _ = SeleniumActionChains::new()
+                .move_to_element(confirm)
+                .click(Some(confirm))
+                .perform(&mut session);
+            last_click_hit(&session.browser, fresh)
+        }
+    }
+}
+
+/// Machine (2): the HLISA drive. Raw OS input from the human models —
+/// the agent notices the overlay and dismisses it first, scrolls with
+/// real wheel ticks, and re-queries the DOM after the app re-renders.
+fn drive_hlisa(page: GeneratedPage, kind: ScenarioKind, ctx: &mut SimContext) -> bool {
+    let mut browser = Browser::open(BrowserConfig::webdriver(), page.doc);
+    let mut human =
+        HumanAgent::with_context(HumanParams::paper_baseline(), ctx.fork("scenario", 0));
+    human.bind_browser(&browser);
+    match kind {
+        ScenarioKind::CookieBanner => {
+            let accept = browser.document().by_id(ACCEPT_ID);
+            let target = browser.document().by_id(TARGET_ID);
+            let (Some(accept), Some(target)) = (accept, target) else {
+                return false;
+            };
+            // Dismiss-then-interact: click the consent button, let the
+            // page's handler remove the overlay, then go for the CTA.
+            human.click_element(&mut browser, accept);
+            if !last_click_hit(&browser, accept) {
+                return false;
+            }
+            browser.mutate_document(dynamics::dismiss_banner);
+            human.settle(&mut browser, 150.0, 600.0);
+            human.click_element(&mut browser, target);
+            last_click_hit(&browser, target)
+        }
+        ScenarioKind::LazyContent => {
+            // Wheel-scroll past the reveal threshold (with a couple of
+            // ticks of slack for wheel quantisation): the loader sees
+            // real scroll events and attaches the section.
+            let threshold =
+                lazy_reveal_threshold(browser.document().page_height, browser.viewport.height);
+            human.scroll_by(&mut browser, threshold + 3.0 * WHEEL_TICK_PX);
+            if !maybe_reveal_lazy(&mut browser) {
+                return false;
+            }
+            let Some(lazy) = browser.document().by_id(LAZY_TARGET_ID) else {
+                return false;
+            };
+            human.click_element(&mut browser, lazy);
+            last_click_hit(&browser, lazy)
+        }
+        ScenarioKind::SpaMutation => {
+            // The app re-renders mid-visit; HLISA's recovery is to
+            // re-locate by id instead of trusting the stale handle.
+            if browser.document().by_id(CONFIRM_ID).is_none() {
+                return false;
+            }
+            if browser.mutate_document(dynamics::spa_rerender).is_none() {
+                return false;
+            }
+            human.settle(&mut browser, 150.0, 600.0);
+            let Some(confirm) = browser.document().by_id(CONFIRM_ID) else {
+                return false;
+            };
+            human.click_element(&mut browser, confirm);
+            last_click_hit(&browser, confirm)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlisa_web::dynamics::BANNER_ID;
+
+    fn scenario_site(kind: ScenarioKind) -> Site {
+        Site {
+            rank: 120,
+            domain: "dynamic.example".into(),
+            detector: None,
+            ad_slots: 2,
+            has_video: false,
+            breaks_under_spoofing: false,
+            unreachable: false,
+            flaky_visit_prob: 0.0,
+            first_party_requests: 8,
+            third_party_requests: 12,
+            scenario: Some(kind),
+        }
+    }
+
+    #[test]
+    fn both_machines_see_the_same_scenario_page() {
+        let site = scenario_site(ScenarioKind::CookieBanner);
+        let a = scenario_page(&site, ScenarioKind::CookieBanner, 42);
+        let b = scenario_page(&site, ScenarioKind::CookieBanner, 42);
+        assert_eq!(a.doc, b.doc);
+        assert!(a.doc.by_id(BANNER_ID).is_some());
+    }
+
+    #[test]
+    fn selenium_fails_every_scenario() {
+        for kind in ScenarioKind::ALL {
+            let site = scenario_site(kind);
+            let mut ctx = SimContext::new(9).fork_visit(&site.domain, 0);
+            assert!(
+                !drive_scenario(&site, kind, ClientKind::OpenWpm, 42, &mut ctx),
+                "selenium drive unexpectedly survived {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hlisa_recovers_every_scenario() {
+        for kind in ScenarioKind::ALL {
+            let site = scenario_site(kind);
+            let mut ctx = SimContext::new(9).fork_visit(&site.domain, 0);
+            assert!(
+                drive_scenario(&site, kind, ClientKind::OpenWpmSpoofed, 42, &mut ctx),
+                "hlisa drive failed {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn drives_are_deterministic() {
+        let site = scenario_site(ScenarioKind::LazyContent);
+        let run = |seed: u64| {
+            let mut ctx = SimContext::new(seed).fork_visit(&site.domain, 3);
+            drive_scenario(
+                &site,
+                ScenarioKind::LazyContent,
+                ClientKind::OpenWpmSpoofed,
+                42,
+                &mut ctx,
+            )
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn drive_overrides_only_normal_successful_visits() {
+        let site = scenario_site(ScenarioKind::CookieBanner);
+        let mut ctx = SimContext::new(1).fork_visit(&site.domain, 0);
+        let runtime = hlisa_web::visit::DetectorRuntime::new();
+        let mut outcome = hlisa_web::simulate_visit(&site, ClientKind::OpenWpm, &runtime, &mut ctx);
+        assert!(outcome.successful);
+        apply_scenario_drive(
+            42,
+            &site,
+            ScenarioKind::CookieBanner,
+            ClientKind::OpenWpm,
+            &mut outcome,
+            &mut ctx,
+        );
+        assert_eq!(outcome.visual, VisualOutcome::StuckOnOverlay);
+
+        // A visit that already failed keeps its verdict untouched.
+        let mut blocked = outcome.clone();
+        blocked.visual = VisualOutcome::BlockPage;
+        let before = blocked.clone();
+        apply_scenario_drive(
+            42,
+            &site,
+            ScenarioKind::CookieBanner,
+            ClientKind::OpenWpm,
+            &mut blocked,
+            &mut ctx,
+        );
+        assert_eq!(blocked, before);
+    }
+}

@@ -74,6 +74,9 @@ pub fn screenshot_table(campaign: &Campaign) -> Table2 {
     let less_ads = pair(&|v| v == VisualOutcome::FewerAds);
     let blocking = pair(&|v| matches!(v, VisualOutcome::BlockPage | VisualOutcome::Captcha));
     let frozen = pair(&|v| v == VisualOutcome::FrozenVideo);
+    let overlay = pair(&|v| v == VisualOutcome::StuckOnOverlay);
+    let lazy = pair(&|v| v == VisualOutcome::MissingLazyContent);
+    let stale = pair(&|v| v == VisualOutcome::StaleElement);
 
     let row = |label: &str, ((s1, v1), (s2, v2)): ((usize, usize), (usize, usize))| Table2Row {
         label: label.to_string(),
@@ -93,6 +96,11 @@ pub fn screenshot_table(campaign: &Campaign) -> Table2 {
             row("- less ads", less_ads),
             row("blocking/CAPTCHAs", blocking),
             row("frozen video element(s)", frozen),
+            // Dynamic-page rows: interaction failures a screenshot review
+            // attributes to the drive, not the site's detector.
+            row("stuck on consent overlay", overlay),
+            row("missing lazy-loaded content", lazy),
+            row("stale-element interaction", stale),
         ],
     }
 }
@@ -154,6 +162,53 @@ mod tests {
         );
         let ads = t.row("missing ads").unwrap();
         assert!(ads.sites.0 >= ads.sites.1);
+    }
+
+    #[test]
+    fn scenario_rows_split_by_drive() {
+        use hlisa_web::ScenarioMix;
+        let c = run_campaign(&CampaignConfig {
+            seed: 99,
+            population: PopulationConfig {
+                n_sites: 120,
+                unreachable_sites: 10,
+                scenarios: ScenarioMix {
+                    cookie_banner: 3,
+                    lazy_content: 3,
+                    spa_mutation: 3,
+                },
+                ..PopulationConfig::default()
+            },
+            visits_per_site: 6,
+            instances: 4,
+            world_cache: true,
+        });
+        let t = screenshot_table(&c);
+        // Each scenario class fills its own row on machine (1): every
+        // assigned site fails there on (almost) every successful visit,
+        // while the HLISA-style drive on machine (2) recovers all of them.
+        for label in [
+            "stuck on consent overlay",
+            "missing lazy-loaded content",
+            "stale-element interaction",
+        ] {
+            let row = t.row(label).unwrap();
+            assert!(row.sites.0 >= 2, "{label}: only {} sites", row.sites.0);
+            assert!(row.visits.0 > row.sites.0, "{label}: visits too few");
+            assert_eq!(row.sites.1, 0, "{label} leaked onto the HLISA machine");
+            assert_eq!(row.visits.1, 0, "{label} leaked onto the HLISA machine");
+        }
+        // A scenario-free campaign reports empty rows (and is otherwise
+        // untouched by the feature — the golden test pins that bitwise).
+        let t0 = screenshot_table(&campaign());
+        for label in [
+            "stuck on consent overlay",
+            "missing lazy-loaded content",
+            "stale-element interaction",
+        ] {
+            let row = t0.row(label).unwrap();
+            assert_eq!((row.sites, row.visits), ((0, 0), (0, 0)), "{label}");
+        }
     }
 
     #[test]

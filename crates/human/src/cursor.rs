@@ -40,6 +40,77 @@ pub fn min_jerk_progress(tau: f64) -> f64 {
     10.0 * tau.powi(3) - 15.0 * tau.powi(4) + 6.0 * tau.powi(5)
 }
 
+/// The RNG-free factors of one stroke sample: normalised time, minimum-jerk
+/// progress, and the tremor envelope. These depend only on `(i, n)`, never
+/// on the draw, so strokes with equal sample counts can share one
+/// precomputed row instead of re-evaluating the polynomial and the sine per
+/// sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BasisSample {
+    /// Normalised time `i / n`.
+    pub tau: f64,
+    /// [`min_jerk_progress`] at `tau`.
+    pub s: f64,
+    /// `sin(π·tau)`, the tremor envelope at `tau`.
+    pub envelope: f64,
+}
+
+/// Largest per-stroke sample count served from the shared basis tables.
+/// With the baseline 8 ms sample interval this covers strokes up to
+/// ~1.5 s; longer (rare) strokes fall back to direct evaluation.
+const BASIS_SHARED_MAX_N: usize = 192;
+
+static BASIS_ROWS: std::sync::OnceLock<Vec<Vec<BasisSample>>> = std::sync::OnceLock::new();
+
+/// Evaluates one basis row directly — the exact expressions the sample
+/// loop historically inlined, so table and fallback are bit-identical.
+fn compute_basis_row(n: usize) -> Vec<BasisSample> {
+    (0..=n)
+        .map(|i| {
+            let tau = i as f64 / n as f64;
+            BasisSample {
+                tau,
+                s: min_jerk_progress(tau),
+                envelope: (std::f64::consts::PI * tau).sin(),
+            }
+        })
+        .collect()
+}
+
+/// The sample basis backing one stroke: a shared static row for common
+/// sample counts, an owned row beyond the cache bound.
+pub(crate) enum StrokeBasis {
+    /// Served from the process-wide table.
+    Shared(&'static [BasisSample]),
+    /// Computed for this stroke alone (`n` above the cache bound).
+    Owned(Vec<BasisSample>),
+}
+
+impl StrokeBasis {
+    /// The basis for an `n`-sample stroke (`n` panels, `n + 1` samples).
+    pub(crate) fn for_stroke(n: usize) -> Self {
+        if n <= BASIS_SHARED_MAX_N {
+            let rows = BASIS_ROWS.get_or_init(|| {
+                // Row k is for k-panel strokes; rows 0..3 are unused (the
+                // generators clamp n to ≥ 3) but kept so the row index is
+                // the sample count itself.
+                (0..=BASIS_SHARED_MAX_N).map(compute_basis_row).collect()
+            });
+            StrokeBasis::Shared(&rows[n])
+        } else {
+            StrokeBasis::Owned(compute_basis_row(n))
+        }
+    }
+
+    /// The factors of sample `i`.
+    pub(crate) fn get(&self, i: usize) -> BasisSample {
+        match self {
+            StrokeBasis::Shared(row) => row[i],
+            StrokeBasis::Owned(row) => row[i],
+        }
+    }
+}
+
 /// Generates a human cursor trajectory from `from` to `to` aimed at a
 /// target of effective width `target_w`, drawing from the context's
 /// `"cursor"` stream.
@@ -129,6 +200,8 @@ struct StrokeState {
     tremor: f64,
     px: f64,
     py: f64,
+    /// Shared per-sample basis (tau, progress, envelope) for this `n`.
+    basis: StrokeBasis,
     /// Degenerate zero-distance stroke: one sample, no draws.
     degenerate: bool,
 }
@@ -158,6 +231,7 @@ impl StrokeState {
                 tremor: 0.0,
                 px: 0.0,
                 py: 0.0,
+                basis: StrokeBasis::Owned(Vec::new()),
                 degenerate: true,
             };
         }
@@ -179,6 +253,7 @@ impl StrokeState {
             tremor: 0.0,
             px,
             py,
+            basis: StrokeBasis::for_stroke(n),
             degenerate: false,
         }
     }
@@ -211,11 +286,9 @@ impl StrokeState {
         }
         let i = self.next_i;
         self.next_i += 1;
-        let tau = i as f64 / self.n as f64;
-        let s = min_jerk_progress(tau);
+        let BasisSample { tau, s, envelope } = self.basis.get(i);
         let p = quad_bezier(self.from, self.control, self.to, s);
         self.tremor = 0.7 * self.tremor + 0.3 * jitter.sample(rng);
-        let envelope = (std::f64::consts::PI * tau).sin();
         if i == self.n {
             // The eager stroke overwrites its last sample with the exact
             // endpoint after drawing the (unused) final jitter.
@@ -412,17 +485,16 @@ fn single_stroke<R: Rng + ?Sized>(
     let control = Point::new(mid.x + px * amp, mid.y + py * amp);
 
     let n = ((duration / params.pointer_sample_interval_ms).ceil() as usize).max(3);
+    let basis = StrokeBasis::for_stroke(n);
     let jitter_dist = Normal::new(0.0, params.jitter_px);
     let mut samples = Vec::with_capacity(n + 1);
     let mut tremor = 0.0f64;
     for i in 0..=n {
-        let tau = i as f64 / n as f64;
-        let s = min_jerk_progress(tau);
+        let BasisSample { tau, s, envelope } = basis.get(i);
         let p = quad_bezier(from, control, to, s);
         // Tremor: AR(1)-filtered perpendicular noise, zero at the endpoints
         // (the hand is anchored at press/landing).
         tremor = 0.7 * tremor + 0.3 * jitter_dist.sample(rng);
-        let envelope = (std::f64::consts::PI * tau).sin();
         let (jx, jy) = (px * tremor * envelope, py * tremor * envelope);
         samples.push(TrajectorySample {
             t_ms: t0 + tau * duration,
@@ -552,6 +624,40 @@ mod tests {
             assert!(v >= prev - 1e-12);
             prev = v;
         }
+    }
+
+    /// The shared basis tables (and the owned fallback above the cache
+    /// bound) must reproduce the direct per-sample evaluation bit for bit
+    /// — they are a memoisation, not an approximation.
+    #[test]
+    fn basis_table_is_bit_exact_with_direct_evaluation() {
+        for n in [3usize, 7, 64, 192, 193, 400] {
+            let basis = StrokeBasis::for_stroke(n);
+            for i in 0..=n {
+                let tau = i as f64 / n as f64;
+                let b = basis.get(i);
+                assert_eq!(b.tau.to_bits(), tau.to_bits(), "n={n} i={i}");
+                assert_eq!(
+                    b.s.to_bits(),
+                    min_jerk_progress(tau).to_bits(),
+                    "n={n} i={i}"
+                );
+                assert_eq!(
+                    b.envelope.to_bits(),
+                    (std::f64::consts::PI * tau).sin().to_bits(),
+                    "n={n} i={i}"
+                );
+            }
+        }
+        // Above the bound the basis is owned, below it shared.
+        assert!(matches!(
+            StrokeBasis::for_stroke(400),
+            StrokeBasis::Owned(_)
+        ));
+        assert!(matches!(
+            StrokeBasis::for_stroke(64),
+            StrokeBasis::Shared(_)
+        ));
     }
 
     #[test]

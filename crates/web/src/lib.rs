@@ -16,14 +16,18 @@
 //! the template attack) against it. The crawl experiment therefore
 //! exercises the same spoofing/detection code paths as §3.1.
 
+pub mod dynamics;
 pub mod outcome;
+pub mod page;
 pub mod population;
 pub mod site;
 pub mod snapshot;
 pub mod traversal;
 pub mod visit;
 
+pub use dynamics::{apply_scenario, ScenarioKind, ScenarioMix};
 pub use outcome::{VisitError, VisitPhase, VisitProgress};
+pub use page::{generate_page, GeneratedPage, PageStructure};
 pub use population::{generate_population, PopulationConfig};
 pub use site::{DetectionMethod, Reaction, Site, SiteDetector};
 pub use snapshot::{WorldSnapshot, WorldSnapshotCache};

@@ -1,6 +1,7 @@
 //! Population generator: a 1,000-site random sample of a Tranco-style
 //! top-10K list, with detector prevalence calibrated to §3.2's findings.
 
+use crate::dynamics::{ScenarioKind, ScenarioMix};
 use crate::site::{DetectionMethod, Reaction, Site, SiteDetector};
 use hlisa_sim::SimContext;
 use hlisa_stats::rngutil::derive_seed;
@@ -30,6 +31,11 @@ pub struct PopulationConfig {
     pub breakage_sites: usize,
     /// Mean per-visit transient failure probability.
     pub mean_flakiness: f64,
+    /// How many sites exhibit each dynamic-page scenario (cookie
+    /// banners, lazy content, SPA re-renders). All-zero by default:
+    /// assignment then touches no site and draws nothing, so default
+    /// populations are bit-identical to the pre-scenario model.
+    pub scenarios: ScenarioMix,
 }
 
 impl Default for PopulationConfig {
@@ -47,6 +53,7 @@ impl Default for PopulationConfig {
             silent_http: (9, 4),
             breakage_sites: 2,
             mean_flakiness: 0.019,
+            scenarios: ScenarioMix::default(),
         }
     }
 }
@@ -72,6 +79,7 @@ pub fn generate_population(config: &PopulationConfig) -> Vec<Site> {
                 flaky_visit_prob: (rng.gen_range(0.0..2.0) * config.mean_flakiness).clamp(0.0, 0.5),
                 first_party_requests: rng.gen_range(6..18),
                 third_party_requests: rng.gen_range(10..45),
+                scenario: None,
             }
         })
         .collect();
@@ -168,6 +176,19 @@ pub fn generate_population(config: &PopulationConfig) -> Vec<Site> {
         sites[i].has_video = k % 2 == 0;
     }
 
+    // Dynamic-page scenarios come off the same shuffled cursor, so they
+    // are disjoint from every special role above and consume no extra
+    // randomness — an all-zero mix (the default) changes nothing at all.
+    for (kind, count) in [
+        (ScenarioKind::CookieBanner, config.scenarios.cookie_banner),
+        (ScenarioKind::LazyContent, config.scenarios.lazy_content),
+        (ScenarioKind::SpaMutation, config.scenarios.spa_mutation),
+    ] {
+        for i in take(count) {
+            sites[i].scenario = Some(kind);
+        }
+    }
+
     sites
 }
 
@@ -211,6 +232,53 @@ mod tests {
             generate_population(&other),
             generate_population(&PopulationConfig::default())
         );
+    }
+
+    #[test]
+    fn scenario_mix_default_assigns_nothing_and_changes_nothing() {
+        let baseline = generate_population(&PopulationConfig::default());
+        assert!(baseline.iter().all(|s| s.scenario.is_none()));
+        // An explicit all-zero mix is the same population, bit for bit.
+        let explicit = PopulationConfig {
+            scenarios: ScenarioMix::default(),
+            ..PopulationConfig::default()
+        };
+        assert_eq!(generate_population(&explicit), baseline);
+    }
+
+    #[test]
+    fn scenario_sites_are_dealt_disjointly_from_special_roles() {
+        let cfg = PopulationConfig {
+            scenarios: ScenarioMix {
+                cookie_banner: 5,
+                lazy_content: 4,
+                spa_mutation: 3,
+            },
+            ..PopulationConfig::default()
+        };
+        let sites = generate_population(&cfg);
+        let count = |k: ScenarioKind| sites.iter().filter(|s| s.scenario == Some(k)).count();
+        assert_eq!(count(ScenarioKind::CookieBanner), 5);
+        assert_eq!(count(ScenarioKind::LazyContent), 4);
+        assert_eq!(count(ScenarioKind::SpaMutation), 3);
+        for s in sites.iter().filter(|s| s.scenario.is_some()) {
+            assert!(
+                !s.unreachable && s.detector.is_none() && !s.breaks_under_spoofing,
+                "{} holds two roles",
+                s.domain
+            );
+        }
+        // The non-scenario part of the population is untouched.
+        let baseline = generate_population(&PopulationConfig::default());
+        for (a, b) in sites.iter().zip(&baseline) {
+            assert_eq!(
+                Site {
+                    scenario: None,
+                    ..a.clone()
+                },
+                *b
+            );
+        }
     }
 
     #[test]

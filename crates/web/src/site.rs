@@ -1,5 +1,6 @@
 //! Site model: what a website is made of and how it may react to bots.
 
+use crate::dynamics::ScenarioKind;
 use serde::{Deserialize, Serialize};
 
 /// How a site detects web bots.
@@ -85,6 +86,12 @@ pub struct Site {
     pub first_party_requests: u8,
     /// Typical number of third-party requests per visit.
     pub third_party_requests: u8,
+    /// Dynamic-page behaviour this site exhibits (cookie wall, lazy
+    /// content, SPA re-render), if any. `None` for the classic static
+    /// population — the default [`crate::population::PopulationConfig`]
+    /// assigns no scenarios, keeping campaign output bit-identical to
+    /// the pre-scenario model.
+    pub scenario: Option<ScenarioKind>,
 }
 
 impl Site {
@@ -121,6 +128,7 @@ mod tests {
             flaky_visit_prob: 0.0,
             first_party_requests: 10,
             third_party_requests: 20,
+            scenario: None,
         };
         assert!(!s.visibly_defends());
         s.detector = Some(SiteDetector {

@@ -55,6 +55,15 @@ pub enum VisualOutcome {
     Stalled,
     /// The browser's JS realm crashed mid-visit.
     Crashed,
+    /// A consent overlay was never dismissed; the measured content
+    /// behind the wall was never reached (cookie-banner scenario).
+    StuckOnOverlay,
+    /// Scroll-gated content never lay out, so the screenshot misses it
+    /// (lazy-content scenario).
+    MissingLazyContent,
+    /// A mid-visit re-render invalidated cached element geometry and the
+    /// follow-up interaction missed (SPA-mutation scenario).
+    StaleElement,
 }
 
 /// Outcome of one visit.
@@ -488,6 +497,7 @@ mod tests {
             flaky_visit_prob: 0.0,
             first_party_requests: 10,
             third_party_requests: 20,
+            scenario: None,
         }
     }
 

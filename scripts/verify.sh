@@ -23,6 +23,9 @@ cargo run -q -p hlisa-bench --release --bin bench_campaign -- --chaos --smoke --
 echo "==> bench_interaction --smoke (interaction fast-path sanity run)"
 cargo run -q -p hlisa-bench --release --bin bench_interaction -- --smoke --out BENCH_interaction.smoke.json
 
+echo "==> bench_web --smoke (layered page-model sanity run)"
+cargo run -q -p hlisa-bench --release --bin bench_web -- --smoke --out BENCH_web.smoke.json
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -1,0 +1,41 @@
+//! Runs the lint-throughput benchmark and writes `BENCH_lint.json`.
+//!
+//! Usage: `bench_lint [--smoke] [--out PATH]`
+//!
+//! `--smoke` uses the seconds-scale CI sizing; the default sizing matches
+//! the numbers committed at the repository root.
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = Some(argv.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_lint [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (config, mode) = if smoke {
+        (hlisa_bench::lint_bench::BenchConfig::smoke(), "smoke")
+    } else {
+        (hlisa_bench::lint_bench::BenchConfig::full(), "full")
+    };
+    eprintln!("benchmarking lint throughput ({mode} mode)...");
+    let report = hlisa_bench::lint_bench::run(config);
+    print!("{}", report.render_human());
+    let out_path = out_path.unwrap_or_else(|| String::from("BENCH_lint.json"));
+    std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+}

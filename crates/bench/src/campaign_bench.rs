@@ -103,7 +103,7 @@ pub struct BenchReport {
 }
 
 fn timed<R>(f: impl FnOnce() -> R) -> (Duration, R) {
-    let start = std::time::Instant::now(); // lint: allow(no-wall-clock)
+    let start = std::time::Instant::now();
     let out = f();
     (start.elapsed(), out)
 }

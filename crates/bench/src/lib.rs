@@ -24,6 +24,7 @@ pub mod fieldstudy;
 pub mod figure3;
 pub mod figures;
 pub mod interaction_bench;
+pub mod lint_bench;
 pub mod lintreport;
 pub mod table1;
 pub mod table3;

@@ -23,16 +23,35 @@
 //! suppression for auditable exceptions. The `hlisa-lint` binary wires
 //! them into `scripts/verify.sh` and CI; [`gate`] proves the planner
 //! split (naive chains trip rules, HLISA chains lint clean).
+//!
+//! Since the AST upgrade, source analysis runs on a real parse: [`parse`]
+//! lexes and parses each file into the [`ast`] model, [`provenance`]
+//! re-implements every token rule on that structure and adds the
+//! stream-provenance rules (`stream-name-registry`, `conditional-draw`,
+//! `loop-variant-fork`, `stale-allow`), and [`ledger`] derives the
+//! committed `LINT_LEDGER.json` mapping every draw/fork site to its
+//! `(crate, fn, stream)`. The token scanner ([`source`]) is retained as
+//! a differential reference: `tests/ast_differential.rs` holds both
+//! analyzers to identical findings across the workspace.
 
+pub mod ast;
 pub mod chain;
 pub mod diag;
 pub mod gate;
+pub mod ledger;
+pub mod parse;
+pub mod provenance;
 pub mod rules;
 pub mod source;
 pub mod workspace;
 
 pub use chain::{lint_actions, ChainLinter};
 pub use diag::{Diagnostic, Location, Report, Severity};
+pub use ledger::{build_ledger, check_ledger, render_ledger, Ledger, LedgerEntry, LEDGER_FILE};
+pub use parse::{lex, parse_file, ParsedFile};
+pub use provenance::{
+    analyze_ast, analyze_file, collect_stream_sites, AstAnalysis, RulePasses, SiteKind, StreamSite,
+};
 pub use rules::{rule_info, AnalyzerKind, RuleInfo, CATALOG};
 pub use source::{analyze_source, Exemptions};
-pub use workspace::{find_workspace_root, lint_workspace};
+pub use workspace::{exemptions_for, find_workspace_root, lint_workspace, workspace_files};

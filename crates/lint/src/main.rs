@@ -5,7 +5,10 @@
 //! 2 = usage/IO error.
 
 use hlisa_lint::gate;
-use hlisa_lint::{analyze_source, find_workspace_root, lint_workspace, Exemptions, Report};
+use hlisa_lint::{
+    analyze_ast, build_ledger, check_ledger, find_workspace_root, lint_workspace, render_ledger,
+    Exemptions, Report, LEDGER_FILE,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -13,24 +16,29 @@ const USAGE: &str = "\
 hlisa-lint: workspace determinism analyzer + action-chain detectability linter
 
 USAGE:
-    hlisa-lint [--json] [--root <dir>] [--skip-gate]
+    hlisa-lint [--json] [--root <dir>] [--skip-gate] [--ledger-check]
+    hlisa-lint [--root <dir>] --ledger-write
     hlisa-lint [--json] --check-file <file.rs>
 
 MODES:
     (default)            lint every crate's sources, then run the planner
                          gate (Selenium/naive chains must trip rules, the
                          HLISA chain must lint clean)
-    --check-file <file>  run only the source analyzer on one file
+    --ledger-write       rebuild LINT_LEDGER.json from the tree and exit
+    --check-file <file>  run only the per-file AST analysis on one file
 
 OPTIONS:
-    --json       machine-readable output
-    --root <dir> workspace root (default: discovered from the cwd)
-    --skip-gate  source analysis only
+    --json          machine-readable output
+    --root <dir>    workspace root (default: discovered from the cwd)
+    --skip-gate     source analysis only
+    --ledger-check  also fail if the committed LINT_LEDGER.json is stale
 ";
 
 struct Args {
     json: bool,
     skip_gate: bool,
+    ledger_check: bool,
+    ledger_write: bool,
     root: Option<PathBuf>,
     check_file: Option<PathBuf>,
 }
@@ -39,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
         skip_gate: false,
+        ledger_check: false,
+        ledger_write: false,
         root: None,
         check_file: None,
     };
@@ -47,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--json" => args.json = true,
             "--skip-gate" => args.skip_gate = true,
+            "--ledger-check" => args.ledger_check = true,
+            "--ledger-write" => args.ledger_write = true,
             "--root" => {
                 args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
             }
@@ -91,7 +103,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let report = Report::from_diagnostics(analyze_source(
+        let report = Report::from_diagnostics(analyze_ast(
             &file.to_string_lossy().replace('\\', "/"),
             &text,
             Exemptions::default(),
@@ -116,6 +128,28 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.ledger_write {
+        let ledger = match build_ledger(&root) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: building ledger: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let path = root.join(LEDGER_FILE);
+        if let Err(e) = std::fs::write(&path, render_ledger(&ledger)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "ledger: wrote {} ({} entries, {} files scanned)",
+            path.display(),
+            ledger.entries.len(),
+            ledger.files_scanned
+        );
+        return ExitCode::SUCCESS;
+    }
+
     let mut report = match lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -123,6 +157,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    let mut ledger_ok = true;
+    if args.ledger_check {
+        match check_ledger(&root) {
+            Ok(Ok(())) => {
+                if !args.json {
+                    eprintln!("ledger: ok ({LEDGER_FILE} matches the tree)");
+                }
+            }
+            Ok(Err(msg)) => {
+                ledger_ok = false;
+                eprintln!("ledger: {msg}");
+            }
+            Err(e) => {
+                eprintln!("error: checking ledger: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     // The planner gate: the linter must keep separating the Fig. 3 rungs.
     let mut gate_ok = true;
@@ -156,7 +209,7 @@ fn main() -> ExitCode {
     }
 
     emit(&report, args.json);
-    if report.is_clean() && gate_ok {
+    if report.is_clean() && gate_ok && ledger_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

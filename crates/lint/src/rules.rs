@@ -10,6 +10,8 @@ pub enum AnalyzerKind {
     Source,
     /// The action-chain detectability linter ([`crate::chain`]).
     Chain,
+    /// The AST-level stream-provenance analysis ([`crate::provenance`]).
+    Provenance,
 }
 
 /// One catalog entry.
@@ -73,6 +75,46 @@ pub const CATALOG: &[RuleInfo] = &[
                   the typed VisitError/recovery path instead",
         paper_ref: "OpenWPM-reliability (PAPERS.md): unhandled harness crashes \
                     bias crawl results; ISSUE 4 fault plane",
+    },
+    // --- Stream provenance (AST pass) ----------------------------------
+    RuleInfo {
+        id: "stream-name-registry",
+        kind: AnalyzerKind::Provenance,
+        summary: "ctx.stream(\"...\") with a name missing from \
+                  hlisa_sim::STREAM_REGISTRY, or computed at runtime: every \
+                  stream name is part of the reproducibility contract and has \
+                  exactly one registered spelling",
+        paper_ref: "PR 1 (SimContext named streams); §5 reliability \
+                    discussion: replayable randomness needs stable labels",
+    },
+    RuleInfo {
+        id: "conditional-draw",
+        kind: AnalyzerKind::Provenance,
+        summary: "a draw from one stream sits under a branch decided by a \
+                  different stream: the dependent stream's consumption rate \
+                  now varies with the governing stream's values, so editing \
+                  one behaviour silently reshuffles another's draws",
+        paper_ref: "§5 reliability discussion: cross-stream coupling defeats \
+                    per-stream replay; OpenWPM-reliability (PAPERS.md)",
+    },
+    RuleInfo {
+        id: "loop-variant-fork",
+        kind: AnalyzerKind::Provenance,
+        summary: "ctx.fork()/fork_visit() inside a loop with all-literal \
+                  arguments: every iteration derives the same child seed, so \
+                  the iterations replay each other instead of being \
+                  independent",
+        paper_ref: "PR 1 (SimContext derivation tree): child seeds must \
+                    incorporate loop-variant salt",
+    },
+    RuleInfo {
+        id: "stale-allow",
+        kind: AnalyzerKind::Provenance,
+        summary: "a `// lint: allow(...)` directive that names an unknown \
+                  rule or no longer suppresses any finding: dead allows \
+                  license future regressions on their line",
+        paper_ref: "ISSUE 7 suppression audit; OpenWPM-reliability \
+                    (PAPERS.md): unaudited exemptions rot",
     },
     // --- Chain detectability (Table 1 tells) --------------------------
     RuleInfo {

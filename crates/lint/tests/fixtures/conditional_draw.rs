@@ -1,0 +1,11 @@
+//! Fixture: a `click` draw sits under a branch decided by the
+//! `detector` stream, coupling the two streams' consumption rates.
+pub fn act(ctx: &SimContext) -> f64 {
+    let mut gate = ctx.stream("detector");
+    let mut click = ctx.stream("click");
+    if gate.next_f64() < 0.5 {
+        click.next_f64()
+    } else {
+        0.0
+    }
+}

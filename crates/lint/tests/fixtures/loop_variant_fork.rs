@@ -1,0 +1,9 @@
+//! Fixture: `fork` inside a loop with all-literal arguments — every
+//! iteration derives the same child seed and replays the others.
+pub fn spawn_all(ctx: &SimContext) -> Vec<Child> {
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        out.push(ctx.fork("agent", 1));
+    }
+    out
+}

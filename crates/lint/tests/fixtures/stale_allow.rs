@@ -1,0 +1,6 @@
+//! Fixture: a suppression directive that no longer suppresses any
+//! finding on its line or the next.
+pub fn tidy() -> u32 {
+    // lint: allow(no-wall-clock)
+    2 + 2
+}

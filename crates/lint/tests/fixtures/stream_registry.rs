@@ -1,0 +1,6 @@
+//! Fixture: draws from a stream name that is not in
+//! `hlisa_sim::STREAM_REGISTRY` (a typo of the registered `cursor`).
+pub fn wander(ctx: &SimContext) -> f64 {
+    let mut rng = ctx.stream("curser");
+    rng.next_f64()
+}

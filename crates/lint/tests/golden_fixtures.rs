@@ -46,6 +46,25 @@ fn every_source_rule_has_a_failing_fixture() {
 }
 
 #[test]
+fn every_provenance_rule_has_a_failing_fixture() {
+    let cases = [
+        ("stream_registry.rs", "stream-name-registry"),
+        ("conditional_draw.rs", "conditional-draw"),
+        ("loop_variant_fork.rs", "loop-variant-fork"),
+        ("stale_allow.rs", "stale-allow"),
+    ];
+    for (fixture, rule) in cases {
+        let (code, json) = run_check(fixture, true);
+        assert_eq!(code, 1, "{fixture} should fail the lint");
+        assert!(
+            json.contains(&format!("\"rule\":\"{rule}\"")),
+            "{fixture} should flag {rule}, got: {json}"
+        );
+        assert!(json.contains("\"clean\":false"), "{json}");
+    }
+}
+
+#[test]
 fn the_clean_fixture_passes() {
     let (code, json) = run_check("clean.rs", true);
     assert_eq!(code, 0, "clean fixture flagged: {json}");

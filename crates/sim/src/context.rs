@@ -126,8 +126,9 @@ mod tests {
     fn forks_depend_only_on_label_and_index() {
         let mut parent_a = SimContext::new(11);
         let parent_b = SimContext::new(11);
-        // Using the parent must not perturb its forks.
-        let _ = parent_a.stream("anything").gen::<u64>();
+        // Using the parent must not perturb its forks. ("motion" is the
+        // registered stream here; any registered name would do.)
+        let _ = parent_a.stream("motion").gen::<u64>();
         let mut fa = parent_a.fork_visit("site0001.example", 3);
         let mut fb = parent_b.fork_visit("site0001.example", 3);
         assert_eq!(

@@ -26,6 +26,11 @@
 //!   fault schedules are seeded and bit-reproducible while the
 //!   interaction streams stay unperturbed under retry.
 //!
+//! * [`streams::STREAM_REGISTRY`] — the closed set of stream names a
+//!   `SimContext` may be asked for. `hlisa-lint`'s `stream-name-registry`
+//!   rule rejects call sites naming anything else, so a typo'd stream
+//!   name is a build failure, not a silently minted fresh stream.
+//!
 //! The seed-derivation tree is documented in `DESIGN.md`; the contract
 //! that matters is: **two `SimContext`s built from the same seed produce
 //! identical draw sequences per stream, regardless of which other streams
@@ -35,11 +40,13 @@ pub mod clock;
 pub mod context;
 pub mod fault;
 pub mod observer;
+pub mod streams;
 
 pub use clock::VirtualClock;
 pub use context::SimContext;
 pub use fault::{FaultEvent, FaultKind, FaultMonitor, FaultPlan, InjectedFault};
 pub use observer::{CounterSet, Observer};
+pub use streams::{is_registered, registered_names, stream_info, StreamInfo, STREAM_REGISTRY};
 
 // Re-exported so downstream crates can bound helpers on `impl Rng`
 // without depending on `rand` directly.

@@ -337,7 +337,7 @@ mod tests {
         // when it sweeps the whole site.
         let g = graph();
         let mut ctx = SimContext::new(9);
-        let rng = ctx.stream("test");
+        let rng = ctx.stream("traverse");
         let dwell = hlisa_stats::LogNormal::from_mean_std(14_000.0, 16_000.0);
         let mut trace = TraversalTrace::default();
         let mut t = 0.0;

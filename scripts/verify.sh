@@ -11,8 +11,8 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
-echo "==> hlisa-lint (workspace determinism + detectability gate)"
-cargo run -q -p hlisa-lint --release
+echo "==> hlisa-lint (workspace determinism + detectability gate + draw ledger)"
+cargo run -q -p hlisa-lint --release -- --ledger-check
 
 echo "==> bench_campaign --smoke (throughput harness sanity run)"
 cargo run -q -p hlisa-bench --release --bin bench_campaign -- --smoke --out BENCH_campaign.smoke.json
@@ -25,6 +25,9 @@ cargo run -q -p hlisa-bench --release --bin bench_interaction -- --smoke --out B
 
 echo "==> bench_web --smoke (layered page-model sanity run)"
 cargo run -q -p hlisa-bench --release --bin bench_web -- --smoke --out BENCH_web.smoke.json
+
+echo "==> bench_lint --smoke (lint-throughput sanity run)"
+cargo run -q -p hlisa-bench --release --bin bench_lint -- --smoke --out BENCH_lint.smoke.json
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings

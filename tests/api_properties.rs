@@ -67,7 +67,7 @@ proptest! {
     ) {
         let d = TruncatedNormal::new(mean, sd, lo, lo + width);
         let mut ctx = SimContext::new(seed);
-        let rng = &mut *ctx.stream("test");
+        let rng = &mut *ctx.stream("visit");
         for _ in 0..32 {
             let x = d.sample(rng);
             prop_assert!(x >= lo && x <= lo + width);

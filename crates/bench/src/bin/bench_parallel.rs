@@ -1,0 +1,53 @@
+//! Runs the core-scaling benchmark and writes `BENCH_parallel.json`.
+//!
+//! Usage: `bench_parallel [--smoke] [--out PATH]`
+//!
+//! Sweeps the campaign worker count over a lazily-sharded population
+//! (100K sites in full mode, seconds-scale in `--smoke`) and reports
+//! visits/sec, parallel efficiency per core count, and the peak bytes of
+//! population materialised at once.
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = Some(argv.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_parallel [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (mode, config) = if smoke {
+        (
+            "smoke",
+            hlisa_bench::parallel_bench::ParallelBenchConfig::smoke(),
+        )
+    } else {
+        (
+            "full",
+            hlisa_bench::parallel_bench::ParallelBenchConfig::full(),
+        )
+    };
+    eprintln!(
+        "benchmarking parallel scaling ({mode} mode, {} sites)...",
+        config.n_sites
+    );
+    let report = hlisa_bench::parallel_bench::run(config);
+    let out_path = out_path.unwrap_or_else(|| String::from("BENCH_parallel.json"));
+
+    print!("{}", report.render_human());
+    std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,376 @@
+//! Core-scaling benchmark for the sharded campaign engine.
+//!
+//! Sweeps the worker count over a large lazily-sharded population and
+//! emits `BENCH_parallel.json` with, per `instances` value:
+//!
+//! * visits/sec and elapsed wall time;
+//! * speedup vs the 1-worker run, parallel efficiency
+//!   (`speedup / instances`) and efficiency normalised to the physical
+//!   core count (`speedup / min(instances, cores)` — oversubscribed
+//!   workers beyond the cores can't speed anything up);
+//! * the peak-RSS proxy: bytes of population materialised at once
+//!   (`peak resident shards × shard bytes`), against the bytes an eager
+//!   `generate_population` would pin for the whole campaign.
+//!
+//! Every sweep entry must also produce identical per-shard summaries —
+//! the benchmark doubles as a scale check of the bit-identical-for-any-
+//! `instances` property on a population far larger than the test suite's.
+//!
+//! Timing here reads the *wall clock on purpose*: the benchmark measures
+//! real elapsed cost, and its numbers feed a JSON report, never a
+//! simulated observable, so the determinism fence does not apply. The
+//! residency high-water mark is a measurement too: it records how much
+//! thread overlap the OS actually scheduled, so like elapsed time it can
+//! vary run to run — only its bound (`peak <= workers`) is guaranteed.
+
+use hlisa_crawler::campaign::{run_machine_shard_summaries, CampaignConfig};
+use hlisa_web::{generate_population, sites_bytes, ClientKind, PopulationConfig, PopulationShards};
+use std::time::Duration;
+
+/// Benchmark sizing.
+#[derive(Debug, Clone)]
+pub struct ParallelBenchConfig {
+    /// Sites in the campaign population.
+    pub n_sites: usize,
+    /// Visits per site (1 at scale: the sweep measures scheduling, not
+    /// per-site repetition).
+    pub visits_per_site: usize,
+    /// Shard granularity for claiming and lazy materialisation.
+    pub shard_size: usize,
+    /// Worker counts to sweep (deduplicated, in order).
+    pub instance_sweep: Vec<usize>,
+}
+
+/// Worker counts the sweep always probes, plus the machine's core count.
+fn sweep_with_max() -> Vec<usize> {
+    let cores = available_cores();
+    let mut sweep = vec![1usize, 2, 4, 8, cores];
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
+}
+
+/// The machine's available parallelism (1 if undetectable).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+impl ParallelBenchConfig {
+    /// The default run: a 100K-site campaign.
+    pub fn full() -> Self {
+        Self {
+            n_sites: 100_000,
+            visits_per_site: 1,
+            shard_size: 256,
+            instance_sweep: sweep_with_max(),
+        }
+    }
+
+    /// A seconds-scale smoke run for CI.
+    pub fn smoke() -> Self {
+        Self {
+            n_sites: 2_000,
+            visits_per_site: 1,
+            shard_size: 128,
+            instance_sweep: sweep_with_max(),
+        }
+    }
+}
+
+/// What one worker-count run measured.
+#[derive(Debug, Clone)]
+pub struct SweepEntry {
+    /// Workers requested.
+    pub instances: usize,
+    /// Elapsed wall time.
+    pub elapsed_s: f64,
+    /// Visits completed per second.
+    pub visits_per_sec: f64,
+    /// Throughput ratio vs the 1-worker entry.
+    pub speedup_vs_1: f64,
+    /// `speedup / instances`.
+    pub efficiency: f64,
+    /// `speedup / min(instances, cores)` — what the hardware could give.
+    pub efficiency_at_cores: f64,
+    /// High-water mark of concurrently materialised shards.
+    pub peak_resident_shards: usize,
+    /// Peak-RSS proxy: peak resident shards × representative shard bytes.
+    pub peak_materialised_bytes: usize,
+}
+
+/// One shard's folded results — tiny, so a 1M-site campaign keeps one of
+/// these per shard instead of a `SiteResult` per site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShardSummary {
+    sites: usize,
+    reached: usize,
+    successes: usize,
+    detected: usize,
+}
+
+/// The full benchmark result.
+#[derive(Debug, Clone)]
+pub struct ParallelBenchReport {
+    /// Sizing used.
+    pub config: ParallelBenchConfig,
+    /// Physical parallelism of the benchmarking machine.
+    pub cores: usize,
+    /// Bytes an eager population pins for the whole campaign.
+    pub eager_population_bytes: usize,
+    /// Standing bytes of the lazy layer's bookkeeping.
+    pub shard_bookkeeping_bytes: usize,
+    /// Seconds to eagerly generate the whole population.
+    pub eager_generation_s: f64,
+    /// Seconds for the lazy layer's skeleton pass.
+    pub shard_setup_s: f64,
+    /// One entry per swept worker count.
+    pub sweep: Vec<SweepEntry>,
+    /// Efficiency of the entry whose `instances` equals the core count.
+    pub efficiency_at_max_cores: f64,
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+fn campaign_config(bench: &ParallelBenchConfig, instances: usize) -> CampaignConfig {
+    CampaignConfig {
+        seed: 42,
+        population: PopulationConfig {
+            n_sites: bench.n_sites,
+            ..PopulationConfig::default()
+        },
+        visits_per_site: bench.visits_per_site,
+        instances,
+        world_cache: true,
+    }
+}
+
+/// Runs the whole sweep.
+pub fn run(config: ParallelBenchConfig) -> ParallelBenchReport {
+    let cores = available_cores();
+    let population = PopulationConfig {
+        n_sites: config.n_sites,
+        ..PopulationConfig::default()
+    };
+
+    // The memory story: what the eager path pins vs what the lazy layer
+    // keeps standing. The eager population is dropped before the sweep —
+    // only the shard layer exists while workers run.
+    let (eager_t, eager_bytes) = timed(|| {
+        let sites = generate_population(&population);
+        sites_bytes(&sites)
+    });
+    let (setup_t, shards) =
+        timed(|| PopulationShards::with_shard_size(&population, config.shard_size));
+    let shard_bytes = sites_bytes(&shards.generate_shard(0));
+
+    let summarise = |_k: usize, results: Vec<hlisa_crawler::SiteResult>| ShardSummary {
+        sites: results.len(),
+        reached: results.iter().filter(|r| r.reached()).count(),
+        successes: results.iter().map(|r| r.successful_visits()).sum(),
+        detected: results
+            .iter()
+            .flat_map(|r| &r.outcomes)
+            .filter(|o| o.detected)
+            .count(),
+    };
+
+    let visits = (config.n_sites * config.visits_per_site) as f64;
+    let mut reference: Option<Vec<ShardSummary>> = None;
+    let mut raw: Vec<(usize, f64, usize)> = Vec::new();
+    for &instances in &config.instance_sweep {
+        // Fresh shard layer per entry so the residency high-water mark is
+        // this run's, not the sweep's.
+        let shards = PopulationShards::with_shard_size(&population, config.shard_size);
+        let cfg = campaign_config(&config, instances);
+        let (t, summaries) =
+            timed(|| run_machine_shard_summaries(&cfg, &shards, ClientKind::OpenWpm, &summarise));
+        // Scale check: every worker count folds to the same summaries.
+        match &reference {
+            None => reference = Some(summaries),
+            Some(want) => assert_eq!(
+                &summaries, want,
+                "{instances}-worker run diverged from the 1-worker run"
+            ),
+        }
+        raw.push((instances, t.as_secs_f64(), shards.peak_resident_shards()));
+    }
+
+    let base_s = raw.first().map_or(0.0, |(_, t, _)| *t);
+    let sweep: Vec<SweepEntry> = raw
+        .into_iter()
+        .map(|(instances, elapsed_s, peak)| {
+            let speedup = base_s / elapsed_s.max(1e-12);
+            SweepEntry {
+                instances,
+                elapsed_s,
+                visits_per_sec: visits / elapsed_s.max(1e-12),
+                speedup_vs_1: speedup,
+                efficiency: speedup / instances as f64,
+                efficiency_at_cores: speedup / instances.min(cores).max(1) as f64,
+                peak_resident_shards: peak,
+                peak_materialised_bytes: peak * shard_bytes,
+            }
+        })
+        .collect();
+
+    let efficiency_at_max_cores = sweep
+        .iter()
+        .find(|e| e.instances == cores)
+        .map_or(0.0, |e| e.efficiency);
+
+    ParallelBenchReport {
+        config,
+        cores,
+        eager_population_bytes: eager_bytes,
+        shard_bookkeeping_bytes: shards.bookkeeping_bytes(),
+        eager_generation_s: eager_t.as_secs_f64(),
+        shard_setup_s: setup_t.as_secs_f64(),
+        sweep,
+        efficiency_at_max_cores,
+    }
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl ParallelBenchReport {
+    /// Serializes the report (hand-rolled: the workspace vendors no JSON
+    /// writer and the schema is one flat object plus a sweep array).
+    pub fn to_json(&self) -> String {
+        let sweep_rows: Vec<String> = self
+            .sweep
+            .iter()
+            .map(|e| {
+                format!(
+                    concat!(
+                        "    {{\"instances\": {}, \"elapsed_s\": {}, ",
+                        "\"visits_per_sec\": {}, \"speedup_vs_1\": {}, ",
+                        "\"efficiency\": {}, \"efficiency_at_cores\": {}, ",
+                        "\"peak_resident_shards\": {}, \"peak_materialised_bytes\": {}}}"
+                    ),
+                    e.instances,
+                    json_num(e.elapsed_s),
+                    json_num(e.visits_per_sec),
+                    json_num(e.speedup_vs_1),
+                    json_num(e.efficiency),
+                    json_num(e.efficiency_at_cores),
+                    e.peak_resident_shards,
+                    e.peak_materialised_bytes,
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"hlisa parallel campaign scaling (lazy shards + claiming workers)\",\n",
+                "  \"config\": {{\"n_sites\": {}, \"visits_per_site\": {}, \"shard_size\": {}}},\n",
+                "  \"cores\": {},\n",
+                "  \"population\": {{\"eager_bytes\": {}, \"shard_bookkeeping_bytes\": {}, ",
+                "\"eager_generation_s\": {}, \"shard_setup_s\": {}}},\n",
+                "  \"sweep\": [\n{}\n  ],\n",
+                "  \"parallel_efficiency_at_max_cores\": {}\n",
+                "}}\n"
+            ),
+            self.config.n_sites,
+            self.config.visits_per_site,
+            self.config.shard_size,
+            self.cores,
+            self.eager_population_bytes,
+            self.shard_bookkeeping_bytes,
+            json_num(self.eager_generation_s),
+            json_num(self.shard_setup_s),
+            sweep_rows.join(",\n"),
+            json_num(self.efficiency_at_max_cores),
+        )
+    }
+
+    /// Human-readable summary.
+    pub fn render_human(&self) -> String {
+        let mut out = format!(
+            concat!(
+                "parallel campaign scaling ({} sites, shard {}, {} core(s))\n",
+                "population: eager {} KiB pinned vs {} KiB shard bookkeeping\n"
+            ),
+            self.config.n_sites,
+            self.config.shard_size,
+            self.cores,
+            self.eager_population_bytes / 1024,
+            self.shard_bookkeeping_bytes / 1024,
+        );
+        for e in &self.sweep {
+            out.push_str(&format!(
+                concat!(
+                    "  instances {:>3}: {:>10.0} visits/s  speedup {:>5.2}x  ",
+                    "eff {:>5.2}  eff@cores {:>5.2}  peak {} shard(s) ({} KiB)\n"
+                ),
+                e.instances,
+                e.visits_per_sec,
+                e.speedup_vs_1,
+                e.efficiency,
+                e.efficiency_at_cores,
+                e.peak_resident_shards,
+                e.peak_materialised_bytes / 1024,
+            ));
+        }
+        out.push_str(&format!(
+            "efficiency at max cores: {:.2}\n",
+            self.efficiency_at_max_cores
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_well_formed_and_efficient_at_max_cores() {
+        let cfg = ParallelBenchConfig {
+            n_sites: 300,
+            visits_per_site: 1,
+            shard_size: 32,
+            instance_sweep: vec![1, 2, available_cores()],
+        };
+        let report = run(cfg);
+        assert_eq!(report.sweep.len(), {
+            let mut s = vec![1, 2, available_cores()];
+            s.dedup();
+            s.len()
+        });
+        // The 1-worker entry is its own baseline.
+        let first = &report.sweep[0];
+        assert!((first.speedup_vs_1 - 1.0).abs() < 1e-9);
+        assert!((first.efficiency - 1.0).abs() < 1e-9);
+        // Laziness: no run ever materialised more shards than workers.
+        for e in &report.sweep {
+            assert!(
+                e.peak_resident_shards <= e.instances,
+                "instances {}: {} shards resident",
+                e.instances,
+                e.peak_resident_shards
+            );
+            assert!(e.peak_resident_shards >= 1);
+            assert!(e.peak_materialised_bytes < report.eager_population_bytes);
+        }
+        let json = report.to_json();
+        for field in [
+            "\"sweep\"",
+            "\"parallel_efficiency_at_max_cores\"",
+            "\"peak_resident_shards\"",
+            "\"eager_bytes\"",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        assert!(report.render_human().contains("efficiency at max cores"));
+    }
+}

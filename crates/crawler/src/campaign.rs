@@ -1,10 +1,24 @@
 //! Crawl campaign execution.
+//!
+//! The machine runner distributes work at *shard* granularity: workers
+//! claim consecutive shard indices off one atomic cursor instead of being
+//! statically striped over sites (`i % instances == w`). Claiming order is
+//! scheduling-dependent, but no draw is: every visit runs in a
+//! [`SimContext`] forked purely from `(machine seed, domain, visit
+//! index)`, and results land in per-shard write-once slots reassembled in
+//! shard order. The run is therefore bit-identical for any `instances`
+//! and any claiming order — property-tested, including under the lazy
+//! [`PopulationShards`] source where a shard's sites are materialised
+//! only while a worker holds them.
 
 use hlisa_sim::SimContext;
 use hlisa_web::visit::DetectorRuntime;
 use hlisa_web::{
-    generate_population, simulate_visit, ClientKind, PopulationConfig, Site, VisitOutcome,
+    generate_population, simulate_visit, ClientKind, PopulationConfig, PopulationShards, Site,
+    VisitOutcome, DEFAULT_SHARD_SIZE,
 };
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Campaign configuration.
@@ -106,15 +120,206 @@ fn new_runtime(config: &CampaignConfig) -> DetectorRuntime {
     }
 }
 
+/// Where a machine's sites come from: a materialised slice viewed in
+/// shard-size windows (no per-shard allocation), or the lazy shard layer
+/// (sites materialised only while a worker holds the shard).
+pub(crate) enum SiteSource<'a> {
+    /// A pre-generated population, windowed into logical shards.
+    Slice {
+        sites: &'a [Site],
+        shard_size: usize,
+    },
+    /// The lazy shard layer — each shard generated on claim, dropped
+    /// when the worker finishes it.
+    Lazy(&'a PopulationShards),
+}
+
+impl SiteSource<'_> {
+    pub(crate) fn n_sites(&self) -> usize {
+        match self {
+            SiteSource::Slice { sites, .. } => sites.len(),
+            SiteSource::Lazy(shards) => shards.n_sites(),
+        }
+    }
+
+    pub(crate) fn shard_size(&self) -> usize {
+        match self {
+            SiteSource::Slice { shard_size, .. } => (*shard_size).max(1),
+            SiteSource::Lazy(shards) => shards.shard_size(),
+        }
+    }
+
+    pub(crate) fn n_shards(&self) -> usize {
+        self.n_sites().div_ceil(self.shard_size())
+    }
+
+    pub(crate) fn shard_range(&self, k: usize) -> Range<usize> {
+        let lo = k * self.shard_size();
+        let hi = (lo + self.shard_size()).min(self.n_sites());
+        lo..hi
+    }
+
+    /// Runs `f` over shard `k`'s sites (`f(first site index, sites)`). A
+    /// slice source borrows its window; the lazy source materialises the
+    /// shard for exactly the duration of the call.
+    pub(crate) fn with_shard<T>(&self, k: usize, f: impl FnOnce(usize, &[Site]) -> T) -> T {
+        match self {
+            SiteSource::Slice { sites, .. } => {
+                let range = self.shard_range(k);
+                f(range.start, &sites[range])
+            }
+            SiteSource::Lazy(shards) => shards.with_shard(k, f),
+        }
+    }
+}
+
+/// The shard-claiming worker engine shared by the plain and chaos
+/// runners. Spawns `min(instances, shards)` workers which repeatedly
+/// claim the next shard index off one atomic cursor and run `process`
+/// over its sites with a worker-local state (`init` per worker), writing
+/// each shard's product into a write-once slot.
+///
+/// Returns the per-shard products in shard order (`None` for a shard
+/// whose worker died before writing — callers degrade those) and the
+/// worker states in worker-index order. The claiming order is
+/// scheduling-dependent; nothing processed is: `process` receives only
+/// the shard's identity and sites, so any claim order yields the same
+/// slot contents, and worker-state *totals* are partition-independent.
+pub(crate) fn run_sharded<S, W>(
+    instances: usize,
+    source: &SiteSource<'_>,
+    init: &(impl Fn() -> W + Sync),
+    process: &(impl Fn(&mut W, usize, usize, &[Site]) -> S + Sync),
+) -> (Vec<Option<S>>, Vec<W>)
+where
+    S: Send + Sync,
+    W: Send,
+{
+    let n_shards = source.n_shards();
+    let workers = instances.max(1).min(n_shards.max(1));
+    let slots: Vec<OnceLock<S>> = (0..n_shards).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+
+    let states = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let slots = &slots;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut state = init();
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        if k >= n_shards {
+                            break;
+                        }
+                        let product =
+                            source.with_shard(k, |base, sites| process(&mut state, k, base, sites));
+                        // Each shard index is claimed by exactly one
+                        // worker, so the set can only succeed; if the
+                        // cursor invariant ever broke, the first write
+                        // wins and the campaign still completes.
+                        let _ = slots[k].set(product);
+                    }
+                    state
+                })
+            })
+            .collect();
+        // Join in worker-index order so the returned states are
+        // positionally stable; a worker that died yields a fresh state.
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| init()))
+            .collect::<Vec<_>>()
+    });
+
+    (
+        slots.into_iter().map(OnceLock::into_inner).collect(),
+        states,
+    )
+}
+
 /// Runs one machine's crawl with `config.instances` parallel workers.
 ///
-/// Work is partitioned deterministically — worker `w` takes exactly the
-/// sites whose population index satisfies `i % instances == w` — and every
-/// visit runs in its own [`SimContext`] forked from the machine context by
-/// `(domain, visit index)`. Neither the schedule nor the thread count can
-/// therefore affect any draw: the run is bit-identical for any `instances`.
+/// Workers claim shards of [`DEFAULT_SHARD_SIZE`] sites off an atomic
+/// cursor; every visit runs in its own [`SimContext`] forked from the
+/// machine context by `(domain, visit index)`. Neither the schedule nor
+/// the thread count can therefore affect any draw: the run is
+/// bit-identical for any `instances` and any claiming order.
 pub fn run_machine(config: &CampaignConfig, sites: &[Site], client: ClientKind) -> MachineRun {
     run_machine_with(config, sites, client, &new_runtime(config))
+}
+
+/// [`run_machine`] with an explicit shard size — the knob property tests
+/// sweep to prove shard granularity never affects output.
+pub fn run_machine_sharded(
+    config: &CampaignConfig,
+    sites: &[Site],
+    client: ClientKind,
+    shard_size: usize,
+) -> MachineRun {
+    run_machine_source(
+        config,
+        &SiteSource::Slice { sites, shard_size },
+        client,
+        &new_runtime(config),
+    )
+}
+
+/// [`run_machine`] over a lazy sharded population: at most one shard per
+/// worker is materialised at any moment (the shard layer's residency
+/// gauges prove it), and the output is bit-identical to running over the
+/// eager population.
+pub fn run_machine_lazy(
+    config: &CampaignConfig,
+    shards: &PopulationShards,
+    client: ClientKind,
+) -> MachineRun {
+    run_machine_source(
+        config,
+        &SiteSource::Lazy(shards),
+        client,
+        &new_runtime(config),
+    )
+}
+
+/// Streaming variant for populations too large to hold a [`SiteResult`]
+/// per site: each shard's results are folded into a summary by
+/// `summarise(shard index, results)` *inside the worker* and dropped, so
+/// the standing footprint is one summary per shard plus one materialised
+/// shard per worker. Summaries return in shard order; a shard whose
+/// worker died is summarised from degraded (zero-outcome) rows.
+pub fn run_machine_shard_summaries<S: Send + Sync>(
+    config: &CampaignConfig,
+    shards: &PopulationShards,
+    client: ClientKind,
+    summarise: &(impl Fn(usize, Vec<SiteResult>) -> S + Sync),
+) -> Vec<S> {
+    let runtime = new_runtime(config);
+    let machine_ctx = machine_context(config, client);
+    let source = SiteSource::Lazy(shards);
+    let (slots, _) = run_sharded(
+        config.instances,
+        &source,
+        &|| (),
+        &|_: &mut (), k, _base, sites| {
+            let results: Vec<SiteResult> = sites
+                .iter()
+                .map(|site| visit_site(config, site, client, &runtime, &machine_ctx))
+                .collect();
+            summarise(k, results)
+        },
+    );
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(k, slot)| {
+            slot.unwrap_or_else(|| {
+                source.with_shard(k, |_, sites| {
+                    summarise(k, sites.iter().map(degraded_result).collect())
+                })
+            })
+        })
+        .collect()
 }
 
 /// [`run_machine`] with an explicit (shareable) detector runtime. The
@@ -127,71 +332,103 @@ fn run_machine_with(
     client: ClientKind,
     runtime: &DetectorRuntime,
 ) -> MachineRun {
-    let instances = config.instances.max(1);
+    run_machine_source(
+        config,
+        &SiteSource::Slice {
+            sites,
+            shard_size: DEFAULT_SHARD_SIZE,
+        },
+        client,
+        runtime,
+    )
+}
+
+/// The machine context every visit fork derives from: a pure function of
+/// `(campaign seed, machine label)`.
+pub(crate) fn machine_context(config: &CampaignConfig, client: ClientKind) -> SimContext {
     let label = match client {
         ClientKind::OpenWpm => "m1",
         ClientKind::OpenWpmSpoofed => "m2",
     };
-    let machine_ctx = SimContext::new(config.seed).fork(label, 0);
-    // Write-once result slots: each population index is written by exactly
-    // one worker, and reads happen only after the scope joins.
-    let results: Vec<OnceLock<SiteResult>> = (0..sites.len()).map(|_| OnceLock::new()).collect();
+    SimContext::new(config.seed).fork(label, 0)
+}
 
-    std::thread::scope(|scope| {
-        for w in 0..instances {
-            let machine_ctx = &machine_ctx;
-            let results = &results;
-            scope.spawn(move || {
-                for (i, site) in sites.iter().enumerate().skip(w).step_by(instances) {
-                    let outcomes: Vec<VisitOutcome> = (0..config.visits_per_site)
-                        .map(|v| {
-                            let mut ctx = machine_ctx.fork_visit(&site.domain, v as u64);
-                            let mut outcome = simulate_visit(site, client, runtime, &mut ctx);
-                            // Dynamic-page sites additionally run the
-                            // scenario drive; it draws only from its own
-                            // forked streams, so populations without
-                            // scenarios stay bit-identical.
-                            if let Some(kind) = site.scenario {
-                                crate::scenario::apply_scenario_drive(
-                                    config.seed,
-                                    site,
-                                    kind,
-                                    client,
-                                    &mut outcome,
-                                    &mut ctx,
-                                );
-                            }
-                            outcome
-                        })
-                        .collect();
-                    // Each index is owned by exactly one worker, so the
-                    // set can only succeed; if the partition invariant
-                    // ever broke, the first write wins and the campaign
-                    // still completes.
-                    let _ = results[i].set(SiteResult {
-                        domain: site.domain.clone(),
-                        rank: site.rank,
-                        outcomes,
-                    });
-                }
-            });
-        }
-    });
-
-    MachineRun {
-        client,
-        sites: collect_results(results, sites),
+/// All visits of one site by one machine — the per-site unit of work,
+/// identical whichever worker claims it and whenever it runs.
+fn visit_site(
+    config: &CampaignConfig,
+    site: &Site,
+    client: ClientKind,
+    runtime: &DetectorRuntime,
+    machine_ctx: &SimContext,
+) -> SiteResult {
+    let outcomes: Vec<VisitOutcome> = (0..config.visits_per_site)
+        .map(|v| {
+            let mut ctx = machine_ctx.fork_visit(&site.domain, v as u64);
+            let mut outcome = simulate_visit(site, client, runtime, &mut ctx);
+            // Dynamic-page sites additionally run the scenario drive; it
+            // draws only from its own forked streams, so populations
+            // without scenarios stay bit-identical.
+            if let Some(kind) = site.scenario {
+                crate::scenario::apply_scenario_drive(
+                    config.seed,
+                    site,
+                    kind,
+                    client,
+                    &mut outcome,
+                    &mut ctx,
+                );
+            }
+            outcome
+        })
+        .collect();
+    SiteResult {
+        domain: site.domain.clone(),
+        rank: site.rank,
+        outcomes,
     }
 }
 
-/// Collects the workers' write-once slots back into population order,
-/// degrading any slot whose worker died before writing it.
-fn collect_results(results: Vec<OnceLock<SiteResult>>, sites: &[Site]) -> Vec<SiteResult> {
-    results
-        .into_iter()
-        .zip(sites)
-        .map(|(slot, site)| slot.into_inner().unwrap_or_else(|| degraded_result(site)))
-        .collect()
+fn run_machine_source(
+    config: &CampaignConfig,
+    source: &SiteSource<'_>,
+    client: ClientKind,
+    runtime: &DetectorRuntime,
+) -> MachineRun {
+    let machine_ctx = machine_context(config, client);
+    let (slots, _) = run_sharded(
+        config.instances,
+        source,
+        &|| (),
+        &|_: &mut (), _k, _base, sites| {
+            sites
+                .iter()
+                .map(|site| visit_site(config, site, client, runtime, &machine_ctx))
+                .collect::<Vec<SiteResult>>()
+        },
+    );
+    MachineRun {
+        client,
+        sites: collect_results(slots, source),
+    }
+}
+
+/// Reassembles the per-shard write-once slots into population order,
+/// degrading every site of any shard whose worker died before writing it.
+pub(crate) fn collect_results(
+    slots: Vec<Option<Vec<SiteResult>>>,
+    source: &SiteSource<'_>,
+) -> Vec<SiteResult> {
+    let mut out = Vec::with_capacity(source.n_sites());
+    for (k, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(results) => out.extend(results),
+            None => source.with_shard(k, |_, sites| {
+                out.extend(sites.iter().map(degraded_result));
+            }),
+        }
+    }
+    out
 }
 
 /// Graceful degradation for a site whose worker died before writing its
@@ -272,37 +509,97 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_slot_degrades_to_zero_outcome_row_instead_of_aborting() {
+    fn poisoned_shard_degrades_to_zero_outcome_rows_instead_of_aborting() {
         let sites = generate_population(&small_config().population);
-        // Simulate a worker that wedged mid-site: its slot never gets
-        // written. Every other slot is filled normally.
-        let results: Vec<OnceLock<SiteResult>> = sites
-            .iter()
-            .enumerate()
-            .map(|(i, site)| {
-                let slot = OnceLock::new();
-                if i != 3 {
-                    let _ = slot.set(SiteResult {
-                        domain: site.domain.clone(),
-                        rank: site.rank,
-                        outcomes: vec![],
-                    });
+        let source = SiteSource::Slice {
+            sites: &sites,
+            shard_size: 10,
+        };
+        // Simulate a worker that wedged mid-shard: shard 1's slot never
+        // gets written. Every other shard is filled normally.
+        let slots: Vec<Option<Vec<SiteResult>>> = (0..source.n_shards())
+            .map(|k| {
+                if k == 1 {
+                    return None;
                 }
-                slot
+                Some(source.with_shard(k, |_, shard_sites| {
+                    shard_sites
+                        .iter()
+                        .map(|site| SiteResult {
+                            domain: site.domain.clone(),
+                            rank: site.rank,
+                            outcomes: vec![],
+                        })
+                        .collect()
+                }))
             })
             .collect();
-        let collected = collect_results(results, &sites);
+        let collected = collect_results(slots, &source);
         // The machine run still covers the full population, in order…
         assert_eq!(collected.len(), sites.len());
         for (site, result) in sites.iter().zip(&collected) {
             assert_eq!(site.domain, result.domain);
             assert_eq!(site.rank, result.rank);
         }
-        // …and the poisoned site reads as unvisited, keeping Table 2's
-        // denominators intact rather than crashing the campaign.
-        assert!(collected[3].outcomes.is_empty());
-        assert!(!collected[3].reached());
-        assert_eq!(collected[3].successful_visits(), 0);
+        // …and the poisoned shard's sites read as unvisited, keeping
+        // Table 2's denominators intact rather than crashing the campaign.
+        for i in 10..20 {
+            assert!(collected[i].outcomes.is_empty());
+            assert!(!collected[i].reached());
+            assert_eq!(collected[i].successful_visits(), 0);
+        }
+    }
+
+    #[test]
+    fn sharded_and_lazy_runs_match_the_default_engine_bit_for_bit() {
+        let config = small_config();
+        let sites = generate_population(&config.population);
+        let baseline = run_machine(&config, &sites, ClientKind::OpenWpm);
+        // Any explicit shard size — including one that leaves a ragged
+        // tail or degenerates to one site per shard — yields the same run.
+        for shard_size in [1usize, 7, 10, 60, 1_000] {
+            let sharded = run_machine_sharded(&config, &sites, ClientKind::OpenWpm, shard_size);
+            assert_eq!(sharded, baseline, "shard_size {shard_size}");
+        }
+        // The lazy source materialises shards on claim and still matches.
+        let shards = hlisa_web::PopulationShards::with_shard_size(&config.population, 13);
+        let lazy = run_machine_lazy(&config, &shards, ClientKind::OpenWpm);
+        assert_eq!(lazy, baseline);
+        // Laziness held: never more shards live than workers.
+        assert!(shards.peak_resident_shards() <= config.instances.max(1));
+        assert!(shards.peak_resident_shards() >= 1);
+        assert_eq!(shards.resident_shards(), 0);
+    }
+
+    #[test]
+    fn shard_summaries_stream_in_shard_order_with_identical_contents() {
+        let config = small_config();
+        let shards = hlisa_web::PopulationShards::with_shard_size(&config.population, 9);
+        let baseline = run_machine(
+            &config,
+            &generate_population(&config.population),
+            ClientKind::OpenWpmSpoofed,
+        );
+        let summaries = run_machine_shard_summaries(
+            &config,
+            &shards,
+            ClientKind::OpenWpmSpoofed,
+            &|k, results| {
+                let successes: usize = results.iter().map(SiteResult::successful_visits).sum();
+                (k, results.len(), successes)
+            },
+        );
+        assert_eq!(summaries.len(), shards.n_shards());
+        for (pos, (k, len, successes)) in summaries.iter().enumerate() {
+            assert_eq!(pos, *k, "summaries must arrive in shard order");
+            let range = shards.shard_range(*k);
+            assert_eq!(*len, range.len());
+            let expect: usize = baseline.sites[range]
+                .iter()
+                .map(SiteResult::successful_visits)
+                .sum();
+            assert_eq!(*successes, expect, "shard {k} summary diverged");
+        }
     }
 
     #[test]

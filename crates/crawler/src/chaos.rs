@@ -19,12 +19,15 @@
 //! faults are retried: site-intrinsic transients (the population's flaky
 //! visits) are recorded as-is, matching the paper's non-retrying crawler.
 
-use crate::campaign::{Campaign, CampaignConfig, MachineRun, SiteResult};
+use crate::campaign::{
+    machine_context, run_sharded, Campaign, CampaignConfig, MachineRun, SiteResult, SiteSource,
+};
 use crate::recovery::{BreakerConfig, CircuitBreaker, RetryPolicy, VisitRecovery};
 use hlisa_sim::{FaultEvent, FaultMonitor, FaultPlan, Observer, SimContext};
 use hlisa_web::visit::DetectorRuntime;
-use hlisa_web::{generate_population, simulate_visit_attempt, ClientKind, Site, VisitError};
-use std::sync::OnceLock;
+use hlisa_web::{
+    generate_population, simulate_visit_attempt, ClientKind, Site, VisitError, DEFAULT_SHARD_SIZE,
+};
 
 /// Fault-plane and recovery configuration for a chaos campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,16 +115,39 @@ impl ChaosCampaign {
 
 /// Runs the full two-machine campaign under a fault plane.
 pub fn run_chaos_campaign(config: &CampaignConfig, chaos: &ChaosConfig) -> ChaosCampaign {
+    run_chaos_campaign_sharded(config, chaos, DEFAULT_SHARD_SIZE)
+}
+
+/// [`run_chaos_campaign`] with an explicit shard size — the knob the
+/// determinism property tests sweep to prove the shard-claiming
+/// scheduler never affects chaos outcomes or counters.
+pub fn run_chaos_campaign_sharded(
+    config: &CampaignConfig,
+    chaos: &ChaosConfig,
+    shard_size: usize,
+) -> ChaosCampaign {
     let sites = generate_population(&config.population);
     let runtime = if config.world_cache {
         DetectorRuntime::new()
     } else {
         DetectorRuntime::without_world_cache()
     };
-    let (openwpm, openwpm_recovery) =
-        run_chaos_machine(config, chaos, &sites, ClientKind::OpenWpm, &runtime);
-    let (spoofed, spoofed_recovery) =
-        run_chaos_machine(config, chaos, &sites, ClientKind::OpenWpmSpoofed, &runtime);
+    let (openwpm, openwpm_recovery) = run_chaos_machine(
+        config,
+        chaos,
+        &sites,
+        ClientKind::OpenWpm,
+        &runtime,
+        shard_size,
+    );
+    let (spoofed, spoofed_recovery) = run_chaos_machine(
+        config,
+        chaos,
+        &sites,
+        ClientKind::OpenWpmSpoofed,
+        &runtime,
+        shard_size,
+    );
     ChaosCampaign {
         campaign: Campaign {
             sites,
@@ -133,85 +159,72 @@ pub fn run_chaos_campaign(config: &CampaignConfig, chaos: &ChaosConfig) -> Chaos
     }
 }
 
-/// One machine's chaos crawl with `config.instances` parallel workers,
-/// partitioned exactly like the legacy runner (`i % instances == w`).
+/// One machine's chaos crawl with `config.instances` parallel workers
+/// claiming shards off the same atomic-cursor scheduler as the plain
+/// runner. A shard's sites are wholly owned by the claiming worker, so
+/// per-site breaker state stays unsynchronised; per-worker fault monitors
+/// are merged after the join and canonicalised to name order, making the
+/// counter set independent of which worker claimed which shard.
 fn run_chaos_machine(
     config: &CampaignConfig,
     chaos: &ChaosConfig,
     sites: &[Site],
     client: ClientKind,
     runtime: &DetectorRuntime,
+    shard_size: usize,
 ) -> (MachineRun, MachineRecovery) {
-    let instances = config.instances.max(1);
-    let label = match client {
-        ClientKind::OpenWpm => "m1",
-        ClientKind::OpenWpmSpoofed => "m2",
-    };
-    let machine_ctx = SimContext::new(config.seed).fork(label, 0);
-    let slots: Vec<OnceLock<(SiteResult, SiteRecovery)>> =
-        (0..sites.len()).map(|_| OnceLock::new()).collect();
-
-    let worker_counters = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..instances)
-            .map(|w| {
-                let machine_ctx = &machine_ctx;
-                let slots = &slots;
-                scope.spawn(move || {
-                    let mut monitor = FaultMonitor::new();
-                    for (i, site) in sites.iter().enumerate().skip(w).step_by(instances) {
-                        let crawled = crawl_site(
-                            config,
-                            chaos,
-                            site,
-                            client,
-                            runtime,
-                            machine_ctx,
-                            &mut monitor,
-                        );
-                        let _ = slots[i].set(crawled);
-                    }
-                    monitor.counters()
-                })
-            })
-            .collect();
-        // Join in worker-index order so the merged counter set is
-        // schedule-independent.
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_default())
-            .collect::<Vec<_>>()
-    });
+    let machine_ctx = machine_context(config, client);
+    let source = SiteSource::Slice { sites, shard_size };
+    let (slots, monitors) = run_sharded(
+        config.instances,
+        &source,
+        &FaultMonitor::new,
+        &|monitor: &mut FaultMonitor, _k, _base, shard_sites| {
+            shard_sites
+                .iter()
+                .map(|site| crawl_site(config, chaos, site, client, runtime, &machine_ctx, monitor))
+                .collect::<Vec<(SiteResult, SiteRecovery)>>()
+        },
+    );
 
     // Merge per-worker counters, then canonicalise to name order: totals
-    // are partition-independent, but insertion order is not — sorting
-    // makes the whole `MachineRecovery` schedule-independent.
+    // are partition-independent (every site is crawled exactly once,
+    // whichever worker claims its shard), but insertion order is not —
+    // sorting makes the whole `MachineRecovery` schedule-independent.
     let mut counters = hlisa_sim::CounterSet::new();
-    for wc in &worker_counters {
-        counters.merge(wc);
+    for monitor in &monitors {
+        counters.merge(&monitor.counters());
     }
     let counters = counters.sorted();
 
     let mut results = Vec::with_capacity(sites.len());
     let mut recoveries = Vec::with_capacity(sites.len());
-    for (slot, site) in slots.into_iter().zip(sites) {
-        let (result, recovery) = slot.into_inner().unwrap_or_else(|| {
-            // Graceful degradation mirroring the legacy runner: a site
-            // whose worker died is recorded unvisited, not fatal.
-            (
-                SiteResult {
-                    domain: site.domain.clone(),
-                    rank: site.rank,
-                    outcomes: Vec::new(),
-                },
-                SiteRecovery {
-                    domain: site.domain.clone(),
-                    visits: Vec::new(),
-                    breaker_open: false,
-                },
-            )
-        });
-        results.push(result);
-        recoveries.push(recovery);
+    for (k, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(crawled) => {
+                for (result, recovery) in crawled {
+                    results.push(result);
+                    recoveries.push(recovery);
+                }
+            }
+            // Graceful degradation mirroring the legacy runner: every
+            // site of a shard whose worker died is recorded unvisited,
+            // not fatal.
+            None => source.with_shard(k, |_, shard_sites| {
+                for site in shard_sites {
+                    results.push(SiteResult {
+                        domain: site.domain.clone(),
+                        rank: site.rank,
+                        outcomes: Vec::new(),
+                    });
+                    recoveries.push(SiteRecovery {
+                        domain: site.domain.clone(),
+                        visits: Vec::new(),
+                        breaker_open: false,
+                    });
+                }
+            }),
+        }
     }
 
     (

@@ -19,8 +19,14 @@ pub mod report;
 pub mod scenario;
 pub mod screenshot;
 
-pub use campaign::{run_campaign, run_machine, Campaign, CampaignConfig, MachineRun, SiteResult};
-pub use chaos::{run_chaos_campaign, ChaosCampaign, ChaosConfig, MachineRecovery, SiteRecovery};
+pub use campaign::{
+    run_campaign, run_machine, run_machine_lazy, run_machine_shard_summaries, run_machine_sharded,
+    Campaign, CampaignConfig, MachineRun, SiteResult,
+};
+pub use chaos::{
+    run_chaos_campaign, run_chaos_campaign_sharded, ChaosCampaign, ChaosConfig, MachineRecovery,
+    SiteRecovery,
+};
 pub use http_analysis::{analyze_http, HttpReport};
 pub use recovery::{BreakerConfig, CircuitBreaker, RetryPolicy, VisitRecovery};
 pub use report::{recovery_csv, status_codes_csv, table2_csv, visits_csv};

@@ -18,7 +18,7 @@
 
 use crate::params::HumanParams;
 use hlisa_browser::Point;
-use hlisa_sim::SimContext;
+use hlisa_sim::{SimContext, SliceDraws};
 use hlisa_stats::Normal;
 use rand::Rng;
 
@@ -111,6 +111,26 @@ impl StrokeBasis {
     }
 }
 
+/// Draws a stroke's AR(1)-filtered tremor values in one batched pass:
+/// first a tight fill loop of raw jitter draws (front to back, one
+/// [`Normal::sample`] per slot — the batched form of the historic
+/// per-sample draw), then the in-place recurrence
+/// `tremor_i = 0.7·tremor_{i-1} + 0.3·jitter_i` with `tremor_{-1} = 0`,
+/// evaluated with exactly the expression the per-sample loop used. Values
+/// and post-fill RNG state are therefore bit-identical to drawing one
+/// jitter inside the sample loop (pinned by a differential test).
+fn fill_tremor<R: Rng + ?Sized>(rng: &mut R, jitter: &Normal, out: &mut [f64]) {
+    // Reborrow so `Self = &mut R` is `Sized` for the batched fill even
+    // though `R` itself may be unsized.
+    let mut stream = &mut *rng;
+    SliceDraws::fill_f64s_with(&mut stream, out, |r| jitter.sample(r));
+    let mut tremor = 0.0f64;
+    for slot in out {
+        tremor = 0.7 * tremor + 0.3 * *slot;
+        *slot = tremor;
+    }
+}
+
 /// Generates a human cursor trajectory from `from` to `to` aimed at a
 /// target of effective width `target_w`, drawing from the context's
 /// `"cursor"` stream.
@@ -168,6 +188,10 @@ pub struct TrajectoryStream<'r, R: Rng + ?Sized> {
     state: StreamState,
 }
 
+// The `Stroke` variant's inline tremor buffer dwarfs the other variants;
+// boxing it would cost the one-allocation-per-movement the streaming path
+// exists to avoid.
+#[allow(clippy::large_enum_variant)]
 enum StreamState {
     /// Zero-distance movement: one sample, no draws.
     Point(TrajectorySample),
@@ -202,17 +226,28 @@ struct StrokeState {
     py: f64,
     /// Shared per-sample basis (tau, progress, envelope) for this `n`.
     basis: StrokeBasis,
+    /// Batched tremor values, filled at `begin` when `n` fits the shared
+    /// bound (`batched`); longer strokes draw per sample instead. Either
+    /// way the draw sequence is identical — batching only moves the
+    /// draws to construction time, and nothing else draws from the
+    /// stream while a stroke is in flight. Inline (not heap) so the
+    /// streaming path keeps its zero-per-movement-allocation property.
+    tremor_buf: [f64; BASIS_SHARED_MAX_N + 1],
+    batched: bool,
     /// Degenerate zero-distance stroke: one sample, no draws.
     degenerate: bool,
 }
 
 impl StrokeState {
     /// Mirrors the head of [`single_stroke`]: draws the curve amplitude
-    /// (unless degenerate) and fixes the geometry.
+    /// (unless degenerate), then the batched tremor fill, and fixes the
+    /// geometry.
+    #[allow(clippy::too_many_arguments)]
     fn begin<R: Rng + ?Sized>(
         amp_frac: f64,
         interval_ms: f64,
         rng: &mut R,
+        jitter: &Normal,
         from: Point,
         to: Point,
         duration: f64,
@@ -232,6 +267,8 @@ impl StrokeState {
                 px: 0.0,
                 py: 0.0,
                 basis: StrokeBasis::Owned(Vec::new()),
+                tremor_buf: [0.0; BASIS_SHARED_MAX_N + 1],
+                batched: false,
                 degenerate: true,
             };
         }
@@ -242,6 +279,11 @@ impl StrokeState {
         let mid = from.lerp(to, 0.5);
         let control = Point::new(mid.x + px * amp, mid.y + py * amp);
         let n = ((duration / interval_ms).ceil() as usize).max(3);
+        let mut tremor_buf = [0.0f64; BASIS_SHARED_MAX_N + 1];
+        let batched = n <= BASIS_SHARED_MAX_N;
+        if batched {
+            fill_tremor(rng, jitter, &mut tremor_buf[..=n]);
+        }
         Self {
             from,
             control,
@@ -254,6 +296,8 @@ impl StrokeState {
             px,
             py,
             basis: StrokeBasis::for_stroke(n),
+            tremor_buf,
+            batched,
             degenerate: false,
         }
     }
@@ -288,7 +332,11 @@ impl StrokeState {
         self.next_i += 1;
         let BasisSample { tau, s, envelope } = self.basis.get(i);
         let p = quad_bezier(self.from, self.control, self.to, s);
-        self.tremor = 0.7 * self.tremor + 0.3 * jitter.sample(rng);
+        self.tremor = if self.batched {
+            self.tremor_buf[i]
+        } else {
+            0.7 * self.tremor + 0.3 * jitter.sample(rng)
+        };
         if i == self.n {
             // The eager stroke overwrites its last sample with the exact
             // endpoint after drawing the (unused) final jitter.
@@ -351,6 +399,7 @@ impl<'r, R: Rng + ?Sized> TrajectoryStream<'r, R> {
             amp_frac,
             interval_ms,
             rng,
+            &jitter,
             primary.0,
             primary.1,
             primary.2,
@@ -395,6 +444,7 @@ impl<R: Rng + ?Sized> Iterator for TrajectoryStream<'_, R> {
                         self.amp_frac,
                         self.interval_ms,
                         &mut *self.rng,
+                        &self.jitter,
                         c.from,
                         c.to,
                         c.duration,
@@ -488,13 +538,27 @@ fn single_stroke<R: Rng + ?Sized>(
     let basis = StrokeBasis::for_stroke(n);
     let jitter_dist = Normal::new(0.0, params.jitter_px);
     let mut samples = Vec::with_capacity(n + 1);
+    // Tremor: AR(1)-filtered perpendicular noise, zero at the endpoints
+    // (the hand is anchored at press/landing). The common case fits the
+    // shared-basis bound, so the jitter draws batch into one slice fill up
+    // front — same draws, same order, same post-RNG state — leaving the
+    // synthesis loop below draw-free.
+    let mut tremor_buf = [0.0f64; BASIS_SHARED_MAX_N + 1];
+    let batched = n <= BASIS_SHARED_MAX_N;
+    if batched {
+        fill_tremor(rng, &jitter_dist, &mut tremor_buf[..=n]);
+    }
     let mut tremor = 0.0f64;
+    // `i` jointly indexes the basis row and the tremor buffer.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..=n {
         let BasisSample { tau, s, envelope } = basis.get(i);
         let p = quad_bezier(from, control, to, s);
-        // Tremor: AR(1)-filtered perpendicular noise, zero at the endpoints
-        // (the hand is anchored at press/landing).
-        tremor = 0.7 * tremor + 0.3 * jitter_dist.sample(rng);
+        tremor = if batched {
+            tremor_buf[i]
+        } else {
+            0.7 * tremor + 0.3 * jitter_dist.sample(rng)
+        };
         let (jx, jy) = (px * tremor * envelope, py * tremor * envelope);
         samples.push(TrajectorySample {
             t_ms: t0 + tau * duration,
@@ -814,6 +878,102 @@ mod tests {
                     eager_ctx.stream("cursor").gen::<u64>(),
                     stream_ctx.stream("cursor").gen::<u64>(),
                     "rng state diverged after seed {seed} {from:?}->{to:?}"
+                );
+            }
+        }
+    }
+
+    /// The stroke loop historically drew one jitter sample per iteration:
+    /// `tremor = 0.7 * tremor + 0.3 * jitter.sample(rng)`. The batched
+    /// fill must reproduce that sequence — values and post-fill RNG state —
+    /// bit for bit, including the variable draw count of the polar-method
+    /// `Normal::sample` rejection loop.
+    #[test]
+    fn batched_tremor_matches_historic_per_sample_loop() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let jitter = Normal::new(0.0, 0.35);
+        for seed in 0..200u64 {
+            for n in [3usize, 17, 64, 192] {
+                let mut batched_rng = SmallRng::seed_from_u64(seed);
+                let mut buf = vec![0.0f64; n + 1];
+                fill_tremor(&mut batched_rng, &jitter, &mut buf);
+
+                let mut manual_rng = SmallRng::seed_from_u64(seed);
+                let mut tremor = 0.0f64;
+                for (i, slot) in buf.iter().enumerate() {
+                    tremor = 0.7 * tremor + 0.3 * jitter.sample(&mut manual_rng);
+                    assert_eq!(slot.to_bits(), tremor.to_bits(), "seed {seed} n={n} i={i}");
+                }
+                assert_eq!(batched_rng, manual_rng, "post state, seed {seed} n={n}");
+            }
+        }
+    }
+
+    /// Batched and per-sample tremor paths coexist in `single_stroke`
+    /// (strokes above [`BASIS_SHARED_MAX_N`] fall back to per-sample
+    /// draws). Both must realise the exact historic draw schedule: a
+    /// reference reimplementation of the historic inline loop agrees bit
+    /// for bit — samples and post-RNG state — on either side of the bound.
+    #[test]
+    fn single_stroke_matches_historic_reference_across_batch_bound() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+
+        // The stroke loop exactly as it was before batching.
+        fn reference_stroke<R: Rng + ?Sized>(
+            params: &HumanParams,
+            rng: &mut R,
+            from: Point,
+            to: Point,
+            duration: f64,
+            t0: f64,
+        ) -> Vec<TrajectorySample> {
+            let dist = from.distance_to(to);
+            let amp_sigma = params.curve_amplitude_frac * dist;
+            let amp = Normal::new(0.0, amp_sigma).sample(rng)
+                + amp_sigma * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let (px, py) = perpendicular(from, to);
+            let mid = from.lerp(to, 0.5);
+            let control = Point::new(mid.x + px * amp, mid.y + py * amp);
+            let n = ((duration / params.pointer_sample_interval_ms).ceil() as usize).max(3);
+            let basis = StrokeBasis::for_stroke(n);
+            let jitter_dist = Normal::new(0.0, params.jitter_px);
+            let mut samples = Vec::with_capacity(n + 1);
+            let mut tremor = 0.0f64;
+            for i in 0..=n {
+                let BasisSample { tau, s, envelope } = basis.get(i);
+                let p = quad_bezier(from, control, to, s);
+                tremor = 0.7 * tremor + 0.3 * jitter_dist.sample(rng);
+                let (jx, jy) = (px * tremor * envelope, py * tremor * envelope);
+                samples.push(TrajectorySample {
+                    t_ms: t0 + tau * duration,
+                    x: p.x + jx,
+                    y: p.y + jy,
+                });
+            }
+            if let Some(last) = samples.last_mut() {
+                last.x = to.x;
+                last.y = to.y;
+            }
+            samples
+        }
+
+        let p = HumanParams::paper_baseline();
+        // 8 ms interval: 600 ms → n = 75 (batched), 2400 ms → n = 300
+        // (above the bound, per-sample fallback).
+        for duration in [600.0, 2400.0] {
+            for seed in 0..100u64 {
+                let from = Point::new(40.0, 80.0);
+                let to = Point::new(640.0, 420.0);
+                let mut live_rng = SmallRng::seed_from_u64(seed);
+                let live = single_stroke(&p, &mut live_rng, from, to, duration, 12.5);
+                let mut ref_rng = SmallRng::seed_from_u64(seed);
+                let reference = reference_stroke(&p, &mut ref_rng, from, to, duration, 12.5);
+                assert_eq!(live, reference, "seed {seed} duration {duration}");
+                assert_eq!(
+                    live_rng, ref_rng,
+                    "post state, seed {seed} duration {duration}"
                 );
             }
         }

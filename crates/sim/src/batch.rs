@@ -1,0 +1,119 @@
+//! Batched slice draws from a stream.
+//!
+//! Hot loops that interleave RNG draws with arithmetic (trajectory tremor,
+//! scroll tick jitter) pay for the generator's branchy rejection sampling
+//! in the middle of otherwise straight-line math. Splitting the work into
+//! a tight *fill* loop followed by a pure arithmetic loop keeps both
+//! pipelines clean — but only if the batched fill performs **exactly** the
+//! draws the per-element loop would have performed, in the same order,
+//! leaving the stream in the same state. These helpers guarantee that by
+//! construction: each slot is filled by one call of the same drawing
+//! expression, walking the slice front to back.
+//!
+//! The contract callers rely on (and differential tests pin): for any
+//! stream `r`, `r.fill_f64s(&mut buf)` is observationally equivalent to
+//! `for x in &mut buf { *x = r.gen::<f64>() }` — same values, same
+//! post-fill RNG state — and likewise for the other fill methods with
+//! their per-element expressions.
+
+use rand::Rng;
+
+/// Slice-filling draws on any RNG stream (blanket-implemented).
+pub trait SliceDraws: Rng {
+    /// Fills `out` with standard-uniform `f64` draws in `[0, 1)`, front to
+    /// back — one `gen::<f64>()` per slot.
+    fn fill_f64s(&mut self, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.gen::<f64>();
+        }
+    }
+
+    /// Fills `out` with uniform draws from `lo..hi`, front to back — one
+    /// `gen_range(lo..hi)` per slot.
+    fn fill_uniform_f64s(&mut self, lo: f64, hi: f64, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.gen_range(lo..hi);
+        }
+    }
+
+    /// Fills `out` via `draw`, front to back — one call per slot. The
+    /// escape hatch for non-uniform per-element draws (e.g. a
+    /// `Normal::sample` whose rejection loop consumes a variable number
+    /// of raw draws): batching moves *when* the draws happen, never how
+    /// many or in what order.
+    fn fill_f64s_with(&mut self, out: &mut [f64], mut draw: impl FnMut(&mut Self) -> f64)
+    where
+        Self: Sized,
+    {
+        for slot in out {
+            *slot = draw(self);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> SliceDraws for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fill_f64s_matches_per_element_loop_and_rng_state() {
+        let mut batched = SmallRng::seed_from_u64(7);
+        let mut manual = SmallRng::seed_from_u64(7);
+        let mut buf = [0.0f64; 37];
+        batched.fill_f64s(&mut buf);
+        for (i, slot) in buf.iter().enumerate() {
+            let want: f64 = manual.gen();
+            assert_eq!(slot.to_bits(), want.to_bits(), "slot {i}");
+        }
+        assert_eq!(batched, manual, "post-fill state diverged");
+    }
+
+    #[test]
+    fn fill_uniform_matches_per_element_loop_and_rng_state() {
+        let mut batched = SmallRng::seed_from_u64(8);
+        let mut manual = SmallRng::seed_from_u64(8);
+        let mut buf = [0.0f64; 21];
+        batched.fill_uniform_f64s(-2.5, 4.0, &mut buf);
+        for (i, slot) in buf.iter().enumerate() {
+            let want: f64 = manual.gen_range(-2.5..4.0);
+            assert_eq!(slot.to_bits(), want.to_bits(), "slot {i}");
+            assert!((-2.5..4.0).contains(slot));
+        }
+        assert_eq!(batched, manual, "post-fill state diverged");
+    }
+
+    #[test]
+    fn fill_with_preserves_variable_draw_counts() {
+        // A drawing expression consuming a data-dependent number of raw
+        // draws (like a rejection sampler) must batch transparently.
+        let rejecty = |r: &mut SmallRng| loop {
+            let x: f64 = r.gen();
+            if x < 0.75 {
+                return x;
+            }
+        };
+        let mut batched = SmallRng::seed_from_u64(9);
+        let mut manual = SmallRng::seed_from_u64(9);
+        let mut buf = [0.0f64; 40];
+        batched.fill_f64s_with(&mut buf, rejecty);
+        for (i, slot) in buf.iter().enumerate() {
+            let want = rejecty(&mut manual);
+            assert_eq!(slot.to_bits(), want.to_bits(), "slot {i}");
+        }
+        assert_eq!(batched, manual, "post-fill state diverged");
+    }
+
+    #[test]
+    fn empty_fill_draws_nothing() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let untouched = rng.clone();
+        rng.fill_f64s(&mut []);
+        rng.fill_uniform_f64s(0.0, 1.0, &mut []);
+        rng.fill_f64s_with(&mut [], |r| r.gen());
+        assert_eq!(rng, untouched);
+    }
+}

@@ -36,12 +36,14 @@
 //! identical draw sequences per stream, regardless of which other streams
 //! were used in between.**
 
+pub mod batch;
 pub mod clock;
 pub mod context;
 pub mod fault;
 pub mod observer;
 pub mod streams;
 
+pub use batch::SliceDraws;
 pub use clock::VirtualClock;
 pub use context::SimContext;
 pub use fault::{FaultEvent, FaultKind, FaultMonitor, FaultPlan, InjectedFault};

@@ -20,6 +20,7 @@ pub mod dynamics;
 pub mod outcome;
 pub mod page;
 pub mod population;
+pub mod shards;
 pub mod site;
 pub mod snapshot;
 pub mod traversal;
@@ -29,6 +30,7 @@ pub use dynamics::{apply_scenario, ScenarioKind, ScenarioMix};
 pub use outcome::{VisitError, VisitPhase, VisitProgress};
 pub use page::{generate_page, GeneratedPage, PageStructure};
 pub use population::{generate_population, PopulationConfig};
+pub use shards::{sites_bytes, PopulationShards, DEFAULT_SHARD_SIZE};
 pub use site::{DetectionMethod, Reaction, Site, SiteDetector};
 pub use snapshot::{WorldSnapshot, WorldSnapshotCache};
 pub use traversal::{judge_traversal, traverse, PageGraph, TraversalStrategy};

@@ -58,122 +58,161 @@ impl Default for PopulationConfig {
     }
 }
 
-/// Generates the site population. Deterministic in the config.
-pub fn generate_population(config: &PopulationConfig) -> Vec<Site> {
-    let mut ctx = SimContext::new(config.seed);
-    let rng = ctx.stream("population");
+/// The per-site drawn attributes, in exact draw order. Factored out so the
+/// eager generator and the lazy shard layer (`shards.rs`) perform the one
+/// canonical draw schedule — any divergence would split the `"population"`
+/// stream's bitstream between the two paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SiteAttrs {
+    pub(crate) ad_slots: u8,
+    pub(crate) has_video: bool,
+    pub(crate) flaky_visit_prob: f64,
+    pub(crate) first_party_requests: u8,
+    pub(crate) third_party_requests: u8,
+}
 
-    // Base sites.
-    let mut sites: Vec<Site> = (0..config.n_sites)
-        .map(|i| {
-            let rank_seed = derive_seed(config.seed, "rank", i as u64);
-            let rank = (rank_seed % 10_000) as u32 + 1;
-            Site {
-                rank,
-                domain: format!("site{:04}.example", i),
-                detector: None,
-                ad_slots: rng.gen_range(0..6),
-                has_video: rng.gen_bool(0.18),
-                breaks_under_spoofing: false,
-                unreachable: false,
-                flaky_visit_prob: (rng.gen_range(0.0..2.0) * config.mean_flakiness).clamp(0.0, 0.5),
-                first_party_requests: rng.gen_range(6..18),
-                third_party_requests: rng.gen_range(10..45),
-                scenario: None,
+/// Draws one site's attributes off `rng` — five draws, fixed order.
+pub(crate) fn draw_site_attrs<R: Rng + ?Sized>(
+    config: &PopulationConfig,
+    rng: &mut R,
+) -> SiteAttrs {
+    SiteAttrs {
+        ad_slots: rng.gen_range(0..6),
+        has_video: rng.gen_bool(0.18),
+        flaky_visit_prob: (rng.gen_range(0.0..2.0) * config.mean_flakiness).clamp(0.0, 0.5),
+        first_party_requests: rng.gen_range(6..18),
+        third_party_requests: rng.gen_range(10..45),
+    }
+}
+
+/// Builds site `i` from its drawn attributes. Consumes no randomness: rank
+/// is hash-derived from `(seed, i)` and the domain is positional, so a
+/// shard can materialise its sites knowing only its RNG entry state.
+pub(crate) fn materialise_site(config: &PopulationConfig, i: usize, attrs: SiteAttrs) -> Site {
+    let rank_seed = derive_seed(config.seed, "rank", i as u64);
+    Site {
+        rank: (rank_seed % 10_000) as u32 + 1,
+        domain: format!("site{:04}.example", i),
+        detector: None,
+        ad_slots: attrs.ad_slots,
+        has_video: attrs.has_video,
+        breaks_under_spoofing: false,
+        unreachable: false,
+        flaky_visit_prob: attrs.flaky_visit_prob,
+        first_party_requests: attrs.first_party_requests,
+        third_party_requests: attrs.third_party_requests,
+        scenario: None,
+    }
+}
+
+/// One special role dealt to a site off the shuffled cursor. `Copy` so the
+/// shard layer can bucket assignments per shard without cloning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum SiteRole {
+    Unreachable,
+    Detector(SiteDetector),
+    Breakage { has_video: bool },
+    Scenario(ScenarioKind),
+}
+
+/// Applies a dealt role to a site — the single place the deploy side
+/// effects (minimum ad slots for ad reactions, forced video for freeze)
+/// live, shared by the eager and shard paths.
+pub(crate) fn apply_role(site: &mut Site, role: SiteRole) {
+    match role {
+        SiteRole::Unreachable => site.unreachable = true,
+        SiteRole::Detector(d) => {
+            site.detector = Some(d);
+            if d.reaction == Reaction::HideAllAds || d.reaction == Reaction::ReduceAds {
+                site.ad_slots = site.ad_slots.max(2);
             }
-        })
-        .collect();
+            if d.reaction == Reaction::FreezeVideo {
+                site.has_video = true;
+            }
+        }
+        SiteRole::Breakage { has_video } => {
+            site.breaks_under_spoofing = true;
+            site.has_video = has_video;
+        }
+        SiteRole::Scenario(kind) => site.scenario = Some(kind),
+    }
+}
 
-    // Shuffle indices and deal out the special roles disjointly.
+/// Shuffles the site indices and deals the special roles in the canonical
+/// order, reporting each `(site index, role)` pair to `assign`. All
+/// randomness is the one Fisher–Yates shuffle; the deals themselves draw
+/// nothing, so an all-zero scenario mix still changes no draw.
+pub(crate) fn deal_roles<R: Rng + ?Sized>(
+    config: &PopulationConfig,
+    rng: &mut R,
+    mut assign: impl FnMut(usize, SiteRole),
+) {
     let mut idx: Vec<usize> = (0..config.n_sites).collect();
     idx.shuffle(rng);
     let mut cursor = idx.into_iter();
-    let mut take = |n: usize| -> Vec<usize> { cursor.by_ref().take(n).collect() };
 
-    for i in take(config.unreachable_sites) {
-        sites[i].unreachable = true;
+    for i in cursor.by_ref().take(config.unreachable_sites) {
+        assign(i, SiteRole::Unreachable);
     }
 
-    let deploy = |indices: Vec<usize>,
-                  method: DetectionMethod,
-                  reaction: Reaction,
-                  sites: &mut Vec<Site>| {
-        for i in indices {
-            sites[i].detector = Some(SiteDetector { method, reaction });
-            if reaction == Reaction::HideAllAds || reaction == Reaction::ReduceAds {
-                sites[i].ad_slots = sites[i].ad_slots.max(2);
-            }
-            if reaction == Reaction::FreezeVideo {
-                sites[i].has_video = true;
-            }
-        }
-    };
-
+    let detector = |method, reaction| SiteRole::Detector(SiteDetector { method, reaction });
     let (wd_block, wd_captcha, wd_noads, wd_video) = config.webdriver_visible;
-    deploy(
-        take(wd_block),
-        DetectionMethod::WebdriverFlag,
-        Reaction::BlockPage,
-        &mut sites,
-    );
-    deploy(
-        take(wd_captcha),
-        DetectionMethod::WebdriverFlag,
-        Reaction::Captcha,
-        &mut sites,
-    );
-    deploy(
-        take(wd_noads),
-        DetectionMethod::WebdriverFlag,
-        Reaction::HideAllAds,
-        &mut sites,
-    );
-    deploy(
-        take(wd_video),
-        DetectionMethod::WebdriverFlag,
-        Reaction::FreezeVideo,
-        &mut sites,
-    );
-
     let (ta_block, ta_noads, ta_lessads) = config.template_visible;
-    deploy(
-        take(ta_block),
-        DetectionMethod::TemplateAttack,
-        Reaction::BlockPage,
-        &mut sites,
-    );
-    deploy(
-        take(ta_noads),
-        DetectionMethod::TemplateAttack,
-        Reaction::HideAllAds,
-        &mut sites,
-    );
-    deploy(
-        take(ta_lessads),
-        DetectionMethod::TemplateAttack,
-        Reaction::ReduceAds,
-        &mut sites,
-    );
-
     let (h403, h503) = config.silent_http;
-    deploy(
-        take(h403),
-        DetectionMethod::WebdriverFlag,
-        Reaction::Http403,
-        &mut sites,
-    );
-    deploy(
-        take(h503),
-        DetectionMethod::WebdriverFlag,
-        Reaction::Http503,
-        &mut sites,
-    );
+    let detector_deals = [
+        (
+            wd_block,
+            DetectionMethod::WebdriverFlag,
+            Reaction::BlockPage,
+        ),
+        (
+            wd_captcha,
+            DetectionMethod::WebdriverFlag,
+            Reaction::Captcha,
+        ),
+        (
+            wd_noads,
+            DetectionMethod::WebdriverFlag,
+            Reaction::HideAllAds,
+        ),
+        (
+            wd_video,
+            DetectionMethod::WebdriverFlag,
+            Reaction::FreezeVideo,
+        ),
+        (
+            ta_block,
+            DetectionMethod::TemplateAttack,
+            Reaction::BlockPage,
+        ),
+        (
+            ta_noads,
+            DetectionMethod::TemplateAttack,
+            Reaction::HideAllAds,
+        ),
+        (
+            ta_lessads,
+            DetectionMethod::TemplateAttack,
+            Reaction::ReduceAds,
+        ),
+        (h403, DetectionMethod::WebdriverFlag, Reaction::Http403),
+        (h503, DetectionMethod::WebdriverFlag, Reaction::Http503),
+    ];
+    for (n, method, reaction) in detector_deals {
+        for i in cursor.by_ref().take(n) {
+            assign(i, detector(method, reaction));
+        }
+    }
 
     // The paper saw one deformed layout and one ever-loading video, so the
     // breakage sites alternate video/no-video rather than drawing it.
-    for (k, i) in take(config.breakage_sites).into_iter().enumerate() {
-        sites[i].breaks_under_spoofing = true;
-        sites[i].has_video = k % 2 == 0;
+    for (k, i) in cursor.by_ref().take(config.breakage_sites).enumerate() {
+        assign(
+            i,
+            SiteRole::Breakage {
+                has_video: k % 2 == 0,
+            },
+        );
     }
 
     // Dynamic-page scenarios come off the same shuffled cursor, so they
@@ -184,10 +223,31 @@ pub fn generate_population(config: &PopulationConfig) -> Vec<Site> {
         (ScenarioKind::LazyContent, config.scenarios.lazy_content),
         (ScenarioKind::SpaMutation, config.scenarios.spa_mutation),
     ] {
-        for i in take(count) {
-            sites[i].scenario = Some(kind);
+        for i in cursor.by_ref().take(count) {
+            assign(i, SiteRole::Scenario(kind));
         }
     }
+}
+
+/// Generates the site population. Deterministic in the config.
+///
+/// This is the eager reference path: the lazy [`crate::PopulationShards`]
+/// layer must reproduce its output bit for bit (differential-tested),
+/// shard by shard, without ever holding the whole `Vec<Site>`.
+pub fn generate_population(config: &PopulationConfig) -> Vec<Site> {
+    let mut ctx = SimContext::new(config.seed);
+    let rng = ctx.stream("population");
+
+    // Base sites.
+    let mut sites: Vec<Site> = (0..config.n_sites)
+        .map(|i| {
+            let attrs = draw_site_attrs(config, rng);
+            materialise_site(config, i, attrs)
+        })
+        .collect();
+
+    // Shuffle indices and deal out the special roles disjointly.
+    deal_roles(config, rng, |i, role| apply_role(&mut sites[i], role));
 
     sites
 }

@@ -1,0 +1,78 @@
+//! Differential property tests: lazy shard-generated populations must be
+//! bit-identical to the eager `generate_population` reference across
+//! arbitrary shard sizes, site counts, and scenario mixes — including the
+//! role shuffle, deploy side effects, and the zero-extra-draws property
+//! of an all-zero scenario mix.
+
+use hlisa_web::dynamics::ScenarioMix;
+use hlisa_web::{generate_population, PopulationConfig, PopulationShards};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = PopulationConfig> {
+    (
+        0u64..1_000,
+        20usize..220,
+        0usize..10,
+        (0usize..3, 0usize..3, 0usize..3, 0usize..3),
+        (0usize..3, 0usize..3, 0usize..3),
+        (0usize..4, 0usize..3),
+        0usize..3,
+        (0usize..4, 0usize..4, 0usize..4),
+    )
+        .prop_map(
+            |(seed, n_sites, unreachable, wd, ta, http, breakage, mix)| PopulationConfig {
+                seed,
+                n_sites,
+                unreachable_sites: unreachable,
+                webdriver_visible: wd,
+                template_visible: ta,
+                silent_http: http,
+                breakage_sites: breakage,
+                scenarios: ScenarioMix {
+                    cookie_banner: mix.0,
+                    lazy_content: mix.1,
+                    spa_mutation: mix.2,
+                },
+                ..PopulationConfig::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concatenating every lazily generated shard reproduces the eager
+    /// population byte for byte, whatever the shard size.
+    #[test]
+    fn lazy_shards_equal_eager_population(
+        config in arb_config(),
+        shard_size in 1usize..300,
+    ) {
+        let eager = generate_population(&config);
+        let shards = PopulationShards::with_shard_size(&config, shard_size);
+        prop_assert_eq!(
+            shards.n_shards(),
+            config.n_sites.div_ceil(shard_size.max(1))
+        );
+        let lazy: Vec<_> = (0..shards.n_shards())
+            .flat_map(|k| shards.generate_shard(k))
+            .collect();
+        prop_assert_eq!(lazy, eager);
+    }
+
+    /// A single shard materialised in isolation — no other shard ever
+    /// generated — still equals its slice of the eager output: shards
+    /// are independent, not merely order-insensitive.
+    #[test]
+    fn any_single_shard_matches_its_eager_slice(
+        config in arb_config(),
+        shard_size in 1usize..300,
+        pick in 0usize..64,
+    ) {
+        let eager = generate_population(&config);
+        let shards = PopulationShards::with_shard_size(&config, shard_size);
+        let k = pick % shards.n_shards();
+        let range = shards.shard_range(k);
+        prop_assert_eq!(shards.generate_shard(k), &eager[range]);
+    }
+}

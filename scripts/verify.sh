@@ -29,6 +29,9 @@ cargo run -q -p hlisa-bench --release --bin bench_web -- --smoke --out BENCH_web
 echo "==> bench_lint --smoke (lint-throughput sanity run)"
 cargo run -q -p hlisa-bench --release --bin bench_lint -- --smoke --out BENCH_lint.smoke.json
 
+echo "==> bench_parallel --smoke (core-scaling sanity run: lazy shards + claiming workers)"
+cargo run -q -p hlisa-bench --release --bin bench_parallel -- --smoke --out BENCH_parallel.smoke.json
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -8,7 +8,9 @@
 //! success — first try or after recovery — records exactly the outcome
 //! the faultless campaign records at the same `(machine, site, visit)`.
 
-use hlisa_crawler::{run_campaign, run_chaos_campaign, CampaignConfig, ChaosConfig};
+use hlisa_crawler::{
+    run_campaign, run_chaos_campaign, run_chaos_campaign_sharded, CampaignConfig, ChaosConfig,
+};
 use hlisa_web::PopulationConfig;
 use proptest::prelude::*;
 
@@ -45,6 +47,23 @@ proptest! {
         // And the no-op plan schedules nothing.
         prop_assert_eq!(chaos.counters().get("fault.injected"), None);
         prop_assert_eq!(chaos.counters().get("retry.scheduled"), None);
+    }
+
+    /// Chaos mode under the shard-claiming scheduler: any `(instances,
+    /// shard size)` pair reproduces the serial faulted run exactly —
+    /// outcomes, recovery telemetry, and merged counters — even though
+    /// which worker claims which shard is scheduling-dependent.
+    #[test]
+    fn faulted_chaos_is_independent_of_shard_claiming(
+        seed in 0u64..1_000_000,
+        instances in 2usize..6,
+        shard_size in 1usize..16,
+    ) {
+        let chaos = ChaosConfig::uniform(0.10);
+        let serial = run_chaos_campaign(&config(seed, 1), &chaos);
+        let sharded = run_chaos_campaign_sharded(&config(seed, instances), &chaos, shard_size);
+        prop_assert_eq!(&sharded, &serial);
+        prop_assert_eq!(sharded.counters(), serial.counters());
     }
 
     #[test]

@@ -67,6 +67,10 @@ impl Simulator {
     }
 }
 
+// Every session below drives the in-crate standard test page, whose
+// literal defines each looked-up id, and the simulated webdriver cannot
+// fail a perform; the `expect`s are fail-fast fixture assertions and
+// each carries a per-line no-panic allow directive.
 fn click_session() -> Session {
     Session::new(Browser::open(BrowserConfig::webdriver(), click_task_page()))
 }
@@ -90,7 +94,7 @@ fn relocate_target(s: &mut Session, seed: u64, round: usize) {
         .browser
         .document()
         .by_id("target")
-        .expect("standard test page defines #target");
+        .expect("standard test page defines #target"); // lint: allow(no-panic)
     let (x, y) = click_target_position(seed, round);
     s.browser.document_mut().element_mut(target).rect = Rect::new(x, y, 120.0, 40.0);
 }
@@ -102,14 +106,14 @@ fn run_selenium_session(seed: u64) -> TraceFeatures {
     let mut s = click_session();
     let target = s
         .find_element(By::Id("target".into()))
-        .expect("standard test page defines #target");
+        .expect("standard test page defines #target"); // lint: allow(no-panic)
     for round in 0..12 {
         relocate_target(&mut s, seed, round);
         SeleniumActionChains::new()
             .click(Some(target))
             .pause(0.3)
             .perform(&mut s)
-            .expect("selenium click");
+            .expect("selenium click"); // lint: allow(no-panic)
     }
     let mut features = TraceFeatures::extract(&s.browser.recorder, s.browser.document());
 
@@ -117,11 +121,11 @@ fn run_selenium_session(seed: u64) -> TraceFeatures {
     let mut s = typing_session();
     let input = s
         .find_element(By::Id("text_area".into()))
-        .expect("standard test page defines #text_area");
+        .expect("standard test page defines #text_area"); // lint: allow(no-panic)
     SeleniumActionChains::new()
         .send_keys_to_element(input, TYPING_TASK_TEXT)
         .perform(&mut s)
-        .expect("selenium typing");
+        .expect("selenium typing"); // lint: allow(no-panic)
     features.merge(&TraceFeatures::extract(
         &s.browser.recorder,
         s.browser.document(),
@@ -148,25 +152,25 @@ fn run_naive_session(seed: u64) -> TraceFeatures {
     let mut s = click_session();
     let target = s
         .find_element(By::Id("target".into()))
-        .expect("standard test page defines #target");
+        .expect("standard test page defines #target"); // lint: allow(no-panic)
     for round in 0..12 {
         relocate_target(&mut s, seed, round);
         NaiveActionChains::new(derive_seed(seed, "naive-click", round as u64))
             .click(Some(target))
             .pause(0.3)
             .perform(&mut s)
-            .expect("naive click");
+            .expect("naive click"); // lint: allow(no-panic)
     }
     let mut features = TraceFeatures::extract(&s.browser.recorder, s.browser.document());
 
     let mut s = typing_session();
     let input = s
         .find_element(By::Id("text_area".into()))
-        .expect("standard test page defines #text_area");
+        .expect("standard test page defines #text_area"); // lint: allow(no-panic)
     NaiveActionChains::new(derive_seed(seed, "naive-type", 0))
         .send_keys_to_element(input, TYPING_TASK_TEXT)
         .perform(&mut s)
-        .expect("naive typing");
+        .expect("naive typing"); // lint: allow(no-panic)
     features.merge(&TraceFeatures::extract(
         &s.browser.recorder,
         s.browser.document(),
@@ -177,7 +181,7 @@ fn run_naive_session(seed: u64) -> TraceFeatures {
     NaiveActionChains::new(derive_seed(seed, "naive-scroll", 0))
         .scroll_by(max)
         .perform(&mut s)
-        .expect("naive scroll");
+        .expect("naive scroll"); // lint: allow(no-panic)
     features.merge(&TraceFeatures::extract(
         &s.browser.recorder,
         s.browser.document(),
@@ -194,25 +198,25 @@ fn run_hlisa_session(params: HumanParams, consistent: bool, seed: u64) -> TraceF
     let mut s = click_session();
     let target = s
         .find_element(By::Id("target".into()))
-        .expect("standard test page defines #target");
+        .expect("standard test page defines #target"); // lint: allow(no-panic)
     for round in 0..12 {
         relocate_target(&mut s, seed, round);
         chain("hlisa-click", round as u64)
             .click(Some(target))
             .pause(0.3)
             .perform(&mut s)
-            .expect("hlisa click");
+            .expect("hlisa click"); // lint: allow(no-panic)
     }
     let mut features = TraceFeatures::extract(&s.browser.recorder, s.browser.document());
 
     let mut s = typing_session();
     let input = s
         .find_element(By::Id("text_area".into()))
-        .expect("standard test page defines #text_area");
+        .expect("standard test page defines #text_area"); // lint: allow(no-panic)
     chain("hlisa-type", 0)
         .send_keys_to_element(input, TYPING_TASK_TEXT)
         .perform(&mut s)
-        .expect("hlisa typing");
+        .expect("hlisa typing"); // lint: allow(no-panic)
     features.merge(&TraceFeatures::extract(
         &s.browser.recorder,
         s.browser.document(),
@@ -223,7 +227,7 @@ fn run_hlisa_session(params: HumanParams, consistent: bool, seed: u64) -> TraceF
     chain("hlisa-scroll", 0)
         .scroll_by(0.0, max)
         .perform(&mut s)
-        .expect("hlisa scroll");
+        .expect("hlisa scroll"); // lint: allow(no-panic)
     features.merge(&TraceFeatures::extract(
         &s.browser.recorder,
         s.browser.document(),

@@ -1,0 +1,54 @@
+//! Runs the measurement-loss reliability benchmark and writes
+//! `BENCH_reliability.json`.
+//!
+//! Usage: `bench_reliability [--smoke] [--out PATH]`
+//!
+//! Sweeps naive lossy capture over the drift curve's loss rates, diffs
+//! each campaign against pristine capture (per-metric relative error,
+//! conclusion flips), and times the strengthened write-ahead mode at the
+//! harshest rate — asserting its output bit-identical to pristine.
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = Some(argv.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_reliability [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (mode, config) = if smoke {
+        (
+            "smoke",
+            hlisa_bench::reliability_bench::ReliabilityBenchConfig::smoke(),
+        )
+    } else {
+        (
+            "full",
+            hlisa_bench::reliability_bench::ReliabilityBenchConfig::full(),
+        )
+    };
+    eprintln!(
+        "benchmarking measurement-loss reliability ({mode} mode, {} sites)...",
+        config.campaign_sites
+    );
+    let report = hlisa_bench::reliability_bench::run(config);
+    let out_path = out_path.unwrap_or_else(|| String::from("BENCH_reliability.json"));
+
+    print!("{}", report.render_human());
+    std::fs::write(&out_path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+}

@@ -27,6 +27,7 @@ pub mod interaction_bench;
 pub mod lint_bench;
 pub mod lintreport;
 pub mod parallel_bench;
+pub mod reliability_bench;
 pub mod table1;
 pub mod table3;
 pub mod table4;

@@ -161,9 +161,9 @@ impl ExperimentBehaviors {
         session.perform_actions(&[Action::Pause(focus_pause)]);
         let mut typos = 0;
         for ch in text.chars() {
-            if us_qwerty(ch).is_none() {
+            let Some(spec) = us_qwerty(ch) else {
                 continue;
-            }
+            };
             let slip = ch.is_ascii_alphabetic()
                 && self
                     .ctx
@@ -180,15 +180,20 @@ impl ExperimentBehaviors {
                     typos += 1;
                 }
             }
-            self.type_one(session, &us_qwerty(ch).expect("mapped").key);
+            self.type_one(session, &spec.key);
         }
         Ok(typos)
     }
 
     /// One human-timed key stroke through the primitives.
     fn type_one(&mut self, session: &mut Session, key: &str) {
-        let needs_shift = key.chars().count() == 1
-            && hlisa_human::keyboard::requires_shift(key.chars().next().expect("one char"));
+        let needs_shift = {
+            let mut chars = key.chars();
+            matches!(
+                (chars.next(), chars.next()),
+                (Some(c), None) if hlisa_human::keyboard::requires_shift(c)
+            )
+        };
         let params = &self.params;
         let rng = self.ctx.stream("behavior");
         let mut actions = Vec::new();

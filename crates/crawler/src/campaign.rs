@@ -112,7 +112,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Campaign {
     }
 }
 
-fn new_runtime(config: &CampaignConfig) -> DetectorRuntime {
+pub(crate) fn new_runtime(config: &CampaignConfig) -> DetectorRuntime {
     if config.world_cache {
         DetectorRuntime::new()
     } else {
@@ -294,6 +294,44 @@ pub fn run_machine_shard_summaries<S: Send + Sync>(
     client: ClientKind,
     summarise: &(impl Fn(usize, Vec<SiteResult>) -> S + Sync),
 ) -> Vec<S> {
+    run_shard_summaries_with(config, shards, client, summarise, &|_, _| {})
+}
+
+/// [`run_machine_shard_summaries`] with a crash-safe on-disk journal:
+/// each shard's summary is rendered by `to_json` and appended to `sink`
+/// **as the shard completes**, fsync'd per append, so a harness crash
+/// loses at most the shard it was mid-write on.
+/// [`ShardSummarySink::replay`](crate::sink::ShardSummarySink::replay)
+/// recovers every durable line afterwards.
+///
+/// Returns the in-memory summaries (shard order) once every append is
+/// durably on disk; the first sink I/O error fails the run instead of
+/// silently dropping shards.
+pub fn run_machine_shard_summaries_persistent<S: Send + Sync>(
+    config: &CampaignConfig,
+    shards: &PopulationShards,
+    client: ClientKind,
+    summarise: &(impl Fn(usize, Vec<SiteResult>) -> S + Sync),
+    to_json: &(impl Fn(&S) -> String + Sync),
+    sink: &crate::sink::ShardSummarySink,
+) -> std::io::Result<Vec<S>> {
+    let summaries = run_shard_summaries_with(config, shards, client, summarise, &|k, s| {
+        sink.record(k, &to_json(s));
+    });
+    sink.finish()?;
+    Ok(summaries)
+}
+
+/// Shared engine behind the shard-summary runners: `record(k, &summary)`
+/// fires once per shard — inside the worker for shards that complete,
+/// during the sequential collection pass for shards whose worker died.
+fn run_shard_summaries_with<S: Send + Sync>(
+    config: &CampaignConfig,
+    shards: &PopulationShards,
+    client: ClientKind,
+    summarise: &(impl Fn(usize, Vec<SiteResult>) -> S + Sync),
+    record: &(impl Fn(usize, &S) + Sync),
+) -> Vec<S> {
     let runtime = new_runtime(config);
     let machine_ctx = machine_context(config, client);
     let source = SiteSource::Lazy(shards);
@@ -306,7 +344,9 @@ pub fn run_machine_shard_summaries<S: Send + Sync>(
                 .iter()
                 .map(|site| visit_site(config, site, client, &runtime, &machine_ctx))
                 .collect();
-            summarise(k, results)
+            let summary = summarise(k, results);
+            record(k, &summary);
+            summary
         },
     );
     slots
@@ -315,7 +355,9 @@ pub fn run_machine_shard_summaries<S: Send + Sync>(
         .map(|(k, slot)| {
             slot.unwrap_or_else(|| {
                 source.with_shard(k, |_, sites| {
-                    summarise(k, sites.iter().map(degraded_result).collect())
+                    let summary = summarise(k, sites.iter().map(degraded_result).collect());
+                    record(k, &summary);
+                    summary
                 })
             })
         })
@@ -569,6 +611,56 @@ mod tests {
         assert!(shards.peak_resident_shards() <= config.instances.max(1));
         assert!(shards.peak_resident_shards() >= 1);
         assert_eq!(shards.resident_shards(), 0);
+    }
+
+    #[test]
+    fn persistent_shard_summaries_journal_every_shard_and_replay_after_a_crash() {
+        let config = small_config();
+        let shards = hlisa_web::PopulationShards::with_shard_size(&config.population, 9);
+        let summarise = |k: usize, results: Vec<SiteResult>| {
+            let successes: usize = results.iter().map(SiteResult::successful_visits).sum();
+            (k, successes)
+        };
+        let to_json = |(k, successes): &(usize, usize)| {
+            format!("{{\"shard\": {k}, \"successes\": {successes}}}")
+        };
+
+        let in_memory =
+            run_machine_shard_summaries(&config, &shards, ClientKind::OpenWpm, &summarise);
+        let path = crate::sink::scratch_path("campaign");
+        let sink = crate::sink::ShardSummarySink::create(&path).unwrap();
+        let persisted = run_machine_shard_summaries_persistent(
+            &config,
+            &shards,
+            ClientKind::OpenWpm,
+            &summarise,
+            &to_json,
+            &sink,
+        )
+        .unwrap();
+        assert_eq!(persisted, in_memory, "the journal must not change results");
+
+        // Every shard is durably on disk, replayable in shard order with
+        // the exact rendered payloads.
+        let records = crate::sink::ShardSummarySink::replay(&path).unwrap();
+        assert_eq!(records.len(), shards.n_shards());
+        for (record, summary) in records.iter().zip(&in_memory) {
+            assert_eq!(record.shard, summary.0);
+            assert_eq!(record.summary, to_json(summary));
+        }
+
+        // Crash replay: a torn trailing append does not poison the
+        // durable prefix.
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .write_all(b"{\"shard\": 999, \"su")
+            .unwrap();
+        let after_crash = crate::sink::ShardSummarySink::replay(&path).unwrap();
+        assert_eq!(after_crash, records);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

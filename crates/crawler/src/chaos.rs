@@ -532,6 +532,159 @@ mod tests {
         }
     }
 
+    /// A population with no intrinsic pathology, so injected faults are
+    /// the only failure source and the retry arithmetic is exact.
+    fn clean_config() -> CampaignConfig {
+        CampaignConfig {
+            seed: 11,
+            population: PopulationConfig {
+                n_sites: 12,
+                unreachable_sites: 0,
+                webdriver_visible: (0, 0, 0, 0),
+                template_visible: (0, 0, 0),
+                silent_http: (0, 0),
+                breakage_sites: 0,
+                mean_flakiness: 0.0,
+                ..PopulationConfig::default()
+            },
+            visits_per_site: 4,
+            instances: 2,
+            world_cache: true,
+        }
+    }
+
+    #[test]
+    fn transient_exhaustion_spends_the_whole_retry_budget_once_per_attempt() {
+        let config = clean_config();
+        let cfg = ChaosConfig {
+            plan: FaultPlan {
+                transient_network: 1.0,
+                ..FaultPlan::none()
+            },
+            ..ChaosConfig::off()
+        };
+        let max_attempts = cfg.retry.max_attempts();
+        let chaos = run_chaos_campaign(&config, &cfg);
+
+        let mut visits = 0u64;
+        for rec in [&chaos.openwpm_recovery, &chaos.spoofed_recovery] {
+            for site in &rec.sites {
+                assert!(
+                    !site.breaker_open,
+                    "{}: transients must never trip the breaker",
+                    site.domain
+                );
+                for v in &site.visits {
+                    visits += 1;
+                    assert!(!v.skipped_by_breaker);
+                    assert_eq!(
+                        v.attempts, max_attempts,
+                        "{}: the full retry budget is spent",
+                        site.domain
+                    );
+                    assert_eq!(
+                        v.faults,
+                        vec![hlisa_sim::FaultKind::TransientNetwork; max_attempts as usize]
+                    );
+                    assert!(!v.outcome.successful);
+                    assert!(v.backoff_ms > 0.0, "retries must back off");
+                }
+            }
+        }
+        let expected = (config.population.n_sites * config.visits_per_site * 2) as u64;
+        assert_eq!(visits, expected);
+
+        // Each attempt is counted exactly once: injections track attempts,
+        // scheduled retries are attempts minus the first try, and every
+        // visit gives up exactly once.
+        let c = chaos.counters();
+        assert_eq!(
+            c.get("fault.injected"),
+            Some(u64::from(max_attempts) * visits)
+        );
+        assert_eq!(
+            c.get("fault.injected.transient_network"),
+            Some(u64::from(max_attempts) * visits)
+        );
+        assert_eq!(
+            c.get("retry.scheduled"),
+            Some(u64::from(max_attempts - 1) * visits)
+        );
+        assert_eq!(c.get("retry.gave_up"), Some(visits));
+        assert_eq!(c.get("retry.recovered"), None);
+        assert_eq!(c.get("breaker.tripped"), None);
+        assert_eq!(c.get("breaker.skipped_visits"), None);
+    }
+
+    #[test]
+    fn permanent_exhaustion_trips_the_breaker_and_empties_the_total_row() {
+        let config = clean_config();
+        let cfg = ChaosConfig {
+            plan: FaultPlan {
+                permanent_unreachable: 1.0,
+                ..FaultPlan::none()
+            },
+            ..ChaosConfig::off()
+        };
+        let threshold = cfg.breaker.permanent_fault_threshold;
+        assert!(
+            (config.visits_per_site as u32) > threshold,
+            "config must leave visits for the open breaker to skip"
+        );
+        let chaos = run_chaos_campaign(&config, &cfg);
+
+        for rec in [&chaos.openwpm_recovery, &chaos.spoofed_recovery] {
+            for site in &rec.sites {
+                assert!(
+                    site.breaker_open,
+                    "{}: breaker should end open",
+                    site.domain
+                );
+                for (i, v) in site.visits.iter().enumerate() {
+                    if (i as u32) < threshold {
+                        assert_eq!(v.attempts, 1, "permanent faults never retry");
+                        assert_eq!(v.faults, vec![hlisa_sim::FaultKind::PermanentUnreachable]);
+                        assert_eq!(v.backoff_ms, 0.0);
+                        assert!(!v.skipped_by_breaker);
+                    } else {
+                        assert!(v.skipped_by_breaker, "visit {i} should be skipped");
+                        assert_eq!(v.attempts, 0);
+                    }
+                    assert!(!v.outcome.reached);
+                }
+            }
+        }
+
+        // Every site drops out of Table 2's "total" (reached) row — the
+        // campaign-level signature of an unreachable site.
+        let table = crate::screenshot::screenshot_table(&chaos.campaign);
+        let total = table.row("total").unwrap_or_else(|| {
+            panic!("table 2 must keep its total row");
+        });
+        assert_eq!(total.sites, (0, 0));
+        assert_eq!(total.visits, (0, 0));
+        for run in [&chaos.campaign.openwpm, &chaos.campaign.spoofed] {
+            for site in &run.sites {
+                assert!(!site.reached(), "{} should be unreachable", site.domain);
+            }
+        }
+
+        let c = chaos.counters();
+        let sites = (config.population.n_sites * 2) as u64;
+        assert_eq!(
+            c.get("fault.injected.permanent_unreachable"),
+            Some(u64::from(threshold) * sites)
+        );
+        assert_eq!(c.get("breaker.tripped"), Some(sites));
+        assert_eq!(
+            c.get("breaker.skipped_visits"),
+            Some((config.visits_per_site as u64 - u64::from(threshold)) * sites)
+        );
+        assert_eq!(c.get("retry.scheduled"), None);
+        assert_eq!(c.get("retry.gave_up"), None);
+        assert_eq!(c.get("retry.recovered"), None);
+    }
+
     #[test]
     fn breaker_skips_remaining_visits_of_permanently_dead_sites() {
         let config = small_config();

@@ -15,13 +15,16 @@ pub mod campaign;
 pub mod chaos;
 pub mod http_analysis;
 pub mod recovery;
+pub mod reliability;
 pub mod report;
 pub mod scenario;
 pub mod screenshot;
+pub mod sink;
 
 pub use campaign::{
-    run_campaign, run_machine, run_machine_lazy, run_machine_shard_summaries, run_machine_sharded,
-    Campaign, CampaignConfig, MachineRun, SiteResult,
+    run_campaign, run_machine, run_machine_lazy, run_machine_shard_summaries,
+    run_machine_shard_summaries_persistent, run_machine_sharded, Campaign, CampaignConfig,
+    MachineRun, SiteResult,
 };
 pub use chaos::{
     run_chaos_campaign, run_chaos_campaign_sharded, ChaosCampaign, ChaosConfig, MachineRecovery,
@@ -29,5 +32,10 @@ pub use chaos::{
 };
 pub use http_analysis::{analyze_http, HttpReport};
 pub use recovery::{BreakerConfig, CircuitBreaker, RetryPolicy, VisitRecovery};
+pub use reliability::{
+    drift_report, run_captured_campaign, run_reliability_study, CaptureMode, CapturedCampaign,
+    DriftReport, MetricDrift, ReliabilityStudy,
+};
 pub use report::{recovery_csv, status_codes_csv, table2_csv, visits_csv};
 pub use screenshot::{screenshot_table, Table2, Table2Row};
+pub use sink::{ShardRecord, ShardSummarySink};

@@ -203,7 +203,11 @@ impl TraceFeatures {
         // per-character rhythm every level analyses. Strokes are ordered
         // by press time (rollover typing completes out of order).
         let mut strokes = recorder.keystrokes().to_vec();
-        strokes.sort_by(|a, b| a.down_t.partial_cmp(&b.down_t).expect("finite"));
+        strokes.sort_by(|a, b| {
+            a.down_t
+                .partial_cmp(&b.down_t)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let char_strokes: Vec<_> = strokes
             .iter()
             .filter(|k| k.key != "Shift" && k.key.chars().count() == 1)
@@ -214,8 +218,8 @@ impl TraceFeatures {
             .map(|w| w[1].down_t - w[0].up_t)
             .collect();
         let presses: Vec<f64> = char_strokes.iter().map(|k| k.down_t).collect();
-        if presses.len() >= 2 {
-            let span = presses.last().expect("len checked >= 2") - presses[0];
+        if let [first, .., last] = presses.as_slice() {
+            let span = last - first;
             if span > 0.0 {
                 f.typing_cpm = (presses.len() - 1) as f64 * 60_000.0 / span;
             }
@@ -226,9 +230,11 @@ impl TraceFeatures {
             .filter(|e| e.kind == EventKind::KeyDown)
             .filter(|e| match &e.payload {
                 EventPayload::Key { key, shift } => {
-                    key.chars().count() == 1
-                        && key.chars().next().expect("count is 1").is_ascii_uppercase()
-                        && !shift
+                    let mut chars = key.chars();
+                    matches!(
+                        (chars.next(), chars.next()),
+                        (Some(c), None) if c.is_ascii_uppercase()
+                    ) && !shift
                 }
                 _ => false,
             })
@@ -261,7 +267,7 @@ impl TraceFeatures {
                 .windows(2)
                 .map(|w| ((w[1].1 - w[0].1).powi(2) + (w[1].2 - w[0].2).powi(2)).sqrt())
                 .sum();
-            let last = seg.last().expect("segments of >= 5 samples");
+            let Some(last) = seg.last() else { continue };
             let chord = ((last.1 - seg[0].1).powi(2) + (last.2 - seg[0].2).powi(2)).sqrt();
             if path < MIN_SEGMENT_PATH_PX {
                 continue; // too short to judge

@@ -73,7 +73,7 @@ impl LiveInteractionMonitor {
 
 impl Observer<DomEvent> for LiveInteractionMonitor {
     fn on_event(&mut self, t_ms: f64, event: &DomEvent) {
-        let mut s = self.state.lock().expect("monitor state poisoned");
+        let mut s = self.state.lock().unwrap_or_else(|p| p.into_inner());
         match event.kind {
             EventKind::MouseMove => {
                 s.moves += 1;
@@ -113,7 +113,7 @@ impl Observer<DomEvent> for LiveInteractionMonitor {
     fn counters(&self) -> CounterSet {
         self.state
             .lock()
-            .expect("monitor state poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .counters()
     }
 }
@@ -140,14 +140,17 @@ impl LiveState {
 impl LiveMonitorHandle {
     /// Streaming verdict so far: true when any artificiality cue fired.
     pub fn is_bot(&self) -> bool {
-        self.state.lock().expect("monitor state poisoned").is_bot()
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_bot()
     }
 
     /// Snapshot of the monitor's counters.
     pub fn counters(&self) -> CounterSet {
         self.state
             .lock()
-            .expect("monitor state poisoned")
+            .unwrap_or_else(|p| p.into_inner())
             .counters()
     }
 }

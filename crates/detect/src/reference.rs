@@ -98,6 +98,7 @@ pub fn run_human_session_with(params: HumanParams, seed: u64) -> TraceFeatures {
     let target = browser
         .document()
         .by_id("target")
+        // the page literal built above defines the id. lint: allow(no-panic)
         .expect("standard test page defines #target");
     for round in 0..12 {
         let (x, y) = click_target_position(seed, round);
@@ -115,6 +116,7 @@ pub fn run_human_session_with(params: HumanParams, seed: u64) -> TraceFeatures {
     let input = browser
         .document()
         .by_id("text_area")
+        // the page literal built above defines the id. lint: allow(no-panic)
         .expect("standard test page defines #text_area");
     human.click_element(&mut browser, input);
     human.type_text(&mut browser, TYPING_TASK_TEXT);

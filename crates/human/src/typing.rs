@@ -71,10 +71,11 @@ pub fn plan_typing_into<R: Rng + ?Sized>(
     let innovation = hlisa_stats::Normal::new(0.0, dwell_sigma * (1.0 - rho * rho).sqrt());
     let mut dwell_dev = 0.0f64;
 
-    let chars: Vec<char> = text.chars().filter(|c| us_qwerty(*c).is_some()).collect();
-    for (i, ch) in chars.iter().enumerate() {
-        let spec = us_qwerty(*ch).expect("filtered to mapped chars");
-
+    let chars: Vec<(char, crate::keyboard::KeyStrokeSpec)> = text
+        .chars()
+        .filter_map(|c| us_qwerty(c).map(|spec| (c, spec)))
+        .collect();
+    for (i, (ch, spec)) in chars.iter().enumerate() {
         // Contextual pause from the character *before* this one.
         if let Some(prev) = prev_char {
             let extra = match prev {
@@ -141,7 +142,11 @@ pub fn plan_typing_into<R: Rng + ?Sized>(
             key: "Shift".to_string(),
         });
     }
-    events.sort_by(|a, b| a.at_ms.partial_cmp(&b.at_ms).expect("finite times"));
+    events.sort_by(|a, b| {
+        a.at_ms
+            .partial_cmp(&b.at_ms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 }
 
 /// Overall characters-per-minute implied by a plan (counting non-modifier
@@ -151,10 +156,10 @@ pub fn plan_cpm(events: &[PlannedKeyEvent]) -> f64 {
         .iter()
         .filter(|e| e.down && e.key != "Shift")
         .collect();
-    if presses.len() < 2 {
+    let [first, .., last] = presses.as_slice() else {
         return 0.0;
-    }
-    let span_ms = presses.last().expect("len checked >= 2").at_ms - presses[0].at_ms;
+    };
+    let span_ms = last.at_ms - first.at_ms;
     if span_ms <= 0.0 {
         return 0.0;
     }

@@ -71,6 +71,8 @@ impl AtomTable {
             return Atom(i);
         }
         let inner = Arc::make_mut(&mut self.inner);
+        // 2^32 interned names exceeds any page the simulator can build;
+        // overflowing silently would alias atoms. lint: allow(no-panic)
         let i = u32::try_from(inner.names.len()).expect("atom table overflow");
         inner.names.push(name.to_string());
         inner.index.insert(name.to_string(), i);

@@ -78,8 +78,10 @@ impl World {
     pub fn resolve_navigator(&mut self) -> ObjectId {
         self.realm
             .get(self.window, "navigator")
+            // installed by World::new; every rebinding re-points it. lint: allow(no-panic)
             .expect("window.navigator must resolve")
             .as_object()
+            // each rebinding stores Value::Object. lint: allow(no-panic)
             .expect("window.navigator must be an object")
     }
 }
@@ -216,6 +218,7 @@ pub fn build_firefox_world(flavor: BrowserFlavor) -> World {
                 crate::object::PropertyKind::Accessor { getter, .. } => *getter,
                 _ => None,
             })
+            // NAVIGATOR_GETTERS above installs the accessor. lint: allow(no-panic)
             .expect("plugins getter exists");
         let n_plugins = if flavor.is_headless() { 0.0 } else { 2.0 };
         let arr = realm.alloc(JsObject::plain("PluginArray", Some(object_prototype)));

@@ -124,7 +124,10 @@ impl ShapeForest {
         if offsets.len() <= atom.index() {
             offsets.resize(atom.index() + 1, 0);
         }
+        // 2^32 properties / shapes exceeds any simulated page; wrapping
+        // silently would corrupt slot lookup. lint: allow(no-panic)
         offsets[atom.index()] = u32::try_from(keys.len()).expect("shape width overflow");
+        // Same capacity invariant as above. lint: allow(no-panic)
         let child_id = ShapeId(u32::try_from(self.shapes.len()).expect("shape forest overflow"));
         let shapes = Arc::make_mut(&mut self.shapes);
         shapes.push(Shape {

@@ -85,16 +85,13 @@ impl ChainLinter {
     /// Judges and discards the pending gesture (run of consecutive
     /// pointer moves).
     fn end_gesture(&mut self) {
-        if self.gesture_points.len() >= 2 {
+        if let &[first, .., last] = self.gesture_points.as_slice() {
             let path: f64 = self
                 .gesture_points
                 .windows(2)
                 .map(|w| dist(w[0], w[1]))
                 .sum();
-            let chord = dist(
-                self.gesture_points[0],
-                *self.gesture_points.last().expect("len checked >= 2"),
-            );
+            let chord = dist(first, last);
             let start = Location::at_action(self.gesture_start);
             // Waypoints are coarse, so the tell is *exact* collinearity:
             // human trajectories carry jitter and curvature that survive

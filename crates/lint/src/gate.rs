@@ -43,11 +43,13 @@ fn elements(
     hlisa_webdriver::ElementHandle,
     hlisa_webdriver::ElementHandle,
 ) {
-    let jump = s.find_element(By::Id("jump".into())).expect("jump");
-    let submit = s.find_element(By::Id("submit".into())).expect("submit");
+    // The gate page literal in this module defines all three ids; a
+    // missing element is a broken fixture, not a recoverable crawl state.
+    let jump = s.find_element(By::Id("jump".into())).expect("jump"); // lint: allow(no-panic)
+    let submit = s.find_element(By::Id("submit".into())).expect("submit"); // lint: allow(no-panic)
     let text = s
         .find_element(By::Id("text_area".into()))
-        .expect("text_area");
+        .expect("text_area"); // lint: allow(no-panic)
     (jump, submit, text)
 }
 
@@ -61,6 +63,7 @@ pub fn selenium_report() -> Report {
         .click(Some(submit))
         .send_keys_to_element(text, GATE_TEXT)
         .perform(&mut s)
+        // the simulated gate session cannot fail. lint: allow(no-panic)
         .expect("selenium gate task");
     s.scroll_by_script(GATE_SCROLL_PX);
     Report::from_findings(&s.finish_audit())
@@ -76,6 +79,7 @@ pub fn naive_report(seed: u64) -> Report {
         .send_keys_to_element(text, GATE_TEXT)
         .scroll_by(GATE_SCROLL_PX)
         .perform(&mut s)
+        // the simulated gate session cannot fail. lint: allow(no-panic)
         .expect("naive gate task");
     Report::from_findings(&s.finish_audit())
 }
@@ -90,6 +94,7 @@ pub fn hlisa_report(seed: u64) -> Report {
         .send_keys_to_element(text, GATE_TEXT)
         .scroll_by(0.0, GATE_SCROLL_PX)
         .perform(&mut s)
+        // the simulated gate session cannot fail. lint: allow(no-panic)
         .expect("hlisa gate task");
     Report::from_findings(&s.finish_audit())
 }

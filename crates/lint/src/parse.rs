@@ -514,11 +514,20 @@ fn close_of(open: char) -> char {
 
 /// Builds balanced token trees; unbalanced delimiters become issues.
 pub fn build_trees(tokens: &[Token]) -> (Vec<Tree>, Vec<ParseIssue>) {
-    // Stack of (delim, open_line, children); the bottom entry is the
-    // root and is never popped mid-loop, so every `expect` below holds.
-    const ROOT: &str = "tree stack retains its root entry";
+    // The root's children live outside the stack: an empty stack means
+    // "at top level", so no frame access can fail.
     let mut issues = Vec::new();
-    let mut stack: Vec<(char, usize, Vec<Tree>)> = vec![('\0', 0, Vec::new())];
+    let mut root: Vec<Tree> = Vec::new();
+    let mut stack: Vec<(char, usize, Vec<Tree>)> = Vec::new();
+    fn dest<'a>(
+        root: &'a mut Vec<Tree>,
+        stack: &'a mut [(char, usize, Vec<Tree>)],
+    ) -> &'a mut Vec<Tree> {
+        match stack.last_mut() {
+            Some(top) => &mut top.2,
+            None => root,
+        }
+    }
     for t in tokens {
         match t.punct() {
             Some(p @ ("(" | "[" | "{")) => {
@@ -535,41 +544,39 @@ pub fn build_trees(tokens: &[Token]) -> (Vec<Tree>, Vec<ParseIssue>) {
                     "]" => ']',
                     _ => '}',
                 };
-                let closes =
-                    stack.len() > 1 && stack.last().is_some_and(|top| close_of(top.0) == close);
-                if closes {
-                    let (delim, open_line, trees) = stack.pop().expect(ROOT);
-                    stack.last_mut().expect(ROOT).2.push(Tree::Group(Group {
-                        delim,
-                        open_line,
-                        close_line: t.line,
-                        trees,
-                    }));
+                if stack.last().is_some_and(|top| close_of(top.0) == close) {
+                    if let Some((delim, open_line, trees)) = stack.pop() {
+                        dest(&mut root, &mut stack).push(Tree::Group(Group {
+                            delim,
+                            open_line,
+                            close_line: t.line,
+                            trees,
+                        }));
+                    }
                 } else {
                     issues.push(ParseIssue {
                         line: t.line,
                         message: format!("unbalanced closing delimiter `{p}`"),
                     });
-                    stack.last_mut().expect(ROOT).2.push(Tree::Leaf(t.clone()));
+                    dest(&mut root, &mut stack).push(Tree::Leaf(t.clone()));
                 }
             }
-            _ => stack.last_mut().expect(ROOT).2.push(Tree::Leaf(t.clone())),
+            _ => dest(&mut root, &mut stack).push(Tree::Leaf(t.clone())),
         }
     }
-    while stack.len() > 1 {
-        let (delim, open_line, trees) = stack.pop().expect(ROOT);
+    while let Some((delim, open_line, trees)) = stack.pop() {
         issues.push(ParseIssue {
             line: open_line,
             message: format!("unclosed delimiter `{delim}`"),
         });
-        stack.last_mut().expect(ROOT).2.push(Tree::Group(Group {
+        dest(&mut root, &mut stack).push(Tree::Group(Group {
             delim,
             open_line,
             close_line: open_line,
             trees,
         }));
     }
-    (stack.pop().expect(ROOT).2, issues)
+    (root, issues)
 }
 
 /// Flattens one tree back into tokens; group delimiters become puncts.
@@ -769,7 +776,7 @@ impl Parser {
             let line = c.line();
             c.bump();
             c.bump();
-            let g = c.eat_group('[').expect("peek confirmed a `[` group");
+            let Some(g) = c.eat_group('[') else { break };
             file.attrs.push(Attr {
                 tokens: flatten_run(&g.trees),
                 line,
@@ -793,7 +800,7 @@ impl Parser {
         while c.at_punct("#") && matches!(c.peek_at(1), Some(Tree::Group(g)) if g.delim == '[') {
             let line = c.line();
             c.bump();
-            let g = c.eat_group('[').expect("peek confirmed a `[` group");
+            let Some(g) = c.eat_group('[') else { break };
             attrs.push(Attr {
                 tokens: flatten_run(&g.trees),
                 line,
@@ -916,10 +923,12 @@ impl Parser {
             || c.at_ident("enum")
             || (c.at_ident("union") && c.leaf_at(1).is_some_and(|t| t.ident().is_some()))
         {
+            // The `at_ident` checks above guarantee the leaf; the
+            // fallback is dead but keeps the parser panic-free.
             let keyword = c
                 .leaf()
                 .and_then(Token::ident)
-                .expect("peek confirmed an item keyword")
+                .unwrap_or_default()
                 .to_string();
             c.bump();
             let name = self.expect_name(c);
@@ -1342,11 +1351,9 @@ impl Parser {
         // Prefix ranges: `..n`, `..=n`, bare `..`.
         let mut lhs = if c.at_punct("..") || c.at_punct("..=") {
             let line = c.line();
-            let op = c
-                .leaf()
-                .and_then(Token::punct)
-                .expect("peek confirmed a range operator")
-                .to_string();
+            // `at_punct` above guarantees the leaf; the fallback is dead
+            // but keeps the parser panic-free.
+            let op = c.leaf().and_then(Token::punct).unwrap_or("..").to_string();
             c.bump();
             let rhs = if self.can_start_expr(c, no_struct) {
                 Some(Box::new(self.parse_bin(c, 6, no_struct)))
@@ -2036,9 +2043,10 @@ impl Parser {
                 line,
             });
         }
-        // Struct literal.
-        if !no_struct && c.at_group('{') {
-            let g = c.eat_group('{').expect("peek confirmed a `{` group");
+        // Struct literal. `eat_group` only consumes a matching `{` group,
+        // so the `if let` doubles as the peek.
+        let struct_body = if no_struct { None } else { c.eat_group('{') };
+        if let Some(g) = struct_body {
             let mut inner = Cur {
                 trees: &g.trees,
                 pos: 0,

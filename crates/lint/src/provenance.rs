@@ -844,8 +844,17 @@ impl<'a> Analyzer<'a> {
                 self.fire(
                     "no-panic",
                     line,
-                    "unwrap() panics the worker; propagate a typed error or expect() \
-                     a stated invariant"
+                    "unwrap() panics the worker; propagate a typed error or carry a \
+                     justified allow"
+                        .to_string(),
+                );
+            }
+            if name == "expect" && !self.exempt.panics && turbofish.is_empty() {
+                self.fire(
+                    "no-panic",
+                    line,
+                    "expect() panics the worker like unwrap(); propagate a typed error \
+                     or carry a justified allow"
                         .to_string(),
                 );
             }
@@ -1048,8 +1057,17 @@ impl<'a> Analyzer<'a> {
                     self.fire(
                         "no-panic",
                         line,
-                        "unwrap() panics the worker; propagate a typed error or expect() \
-                         a stated invariant"
+                        "unwrap() panics the worker; propagate a typed error or carry a \
+                         justified allow"
+                            .to_string(),
+                    );
+                }
+                "expect" if !self.exempt.panics && dotted_call => {
+                    self.fire(
+                        "no-panic",
+                        line,
+                        "expect() panics the worker like unwrap(); propagate a typed error \
+                         or carry a justified allow"
                             .to_string(),
                     );
                 }
@@ -1415,10 +1433,15 @@ mod tests {
         );
         assert_eq!(rule_ids("fn f() { panic!(\"boom\"); }"), ["no-panic"]);
         assert_eq!(
+            rule_ids("fn f(x: Option<u8>) -> u8 { x.expect(\"invariant\") }"),
+            ["no-panic"]
+        );
+        assert_eq!(
             rule_ids("fn p() -> P { P { min_duration_ms: 250.0, other: 1.0 } }"),
             ["no-hardcoded-min-move"]
         );
         assert!(rule_ids("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }").is_empty());
         assert!(rule_ids("#[test]\nfn t() { Some(1).unwrap(); }").is_empty());
+        assert!(rule_ids("#[test]\nfn t() { Some(1).expect(\"in tests\"); }").is_empty());
     }
 }

@@ -70,9 +70,9 @@ pub const CATALOG: &[RuleInfo] = &[
     RuleInfo {
         id: "no-panic",
         kind: AnalyzerKind::Source,
-        summary: "unwrap()/panic! in non-test code: a panicking crawl worker \
-                  silently drops its sites from the measurement; fail through \
-                  the typed VisitError/recovery path instead",
+        summary: "unwrap()/expect()/panic! in non-test code: a panicking crawl \
+                  worker silently drops its sites from the measurement; fail \
+                  through the typed VisitError/recovery path instead",
         paper_ref: "OpenWPM-reliability (PAPERS.md): unhandled harness crashes \
                     bias crawl results; ISSUE 4 fault plane",
     },

@@ -446,8 +446,27 @@ pub fn analyze_source(file: &str, src: &str, exempt: Exemptions) -> Vec<Diagnost
                     fire(
                         "no-panic",
                         t.line,
-                        "unwrap() panics the worker; propagate a typed error or expect() \
-                         a stated invariant"
+                        "unwrap() panics the worker; propagate a typed error or carry a \
+                         justified allow"
+                            .into(),
+                    );
+                }
+            }
+            "expect" if !exempt.panics => {
+                // `.expect(...)` — same panic path as unwrap(): the
+                // stated invariant is documentation, not handling, and
+                // the worker still dies when it is wrong. The leading
+                // dot keeps definitions (`fn expect`) and paths from
+                // firing; the opening paren keeps field accesses out.
+                let is_dotted_call = i > 0
+                    && matches!(&toks[i - 1].tok, Tok::Punct('.'))
+                    && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')));
+                if is_dotted_call {
+                    fire(
+                        "no-panic",
+                        t.line,
+                        "expect() panics the worker like unwrap(); propagate a typed error \
+                         or carry a justified allow"
                             .into(),
                     );
                 }
@@ -556,8 +575,12 @@ mod tests {
             ["no-panic"]
         );
         assert_eq!(rules_of("fn f() { panic!(\"boom\"); }"), ["no-panic"]);
-        // `expect` with a stated invariant is the sanctioned spelling.
-        assert!(rules_of("fn f(x: Option<u8>) -> u8 { x.expect(\"set by new()\") }").is_empty());
+        // `expect` panics exactly like `unwrap`; the message string does
+        // not keep the worker alive.
+        assert_eq!(
+            rules_of("fn f(x: Option<u8>) -> u8 { x.expect(\"set by new()\") }"),
+            ["no-panic"]
+        );
         // `unwrap_or` family, `panic::catch_unwind`, and definitions of
         // an `unwrap` method are not panics.
         assert!(rules_of("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }").is_empty());

@@ -6,3 +6,7 @@ pub fn first_rank(ranks: &[u32]) -> u32 {
     }
     *ranks.first().unwrap()
 }
+
+pub fn last_rank(ranks: &[u32]) -> u32 {
+    *ranks.last().expect("checked non-empty by caller")
+}

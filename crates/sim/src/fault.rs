@@ -18,6 +18,19 @@
 //! telemetry flows through the [`Observer`] protocol as [`FaultEvent`]s,
 //! aggregated by a [`FaultMonitor`] into the `fault.*` / `retry.*` /
 //! `breaker.*` counter family.
+//!
+//! The second half of this module is the **measurement-loss plane**:
+//! where [`FaultPlan`] breaks *visits*, [`LossPlan`] breaks the
+//! *instrument* watching them. Krumnow et al. show that late-attaching
+//! instrumentation, dropped events, and partial captures silently corrupt
+//! crawl data while looking like clean results. A [`LossSchedule`] drawn
+//! per visit from the same `"fault"` stream family describes exactly
+//! which emitted events the observer channel loses; the [`LossyObserver`]
+//! decorator applies it to *any* [`Observer`] without touching the
+//! observer's code, and [`WriteAheadObserver`] is the strengthened
+//! capture mode — events buffered at emission and replayed on attach, so
+//! a late or lossy channel recovers the full stream. As with the fault
+//! plan, a no-op loss plan consumes **zero** RNG draws.
 
 use crate::observer::{CounterSet, Observer};
 use hlisa_stats::rngutil::derive_seed;
@@ -240,6 +253,375 @@ impl FaultPlan {
     }
 }
 
+/// Label for the per-event partial-capture derivation (see
+/// [`LossSchedule::delivers`]), distinct from every stream name and from
+/// [`SITE_OUTAGE_LABEL`].
+const PARTIAL_CAPTURE_LABEL: &str = "loss-partial-capture";
+
+/// The measurement-loss taxonomy: the ways an observer channel can lose
+/// events that the visit really emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LossKind {
+    /// Instrumentation attached late: a window at visit start where no
+    /// observer is wired, so early events vanish.
+    LateAttach,
+    /// The observer dropped out for a contiguous window mid-visit.
+    DropoutWindow,
+    /// Individual events are lost independently at some per-event rate.
+    PartialCapture,
+}
+
+impl LossKind {
+    /// Every kind, in the fixed order the plan draws them in.
+    pub const ALL: [LossKind; 3] = [
+        LossKind::LateAttach,
+        LossKind::DropoutWindow,
+        LossKind::PartialCapture,
+    ];
+
+    /// Stable snake_case name, used in counter names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LossKind::LateAttach => "late_attach",
+            LossKind::DropoutWindow => "dropout_window",
+            LossKind::PartialCapture => "partial_capture",
+        }
+    }
+}
+
+/// Per-visit measurement-loss rates.
+///
+/// Like [`FaultPlan`], a loss plan is pure configuration: every draw
+/// comes from the caller's `"fault"` stream, and a no-op plan consumes
+/// zero draws, so rate-0 captured campaigns are bit-identical to runs
+/// that never heard of measurement loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossPlan {
+    /// Per-visit probability that instrumentation attaches late.
+    pub late_attach: f64,
+    /// Longest late-attach window, as a fraction of the visit span; the
+    /// actual window is drawn uniformly in `(0, span]`.
+    pub late_attach_span: f64,
+    /// Per-visit probability of an observer dropout window.
+    pub dropout: f64,
+    /// Longest dropout window, as a fraction of the visit span.
+    pub dropout_span: f64,
+    /// Per-event probability that a delivered event is silently lost.
+    pub partial_capture: f64,
+}
+
+impl LossPlan {
+    /// The no-loss plan: draws nothing, loses nothing.
+    pub fn none() -> Self {
+        Self {
+            late_attach: 0.0,
+            late_attach_span: 0.0,
+            dropout: 0.0,
+            dropout_span: 0.0,
+            partial_capture: 0.0,
+        }
+    }
+
+    /// A uniform loss plan: `rate` for all three kinds, with windows up
+    /// to 30% of the visit span — the shape of the Krumnow study's
+    /// degraded configurations.
+    pub fn uniform(rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "loss rate must be a probability, got {rate}"
+        );
+        Self {
+            late_attach: rate,
+            late_attach_span: 0.3,
+            dropout: rate,
+            dropout_span: 0.3,
+            partial_capture: rate,
+        }
+    }
+
+    /// True when the plan can never lose anything.
+    pub fn is_noop(&self) -> bool {
+        self.late_attach <= 0.0 && self.dropout <= 0.0 && self.partial_capture <= 0.0
+    }
+
+    /// Draws one visit's loss schedule from `rng` — by convention the
+    /// visit context's `"fault"` stream, so loss never perturbs the
+    /// interaction streams. A no-op plan (and each inactive kind)
+    /// consumes **zero** draws.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> LossSchedule {
+        let mut schedule = LossSchedule::pristine();
+        if self.late_attach > 0.0 && rng.gen::<f64>() < self.late_attach {
+            let span = self.late_attach_span.clamp(0.0, 1.0);
+            schedule.attach_at = rng.gen::<f64>() * span;
+        }
+        if self.dropout > 0.0 && rng.gen::<f64>() < self.dropout {
+            let start = rng.gen::<f64>();
+            let len = rng.gen::<f64>() * self.dropout_span.clamp(0.0, 1.0);
+            schedule.dropout = Some((start, (start + len).min(1.0)));
+        }
+        if self.partial_capture > 0.0 {
+            schedule.partial = Some((self.partial_capture.min(1.0), rng.gen::<u64>()));
+        }
+        schedule
+    }
+}
+
+/// One visit's concrete loss schedule: which emitted events the observer
+/// channel actually receives.
+///
+/// Positions are fractions of the visit span (`t / deadline`), so the
+/// schedule is independent of any particular site's timeline. Per-event
+/// partial-capture decisions are a pure hash of the drawn salt and the
+/// event index — the draw count per visit stays fixed however many
+/// events the visit emits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossSchedule {
+    /// Fraction of the visit span before which no observer is wired.
+    pub attach_at: f64,
+    /// Observer dropout window as `[start, end)` fractions, if any.
+    pub dropout: Option<(f64, f64)>,
+    /// Per-event loss as `(rate, salt)`, if any.
+    pub partial: Option<(f64, u64)>,
+}
+
+impl LossSchedule {
+    /// The lossless schedule: attached from t = 0, no dropout, no
+    /// partial capture. What a no-op [`LossPlan`] always produces.
+    pub fn pristine() -> Self {
+        Self {
+            attach_at: 0.0,
+            dropout: None,
+            partial: None,
+        }
+    }
+
+    /// True when the schedule delivers every event.
+    pub fn is_pristine(&self) -> bool {
+        self.attach_at <= 0.0 && self.dropout.is_none() && self.partial.is_none()
+    }
+
+    /// Which loss kind (if any) swallows the event at `at_fraction` of
+    /// the visit span with emission index `event_index`. Checked in
+    /// [`LossKind::ALL`] order, so an event inside both a late-attach
+    /// window and a dropout window is blamed on the late attach.
+    pub fn blame(&self, at_fraction: f64, event_index: u64) -> Option<LossKind> {
+        if at_fraction < self.attach_at {
+            return Some(LossKind::LateAttach);
+        }
+        if let Some((start, end)) = self.dropout {
+            if at_fraction >= start && at_fraction < end {
+                return Some(LossKind::DropoutWindow);
+            }
+        }
+        if let Some((rate, salt)) = self.partial {
+            let h = derive_seed(salt, PARTIAL_CAPTURE_LABEL, event_index);
+            // 53 mantissa bits give a uniform in [0, 1) with no rounding
+            // bias, matching `FaultPlan::site_is_down`.
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if u < rate {
+                return Some(LossKind::PartialCapture);
+            }
+        }
+        None
+    }
+
+    /// Whether the observer channel delivers this event.
+    pub fn delivers(&self, at_fraction: f64, event_index: u64) -> bool {
+        self.blame(at_fraction, event_index).is_none()
+    }
+}
+
+/// Decorator that applies a [`LossSchedule`] to any [`Observer`] — the
+/// *naive* capture pipeline of the reliability study. The inner observer
+/// sees only the events the schedule delivers; what it misses, it misses
+/// silently, exactly like a real instrument that attached late or
+/// dropped events.
+///
+/// The decorator accounts for the channel in its own `loss.*` counters
+/// (offered, delivered, and dropped per [`LossKind`]) so a study can
+/// report *how much* was lost even though the degraded observer cannot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossyObserver<O> {
+    inner: O,
+    schedule: LossSchedule,
+    span_ms: f64,
+    offered: u64,
+    delivered: u64,
+    // One tally per LossKind::ALL entry, materialized as
+    // `loss.dropped.<kind>` counters on demand — same hot-path reasoning
+    // as WriteAheadObserver.
+    dropped: [u64; LossKind::ALL.len()],
+}
+
+impl<O> LossyObserver<O> {
+    /// Wraps `inner` behind `schedule`, normalising event times by
+    /// `span_ms` (the visit deadline) to match the schedule's fractional
+    /// positions.
+    pub fn new(inner: O, schedule: LossSchedule, span_ms: f64) -> Self {
+        Self {
+            inner,
+            schedule,
+            span_ms,
+            offered: 0,
+            delivered: 0,
+            dropped: [0; LossKind::ALL.len()],
+        }
+    }
+
+    /// The degraded observer behind the channel.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwraps the degraded observer.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<E, O: Observer<E>> Observer<E> for LossyObserver<O> {
+    fn on_event(&mut self, t_ms: f64, event: &E) {
+        let index = self.offered;
+        self.offered += 1;
+        let at_fraction = if self.span_ms > 0.0 {
+            (t_ms / self.span_ms).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        match self.schedule.blame(at_fraction, index) {
+            None => {
+                self.delivered += 1;
+                self.inner.on_event(t_ms, event);
+            }
+            Some(kind) => {
+                self.dropped[LossKind::ALL.iter().position(|k| *k == kind).unwrap_or(0)] += 1;
+            }
+        }
+    }
+
+    fn counters(&self) -> CounterSet {
+        let mut c = self.inner.counters();
+        if self.offered > 0 {
+            c.add("loss.offered", self.offered);
+        }
+        if self.delivered > 0 {
+            c.add("loss.delivered", self.delivered);
+        }
+        let dropped: u64 = self.dropped.iter().sum();
+        if dropped > 0 {
+            c.add("loss.dropped", dropped);
+        }
+        for (kind, n) in LossKind::ALL.iter().zip(self.dropped) {
+            if n > 0 {
+                c.add(&format!("loss.dropped.{}", kind.name()), n);
+            }
+        }
+        c
+    }
+}
+
+/// The strengthened capture mode: write-ahead event capture.
+///
+/// Every event is buffered at the emission site — *upstream* of any
+/// lossy observer channel — and replayed into the inner observer, in
+/// order, when the instrumentation attaches ([`WriteAheadObserver::attach`]).
+/// After attach, events flow straight through. Paired with an attach
+/// barrier (the visit does not proceed past instrumentation setup until
+/// the attach acks), the inner observer provably receives the exact
+/// event stream a pristine channel would have delivered, whatever the
+/// [`LossSchedule`] says.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteAheadObserver<E, O> {
+    inner: O,
+    buffer: Vec<(f64, E)>,
+    attached: bool,
+    // Plain tallies, materialized as `capture.*` counters on demand:
+    // this observer sits on the per-event hot path of every strengthened
+    // visit, where a name-keyed `CounterSet::add` per event is the
+    // difference between negligible and double-digit-percent overhead.
+    direct: u64,
+    buffered: u64,
+    replayed: u64,
+}
+
+impl<E: Clone + Send, O: Observer<E>> WriteAheadObserver<E, O> {
+    /// A write-ahead channel whose instrumentation has not attached yet;
+    /// events buffer until [`attach`](Self::attach).
+    pub fn detached(inner: O) -> Self {
+        Self {
+            inner,
+            buffer: Vec::new(),
+            attached: false,
+            direct: 0,
+            buffered: 0,
+            replayed: 0,
+        }
+    }
+
+    /// Whether the inner observer is attached and receiving directly.
+    pub fn is_attached(&self) -> bool {
+        self.attached
+    }
+
+    /// Pre-sizes the write-ahead buffer for a caller that knows how many
+    /// events will arrive before the attach barrier acks.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buffer.reserve(additional);
+    }
+
+    /// Acks the attach barrier: replays every buffered event into the
+    /// inner observer, in emission order, then switches to pass-through.
+    pub fn attach(&mut self) {
+        if self.attached {
+            return;
+        }
+        self.attached = true;
+        self.replayed += self.buffer.len() as u64;
+        for (t_ms, event) in &self.buffer {
+            self.inner.on_event(*t_ms, event);
+        }
+        self.buffer.clear();
+    }
+
+    /// The observer behind the write-ahead buffer.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwraps the inner observer, attaching first so no buffered event
+    /// is ever lost.
+    pub fn into_inner(mut self) -> O {
+        self.attach();
+        self.inner
+    }
+}
+
+impl<E: Clone + Send, O: Observer<E>> Observer<E> for WriteAheadObserver<E, O> {
+    fn on_event(&mut self, t_ms: f64, event: &E) {
+        if self.attached {
+            self.direct += 1;
+            self.inner.on_event(t_ms, event);
+        } else {
+            self.buffered += 1;
+            self.buffer.push((t_ms, event.clone()));
+        }
+    }
+
+    fn counters(&self) -> CounterSet {
+        let mut c = self.inner.counters();
+        for (name, n) in [
+            ("capture.direct", self.direct),
+            ("capture.buffered", self.buffered),
+            ("capture.replayed", self.replayed),
+        ] {
+            if n > 0 {
+                c.add(name, n);
+            }
+        }
+        c
+    }
+}
+
 /// One fault-plane event, published to [`Observer`] sinks by the
 /// recovery engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -447,6 +829,162 @@ mod tests {
         assert_eq!(c.get("retry.gave_up"), Some(1));
         assert_eq!(c.get("breaker.tripped"), Some(1));
         assert_eq!(c.get("breaker.skipped_visits"), Some(1));
+    }
+
+    #[test]
+    fn noop_loss_plan_consumes_no_draws() {
+        let plan = LossPlan::none();
+        let mut a = SimContext::new(1);
+        let mut b = SimContext::new(1);
+        for _ in 0..16 {
+            let schedule = plan.draw(a.stream("fault"));
+            assert!(schedule.is_pristine());
+        }
+        // The fault stream of `a` is untouched: its next raw draw matches
+        // a sibling context that never saw the plan.
+        assert_eq!(
+            a.stream("fault").gen::<u64>(),
+            b.stream("fault").gen::<u64>()
+        );
+    }
+
+    #[test]
+    fn loss_draws_are_deterministic_per_seed() {
+        let plan = LossPlan::uniform(0.5);
+        let mut a = SimContext::new(7);
+        let mut b = SimContext::new(7);
+        for _ in 0..64 {
+            assert_eq!(plan.draw(a.stream("fault")), plan.draw(b.stream("fault")));
+        }
+    }
+
+    #[test]
+    fn pristine_schedule_delivers_everything() {
+        let s = LossSchedule::pristine();
+        for i in 0..64 {
+            assert!(s.delivers(i as f64 / 64.0, i));
+        }
+    }
+
+    #[test]
+    fn late_attach_swallows_the_visit_prefix() {
+        let s = LossSchedule {
+            attach_at: 0.25,
+            ..LossSchedule::pristine()
+        };
+        assert_eq!(s.blame(0.0, 0), Some(LossKind::LateAttach));
+        assert_eq!(s.blame(0.24, 1), Some(LossKind::LateAttach));
+        assert_eq!(s.blame(0.25, 2), None);
+        assert_eq!(s.blame(0.9, 3), None);
+    }
+
+    #[test]
+    fn dropout_window_swallows_its_interval() {
+        let s = LossSchedule {
+            dropout: Some((0.4, 0.6)),
+            ..LossSchedule::pristine()
+        };
+        assert_eq!(s.blame(0.39, 0), None);
+        assert_eq!(s.blame(0.4, 1), Some(LossKind::DropoutWindow));
+        assert_eq!(s.blame(0.59, 2), Some(LossKind::DropoutWindow));
+        assert_eq!(s.blame(0.6, 3), None);
+    }
+
+    #[test]
+    fn partial_capture_is_deterministic_and_tracks_rate() {
+        let s = LossSchedule {
+            partial: Some((0.3, 0xfeed)),
+            ..LossSchedule::pristine()
+        };
+        let n = 4_000;
+        let dropped = (0..n).filter(|i| !s.delivers(0.5, *i)).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed drop rate {rate}");
+        // Pure in (salt, index): a second evaluation agrees event-wise.
+        for i in 0..256 {
+            assert_eq!(s.delivers(0.5, i), s.delivers(0.9, i));
+        }
+    }
+
+    #[test]
+    fn drawn_schedules_stay_in_range() {
+        let plan = LossPlan::uniform(1.0);
+        let mut ctx = SimContext::new(13);
+        for _ in 0..64 {
+            let s = plan.draw(ctx.stream("fault"));
+            assert!((0.0..=0.3).contains(&s.attach_at));
+            let (start, end) = s.dropout.unwrap_or((0.0, 0.0));
+            assert!((0.0..1.0).contains(&start) && end <= 1.0 && start <= end);
+            let (rate, _) = s.partial.unwrap_or((0.0, 0));
+            assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    #[test]
+    fn lossy_observer_degrades_a_monitor_without_touching_it() {
+        let schedule = LossSchedule {
+            attach_at: 0.5,
+            ..LossSchedule::pristine()
+        };
+        let mut lossy = LossyObserver::new(FaultMonitor::new(), schedule, 100.0);
+        let event = FaultEvent::Injected {
+            kind: FaultKind::RealmCrash,
+        };
+        lossy.on_event(10.0, &event); // inside the late-attach window
+        lossy.on_event(90.0, &event); // delivered
+        let c = lossy.counters();
+        assert_eq!(c.get("loss.offered"), Some(2));
+        assert_eq!(c.get("loss.delivered"), Some(1));
+        assert_eq!(c.get("loss.dropped"), Some(1));
+        assert_eq!(c.get("loss.dropped.late_attach"), Some(1));
+        // The degraded monitor saw exactly one injection.
+        assert_eq!(lossy.inner().counters().get("fault.injected"), Some(1));
+    }
+
+    #[test]
+    fn pristine_lossy_observer_is_transparent() {
+        let mut lossy = LossyObserver::new(FaultMonitor::new(), LossSchedule::pristine(), 100.0);
+        let mut direct = FaultMonitor::new();
+        for t in 0..8 {
+            let event = FaultEvent::BreakerSkippedVisit;
+            lossy.on_event(t as f64, &event);
+            direct.on_event(t as f64, &event);
+        }
+        assert_eq!(lossy.inner().counters(), direct.counters());
+        assert_eq!(lossy.counters().get("loss.dropped"), None);
+    }
+
+    #[test]
+    fn write_ahead_replays_the_full_stream_on_attach() {
+        let mut wal = WriteAheadObserver::detached(FaultMonitor::new());
+        let mut direct = FaultMonitor::new();
+        let event = FaultEvent::Injected {
+            kind: FaultKind::TransientNetwork,
+        };
+        for t in 0..5 {
+            wal.on_event(t as f64, &event);
+            direct.on_event(t as f64, &event);
+        }
+        // Nothing reached the inner observer yet...
+        assert_eq!(wal.inner().counters().get("fault.injected"), None);
+        wal.attach();
+        // ...but the attach barrier recovers the whole prefix, and later
+        // events flow straight through.
+        wal.on_event(5.0, &event);
+        direct.on_event(5.0, &event);
+        assert_eq!(wal.inner().counters(), direct.counters());
+        let c = wal.counters();
+        assert_eq!(c.get("capture.buffered"), Some(5));
+        assert_eq!(c.get("capture.replayed"), Some(5));
+        assert_eq!(c.get("capture.direct"), Some(1));
+    }
+
+    #[test]
+    fn write_ahead_into_inner_never_loses_buffered_events() {
+        let mut wal = WriteAheadObserver::detached(FaultMonitor::new());
+        wal.on_event(0.0, &FaultEvent::BreakerTripped);
+        let inner = wal.into_inner();
+        assert_eq!(inner.counters().get("breaker.tripped"), Some(1));
     }
 
     #[test]

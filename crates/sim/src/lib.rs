@@ -46,7 +46,10 @@ pub mod streams;
 pub use batch::SliceDraws;
 pub use clock::VirtualClock;
 pub use context::SimContext;
-pub use fault::{FaultEvent, FaultKind, FaultMonitor, FaultPlan, InjectedFault};
+pub use fault::{
+    FaultEvent, FaultKind, FaultMonitor, FaultPlan, InjectedFault, LossKind, LossPlan,
+    LossSchedule, LossyObserver, WriteAheadObserver,
+};
 pub use observer::{CounterSet, Observer};
 pub use streams::{is_registered, registered_names, stream_info, StreamInfo, STREAM_REGISTRY};
 

@@ -61,7 +61,8 @@ pub const STREAM_REGISTRY: &[StreamInfo] = &[
     StreamInfo {
         name: "fault",
         owner: "hlisa-sim",
-        purpose: "deterministic fault plane (injection, backoff jitter)",
+        purpose:
+            "deterministic fault plane (injection, backoff jitter, measurement-loss schedules)",
     },
     StreamInfo {
         name: "graph",

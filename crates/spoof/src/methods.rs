@@ -99,14 +99,11 @@ pub fn define_property(world: &mut World, property: &str, value: Value) -> Resul
 pub fn define_getter(world: &mut World, property: &str, value: Value) -> Result<(), JsError> {
     let nav = world.resolve_navigator();
     let getter = world.realm.make_anonymous_fn(NativeBehavior::Return(value));
-    // The getter is page script, not native code.
-    world
-        .realm
-        .obj_mut(getter)
-        .function
-        .as_mut()
-        .expect("just created a function")
-        .native = false;
+    // The getter is page script, not native code. `make_anonymous_fn`
+    // always populates `function`, so the `if let` never skips.
+    if let Some(f) = world.realm.obj_mut(getter).function.as_mut() {
+        f.native = false;
+    }
     world.realm.define_getter(nav, property, getter)
 }
 

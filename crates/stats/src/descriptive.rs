@@ -38,7 +38,7 @@ impl Summary {
             0.0
         };
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         Self {
             n,
             mean,
@@ -53,7 +53,7 @@ impl Summary {
 /// Returns the `p`-th percentile (0–100) of `xs` (need not be sorted).
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     percentile_sorted(&sorted, p)
 }
 

@@ -34,8 +34,8 @@ pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> Option<KsResult> {
     }
     let mut a = xs.to_vec();
     let mut b = ys.to_vec();
-    a.sort_by(|p, q| p.partial_cmp(q).expect("NaN in sample"));
-    b.sort_by(|p, q| p.partial_cmp(q).expect("NaN in sample"));
+    a.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
+    b.sort_by(|p, q| p.partial_cmp(q).unwrap_or(std::cmp::Ordering::Equal));
 
     let (n1, n2) = (a.len(), b.len());
     let (mut i, mut j) = (0usize, 0usize);

@@ -71,7 +71,7 @@ pub fn wilcoxon_signed_rank(
         diffs[i]
             .abs()
             .partial_cmp(&diffs[j].abs())
-            .expect("NaN difference")
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut ranks = vec![0.0f64; n];
     let mut tie_correction = 0.0f64;
@@ -107,7 +107,7 @@ pub fn wilcoxon_signed_rank(
     };
 
     // Sort to silence "unused" and keep diffs deterministic for debugging.
-    diffs.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
 
     Some(WilcoxonResult {
         w: w_plus.min(w_minus),

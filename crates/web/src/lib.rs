@@ -16,6 +16,7 @@
 //! the template attack) against it. The crawl experiment therefore
 //! exercises the same spoofing/detection code paths as §3.1.
 
+pub mod capture;
 pub mod dynamics;
 pub mod outcome;
 pub mod page;
@@ -26,6 +27,7 @@ pub mod snapshot;
 pub mod traversal;
 pub mod visit;
 
+pub use capture::{emit_capture_events, reconstruct_outcome, CaptureEvent, CaptureRecorder};
 pub use dynamics::{apply_scenario, ScenarioKind, ScenarioMix};
 pub use outcome::{VisitError, VisitPhase, VisitProgress};
 pub use page::{generate_page, GeneratedPage, PageStructure};
@@ -35,6 +37,6 @@ pub use site::{DetectionMethod, Reaction, Site, SiteDetector};
 pub use snapshot::{WorldSnapshot, WorldSnapshotCache};
 pub use traversal::{judge_traversal, traverse, PageGraph, TraversalStrategy};
 pub use visit::{
-    simulate_visit, simulate_visit_attempt, ClientKind, VisitOutcome, VisualOutcome,
+    simulate_visit, simulate_visit_attempt, ClientKind, VisitOutcome, VisitTimeline, VisualOutcome,
     DEFAULT_VISIT_DEADLINE_MS,
 };

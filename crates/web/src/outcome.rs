@@ -156,7 +156,7 @@ impl VisitError {
     /// response — bit-compatibility the rate-0 chaos invariant relies on.
     pub fn to_outcome(&self) -> VisitOutcome {
         let (reached, visual, first_party) = match self {
-            VisitError::Unreachable { .. } => (false, VisualOutcome::Unreachable, Vec::new()),
+            VisitError::Unreachable { .. } => return VisitOutcome::unreached(),
             VisitError::PageLoadTimeout { .. } => (true, VisualOutcome::Timeout, Vec::new()),
             VisitError::Stalled { .. } => (true, VisualOutcome::Stalled, Vec::new()),
             VisitError::RealmCrashed { .. } => (true, VisualOutcome::Crashed, Vec::new()),
@@ -171,6 +171,27 @@ impl VisitError {
             successful: false,
             visual,
             first_party,
+            third_party: Vec::new(),
+            detected: false,
+        }
+    }
+}
+
+impl VisitOutcome {
+    /// The canonical not-reached outcome: the site never answered, so
+    /// nothing downstream of the connect exists. This is both what
+    /// [`VisitError::Unreachable`] degrades to and what capture
+    /// reconstruction (`crate::capture`) infers when *no* event of a
+    /// visit survived the observer channel — an instrument that saw
+    /// nothing cannot tell a dead host from total measurement loss,
+    /// which is exactly the silent-corruption mode Krumnow et al. warn
+    /// about.
+    pub fn unreached() -> VisitOutcome {
+        VisitOutcome {
+            reached: false,
+            successful: false,
+            visual: VisualOutcome::Unreachable,
+            first_party: Vec::new(),
             third_party: Vec::new(),
             detected: false,
         }

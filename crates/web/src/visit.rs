@@ -221,15 +221,26 @@ pub fn simulate_visit_attempt(
 /// Deterministic phase timeline for one visit, derived from the site's
 /// content hash — **never** from an RNG stream, so adding time accounting
 /// cannot perturb any draw sequence.
-struct VisitTimeline {
-    connect_ms: f64,
-    load_ms: f64,
-    steps_planned: u32,
-    step_ms: f64,
+///
+/// Public because the capture layer (`crate::capture`) anchors its
+/// emitted event timestamps to the same timeline the visit core advances
+/// its clock by: the instrument observes the visit at the moments things
+/// actually happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisitTimeline {
+    /// DNS / TCP / TLS establishment time (virtual ms).
+    pub connect_ms: f64,
+    /// Main-document load time after connect (virtual ms).
+    pub load_ms: f64,
+    /// Interaction-chain steps the visit plans.
+    pub steps_planned: u32,
+    /// Virtual ms per interaction step.
+    pub step_ms: f64,
 }
 
 impl VisitTimeline {
-    fn for_site(site: &Site) -> Self {
+    /// The timeline for one site — a pure function of its content hash.
+    pub fn for_site(site: &Site) -> Self {
         let h = site_content_hash(site);
         Self {
             connect_ms: 40.0 + (h % 160) as f64,

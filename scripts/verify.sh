@@ -32,6 +32,9 @@ cargo run -q -p hlisa-bench --release --bin bench_lint -- --smoke --out BENCH_li
 echo "==> bench_parallel --smoke (core-scaling sanity run: lazy shards + claiming workers)"
 cargo run -q -p hlisa-bench --release --bin bench_parallel -- --smoke --out BENCH_parallel.smoke.json
 
+echo "==> bench_reliability --smoke (measurement-loss drift curve + strengthened-mode identity)"
+cargo run -q -p hlisa-bench --release --bin bench_reliability -- --smoke --out BENCH_reliability.smoke.json
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

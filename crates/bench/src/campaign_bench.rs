@@ -188,6 +188,7 @@ fn campaign_config(bench: &BenchConfig, world_cache: bool) -> CampaignConfig {
         visits_per_site: bench.visits_per_site,
         instances: 4,
         world_cache,
+        plan_interactions: false,
     }
 }
 

@@ -1,23 +1,28 @@
 //! Interaction fast-path benchmark: hit testing, trajectory synthesis,
-//! and recorder analytics.
+//! batch visit planning, and recorder analytics.
 //!
-//! Three measurements, emitted as `BENCH_interaction.json`:
+//! Four measurements, emitted as `BENCH_interaction.json`:
 //!
 //! 1. **Hit testing** — the linear reverse scan
 //!    ([`Document::hit_test_linear`]) vs the spatial-grid index
 //!    ([`Document::hit_test`]), probed over a deterministic point lattice
 //!    on a listing-sized page (hundreds of boxes).
-//! 2. **Trajectory synthesis** — the eager per-movement `Vec` planner
-//!    ([`cursor::generate_with`]) vs the streaming iterator
-//!    ([`cursor::stream_with`]) drained into a reused buffer, the way
-//!    `HumanAgent` consumes it. Both sides draw the same RNG sequence and
-//!    must produce bit-identical samples. The win on this row is
-//!    *allocation*, not arithmetic — streaming trades a few percent of raw
-//!    synthesis throughput (the pull-based state machine keeps stroke
-//!    state in memory where the eager loop keeps it in registers) for
-//!    zero per-action allocation in steady-state agent driving, so expect
-//!    a ratio near 1.0 here, not a speedup.
-//! 3. **Recorder queries** — the retained full-scan analytics
+//! 2. **Trajectory synthesis** — the seed-era eager planner
+//!    ([`cursor::reference::generate_with`]: fresh `Vec`, per-sample
+//!    basis evaluation, one Marsaglia-polar draw call per sample) vs the
+//!    fixed-capacity kernel ([`cursor::synthesize_into`]: shared basis
+//!    table, split-phase batched tremor fill, inline scratch, reused
+//!    output arena). Both sides draw the identical RNG sequence and must
+//!    produce bit-identical samples. The speedup ceiling is set by the
+//!    irreducible per-sample draw + `ln` cost the determinism contract
+//!    pins (see EXPERIMENTS.md for the floor decomposition).
+//! 3. **Batch planning** — a full visit's action chain planned the
+//!    per-action way ([`plan_visit_unbatched`]: fresh buffers per action)
+//!    vs the one-arena [`VisitPlanner`], which lays every movement, key
+//!    stroke, and wheel tick of the visit into reused arenas — zero
+//!    allocations per visit in steady state, asserted via capacity
+//!    stability and reported in the JSON.
+//! 4. **Recorder queries** — the retained full-scan analytics
 //!    (`*_rescan`) vs the incrementally-maintained views the recorder now
 //!    serves as slices, over a realistic multi-thousand-event trace.
 //!
@@ -29,8 +34,10 @@ pub use crate::campaign_bench::Comparison;
 use hlisa_browser::dom::standard_test_page;
 use hlisa_browser::{Browser, BrowserConfig, Document, ElementBuilder, EventRecorder, Point, Rect};
 use hlisa_human::cursor;
-use hlisa_human::{HumanAgent, HumanParams};
+use hlisa_human::plan::{plan_visit_unbatched, visit_script_into, ScriptStep};
+use hlisa_human::{HumanAgent, HumanParams, VisitPlanner};
 use hlisa_sim::SimContext;
+use hlisa_stats::rngutil::splitmix64;
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -43,6 +50,8 @@ pub struct BenchConfig {
     pub hit_passes: u32,
     /// Cursor movements synthesized per trajectory loop.
     pub traj_moves: u32,
+    /// Whole visits planned per batch-planning loop.
+    pub plan_visits: u32,
     /// Full query sweeps (all seven analytics views) per recorder loop.
     pub query_iters: u32,
 }
@@ -54,6 +63,7 @@ impl BenchConfig {
             hit_elements: 400,
             hit_passes: 300,
             traj_moves: 20_000,
+            plan_visits: 4_000,
             query_iters: 2_000,
         }
     }
@@ -64,6 +74,7 @@ impl BenchConfig {
             hit_elements: 200,
             hit_passes: 20,
             traj_moves: 100,
+            plan_visits: 60,
             query_iters: 50,
         }
     }
@@ -76,8 +87,13 @@ pub struct BenchReport {
     pub config: BenchConfig,
     /// Linear reverse scan vs spatial-grid hit testing.
     pub hit_test: Comparison,
-    /// Eager `Vec` planner vs streaming trajectory synthesis.
+    /// Seed-era eager planner vs fixed-capacity kernel synthesis.
     pub trajectory: Comparison,
+    /// Per-action fresh-buffer planning vs the one-arena batch planner.
+    pub batch_plan: Comparison,
+    /// Arenas that still grew during the timed batch-planning loop
+    /// (0 = zero steady-state allocations, the planner's contract).
+    pub plan_arenas_grown: u64,
     /// Events in the recorder-query trace.
     pub trace_events: u64,
     /// Full-rescan analytics vs incremental views.
@@ -182,48 +198,58 @@ fn move_endpoints(i: u32) -> (Point, Point, f64) {
 fn bench_trajectory(config: &BenchConfig) -> Comparison {
     let params = HumanParams::paper_baseline();
     let checksum = |s: &cursor::TrajectorySample| s.x + s.y + s.t_ms;
-    // Warm both paths (page-in, branch predictors) before timing.
+    let mut scratch = cursor::StrokeScratch::new();
+    let mut buf: Vec<cursor::TrajectorySample> = Vec::new();
+    // Warm both paths (page-in, branch predictors, basis tables, scratch
+    // high-water marks) before timing, and pin bit-equality of every
+    // warmed movement: the kernel must reproduce the reference exactly.
     for i in 0..config.traj_moves.min(200) {
-        let mut ctx = SimContext::new(u64::from(i));
         let (from, to, w) = move_endpoints(i);
-        black_box(cursor::generate_with(
+        let mut ctx = SimContext::new(u64::from(i));
+        let reference =
+            cursor::reference::generate_with(&params, ctx.stream("cursor"), from, to, w);
+        let mut ctx = SimContext::new(u64::from(i));
+        buf.clear();
+        cursor::synthesize_into(
             &params,
             ctx.stream("cursor"),
             from,
             to,
             w,
-        ));
-        let mut ctx = SimContext::new(u64::from(i));
-        black_box(cursor::stream_with(&params, ctx.stream("cursor"), from, to, w).count());
+            &mut scratch,
+            &mut buf,
+        );
+        assert_eq!(reference, buf, "kernel diverges from reference on move {i}");
     }
-    let (eager_t, a) = timed(|| {
+    let (reference_t, a) = timed(|| {
         let mut acc = 0.0f64;
         let mut samples = 0u64;
         for i in 0..config.traj_moves {
             let mut ctx = SimContext::new(u64::from(i));
             let (from, to, w) = move_endpoints(i);
-            let v = cursor::generate_with(&params, ctx.stream("cursor"), from, to, w);
+            let v = cursor::reference::generate_with(&params, ctx.stream("cursor"), from, to, w);
             samples += v.len() as u64;
             acc += v.iter().map(checksum).sum::<f64>();
             black_box(&v);
         }
         (acc, samples)
     });
-    let (stream_t, b) = timed(|| {
+    let (kernel_t, b) = timed(|| {
         let mut acc = 0.0f64;
         let mut samples = 0u64;
-        let mut buf: Vec<cursor::TrajectorySample> = Vec::new();
         for i in 0..config.traj_moves {
             let mut ctx = SimContext::new(u64::from(i));
             let (from, to, w) = move_endpoints(i);
             buf.clear();
-            buf.extend(cursor::stream_with(
+            cursor::synthesize_into(
                 &params,
                 ctx.stream("cursor"),
                 from,
                 to,
                 w,
-            ));
+                &mut scratch,
+                &mut buf,
+            );
             samples += buf.len() as u64;
             acc += buf.iter().map(checksum).sum::<f64>();
             black_box(&buf);
@@ -233,9 +259,87 @@ fn bench_trajectory(config: &BenchConfig) -> Comparison {
     assert_eq!(a, b, "trajectory sides disagree");
     Comparison {
         ops: u64::from(config.traj_moves),
-        baseline_s: eager_t.as_secs_f64(),
-        optimized_s: stream_t.as_secs_f64(),
+        baseline_s: reference_t.as_secs_f64(),
+        optimized_s: kernel_t.as_secs_f64(),
     }
+}
+
+/// Per-visit `(seed, content hash, planned steps)` for the batch-planning
+/// row, mirroring the step-count spread [`VisitTimeline`] derives from the
+/// site content hash (3–8 actions).
+fn plan_visit_shape(i: u32) -> (u64, u64, usize) {
+    let seed = splitmix64(0x706c_616e ^ u64::from(i));
+    let content_hash = splitmix64(seed);
+    let steps = 3 + ((content_hash >> 16) % 6) as usize;
+    (seed, content_hash, steps)
+}
+
+fn bench_batch_plan(config: &BenchConfig) -> (Comparison, u64) {
+    let params = HumanParams::paper_baseline();
+    let visits = config.plan_visits;
+    let mut planner = VisitPlanner::new();
+    let mut script: Vec<ScriptStep> = Vec::new();
+    // Differential anchor outside the timed loops: the batched planner
+    // must reproduce the per-action reference plan bit for bit.
+    for i in 0..visits.min(48) {
+        let (seed, hash, steps) = plan_visit_shape(i);
+        visit_script_into(hash, steps, &mut script);
+        let mut ctx = SimContext::new(seed);
+        let reference = plan_visit_unbatched(&params, &mut ctx, &script);
+        let mut ctx = SimContext::new(seed);
+        let batched = planner.plan_site_visit(&params, &mut ctx, hash, steps);
+        assert_eq!(&reference, batched, "planners disagree on visit {i}");
+    }
+    // Warm the arenas over every visit shape in the workload so the timed
+    // loop below runs at the steady-state high-water mark.
+    for i in 0..visits {
+        let (seed, hash, steps) = plan_visit_shape(i);
+        let mut ctx = SimContext::new(seed);
+        black_box(
+            planner
+                .plan_site_visit(&params, &mut ctx, hash, steps)
+                .total_ms(),
+        );
+    }
+    let (unbatched_t, a) = timed(|| {
+        let mut acc = 0.0f64;
+        for i in 0..visits {
+            let (seed, hash, steps) = plan_visit_shape(i);
+            let mut step_buf = Vec::new();
+            visit_script_into(hash, steps, &mut step_buf);
+            let mut ctx = SimContext::new(seed);
+            let plan = plan_visit_unbatched(&params, &mut ctx, &step_buf);
+            acc += plan.total_ms();
+            black_box(&plan);
+        }
+        acc
+    });
+    let frozen = planner.capacities();
+    let (batched_t, b) = timed(|| {
+        let mut acc = 0.0f64;
+        for i in 0..visits {
+            let (seed, hash, steps) = plan_visit_shape(i);
+            let mut ctx = SimContext::new(seed);
+            acc += planner
+                .plan_site_visit(&params, &mut ctx, hash, steps)
+                .total_ms();
+        }
+        acc
+    });
+    assert_eq!(a, b, "batch-plan sides disagree");
+    let arenas_grown = frozen
+        .iter()
+        .zip(planner.capacities().iter())
+        .filter(|(before, after)| before != after)
+        .count() as u64;
+    (
+        Comparison {
+            ops: u64::from(visits),
+            baseline_s: unbatched_t.as_secs_f64(),
+            optimized_s: batched_t.as_secs_f64(),
+        },
+        arenas_grown,
+    )
 }
 
 /// Drives one realistic session (clicks, typing, a full-page scroll, and
@@ -318,11 +422,14 @@ fn bench_recorder(config: &BenchConfig) -> (u64, Comparison) {
 pub fn run(config: BenchConfig) -> BenchReport {
     let hit_test = bench_hit_test(&config);
     let trajectory = bench_trajectory(&config);
+    let (batch_plan, plan_arenas_grown) = bench_batch_plan(&config);
     let (trace_events, recorder) = bench_recorder(&config);
     BenchReport {
         config,
         hit_test,
         trajectory,
+        batch_plan,
+        plan_arenas_grown,
         trace_events,
         recorder,
     }
@@ -359,22 +466,28 @@ impl BenchReport {
         format!(
             concat!(
                 "{{\n",
-                "  \"benchmark\": \"hlisa interaction fast path (hit test/trajectory/recorder)\",\n",
+                "  \"benchmark\": \"hlisa interaction fast path ",
+                "(hit test/trajectory/batch plan/recorder)\",\n",
                 "  \"config\": {{\"hit_elements\": {}, \"hit_passes\": {}, ",
-                "\"traj_moves\": {}, \"query_iters\": {}}},\n",
+                "\"traj_moves\": {}, \"plan_visits\": {}, \"query_iters\": {}}},\n",
                 "  \"trace_events\": {},\n",
+                "  \"plan_arenas_grown\": {},\n",
                 "  \"hit_test\": {},\n",
                 "  \"trajectory_synthesis\": {},\n",
+                "  \"batch_plan\": {},\n",
                 "  \"recorder_queries\": {}\n",
                 "}}\n"
             ),
             self.config.hit_elements,
             self.config.hit_passes,
             self.config.traj_moves,
+            self.config.plan_visits,
             self.config.query_iters,
             self.trace_events,
+            self.plan_arenas_grown,
             comparison_json(&self.hit_test, "probes"),
             comparison_json(&self.trajectory, "movements"),
+            comparison_json(&self.batch_plan, "visits"),
             comparison_json(&self.recorder, "queries"),
         )
     }
@@ -392,6 +505,11 @@ impl BenchReport {
         let mut out = String::from("interaction fast-path benchmark (baseline -> optimized)\n");
         out.push_str(&row("hit testing", &self.hit_test));
         out.push_str(&row("trajectory synth", &self.trajectory));
+        out.push_str(&row("batch plan", &self.batch_plan));
+        out.push_str(&format!(
+            "{:<18} {} arenas grew during the timed loop\n",
+            "  steady state", self.plan_arenas_grown
+        ));
         out.push_str(&row("recorder queries", &self.recorder));
         out
     }
@@ -408,6 +526,7 @@ mod tests {
         cfg.hit_elements = 50;
         cfg.hit_passes = 1;
         cfg.traj_moves = 5;
+        cfg.plan_visits = 4;
         cfg.query_iters = 2;
         let report = run(cfg);
         assert!(
@@ -415,10 +534,16 @@ mod tests {
             "{} events",
             report.trace_events
         );
+        assert_eq!(
+            report.plan_arenas_grown, 0,
+            "batch planner allocated in steady state"
+        );
         let json = report.to_json();
         for field in [
             "\"hit_test\"",
             "\"trajectory_synthesis\"",
+            "\"batch_plan\"",
+            "\"plan_arenas_grown\"",
             "\"recorder_queries\"",
             "\"speedup\"",
         ] {
@@ -426,6 +551,7 @@ mod tests {
         }
         let human = report.render_human();
         assert!(human.contains("recorder queries"));
+        assert!(human.contains("batch plan"));
     }
 
     #[test]

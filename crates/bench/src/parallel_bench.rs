@@ -12,6 +12,12 @@
 //!   (`peak resident shards × shard bytes`), against the bytes an eager
 //!   `generate_population` would pin for the whole campaign.
 //!
+//! A final `batch_plan` section runs the same campaign at the core-count
+//! worker level with the batch interaction planner off and on: the two
+//! outcome tables must be bit-identical (the plan draws from a forked
+//! context), and the throughput delta is the cost of synthesising every
+//! successful visit's full interaction plan at campaign pace.
+//!
 //! Every sweep entry must also produce identical per-shard summaries —
 //! the benchmark doubles as a scale check of the bit-identical-for-any-
 //! `instances` property on a population far larger than the test suite's.
@@ -23,7 +29,9 @@
 //! thread overlap the OS actually scheduled, so like elapsed time it can
 //! vary run to run — only its bound (`peak <= workers`) is guaranteed.
 
-use hlisa_crawler::campaign::{run_machine_shard_summaries, CampaignConfig};
+use hlisa_crawler::campaign::{
+    run_machine, run_machine_planned, run_machine_shard_summaries, CampaignConfig,
+};
 use hlisa_web::{generate_population, sites_bytes, ClientKind, PopulationConfig, PopulationShards};
 use std::time::Duration;
 
@@ -98,6 +106,47 @@ pub struct SweepEntry {
     pub peak_materialised_bytes: usize,
 }
 
+/// Campaign throughput with the batch interaction planner off vs on, at
+/// the core-count worker level. Planning synthesises every successful
+/// visit's full interaction plan (cursor samples, key transitions, wheel
+/// ticks) on top of the visit outcome, so the delta between the two rows
+/// is the per-visit cost of full-session interaction synthesis at
+/// campaign scale.
+#[derive(Debug, Clone)]
+pub struct PlanThroughput {
+    /// Visits driven by each run.
+    pub visits: u64,
+    /// Elapsed seconds with planning off.
+    pub off_s: f64,
+    /// Elapsed seconds with planning on.
+    pub on_s: f64,
+    /// Planned actions across all successful visits.
+    pub actions: u64,
+    /// Planned cursor samples across all successful visits.
+    pub samples: u64,
+    /// Planned key transitions across all successful visits.
+    pub keys: u64,
+    /// Planned wheel ticks across all successful visits.
+    pub ticks: u64,
+}
+
+impl PlanThroughput {
+    /// Visits/sec with planning off.
+    pub fn off_rate(&self) -> f64 {
+        self.visits as f64 / self.off_s.max(1e-12)
+    }
+
+    /// Visits/sec with planning on.
+    pub fn on_rate(&self) -> f64 {
+        self.visits as f64 / self.on_s.max(1e-12)
+    }
+
+    /// Throughput retained with planning on (`on_rate / off_rate`).
+    pub fn throughput_ratio(&self) -> f64 {
+        self.on_rate() / self.off_rate().max(1e-12)
+    }
+}
+
 /// One shard's folded results — tiny, so a 1M-site campaign keeps one of
 /// these per shard instead of a `SiteResult` per site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +176,8 @@ pub struct ParallelBenchReport {
     pub sweep: Vec<SweepEntry>,
     /// Efficiency of the entry whose `instances` equals the core count.
     pub efficiency_at_max_cores: f64,
+    /// Campaign throughput with the batch interaction planner off vs on.
+    pub batch_plan: PlanThroughput,
 }
 
 fn timed<R>(f: impl FnOnce() -> R) -> (Duration, R) {
@@ -145,6 +196,7 @@ fn campaign_config(bench: &ParallelBenchConfig, instances: usize) -> CampaignCon
         visits_per_site: bench.visits_per_site,
         instances,
         world_cache: true,
+        plan_interactions: false,
     }
 }
 
@@ -222,6 +274,28 @@ pub fn run(config: ParallelBenchConfig) -> ParallelBenchReport {
         .find(|e| e.instances == cores)
         .map_or(0.0, |e| e.efficiency);
 
+    // Planner off vs on over the same campaign at the core-count worker
+    // level. The outcome table must be bit-identical either way — the
+    // plan draws from a forked context, never the visit stream.
+    let sites = generate_population(&population);
+    let plan_cfg = campaign_config(&config, cores);
+    let (off_t, baseline_run) = timed(|| run_machine(&plan_cfg, &sites, ClientKind::OpenWpm));
+    let (on_t, (planned_run, totals)) =
+        timed(|| run_machine_planned(&plan_cfg, &sites, ClientKind::OpenWpm));
+    assert_eq!(
+        baseline_run, planned_run,
+        "planned campaign diverged from the unplanned run"
+    );
+    let batch_plan = PlanThroughput {
+        visits: (config.n_sites * config.visits_per_site) as u64,
+        off_s: off_t.as_secs_f64(),
+        on_s: on_t.as_secs_f64(),
+        actions: totals.actions,
+        samples: totals.samples,
+        keys: totals.keys,
+        ticks: totals.ticks,
+    };
+
     ParallelBenchReport {
         config,
         cores,
@@ -231,6 +305,7 @@ pub fn run(config: ParallelBenchConfig) -> ParallelBenchReport {
         shard_setup_s: setup_t.as_secs_f64(),
         sweep,
         efficiency_at_max_cores,
+        batch_plan,
     }
 }
 
@@ -277,7 +352,11 @@ impl ParallelBenchReport {
                 "  \"population\": {{\"eager_bytes\": {}, \"shard_bookkeeping_bytes\": {}, ",
                 "\"eager_generation_s\": {}, \"shard_setup_s\": {}}},\n",
                 "  \"sweep\": [\n{}\n  ],\n",
-                "  \"parallel_efficiency_at_max_cores\": {}\n",
+                "  \"parallel_efficiency_at_max_cores\": {},\n",
+                "  \"batch_plan\": {{\"visits\": {}, \"plan_off_s\": {}, \"plan_on_s\": {}, ",
+                "\"plan_off_visits_per_sec\": {}, \"plan_on_visits_per_sec\": {}, ",
+                "\"throughput_ratio\": {}, \"actions\": {}, \"samples\": {}, ",
+                "\"keys\": {}, \"ticks\": {}}}\n",
                 "}}\n"
             ),
             self.config.n_sites,
@@ -290,6 +369,16 @@ impl ParallelBenchReport {
             json_num(self.shard_setup_s),
             sweep_rows.join(",\n"),
             json_num(self.efficiency_at_max_cores),
+            self.batch_plan.visits,
+            json_num(self.batch_plan.off_s),
+            json_num(self.batch_plan.on_s),
+            json_num(self.batch_plan.off_rate()),
+            json_num(self.batch_plan.on_rate()),
+            json_num(self.batch_plan.throughput_ratio()),
+            self.batch_plan.actions,
+            self.batch_plan.samples,
+            self.batch_plan.keys,
+            self.batch_plan.ticks,
         )
     }
 
@@ -324,6 +413,17 @@ impl ParallelBenchReport {
         out.push_str(&format!(
             "efficiency at max cores: {:.2}\n",
             self.efficiency_at_max_cores
+        ));
+        out.push_str(&format!(
+            concat!(
+                "batch planner: {:.0} visits/s off -> {:.0} visits/s on ",
+                "({:.0}% retained; {} actions, {} samples planned)\n"
+            ),
+            self.batch_plan.off_rate(),
+            self.batch_plan.on_rate(),
+            self.batch_plan.throughput_ratio() * 100.0,
+            self.batch_plan.actions,
+            self.batch_plan.samples,
         ));
         out
     }
@@ -362,15 +462,22 @@ mod tests {
             assert!(e.peak_resident_shards >= 1);
             assert!(e.peak_materialised_bytes < report.eager_population_bytes);
         }
+        // The planner drove real visits and synthesised real interaction.
+        assert!(report.batch_plan.actions > 0);
+        assert!(report.batch_plan.samples > report.batch_plan.actions);
         let json = report.to_json();
         for field in [
             "\"sweep\"",
             "\"parallel_efficiency_at_max_cores\"",
             "\"peak_resident_shards\"",
             "\"eager_bytes\"",
+            "\"batch_plan\"",
+            "\"throughput_ratio\"",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }
-        assert!(report.render_human().contains("efficiency at max cores"));
+        let human = report.render_human();
+        assert!(human.contains("efficiency at max cores"));
+        assert!(human.contains("batch planner"));
     }
 }

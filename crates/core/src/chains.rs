@@ -12,13 +12,13 @@
 //! Selenium calls — which is what makes HLISA "resistant to changes in the
 //! Selenium source code that do not affect the Selenium API".
 
-use crate::motion::{plan_motion_into, trajectory_to_actions_into, MotionStyle};
+use crate::motion::{plan_motion_scratch, trajectory_to_actions_into, MotionStyle};
 use crate::scrolling::plan_hlisa_scroll_into;
 use crate::typing::{plan_consistent_typing_into, plan_hlisa_typing_into};
 use hlisa_browser::events::MouseButton;
 use hlisa_browser::Point;
 use hlisa_human::click::{sample_click_point, sample_double_click_gap_ms, sample_dwell_ms};
-use hlisa_human::cursor::TrajectorySample;
+use hlisa_human::cursor::{StrokeScratch, TrajectorySample};
 use hlisa_human::typing::PlannedKeyEvent;
 use hlisa_human::HumanParams;
 use hlisa_sim::SimContext;
@@ -64,6 +64,7 @@ pub struct HlisaActionChains {
     sample_buf: Vec<TrajectorySample>,
     action_buf: Vec<Action>,
     key_events: Vec<PlannedKeyEvent>,
+    stroke_scratch: StrokeScratch,
 }
 
 impl HlisaActionChains {
@@ -90,6 +91,7 @@ impl HlisaActionChains {
             sample_buf: Vec::new(),
             action_buf: Vec::new(),
             key_events: Vec::new(),
+            stroke_scratch: StrokeScratch::new(),
         }
     }
 
@@ -230,6 +232,14 @@ impl HlisaActionChains {
 
     /// Executes the chain against a session.
     pub fn perform(mut self, session: &mut Session) -> Result<(), WebDriverError> {
+        self.perform_mut(session)
+    }
+
+    /// Executes the chain without consuming it: the queue drains but the
+    /// chain — its context, scratch buffers, and their capacities —
+    /// survives, so a driver can queue and perform repeatedly with zero
+    /// steady-state allocations. [`perform`](Self::perform) delegates here.
+    pub fn perform_mut(&mut self, session: &mut Session) -> Result<(), WebDriverError> {
         // HLISA's create_pointer_move override (the canonical 50 ms floor
         // lives in hlisa-webdriver), plus clock unification: the session's
         // browser and this chain's context observe the same instant.
@@ -240,6 +250,20 @@ impl HlisaActionChains {
             self.run_step(session, step)?;
         }
         Ok(())
+    }
+
+    /// Current scratch capacities `[samples, actions, key events, tremor
+    /// spill, basis spill]`. Capacities that stop growing across performs
+    /// prove the chain's hot paths are allocation-free in steady state.
+    pub fn scratch_capacities(&self) -> [usize; 5] {
+        let (tremor, basis) = self.stroke_scratch.spill_capacities();
+        [
+            self.sample_buf.capacity(),
+            self.action_buf.capacity(),
+            self.key_events.capacity(),
+            tremor,
+            basis,
+        ]
     }
 
     // ------------------------------------------------------------------
@@ -398,13 +422,14 @@ impl HlisaActionChains {
     /// buffers, so steady-state movement allocates nothing.
     fn human_move(&mut self, session: &mut Session, to: Point, target_w: f64) {
         let from = session.browser.mouse_position();
-        plan_motion_into(
+        plan_motion_scratch(
             MotionStyle::hlisa(),
             &self.params,
             self.ctx.stream("motion"),
             from,
             to,
             target_w,
+            &mut self.stroke_scratch,
             &mut self.sample_buf,
         );
         trajectory_to_actions_into(&self.sample_buf, HLISA_MIN_MOVE_MS, &mut self.action_buf);

@@ -15,7 +15,7 @@
 //! baseline and the Appendix G comparator tools.
 
 use hlisa_browser::Point;
-use hlisa_human::cursor::{min_jerk_progress, TrajectorySample};
+use hlisa_human::cursor::{min_jerk_progress, StrokeScratch, TrajectorySample};
 use hlisa_human::HumanParams;
 use hlisa_sim::SimContext;
 use hlisa_stats::Normal;
@@ -132,17 +132,38 @@ pub fn plan_motion_into<R: Rng + ?Sized>(
     target_w: f64,
     out: &mut Vec<TrajectorySample>,
 ) {
+    // A `StrokeScratch` is stack-cheap to construct (its spill `Vec`s stay
+    // unallocated for ordinary strokes), so the scratch-free form simply
+    // delegates; hot paths hold their own scratch and call
+    // [`plan_motion_scratch`] directly.
+    let mut scratch = StrokeScratch::new();
+    plan_motion_scratch(style, params, rng, from, to, target_w, &mut scratch, out);
+}
+
+/// Like [`plan_motion_into`], additionally reusing a caller-retained
+/// [`StrokeScratch`] for the HLISA-style trajectory kernel, so a long
+/// action chain plans every movement without heap traffic. Draw order is
+/// identical to [`plan_motion_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn plan_motion_scratch<R: Rng + ?Sized>(
+    style: MotionStyle,
+    params: &HumanParams,
+    rng: &mut R,
+    from: Point,
+    to: Point,
+    target_w: f64,
+    scratch: &mut StrokeScratch,
+    out: &mut Vec<TrajectorySample>,
+) {
     out.clear();
     // HLISA's style *is* the measured human motion model (§4.1 uses "the
     // speed, acceleration and jitter of the mouse movement observed in
     // the experiment as a baseline"), so it delegates to the canonical
     // generator — including the two-phase aim-and-correct kinematics.
-    // The streaming form yields samples without an intermediate `Vec`
-    // and is bit-identical to the eager generator.
+    // The fixed-capacity kernel is bit-identical to the historic eager
+    // generator (pinned by the kernel differential tests).
     if style == MotionStyle::hlisa() {
-        out.extend(hlisa_human::cursor::stream_with(
-            params, rng, from, to, target_w,
-        ));
+        hlisa_human::cursor::synthesize_into(params, rng, from, to, target_w, scratch, out);
         return;
     }
     let dist = from.distance_to(to);

@@ -11,11 +11,13 @@
 //! [`PopulationShards`] source where a shard's sites are materialised
 //! only while a worker holds them.
 
+use crate::scenario::ScenarioScratch;
+use hlisa_human::{HumanParams, VisitPlanner};
 use hlisa_sim::SimContext;
 use hlisa_web::visit::DetectorRuntime;
 use hlisa_web::{
-    generate_population, simulate_visit, ClientKind, PopulationConfig, PopulationShards, Site,
-    VisitOutcome, DEFAULT_SHARD_SIZE,
+    generate_population, simulate_visit, simulate_visit_planned, ClientKind, PlanStats,
+    PopulationConfig, PopulationShards, Site, VisitOutcome, DEFAULT_SHARD_SIZE,
 };
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,6 +40,12 @@ pub struct CampaignConfig {
     /// original cost model). Campaign output is bit-identical either way —
     /// world construction consumes no RNG — so this only trades speed.
     pub world_cache: bool,
+    /// Drive every successful visit off a batch [`VisitPlanner`] (one
+    /// reusable arena per worker). The plan draws only from a `"plan"`
+    /// fork of each visit context, so campaign outcomes are bit-identical
+    /// with the mode on or off; planning adds per-visit interaction
+    /// synthesis and per-worker [`PlanStats`] totals.
+    pub plan_interactions: bool,
 }
 
 impl Default for CampaignConfig {
@@ -48,6 +56,29 @@ impl Default for CampaignConfig {
             visits_per_site: 8,
             instances: 8,
             world_cache: true,
+            plan_interactions: false,
+        }
+    }
+}
+
+/// Worker-local visit state: the scenario drive's persistent agent plus,
+/// in planner mode, the batch interaction planner and its running totals.
+/// One lives per worker thread for the worker's whole shard stream, so
+/// every scratch buffer reaches its high-water capacity once and is then
+/// reused visit after visit.
+pub(crate) struct VisitWorker {
+    scenario: ScenarioScratch,
+    planner: Option<(HumanParams, VisitPlanner)>,
+    plan_totals: PlanStats,
+}
+
+impl VisitWorker {
+    pub(crate) fn new(plan_interactions: bool) -> Self {
+        Self {
+            scenario: ScenarioScratch::new(),
+            planner: plan_interactions
+                .then(|| (HumanParams::paper_baseline(), VisitPlanner::new())),
+            plan_totals: PlanStats::default(),
         }
     }
 }
@@ -338,11 +369,11 @@ fn run_shard_summaries_with<S: Send + Sync>(
     let (slots, _) = run_sharded(
         config.instances,
         &source,
-        &|| (),
-        &|_: &mut (), k, _base, sites| {
+        &|| VisitWorker::new(config.plan_interactions),
+        &|worker: &mut VisitWorker, k, _base, sites| {
             let results: Vec<SiteResult> = sites
                 .iter()
-                .map(|site| visit_site(config, site, client, &runtime, &machine_ctx))
+                .map(|site| visit_site(config, site, client, &runtime, &machine_ctx, worker))
                 .collect();
             let summary = summarise(k, results);
             record(k, &summary);
@@ -396,29 +427,45 @@ pub(crate) fn machine_context(config: &CampaignConfig, client: ClientKind) -> Si
 }
 
 /// All visits of one site by one machine — the per-site unit of work,
-/// identical whichever worker claims it and whenever it runs.
+/// identical whichever worker claims it and whenever it runs. The worker
+/// state carries only reusable scratch (and planner totals): nothing in
+/// it can influence a draw, so any worker produces the same result.
 fn visit_site(
     config: &CampaignConfig,
     site: &Site,
     client: ClientKind,
     runtime: &DetectorRuntime,
     machine_ctx: &SimContext,
+    worker: &mut VisitWorker,
 ) -> SiteResult {
     let outcomes: Vec<VisitOutcome> = (0..config.visits_per_site)
         .map(|v| {
             let mut ctx = machine_ctx.fork_visit(&site.domain, v as u64);
-            let mut outcome = simulate_visit(site, client, runtime, &mut ctx);
+            let mut outcome = match &mut worker.planner {
+                // Planner mode: the same visit attempt, plus the batch
+                // interaction plan laid into the worker's arena from the
+                // visit's "plan" fork — the "visit" stream (and so the
+                // outcome) is untouched.
+                Some((params, planner)) => {
+                    let (outcome, stats) =
+                        simulate_visit_planned(site, client, runtime, &mut ctx, params, planner);
+                    worker.plan_totals.absorb(stats);
+                    outcome
+                }
+                None => simulate_visit(site, client, runtime, &mut ctx),
+            };
             // Dynamic-page sites additionally run the scenario drive; it
             // draws only from its own forked streams, so populations
             // without scenarios stay bit-identical.
             if let Some(kind) = site.scenario {
-                crate::scenario::apply_scenario_drive(
+                crate::scenario::apply_scenario_drive_with(
                     config.seed,
                     site,
                     kind,
                     client,
                     &mut outcome,
                     &mut ctx,
+                    &mut worker.scenario,
                 );
             }
             outcome
@@ -437,22 +484,64 @@ fn run_machine_source(
     client: ClientKind,
     runtime: &DetectorRuntime,
 ) -> MachineRun {
+    run_machine_source_totals(config, source, client, runtime).0
+}
+
+/// The engine behind every plain machine run: shard-claiming workers,
+/// each holding one [`VisitWorker`] for its whole shard stream. Returns
+/// the machine run plus the summed per-worker [`PlanStats`] (all zero
+/// unless `config.plan_interactions`); the totals are sums over visits,
+/// so they are identical for any worker count and claiming order.
+fn run_machine_source_totals(
+    config: &CampaignConfig,
+    source: &SiteSource<'_>,
+    client: ClientKind,
+    runtime: &DetectorRuntime,
+) -> (MachineRun, PlanStats) {
     let machine_ctx = machine_context(config, client);
-    let (slots, _) = run_sharded(
+    let (slots, workers) = run_sharded(
         config.instances,
         source,
-        &|| (),
-        &|_: &mut (), _k, _base, sites| {
+        &|| VisitWorker::new(config.plan_interactions),
+        &|worker: &mut VisitWorker, _k, _base, sites| {
             sites
                 .iter()
-                .map(|site| visit_site(config, site, client, runtime, &machine_ctx))
+                .map(|site| visit_site(config, site, client, runtime, &machine_ctx, worker))
                 .collect::<Vec<SiteResult>>()
         },
     );
-    MachineRun {
-        client,
-        sites: collect_results(slots, source),
+    let mut totals = PlanStats::default();
+    for w in &workers {
+        totals.absorb(w.plan_totals);
     }
+    (
+        MachineRun {
+            client,
+            sites: collect_results(slots, source),
+        },
+        totals,
+    )
+}
+
+/// [`run_machine`] in batch-planner mode: every successful visit is
+/// driven off the worker's reusable [`VisitPlanner`] arena, and the
+/// summed plan totals come back alongside the (bit-identical) run.
+pub fn run_machine_planned(
+    config: &CampaignConfig,
+    sites: &[Site],
+    client: ClientKind,
+) -> (MachineRun, PlanStats) {
+    let mut planned = config.clone();
+    planned.plan_interactions = true;
+    run_machine_source_totals(
+        &planned,
+        &SiteSource::Slice {
+            sites,
+            shard_size: DEFAULT_SHARD_SIZE,
+        },
+        client,
+        &new_runtime(&planned),
+    )
 }
 
 /// Reassembles the per-shard write-once slots into population order,
@@ -504,6 +593,7 @@ mod tests {
             visits_per_site: 4,
             instances: 4,
             world_cache: true,
+            plan_interactions: false,
         }
     }
 
@@ -537,6 +627,31 @@ mod tests {
         let a = run_campaign(&cached);
         let b = run_campaign(&fresh);
         assert_eq!(a, b, "world snapshot cache must not change any outcome");
+    }
+
+    /// The batch planner drives real campaign visits without changing a
+    /// single outcome, and its totals are invariant to worker count and
+    /// claiming order.
+    #[test]
+    fn planned_campaign_is_bit_identical_with_thread_invariant_totals() {
+        let config = small_config();
+        let sites = generate_population(&config.population);
+        for client in [ClientKind::OpenWpm, ClientKind::OpenWpmSpoofed] {
+            let baseline = run_machine(&config, &sites, client);
+            let (planned, totals) = run_machine_planned(&config, &sites, client);
+            assert_eq!(planned, baseline, "{client:?}: planning changed outcomes");
+            assert!(totals.actions > 0, "{client:?}: planner saw no visits");
+            assert!(totals.samples > totals.actions, "{client:?}: empty plans");
+            // Totals are sums over visits: any partition of the shard
+            // stream over workers lands on the same numbers.
+            for instances in [1usize, 3, 8] {
+                let mut cfg = config.clone();
+                cfg.instances = instances;
+                let (run, t) = run_machine_planned(&cfg, &sites, client);
+                assert_eq!(run, baseline, "{client:?}/{instances} workers diverged");
+                assert_eq!(t, totals, "{client:?}/{instances} totals diverged");
+            }
+        }
     }
 
     #[test]

@@ -430,6 +430,7 @@ mod tests {
             visits_per_site: 4,
             instances: 4,
             world_cache: true,
+            plan_interactions: false,
         }
     }
 
@@ -550,6 +551,7 @@ mod tests {
             visits_per_site: 4,
             instances: 2,
             world_cache: true,
+            plan_interactions: false,
         }
     }
 

@@ -22,7 +22,7 @@ pub mod screenshot;
 pub mod sink;
 
 pub use campaign::{
-    run_campaign, run_machine, run_machine_lazy, run_machine_shard_summaries,
+    run_campaign, run_machine, run_machine_lazy, run_machine_planned, run_machine_shard_summaries,
     run_machine_shard_summaries_persistent, run_machine_sharded, Campaign, CampaignConfig,
     MachineRun, SiteResult,
 };
@@ -37,5 +37,6 @@ pub use reliability::{
     DriftReport, MetricDrift, ReliabilityStudy,
 };
 pub use report::{recovery_csv, status_codes_csv, table2_csv, visits_csv};
+pub use scenario::ScenarioScratch;
 pub use screenshot::{screenshot_table, Table2, Table2Row};
 pub use sink::{ShardRecord, ShardSummarySink};

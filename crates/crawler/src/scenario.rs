@@ -45,6 +45,40 @@ pub fn scenario_page(site: &Site, kind: ScenarioKind, campaign_seed: u64) -> Gen
     page
 }
 
+/// Worker-retained scratch for the HLISA scenario drives: one persistent
+/// [`HumanAgent`] rebound to each visit's forked context instead of built
+/// fresh per drive, so recovery steps (banner dismiss, re-locate,
+/// re-click) reuse the agent's trajectory and typing buffers. Rebinding
+/// changes no draw — the agent's streams come wholly from the fork — so
+/// drives through a reused scratch are bit-identical to fresh-agent
+/// drives (pinned by a regression test).
+#[derive(Debug, Clone)]
+pub struct ScenarioScratch {
+    human: HumanAgent,
+}
+
+impl ScenarioScratch {
+    /// A fresh scratch with cold buffers.
+    pub fn new() -> Self {
+        Self {
+            human: HumanAgent::with_context(HumanParams::paper_baseline(), SimContext::new(0)),
+        }
+    }
+
+    /// The retained agent's scratch capacities (see
+    /// [`HumanAgent::scratch_capacities`]) — frozen capacities across
+    /// drives prove the recovery hot path allocates nothing.
+    pub fn capacities(&self) -> [usize; 4] {
+        self.human.scratch_capacities()
+    }
+}
+
+impl Default for ScenarioScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Runs the scenario drive for one visit and overrides the screenshot
 /// verdict when the drive fails. Visits that never rendered normally
 /// (blocked, CAPTCHA'd, flaky, …) keep their original outcome: the
@@ -58,10 +92,34 @@ pub fn apply_scenario_drive(
     outcome: &mut VisitOutcome,
     ctx: &mut SimContext,
 ) {
+    let mut scratch = ScenarioScratch::new();
+    apply_scenario_drive_with(
+        campaign_seed,
+        site,
+        kind,
+        client,
+        outcome,
+        ctx,
+        &mut scratch,
+    );
+}
+
+/// Like [`apply_scenario_drive`], reusing a worker-retained
+/// [`ScenarioScratch`] — the campaign engine's per-worker form.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_scenario_drive_with(
+    campaign_seed: u64,
+    site: &Site,
+    kind: ScenarioKind,
+    client: ClientKind,
+    outcome: &mut VisitOutcome,
+    ctx: &mut SimContext,
+    scratch: &mut ScenarioScratch,
+) {
     if !outcome.successful || outcome.visual != VisualOutcome::Normal {
         return;
     }
-    if !drive_scenario(site, kind, client, campaign_seed, ctx) {
+    if !drive_scenario_with(site, kind, client, campaign_seed, ctx, scratch) {
         outcome.visual = kind.failure_outcome();
     }
 }
@@ -75,10 +133,23 @@ pub fn drive_scenario(
     campaign_seed: u64,
     ctx: &mut SimContext,
 ) -> bool {
+    let mut scratch = ScenarioScratch::new();
+    drive_scenario_with(site, kind, client, campaign_seed, ctx, &mut scratch)
+}
+
+/// Like [`drive_scenario`], reusing a worker-retained scratch.
+pub fn drive_scenario_with(
+    site: &Site,
+    kind: ScenarioKind,
+    client: ClientKind,
+    campaign_seed: u64,
+    ctx: &mut SimContext,
+    scratch: &mut ScenarioScratch,
+) -> bool {
     let page = scenario_page(site, kind, campaign_seed);
     match client {
         ClientKind::OpenWpm => drive_selenium(page, kind, ctx),
-        ClientKind::OpenWpmSpoofed => drive_hlisa(page, kind, ctx),
+        ClientKind::OpenWpmSpoofed => drive_hlisa(page, kind, ctx, scratch),
     }
 }
 
@@ -176,10 +247,18 @@ fn drive_selenium(page: GeneratedPage, kind: ScenarioKind, ctx: &SimContext) -> 
 /// Machine (2): the HLISA drive. Raw OS input from the human models —
 /// the agent notices the overlay and dismisses it first, scrolls with
 /// real wheel ticks, and re-queries the DOM after the app re-renders.
-fn drive_hlisa(page: GeneratedPage, kind: ScenarioKind, ctx: &mut SimContext) -> bool {
+/// The scratch's persistent agent is rebound to this visit's fork, so
+/// recovery steps run through warm buffers instead of re-planning from a
+/// fresh agent.
+fn drive_hlisa(
+    page: GeneratedPage,
+    kind: ScenarioKind,
+    ctx: &mut SimContext,
+    scratch: &mut ScenarioScratch,
+) -> bool {
     let mut browser = Browser::open(BrowserConfig::webdriver(), page.doc);
-    let mut human =
-        HumanAgent::with_context(HumanParams::paper_baseline(), ctx.fork("scenario", 0));
+    scratch.human.rebind(ctx.fork("scenario", 0));
+    let human = &mut scratch.human;
     human.bind_browser(&browser);
     match kind {
         ScenarioKind::CookieBanner => {
@@ -302,6 +381,56 @@ mod tests {
             )
         };
         assert_eq!(run(5), run(5));
+    }
+
+    /// Satellite regression: the banner-dismiss + re-click recovery drive
+    /// through a reused scratch (a) matches the fresh-agent drive exactly
+    /// and (b) allocates no new plan buffers once warm — capacities are
+    /// frozen across repeat drives.
+    #[test]
+    fn reused_scenario_scratch_is_warm_and_bit_identical() {
+        let site = scenario_site(ScenarioKind::CookieBanner);
+        let mut scratch = ScenarioScratch::new();
+        // Warm-up: one drive of each scenario shape grows every buffer to
+        // its high-water mark.
+        for kind in ScenarioKind::ALL {
+            let mut ctx = SimContext::new(31).fork_visit(&site.domain, 0);
+            drive_scenario_with(
+                &site,
+                kind,
+                ClientKind::OpenWpmSpoofed,
+                42,
+                &mut ctx,
+                &mut scratch,
+            );
+        }
+        let warm = scratch.capacities();
+        for visit in 0..6u64 {
+            let mut reused_ctx = SimContext::new(31).fork_visit(&site.domain, visit);
+            let reused = drive_scenario_with(
+                &site,
+                ScenarioKind::CookieBanner,
+                ClientKind::OpenWpmSpoofed,
+                42,
+                &mut reused_ctx,
+                &mut scratch,
+            );
+            let mut fresh_ctx = SimContext::new(31).fork_visit(&site.domain, visit);
+            let fresh = drive_scenario(
+                &site,
+                ScenarioKind::CookieBanner,
+                ClientKind::OpenWpmSpoofed,
+                42,
+                &mut fresh_ctx,
+            );
+            assert_eq!(reused, fresh, "visit {visit}: reuse changed the verdict");
+            assert!(reused, "banner recovery must succeed");
+            assert_eq!(
+                scratch.capacities(),
+                warm,
+                "visit {visit}: recovery re-allocated plan buffers"
+            );
+        }
     }
 
     #[test]

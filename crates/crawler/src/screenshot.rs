@@ -122,6 +122,7 @@ mod tests {
             visits_per_site: 6,
             instances: 4,
             world_cache: true,
+            plan_interactions: false,
         })
     }
 
@@ -182,6 +183,7 @@ mod tests {
             visits_per_site: 6,
             instances: 4,
             world_cache: true,
+            plan_interactions: false,
         });
         let t = screenshot_table(&c);
         // Each scenario class fills its own row on machine (1): every

@@ -18,7 +18,7 @@
 
 use crate::params::HumanParams;
 use hlisa_browser::Point;
-use hlisa_sim::{SimContext, SliceDraws};
+use hlisa_sim::SimContext;
 use hlisa_stats::Normal;
 use rand::Rng;
 
@@ -109,6 +109,32 @@ impl StrokeBasis {
             StrokeBasis::Owned(row) => row[i],
         }
     }
+
+    /// Fused evaluate-row-into-buffer path: the basis row for an `n`-panel
+    /// stroke as a contiguous slice, without a per-stroke allocation. Rows
+    /// within the shared bound come straight from the process-wide table;
+    /// longer rows are evaluated into `spill`, a caller-retained buffer
+    /// whose capacity survives across strokes. The values are identical to
+    /// [`StrokeBasis::for_stroke`] + [`StrokeBasis::get`] in every case
+    /// (same [`compute_basis_row`] expressions).
+    pub(crate) fn row_into(n: usize, spill: &mut Vec<BasisSample>) -> &[BasisSample] {
+        if n <= BASIS_SHARED_MAX_N {
+            let rows = BASIS_ROWS
+                .get_or_init(|| (0..=BASIS_SHARED_MAX_N).map(compute_basis_row).collect());
+            &rows[n]
+        } else {
+            spill.clear();
+            spill.extend((0..=n).map(|i| {
+                let tau = i as f64 / n as f64;
+                BasisSample {
+                    tau,
+                    s: min_jerk_progress(tau),
+                    envelope: (std::f64::consts::PI * tau).sin(),
+                }
+            }));
+            spill
+        }
+    }
 }
 
 /// Draws a stroke's AR(1)-filtered tremor values in one batched pass:
@@ -120,10 +146,10 @@ impl StrokeBasis {
 /// and post-fill RNG state are therefore bit-identical to drawing one
 /// jitter inside the sample loop (pinned by a differential test).
 fn fill_tremor<R: Rng + ?Sized>(rng: &mut R, jitter: &Normal, out: &mut [f64]) {
-    // Reborrow so `Self = &mut R` is `Sized` for the batched fill even
-    // though `R` itself may be unsized.
-    let mut stream = &mut *rng;
-    SliceDraws::fill_f64s_with(&mut stream, out, |r| jitter.sample(r));
+    // Split-phase polar fill: the rejection draws run in a tight RNG-only
+    // loop, the ln/sqrt transform runs over the dense accepted block — same
+    // draws, same values, same post state as a per-slot `sample` loop.
+    jitter.fill_samples(rng, out);
     let mut tremor = 0.0f64;
     for slot in out {
         tremor = 0.7 * tremor + 0.3 * *slot;
@@ -458,8 +484,54 @@ impl<R: Rng + ?Sized> Iterator for TrajectoryStream<'_, R> {
     }
 }
 
+/// Reusable working memory for the fixed-capacity stroke kernel.
+///
+/// The common case (every stroke the Fitts model can produce at the 8 ms
+/// sample interval) runs entirely out of the inline tremor buffer and the
+/// shared basis table — no heap traffic at all. Strokes past
+/// [`BASIS_SHARED_MAX_N`] spill to the two retained `Vec`s, which allocate
+/// once and keep their capacity across calls, so steady-state synthesis
+/// performs zero allocations regardless of stroke length.
+#[derive(Debug, Clone)]
+pub struct StrokeScratch {
+    /// Inline tremor buffer covering every shared-basis stroke.
+    tremor_inline: [f64; BASIS_SHARED_MAX_N + 1],
+    /// Heap spill for tremor values of strokes past the shared bound.
+    tremor_spill: Vec<f64>,
+    /// Heap spill for basis rows of strokes past the shared bound.
+    basis_spill: Vec<BasisSample>,
+}
+
+impl StrokeScratch {
+    /// A fresh scratch with empty spill buffers.
+    pub fn new() -> Self {
+        Self {
+            tremor_inline: [0.0; BASIS_SHARED_MAX_N + 1],
+            tremor_spill: Vec::new(),
+            basis_spill: Vec::new(),
+        }
+    }
+
+    /// Current heap capacities `(tremor spill, basis spill)`. A reused
+    /// scratch whose capacities stop changing performs no further
+    /// allocations — tests and benches assert steady state through this.
+    pub fn spill_capacities(&self) -> (usize, usize) {
+        (self.tremor_spill.capacity(), self.basis_spill.capacity())
+    }
+}
+
+impl Default for StrokeScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Like [`generate`], drawing from an explicit RNG stream. For planners
 /// that compose several models on a single stream of their own.
+///
+/// This is a convenience wrapper over [`synthesize_into`] with a fresh
+/// scratch and output buffer; hot paths should hold a [`StrokeScratch`]
+/// and a reused `Vec` and call the kernel directly.
 pub fn generate_with<R: Rng + ?Sized>(
     params: &HumanParams,
     rng: &mut R,
@@ -467,13 +539,39 @@ pub fn generate_with<R: Rng + ?Sized>(
     to: Point,
     target_w: f64,
 ) -> Vec<TrajectorySample> {
+    let mut out = Vec::new();
+    let mut scratch = StrokeScratch::new();
+    synthesize_into(params, rng, from, to, target_w, &mut scratch, &mut out);
+    out
+}
+
+/// The movement kernel: appends a full cursor movement to `out`, reusing
+/// `scratch` for all intermediate storage.
+///
+/// Draw order, sample values, and post-RNG state are bit-identical to the
+/// historic eager generator (retained as [`reference::generate_with`] and
+/// pinned by differential tests): structural draws (duration factor,
+/// two-phase decision, aim error), then per stroke the curve amplitude and
+/// the batched tremor fill. Appending (rather than clearing) is what lets a
+/// visit-level planner lay every movement of an action chain into one
+/// arena.
+pub fn synthesize_into<R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &mut R,
+    from: Point,
+    to: Point,
+    target_w: f64,
+    scratch: &mut StrokeScratch,
+    out: &mut Vec<TrajectorySample>,
+) {
     let dist = from.distance_to(to);
     if dist < 1e-9 {
-        return vec![TrajectorySample {
+        out.push(TrajectorySample {
             t_ms: 0.0,
             x: to.x,
             y: to.y,
-        }];
+        });
+        return;
     }
     // Duration from Fitts's law, with ±12% natural variation.
     let base = params.fitts_duration_ms(dist, target_w);
@@ -482,7 +580,8 @@ pub fn generate_with<R: Rng + ?Sized>(
     // Long aimed movements land off target first, then correct.
     let two_phase = dist > 250.0 && rng.gen_bool(0.6);
     if !two_phase {
-        return single_stroke(params, rng, from, to, duration, 0.0);
+        stroke_into(params, rng, from, to, duration, 0.0, scratch, out, false);
+        return;
     }
 
     // Primary stroke: aim error along the movement axis, a few percent of
@@ -492,24 +591,50 @@ pub fn generate_with<R: Rng + ?Sized>(
         (Normal::new(-0.01 * dist, 0.035 * dist).sample(rng)).clamp(-0.12 * dist, 0.12 * dist);
     if err_mag.abs() < 6.0 {
         // Landed close enough that no separate correction is made.
-        return single_stroke(params, rng, from, to, duration, 0.0);
+        stroke_into(params, rng, from, to, duration, 0.0, scratch, out, false);
+        return;
     }
     let aim = Point::new(to.x + axis.0 * err_mag, to.y + axis.1 * err_mag);
 
-    let mut samples = single_stroke(params, rng, from, aim, duration * 0.82, 0.0);
-    let landing_t = samples.last().map(|s| s.t_ms).unwrap_or(0.0);
+    let base_len = out.len();
+    stroke_into(
+        params,
+        rng,
+        from,
+        aim,
+        duration * 0.82,
+        0.0,
+        scratch,
+        out,
+        false,
+    );
+    let landing_t = out[base_len..].last().map(|s| s.t_ms).unwrap_or(0.0);
 
     // Perceptual pause before the correction.
     let pause = rng.gen_range(30.0..90.0);
 
-    // Corrective submovement: brief and scaled to the residual error.
+    // Corrective submovement: brief and scaled to the residual error. The
+    // eager generator dropped the correction's first sample (it coincides
+    // with the primary's landing) *after* drawing its jitter; `skip_first`
+    // reproduces exactly that.
     let correction_duration = (70.0 + err_mag.abs() * 1.2).clamp(70.0, 180.0);
-    let correction = single_stroke(params, rng, aim, to, correction_duration, landing_t + pause);
-    samples.extend(correction.into_iter().skip(1));
-    samples
+    stroke_into(
+        params,
+        rng,
+        aim,
+        to,
+        correction_duration,
+        landing_t + pause,
+        scratch,
+        out,
+        true,
+    );
 }
 
 /// One min-jerk stroke along a jittered Bézier, starting at `t0`.
+///
+/// Wrapper over [`stroke_into`] kept for the differential tests.
+#[cfg(test)]
 fn single_stroke<R: Rng + ?Sized>(
     params: &HumanParams,
     rng: &mut R,
@@ -518,13 +643,57 @@ fn single_stroke<R: Rng + ?Sized>(
     duration: f64,
     t0: f64,
 ) -> Vec<TrajectorySample> {
+    let mut out = Vec::new();
+    let mut scratch = StrokeScratch::new();
+    stroke_into(
+        params,
+        rng,
+        from,
+        to,
+        duration,
+        t0,
+        &mut scratch,
+        &mut out,
+        false,
+    );
+    out
+}
+
+/// The stroke kernel: appends one min-jerk stroke to `out`.
+///
+/// Draw schedule (identical to the historic inline loop): curve amplitude
+/// (one normal + one bool), then the `n + 1` tremor jitters, batched into
+/// the scratch buffer by the split-phase fill. Within a stroke nothing else
+/// draws, so front-loading the jitter draws preserves both values and
+/// post-RNG state; the combine loop below is draw-free and iterates two
+/// dense slices (basis row, tremor values) in lockstep — a
+/// structure-of-arrays pass the compiler can pipeline.
+///
+/// `skip_first` drops sample 0 from the output while still drawing its
+/// jitter (the eager two-phase composition's `.skip(1)` on the correction
+/// stroke).
+#[allow(clippy::too_many_arguments)]
+fn stroke_into<R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &mut R,
+    from: Point,
+    to: Point,
+    duration: f64,
+    t0: f64,
+    scratch: &mut StrokeScratch,
+    out: &mut Vec<TrajectorySample>,
+    skip_first: bool,
+) {
     let dist = from.distance_to(to);
     if dist < 1e-9 {
-        return vec![TrajectorySample {
-            t_ms: t0,
-            x: to.x,
-            y: to.y,
-        }];
+        if !skip_first {
+            out.push(TrajectorySample {
+                t_ms: t0,
+                x: to.x,
+                y: to.y,
+            });
+        }
+        return;
     }
     // Curve: perpendicular displacement of the Bézier control point.
     let amp_sigma = params.curve_amplitude_frac * dist;
@@ -535,44 +704,50 @@ fn single_stroke<R: Rng + ?Sized>(
     let control = Point::new(mid.x + px * amp, mid.y + py * amp);
 
     let n = ((duration / params.pointer_sample_interval_ms).ceil() as usize).max(3);
-    let basis = StrokeBasis::for_stroke(n);
     let jitter_dist = Normal::new(0.0, params.jitter_px);
-    let mut samples = Vec::with_capacity(n + 1);
+
+    let StrokeScratch {
+        tremor_inline,
+        tremor_spill,
+        basis_spill,
+    } = scratch;
     // Tremor: AR(1)-filtered perpendicular noise, zero at the endpoints
-    // (the hand is anchored at press/landing). The common case fits the
-    // shared-basis bound, so the jitter draws batch into one slice fill up
-    // front — same draws, same order, same post-RNG state — leaving the
-    // synthesis loop below draw-free.
-    let mut tremor_buf = [0.0f64; BASIS_SHARED_MAX_N + 1];
-    let batched = n <= BASIS_SHARED_MAX_N;
-    if batched {
-        fill_tremor(rng, &jitter_dist, &mut tremor_buf[..=n]);
-    }
-    let mut tremor = 0.0f64;
-    // `i` jointly indexes the basis row and the tremor buffer.
-    #[allow(clippy::needless_range_loop)]
-    for i in 0..=n {
-        let BasisSample { tau, s, envelope } = basis.get(i);
+    // (the hand is anchored at press/landing). All `n + 1` jitter draws
+    // batch into one split-phase fill — same draws, same order, same
+    // post-RNG state as the historic per-sample loop (the draws were
+    // consecutive there too). Strokes within the shared bound use the
+    // inline buffer; longer ones the retained spill.
+    let tremor: &mut [f64] = if n <= BASIS_SHARED_MAX_N {
+        &mut tremor_inline[..=n]
+    } else {
+        tremor_spill.clear();
+        tremor_spill.resize(n + 1, 0.0);
+        tremor_spill
+    };
+    fill_tremor(rng, &jitter_dist, tremor);
+    let row = StrokeBasis::row_into(n, basis_spill);
+
+    // Draw-free SoA combine. The final sample is emitted separately: the
+    // historic loop overwrote its position with the exact endpoint (its
+    // timestamp `t0 + 1.0 * duration` is bit-equal to `t0 + duration`).
+    out.reserve(n + 1 - usize::from(skip_first));
+    let start = usize::from(skip_first);
+    for i in start..n {
+        let BasisSample { tau, s, envelope } = row[i];
         let p = quad_bezier(from, control, to, s);
-        tremor = if batched {
-            tremor_buf[i]
-        } else {
-            0.7 * tremor + 0.3 * jitter_dist.sample(rng)
-        };
+        let tremor = tremor[i];
         let (jx, jy) = (px * tremor * envelope, py * tremor * envelope);
-        samples.push(TrajectorySample {
+        out.push(TrajectorySample {
             t_ms: t0 + tau * duration,
             x: p.x + jx,
             y: p.y + jy,
         });
     }
-    // Land exactly on the intended point (aim error is applied by the
-    // click model or the two-phase composition, not per stroke).
-    if let Some(last) = samples.last_mut() {
-        last.x = to.x;
-        last.y = to.y;
-    }
-    samples
+    out.push(TrajectorySample {
+        t_ms: t0 + duration,
+        x: to.x,
+        y: to.y,
+    });
 }
 
 fn quad_bezier(a: Point, c: Point, b: Point, t: f64) -> Point {
@@ -589,6 +764,109 @@ fn perpendicular(a: Point, b: Point) -> (f64, f64) {
     let dy = b.y - a.y;
     let len = (dx * dx + dy * dy).sqrt().max(1e-12);
     (-dy / len, dx / len)
+}
+
+/// The seed-era eager generator, retained verbatim.
+///
+/// This is the perf baseline for the `trajectory_synthesis` bench row and
+/// the differential anchor for the kernel: direct per-sample evaluation of
+/// the min-jerk polynomial and the sine envelope, one interleaved jitter
+/// draw per sample, and a fresh `Vec` per stroke. The optimized kernel
+/// ([`synthesize_into`]) must reproduce its output — samples and post-RNG
+/// state — bit for bit; the draw sequence defined here is the contract.
+pub mod reference {
+    use super::*;
+
+    /// The historic eager generator (seed shape, pre-basis-table,
+    /// pre-batching). Same signature as [`super::generate_with`].
+    pub fn generate_with<R: Rng + ?Sized>(
+        params: &HumanParams,
+        rng: &mut R,
+        from: Point,
+        to: Point,
+        target_w: f64,
+    ) -> Vec<TrajectorySample> {
+        let dist = from.distance_to(to);
+        if dist < 1e-9 {
+            return vec![TrajectorySample {
+                t_ms: 0.0,
+                x: to.x,
+                y: to.y,
+            }];
+        }
+        let base = params.fitts_duration_ms(dist, target_w);
+        let duration = base * rng.gen_range(0.88..1.12);
+
+        let two_phase = dist > 250.0 && rng.gen_bool(0.6);
+        if !two_phase {
+            return single_stroke(params, rng, from, to, duration, 0.0);
+        }
+
+        let axis = ((to.x - from.x) / dist, (to.y - from.y) / dist);
+        let err_mag =
+            (Normal::new(-0.01 * dist, 0.035 * dist).sample(rng)).clamp(-0.12 * dist, 0.12 * dist);
+        if err_mag.abs() < 6.0 {
+            return single_stroke(params, rng, from, to, duration, 0.0);
+        }
+        let aim = Point::new(to.x + axis.0 * err_mag, to.y + axis.1 * err_mag);
+
+        let mut samples = single_stroke(params, rng, from, aim, duration * 0.82, 0.0);
+        let landing_t = samples.last().map(|s| s.t_ms).unwrap_or(0.0);
+        let pause = rng.gen_range(30.0..90.0);
+        let correction_duration = (70.0 + err_mag.abs() * 1.2).clamp(70.0, 180.0);
+        let correction =
+            single_stroke(params, rng, aim, to, correction_duration, landing_t + pause);
+        samples.extend(correction.into_iter().skip(1));
+        samples
+    }
+
+    /// The historic stroke loop: direct evaluation, per-sample draws.
+    pub fn single_stroke<R: Rng + ?Sized>(
+        params: &HumanParams,
+        rng: &mut R,
+        from: Point,
+        to: Point,
+        duration: f64,
+        t0: f64,
+    ) -> Vec<TrajectorySample> {
+        let dist = from.distance_to(to);
+        if dist < 1e-9 {
+            return vec![TrajectorySample {
+                t_ms: t0,
+                x: to.x,
+                y: to.y,
+            }];
+        }
+        let amp_sigma = params.curve_amplitude_frac * dist;
+        let amp = Normal::new(0.0, amp_sigma).sample(rng)
+            + amp_sigma * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        let (px, py) = perpendicular(from, to);
+        let mid = from.lerp(to, 0.5);
+        let control = Point::new(mid.x + px * amp, mid.y + py * amp);
+
+        let n = ((duration / params.pointer_sample_interval_ms).ceil() as usize).max(3);
+        let jitter_dist = Normal::new(0.0, params.jitter_px);
+        let mut samples = Vec::with_capacity(n + 1);
+        let mut tremor = 0.0f64;
+        for i in 0..=n {
+            let tau = i as f64 / n as f64;
+            let s = min_jerk_progress(tau);
+            let p = quad_bezier(from, control, to, s);
+            tremor = 0.7 * tremor + 0.3 * jitter_dist.sample(rng);
+            let envelope = (std::f64::consts::PI * tau).sin();
+            let (jx, jy) = (px * tremor * envelope, py * tremor * envelope);
+            samples.push(TrajectorySample {
+                t_ms: t0 + tau * duration,
+                x: p.x + jx,
+                y: p.y + jy,
+            });
+        }
+        if let Some(last) = samples.last_mut() {
+            last.x = to.x;
+            last.y = to.y;
+        }
+        samples
+    }
 }
 
 /// Path metrics used by tests and detectors.
@@ -883,6 +1161,136 @@ mod tests {
         }
     }
 
+    /// The fixed-capacity kernel behind [`generate_with`] must reproduce
+    /// the retained seed-era generator bit for bit — samples and post-RNG
+    /// state — across every structural branch (zero-distance, short
+    /// single-stroke, threshold-straddling, long two-phase).
+    #[test]
+    fn kernel_matches_seed_reference_bit_for_bit() {
+        let p = HumanParams::paper_baseline();
+        let cases = [
+            (Point::new(100.0, 500.0), Point::new(900.0, 300.0), 40.0),
+            (Point::new(10.0, 10.0), Point::new(60.0, 40.0), 20.0),
+            (Point::new(5.0, 5.0), Point::new(5.0, 5.0), 10.0),
+            (Point::new(0.0, 0.0), Point::new(260.0, 0.0), 4.0),
+            (Point::new(300.0, 800.0), Point::new(299.0, 801.0), 60.0),
+        ];
+        let mut scratch = StrokeScratch::new();
+        let mut out = Vec::new();
+        for seed in 0..200u64 {
+            for (from, to, w) in cases {
+                let mut ref_ctx = SimContext::new(seed);
+                let historic = reference::generate_with(&p, ref_ctx.stream("cursor"), from, to, w);
+                let mut kernel_ctx = SimContext::new(seed);
+                out.clear();
+                synthesize_into(
+                    &p,
+                    kernel_ctx.stream("cursor"),
+                    from,
+                    to,
+                    w,
+                    &mut scratch,
+                    &mut out,
+                );
+                assert_eq!(out, historic, "seed {seed} {from:?}->{to:?}");
+                assert_eq!(
+                    ref_ctx.stream("cursor").gen::<u64>(),
+                    kernel_ctx.stream("cursor").gen::<u64>(),
+                    "rng state diverged after seed {seed} {from:?}->{to:?}"
+                );
+            }
+        }
+    }
+
+    /// The kernel appends: planners lay several movements into one arena,
+    /// and earlier samples must be untouched.
+    #[test]
+    fn kernel_appends_without_disturbing_existing_samples() {
+        let p = HumanParams::paper_baseline();
+        let sentinel = TrajectorySample {
+            t_ms: -1.0,
+            x: 123.0,
+            y: 456.0,
+        };
+        let mut scratch = StrokeScratch::new();
+        let mut out = vec![sentinel];
+        let mut ctx = SimContext::new(9);
+        synthesize_into(
+            &p,
+            ctx.stream("cursor"),
+            Point::new(100.0, 500.0),
+            Point::new(900.0, 300.0),
+            40.0,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out[0], sentinel);
+        let mut fresh_ctx = SimContext::new(9);
+        let fresh = generate_with(
+            &p,
+            fresh_ctx.stream("cursor"),
+            Point::new(100.0, 500.0),
+            Point::new(900.0, 300.0),
+            40.0,
+        );
+        assert_eq!(&out[1..], &fresh[..]);
+    }
+
+    /// A reused scratch reaches allocation steady state: after one long
+    /// stroke has sized the spill buffers, further strokes (short and
+    /// long) leave the spill capacities untouched.
+    #[test]
+    fn reused_scratch_reaches_allocation_steady_state() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let p = HumanParams::paper_baseline();
+        let mut scratch = StrokeScratch::new();
+        let mut out = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let from = Point::new(40.0, 80.0);
+        let to = Point::new(640.0, 420.0);
+        // Warmup: one above-bound stroke sizes the spills.
+        stroke_into(
+            &p,
+            &mut rng,
+            from,
+            to,
+            2400.0,
+            0.0,
+            &mut scratch,
+            &mut out,
+            false,
+        );
+        let caps = scratch.spill_capacities();
+        assert!(caps.0 > 0 && caps.1 > 0, "long stroke did not spill");
+        for _ in 0..50 {
+            out.clear();
+            stroke_into(
+                &p,
+                &mut rng,
+                from,
+                to,
+                600.0,
+                0.0,
+                &mut scratch,
+                &mut out,
+                false,
+            );
+            stroke_into(
+                &p,
+                &mut rng,
+                from,
+                to,
+                2400.0,
+                0.0,
+                &mut scratch,
+                &mut out,
+                false,
+            );
+            assert_eq!(scratch.spill_capacities(), caps, "spill reallocated");
+        }
+    }
+
     /// The stroke loop historically drew one jitter sample per iteration:
     /// `tremor = 0.7 * tremor + 0.3 * jitter.sample(rng)`. The batched
     /// fill must reproduce that sequence — values and post-fill RNG state —
@@ -974,6 +1382,116 @@ mod tests {
                 assert_eq!(
                     live_rng, ref_rng,
                     "post state, seed {seed} duration {duration}"
+                );
+            }
+        }
+    }
+
+    mod prop {
+        use super::super::*;
+        use proptest::prelude::*;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+
+        proptest! {
+            /// Long strokes (`n` past [`BASIS_SHARED_MAX_N`]) take the
+            /// spill path in the kernel and the per-sample fallback in the
+            /// streaming state; both must reproduce the seed-era per-sample
+            /// loop — values and post-RNG state — for arbitrary seeds,
+            /// geometry, and durations on either side of the bound.
+            #[test]
+            fn stroke_kernel_matches_reference_for_arbitrary_strokes(
+                seed in 0u64..u64::MAX,
+                fx in 0.0f64..1200.0,
+                fy in 0.0f64..700.0,
+                dx in 20.0f64..900.0,
+                dy in -300.0f64..300.0,
+                // 200 ms → n = 25; 4000 ms → n = 500 (deep in spill land).
+                duration in 200.0f64..4000.0,
+            ) {
+                let p = HumanParams::paper_baseline();
+                let from = Point::new(fx, fy);
+                let to = Point::new(fx + dx, fy + dy);
+                let mut live_rng = SmallRng::seed_from_u64(seed);
+                let live = single_stroke(&p, &mut live_rng, from, to, duration, 0.0);
+                let mut ref_rng = SmallRng::seed_from_u64(seed);
+                let reference =
+                    reference::single_stroke(&p, &mut ref_rng, from, to, duration, 0.0);
+                prop_assert_eq!(live, reference);
+                prop_assert_eq!(live_rng, ref_rng, "post-RNG state diverged");
+            }
+
+            /// At the shared-basis boundary the basis flips representation
+            /// (`Shared` at `n`, `Owned` at `n + 1` when `n` is the bound);
+            /// representations must agree bit for bit on the overlapping
+            /// evaluation — and the fused row path must agree with both.
+            #[test]
+            fn owned_and_shared_basis_agree_at_the_boundary(
+                delta in 0usize..4,
+            ) {
+                for n in [
+                    BASIS_SHARED_MAX_N - delta,
+                    BASIS_SHARED_MAX_N + 1 + delta,
+                ] {
+                    let basis = StrokeBasis::for_stroke(n);
+                    if n <= BASIS_SHARED_MAX_N {
+                        prop_assert!(matches!(basis, StrokeBasis::Shared(_)));
+                    } else {
+                        prop_assert!(matches!(basis, StrokeBasis::Owned(_)));
+                    }
+                    let owned = compute_basis_row(n);
+                    let mut spill = Vec::new();
+                    let fused = StrokeBasis::row_into(n, &mut spill);
+                    prop_assert_eq!(fused.len(), n + 1);
+                    for i in 0..=n {
+                        let a = basis.get(i);
+                        let b = owned[i];
+                        let c = fused[i];
+                        prop_assert_eq!(a.tau.to_bits(), b.tau.to_bits());
+                        prop_assert_eq!(a.s.to_bits(), b.s.to_bits());
+                        prop_assert_eq!(a.envelope.to_bits(), b.envelope.to_bits());
+                        prop_assert_eq!(a.tau.to_bits(), c.tau.to_bits());
+                        prop_assert_eq!(a.s.to_bits(), c.s.to_bits());
+                        prop_assert_eq!(a.envelope.to_bits(), c.envelope.to_bits());
+                    }
+                }
+            }
+
+            /// The movement-level kernel against the retained seed
+            /// reference for arbitrary seeds and endpoints (covering
+            /// single-stroke, threshold, and two-phase branches), in
+            /// append mode on a dirty arena.
+            #[test]
+            fn movement_kernel_matches_reference_for_arbitrary_movements(
+                seed in 0u64..u64::MAX,
+                fx in 0.0f64..1200.0,
+                fy in 0.0f64..700.0,
+                tx in 0.0f64..1200.0,
+                ty in 0.0f64..700.0,
+                w in 4.0f64..120.0,
+            ) {
+                let p = HumanParams::paper_baseline();
+                let from = Point::new(fx, fy);
+                let to = Point::new(tx, ty);
+                let mut ref_ctx = SimContext::new(seed);
+                let historic =
+                    reference::generate_with(&p, ref_ctx.stream("cursor"), from, to, w);
+                let mut kernel_ctx = SimContext::new(seed);
+                let mut scratch = StrokeScratch::new();
+                let mut out = vec![TrajectorySample { t_ms: -7.0, x: 0.0, y: 0.0 }];
+                synthesize_into(
+                    &p,
+                    kernel_ctx.stream("cursor"),
+                    from,
+                    to,
+                    w,
+                    &mut scratch,
+                    &mut out,
+                );
+                prop_assert_eq!(&out[1..], &historic[..]);
+                prop_assert_eq!(
+                    ref_ctx.stream("cursor").gen::<u64>(),
+                    kernel_ctx.stream("cursor").gen::<u64>()
                 );
             }
         }

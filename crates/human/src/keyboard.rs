@@ -91,6 +91,58 @@ pub fn requires_shift(ch: char) -> bool {
     us_qwerty(ch).map(|s| s.needs_shift).unwrap_or(false)
 }
 
+/// Compact, allocation-free identity of a key — the `Copy` counterpart of
+/// [`KeyStrokeSpec::key`]'s `String`, for plans that must not allocate per
+/// key event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyId {
+    /// A character key; the DOM `key` value is the character itself.
+    Char(char),
+    /// The Shift modifier.
+    Shift,
+    /// The Enter key.
+    Enter,
+    /// The Tab key.
+    Tab,
+}
+
+impl KeyId {
+    /// The DOM `key` value, matching [`us_qwerty`]'s `String` exactly.
+    pub fn dom_key(self) -> String {
+        match self {
+            KeyId::Char(c) => c.to_string(),
+            KeyId::Shift => "Shift".to_string(),
+            KeyId::Enter => "Enter".to_string(),
+            KeyId::Tab => "Tab".to_string(),
+        }
+    }
+}
+
+/// Allocation-free form of [`us_qwerty`]: the emitted key and whether
+/// Shift must be held. Agrees with [`us_qwerty`] on every character
+/// (pinned by a test): `Some` for the same set, same `needs_shift`, and
+/// [`KeyId::dom_key`] equal to [`KeyStrokeSpec::key`].
+pub fn us_qwerty_key(ch: char) -> Option<(KeyId, bool)> {
+    if ch.is_ascii_lowercase() || ch.is_ascii_digit() || ch == ' ' || ch.is_ascii_uppercase() {
+        return Some((KeyId::Char(ch), ch.is_ascii_uppercase()));
+    }
+    if ch == '\n' {
+        return Some((KeyId::Enter, false));
+    }
+    if ch == '\t' {
+        return Some((KeyId::Tab, false));
+    }
+    for (plain, shifted) in US_SHIFT_PAIRS {
+        if ch == *plain {
+            return Some((KeyId::Char(ch), false));
+        }
+        if ch == *shifted {
+            return Some((KeyId::Char(ch), true));
+        }
+    }
+    None
+}
+
 /// QWERTY letter rows, for physical adjacency.
 const QWERTY_ROWS: [&str; 3] = ["qwertyuiop", "asdfghjkl", "zxcvbnm"];
 
@@ -200,6 +252,25 @@ mod tests {
         for b in 0x20u8..=0x7e {
             let ch = b as char;
             assert!(us_qwerty(ch).is_some(), "unmapped printable {ch:?}");
+        }
+    }
+
+    /// The compact layout query is a faithful projection of [`us_qwerty`]:
+    /// same mapped set, same shift requirement, same emitted DOM key.
+    #[test]
+    fn compact_key_query_agrees_with_string_query() {
+        let sweep = (0u8..=0x7f)
+            .map(|b| b as char)
+            .chain(['é', 'ß', '→', '\u{80}']);
+        for ch in sweep {
+            match (us_qwerty(ch), us_qwerty_key(ch)) {
+                (None, None) => {}
+                (Some(spec), Some((id, shift))) => {
+                    assert_eq!(spec.needs_shift, shift, "shift mismatch for {ch:?}");
+                    assert_eq!(spec.key, id.dom_key(), "key mismatch for {ch:?}");
+                }
+                (a, b) => panic!("mapped-set mismatch for {ch:?}: {a:?} vs {b:?}"),
+            }
         }
     }
 }

@@ -22,9 +22,11 @@ pub mod click;
 pub mod cursor;
 pub mod keyboard;
 pub mod params;
+pub mod plan;
 pub mod scroll;
 pub mod typing;
 
 pub use agent::HumanAgent;
 pub use cursor::TrajectorySample;
 pub use params::HumanParams;
+pub use plan::{InteractionPlan, VisitPlanner};

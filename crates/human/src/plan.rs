@@ -1,0 +1,508 @@
+//! Batch interaction planner: a visit's whole action chain synthesised
+//! into one reusable arena.
+//!
+//! "Beyond the Crawl" (PAPERS.md) shows behavioural detectors score *whole
+//! interaction sessions*, not isolated strokes — so the simulate side must
+//! be able to emit a full per-visit interaction plan (move + click + type +
+//! scroll + dwell) at campaign pace. Planning each action into fresh `Vec`s
+//! costs an allocation per stroke, per typing burst, and per scroll run;
+//! [`VisitPlanner`] instead lays every sample of the chain into a single
+//! [`InteractionPlan`] arena whose buffers are reused across visits. After
+//! warm-up a visit plan performs **zero** allocations (asserted by tests
+//! and the `batch_plan` bench section).
+//!
+//! Determinism: the planner draws from the registered `"click"`,
+//! `"cursor"`, `"agent"`, `"typing"`, and `"scroll"` streams of the
+//! `SimContext` it is handed (campaign code hands it a dedicated
+//! `fork("plan", _)` child so the `"visit"` stream's draw sequence is
+//! untouched). The arena layout changes *where* samples are stored, never
+//! *when* draws happen: [`VisitPlanner::plan_visit`] is bit-identical —
+//! plan contents and post-RNG state — to the retained per-action reference
+//! [`plan_visit_unbatched`], pinned by a proptest for arbitrary seeds and
+//! scripts.
+
+use crate::click;
+use crate::cursor::{self, StrokeScratch, TrajectorySample};
+use crate::params::HumanParams;
+use crate::scroll::{self, PlannedTick};
+use crate::typing::{self, PlannedKeyStroke};
+use hlisa_browser::viewport::WHEEL_TICK_PX;
+use hlisa_browser::{Point, Rect};
+use hlisa_sim::SimContext;
+use rand::Rng;
+
+/// Where a planned visit's cursor starts: the viewport centre.
+const PLAN_ORIGIN: Point = Point::new(640.0, 360.0);
+
+/// Text corpus planned `Type` steps draw from (ASCII, so byte slicing is
+/// char-safe).
+const VISIT_CORPUS: &str =
+    "the quick brown fox jumps over the lazy dog 1234 Hello, World. sphinx of black quartz";
+
+/// One step of a visit's interaction script.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScriptStep {
+    /// Move to a point sampled inside the element box, then click it.
+    Click {
+        /// Element box (page coordinates).
+        x: f64,
+        /// Element box top.
+        y: f64,
+        /// Element box width.
+        w: f64,
+        /// Element box height.
+        h: f64,
+    },
+    /// Type the first `len` corpus characters into the focused field.
+    Type {
+        /// Number of corpus characters.
+        len: usize,
+    },
+    /// Wheel-scroll by `dy` pixels (positive = down).
+    Scroll {
+        /// Scroll distance in pixels.
+        dy: f64,
+    },
+    /// A reading/idle pause.
+    Dwell,
+}
+
+/// One planned action: its script step, when it starts, and which arena
+/// ranges hold its synthesised events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedAction {
+    /// The script step this action realises.
+    pub step: ScriptStep,
+    /// Offset of the action's start from the start of the visit (ms).
+    pub start_ms: f64,
+    /// Range into [`InteractionPlan::samples`] (cursor samples).
+    pub samples: (u32, u32),
+    /// Range into [`InteractionPlan::keys`] (key transitions).
+    pub keys: (u32, u32),
+    /// Range into [`InteractionPlan::ticks`] (wheel ticks).
+    pub ticks: (u32, u32),
+}
+
+/// A whole visit's synthesised interaction, stored structure-of-arrays:
+/// one samples arena, one key arena, one tick arena, and the per-action
+/// index into them. Event timestamps are relative to their action's start
+/// ([`PlannedAction::start_ms`] places them on the visit clock).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InteractionPlan {
+    samples: Vec<TrajectorySample>,
+    keys: Vec<PlannedKeyStroke>,
+    ticks: Vec<PlannedTick>,
+    actions: Vec<PlannedAction>,
+    total_ms: f64,
+}
+
+impl InteractionPlan {
+    /// All cursor samples of the visit, in action order.
+    pub fn samples(&self) -> &[TrajectorySample] {
+        &self.samples
+    }
+
+    /// All key transitions of the visit, in action order.
+    pub fn keys(&self) -> &[PlannedKeyStroke] {
+        &self.keys
+    }
+
+    /// All wheel ticks of the visit, in action order.
+    pub fn ticks(&self) -> &[PlannedTick] {
+        &self.ticks
+    }
+
+    /// The planned actions with their arena ranges.
+    pub fn actions(&self) -> &[PlannedAction] {
+        &self.actions
+    }
+
+    /// Total planned visit duration (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.total_ms
+    }
+
+    /// Current arena capacities `[samples, keys, ticks, actions]`. A
+    /// reused plan whose capacities stop changing performs no further
+    /// allocations.
+    pub fn arena_capacities(&self) -> [usize; 4] {
+        [
+            self.samples.capacity(),
+            self.keys.capacity(),
+            self.ticks.capacity(),
+            self.actions.capacity(),
+        ]
+    }
+
+    fn clear(&mut self) {
+        self.samples.clear();
+        self.keys.clear();
+        self.ticks.clear();
+        self.actions.clear();
+        self.total_ms = 0.0;
+    }
+}
+
+const fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives a visit's interaction script from its page content hash. Pure
+/// and RNG-free: the same `(content_hash, steps)` always yields the same
+/// script, so scripts need no stream draws and replay exactly. The first
+/// step is always a click (every visit exercises the cursor kernel); the
+/// rest mix clicks, typing bursts, scrolls, and dwells by hash bits.
+pub fn visit_script_into(content_hash: u64, steps: usize, out: &mut Vec<ScriptStep>) {
+    out.clear();
+    out.reserve(steps);
+    let mut h = content_hash;
+    for i in 0..steps {
+        h = splitmix64(h);
+        let kind = if i == 0 { 0 } else { (h >> 61) % 4 };
+        out.push(match kind {
+            0 => ScriptStep::Click {
+                x: 40.0 + (h % 1000) as f64,
+                y: 60.0 + ((h >> 10) % 560) as f64,
+                w: 24.0 + ((h >> 20) % 140) as f64,
+                h: 16.0 + ((h >> 28) % 36) as f64,
+            },
+            1 => ScriptStep::Type {
+                len: 8 + ((h >> 8) % 48) as usize,
+            },
+            2 => {
+                let dist = 200.0 + ((h >> 16) % 1200) as f64;
+                ScriptStep::Scroll {
+                    dy: if h & 1 == 0 { dist } else { -dist },
+                }
+            }
+            _ => ScriptStep::Dwell,
+        });
+    }
+}
+
+/// The retained per-action reference planner: fresh `Vec`s per action and
+/// the seed-era eager cursor generator, assembled into a fresh plan.
+///
+/// This is what planning a visit costs without the arena and the
+/// fixed-capacity kernels — the baseline of the `batch_plan` bench row —
+/// and the differential anchor [`VisitPlanner::plan_visit`] must match bit
+/// for bit (contents and post-RNG state).
+pub fn plan_visit_unbatched(
+    params: &HumanParams,
+    ctx: &mut SimContext,
+    script: &[ScriptStep],
+) -> InteractionPlan {
+    let mut plan = InteractionPlan::default();
+    let mut pos = PLAN_ORIGIN;
+    let mut t = 0.0f64;
+    for &step in script {
+        let start_ms = t;
+        let s0 = plan.samples.len() as u32;
+        let k0 = plan.keys.len() as u32;
+        let w0 = plan.ticks.len() as u32;
+        match step {
+            ScriptStep::Click { x, y, w, h } => {
+                let rect = Rect::new(x, y, w, h);
+                let target = click::sample_click_point(params, ctx, rect);
+                let movement = cursor::reference::generate_with(
+                    params,
+                    ctx.stream("cursor"),
+                    pos,
+                    target,
+                    w.min(h).max(4.0),
+                );
+                let move_end = movement.last().map(|s| s.t_ms).unwrap_or(0.0);
+                plan.samples.extend_from_slice(&movement);
+                let fixation = ctx.stream("agent").gen_range(40.0..160.0);
+                let dwell = click::sample_dwell_ms(params, ctx);
+                t += move_end + fixation + dwell;
+                pos = target;
+            }
+            ScriptStep::Type { len } => {
+                let text = &VISIT_CORPUS[..len.min(VISIT_CORPUS.len())];
+                let mut keys = Vec::new();
+                typing::plan_typing_keys_into(params, ctx.stream("typing"), text, &mut keys);
+                t += keys.last().map(|k| k.at_ms).unwrap_or(0.0);
+                plan.keys.extend_from_slice(&keys);
+            }
+            ScriptStep::Scroll { dy } => {
+                let ticks =
+                    scroll::plan_scroll_with(params, ctx.stream("scroll"), dy, WHEEL_TICK_PX);
+                t += ticks.last().map(|k| k.at_ms).unwrap_or(0.0);
+                plan.ticks.extend_from_slice(&ticks);
+            }
+            ScriptStep::Dwell => {
+                t += ctx.stream("agent").gen_range(350.0..1600.0);
+            }
+        }
+        plan.actions.push(PlannedAction {
+            step,
+            start_ms,
+            samples: (s0, plan.samples.len() as u32),
+            keys: (k0, plan.keys.len() as u32),
+            ticks: (w0, plan.ticks.len() as u32),
+        });
+    }
+    plan.total_ms = t;
+    plan
+}
+
+/// The batch interaction planner: owns one [`InteractionPlan`] arena plus
+/// all kernel scratch, reused across visits.
+///
+/// One instance per worker; [`VisitPlanner::plan_visit`] clears the arena
+/// (retaining capacity) and lays the whole action chain into it. Once the
+/// buffers have grown to the workload's high-water mark, planning a visit
+/// allocates nothing.
+#[derive(Default)]
+pub struct VisitPlanner {
+    plan: InteractionPlan,
+    stroke_scratch: StrokeScratch,
+    key_scratch: Vec<PlannedKeyStroke>,
+    tick_scratch: Vec<PlannedTick>,
+    script: Vec<ScriptStep>,
+}
+
+impl VisitPlanner {
+    /// A fresh planner with empty arenas.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The most recently planned visit.
+    pub fn plan(&self) -> &InteractionPlan {
+        &self.plan
+    }
+
+    /// Arena + scratch capacities, for steady-state allocation assertions:
+    /// `[samples, keys, ticks, actions, key scratch, tick scratch, script,
+    /// tremor spill, basis spill]`.
+    pub fn capacities(&self) -> [usize; 9] {
+        let [s, k, w, a] = self.plan.arena_capacities();
+        let (tremor, basis) = self.stroke_scratch.spill_capacities();
+        [
+            s,
+            k,
+            w,
+            a,
+            self.key_scratch.capacity(),
+            self.tick_scratch.capacity(),
+            self.script.capacity(),
+            tremor,
+            basis,
+        ]
+    }
+
+    /// Plans a whole visit action chain into the reusable arena.
+    ///
+    /// Bit-identical to [`plan_visit_unbatched`] — same draws from the
+    /// same streams in the same order, same plan contents — with all
+    /// intermediate storage reused.
+    pub fn plan_visit(
+        &mut self,
+        params: &HumanParams,
+        ctx: &mut SimContext,
+        script: &[ScriptStep],
+    ) -> &InteractionPlan {
+        self.plan.clear();
+        let plan = &mut self.plan;
+        let mut pos = PLAN_ORIGIN;
+        let mut t = 0.0f64;
+        for &step in script {
+            let start_ms = t;
+            let s0 = plan.samples.len() as u32;
+            let k0 = plan.keys.len() as u32;
+            let w0 = plan.ticks.len() as u32;
+            match step {
+                ScriptStep::Click { x, y, w, h } => {
+                    let rect = Rect::new(x, y, w, h);
+                    let target = click::sample_click_point(params, ctx, rect);
+                    cursor::synthesize_into(
+                        params,
+                        ctx.stream("cursor"),
+                        pos,
+                        target,
+                        w.min(h).max(4.0),
+                        &mut self.stroke_scratch,
+                        &mut plan.samples,
+                    );
+                    let move_end = plan.samples[s0 as usize..]
+                        .last()
+                        .map(|s| s.t_ms)
+                        .unwrap_or(0.0);
+                    let fixation = ctx.stream("agent").gen_range(40.0..160.0);
+                    let dwell = click::sample_dwell_ms(params, ctx);
+                    t += move_end + fixation + dwell;
+                    pos = target;
+                }
+                ScriptStep::Type { len } => {
+                    let text = &VISIT_CORPUS[..len.min(VISIT_CORPUS.len())];
+                    typing::plan_typing_keys_into(
+                        params,
+                        ctx.stream("typing"),
+                        text,
+                        &mut self.key_scratch,
+                    );
+                    t += self.key_scratch.last().map(|k| k.at_ms).unwrap_or(0.0);
+                    plan.keys.extend_from_slice(&self.key_scratch);
+                }
+                ScriptStep::Scroll { dy } => {
+                    scroll::plan_scroll_into(
+                        params,
+                        ctx.stream("scroll"),
+                        dy,
+                        WHEEL_TICK_PX,
+                        &mut self.tick_scratch,
+                    );
+                    t += self.tick_scratch.last().map(|k| k.at_ms).unwrap_or(0.0);
+                    plan.ticks.extend_from_slice(&self.tick_scratch);
+                }
+                ScriptStep::Dwell => {
+                    t += ctx.stream("agent").gen_range(350.0..1600.0);
+                }
+            }
+            plan.actions.push(PlannedAction {
+                step,
+                start_ms,
+                samples: (s0, plan.samples.len() as u32),
+                keys: (k0, plan.keys.len() as u32),
+                ticks: (w0, plan.ticks.len() as u32),
+            });
+        }
+        plan.total_ms = t;
+        &self.plan
+    }
+
+    /// Derives the script for a site visit from its content hash and plans
+    /// it: the campaign-engine entry point.
+    pub fn plan_site_visit(
+        &mut self,
+        params: &HumanParams,
+        ctx: &mut SimContext,
+        content_hash: u64,
+        steps: usize,
+    ) -> &InteractionPlan {
+        let mut script = std::mem::take(&mut self.script);
+        visit_script_into(content_hash, steps, &mut script);
+        self.plan_visit(params, ctx, &script);
+        self.script = script;
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_script() -> Vec<ScriptStep> {
+        let mut s = Vec::new();
+        visit_script_into(0xfeed_beef_cafe_0001, 7, &mut s);
+        s
+    }
+
+    #[test]
+    fn scripts_are_deterministic_and_start_with_a_click() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for hash in [1u64, 0xdead_beef, u64::MAX] {
+            for steps in [1usize, 4, 9] {
+                visit_script_into(hash, steps, &mut a);
+                visit_script_into(hash, steps, &mut b);
+                assert_eq!(a, b);
+                assert_eq!(a.len(), steps);
+                assert!(matches!(a[0], ScriptStep::Click { .. }));
+            }
+        }
+        visit_script_into(3, 0, &mut a);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn batched_plan_matches_unbatched_reference() {
+        let p = HumanParams::paper_baseline();
+        let mut planner = VisitPlanner::new();
+        for seed in 0..40u64 {
+            let mut script = Vec::new();
+            visit_script_into(splitmix64(seed), 2 + (seed % 7) as usize, &mut script);
+            let mut ctx = SimContext::new(seed);
+            let batched = planner.plan_visit(&p, &mut ctx, &script).clone();
+            let mut ref_ctx = SimContext::new(seed);
+            let unbatched = plan_visit_unbatched(&p, &mut ref_ctx, &script);
+            assert_eq!(batched, unbatched, "seed {seed}");
+            for name in ["cursor", "click", "agent", "typing", "scroll"] {
+                assert_eq!(
+                    ctx.stream(name).gen::<u64>(),
+                    ref_ctx.stream(name).gen::<u64>(),
+                    "stream {name} diverged at seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_actions_index_their_arena_ranges() {
+        let p = HumanParams::paper_baseline();
+        let mut planner = VisitPlanner::new();
+        let mut ctx = SimContext::new(11);
+        let plan = planner.plan_visit(&p, &mut ctx, &demo_script());
+        let mut s = 0u32;
+        let mut k = 0u32;
+        let mut w = 0u32;
+        let mut t = -1.0f64;
+        for a in plan.actions() {
+            assert_eq!(a.samples.0, s);
+            assert_eq!(a.keys.0, k);
+            assert_eq!(a.ticks.0, w);
+            assert!(a.samples.1 >= a.samples.0);
+            assert!(a.start_ms > t || a.start_ms == 0.0);
+            t = a.start_ms;
+            s = a.samples.1;
+            k = a.keys.1;
+            w = a.ticks.1;
+        }
+        assert_eq!(s as usize, plan.samples().len());
+        assert_eq!(k as usize, plan.keys().len());
+        assert_eq!(w as usize, plan.ticks().len());
+        assert!(plan.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn reused_planner_reaches_zero_allocation_steady_state() {
+        let p = HumanParams::paper_baseline();
+        let mut planner = VisitPlanner::new();
+        // Warm up over the full variety of scripts the hash space yields.
+        for seed in 0..64u64 {
+            let mut ctx = SimContext::new(seed);
+            planner.plan_site_visit(&p, &mut ctx, splitmix64(seed), 3 + (seed % 6) as usize);
+        }
+        let caps = planner.capacities();
+        // Steady state: replanning the same workload grows nothing.
+        for seed in 0..64u64 {
+            let mut ctx = SimContext::new(seed);
+            planner.plan_site_visit(&p, &mut ctx, splitmix64(seed), 3 + (seed % 6) as usize);
+            assert_eq!(
+                planner.capacities(),
+                caps,
+                "arena reallocated at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn successive_visits_differ_but_replay_exactly() {
+        let p = HumanParams::paper_baseline();
+        let mut planner = VisitPlanner::new();
+        let mut ctx_a = SimContext::new(5);
+        let a = planner.plan_site_visit(&p, &mut ctx_a, 77, 5).clone();
+        let mut ctx_b = SimContext::new(6);
+        let b = planner.plan_site_visit(&p, &mut ctx_b, 77, 5).clone();
+        assert_ne!(a, b, "different seeds must differ");
+        let mut ctx_c = SimContext::new(5);
+        let c = planner.plan_site_visit(&p, &mut ctx_c, 77, 5).clone();
+        assert_eq!(a, c, "same seed must replay bit-identically");
+    }
+}

@@ -39,10 +39,27 @@ pub fn plan_scroll_with<R: Rng + ?Sized>(
     distance_px: f64,
     tick_px: f64,
 ) -> Vec<PlannedTick> {
+    let mut out = Vec::new();
+    plan_scroll_into(params, rng, distance_px, tick_px, &mut out);
+    out
+}
+
+/// Like [`plan_scroll_with`], filling a caller-supplied buffer instead of
+/// allocating. The buffer is cleared first; its capacity survives across
+/// calls, so a reused buffer makes scroll planning allocation-free in
+/// steady state. Draws and tick values are identical to [`plan_scroll`].
+pub fn plan_scroll_into<R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &mut R,
+    distance_px: f64,
+    tick_px: f64,
+    out: &mut Vec<PlannedTick>,
+) {
     assert!(tick_px > 0.0, "tick size must be positive");
+    out.clear();
     let direction = if distance_px >= 0.0 { 1 } else { -1 };
     let n_ticks = (distance_px.abs() / tick_px).round() as usize;
-    let mut out = Vec::with_capacity(n_ticks);
+    out.reserve(n_ticks);
     let mut t = 0.0f64;
     let mut ticks_in_flick = 0usize;
     let mut flick_len = sample_flick_len_with(params, rng);
@@ -61,7 +78,6 @@ pub fn plan_scroll_with<R: Rng + ?Sized>(
             t += params.scroll_tick_gap.sample(rng);
         }
     }
-    out
 }
 
 /// Streaming equivalent of [`plan_scroll`]: yields the ticks one at a

@@ -9,7 +9,7 @@
 //! (§4.1). The planner reproduces all of it, including the Shift presses
 //! capitals need on a real keyboard.
 
-use crate::keyboard::us_qwerty;
+use crate::keyboard::{us_qwerty_key, KeyId};
 use crate::params::HumanParams;
 use hlisa_sim::SimContext;
 use rand::Rng;
@@ -23,6 +23,57 @@ pub struct PlannedKeyEvent {
     pub down: bool,
     /// DOM key value.
     pub key: String,
+}
+
+/// One planned key transition in compact (`Copy`, allocation-free) form —
+/// the arena representation for batch interaction plans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedKeyStroke {
+    /// Offset from the start of typing (ms).
+    pub at_ms: f64,
+    /// True for keydown, false for keyup.
+    pub down: bool,
+    /// The key, as a compact id (see [`KeyId::dom_key`]).
+    pub key: KeyId,
+}
+
+/// Where the cadence core deposits planned key transitions. One core, two
+/// representations: the `String`-keyed events the browser driver consumes
+/// and the compact `Copy` strokes the batch planner arenas — both fed by
+/// the identical draw sequence.
+trait KeySink {
+    fn push_key(&mut self, at_ms: f64, down: bool, key: KeyId);
+    fn sort_by_time(&mut self);
+}
+
+impl KeySink for Vec<PlannedKeyEvent> {
+    fn push_key(&mut self, at_ms: f64, down: bool, key: KeyId) {
+        self.push(PlannedKeyEvent {
+            at_ms,
+            down,
+            key: key.dom_key(),
+        });
+    }
+    fn sort_by_time(&mut self) {
+        self.sort_by(|a, b| {
+            a.at_ms
+                .partial_cmp(&b.at_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+}
+
+impl KeySink for Vec<PlannedKeyStroke> {
+    fn push_key(&mut self, at_ms: f64, down: bool, key: KeyId) {
+        self.push(PlannedKeyStroke { at_ms, down, key });
+    }
+    fn sort_by_time(&mut self) {
+        self.sort_by(|a, b| {
+            a.at_ms
+                .partial_cmp(&b.at_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
 }
 
 /// Plans the key events for typing `text` like a human, drawing from the
@@ -57,6 +108,33 @@ pub fn plan_typing_into<R: Rng + ?Sized>(
     events: &mut Vec<PlannedKeyEvent>,
 ) {
     events.clear();
+    plan_typing_core(params, rng, text, events);
+}
+
+/// The compact counterpart of [`plan_typing_into`]: same cadence model,
+/// same draws (both run the one shared core), but the events land as
+/// `Copy` [`PlannedKeyStroke`]s — no per-key `String`, so a reused buffer
+/// makes the typing plan allocation-free in steady state. This is the
+/// representation the batch interaction planner arenas.
+pub fn plan_typing_keys_into<R: Rng + ?Sized>(
+    params: &HumanParams,
+    rng: &mut R,
+    text: &str,
+    events: &mut Vec<PlannedKeyStroke>,
+) {
+    events.clear();
+    plan_typing_core(params, rng, text, events);
+}
+
+/// The cadence model itself, generic over the event representation. Every
+/// draw the planner makes happens in here, so the `String` and compact
+/// paths cannot drift apart.
+fn plan_typing_core<R: Rng + ?Sized, S: KeySink>(
+    params: &HumanParams,
+    rng: &mut R,
+    text: &str,
+    events: &mut S,
+) {
     let mut t = 0.0f64; // next keydown time
     let mut prev_up_t = 0.0f64;
     let mut shift_down = false;
@@ -71,11 +149,11 @@ pub fn plan_typing_into<R: Rng + ?Sized>(
     let innovation = hlisa_stats::Normal::new(0.0, dwell_sigma * (1.0 - rho * rho).sqrt());
     let mut dwell_dev = 0.0f64;
 
-    let chars: Vec<(char, crate::keyboard::KeyStrokeSpec)> = text
+    let mut chars = text
         .chars()
-        .filter_map(|c| us_qwerty(c).map(|spec| (c, spec)))
-        .collect();
-    for (i, (ch, spec)) in chars.iter().enumerate() {
+        .filter_map(|c| us_qwerty_key(c).map(|(key, needs_shift)| (c, key, needs_shift)))
+        .peekable();
+    while let Some((ch, key, needs_shift)) = chars.next() {
         // Contextual pause from the character *before* this one.
         if let Some(prev) = prev_char {
             let extra = match prev {
@@ -90,21 +168,13 @@ pub fn plan_typing_into<R: Rng + ?Sized>(
         }
 
         // Shift transitions around the run of shifted characters.
-        if spec.needs_shift && !shift_down {
+        if needs_shift && !shift_down {
             let lead = rng.gen_range(35.0..90.0);
-            events.push(PlannedKeyEvent {
-                at_ms: (t - lead).max(0.0),
-                down: true,
-                key: "Shift".to_string(),
-            });
+            events.push_key((t - lead).max(0.0), true, KeyId::Shift);
             shift_down = true;
-        } else if !spec.needs_shift && shift_down {
+        } else if !needs_shift && shift_down {
             let lag = rng.gen_range(10.0..50.0);
-            events.push(PlannedKeyEvent {
-                at_ms: prev_up_t + lag,
-                down: false,
-                key: "Shift".to_string(),
-            });
+            events.push_key(prev_up_t + lag, false, KeyId::Shift);
             shift_down = false;
             t = t.max(prev_up_t + lag + 5.0);
         }
@@ -112,20 +182,12 @@ pub fn plan_typing_into<R: Rng + ?Sized>(
         // The key itself. Dwell follows the drifting tempo.
         dwell_dev = rho * dwell_dev + innovation.sample(rng);
         let dwell = (dwell_mean + dwell_dev).clamp(params.key_dwell.lo(), params.key_dwell.hi());
-        events.push(PlannedKeyEvent {
-            at_ms: t,
-            down: true,
-            key: spec.key.clone(),
-        });
-        events.push(PlannedKeyEvent {
-            at_ms: t + dwell,
-            down: false,
-            key: spec.key.clone(),
-        });
+        events.push_key(t, true, key);
+        events.push_key(t + dwell, false, key);
         prev_up_t = t + dwell;
 
         // Flight to the next press; interleave sometimes.
-        if i + 1 < chars.len() {
+        if chars.peek().is_some() {
             let mut flight = params.key_flight.sample(rng);
             if flight < 0.0 && !rng.gen_bool(params.interleave_prob) {
                 flight = flight.abs();
@@ -133,20 +195,12 @@ pub fn plan_typing_into<R: Rng + ?Sized>(
             // Next press measured from this key's *release* minus overlap.
             t = (prev_up_t + flight).max(t + 20.0);
         }
-        prev_char = Some(*ch);
+        prev_char = Some(ch);
     }
     if shift_down {
-        events.push(PlannedKeyEvent {
-            at_ms: prev_up_t + rng.gen_range(10.0..60.0),
-            down: false,
-            key: "Shift".to_string(),
-        });
+        events.push_key(prev_up_t + rng.gen_range(10.0..60.0), false, KeyId::Shift);
     }
-    events.sort_by(|a, b| {
-        a.at_ms
-            .partial_cmp(&b.at_ms)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    events.sort_by_time();
 }
 
 /// Overall characters-per-minute implied by a plan (counting non-modifier
@@ -308,6 +362,40 @@ mod tests {
     fn empty_text_gives_empty_plan() {
         assert!(plan("", 9).is_empty());
         assert_eq!(plan_cpm(&[]), 0.0);
+    }
+
+    /// The compact plan is the `String` plan with the keys projected: same
+    /// timestamps, same transitions, same post-RNG state.
+    #[test]
+    fn compact_plan_matches_string_plan_bit_for_bit() {
+        let p = HumanParams::paper_baseline();
+        let mut compact = Vec::new();
+        let texts = [
+            "Hello, World. How are you?",
+            "aB cD EF",
+            "",
+            "plain lowercase words here",
+            "MIXED case. with, punctuation!",
+        ];
+        for seed in 0..50u64 {
+            for text in texts {
+                let mut ctx = SimContext::new(seed);
+                plan_typing_keys_into(&p, ctx.stream("typing"), text, &mut compact);
+                let mut ref_ctx = SimContext::new(seed);
+                let full = plan_typing(&p, &mut ref_ctx, text);
+                assert_eq!(compact.len(), full.len(), "seed {seed} text {text:?}");
+                for (c, f) in compact.iter().zip(&full) {
+                    assert_eq!(c.at_ms.to_bits(), f.at_ms.to_bits(), "seed {seed}");
+                    assert_eq!(c.down, f.down, "seed {seed}");
+                    assert_eq!(c.key.dom_key(), f.key, "seed {seed}");
+                }
+                assert_eq!(
+                    ctx.stream("typing").gen::<u64>(),
+                    ref_ctx.stream("typing").gen::<u64>(),
+                    "rng state diverged for seed {seed} text {text:?}"
+                );
+            }
+        }
     }
 
     /// A reused buffer yields the same plan as a fresh allocation — stale

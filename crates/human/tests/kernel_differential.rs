@@ -1,0 +1,70 @@
+//! Differential proptests: the batch interaction planner against its
+//! retained per-action reference.
+//!
+//! The arena layout and the fixed-capacity kernels change *where* bytes
+//! land, never *what* is drawn: for arbitrary seeds, content hashes, and
+//! script lengths, [`VisitPlanner::plan_visit`] must produce a plan
+//! bit-identical to [`plan_visit_unbatched`] and leave every interaction
+//! stream in the identical state — including when the planner's arenas are
+//! dirty from previous visits of *different* shapes.
+
+use hlisa_human::plan::{plan_visit_unbatched, visit_script_into, VisitPlanner};
+use hlisa_human::HumanParams;
+use hlisa_sim::SimContext;
+use proptest::prelude::*;
+use rand::Rng;
+
+proptest! {
+    /// Arena-batched plan == fresh-allocation reference plan, bit for bit,
+    /// with all five interaction streams left in the same state.
+    #[test]
+    fn batched_plan_is_bit_identical_to_unbatched(
+        seed in 0u64..u64::MAX,
+        content_hash in 0u64..u64::MAX,
+        steps in 0usize..12,
+    ) {
+        let p = HumanParams::paper_baseline();
+        let mut script = Vec::new();
+        visit_script_into(content_hash, steps, &mut script);
+
+        let mut planner = VisitPlanner::new();
+        let mut ctx = SimContext::new(seed);
+        let batched = planner.plan_visit(&p, &mut ctx, &script).clone();
+
+        let mut ref_ctx = SimContext::new(seed);
+        let unbatched = plan_visit_unbatched(&p, &mut ref_ctx, &script);
+
+        prop_assert_eq!(&batched, &unbatched);
+        for name in ["cursor", "click", "agent", "typing", "scroll"] {
+            prop_assert_eq!(
+                ctx.stream(name).gen::<u64>(),
+                ref_ctx.stream(name).gen::<u64>(),
+                "stream {} diverged", name
+            );
+        }
+    }
+
+    /// Reuse must not leak: planning visit B after an unrelated visit A
+    /// yields exactly the plan a fresh planner would produce for B.
+    #[test]
+    fn dirty_arena_reuse_does_not_leak_across_visits(
+        seed_a in 0u64..u64::MAX,
+        seed_b in 0u64..u64::MAX,
+        hash_a in 0u64..u64::MAX,
+        hash_b in 0u64..u64::MAX,
+        steps_a in 1usize..10,
+        steps_b in 1usize..10,
+    ) {
+        let p = HumanParams::paper_baseline();
+        let mut reused = VisitPlanner::new();
+        let mut ctx_a = SimContext::new(seed_a);
+        reused.plan_site_visit(&p, &mut ctx_a, hash_a, steps_a);
+        let mut ctx_b = SimContext::new(seed_b);
+        let second = reused.plan_site_visit(&p, &mut ctx_b, hash_b, steps_b).clone();
+
+        let mut fresh = VisitPlanner::new();
+        let mut ctx_f = SimContext::new(seed_b);
+        let fresh_plan = fresh.plan_site_visit(&p, &mut ctx_f, hash_b, steps_b).clone();
+        prop_assert_eq!(second, fresh_plan);
+    }
+}

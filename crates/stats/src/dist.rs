@@ -55,6 +55,51 @@ impl Normal {
         }
     }
 
+    /// Fills `out` with samples, bit-identical to calling [`Normal::sample`]
+    /// once per slot (same values, same RNG draw sequence).
+    ///
+    /// The polar method splits into two phases per chunk: a rejection phase
+    /// that only touches the RNG and stores the accepted `(u, s)` pairs, and
+    /// a transform phase that runs the `ln`/`sqrt` arithmetic over the dense
+    /// accepted block. The draws are interleaved identically to the one-shot
+    /// path (each slot's rejection loop runs to acceptance before the next
+    /// slot draws), so stream state after the fill matches a per-sample loop
+    /// exactly; only the transform is hoisted out of the draw loop, which
+    /// keeps the RNG hot in the rejection phase and lets the compiler
+    /// pipeline the `ln` chain in the transform phase.
+    pub fn fill_samples<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        if self.std_dev == 0.0 {
+            out.fill(self.mean);
+            return;
+        }
+        const CHUNK: usize = 64;
+        let mut us = [0.0f64; CHUNK];
+        let mut ss = [0.0f64; CHUNK];
+        for block in out.chunks_mut(CHUNK) {
+            // Phase A: rejection-only. Exactly the draws `sample` would make,
+            // in the same order; accepted pairs land densely in `us`/`ss`.
+            for slot in 0..block.len() {
+                loop {
+                    let u: f64 = rng.gen_range(-1.0..1.0);
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    let s = u * u + v * v;
+                    if s > 0.0 && s < 1.0 {
+                        us[slot] = u;
+                        ss[slot] = s;
+                        break;
+                    }
+                }
+            }
+            // Phase B: the same transform expression as `sample`, applied to
+            // the dense block. Identical expression => identical bits.
+            for (slot, x) in block.iter_mut().enumerate() {
+                let (u, s) = (us[slot], ss[slot]);
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                *x = self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+
     /// Probability density at `x`.
     pub fn pdf(&self, x: f64) -> f64 {
         if self.std_dev == 0.0 {
@@ -210,6 +255,41 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(d.sample(&mut rng), 3.5);
         }
+    }
+
+    #[test]
+    fn fill_samples_matches_per_sample_loop_bit_for_bit() {
+        // Values AND post-fill RNG state must match the one-shot path for
+        // lengths straddling the internal chunk size (incl. 0 and 1).
+        for seed in 0..200u64 {
+            for n in [0usize, 1, 3, 63, 64, 65, 128, 200, 500] {
+                let d = Normal::new(1.5, 2.25);
+                let mut a = rng_from_seed(seed);
+                let mut b = rng_from_seed(seed);
+                let reference: Vec<f64> = (0..n).map(|_| d.sample(&mut a)).collect();
+                let mut filled = vec![0.0; n];
+                d.fill_samples(&mut b, &mut filled);
+                for (i, (r, f)) in reference.iter().zip(&filled).enumerate() {
+                    assert_eq!(r.to_bits(), f.to_bits(), "seed {seed} n {n} slot {i}");
+                }
+                assert_eq!(
+                    a.gen::<u64>(),
+                    b.gen::<u64>(),
+                    "post-fill RNG state diverged at seed {seed} n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fill_samples_zero_std_fills_mean_without_draws() {
+        let d = Normal::new(3.5, 0.0);
+        let mut a = rng_from_seed(7);
+        let mut b = rng_from_seed(7);
+        let mut out = vec![0.0; 17];
+        d.fill_samples(&mut a, &mut out);
+        assert!(out.iter().all(|x| *x == 3.5));
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "zero-sigma fill drew");
     }
 
     #[test]

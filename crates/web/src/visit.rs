@@ -9,6 +9,7 @@ use crate::outcome::{VisitError, VisitPhase, VisitProgress};
 use crate::site::{DetectionMethod, Reaction, Site};
 use crate::snapshot::WorldSnapshotCache;
 use hlisa_detect::{scan_fingerprint, TemplateAttackDetector};
+use hlisa_human::{HumanParams, VisitPlanner};
 use hlisa_jsom::{build_firefox_world, BrowserFlavor, World};
 use hlisa_sim::{InjectedFault, SimContext, VirtualClock};
 use hlisa_spoof::SpoofingExtension;
@@ -216,6 +217,70 @@ pub fn simulate_visit_attempt(
         injected,
         deadline_ms,
     )
+}
+
+/// Summary of one visit's batch-planned interaction chain.
+///
+/// The counters are sums over the visit's [`hlisa_human::InteractionPlan`]
+/// arenas, so two planners that plan the same visit — fresh or reused,
+/// on any thread — report identical stats.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanStats {
+    /// Interaction steps the plan covers (0 for unsuccessful visits).
+    pub actions: u64,
+    /// Trajectory samples laid into the plan arena.
+    pub samples: u64,
+    /// Key strokes laid into the plan arena.
+    pub keys: u64,
+    /// Wheel ticks laid into the plan arena.
+    pub ticks: u64,
+}
+
+impl PlanStats {
+    /// Accumulates another visit's stats (for per-worker campaign totals).
+    pub fn absorb(&mut self, other: PlanStats) {
+        self.actions += other.actions;
+        self.samples += other.samples;
+        self.keys += other.keys;
+        self.ticks += other.ticks;
+    }
+}
+
+/// Like [`simulate_visit`], additionally synthesising the visit's full
+/// interaction chain through a reusable batch [`VisitPlanner`] — the
+/// planner-driven campaign mode.
+///
+/// The attempt itself runs the exact [`simulate_visit_attempt`] path; the
+/// interaction plan draws from a `"plan"` fork of the visit context, so
+/// the `"visit"` stream — and therefore every outcome — is bit-identical
+/// to the unplanned mode. Successful visits plan the same number of
+/// interaction steps the visit timeline executes
+/// ([`VisitTimeline::steps_planned`]), scripted from the site's content
+/// hash; failed visits plan nothing.
+pub fn simulate_visit_planned(
+    site: &Site,
+    client: ClientKind,
+    runtime: &DetectorRuntime,
+    ctx: &mut SimContext,
+    params: &HumanParams,
+    planner: &mut VisitPlanner,
+) -> (VisitOutcome, PlanStats) {
+    let outcome =
+        simulate_visit_attempt(site, client, runtime, ctx, None, DEFAULT_VISIT_DEADLINE_MS)
+            .unwrap_or_else(|e| e.to_outcome());
+    let mut stats = PlanStats::default();
+    if outcome.successful {
+        let steps = VisitTimeline::for_site(site).steps_planned as usize;
+        let mut plan_ctx = ctx.fork("plan", 0);
+        let plan = planner.plan_site_visit(params, &mut plan_ctx, site_content_hash(site), steps);
+        stats = PlanStats {
+            actions: plan.actions().len() as u64,
+            samples: plan.samples().len() as u64,
+            keys: plan.keys().len() as u64,
+            ticks: plan.ticks().len() as u64,
+        };
+    }
+    (outcome, stats)
 }
 
 /// Deterministic phase timeline for one visit, derived from the site's
@@ -459,7 +524,7 @@ fn synthesize_http<R: Rng + ?Sized>(
 /// Wilcoxon test isolates the detection-induced differences. A small
 /// per-visit chance of a transient 5xx models live-web dynamics (Fig. 4
 /// only charts codes with more than 100 occurrences campaign-wide).
-fn site_content_hash(site: &Site) -> u64 {
+pub fn site_content_hash(site: &Site) -> u64 {
     let mut h = hlisa_stats::rngutil::splitmix64(u64::from(site.rank) ^ 0xace1);
     for b in site.domain.as_bytes() {
         h = hlisa_stats::rngutil::splitmix64(h ^ u64::from(*b));
@@ -742,6 +807,50 @@ mod tests {
                 assert_eq!(a, b, "{client:?} diverged on {}", site.domain);
             }
         }
+    }
+
+    /// The planner-driven entry leaves every outcome bit-identical to the
+    /// legacy path (the plan draws only from the `"plan"` fork), reports
+    /// non-trivial stats for successful visits, and reaches steady-state
+    /// arena capacities when one planner serves a whole population.
+    #[test]
+    fn planned_visits_match_unplanned_outcomes_bit_for_bit() {
+        let cfg = PopulationConfig {
+            n_sites: 40,
+            unreachable_sites: 3,
+            ..PopulationConfig::default()
+        };
+        let sites = generate_population(&cfg);
+        let rt = DetectorRuntime::new();
+        let params = hlisa_human::HumanParams::paper_baseline();
+        let mut planner = hlisa_human::VisitPlanner::new();
+        let mut planned_any = false;
+        for client in [ClientKind::OpenWpm, ClientKind::OpenWpmSpoofed] {
+            for (i, site) in sites.iter().enumerate() {
+                let mut ctx_a = SimContext::new(70 + i as u64);
+                let mut ctx_b = SimContext::new(70 + i as u64);
+                let legacy = simulate_visit(site, client, &rt, &mut ctx_a);
+                let (planned, stats) =
+                    simulate_visit_planned(site, client, &rt, &mut ctx_b, &params, &mut planner);
+                assert_eq!(legacy, planned, "{}: planned outcome diverged", site.domain);
+                // The "visit" stream is untouched by planning.
+                assert_eq!(
+                    ctx_a.stream("visit").gen::<u64>(),
+                    ctx_b.stream("visit").gen::<u64>(),
+                    "{}: visit stream perturbed by planning",
+                    site.domain
+                );
+                if planned.successful {
+                    let timeline = VisitTimeline::for_site(site);
+                    assert_eq!(stats.actions, u64::from(timeline.steps_planned));
+                    assert!(stats.samples > 0, "{}: no samples planned", site.domain);
+                    planned_any = true;
+                } else {
+                    assert_eq!(stats, PlanStats::default());
+                }
+            }
+        }
+        assert!(planned_any);
     }
 
     #[test]

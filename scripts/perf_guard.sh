@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Perf-regression guard: compares the "speedup" field of every section of
+# a freshly emitted smoke bench JSON against the committed full-run
+# baseline (`BENCH_foo.json` for `BENCH_foo.smoke.json`) and fails on a
+# >30% relative drop.
+#
+# Two accommodations keep the short smoke runs honest against full-run
+# baselines:
+#
+#   * Large ratios are unstable between sizings: sections whose optimized
+#     side times mostly timer overhead (hundreds/thousands ×) and sections
+#     whose baseline cost is cache-scale-dependent (linear scans) swing
+#     far more than 30% between smoke and full runs while the optimization
+#     is plainly intact. Both sides are clamped to CLAMP before comparing:
+#     a section at ≥ CLAMP× on both sides passes, while a real regression
+#     — an optimization collapsing back toward its ×1 baseline — still
+#     crashes through the clamp and trips the 30% rule.
+#   * Sections whose speedup is *scale-dependent* (only reaching its
+#     full-run value at full-run sizes) can be skipped explicitly with a
+#     `FILE:section[,section]` argument, keeping the exemption visible at
+#     the call site instead of hidden in a widened tolerance.
+#
+# Usage: scripts/perf_guard.sh BENCH_foo.smoke.json[:skip1,skip2] [...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLAMP=30
+FAIL=0
+
+# Sections are one-line flat objects: `"name": {..., "speedup": N}`.
+# Emits `name N` per section; the key must be exactly "speedup" (this
+# deliberately excludes e.g. the scaling sweep's "speedup_vs_1", which
+# depends on the machine's core count, not on code).
+extract() {
+    grep -oE '"[a-z_]+": \{[^{}]*"speedup": [0-9.eE+-]+' "$1" \
+        | sed -E 's/^"([a-z_]+)": \{[^{}]*"speedup": ([0-9.eE+-]+)$/\1 \2/'
+}
+
+for arg in "$@"; do
+    fresh=${arg%%:*}
+    skips=""
+    [ "$arg" != "$fresh" ] && skips=${arg#*:}
+    ref=${fresh%.smoke.json}.json
+    if [ ! -f "$fresh" ]; then
+        echo "perf-guard: $fresh: fresh smoke run missing" >&2
+        FAIL=1
+        continue
+    fi
+    if [ ! -f "$ref" ]; then
+        echo "perf-guard: $ref: no committed baseline, skipping"
+        continue
+    fi
+    out=$({
+        extract "$ref" | sed 's/^/ref /'
+        extract "$fresh" | sed 's/^/new /'
+    } | awk -v clamp="$CLAMP" -v file="$fresh" -v skips="$skips" '
+        BEGIN { split(skips, sk, ","); for (i in sk) skip[sk[i]] = 1 }
+        $1 == "ref" { ref[$2] = $3; order[n++] = $2 }
+        $1 == "new" { new[$2] = $3 }
+        END {
+            status = 0
+            for (i = 0; i < n; i++) {
+                s = order[i]
+                if (s in skip) {
+                    printf "perf-guard: skip %s/%s (scale-dependent at smoke size)\n", file, s
+                    continue
+                }
+                if (!(s in new)) {
+                    printf "perf-guard: FAIL %s/%s: section missing from fresh run\n", file, s
+                    status = 1
+                    continue
+                }
+                r = ref[s] + 0; f = new[s] + 0
+                rc = r > clamp ? clamp : r
+                fc = f > clamp ? clamp : f
+                if (fc < 0.7 * rc) {
+                    printf "perf-guard: FAIL %s/%s: speedup %.3f -> %.3f (>30%% drop)\n", file, s, r, f
+                    status = 1
+                } else {
+                    printf "perf-guard: ok   %s/%s: speedup %.3f -> %.3f\n", file, s, r, f
+                }
+            }
+            exit status
+        }') || FAIL=1
+    printf '%s\n' "$out"
+done
+
+if [ "$FAIL" -ne 0 ]; then
+    echo "perf-guard: FAILED (speedup dropped >30% vs committed baseline)" >&2
+    exit 1
+fi
+echo "perf-guard: all guarded sections within 30% of committed baselines"

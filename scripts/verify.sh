@@ -35,6 +35,11 @@ cargo run -q -p hlisa-bench --release --bin bench_parallel -- --smoke --out BENC
 echo "==> bench_reliability --smoke (measurement-loss drift curve + strengthened-mode identity)"
 cargo run -q -p hlisa-bench --release --bin bench_reliability -- --smoke --out BENCH_reliability.smoke.json
 
+echo "==> perf-regression guard (fresh smoke speedups vs committed baselines)"
+# campaign's end-to-end row only reaches its full speedup at full-run
+# scale (world-cache amortisation), so it is exempted explicitly.
+scripts/perf_guard.sh BENCH_campaign.smoke.json:campaign BENCH_interaction.smoke.json BENCH_web.smoke.json
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -90,6 +90,7 @@ proptest! {
             visits_per_site: 3,
             instances: 1,
             world_cache: true,
+            plan_interactions: false,
         };
         let sites = generate_population(&base.population);
         let serial = run_machine(&base, &sites, ClientKind::OpenWpmSpoofed);
@@ -118,6 +119,7 @@ proptest! {
             visits_per_site: 3,
             instances: 1,
             world_cache: true,
+            plan_interactions: false,
         };
         let sites = generate_population(&base.population);
         let serial = run_machine(&base, &sites, ClientKind::OpenWpmSpoofed);
